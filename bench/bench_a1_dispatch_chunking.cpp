@@ -1,0 +1,67 @@
+// A1 (ablation) — master-slave dispatch granularity.
+//
+// DESIGN.md §6 calls out chunked vs per-individual dispatch as a design
+// choice: one individual per message maximizes balance but pays latency per
+// evaluation; a whole slave-share per message amortizes latency but loses
+// balance under heterogeneity.  This ablation sweeps the chunk size on
+// homogeneous and heterogeneous simulated clusters.
+
+#include "bench_util.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+double run_chunked(std::size_t chunk, bool heterogeneous) {
+  problems::OneMax problem(64);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 64;
+  cfg.stop.max_generations = 10;
+  cfg.stop.target_fitness = 1e9;
+  cfg.ops = bench::bit_operators();
+  cfg.chunk_size = chunk;
+  cfg.eval_cost_s = 1e-3;
+  cfg.seed = 11;
+  cfg.make_genome = [](Rng& r) { return BitString::random(64, r); };
+
+  auto sim_cfg = sim::homogeneous(9, sim::NetworkModel::fast_ethernet());
+  sim_cfg.send_overhead_s = 1e-4;  // per-message CPU cost
+  if (heterogeneous) {
+    sim_cfg.nodes[3].speed = 0.5;
+    sim_cfg.nodes[7].speed = 0.25;
+  }
+  sim::SimCluster cluster(sim_cfg);
+  auto report = cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+  return report.makespan;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "A1 (ablation) - master-slave dispatch chunk size",
+      "per-individual dispatch balances best but pays per-message cost; "
+      "whole-share chunks amortize latency but straggle under heterogeneity");
+
+  bench::Table table({"chunk size", "homogeneous time (s)",
+                      "heterogeneous time (s)", "hetero penalty"});
+  for (std::size_t chunk : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const double homo = run_chunked(chunk, false);
+    const double hetero = run_chunked(chunk, true);
+    table.row({bench::fmt("%zu", chunk), bench::fmt("%.4f", homo),
+               bench::fmt("%.4f", hetero), bench::fmt("%.2fx", hetero / homo)});
+  }
+  table.print();
+
+  std::printf("\nShape check: on the homogeneous cluster, moderate chunks win\n"
+              "(message cost amortized, balance still fine); under\n"
+              "heterogeneity the largest chunks pay the biggest penalty\n"
+              "because a slow slave holds a whole share - the classic\n"
+              "granularity trade-off.\n");
+  return 0;
+}

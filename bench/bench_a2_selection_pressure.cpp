@@ -1,0 +1,88 @@
+// A2 (ablation) — panmictic selection pressure across operators.
+//
+// The survey's theory thread (takeover times, selection intensity) applies
+// to the panmictic building block too: this ablation measures takeover
+// generations for each selection operator in a selection-only loop (one
+// best individual planted in 256; extinction conditioned away), against the
+// logistic-growth reference.
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "theory/models.hpp"
+
+using namespace pga;
+
+namespace {
+
+constexpr std::size_t kPop = 256;
+
+std::size_t takeover_generations(const Selector& sel, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> fitness(kPop, 1.0);  // positive base fitness
+  fitness[0] = 2.0;
+  std::size_t gens = 0;
+  while (gens < 2000) {
+    std::vector<double> next(kPop);
+    for (auto& f : next) f = fitness[sel(fitness, rng)];
+    bool extinct = true, done = true;
+    for (double f : next) {
+      extinct &= (f != 2.0);
+      done &= (f == 2.0);
+    }
+    if (extinct) next[0] = 2.0;  // condition on survival
+    fitness = std::move(next);
+    ++gens;
+    if (done) break;
+  }
+  return gens;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "A2 (ablation) - takeover time per selection operator (panmictic)",
+      "selection intensity orders the operators; takeover is logarithmic in "
+      "population size (Goldberg & Deb) - the reference point for the "
+      "cellular takeover curves of E4");
+
+  struct Arm {
+    const char* label;
+    Selector sel;
+  };
+  const Arm arms[] = {
+      {"tournament k=2", selection::tournament(2)},
+      {"tournament k=4", selection::tournament(4)},
+      {"tournament k=7", selection::tournament(7)},
+      {"linear rank s=1.4", selection::linear_rank(1.4)},
+      {"linear rank s=2.0", selection::linear_rank(2.0)},
+      {"roulette (2:1 fitness)", selection::roulette()},
+      {"truncation 50%", selection::truncation(0.5)},
+      {"truncation 12.5%", selection::truncation(0.125)},
+      {"boltzmann T=0.5", selection::boltzmann(0.5)},
+  };
+
+  constexpr int kSeeds = 10;
+  bench::Table table({"selector", "mean takeover gens", "min", "max"});
+  for (const auto& arm : arms) {
+    RunningStat stat;
+    for (int s = 0; s < kSeeds; ++s)
+      stat.add(static_cast<double>(
+          takeover_generations(arm.sel, static_cast<std::uint64_t>(s) + 1)));
+    table.row({arm.label, bench::fmt("%.1f", stat.mean()),
+               bench::fmt("%.0f", stat.min()), bench::fmt("%.0f", stat.max())});
+  }
+  table.print();
+
+  std::printf("\nTheory: binary-tournament takeover ~ log2(%zu) = %.1f\n"
+              "generations; stronger operators (bigger tournaments, harder\n"
+              "truncation, colder Boltzmann) take over faster; weak\n"
+              "proportionate selection on a 2:1 fitness ratio is slowest.\n",
+              kPop, theory::panmictic_takeover_time(kPop));
+  std::printf("\nShape check: ordering truncation-12.5%% < tournament-7 <\n"
+              "tournament-4 < tournament-2 ~ rank-2.0 < roulette < rank-1.4\n"
+              "(weakest pressure slowest); every panmictic figure is far\n"
+              "below the cellular takeover sweeps of E4 at comparable\n"
+              "population size.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// A3 (ablation) — fixed-interval vs diversity-triggered migration.
+//
+// The survey's perspectives section anticipates adaptive "working model"
+// theories; the simplest useful instance is migrating on demand: exchange
+// individuals when a deme's allele entropy collapses instead of on a fixed
+// clock.  Same budget, same policy otherwise; compare quality, effort and
+// how many exchanges each controller actually spends.
+
+#include "bench_util.hpp"
+#include "core/diversity.hpp"
+#include "core/statistics.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+
+using namespace pga;
+
+namespace {
+
+struct Outcome {
+  double hit_rate;
+  double mean_evals;
+  double mean_migrations;
+};
+
+enum class Controller { kNever, kEvery4, kEvery16, kAdaptive };
+
+Outcome run_controller(Controller controller, std::uint64_t seeds) {
+  problems::DeceptiveTrap problem(10, 4);  // 40 bits
+  EffortAccumulator acc;
+  RunningStat migrations;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    MigrationPolicy policy;
+    policy.interval = 4;  // placeholder; trigger decides timing
+    policy.count = 1;
+    policy.selection = MigrantSelection::kTournament;
+    policy.replacement = MigrantReplacement::kWorstIfBetter;
+    auto model = make_uniform_island_model<BitString>(
+        Topology::bidirectional_ring(8), policy, bench::bit_operators());
+    switch (controller) {
+      case Controller::kNever:
+        model.set_migration_trigger(migration_trigger::every<BitString>(0));
+        break;
+      case Controller::kEvery4:
+        model.set_migration_trigger(migration_trigger::every<BitString>(4));
+        break;
+      case Controller::kEvery16:
+        model.set_migration_trigger(migration_trigger::every<BitString>(16));
+        break;
+      case Controller::kAdaptive:
+        model.set_migration_trigger(
+            migration_trigger::on_low_diversity<BitString>(
+                [](const Population<BitString>& deme) {
+                  return diversity::bit_entropy(deme);
+                },
+                /*threshold=*/0.5, /*cooldown=*/4));
+        break;
+    }
+    Rng rng(seed * 977 + 31);
+    auto pops = model.make_populations(
+        30, [](Rng& r) { return BitString::random(40, r); }, rng);
+    StopCondition stop;
+    stop.max_generations = 250;
+    stop.target_fitness = 40.0;
+    auto result = model.run(pops, problem, stop, rng);
+    acc.add_run(result.reached_target, result.evals_to_target);
+    migrations.add(static_cast<double>(result.migration_epochs));
+  }
+  return {acc.hit_rate(), acc.mean_evals(), migrations.mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "A3 (ablation) - fixed-interval vs diversity-triggered migration",
+      "an adaptive controller that migrates only when deme diversity "
+      "collapses spends fewer exchanges for comparable (or better) search "
+      "quality than a fixed clock (the survey's adaptive-models perspective)");
+
+  constexpr std::uint64_t kSeeds = 10;
+  bench::Table table({"controller", "hit rate", "mean evals@hit",
+                      "mean migration epochs"});
+  const std::pair<const char*, Controller> arms[] = {
+      {"never (isolated)", Controller::kNever},
+      {"every 4 epochs", Controller::kEvery4},
+      {"every 16 epochs", Controller::kEvery16},
+      {"adaptive (entropy < 0.5)", Controller::kAdaptive},
+  };
+  for (const auto& [label, controller] : arms) {
+    auto out = run_controller(controller, kSeeds);
+    table.row({label, bench::fmt("%.2f", out.hit_rate),
+               std::isfinite(out.mean_evals) ? bench::fmt("%.0f", out.mean_evals)
+                                             : std::string("-"),
+               bench::fmt("%.1f", out.mean_migrations)});
+  }
+  table.print();
+
+  std::printf("\nShape check: never-migrate fails on the deceptive trap; the\n"
+              "adaptive controller matches or beats the best hand-tuned fixed\n"
+              "clock in hit rate with a comparable number of exchanges - it\n"
+              "discovers the right migration rate instead of requiring the\n"
+              "interval to be tuned per problem.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// E10 — heterogeneous computing (Alba, Nebro & Troya 2002, survey §4):
+// PGAs on heterogeneous machines; synchronous models inherit the slowest
+// node's pace while asynchronous models and self-balancing master-slave
+// dispatch absorb the speed spread.
+//
+// We run a fixed-budget island GA with sync vs async migration, and the
+// master-slave GA with sync vs async dispatch, on clusters whose node
+// speeds spread by a factor of 1 (homogeneous), 2 and 4.
+
+#include <mutex>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr std::size_t kBits = 64;
+
+/// Speeds interpolate from 1.0 down to 1/spread across the ranks.
+sim::SimConfig heterogeneous_cluster(double spread) {
+  auto cfg = sim::homogeneous(kRanks, sim::NetworkModel::gigabit_ethernet());
+  for (int r = 0; r < kRanks; ++r) {
+    const double t = static_cast<double>(r) / (kRanks - 1);
+    cfg.nodes[static_cast<std::size_t>(r)].speed =
+        1.0 / (1.0 + t * (spread - 1.0));
+  }
+  return cfg;
+}
+
+double island_time(double spread, bool async) {
+  problems::OneMax problem(kBits);
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(kRanks);
+  cfg.policy.interval = 4;
+  cfg.deme_size = 20;
+  cfg.stop.max_generations = 40;
+  cfg.stop.target_fitness = 1e9;
+  cfg.eval_cost_s = 1e-3;
+  cfg.async = async;
+  cfg.seed = 5;
+  const auto ops = bench::bit_operators();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+  sim::SimCluster cluster(heterogeneous_cluster(spread));
+  // For sync mode, the time until the *fast* ranks finish is what the
+  // barrier costs them; report mean end time across ranks.
+  auto report = cluster.run([&](comm::Transport& t) {
+    (void)run_island_rank(t, problem, cfg);
+  });
+  double mean_end = 0.0;
+  for (const auto& r : report.ranks) mean_end += r.end_time;
+  return mean_end / kRanks;
+}
+
+double master_slave_time(double spread, DispatchMode mode) {
+  problems::OneMax problem(kBits);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 56;
+  cfg.stop.max_generations = 20;
+  cfg.stop.target_fitness = 1e9;
+  cfg.ops = bench::bit_operators();
+  cfg.chunk_size = 2;
+  cfg.mode = mode;
+  cfg.eval_cost_s = 2e-3;
+  cfg.seed = 5;
+  cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+  sim::SimCluster cluster(heterogeneous_cluster(spread));
+  auto report = cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+  return report.makespan;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E10 - heterogeneous node speeds: sync vs async models",
+      "synchronous PGAs run at the slowest node's pace; asynchronous "
+      "migration and demand-driven master-slave dispatch absorb the "
+      "heterogeneity (Alba, Nebro & Troya 2002)");
+
+  std::printf("Island model (8 demes, ring, fixed 40-generation budget):\n");
+  bench::Table island_table(
+      {"speed spread", "sync mean rank time (s)", "async mean rank time (s)",
+       "async advantage"});
+  for (double spread : {1.0, 2.0, 4.0}) {
+    const double sync_t = island_time(spread, false);
+    const double async_t = island_time(spread, true);
+    island_table.row({bench::fmt("%.0fx", spread), bench::fmt("%.3f", sync_t),
+                      bench::fmt("%.3f", async_t),
+                      bench::fmt("%.2fx", sync_t / async_t)});
+  }
+  island_table.print();
+
+  std::printf("\nMaster-slave model (7 slaves, fixed 20-generation budget):\n");
+  bench::Table ms_table({"speed spread", "sync dispatch (s)",
+                         "async dispatch (s)", "async advantage"});
+  for (double spread : {1.0, 2.0, 4.0}) {
+    const double sync_t = master_slave_time(spread, DispatchMode::kSynchronous);
+    const double async_t =
+        master_slave_time(spread, DispatchMode::kAsynchronous);
+    ms_table.row({bench::fmt("%.0fx", spread), bench::fmt("%.3f", sync_t),
+                  bench::fmt("%.3f", async_t),
+                  bench::fmt("%.2fx", sync_t / async_t)});
+  }
+  ms_table.print();
+
+  std::printf("\nShape check: at 1x the modes tie; the async advantage grows\n"
+              "with the speed spread in both models - heterogeneity is where\n"
+              "asynchrony pays, as the survey's heterogeneous-computing\n"
+              "papers conclude.\n");
+  return 0;
+}

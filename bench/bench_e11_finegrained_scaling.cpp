@@ -1,0 +1,75 @@
+// E11 — scalability of the fully-distributed fine-grained GA (Pelikan,
+// Parthasarathy & Ramraj 2002, survey §4): their asynchronous Charm++
+// implementation "scaled well, even for a very large number of processors"
+// (verified up to 64 on an Origin2000).
+//
+// A 32x64 cellular grid is strip-partitioned over 1..64 simulated
+// processors (Origin-class shared-memory interconnect ~ myrinet numbers).
+// Fixed 10-sweep budget; we report simulated time, speedup and efficiency
+// for the synchronous and the fully-asynchronous boundary protocols.
+
+#include "bench_util.hpp"
+#include "parallel/cellular_parallel.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+double run_cells(int ranks, bool async) {
+  problems::OneMax problem(32);
+  ParallelCellularConfig<BitString> cfg;
+  cfg.width = 32;
+  cfg.height = 64;
+  cfg.ops = bench::bit_operators();
+  cfg.neighborhood = Neighborhood::kLinear5;
+  cfg.sweeps = 10;
+  cfg.async = async;
+  // Era-realistic ratio: a cheap bit-string evaluation (~20us) against
+  // ~100us-class cluster messages, so boundary exchange matters once strips
+  // get thin.
+  cfg.eval_cost_s = 2e-5;
+  cfg.seed = 9;
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+
+  sim::SimCluster cluster(
+      sim::homogeneous(ranks, sim::NetworkModel::fast_ethernet()));
+  auto report = cluster.run([&](comm::Transport& t) {
+    (void)run_cellular_rank(t, problem, cfg);
+  });
+  return report.makespan;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E11 - fine-grained (cellular) GA scaling to 64 processors",
+      "the fully asynchronous fine-grained GA scales well even for a very "
+      "large number of processors (Pelikan et al. 2002, up to 64 on an "
+      "Origin2000)");
+
+  const double t1_sync = run_cells(1, false);
+  const double t1_async = run_cells(1, true);
+
+  bench::Table table({"procs", "sync time (s)", "sync speedup", "sync eff.",
+                      "async time (s)", "async speedup", "async eff."});
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const double ts = run_cells(p, false);
+    const double ta = run_cells(p, true);
+    table.row({bench::fmt("%d", p), bench::fmt("%.3f", ts),
+               bench::fmt("%.2f", t1_sync / ts),
+               bench::fmt("%.2f", t1_sync / ts / p), bench::fmt("%.3f", ta),
+               bench::fmt("%.2f", t1_async / ta),
+               bench::fmt("%.2f", t1_async / ta / p)});
+  }
+  table.print();
+
+  std::printf("\nShape check: near-linear speedup while each strip holds many\n"
+              "rows; efficiency decays as strips thin to 1 row each (64\n"
+              "procs) and boundary exchange dominates - with the async\n"
+              "protocol holding efficiency slightly longer, as Pelikan's\n"
+              "message-driven implementation did.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E16 — Internet-grade distributed evolution (DREAM/DRM, Arenas et al. 2002;
+// Jelasity et al. 2002; Alba, Nebro & Troya 2002's heterogeneous networks,
+// survey §4): island EAs remain viable when migration rides wide-area links
+// because communication is rare and tiny — but only if the migration policy
+// respects the network.
+//
+// The same 8-island GA on subset sum (the DRM test problem) runs over four
+// interconnects from SMP bus to Internet WAN, at two migration intervals.
+// Measured: simulated wall time and the communication share of the makespan.
+
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "parallel/distributed_island.hpp"
+#include "problems/npcomplete.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+struct Outcome {
+  double makespan = 0.0;
+  double compute = 0.0;  // summed virtual compute across ranks
+  bool solved = false;
+};
+
+Outcome run_grid(const problems::SubsetSum& problem,
+                 const sim::NetworkModel& net, std::size_t interval,
+                 bool async, std::uint64_t seed) {
+  constexpr int kIslands = 8;
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(kIslands);
+  cfg.policy.interval = interval;
+  cfg.policy.count = 1;
+  cfg.deme_size = 25;
+  cfg.stop.max_generations = 150;
+  cfg.stop.target_fitness = 1e9;  // fixed budget: isolate the network effect
+  cfg.eval_cost_s = 1e-3;
+  cfg.async = async;
+  cfg.seed = seed;
+  const auto ops = bench::bit_operators();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(48, r); };
+
+  sim::SimCluster cluster(sim::homogeneous(kIslands, net));
+  Outcome out;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto rep = run_island_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    out.solved |= rep.reached_target;
+  });
+  out.makespan = report.makespan;
+  out.compute = report.total_compute();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E16 - island evolution from SMP bus to Internet WAN (DREAM setting)",
+      "distributed EAs can exploit Internet-connected machines: rare, small "
+      "migrations keep the communication share negligible even at WAN "
+      "latencies (Arenas et al. 2002; Jelasity et al. 2002)");
+
+  Rng gen(3);
+  problems::SubsetSum problem(48, gen);
+
+  const sim::NetworkModel nets[] = {
+      sim::NetworkModel::shared_memory(), sim::NetworkModel::myrinet(),
+      sim::NetworkModel::fast_ethernet(), sim::NetworkModel::internet_wan()};
+
+  for (std::size_t interval : {2u, 16u}) {
+    std::printf("Migration interval: every %zu generations\n", interval);
+    bench::Table table({"network", "latency", "sync time (s)",
+                        "async time (s)", "sync WAN penalty"});
+    double sync_base = 0.0;
+    for (const auto& net : nets) {
+      double sync_sum = 0.0, async_sum = 0.0;
+      constexpr int kSeeds = 3;
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        sync_sum += run_grid(problem, net, interval, false, s).makespan;
+        async_sum += run_grid(problem, net, interval, true, s).makespan;
+      }
+      if (net.name == "shared-memory") sync_base = sync_sum;
+      table.row({net.name, bench::fmt("%.0f us", net.latency_s * 1e6),
+                 bench::fmt("%.3f", sync_sum / kSeeds),
+                 bench::fmt("%.3f", async_sum / kSeeds),
+                 bench::fmt("%.2fx", sync_sum / sync_base)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Shape check: synchronous migration pays the link latency at\n"
+              "every epoch - over the WAN with frequent migration the run\n"
+              "slows several-fold, while asynchronous islands barely notice\n"
+              "the network; stretching the migration interval shrinks the\n"
+              "sync penalty.  Together: Internet-grid evolution (DREAM) is\n"
+              "viable exactly when migration is asynchronous and rare.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E2 — synchronous vs asynchronous island migration (Alba & Troya 2001,
+// survey §2): synchronism in the migration step affects search time and
+// speedup; asynchronous islands avoid the per-epoch barrier.
+//
+// Eight islands solve OneMax and SubsetSum to the known optimum on the
+// simulated cluster.  We report evaluations-to-solution (numerical effort)
+// and simulated wall time for sync vs async migration, on homogeneous and
+// on heterogeneous (one 4x-slower node) clusters.
+
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "parallel/distributed_island.hpp"
+#include "problems/binary.hpp"
+#include "problems/npcomplete.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+struct Outcome {
+  double makespan = 0.0;
+  std::size_t evals = 0;
+  bool solved = false;
+};
+
+Outcome run_once(const Problem<BitString>& problem, std::size_t bits,
+                 double target, bool async, bool heterogeneous,
+                 std::uint64_t seed) {
+  constexpr int kIslands = 8;
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(kIslands);
+  cfg.policy.interval = 4;
+  cfg.policy.count = 1;
+  cfg.deme_size = 25;
+  cfg.stop.max_generations = 400;
+  cfg.stop.target_fitness = target;
+  cfg.eval_cost_s = 5e-4;
+  cfg.async = async;
+  cfg.seed = seed;
+  const auto ops = bench::bit_operators();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [bits](Rng& r) { return BitString::random(bits, r); };
+
+  auto sim_cfg = sim::homogeneous(kIslands, sim::NetworkModel::fast_ethernet());
+  if (heterogeneous) sim_cfg.nodes[3].speed = 0.25;
+  sim::SimCluster cluster(sim_cfg);
+
+  Outcome out;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto rep = run_island_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    out.evals += rep.evaluations;
+    out.solved |= rep.reached_target;
+  });
+  out.makespan = report.makespan;
+  return out;
+}
+
+void run_block(const char* label, const Problem<BitString>& problem,
+               std::size_t bits, double target) {
+  std::printf("Problem: %s\n", label);
+  bench::Table table({"cluster", "migration", "solved", "mean evals",
+                      "mean sim time (s)"});
+  for (bool heterogeneous : {false, true}) {
+    for (bool async : {false, true}) {
+      double time_sum = 0.0, evals_sum = 0.0;
+      int solved = 0;
+      constexpr int kSeeds = 5;
+      for (std::uint64_t s = 0; s < kSeeds; ++s) {
+        auto out = run_once(problem, bits, target, async, heterogeneous, s);
+        time_sum += out.makespan;
+        evals_sum += static_cast<double>(out.evals);
+        solved += out.solved;
+      }
+      table.row({heterogeneous ? "1 node 4x slower" : "homogeneous",
+                 async ? "async" : "sync", bench::fmt("%d/%d", solved, kSeeds),
+                 bench::fmt("%.0f", evals_sum / kSeeds),
+                 bench::fmt("%.3f", time_sum / kSeeds)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E2 - synchronous vs asynchronous island migration",
+      "migration synchronism changes search time and speedup; async wins on "
+      "wall time, especially on heterogeneous clusters (Alba & Troya 2001)");
+
+  problems::OneMax onemax(96);
+  run_block("OneMax(96)", onemax, 96, 96.0);
+
+  Rng gen(7);
+  problems::SubsetSum subset(48, gen);
+  run_block("SubsetSum(48, planted)", subset, 48, 0.0);
+
+  std::printf("Shape check: on homogeneous clusters the modes are close (async\n"
+              "may trade a few more evaluations for the missing barrier); with\n"
+              "a straggler node the synchronous model's wall time balloons\n"
+              "while async barely moves - Alba & Troya's synchronism effect.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E3 — migration policy across problem classes (Alba & Troya 2000, survey
+// §4): migration frequency and migrant selection govern coarse-grained PGA
+// search on easy / deceptive / multimodal / NP-complete / epistatic
+// landscapes.
+//
+// Eight islands on a unidirectional ring.  We sweep migration interval
+// {2, 8, 32, isolated} x migrant selection {best, random} over the five
+// problem classes and report efficacy (hit rate) and mean evaluations to
+// solution over successful runs.
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+#include "problems/npcomplete.hpp"
+
+using namespace pga;
+
+namespace {
+
+struct ClassSpec {
+  ProblemClass cls;
+  std::unique_ptr<Problem<BitString>> problem;
+  std::size_t bits;
+  double target;
+  std::size_t max_epochs;
+};
+
+std::vector<ClassSpec> make_problems() {
+  std::vector<ClassSpec> specs;
+  specs.push_back({ProblemClass::kEasy,
+                   std::make_unique<problems::OneMax>(64), 64, 64.0, 150});
+  specs.push_back({ProblemClass::kDeceptive,
+                   std::make_unique<problems::DeceptiveTrap>(8, 4), 32, 32.0,
+                   300});
+  Rng peaks_rng(11);
+  specs.push_back({ProblemClass::kMultimodal,
+                   std::make_unique<problems::PPeaks>(20, 64, peaks_rng), 64,
+                   1.0, 200});
+  Rng sat_rng(12);
+  specs.push_back({ProblemClass::kNpComplete,
+                   std::make_unique<problems::MaxSat>(40, 160, sat_rng), 40,
+                   160.0, 300});
+  Rng nk_rng(13);
+  auto nk = std::make_unique<problems::NKLandscape>(20, 3, nk_rng);
+  const double nk_opt = nk->brute_force_optimum();
+  specs.push_back({ProblemClass::kEpistatic, std::move(nk), 20,
+                   nk_opt - 1e-9, 300});
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E3 - migration frequency x migrant selection x problem class",
+      "the migration policy governs coarse-grain PGA search across the five "
+      "problem-difficulty classes (Alba & Troya 2000)");
+
+  auto specs = make_problems();
+  constexpr int kSeeds = 8;
+
+  for (const auto& spec : specs) {
+    std::printf("Problem class: %s (%s)\n", to_string(spec.cls),
+                spec.problem->name().c_str());
+    bench::Table table({"interval", "selector", "hit rate", "mean evals@hit"});
+    struct Policy {
+      std::size_t interval;
+      MigrantSelection sel;
+    };
+    const Policy policies[] = {
+        {2, MigrantSelection::kBest},    {8, MigrantSelection::kBest},
+        {32, MigrantSelection::kBest},   {2, MigrantSelection::kRandom},
+        {8, MigrantSelection::kRandom},  {32, MigrantSelection::kRandom},
+        {0, MigrantSelection::kBest},  // isolated
+    };
+    for (const auto& p : policies) {
+      EffortAccumulator acc;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        MigrationPolicy policy;
+        policy.interval = p.interval;
+        policy.count = 1;
+        policy.selection = p.sel;
+        auto model = make_uniform_island_model<BitString>(
+            p.interval ? Topology::ring(8) : Topology::isolated(8), policy,
+            bench::bit_operators());
+        Rng rng(static_cast<std::uint64_t>(seed) * 977 + 5);
+        const std::size_t bits = spec.bits;
+        auto pops = model.make_populations(
+            20, [bits](Rng& r) { return BitString::random(bits, r); }, rng);
+        StopCondition stop;
+        stop.max_generations = spec.max_epochs;
+        stop.target_fitness = spec.target;
+        auto result = model.run(pops, *spec.problem, stop, rng);
+        acc.add_run(result.reached_target, result.evals_to_target);
+      }
+      table.row({p.interval ? bench::fmt("%zu", p.interval)
+                            : std::string("isolated"),
+                 to_string(p.sel), bench::fmt("%.2f", acc.hit_rate()),
+                 acc.hits() ? bench::fmt("%.0f", acc.mean_evals())
+                            : std::string("-")});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("Shape check: easy problems are policy-insensitive; deceptive\n"
+              "and epistatic classes favour moderate intervals (too-frequent\n"
+              "best-migrant exchange collapses diversity, isolation starves\n"
+              "recombination) - the interaction Alba & Troya report.\n");
+  return 0;
+}

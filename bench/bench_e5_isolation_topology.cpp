@@ -1,0 +1,75 @@
+// E5 — isolation vs migration, and the effect of topology density
+// (Cantú-Paz 2000, survey §2): isolated demes are impractical; migration
+// improves both quality and efficiency; fully-connected topologies converge
+// fastest per epoch (at higher communication volume).
+//
+// Eight demes solve a deceptive concatenated trap.  We compare isolation
+// against ring, bi-ring, torus, hypercube and complete topologies at a
+// fixed per-deme budget.
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+
+using namespace pga;
+
+int main() {
+  bench::headline(
+      "E5 - isolated demes vs connected topologies",
+      "isolated demes are impractical; migration improves quality and "
+      "efficiency; denser topologies converge faster (Cantu-Paz)");
+
+  problems::DeceptiveTrap problem(10, 4);  // 40 bits, optimum 40
+  constexpr int kSeeds = 10;
+  constexpr std::size_t kDemes = 8;
+
+  struct Arm {
+    const char* label;
+    Topology topology;
+  };
+  std::vector<Arm> arms;
+  arms.push_back({"isolated", Topology::isolated(kDemes)});
+  arms.push_back({"ring", Topology::ring(kDemes)});
+  arms.push_back({"bi-ring", Topology::bidirectional_ring(kDemes)});
+  arms.push_back({"torus 2x4", Topology::torus(2, 4)});
+  arms.push_back({"hypercube", Topology::hypercube(kDemes)});
+  arms.push_back({"complete", Topology::complete(kDemes)});
+
+  bench::Table table({"topology", "edges", "hit rate", "mean best fitness",
+                      "mean evals@hit"});
+  for (const auto& arm : arms) {
+    EffortAccumulator acc;
+    RunningStat best_stat;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      MigrationPolicy policy;
+      policy.interval = arm.topology.num_edges() ? 16 : 0;
+      policy.count = 1;
+      policy.selection = MigrantSelection::kTournament;
+      policy.replacement = MigrantReplacement::kWorstIfBetter;
+      auto model = make_uniform_island_model<BitString>(arm.topology, policy,
+                                                        bench::bit_operators());
+      Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+      auto pops = model.make_populations(
+          30, [](Rng& r) { return BitString::random(40, r); }, rng);
+      StopCondition stop;
+      stop.max_generations = 250;
+      stop.target_fitness = 40.0;
+      auto result = model.run(pops, problem, stop, rng);
+      acc.add_run(result.reached_target, result.evals_to_target);
+      best_stat.add(result.best.fitness);
+    }
+    table.row({arm.label, bench::fmt("%zu", arm.topology.num_edges()),
+               bench::fmt("%.2f", acc.hit_rate()),
+               bench::fmt("%.1f", best_stat.mean()),
+               acc.hits() ? bench::fmt("%.0f", acc.mean_evals())
+                          : std::string("-")});
+  }
+  table.print();
+
+  std::printf("\nShape check: isolation has the lowest hit rate and final\n"
+              "quality; any migration helps; denser graphs (hypercube,\n"
+              "complete) reach the optimum in fewer evaluations, buying\n"
+              "convergence speed with communication volume (edge count).\n");
+  return 0;
+}

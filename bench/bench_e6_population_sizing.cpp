@@ -1,0 +1,133 @@
+// E6 — population sizing (Cantú-Paz 2000; Konfršt & Lažanský 2002 [35],
+// survey §2): accurate population sizing matters, and the gambler's-ruin
+// model predicts the success probability as a function of population size.
+//
+// A GA solves a concatenated 4-bit trap (10 blocks).  We sweep the
+// population size, measure the fraction of blocks solved and the full-
+// success rate over seeds, and overlay the gambler's-ruin prediction.  A
+// second table splits the same total population across demes (Cantú-Paz's
+// deme-size trade-off).
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+#include "theory/models.hpp"
+
+using namespace pga;
+
+namespace {
+
+constexpr std::size_t kBlocks = 10;
+constexpr std::size_t kBlockSize = 4;
+constexpr std::size_t kBits = kBlocks * kBlockSize;
+
+/// Fraction of trap blocks fully solved in the best individual.
+double blocks_solved(const BitString& genome) {
+  std::size_t solved = 0;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    bool all = true;
+    for (std::size_t i = 0; i < kBlockSize; ++i) all &= genome[b * kBlockSize + i];
+    solved += all;
+  }
+  return static_cast<double>(solved) / static_cast<double>(kBlocks);
+}
+
+/// Shared trap instance for both tables.
+[[nodiscard]] const problems::DeceptiveTrap& trap_problem() {
+  static const problems::DeceptiveTrap instance(kBlocks, kBlockSize);
+  return instance;
+}
+
+struct Outcome {
+  double block_fraction;
+  bool full_success;
+};
+
+Outcome run_panmictic(std::size_t pop_size, std::uint64_t seed) {
+  problems::DeceptiveTrap problem(kBlocks, kBlockSize);
+  Rng rng(seed);
+  auto pop = Population<BitString>::random(
+      pop_size, [](Rng& r) { return BitString::random(kBits, r); }, rng);
+  GenerationalScheme<BitString> scheme(bench::bit_operators(), 1);
+  StopCondition stop;
+  stop.max_generations = 200;
+  stop.target_fitness = static_cast<double>(kBits);
+  auto result = run(scheme, pop, problem, stop, rng);
+  return {blocks_solved(result.best.genome), result.reached_target};
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E6 - population sizing and the gambler's-ruin model",
+      "success probability follows the gambler's-ruin prediction in "
+      "population size; undersized populations fail on deceptive blocks "
+      "(Cantu-Paz; Konfrst & Lazansky)");
+
+  constexpr int kSeeds = 12;
+  // Gambler's-ruin parameters for the 4-bit trap: signal d = 1 (block value
+  // 4 vs 3), sigma_bb estimated from the trap's block fitness variance.
+  const double sigma_bb = 1.1;
+  const double d = 1.0;
+
+  bench::Table table({"population", "mean blocks solved", "success rate",
+                      "gambler's-ruin P(block)"});
+  for (std::size_t n : {20u, 40u, 80u, 160u, 320u, 640u}) {
+    RunningStat blocks;
+    int successes = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto out = run_panmictic(n, static_cast<std::uint64_t>(s) * 71 + 3);
+      blocks.add(out.block_fraction);
+      successes += out.full_success;
+    }
+    table.row({bench::fmt("%zu", n), bench::fmt("%.2f", blocks.mean()),
+               bench::fmt("%.2f", static_cast<double>(successes) / kSeeds),
+               bench::fmt("%.2f",
+                          theory::gamblers_ruin_success_probability(
+                              static_cast<double>(n), kBlockSize, sigma_bb, d,
+                              kBlocks - 1))});
+  }
+  table.print();
+
+  const double n_star =
+      theory::gamblers_ruin_population_size(kBlockSize, 0.05, sigma_bb, d, kBlocks - 1);
+  std::printf("\nTheory: n for 95%% per-block confidence = %.0f individuals.\n\n",
+              n_star);
+
+  // Deme split at fixed total population.
+  std::printf("Fixed total population (320) split across demes (ring, interval 8):\n");
+  bench::Table deme_table({"demes x deme size", "mean blocks solved",
+                           "success rate"});
+  for (std::size_t demes : {1u, 2u, 4u, 8u, 16u}) {
+    RunningStat blocks;
+    int successes = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      MigrationPolicy policy;
+      policy.interval = demes > 1 ? 8 : 0;
+      auto model = make_uniform_island_model<BitString>(
+          demes > 1 ? Topology::ring(demes) : Topology::isolated(1), policy,
+          bench::bit_operators());
+      Rng rng(static_cast<std::uint64_t>(s) * 131 + 17);
+      auto pops = model.make_populations(
+          320 / demes, [](Rng& r) { return BitString::random(kBits, r); }, rng);
+      StopCondition stop;
+      stop.max_generations = 200;
+      stop.target_fitness = static_cast<double>(kBits);
+      auto result = model.run(pops, trap_problem(), stop, rng);
+      blocks.add(blocks_solved(result.best.genome));
+      successes += result.reached_target;
+    }
+    deme_table.row({bench::fmt("%zu x %zu", demes, 320 / demes),
+                    bench::fmt("%.2f", blocks.mean()),
+                    bench::fmt("%.2f", static_cast<double>(successes) / kSeeds)});
+  }
+  deme_table.print();
+
+  std::printf("\nShape check: success rises sigmoidally with population size,\n"
+              "tracking the gambler's-ruin curve; moderate deme splits keep\n"
+              "quality, extreme splitting (tiny demes) loses building blocks\n"
+              "- the sizing results the survey highlights.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E7 — hierarchical multi-fidelity GA (Sefrioui & Périaux 2000, survey §2):
+// a multi-layer hierarchy mixing simple and complex models reaches the same
+// quality as complex-models-only, about 3x faster.
+//
+// On the airfoil surrogate (level 0 exact and costing 1 unit, levels 1/2
+// costing 1/8 and 1/64), we measure the model-evaluation cost needed to
+// reach fixed quality thresholds for (a) the 3-layer HGA and (b) a flat GA
+// using only the exact model, and report the cost ratio.
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "parallel/hierarchical.hpp"
+#include "workloads/airfoil.hpp"
+
+using namespace pga;
+using workloads::AirfoilSurrogate;
+
+namespace {
+
+/// Cost for the HGA's root deme to first reach `quality` (exact fitness).
+double hga_cost_to(double quality, std::uint64_t seed) {
+  AirfoilSurrogate surrogate(3, 8.0);
+  HgaConfig cfg;
+  cfg.layers = 3;
+  cfg.fanout = 2;
+  cfg.deme_size = 16;
+  HierarchicalGA<RealVector> hga(
+      cfg, bench::real_operators(AirfoilSurrogate::genome_bounds()), surrogate);
+  Rng rng(seed);
+  auto result = hga.run(
+      /*cost_budget=*/1e7, /*max_epochs=*/120,
+      [](Rng& r) { return RealVector::random(AirfoilSurrogate::genome_bounds(), r); },
+      rng);
+  for (const auto& [cost, best] : result.trajectory)
+    if (best >= quality) return cost;
+  return -1.0;  // not reached
+}
+
+/// Cost for a flat GA with the same total population (7 demes x 16 = 112)
+/// evaluating only the exact model.
+double flat_cost_to(double quality, std::uint64_t seed) {
+  AirfoilSurrogate surrogate(1);
+  FidelityView<RealVector> exact(surrogate, 0);
+  Rng rng(seed + 9000);
+  auto pop = Population<RealVector>::random(
+      112,
+      [](Rng& r) { return RealVector::random(AirfoilSurrogate::genome_bounds(), r); },
+      rng);
+  GenerationalScheme<RealVector> scheme(
+      bench::real_operators(AirfoilSurrogate::genome_bounds()), 2);
+  StopCondition stop;
+  stop.max_generations = 120;
+  stop.target_fitness = quality;
+  auto result = run(scheme, pop, exact, stop, rng);
+  if (!result.reached_target) return -1.0;
+  return static_cast<double>(result.evals_to_target);  // 1 unit per eval
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E7 - hierarchical multi-fidelity GA vs high-fidelity-only GA",
+      "the mixed hierarchy reaches the same quality ~3x cheaper than the "
+      "complex-model-only GA (Sefrioui & Periaux 2000)");
+
+  constexpr int kSeeds = 6;
+  bench::Table table({"quality (L/D)", "HGA mean cost", "flat GA mean cost",
+                      "cost ratio (flat/HGA)", "HGA hits", "flat hits"});
+
+  for (double quality : {16.0, 17.5, 18.3}) {
+    RunningStat hga_cost, flat_cost;
+    int hga_hits = 0, flat_hits = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const double h = hga_cost_to(quality, static_cast<std::uint64_t>(s));
+      const double f = flat_cost_to(quality, static_cast<std::uint64_t>(s));
+      if (h >= 0.0) {
+        hga_cost.add(h);
+        ++hga_hits;
+      }
+      if (f >= 0.0) {
+        flat_cost.add(f);
+        ++flat_hits;
+      }
+    }
+    const bool both = hga_cost.count() && flat_cost.count();
+    table.row({bench::fmt("%.1f", quality),
+               hga_cost.count() ? bench::fmt("%.0f", hga_cost.mean())
+                                : std::string("-"),
+               flat_cost.count() ? bench::fmt("%.0f", flat_cost.mean())
+                                 : std::string("-"),
+               both ? bench::fmt("%.2fx", flat_cost.mean() / hga_cost.mean())
+                    : std::string("-"),
+               bench::fmt("%d/%d", hga_hits, kSeeds),
+               bench::fmt("%d/%d", flat_hits, kSeeds)});
+  }
+  table.print();
+
+  std::printf("\nShape check: the HGA reaches each quality level at a\n"
+              "fraction of the exact-model-only cost; the paper reports ~3x\n"
+              "on nozzle reconstruction - the ratio here should be of that\n"
+              "order (>1, growing with the quality bar).\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E8 — the Specialized Island Model's seven scenarios (Xiao & Armstrong
+// 2003, survey §2): sub-EAs specialized to objective subsets, compared over
+// scenarios differing in island count, specialization mix and topology.
+//
+// Each scenario runs on ZDT1 and ZDT2 at a fixed epoch budget; quality is
+// the hypervolume of the combined non-dominated archive (higher is better)
+// and the archive size.
+
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "multiobj/nsga2.hpp"
+#include "parallel/specialized_island.hpp"
+#include "problems/multiobjective.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+const char* scenario_label(int id) {
+  switch (id) {
+    case 1: return "S1: 1 generalist island";
+    case 2: return "S2: 2 specialists, isolated";
+    case 3: return "S3: 2 specialists, bi-ring";
+    case 4: return "S4: 2 spec + generalist hub (star)";
+    case 5: return "S5: 4 weight-spread, bi-ring";
+    case 6: return "S6: 4 weight-spread, complete";
+    case 7: return "S7: 2 spec + 2 generalists, complete";
+  }
+  return "?";
+}
+
+template <class Mo>
+void run_problem(const Mo& mo, const std::vector<double>& reference) {
+  std::printf("Problem: %s (reference point [%.1f, %.1f])\n", mo.name().c_str(),
+              reference[0], reference[1]);
+  constexpr int kSeeds = 5;
+  bench::Table table(
+      {"scenario", "mean hypervolume", "stddev", "mean archive size"});
+  for (int id = 1; id <= 7; ++id) {
+    RunningStat hv, archive;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto cfg = sim_scenario<RealVector>(id, /*deme_size=*/25, /*epochs=*/30);
+      SpecializedIslandModel<RealVector> model(
+          cfg, bench::real_operators(mo.bounds()));
+      Rng rng(static_cast<std::uint64_t>(s) * 53 + static_cast<std::uint64_t>(id));
+      auto result = model.run(
+          mo, [&](Rng& r) { return RealVector::random(mo.bounds(), r); }, rng);
+      hv.add(multiobj::hypervolume_2d(result.archive, reference));
+      archive.add(static_cast<double>(result.archive.size()));
+    }
+    table.row({scenario_label(id), bench::fmt("%.3f", hv.mean()),
+               bench::fmt("%.3f", hv.stddev()),
+               bench::fmt("%.0f", archive.mean())});
+  }
+  // Panmictic NSGA-II reference at a comparable evaluation budget
+  // (100 individuals x 31 generations ~ 4 islands x 25 x 31).
+  {
+    RunningStat hv, archive;
+    for (int s = 0; s < kSeeds; ++s) {
+      multiobj::Nsga2Config<RealVector> cfg;
+      cfg.population_size = 100;
+      cfg.cross = crossover::sbx(mo.bounds(), 15.0);
+      cfg.mutate = mutation::polynomial(mo.bounds(), 20.0);
+      multiobj::Nsga2<RealVector> engine(cfg);
+      Rng rng(static_cast<std::uint64_t>(s) * 71 + 900);
+      auto result = engine.run(
+          mo, 30, [&](Rng& r) { return RealVector::random(mo.bounds(), r); },
+          rng);
+      hv.add(multiobj::hypervolume_2d(result.front_objectives(), reference));
+      archive.add(static_cast<double>(result.front.size()));
+    }
+    table.row({"NSGA-II panmictic (reference)", bench::fmt("%.3f", hv.mean()),
+               bench::fmt("%.3f", hv.stddev()),
+               bench::fmt("%.0f", archive.mean())});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+/// Distributed S5 (4 weight-spread islands) on the simulated cluster: shows
+/// the model is a genuinely parallel algorithm, not just a partitioning.
+void run_distributed_timing() {
+  problems::Zdt1 zdt(12);
+  auto cfg = sim_scenario<RealVector>(5, 25, 30);
+  const auto ops = bench::real_operators(zdt.bounds());
+  const Bounds bounds = zdt.bounds();
+  const double eval_cost = 1e-3;
+
+  std::printf("Distributed SIM (scenario S5 over a transport, ZDT1, "
+              "Tf=1ms):\n");
+  bench::Table table({"ranks", "hypervolume", "sim time (s)", "speedup"});
+  double t1 = 0.0;
+  for (int ranks : {1, 2, 4}) {
+    // Scale island count to rank count (1 island per rank) at fixed total
+    // population 100.
+    SpecializedIslandConfig<RealVector> rcfg;
+    if (ranks == 4) rcfg = cfg;
+    else if (ranks == 2) rcfg = sim_scenario<RealVector>(3, 50, 30);
+    else {
+      rcfg = sim_scenario<RealVector>(1, 100, 30);
+    }
+    sim::SimCluster cluster(
+        sim::homogeneous(ranks, sim::NetworkModel::gigabit_ethernet()));
+    double hv = 0.0;
+    std::mutex mu;
+    auto report = cluster.run([&](comm::Transport& t) {
+      auto rep = run_sim_rank<RealVector>(
+          t, zdt, rcfg, ops,
+          [bounds](Rng& r) { return RealVector::random(bounds, r); }, 5,
+          eval_cost);
+      if (t.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        hv = multiobj::hypervolume_2d(rep.archive, {1.5, 8.0});
+      }
+    });
+    if (ranks == 1) t1 = report.makespan;
+    table.row({bench::fmt("%d", ranks), bench::fmt("%.3f", hv),
+               bench::fmt("%.3f", report.makespan),
+               bench::fmt("%.2f", t1 / report.makespan)});
+  }
+  table.print();
+  std::printf("(speedup is the point here: hypervolume differs because each\n"
+              "rank count uses the matching scenario composition - 1 island,\n"
+              "2 specialists, 4 weight-spread islands)\n\n");
+}
+
+int main() {
+  bench::headline(
+      "E8 - specialized island model, seven scenarios",
+      "islands specialized to objective subsets, exchanging individuals, "
+      "outperform both a single generalist EA and isolated specialists "
+      "(Xiao & Armstrong 2003)");
+
+  problems::Zdt1 zdt1(12);
+  run_problem(zdt1, {1.5, 8.0});
+  problems::Zdt2 zdt2(12);
+  run_problem(zdt2, {1.5, 8.0});
+  run_distributed_timing();
+
+  std::printf("Shape check: communicating scenarios (S3..S7) dominate the\n"
+              "isolated ones (S2) and the single island (S1); mixing\n"
+              "specialists with generalists (S4, S7) covers the front best -\n"
+              "the ordering Xiao & Armstrong report across their scenarios.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// E9 — robustness to hard failures (Gagné, Parizeau & Dubreuil 2003, survey
+// §2): the fault-tolerant master-slave model keeps computing through node
+// deaths, which the authors argue makes it superior to the island model on
+// failure-prone Beowulfs and heterogeneous workstation networks.
+//
+// We kill 0..3 of 7 worker nodes at random times and compare (a) the
+// fault-tolerant master-slave GA (timeout detection + work reassignment)
+// against (b) a distributed island model that simply loses the dead demes'
+// populations.  Metrics: run completion, final best fitness, simulated time.
+
+#include <mutex>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "core/statistics.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+constexpr int kRanks = 8;  // master + 7 slaves, or 8 islands
+constexpr std::size_t kBits = 64;
+
+sim::SimConfig cluster_with_failures(int failures, std::uint64_t seed) {
+  auto cfg = sim::homogeneous(kRanks, sim::NetworkModel::fast_ethernet());
+  Rng rng(seed * 7919 + 13);
+  for (int f = 0; f < failures; ++f) {
+    // Kill distinct non-master ranks at random early-to-mid-run times.
+    for (;;) {
+      const std::size_t victim = 1 + rng.index(kRanks - 1);
+      if (std::isfinite(cfg.nodes[victim].fail_at)) continue;
+      cfg.nodes[victim].fail_at = rng.uniform(0.02, 0.35);
+      break;
+    }
+  }
+  return cfg;
+}
+
+struct Outcome {
+  double best = 0.0;
+  double makespan = 0.0;
+  bool completed = false;
+  std::size_t evals = 0;  ///< search effort actually performed
+};
+
+Outcome run_master_slave(int failures, std::uint64_t seed) {
+  problems::OneMax problem(kBits);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 56;
+  cfg.stop.max_generations = 40;
+  cfg.stop.target_fitness = 1e9;  // fixed budget
+  cfg.ops = bench::bit_operators();
+  cfg.chunk_size = 2;
+  cfg.eval_cost_s = 2e-3;
+  cfg.timeout_s = 0.5;
+  cfg.seed = seed;
+  cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+
+  sim::SimCluster cluster(cluster_with_failures(failures, seed));
+  Outcome out;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.best = r->best.fitness;
+      out.completed = (r->generations == cfg.stop.max_generations);
+      out.evals = r->evaluations;
+    }
+  });
+  out.makespan = report.makespan;
+  return out;
+}
+
+Outcome run_islands(int failures, std::uint64_t seed) {
+  problems::OneMax problem(kBits);
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(kRanks);
+  cfg.policy.interval = 4;
+  cfg.deme_size = 7;  // same total population as the master-slave arm
+  cfg.stop.max_generations = 40;
+  cfg.stop.target_fitness = 1e9;
+  cfg.eval_cost_s = 2e-3;
+  cfg.async = true;  // async islands: survivors keep going past dead peers
+  cfg.seed = seed;
+  const auto ops = bench::bit_operators();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+
+  sim::SimCluster cluster(cluster_with_failures(failures, seed));
+  Outcome out;
+  std::mutex mu;
+  int finished = 0;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto rep = run_island_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    out.best = std::max(out.best, rep.best.fitness);
+    out.evals += rep.evaluations;
+    finished += (rep.generations == cfg.stop.max_generations);
+  });
+  out.makespan = report.makespan;
+  out.completed = finished + failures >= kRanks;  // all survivors finished
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline(
+      "E9 - hard failures: fault-tolerant master-slave vs island model",
+      "the master-slave model with failure detection and work reassignment "
+      "completes the full computation despite node deaths (Gagne et al. "
+      "2003); islands lose the dead demes' search effort");
+
+  constexpr int kSeeds = 5;
+  bench::Table table({"failures", "model", "runs completed", "mean best",
+                      "mean evals done", "mean sim time (s)"});
+  for (int failures : {0, 1, 2, 3}) {
+    for (int model = 0; model < 2; ++model) {
+      RunningStat best, time, evals;
+      int completed = 0;
+      for (int s = 0; s < kSeeds; ++s) {
+        const auto out = model == 0
+                             ? run_master_slave(failures, static_cast<std::uint64_t>(s))
+                             : run_islands(failures, static_cast<std::uint64_t>(s));
+        best.add(out.best);
+        time.add(out.makespan);
+        evals.add(static_cast<double>(out.evals));
+        completed += out.completed;
+      }
+      table.row({bench::fmt("%d/7", failures),
+                 model == 0 ? "master-slave (FT)" : "island (async)",
+                 bench::fmt("%d/%d", completed, kSeeds),
+                 bench::fmt("%.1f", best.mean()),
+                 bench::fmt("%.0f", evals.mean()),
+                 bench::fmt("%.2f", time.mean())});
+    }
+  }
+  table.print();
+
+  std::printf("\nShape check: the FT master-slave performs its FULL planned\n"
+              "search effort (constant evaluations) in every run, paying only\n"
+              "time as slaves die; the island model's completed effort drops\n"
+              "with each dead deme - the work its population would have done\n"
+              "is simply lost.  That asymmetry is Gagne et al.'s robustness\n"
+              "argument for the master-slave architecture.\n");
+  return 0;
+}

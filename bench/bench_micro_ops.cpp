@@ -1,0 +1,195 @@
+// M1 — micro-benchmarks of the library's hot paths (google-benchmark):
+// RNG, selection, crossover, mutation, problem evaluation, serialization,
+// in-process transport round trips, Pareto utilities.  These set the
+// per-operation cost scale that the virtual-time experiments' Tf/Tc
+// parameters stand in for.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/inproc.hpp"
+#include "comm/serialize.hpp"
+#include "core/cellular.hpp"
+#include "core/evolution.hpp"
+#include "multiobj/pareto.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+#include "problems/tsp.hpp"
+
+using namespace pga;
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.gaussian());
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_TournamentSelection(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> fitness(static_cast<std::size_t>(state.range(0)));
+  for (auto& f : fitness) f = rng.uniform();
+  auto sel = selection::tournament(2);
+  for (auto _ : state) benchmark::DoNotOptimize(sel(fitness, rng));
+}
+BENCHMARK(BM_TournamentSelection)->Arg(64)->Arg(1024);
+
+void BM_RouletteSelection(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> fitness(static_cast<std::size_t>(state.range(0)));
+  for (auto& f : fitness) f = rng.uniform() + 0.1;
+  auto sel = selection::roulette();
+  for (auto _ : state) benchmark::DoNotOptimize(sel(fitness, rng));
+}
+BENCHMARK(BM_RouletteSelection)->Arg(64)->Arg(1024);
+
+void BM_TwoPointCrossover(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto p1 = BitString::random(n, rng);
+  auto p2 = BitString::random(n, rng);
+  auto cross = crossover::two_point<BitString>();
+  for (auto _ : state) benchmark::DoNotOptimize(cross(p1, p2, rng));
+}
+BENCHMARK(BM_TwoPointCrossover)->Arg(64)->Arg(1024);
+
+void BM_PmxCrossover(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto p1 = Permutation::random(n, rng);
+  auto p2 = Permutation::random(n, rng);
+  auto cross = crossover::pmx();
+  for (auto _ : state) benchmark::DoNotOptimize(cross(p1, p2, rng));
+}
+BENCHMARK(BM_PmxCrossover)->Arg(64)->Arg(256);
+
+void BM_BitFlipMutation(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto g = BitString::random(n, rng);
+  auto mut = mutation::bit_flip();
+  for (auto _ : state) {
+    mut(g, rng);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BitFlipMutation)->Arg(64)->Arg(1024);
+
+void BM_OneMaxEvaluation(benchmark::State& state) {
+  Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  problems::OneMax problem(n);
+  auto g = BitString::random(n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(problem.fitness(g));
+}
+BENCHMARK(BM_OneMaxEvaluation)->Arg(64)->Arg(1024);
+
+void BM_RastriginEvaluation(benchmark::State& state) {
+  Rng rng(9);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  problems::Rastrigin problem(n);
+  auto g = RealVector::random(problem.bounds(), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(problem.fitness(g));
+}
+BENCHMARK(BM_RastriginEvaluation)->Arg(10)->Arg(100);
+
+void BM_TspTourEvaluation(benchmark::State& state) {
+  Rng rng(10);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto tsp = problems::Tsp::random(n, rng);
+  auto tour = Permutation::random(n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tsp.tour_length(tour));
+}
+BENCHMARK(BM_TspTourEvaluation)->Arg(60)->Arg(200);
+
+void BM_SerializeIndividual(benchmark::State& state) {
+  Rng rng(11);
+  Individual<BitString> ind(BitString::random(256, rng), 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(comm::pack(ind));
+}
+BENCHMARK(BM_SerializeIndividual);
+
+void BM_GenerationalStep(benchmark::State& state) {
+  Rng rng(12);
+  problems::OneMax problem(64);
+  auto pop = Population<BitString>::random(
+      static_cast<std::size_t>(state.range(0)),
+      [](Rng& r) { return BitString::random(64, r); }, rng);
+  pop.evaluate_all(problem);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(scheme.step(pop, problem, rng));
+}
+BENCHMARK(BM_GenerationalStep)->Arg(64)->Arg(256);
+
+void BM_CellularSweep(benchmark::State& state) {
+  Rng rng(13);
+  problems::OneMax problem(32);
+  CellularConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  CellularScheme<BitString> scheme(cfg, ops, Rng(1));
+  auto pop = Population<BitString>::random(
+      256, [](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  for (auto _ : state) benchmark::DoNotOptimize(scheme.step(pop, problem, rng));
+}
+BENCHMARK(BM_CellularSweep);
+
+void BM_InprocPingPong(benchmark::State& state) {
+  // Cost of a full message round trip between two threads, amortized over
+  // many round trips inside one cluster run.
+  for (auto _ : state) {
+    comm::InprocCluster cluster(2);
+    cluster.run([](comm::Transport& t) {
+      constexpr int kRounds = 100;
+      for (int i = 0; i < kRounds; ++i) {
+        if (t.rank() == 0) {
+          t.send(1, 1, std::vector<std::uint8_t>(64));
+          (void)t.recv(1, 1);
+        } else {
+          (void)t.recv(0, 1);
+          t.send(0, 1, std::vector<std::uint8_t>(64));
+        }
+      }
+    });
+  }
+}
+BENCHMARK(BM_InprocPingPong)->Unit(benchmark::kMillisecond);
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  Rng rng(14);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < state.range(0); ++i)
+    points.push_back({rng.uniform(), rng.uniform()});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(multiobj::hypervolume_2d(points, {2.0, 2.0}));
+}
+BENCHMARK(BM_Hypervolume2d)->Arg(100)->Arg(1000);
+
+void BM_NondominatedSort(benchmark::State& state) {
+  Rng rng(15);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < state.range(0); ++i)
+    points.push_back({rng.uniform(), rng.uniform()});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(multiobj::nondominated_sort(points));
+}
+BENCHMARK(BM_NondominatedSort)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

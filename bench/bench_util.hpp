@@ -1,0 +1,101 @@
+#pragma once
+// Shared helpers for the experiment harnesses: GitHub-flavoured table
+// printing and the standard operator bundles most experiments use.
+//
+// Every bench binary prints (a) the paper's claim being reproduced, (b) a
+// table of measured values, and (c) the expected qualitative shape, so the
+// output is self-contained for EXPERIMENTS.md.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/genome.hpp"
+
+namespace bench {
+
+/// Prints a markdown table: header row, separator, then rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row from printf-style cells.
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : empty_;
+        std::printf(" %-*s |", static_cast<int>(width[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// printf-style std::string.
+[[nodiscard]] inline std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buffer[256];
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+inline void headline(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Claim: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// Standard binary-genome operator bundle used across experiments.
+[[nodiscard]] inline pga::Operators<pga::BitString> bit_operators(
+    std::size_t tournament = 2) {
+  pga::Operators<pga::BitString> ops;
+  ops.select = pga::selection::tournament(tournament);
+  ops.cross = pga::crossover::two_point<pga::BitString>();
+  ops.mutate = pga::mutation::bit_flip();
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+/// Standard real-genome operator bundle.
+[[nodiscard]] inline pga::Operators<pga::RealVector> real_operators(
+    const pga::Bounds& bounds) {
+  pga::Operators<pga::RealVector> ops;
+  ops.select = pga::selection::tournament(2);
+  ops.cross = pga::crossover::blx_alpha(bounds, 0.4);
+  ops.mutate = pga::mutation::gaussian(bounds, 0.08);
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+}  // namespace bench

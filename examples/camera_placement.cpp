@@ -1,0 +1,70 @@
+// Autonomous photogrammetric network design (Olague 2001, survey §4):
+// placing cameras around a 3-D object to satisfy interrelated, competing
+// constraints — visibility, convergence angles and workspace limits.
+//
+// Four cameras are placed around a synthetic spherical object by an island
+// GA; the result is compared against random placements and a hand-designed
+// "tetrahedral" configuration.
+
+#include <cstdio>
+#include <numbers>
+
+#include "parallel/island.hpp"
+#include "workloads/cameras.hpp"
+
+using namespace pga;
+using workloads::CameraPlacementProblem;
+
+int main() {
+  Rng rng(21);
+  auto object = workloads::make_sphere_object(300, rng);
+  CameraPlacementProblem problem(object, /*num_cameras=*/4, /*radius=*/3.0,
+                                 /*min_elevation=*/-0.3);
+  const Bounds bounds = problem.genome_bounds();
+
+  // Baselines.
+  double random_best = -1e18;
+  for (int t = 0; t < 100; ++t) {
+    auto g = RealVector::random(bounds, rng);
+    random_best = std::max(random_best, problem.fitness(g));
+  }
+  // Hand design: tetrahedral-ish spread (azimuth 90 deg apart, alternating
+  // elevation).
+  RealVector tetra(std::vector<double>{
+      0.0, 0.6, std::numbers::pi / 2.0, -0.2, std::numbers::pi, 0.6,
+      3.0 * std::numbers::pi / 2.0, -0.2});
+
+  // Island GA.
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(bounds, 0.3);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  MigrationPolicy policy;
+  policy.interval = 8;
+  auto model = make_uniform_island_model<RealVector>(
+      Topology::bidirectional_ring(4), policy, ops, 2);
+  auto demes = model.make_populations(
+      25, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 80;
+  auto result = model.run(demes, problem, stop, rng);
+
+  std::printf("camera-network design, 4 cameras around a 300-point object\n\n");
+  std::printf("%-28s %-10s %-10s\n", "design", "fitness", "coverage");
+  std::printf("%-28s %-10.3f %-10.2f\n", "best of 100 random", random_best,
+              -1.0);
+  std::printf("%-28s %-10.3f %-10.2f\n", "hand-designed tetrahedral",
+              problem.fitness(tetra), problem.coverage(tetra));
+  std::printf("%-28s %-10.3f %-10.2f\n", "island GA (4x25, 80 epochs)",
+              result.best.fitness, problem.coverage(result.best.genome));
+
+  std::printf("\ncamera positions found:\n");
+  for (const auto& cam : problem.decode_cameras(result.best.genome))
+    std::printf("  (%6.2f, %6.2f, %6.2f)\n", cam.x, cam.y, cam.z);
+
+  std::printf("\nExpected shape (paper): the evolved network satisfies the\n"
+              "competing visibility/convergence/workspace constraints at\n"
+              "least as well as a sensible hand design, and far better than\n"
+              "random placement.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Model-based spectral estimation of Doppler signals with a parallel GA
+// (Solano González, Rodríguez Vázquez & García Nocetti 2000).
+//
+// A synthetic AR(4) "Doppler" signal with two resonances is generated; the
+// GA fits AR coefficients whose spectrum matches the signal's periodogram.
+// Evaluation is distributed with the master-slave model on the simulated
+// cluster, mirroring the paper's real-time parallel implementation, and the
+// recovered dominant frequency (the velocity estimate) is compared with the
+// ground truth.
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+
+#include "parallel/master_slave.hpp"
+#include "sim/cluster.hpp"
+#include "workloads/doppler.hpp"
+
+using namespace pga;
+
+int main() {
+  // Ground truth: resonances at normalized frequencies 0.16 and 0.34.
+  const double f1 = 0.16, f2 = 0.34;
+  auto true_coeffs = workloads::two_resonance_ar(f1, f2, 0.94);
+  Rng rng(5);
+  auto signal = workloads::make_ar_signal(true_coeffs, 2048, 1.0, rng);
+  workloads::SpectralFitProblem problem(signal, /*order=*/4);
+
+  MasterSlaveConfig<RealVector> cfg;
+  cfg.pop_size = 80;
+  cfg.stop.max_generations = 60;
+  cfg.elitism = 2;
+  cfg.chunk_size = 8;
+  cfg.eval_cost_s = 5e-4;  // one 64-bin spectrum comparison
+  cfg.seed = 77;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::blx_alpha(problem.bounds(), 0.4);
+  cfg.ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+  const Bounds bounds = problem.bounds();
+  cfg.make_genome = [bounds](Rng& r) { return RealVector::random(bounds, r); };
+
+  sim::SimCluster cluster(sim::homogeneous(5, sim::NetworkModel::myrinet()));
+  std::optional<MasterResult<RealVector>> result;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+  });
+
+  const auto fitted_spectrum = workloads::ar_spectrum(result->best.genome.values, 64);
+  const double fitted_peak =
+      workloads::SpectralFitProblem::dominant_frequency(fitted_spectrum);
+  const double target_peak = workloads::SpectralFitProblem::dominant_frequency(
+      problem.target_spectrum());
+
+  std::printf("true resonances          : %.3f, %.3f (cycles/sample)\n", f1, f2);
+  std::printf("periodogram peak         : %.3f\n", target_peak);
+  std::printf("GA-fitted spectrum peak  : %.3f\n", fitted_peak);
+  std::printf("spectral L2 fitness      : %.6f (0 = perfect)\n",
+              result->best.fitness);
+  std::printf("fitted AR coefficients   : ");
+  for (double c : result->best.genome.values) std::printf("%.3f ", c);
+  std::printf("\ntrue AR coefficients     : ");
+  for (double c : true_coeffs) std::printf("%.3f ", c);
+  std::printf("\nsimulated wall time      : %.3f s on 4 slaves (%zu evaluations)\n",
+              report.makespan, result->evaluations);
+  std::printf("\nExpected shape (paper): the GA recovers the dominant Doppler\n"
+              "frequency with parallel evaluation cutting the per-estimate\n"
+              "latency toward real-time rates.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Large-scale feature selection with a distributed GA (Moser & Murty 2000).
+//
+// 256 features, 12 informative; a 6-deme island GA searches bitmask genomes
+// with a wrapper nearest-centroid classifier.  Reports the accuracy of the
+// selected subset, its size, and how many ground-truth informative features
+// were recovered (precision/recall against the generator's hidden signal
+// set).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "parallel/island.hpp"
+#include "workloads/digits.hpp"
+
+using namespace pga;
+
+int main() {
+  Rng rng(3);
+  const std::size_t kFeatures = 256, kInformative = 12;
+  auto data = workloads::make_digits_dataset(
+      /*classes=*/5, kFeatures, kInformative, /*samples_per_class=*/40,
+      /*noise_sigma=*/1.0, rng);
+  workloads::FeatureSelectionProblem problem(data, /*penalty=*/0.002);
+
+  Operators<BitString> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip(2.0 / static_cast<double>(kFeatures));
+
+  MigrationPolicy policy;
+  policy.interval = 10;
+  policy.count = 2;
+  auto model = make_uniform_island_model<BitString>(
+      Topology::bidirectional_ring(6), policy, ops);
+
+  // Sparse initialization: start with ~10% of features on, as large-scale
+  // selection runs do.
+  auto demes = model.make_populations(
+      30,
+      [&](Rng& r) {
+        BitString mask(kFeatures, 0);
+        for (std::size_t f = 0; f < kFeatures; ++f)
+          if (r.bernoulli(0.1)) mask[f] = 1;
+        return mask;
+      },
+      rng);
+
+  StopCondition stop;
+  stop.max_generations = 80;
+  const auto result = model.run(demes, problem, stop, rng);
+
+  const auto& mask = result.best.genome;
+  const double accuracy = workloads::nearest_centroid_accuracy(data, mask);
+  std::size_t recovered = 0;
+  for (std::size_t f : data.informative) recovered += mask[f];
+  const std::size_t selected = mask.count_ones();
+
+  std::printf("features total/informative : %zu / %zu\n", kFeatures,
+              kInformative);
+  std::printf("selected features          : %zu\n", selected);
+  std::printf("holdout accuracy           : %.3f (chance = 0.200)\n", accuracy);
+  std::printf("informative recovered      : %zu/%zu (recall %.2f, precision %.2f)\n",
+              recovered, kInformative,
+              static_cast<double>(recovered) / static_cast<double>(kInformative),
+              selected ? static_cast<double>(recovered) / static_cast<double>(selected)
+                       : 0.0);
+  std::printf("evaluations                : %zu\n", result.evaluations);
+  std::printf("\nExpected shape (paper): the GA prunes the feature set by an\n"
+              "order of magnitude while keeping (or improving) accuracy.\n");
+  return accuracy > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// 2-phase GA image registration (Chalermwat, El-Ghazawi & LeMoigne 2001).
+//
+// Phase 1 runs a GA on a 2x-downsampled image pair to find candidate
+// transforms cheaply; phase 2 refines at full resolution with a population
+// seeded from the phase-1 winners and tightened bounds.  Compare against a
+// single-phase full-resolution GA at a matched evaluation budget.
+
+#include <cstdio>
+
+#include "core/evolution.hpp"
+#include "workloads/images.hpp"
+
+using namespace pga;
+using workloads::RegistrationProblem;
+using workloads::RigidTransform;
+
+namespace {
+
+Operators<RealVector> reg_ops(const Bounds& bounds) {
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(bounds, 0.3);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  auto reference = workloads::make_textured_image(96, 96, 24, rng);
+  const RigidTransform truth{5.0, -3.0, 0.12};
+  auto sensed = workloads::apply_transform(reference, truth, 0.02, rng);
+
+  RegistrationProblem fine(reference, sensed, 12.0, 0.35);
+  auto coarse = fine.coarser();
+
+  std::printf("true transform: dx=%.2f dy=%.2f angle=%.3f rad\n\n", truth.dx,
+              truth.dy, truth.angle);
+
+  // ---- 2-phase algorithm ---------------------------------------------------
+  std::size_t evals_2phase = 0;
+  // Phase 1: coarse level, full search range (in coarse pixels).
+  GenerationalScheme<RealVector> coarse_scheme(reg_ops(coarse.bounds()), 1);
+  auto coarse_pop = Population<RealVector>::random(
+      30, [&](Rng& r) { return RealVector::random(coarse.bounds(), r); }, rng);
+  StopCondition coarse_stop;
+  coarse_stop.max_generations = 25;
+  auto phase1 = run(coarse_scheme, coarse_pop, coarse, coarse_stop, rng);
+  evals_2phase += phase1.evaluations;
+  const auto c = phase1.best.genome;  // coarse-pixel estimate
+
+  // Phase 2: full resolution, bounds tightened around the upscaled estimate.
+  Bounds refined;
+  refined.lower = {2.0 * c[0] - 2.0, 2.0 * c[1] - 2.0, c[2] - 0.05};
+  refined.upper = {2.0 * c[0] + 2.0, 2.0 * c[1] + 2.0, c[2] + 0.05};
+  GenerationalScheme<RealVector> fine_scheme(reg_ops(refined), 1);
+  auto fine_pop = Population<RealVector>::random(
+      20, [&](Rng& r) { return RealVector::random(refined, r); }, rng);
+  StopCondition fine_stop;
+  fine_stop.max_generations = 20;
+  auto phase2 = run(fine_scheme, fine_pop, fine, fine_stop, rng);
+  evals_2phase += phase2.evaluations;
+
+  // ---- 1-phase baseline at matched budget ---------------------------------
+  GenerationalScheme<RealVector> flat_scheme(reg_ops(fine.bounds()), 1);
+  auto flat_pop = Population<RealVector>::random(
+      30, [&](Rng& r) { return RealVector::random(fine.bounds(), r); }, rng);
+  StopCondition flat_stop;
+  flat_stop.max_generations = 1000;
+  flat_stop.max_evaluations = evals_2phase;  // same number of NCC calls...
+  auto flat = run(flat_scheme, flat_pop, fine, flat_stop, rng);
+  // ...but phase-1 NCC calls touch 4x fewer pixels, so the 2-phase budget in
+  // pixel-ops is actually ~(phase1/4 + phase2); report both.
+
+  auto report = [&](const char* label, const RealVector& g, double ncc_value,
+                    std::size_t evals, double pixel_cost) {
+    const auto t = RegistrationProblem::decode(g);
+    std::printf("%-22s dx=%6.2f dy=%6.2f angle=%6.3f  NCC=%.4f  err=(%.2f,%.2f,%.3f)  evals=%zu  pixel-cost=%.0f\n",
+                label, t.dx, t.dy, t.angle, ncc_value, t.dx - truth.dx,
+                t.dy - truth.dy, t.angle - truth.angle, evals, pixel_cost);
+  };
+
+  const double full_px = 96.0 * 96.0;
+  report("2-phase (coarse+fine)", phase2.best.genome, phase2.best.fitness,
+         evals_2phase,
+         static_cast<double>(phase1.evaluations) * full_px / 4.0 +
+             static_cast<double>(phase2.evaluations) * full_px);
+  report("1-phase full-res", flat.best.genome, flat.best.fitness,
+         flat.evaluations, static_cast<double>(flat.evaluations) * full_px);
+
+  std::printf("\nExpected shape (paper): 2-phase reaches equal-or-better NCC at\n"
+              "a fraction of the full-resolution pixel cost.\n");
+  return 0;
+}

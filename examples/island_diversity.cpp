@@ -1,0 +1,122 @@
+// Instrumented island run: diversity dynamics under migration.
+//
+// Demonstrates the instrumentation APIs (diversity metrics, migration
+// triggers, CSV run traces): two island GAs run on a deceptive trap, one
+// with a fixed migration clock and one with the adaptive low-diversity
+// trigger, logging per-epoch entropy of deme 0 and the global best.  Traces
+// are written as CSV next to the binary for plotting.
+
+#include <cstdio>
+
+#include "core/diversity.hpp"
+#include "core/trace.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+
+using namespace pga;
+
+namespace {
+
+Operators<BitString> trap_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  return ops;
+}
+
+struct EpochLog {
+  std::vector<GenStats> history;   // best/mean over all demes
+  std::vector<double> entropy;     // deme 0 allele entropy
+  std::size_t migrations = 0;
+  double final_best = 0.0;
+};
+
+EpochLog run_instrumented(bool adaptive) {
+  problems::DeceptiveTrap problem(10, 4);
+  MigrationPolicy policy;
+  policy.interval = 8;
+  policy.selection = MigrantSelection::kTournament;
+  policy.replacement = MigrantReplacement::kWorstIfBetter;
+  auto model = make_uniform_island_model<BitString>(
+      Topology::bidirectional_ring(6), policy, trap_ops());
+
+  // The example drives the model one epoch at a time (to instrument between
+  // steps), which resets the engine's internal epoch counter each call — so
+  // the triggers key off this external epoch instead.
+  std::size_t external_epoch = 0;
+  if (adaptive) {
+    auto last_fired = std::make_shared<std::size_t>(0);
+    model.set_migration_trigger(
+        [&external_epoch, last_fired](std::size_t,
+                                      const std::vector<Population<BitString>>& demes) {
+          if (external_epoch < *last_fired + 4) return false;
+          for (const auto& deme : demes) {
+            if (diversity::bit_entropy(deme) < 0.5) {
+              *last_fired = external_epoch;
+              return true;
+            }
+          }
+          return false;
+        });
+  } else {
+    model.set_migration_trigger(
+        [&external_epoch](std::size_t, const std::vector<Population<BitString>>&) {
+          return external_epoch > 0 && external_epoch % 8 == 0;
+        });
+  }
+
+  Rng rng(12);
+  auto demes = model.make_populations(
+      25, [](Rng& r) { return BitString::random(40, r); }, rng);
+
+  // Drive epoch-by-epoch so we can instrument between steps.
+  EpochLog log;
+  StopCondition one_epoch;
+  one_epoch.max_generations = 1;
+  one_epoch.target_fitness = 1e9;
+  std::size_t evals = 0;
+  for (std::size_t epoch = 0; epoch < 120; ++epoch) {
+    external_epoch = epoch;
+    auto result = model.run(demes, problem, one_epoch, rng);
+    evals += result.evaluations;
+    log.migrations += result.migration_epochs;
+    GenStats s;
+    s.generation = epoch;
+    s.evaluations = evals;
+    s.best = result.best.fitness;
+    double mean = 0.0;
+    for (const auto& deme : demes) mean += deme.mean_fitness();
+    s.mean = mean / static_cast<double>(demes.size());
+    s.worst = demes[0][demes[0].worst_index()].fitness;
+    log.history.push_back(s);
+    log.entropy.push_back(diversity::bit_entropy(demes[0]));
+    log.final_best = result.best.fitness;
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  const auto fixed = run_instrumented(false);
+  const auto adaptive = run_instrumented(true);
+
+  std::printf("Deceptive trap 10x4, 6 islands, 120 epochs\n\n");
+  std::printf("%-28s %-12s %-12s\n", "controller", "final best", "migrations");
+  std::printf("%-28s %-12.1f %-12zu\n", "fixed clock (every 8)",
+              fixed.final_best, fixed.migrations);
+  std::printf("%-28s %-12.1f %-12zu\n", "adaptive (entropy < 0.5)",
+              adaptive.final_best, adaptive.migrations);
+
+  std::printf("\nDeme-0 entropy samples (epoch: fixed / adaptive):\n");
+  for (std::size_t e = 0; e < fixed.entropy.size(); e += 20)
+    std::printf("  %3zu: %.3f / %.3f\n", e, fixed.entropy[e],
+                adaptive.entropy[e]);
+
+  save_trace(fixed.history, "island_trace_fixed.csv");
+  save_trace(adaptive.history, "island_trace_adaptive.csv");
+  std::printf("\nPer-epoch traces written to island_trace_fixed.csv and\n"
+              "island_trace_adaptive.csv (generation,evaluations,best,mean,worst).\n");
+  return 0;
+}

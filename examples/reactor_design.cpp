@@ -1,0 +1,82 @@
+// Reactor core design with an island GA (Pereira & Lapa 2003).
+//
+// Minimizes the radial power peaking factor of a synthetic three-enrichment-
+// zone core under criticality, thermal-flux and sub-moderation constraints.
+// Compares the coarse-grained island GA (the paper's IGA, run on a LAN)
+// against a single panmictic GA at the same total evaluation budget.
+
+#include <cstdio>
+
+#include "parallel/island.hpp"
+#include "workloads/reactor.hpp"
+
+using namespace pga;
+using workloads::ReactorProblem;
+
+namespace {
+
+Operators<RealVector> reactor_ops(const Bounds& bounds) {
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::blx_alpha(bounds, 0.3);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  return ops;
+}
+
+struct Outcome {
+  double peak;
+  bool feasible;
+  std::size_t evals;
+};
+
+Outcome run_islands(std::size_t demes, std::size_t deme_size,
+                    std::size_t epochs, std::uint64_t seed) {
+  ReactorProblem problem;
+  const Bounds bounds = ReactorProblem::genome_bounds();
+  MigrationPolicy policy;
+  policy.interval = demes > 1 ? 8 : 0;
+  policy.count = 2;
+  auto model = make_uniform_island_model<RealVector>(
+      demes > 1 ? Topology::bidirectional_ring(demes) : Topology::isolated(1),
+      policy, reactor_ops(bounds), 2);
+  Rng rng(seed);
+  auto pops = model.make_populations(
+      deme_size, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = epochs;
+  auto result = model.run(pops, problem, stop, rng);
+  const auto state =
+      ReactorProblem::evaluate_core(ReactorProblem::decode(result.best.genome));
+  return {state.peak_factor, ReactorProblem::feasible(state),
+          result.evaluations};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 5;
+  std::printf("%-28s %-12s %-10s %-8s\n", "configuration", "mean peak",
+              "feasible", "evals");
+
+  for (const auto& [label, demes, deme_size] :
+       {std::tuple{"panmictic GA (1x120)", std::size_t{1}, std::size_t{120}},
+        std::tuple{"island GA (4x30, bi-ring)", std::size_t{4}, std::size_t{30}},
+        std::tuple{"island GA (6x20, bi-ring)", std::size_t{6}, std::size_t{20}}}) {
+    double peak_sum = 0.0;
+    int feasible_count = 0;
+    std::size_t evals = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto out = run_islands(demes, deme_size, 100, static_cast<std::uint64_t>(s));
+      peak_sum += out.peak;
+      feasible_count += out.feasible;
+      evals = out.evals;
+    }
+    std::printf("%-28s %-12.4f %d/%-8d %-8zu\n", label, peak_sum / kSeeds,
+                feasible_count, kSeeds, evals);
+  }
+
+  std::printf("\nExpected shape (paper): the island GA matches or beats the\n"
+              "panmictic GA's optimization outcome at the same budget, while\n"
+              "being trivially parallelizable across LAN nodes.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Neuro-genetic daily stock prediction (Kwon & Moon 2003).
+//
+// A GA evolves the weights of a small MLP fed with technical indicators of a
+// synthetic regime-switching price series; fitness is the trading return on
+// the training window.  Evaluation is farmed out to slaves with the
+// master-slave model on the thread transport (the paper used a Linux
+// cluster).  Reports train/test strategy returns against buy-and-hold,
+// averaged over several market seeds.
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+
+#include "comm/inproc.hpp"
+#include "parallel/master_slave.hpp"
+#include "workloads/stock.hpp"
+
+using namespace pga;
+
+int main() {
+  constexpr int kSeeds = 6;
+  double strat_train = 0.0, bh_train = 0.0;
+  double strat_test = 0.0, bh_test = 0.0;
+  int test_wins = 0;
+
+  std::printf("%-6s %-13s %-13s %-13s %-13s\n", "seed", "GA train", "B&H train",
+              "GA test", "B&H test");
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(100 + static_cast<std::uint64_t>(seed));
+    auto prices =
+        workloads::make_price_series(600, 0.0025, -0.0025, 0.012, 0.03, rng);
+    workloads::NeuroTradingProblem problem(prices, /*hidden=*/4);
+
+    MasterSlaveConfig<RealVector> cfg;
+    cfg.pop_size = 60;
+    cfg.stop.max_generations = 40;
+    cfg.elitism = 2;
+    cfg.chunk_size = 5;
+    cfg.seed = 999 + static_cast<std::uint64_t>(seed);
+    cfg.ops.select = selection::tournament(2);
+    cfg.ops.cross = crossover::blx_alpha(problem.bounds(), 0.4);
+    cfg.ops.mutate = mutation::gaussian(problem.bounds(), 0.08);
+    const Bounds bounds = problem.bounds();
+    cfg.make_genome = [bounds](Rng& r) { return RealVector::random(bounds, r); };
+
+    comm::InprocCluster cluster(4);  // master + 3 slaves
+    std::optional<MasterResult<RealVector>> result;
+    std::mutex mu;
+    cluster.run([&](comm::Transport& t) {
+      auto r = run_master_slave_rank(t, problem, cfg);
+      if (r) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = std::move(r);
+      }
+    });
+
+    const double tr = result->best.fitness;
+    const double te = problem.test_return(result->best.genome);
+    std::printf("%-6d %-13.4f %-13.4f %-13.4f %-13.4f\n", seed, tr,
+                problem.train_buy_and_hold(), te, problem.test_buy_and_hold());
+    strat_train += tr;
+    bh_train += problem.train_buy_and_hold();
+    strat_test += te;
+    bh_test += problem.test_buy_and_hold();
+    test_wins += (te > problem.test_buy_and_hold());
+  }
+
+  std::printf("\naverages over %d market seeds:\n", kSeeds);
+  std::printf("  GA strategy train %.4f vs buy-and-hold %.4f\n",
+              strat_train / kSeeds, bh_train / kSeeds);
+  std::printf("  GA strategy test  %.4f vs buy-and-hold %.4f (wins %d/%d)\n",
+              strat_test / kSeeds, bh_test / kSeeds, test_wins, kSeeds);
+  std::printf("\nExpected shape (paper): a notable improvement over the\n"
+              "average buy-and-hold on the training fit, retaining an edge\n"
+              "out of sample on regime-switching series.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Multiprocessor task-graph scheduling with a parallel GA (Kwok & Ahmad
+// 1997, survey reference [37]).
+//
+// A random layered DAG of 48 tasks with communication costs is scheduled
+// onto 4 processors.  The GA evolves task-priority permutations decoded by
+// an earliest-finish-time list scheduler; a 4-deme island model compares
+// against a panmictic GA and random-priority sampling, with the analytic
+// lower bounds for calibration.
+
+#include <cstdio>
+
+#include "parallel/island.hpp"
+#include "problems/scheduling.hpp"
+
+using namespace pga;
+using problems::TaskScheduling;
+
+int main() {
+  Rng rng(17);
+  auto dag = problems::random_layered_dag(/*layers=*/8, /*width=*/6,
+                                          /*edge_prob=*/0.35, rng);
+  TaskScheduling problem(dag, /*processors=*/4);
+  const std::size_t n = problem.num_tasks();
+
+  std::printf("48-task layered DAG on 4 processors\n");
+  std::printf("  work lower bound          : %.2f\n", problem.work_lower_bound());
+  std::printf("  critical-path lower bound : %.2f\n\n",
+              problem.critical_path_lower_bound());
+
+  // Random-priority baseline.
+  double random_best = 1e18;
+  for (int t = 0; t < 200; ++t)
+    random_best = std::min(random_best,
+                           problem.makespan(Permutation::random(n, rng)));
+  std::printf("  best of 200 random priorities : %.2f\n", random_best);
+
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::ox();
+  ops.mutate = mutation::insertion();
+  ops.crossover_rate = 0.9;
+
+  // Panmictic GA.
+  {
+    GenerationalScheme<Permutation> scheme(ops, 2);
+    Rng run_rng(1);
+    auto pop = Population<Permutation>::random(
+        80, [n](Rng& r) { return Permutation::random(n, r); }, run_rng);
+    StopCondition stop;
+    stop.max_generations = 120;
+    auto result = run(scheme, pop, problem, stop, run_rng);
+    std::printf("  panmictic GA (80 pop)         : %.2f  (%zu evaluations)\n",
+                -result.best.fitness, result.evaluations);
+  }
+
+  // Island GA.
+  {
+    MigrationPolicy policy;
+    policy.interval = 10;
+    policy.count = 2;
+    auto model = make_uniform_island_model<Permutation>(
+        Topology::bidirectional_ring(4), policy, ops, 2);
+    Rng run_rng(1);
+    auto pops = model.make_populations(
+        20, [n](Rng& r) { return Permutation::random(n, r); }, run_rng);
+    StopCondition stop;
+    stop.max_generations = 120;
+    auto result = model.run(pops, problem, stop, run_rng);
+    std::printf("  island GA (4x20, bi-ring)     : %.2f  (%zu evaluations)\n",
+                -result.best.fitness, result.evaluations);
+  }
+
+  std::printf("\nExpected shape (paper): GA schedules approach the lower\n"
+              "bounds and clearly beat random priorities; the island model\n"
+              "matches the panmictic GA while being parallel by construction.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// TSP on a simulated Beowulf cluster (Sena, Megherbi & Isern 2001).
+//
+// A 60-city Euclidean TSP is solved by a distributed island GA with OX
+// crossover and inversion mutation, one deme per simulated cluster node.
+// The run is repeated on 1, 2, 4 and 8 nodes at a fixed total population to
+// show the simulated-time speedup, and the GA tour is compared against the
+// nearest-neighbour construction heuristic and (optionally) a 2-opt polish.
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "parallel/distributed_island.hpp"
+#include "problems/tsp.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+struct RunOutcome {
+  double best_length;
+  double makespan;
+  std::size_t evaluations;
+};
+
+RunOutcome run_on_nodes(const problems::Tsp& tsp, int nodes,
+                        std::size_t total_pop, bool use_erx = false) {
+  DistributedIslandConfig<Permutation> cfg;
+  cfg.topology = Topology::ring(static_cast<std::size_t>(nodes));
+  cfg.policy.interval = 10;
+  cfg.policy.count = 2;
+  cfg.deme_size = total_pop / static_cast<std::size_t>(nodes);
+  cfg.stop.max_generations = 150;
+  cfg.eval_cost_s = 2e-4;  // a 60-city tour evaluation on era hardware
+  cfg.seed = 7;
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = use_erx ? crossover::erx() : crossover::ox();
+  ops.mutate = mutation::inversion();
+  ops.crossover_rate = 0.95;
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<Permutation>>(ops, 2);
+  };
+  const std::size_t n = tsp.num_cities();
+  cfg.make_genome = [n](Rng& r) { return Permutation::random(n, r); };
+
+  sim::SimCluster cluster(
+      sim::homogeneous(nodes, sim::NetworkModel::fast_ethernet()));
+  double best = 1e18;
+  std::size_t evals = 0;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto rep = run_island_rank(t, tsp, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    best = std::min(best, -rep.best.fitness);
+    evals += rep.evaluations;
+  });
+  return {best, report.makespan, evals};
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(42);
+  auto tsp = problems::Tsp::random(60, rng);
+
+  // Baselines.
+  auto nn = tsp.nearest_neighbor_tour();
+  const double nn_length = tsp.tour_length(nn);
+  Permutation polished = nn;
+  while (tsp.two_opt_pass(polished)) {
+  }
+  const double two_opt_length = tsp.tour_length(polished);
+
+  std::printf("TSP, 60 random cities on the unit square\n");
+  std::printf("  nearest-neighbour tour : %.4f\n", nn_length);
+  std::printf("  NN + 2-opt polish      : %.4f\n\n", two_opt_length);
+
+  std::printf("Order crossover (OX):\n");
+  std::printf("%-7s %-12s %-14s %-10s %-9s\n", "nodes", "best tour",
+              "sim time (s)", "speedup", "evals");
+  double t1 = 0.0;
+  for (int nodes : {1, 2, 4, 8}) {
+    const auto out = run_on_nodes(tsp, nodes, 240);
+    if (nodes == 1) t1 = out.makespan;
+    std::printf("%-7d %-12.4f %-14.3f %-10.2f %-9zu\n", nodes, out.best_length,
+                out.makespan, t1 / out.makespan, out.evaluations);
+  }
+
+  std::printf("\nEdge recombination crossover (ERX), 4 nodes:\n");
+  const auto erx_out = run_on_nodes(tsp, 4, 240, /*use_erx=*/true);
+  std::printf("  best tour %.4f (edge preservation pays on TSP)\n",
+              erx_out.best_length);
+
+  std::printf("\nExpected shape: tour quality comparable to (or better than)\n"
+              "nearest-neighbour, near-linear simulated speedup while the\n"
+              "per-generation work dominates migration cost, and ERX beating\n"
+              "the positional OX operator at equal budget.\n");
+  return 0;
+}

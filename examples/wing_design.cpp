@@ -1,0 +1,107 @@
+// Transonic wing design with a real-coded adaptive-range GA (Oyama,
+// Obayashi & Nakamura 2000) and a multi-fidelity hierarchical GA (Sefrioui &
+// Périaux 2000) on the analytic airfoil surrogate.
+//
+// Part 1: ARGA — the sampling range is re-centred and shrunk around the
+//         elite every few generations; compare against a fixed-range GA.
+// Part 2: HGA — 3-layer hierarchy mixing cheap low-fidelity models with the
+//         exact one; compare cost-to-quality against high-fidelity-only.
+
+#include <cstdio>
+
+#include "core/evolution.hpp"
+#include "parallel/hierarchical.hpp"
+#include "workloads/airfoil.hpp"
+
+using namespace pga;
+using workloads::AirfoilProblem;
+using workloads::AirfoilSurrogate;
+
+namespace {
+
+Operators<RealVector> ops_for(const Bounds& bounds) {
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(bounds, 0.4);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  return ops;
+}
+
+/// One ARGA run: every `adapt_every` generations, shrink the bounds around
+/// the top-5 elite and re-seed the worst half inside the new range.
+double run_arga(std::size_t generations, std::size_t adapt_every, Rng rng) {
+  AirfoilProblem problem;
+  const Bounds original = AirfoilSurrogate::genome_bounds();
+  Bounds current = original;
+  auto pop = Population<RealVector>::random(
+      40, [&](Rng& r) { return RealVector::random(original, r); }, rng);
+  pop.evaluate_all(problem);
+  for (std::size_t g = 1; g <= generations; ++g) {
+    GenerationalScheme<RealVector> scheme(ops_for(current), 2);
+    scheme.step(pop, problem, rng);
+    if (g % adapt_every == 0) {
+      pop.sort_descending();
+      std::vector<Individual<RealVector>> elite(pop.members().begin(),
+                                                pop.members().begin() + 5);
+      current = workloads::adapt_range(original, current, elite, 0.85);
+      // Re-seed the bottom half inside the adapted range.
+      for (std::size_t i = pop.size() / 2; i < pop.size(); ++i) {
+        pop[i] = Individual<RealVector>(RealVector::random(current, rng));
+      }
+      pop.evaluate_all(problem);
+    }
+  }
+  return pop.best_fitness();
+}
+
+double run_fixed(std::size_t generations, Rng rng) {
+  AirfoilProblem problem;
+  const Bounds bounds = AirfoilSurrogate::genome_bounds();
+  auto pop = Population<RealVector>::random(
+      40, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  GenerationalScheme<RealVector> scheme(ops_for(bounds), 2);
+  StopCondition stop;
+  stop.max_generations = generations;
+  return run(scheme, pop, problem, stop, rng).best.fitness;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Part 1: adaptive-range GA vs fixed range ---------------------------
+  double arga_sum = 0.0, fixed_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    arga_sum += run_arga(60, 10, Rng(seed));
+    fixed_sum += run_fixed(60, Rng(seed));
+  }
+  std::printf("Part 1 - real-coded GA on the airfoil surrogate (mean best L/D, 5 seeds)\n");
+  std::printf("  adaptive-range GA (ARGA): %.3f\n", arga_sum / 5.0);
+  std::printf("  fixed-range GA          : %.3f\n\n", fixed_sum / 5.0);
+
+  // ---- Part 2: hierarchical multi-fidelity GA ------------------------------
+  AirfoilSurrogate surrogate(3, 8.0);
+  HgaConfig hga_cfg;
+  hga_cfg.layers = 3;
+  hga_cfg.fanout = 2;
+  hga_cfg.deme_size = 20;
+  HierarchicalGA<RealVector> hga(hga_cfg, ops_for(AirfoilSurrogate::genome_bounds()),
+                                 surrogate);
+  Rng rng(99);
+  auto hga_result =
+      hga.run(/*cost_budget=*/4000.0, /*max_epochs=*/100,
+              [](Rng& r) { return RealVector::random(AirfoilSurrogate::genome_bounds(), r); },
+              rng);
+
+  std::printf("Part 2 - hierarchical GA, 3 layers (L0 exact, L1 8x cheaper, L2 64x)\n");
+  std::printf("  best L/D (exact model) : %.3f\n", hga_result.best.fitness);
+  std::printf("  total model cost       : %.1f units (%zu evaluations)\n",
+              hga_result.total_cost, hga_result.evaluations);
+  const auto design = AirfoilSurrogate::decode(hga_result.best.genome);
+  std::printf("  design: camber=%.3f@%.2f thickness=%.3f alpha=%.2f twist=%.2f sweep=%.1f\n",
+              design.camber, design.camber_pos, design.thickness, design.alpha,
+              design.twist, design.sweep);
+  std::printf("\nExpected shape: ARGA >= fixed-range GA; the HGA reaches high\n"
+              "L/D at a fraction of the all-high-fidelity cost (bench E7\n"
+              "quantifies the ~3x factor).\n");
+  return 0;
+}

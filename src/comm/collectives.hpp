@@ -1,0 +1,129 @@
+#pragma once
+// Collective operations layered on point-to-point messaging, the way MPI
+// collectives are specified: every rank in the world calls the same function
+// with the same root/tag, and the collective completes when all have
+// participated.  Implemented portably over the Transport interface so they
+// run identically on threads and on the simulated cluster (where their cost
+// shows up in virtual time, reproducing the synchronization penalties the
+// sync-vs-async experiments measure).
+//
+// Tags: collectives use caller-provided tags; callers must not reuse a tag
+// for overlapping collectives (same discipline as MPI communicators).
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+
+namespace pga::comm {
+
+/// Thrown when a peer died or the transport shut down mid-collective.
+class CollectiveAborted : public std::runtime_error {
+ public:
+  explicit CollectiveAborted(const char* what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[nodiscard]] inline Message must_recv(Transport& t, int source, int tag) {
+  auto m = t.recv(source, tag);
+  if (!m) throw CollectiveAborted("peer terminated during collective");
+  return std::move(*m);
+}
+}  // namespace detail
+
+/// Barrier: centralized two-phase (gather-to-root then release).  O(P)
+/// messages, which is what a master-coordinated cluster does.
+inline void barrier(Transport& t, int tag) {
+  constexpr int kRoot = 0;
+  if (t.rank() == kRoot) {
+    for (int r = 1; r < t.world_size(); ++r)
+      (void)detail::must_recv(t, Transport::kAnySource, tag);
+    for (int r = 1; r < t.world_size(); ++r) t.send(r, tag, {});
+  } else {
+    t.send(kRoot, tag, {});
+    (void)detail::must_recv(t, kRoot, tag);
+  }
+}
+
+/// Broadcast `bytes` from `root` to all ranks (flat fan-out).
+inline std::vector<std::uint8_t> broadcast(Transport& t, int root, int tag,
+                                           std::vector<std::uint8_t> bytes) {
+  if (t.rank() == root) {
+    for (int r = 0; r < t.world_size(); ++r)
+      if (r != root) t.send(r, tag, bytes);
+    return bytes;
+  }
+  return detail::must_recv(t, root, tag).payload;
+}
+
+/// Gather: every rank contributes a byte vector; root receives all of them
+/// indexed by source rank.  Non-roots get an empty result.
+inline std::vector<std::vector<std::uint8_t>> gather(
+    Transport& t, int root, int tag, std::vector<std::uint8_t> contribution) {
+  if (t.rank() != root) {
+    t.send(root, tag, std::move(contribution));
+    return {};
+  }
+  std::vector<std::vector<std::uint8_t>> parts(
+      static_cast<std::size_t>(t.world_size()));
+  parts[static_cast<std::size_t>(root)] = std::move(contribution);
+  for (int i = 0; i < t.world_size() - 1; ++i) {
+    auto m = detail::must_recv(t, Transport::kAnySource, tag);
+    parts[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+  }
+  return parts;
+}
+
+/// All-gather: gather to rank 0 then broadcast the concatenation.
+inline std::vector<std::vector<std::uint8_t>> allgather(
+    Transport& t, int tag, std::vector<std::uint8_t> contribution) {
+  auto parts = gather(t, /*root=*/0, tag, std::move(contribution));
+  // Root flattens with length prefixes, then broadcasts.
+  std::vector<std::uint8_t> flat;
+  if (t.rank() == 0) {
+    ByteWriter w;
+    w.write<std::uint64_t>(parts.size());
+    for (const auto& p : parts) w.write_vector(p);
+    flat = std::move(w).take();
+  }
+  flat = broadcast(t, /*root=*/0, tag, std::move(flat));
+  ByteReader r(flat);
+  const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.read_vector<std::uint8_t>());
+  return out;
+}
+
+/// Reduce doubles with a binary op at `root` (flat; returns combined value at
+/// root, 0.0 elsewhere).
+inline double reduce(Transport& t, int root, int tag, double value,
+                     const std::function<double(double, double)>& op) {
+  ByteWriter w;
+  w.write(value);
+  auto parts = gather(t, root, tag, std::move(w).take());
+  if (t.rank() != root) return 0.0;
+  double acc = value;
+  for (int r = 0; r < t.world_size(); ++r) {
+    if (r == root) continue;
+    ByteReader reader(parts[static_cast<std::size_t>(r)]);
+    acc = op(acc, reader.read<double>());
+  }
+  return acc;
+}
+
+/// All-reduce: reduce at rank 0, broadcast the result.
+inline double allreduce(Transport& t, int tag, double value,
+                        const std::function<double(double, double)>& op) {
+  const double at_root = reduce(t, /*root=*/0, tag, value, op);
+  ByteWriter w;
+  w.write(t.rank() == 0 ? at_root : 0.0);
+  auto bytes = broadcast(t, /*root=*/0, tag, std::move(w).take());
+  ByteReader r(bytes);
+  return r.read<double>();
+}
+
+}  // namespace pga::comm

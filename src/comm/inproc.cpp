@@ -1,0 +1,162 @@
+#include "comm/inproc.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace pga::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared state for one run(): mailboxes plus the count of still-active
+/// ranks, which lets blocking receives terminate instead of deadlocking once
+/// every possible sender has exited.
+struct World {
+  explicit World(int n) : mailboxes(static_cast<std::size_t>(n)), active(n) {}
+
+  struct Box {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<Box> mailboxes;
+  std::atomic<int> active;
+  Clock::time_point start = Clock::now();
+
+  void rank_done() {
+    active.fetch_sub(1, std::memory_order_acq_rel);
+    // Wake every blocked receiver so it can re-check the shutdown condition.
+    for (auto& box : mailboxes) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.cv.notify_all();
+    }
+  }
+};
+
+[[nodiscard]] bool matches(const Message& m, int source, int tag) {
+  return (source == Transport::kAnySource || m.source == source) &&
+         (tag == Transport::kAnyTag || m.tag == tag);
+}
+
+/// Removes and returns the first matching message, if any.
+[[nodiscard]] std::optional<Message> take_matching(std::deque<Message>& queue,
+                                                   int source, int tag) {
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      queue.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+class ThreadTransport final : public Transport {
+ public:
+  ThreadTransport(World& world, int rank, int size)
+      : world_(world), rank_(rank), size_(size) {}
+
+  [[nodiscard]] int rank() const noexcept override { return rank_; }
+  [[nodiscard]] int world_size() const noexcept override { return size_; }
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+    auto& box = world_.mailboxes[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.push_back(Message{rank_, tag, std::move(payload)});
+    }
+    box.cv.notify_all();
+  }
+
+  [[nodiscard]] std::optional<Message> recv(int source, int tag) override {
+    auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      if (auto m = take_matching(box.queue, source, tag)) return m;
+      // All other ranks done and nothing queued: communication is over.
+      if (world_.active.load(std::memory_order_acquire) <= 1)
+        return std::nullopt;
+      box.cv.wait(lock);
+    }
+  }
+
+  [[nodiscard]] std::optional<Message> try_recv(int source, int tag) override {
+    auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    return take_matching(box.queue, source, tag);
+  }
+
+  [[nodiscard]] std::optional<Message> recv_timeout(double seconds, int source,
+                                                    int tag) override {
+    auto& box = world_.mailboxes[static_cast<std::size_t>(rank_)];
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      if (auto m = take_matching(box.queue, source, tag)) return m;
+      if (world_.active.load(std::memory_order_acquire) <= 1)
+        return std::nullopt;
+      if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return take_matching(box.queue, source, tag);
+      }
+    }
+  }
+
+  void compute(double seconds) override { declared_compute_ += seconds; }
+
+  [[nodiscard]] double now() const override {
+    return std::chrono::duration<double>(Clock::now() - world_.start).count();
+  }
+
+  [[nodiscard]] double declared_compute() const noexcept {
+    return declared_compute_;
+  }
+
+ private:
+  World& world_;
+  int rank_;
+  int size_;
+  double declared_compute_ = 0.0;
+};
+
+}  // namespace
+
+InprocCluster::InprocCluster(int num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks < 1)
+    throw std::invalid_argument("InprocCluster needs at least one rank");
+}
+
+std::vector<InprocCluster::RankReport> InprocCluster::run(
+    const std::function<void(Transport&)>& process) {
+  World world(num_ranks_);
+  std::vector<RankReport> reports(static_cast<std::size_t>(num_ranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      ThreadTransport transport(world, r, num_ranks_);
+      auto& report = reports[static_cast<std::size_t>(r)];
+      try {
+        process(transport);
+        report.completed = true;
+      } catch (const std::exception& e) {
+        report.error = e.what();
+      } catch (...) {
+        report.error = "unknown exception";
+      }
+      report.declared_compute = transport.declared_compute();
+      world.rank_done();
+    });
+  }
+  for (auto& t : threads) t.join();
+  return reports;
+}
+
+}  // namespace pga::comm

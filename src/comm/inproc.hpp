@@ -1,0 +1,38 @@
+#pragma once
+// In-process transport: each rank is a real std::thread, mailboxes are
+// mutex/condvar queues.  This is the "SMP machine" execution mode from the
+// survey's §3.3 (lightweight processes on shared memory) and the correctness
+// substrate for every parallel model's tests.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace pga::comm {
+
+/// Launches N ranks as threads and runs a process function on each.
+class InprocCluster {
+ public:
+  explicit InprocCluster(int num_ranks);
+
+  struct RankReport {
+    bool completed = false;        ///< process returned normally
+    std::string error;             ///< exception text if it threw
+    double declared_compute = 0.0; ///< total seconds passed to compute()
+  };
+
+  /// Runs `process(transport)` on every rank concurrently and joins.
+  /// Exceptions are caught at the rank boundary and reported, never
+  /// propagated across threads.
+  std::vector<RankReport> run(
+      const std::function<void(Transport&)>& process);
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+
+ private:
+  int num_ranks_;
+};
+
+}  // namespace pga::comm

@@ -1,0 +1,165 @@
+#pragma once
+// Minimal byte-level serialization for messages between ranks.
+//
+// The wire format is the library's own (little-endian, length-prefixed
+// containers); both transports (threads and the simulated cluster) move the
+// same byte vectors, so a model debugged in-process runs unchanged on the
+// simulator.  Overloads cover the trivially-copyable scalars, std::vector,
+// std::string, the four genome types and Individual<G>.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/population.hpp"
+
+namespace pga::comm {
+
+class ByteWriter {
+ public:
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T read() {
+    T value;
+    require(sizeof(T));
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> read_vector() {
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::string read_string() {
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw std::out_of_range("ByteReader: truncated message");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Genome (de)serialization
+// ---------------------------------------------------------------------------
+
+inline void serialize(ByteWriter& w, const BitString& g) {
+  w.write_vector(g.bits);
+}
+inline void deserialize(ByteReader& r, BitString& g) {
+  g.bits = r.read_vector<std::uint8_t>();
+}
+
+inline void serialize(ByteWriter& w, const RealVector& g) {
+  w.write_vector(g.values);
+}
+inline void deserialize(ByteReader& r, RealVector& g) {
+  g.values = r.read_vector<double>();
+}
+
+inline void serialize(ByteWriter& w, const IntVector& g) {
+  w.write_vector(g.values);
+}
+inline void deserialize(ByteReader& r, IntVector& g) {
+  g.values = r.read_vector<int>();
+}
+
+inline void serialize(ByteWriter& w, const Permutation& g) {
+  w.write_vector(g.order);
+}
+inline void deserialize(ByteReader& r, Permutation& g) {
+  g.order = r.read_vector<std::uint32_t>();
+}
+
+template <class G>
+void serialize(ByteWriter& w, const Individual<G>& ind) {
+  serialize(w, ind.genome);
+  w.write(ind.fitness);
+  w.write<std::uint8_t>(ind.evaluated ? 1 : 0);
+}
+
+template <class G>
+void deserialize(ByteReader& r, Individual<G>& ind) {
+  deserialize(r, ind.genome);
+  ind.fitness = r.read<double>();
+  ind.evaluated = r.read<std::uint8_t>() != 0;
+}
+
+/// Packs any serializable value into a fresh byte vector.
+template <class T>
+[[nodiscard]] std::vector<std::uint8_t> pack(const T& value) {
+  ByteWriter w;
+  serialize(w, value);
+  return std::move(w).take();
+}
+
+/// Unpacks a value of type T from bytes (must consume them exactly).
+template <class T>
+[[nodiscard]] T unpack(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  T value;
+  deserialize(r, value);
+  return value;
+}
+
+}  // namespace pga::comm

@@ -1,0 +1,85 @@
+#pragma once
+// The message-passing abstraction every parallel model is written against.
+//
+// The interface is a deliberately small MPI subset (point-to-point send,
+// blocking/non-blocking/timed receive, wildcards) plus `compute(seconds)`,
+// which declares computation cost so the simulated cluster can account for
+// it.  Two implementations exist:
+//
+//   * comm::InprocCluster  — real std::thread ranks, real blocking queues;
+//     proves the algorithms are genuinely message-driven and is what a
+//     multicore machine runs.
+//   * sim::SimCluster      — cooperative, deterministic virtual-time
+//     execution with a network cost model and failure injection; produces
+//     the timing axes for every speedup experiment (this container has one
+//     core, so wall-clock speedup is reconstructed from virtual time — see
+//     DESIGN.md §2).
+//
+// Failure semantics: when a rank is killed (failure injection), its next
+// transport call throws NodeFailure, which the process runner catches at the
+// rank boundary.  Sends to dead ranks vanish (a network does not bounce UDP);
+// survivors observe the death only as silence, which is exactly what the
+// fault-tolerant master-slave model (Gagné 2003) must cope with.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace pga::comm {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Thrown inside a rank's process function when failure injection kills it.
+class NodeFailure : public std::runtime_error {
+ public:
+  explicit NodeFailure(int rank)
+      : std::runtime_error("node killed by failure injection"), rank_(rank) {}
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+class Transport {
+ public:
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int rank() const noexcept = 0;
+  [[nodiscard]] virtual int world_size() const noexcept = 0;
+
+  /// Queues `payload` for rank `dest`.  Never blocks (buffered send).
+  virtual void send(int dest, int tag, std::vector<std::uint8_t> payload) = 0;
+
+  /// Blocking receive with optional source/tag wildcards.  Returns nullopt
+  /// only when the transport has shut down (e.g. every possible sender has
+  /// terminated), so loops can exit cleanly instead of deadlocking.
+  [[nodiscard]] virtual std::optional<Message> recv(int source = kAnySource,
+                                                    int tag = kAnyTag) = 0;
+
+  /// Non-blocking receive.
+  [[nodiscard]] virtual std::optional<Message> try_recv(int source = kAnySource,
+                                                        int tag = kAnyTag) = 0;
+
+  /// Receive with a timeout (virtual seconds on the simulator, wall seconds
+  /// in-process).  nullopt on timeout or shutdown.
+  [[nodiscard]] virtual std::optional<Message> recv_timeout(
+      double seconds, int source = kAnySource, int tag = kAnyTag) = 0;
+
+  /// Declares `seconds` of computation at this rank's nominal speed.  The
+  /// simulator advances the rank's virtual clock (scaled by the node's speed
+  /// factor); the in-process transport only records it.
+  virtual void compute(double seconds) = 0;
+
+  /// Current time: virtual seconds (simulator) or wall seconds since launch.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+}  // namespace pga::comm

@@ -1,0 +1,109 @@
+#pragma once
+// Adaptive parameter control.
+//
+// The survey's perspectives section anticipates "operator theories" and
+// adaptive working models; the classic controllers of the era are
+// implemented here:
+//   * OneFifthRule — Rechenberg's 1/5-success step-size control for
+//     Gaussian mutation (grow sigma when >1/5 of mutations succeed);
+//   * AnnealingSchedule — exponential decay for mutation rates or Boltzmann
+//     temperatures;
+//   * AdaptiveGaussianMutation — a Mutation<RealVector> whose sigma is
+//     driven by a shared OneFifthRule controller.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/genome.hpp"
+#include "core/mutation.hpp"
+
+namespace pga {
+
+/// Rechenberg's 1/5-success rule: after each window of `window` trials,
+/// multiply sigma by `up` if the success fraction exceeded 1/5, by `down`
+/// otherwise.  Thread-compatible only for single-threaded use (one
+/// controller per deme).
+class OneFifthRule {
+ public:
+  OneFifthRule(double initial_sigma, double sigma_min, double sigma_max,
+               std::size_t window = 50, double up = 1.22, double down = 0.82)
+      : sigma_(initial_sigma),
+        min_(sigma_min),
+        max_(sigma_max),
+        window_(window),
+        up_(up),
+        down_(down) {
+    if (sigma_min <= 0.0 || sigma_max < sigma_min)
+      throw std::invalid_argument("invalid sigma bounds");
+    if (window == 0) throw std::invalid_argument("window must be positive");
+  }
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+  /// Records one mutation outcome; adapts at window boundaries.
+  void record(bool success) {
+    ++trials_;
+    successes_ += success;
+    if (trials_ < window_) return;
+    const double rate =
+        static_cast<double>(successes_) / static_cast<double>(trials_);
+    sigma_ = std::clamp(sigma_ * (rate > 0.2 ? up_ : down_), min_, max_);
+    trials_ = 0;
+    successes_ = 0;
+  }
+
+ private:
+  double sigma_;
+  double min_;
+  double max_;
+  std::size_t window_;
+  double up_;
+  double down_;
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Exponential annealing schedule: value(t) = v0 * decay^t, floored.
+class AnnealingSchedule {
+ public:
+  AnnealingSchedule(double initial, double decay, double floor)
+      : value_(initial), decay_(decay), floor_(floor) {
+    if (decay <= 0.0 || decay > 1.0)
+      throw std::invalid_argument("decay must be in (0, 1]");
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void step() { value_ = std::max(floor_, value_ * decay_); }
+
+ private:
+  double value_;
+  double decay_;
+  double floor_;
+};
+
+/// Gaussian mutation whose step size follows a shared 1/5-rule controller.
+/// Callers report success/failure through `controller->record` after
+/// evaluating the mutant; the helper `make_adaptive_mutation` returns the
+/// operator plus the shared controller handle.
+[[nodiscard]] inline std::pair<Mutation<RealVector>,
+                               std::shared_ptr<OneFifthRule>>
+make_adaptive_mutation(Bounds bounds, double initial_sigma_fraction = 0.1,
+                       std::size_t window = 50) {
+  // Sigma is expressed as a fraction of each dimension's span.
+  auto controller = std::make_shared<OneFifthRule>(
+      initial_sigma_fraction, 1e-5, 0.5, window);
+  Mutation<RealVector> op = [bounds = std::move(bounds),
+                             controller](RealVector& g, Rng& rng) {
+    const double p = 1.0 / static_cast<double>(std::max<std::size_t>(1, g.size()));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!rng.bernoulli(p)) continue;
+      const double sigma = controller->sigma() * bounds.span(i);
+      g[i] = bounds.clamp(i, g[i] + rng.gaussian(0.0, sigma));
+    }
+  };
+  return {std::move(op), std::move(controller)};
+}
+
+}  // namespace pga

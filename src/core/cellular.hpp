@@ -1,0 +1,252 @@
+#pragma once
+// Fine-grained (cellular) evolution scheme.
+//
+// The population lives on a toroidal 2-D grid; each cell mates only within a
+// small neighborhood.  Implements the synchronous update plus the four
+// asynchronous sweep policies analysed by Giacobini, Alba & Tomassini (2003):
+// fixed line sweep, fixed random sweep, new random sweep and uniform choice.
+// Experiment E4 measures their selection-pressure ordering via takeover
+// times; `selection_only` turns off variation for exactly that study.
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/selection.hpp"
+
+namespace pga {
+
+/// Neighborhood shapes from the cellular-EA literature.  Lk/Ck follow the
+/// usual naming: L5 = von Neumann, C9 = Moore, L9 = axial radius 2,
+/// C13 = Moore plus axial cells at distance 2.
+enum class Neighborhood { kLinear5, kCompact9, kLinear9, kCompact13 };
+
+/// Cell-update orders (Giacobini et al. 2003).
+enum class UpdatePolicy {
+  kSynchronous,       ///< all cells computed from the old grid, then committed
+  kFixedLineSweep,    ///< async, row-major order, same every sweep
+  kFixedRandomSweep,  ///< async, one random permutation fixed at construction
+  kNewRandomSweep,    ///< async, fresh random permutation each sweep
+  kUniformChoice      ///< async, n cells drawn uniformly with replacement
+};
+
+[[nodiscard]] constexpr const char* to_string(UpdatePolicy p) noexcept {
+  switch (p) {
+    case UpdatePolicy::kSynchronous: return "synchronous";
+    case UpdatePolicy::kFixedLineSweep: return "fixed-line-sweep";
+    case UpdatePolicy::kFixedRandomSweep: return "fixed-random-sweep";
+    case UpdatePolicy::kNewRandomSweep: return "new-random-sweep";
+    case UpdatePolicy::kUniformChoice: return "uniform-choice";
+  }
+  return "?";
+}
+
+/// What to do with the offspring produced at a cell.
+enum class ReplacePolicy { kAlways, kIfBetter, kIfBetterOrEqual };
+
+struct CellularConfig {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  Neighborhood neighborhood = Neighborhood::kLinear5;
+  UpdatePolicy update = UpdatePolicy::kSynchronous;
+  ReplacePolicy replace = ReplacePolicy::kIfBetterOrEqual;
+  /// Takeover-study mode: the offspring is a copy of the neighborhood's
+  /// selected individual; no crossover/mutation, no evaluations.
+  bool selection_only = false;
+};
+
+/// Toroidal grid geometry helper, shared with the parallel cellular model.
+class TorusGrid {
+ public:
+  TorusGrid(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {
+    if (width == 0 || height == 0)
+      throw std::invalid_argument("TorusGrid dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t cells() const noexcept { return width_ * height_; }
+
+  [[nodiscard]] std::size_t index(std::size_t x, std::size_t y) const noexcept {
+    return y * width_ + x;
+  }
+  [[nodiscard]] std::size_t x_of(std::size_t i) const noexcept { return i % width_; }
+  [[nodiscard]] std::size_t y_of(std::size_t i) const noexcept { return i / width_; }
+
+  /// Cell at (x + dx, y + dy) with toroidal wraparound.
+  [[nodiscard]] std::size_t wrap(std::size_t i, long long dx,
+                                 long long dy) const noexcept {
+    const auto w = static_cast<long long>(width_);
+    const auto h = static_cast<long long>(height_);
+    const long long x = (static_cast<long long>(x_of(i)) + dx % w + w) % w;
+    const long long y = (static_cast<long long>(y_of(i)) + dy % h + h) % h;
+    return index(static_cast<std::size_t>(x), static_cast<std::size_t>(y));
+  }
+
+  /// Neighborhood member indices, center first.
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t i,
+                                                   Neighborhood shape) const {
+    std::vector<std::size_t> out;
+    auto add = [&](long long dx, long long dy) { out.push_back(wrap(i, dx, dy)); };
+    add(0, 0);
+    switch (shape) {
+      case Neighborhood::kLinear5:
+        add(1, 0); add(-1, 0); add(0, 1); add(0, -1);
+        break;
+      case Neighborhood::kCompact9:
+        for (long long dy = -1; dy <= 1; ++dy)
+          for (long long dx = -1; dx <= 1; ++dx)
+            if (dx != 0 || dy != 0) add(dx, dy);
+        break;
+      case Neighborhood::kLinear9:
+        add(1, 0); add(-1, 0); add(0, 1); add(0, -1);
+        add(2, 0); add(-2, 0); add(0, 2); add(0, -2);
+        break;
+      case Neighborhood::kCompact13:
+        for (long long dy = -1; dy <= 1; ++dy)
+          for (long long dx = -1; dx <= 1; ++dx)
+            if (dx != 0 || dy != 0) add(dx, dy);
+        add(2, 0); add(-2, 0); add(0, 2); add(0, -2);
+        break;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+};
+
+/// Cellular GA as an EvolutionScheme: one `step` is one full sweep of the
+/// grid (population size must equal width*height).
+template <class G>
+class CellularScheme final : public EvolutionScheme<G> {
+ public:
+  CellularScheme(CellularConfig config, Operators<G> ops, Rng sweep_rng)
+      : config_(config),
+        grid_(config.width, config.height),
+        ops_(std::move(ops)),
+        sweep_rng_(sweep_rng) {
+    fixed_order_.resize(grid_.cells());
+    std::iota(fixed_order_.begin(), fixed_order_.end(), std::size_t{0});
+    if (config_.update == UpdatePolicy::kFixedRandomSweep)
+      shuffle(fixed_order_, sweep_rng_);
+  }
+
+  std::size_t step(Population<G>& pop, const Problem<G>& problem,
+                   Rng& rng) override {
+    if (pop.size() != grid_.cells())
+      throw std::invalid_argument("cellular population size != grid cells");
+
+    std::size_t evals = 0;
+    if (config_.update == UpdatePolicy::kSynchronous) {
+      // Compute every offspring against the frozen old grid, then commit.
+      std::vector<Individual<G>> next(pop.members());
+      for (std::size_t i = 0; i < grid_.cells(); ++i) {
+        auto child = make_offspring(pop, problem, i, rng, evals);
+        commit(next[i], std::move(child));
+      }
+      pop = Population<G>(std::move(next));
+    } else {
+      for (std::size_t i : sweep_order(rng)) {
+        auto child = make_offspring(pop, problem, i, rng, evals);
+        commit(pop[i], std::move(child));
+      }
+    }
+    return evals;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return std::string("cellular/") + to_string(config_.update);
+  }
+
+  [[nodiscard]] const TorusGrid& grid() const noexcept { return grid_; }
+
+ private:
+  static void shuffle(std::vector<std::size_t>& v, Rng& rng) {
+    for (std::size_t i = v.size(); i > 1; --i)
+      std::swap(v[i - 1], v[rng.index(i)]);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> sweep_order(Rng& rng) {
+    switch (config_.update) {
+      case UpdatePolicy::kSynchronous:
+      case UpdatePolicy::kFixedLineSweep:
+      case UpdatePolicy::kFixedRandomSweep:
+        return fixed_order_;
+      case UpdatePolicy::kNewRandomSweep: {
+        std::vector<std::size_t> order(grid_.cells());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        shuffle(order, rng);
+        return order;
+      }
+      case UpdatePolicy::kUniformChoice: {
+        std::vector<std::size_t> order(grid_.cells());
+        for (auto& c : order) c = rng.index(grid_.cells());
+        return order;
+      }
+    }
+    return fixed_order_;
+  }
+
+  /// Produces the (evaluated) offspring for cell `i`.
+  [[nodiscard]] Individual<G> make_offspring(const Population<G>& pop,
+                                             const Problem<G>& problem,
+                                             std::size_t i, Rng& rng,
+                                             std::size_t& evals) {
+    const auto hood = grid_.neighbors(i, config_.neighborhood);
+    std::vector<double> local_fitness;
+    local_fitness.reserve(hood.size());
+    for (std::size_t n : hood) local_fitness.push_back(pop[n].fitness);
+
+    if (config_.selection_only) {
+      const std::size_t pick = ops_.select(local_fitness, rng);
+      return pop[hood[pick]];  // copy; already evaluated
+    }
+
+    // Standard cEA recombination: the center mates with a neighborhood-
+    // selected partner.
+    const std::size_t mate = hood[ops_.select(local_fitness, rng)];
+    G child = pop[i].genome;
+    if (rng.bernoulli(ops_.crossover_rate)) {
+      auto [a, b] = ops_.cross(pop[i].genome, pop[mate].genome, rng);
+      child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+    }
+    ops_.mutate(child, rng);
+    Individual<G> ind(std::move(child));
+    ind.fitness = problem.fitness(ind.genome);
+    ind.evaluated = true;
+    ++evals;
+    return ind;
+  }
+
+  void commit(Individual<G>& slot, Individual<G> child) const {
+    switch (config_.replace) {
+      case ReplacePolicy::kAlways:
+        slot = std::move(child);
+        break;
+      case ReplacePolicy::kIfBetter:
+        if (child.fitness > slot.fitness) slot = std::move(child);
+        break;
+      case ReplacePolicy::kIfBetterOrEqual:
+        if (child.fitness >= slot.fitness) slot = std::move(child);
+        break;
+    }
+  }
+
+  CellularConfig config_;
+  TorusGrid grid_;
+  Operators<G> ops_;
+  Rng sweep_rng_;
+  std::vector<std::size_t> fixed_order_;
+};
+
+}  // namespace pga

@@ -1,0 +1,83 @@
+#pragma once
+// Population checkpointing.
+//
+// Long PGA runs on failure-prone clusters need save/restore (the
+// "robustness" requirement Gagné et al. attach to any serious computing
+// system for evolutionary computation).  Populations serialize through the
+// same wire format messages use, with a small header (magic, version,
+// count) so stale or foreign files are rejected instead of misread.
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "core/population.hpp"
+
+namespace pga {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x50474131;  // "PGA1"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Serializes a population (genomes + fitness + evaluated flags).
+template <class G>
+[[nodiscard]] std::vector<std::uint8_t> serialize_population(
+    const Population<G>& pop) {
+  comm::ByteWriter w;
+  w.write(kCheckpointMagic);
+  w.write(kCheckpointVersion);
+  w.write<std::uint64_t>(pop.size());
+  for (const auto& ind : pop) comm::serialize(w, ind);
+  return std::move(w).take();
+}
+
+/// Restores a population; throws std::runtime_error on malformed input.
+template <class G>
+[[nodiscard]] Population<G> deserialize_population(
+    std::span<const std::uint8_t> bytes) {
+  comm::ByteReader r(bytes);
+  if (r.read<std::uint32_t>() != kCheckpointMagic)
+    throw std::runtime_error("not a pgalib checkpoint");
+  if (r.read<std::uint32_t>() != kCheckpointVersion)
+    throw std::runtime_error("unsupported checkpoint version");
+  const auto n = static_cast<std::size_t>(r.read<std::uint64_t>());
+  std::vector<Individual<G>> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Individual<G> ind;
+    comm::deserialize(r, ind);
+    members.push_back(std::move(ind));
+  }
+  if (!r.exhausted()) throw std::runtime_error("trailing checkpoint bytes");
+  return Population<G>(std::move(members));
+}
+
+/// Writes a checkpoint file (atomically via rename is the caller's concern;
+/// this is the plain write).
+template <class G>
+void save_checkpoint(const Population<G>& pop, const std::string& path) {
+  const auto bytes = serialize_population(pop);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open checkpoint for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+/// Reads a checkpoint file.
+template <class G>
+[[nodiscard]] Population<G> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open checkpoint: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("checkpoint read failed: " + path);
+  return deserialize_population<G>(bytes);
+}
+
+}  // namespace pga

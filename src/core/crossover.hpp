@@ -1,0 +1,348 @@
+#pragma once
+// Crossover operators for all four genome families.
+//
+// A Crossover takes two parents and returns two children.  Factories below
+// cover the operators the surveyed systems use: classic k-point and uniform
+// crossover for strings/vectors, arithmetic/BLX-alpha/SBX for real coding
+// (Oyama 2000), PMX/OX/CX for permutations (TSP, Sena 2001) and a 2-D block
+// crossover for matrix-shaped encodings (Kwon & Moon 2003 neuro-genetic
+// model).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+template <class G>
+using Crossover = std::function<std::pair<G, G>(const G&, const G&, Rng&)>;
+
+namespace crossover {
+
+namespace detail {
+/// k-point crossover over any random-access sequence of equal length.
+template <class Seq>
+void k_point_exchange(Seq& a, Seq& b, std::size_t k, Rng& rng) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  // Draw k distinct cut points in [1, n-1].
+  std::vector<std::size_t> cuts;
+  cuts.reserve(k);
+  while (cuts.size() < std::min(k, n - 1)) {
+    const std::size_t c = 1 + rng.index(n - 1);
+    if (std::find(cuts.begin(), cuts.end(), c) == cuts.end()) cuts.push_back(c);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  bool swapping = false;
+  std::size_t cut_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (cut_idx < cuts.size() && cuts[cut_idx] == i) {
+      swapping = !swapping;
+      ++cut_idx;
+    }
+    if (swapping) std::swap(a[i], b[i]);
+  }
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// String / vector crossovers (BitString, IntVector, RealVector)
+// ---------------------------------------------------------------------------
+
+/// One-point crossover.
+template <class G>
+[[nodiscard]] Crossover<G> one_point() {
+  return [](const G& p1, const G& p2, Rng& rng) {
+    G c1 = p1, c2 = p2;
+    detail::k_point_exchange(c1, c2, 1, rng);
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+/// Two-point crossover.
+template <class G>
+[[nodiscard]] Crossover<G> two_point() {
+  return [](const G& p1, const G& p2, Rng& rng) {
+    G c1 = p1, c2 = p2;
+    detail::k_point_exchange(c1, c2, 2, rng);
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+/// Uniform crossover: each gene swaps between the children with probability
+/// `swap_prob` (0.5 is the classic setting).
+template <class G>
+[[nodiscard]] Crossover<G> uniform(double swap_prob = 0.5) {
+  if (swap_prob < 0.0 || swap_prob > 1.0)
+    throw std::invalid_argument("uniform crossover swap_prob in [0,1]");
+  return [swap_prob](const G& p1, const G& p2, Rng& rng) {
+    G c1 = p1, c2 = p2;
+    for (std::size_t i = 0; i < c1.size(); ++i)
+      if (rng.bernoulli(swap_prob)) std::swap(c1[i], c2[i]);
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+/// 2-D block crossover on a BitString interpreted as a rows x cols matrix:
+/// swaps a random axis-aligned rectangle (Kwon & Moon 2003 use 2-D encodings
+/// for neural-network weight matrices).  `rows * cols` must equal genome size.
+[[nodiscard]] inline Crossover<BitString> block_2d(std::size_t rows,
+                                                   std::size_t cols) {
+  return [rows, cols](const BitString& p1, const BitString& p2, Rng& rng) {
+    if (p1.size() != rows * cols)
+      throw std::invalid_argument("block_2d: genome size != rows*cols");
+    BitString c1 = p1, c2 = p2;
+    const std::size_t r0 = rng.index(rows), r1 = rng.index(rows);
+    const std::size_t q0 = rng.index(cols), q1 = rng.index(cols);
+    const auto [rlo, rhi] = std::minmax(r0, r1);
+    const auto [clo, chi] = std::minmax(q0, q1);
+    for (std::size_t r = rlo; r <= rhi; ++r)
+      for (std::size_t c = clo; c <= chi; ++c)
+        std::swap(c1[r * cols + c], c2[r * cols + c]);
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Real-coded crossovers
+// ---------------------------------------------------------------------------
+
+/// Whole arithmetic crossover: children are convex combinations with a fresh
+/// random weight per call.
+[[nodiscard]] inline Crossover<RealVector> arithmetic() {
+  return [](const RealVector& p1, const RealVector& p2, Rng& rng) {
+    const double a = rng.uniform();
+    RealVector c1(p1.size()), c2(p1.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      c1[i] = a * p1[i] + (1.0 - a) * p2[i];
+      c2[i] = (1.0 - a) * p1[i] + a * p2[i];
+    }
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+/// BLX-alpha blend crossover: each child gene sampled uniformly from the
+/// parents' interval extended by `alpha` on both sides, clamped to bounds.
+[[nodiscard]] inline Crossover<RealVector> blx_alpha(Bounds bounds,
+                                                     double alpha = 0.5) {
+  return [bounds = std::move(bounds), alpha](const RealVector& p1,
+                                             const RealVector& p2, Rng& rng) {
+    RealVector c1(p1.size()), c2(p1.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      const double lo = std::min(p1[i], p2[i]);
+      const double hi = std::max(p1[i], p2[i]);
+      const double ext = alpha * (hi - lo);
+      c1[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
+      c2[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
+    }
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+/// Simulated binary crossover (Deb & Agrawal 1995) with distribution index
+/// `eta`; larger eta keeps children closer to parents.
+[[nodiscard]] inline Crossover<RealVector> sbx(Bounds bounds,
+                                               double eta = 15.0) {
+  return [bounds = std::move(bounds), eta](const RealVector& p1,
+                                           const RealVector& p2, Rng& rng) {
+    RealVector c1 = p1, c2 = p2;
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      if (!rng.bernoulli(0.5)) continue;  // per-gene application, SBX custom
+      const double u = rng.uniform();
+      const double beta =
+          (u <= 0.5) ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                     : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+      const double x1 = p1[i], x2 = p2[i];
+      c1[i] = bounds.clamp(i, 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2));
+      c2[i] = bounds.clamp(i, 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2));
+    }
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Permutation crossovers
+// ---------------------------------------------------------------------------
+
+/// Partially mapped crossover (PMX).  Preserves a random segment from each
+/// parent and repairs the remainder through the induced mapping.
+[[nodiscard]] inline Crossover<Permutation> pmx() {
+  return [](const Permutation& p1, const Permutation& p2, Rng& rng) {
+    const std::size_t n = p1.size();
+    if (n < 2) return std::make_pair(p1, p2);
+    std::size_t a = rng.index(n), b = rng.index(n);
+    if (a > b) std::swap(a, b);
+
+    auto make_child = [&](const Permutation& keep, const Permutation& fill) {
+      Permutation child(n);
+      std::vector<std::uint32_t> pos(n);  // pos[v] = index of v in `keep`
+      for (std::size_t i = 0; i < n; ++i) pos[keep[i]] = static_cast<std::uint32_t>(i);
+      std::vector<std::uint8_t> in_segment(n, 0);
+      for (std::size_t i = a; i <= b; ++i) {
+        child[i] = keep[i];
+        in_segment[keep[i]] = 1;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i >= a && i <= b) continue;
+        std::uint32_t v = fill[i];
+        while (in_segment[v]) v = fill[pos[v]];  // follow the PMX mapping chain
+        child[i] = v;
+      }
+      return child;
+    };
+
+    return std::make_pair(make_child(p1, p2), make_child(p2, p1));
+  };
+}
+
+/// Order crossover (OX): keeps a segment of one parent and fills the rest in
+/// the relative order of the other.
+[[nodiscard]] inline Crossover<Permutation> ox() {
+  return [](const Permutation& p1, const Permutation& p2, Rng& rng) {
+    const std::size_t n = p1.size();
+    if (n < 2) return std::make_pair(p1, p2);
+    std::size_t a = rng.index(n), b = rng.index(n);
+    if (a > b) std::swap(a, b);
+
+    auto make_child = [&](const Permutation& keep, const Permutation& fill) {
+      Permutation child(n);
+      std::vector<std::uint8_t> used(n, 0);
+      for (std::size_t i = a; i <= b; ++i) {
+        child[i] = keep[i];
+        used[keep[i]] = 1;
+      }
+      std::size_t write = (b + 1) % n;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t v = fill[(b + 1 + k) % n];
+        if (used[v]) continue;
+        child[write] = v;
+        used[v] = 1;
+        write = (write + 1) % n;
+      }
+      return child;
+    };
+
+    return std::make_pair(make_child(p1, p2), make_child(p2, p1));
+  };
+}
+
+/// Edge recombination crossover (ERX, Whitley et al.): children are built by
+/// walking an adjacency table merged from both parents, always preferring
+/// the neighbour with the fewest remaining edges — the operator of choice
+/// for TSP because it preserves parental *edges* rather than positions.
+/// Produces two children from two independent walks.
+[[nodiscard]] inline Crossover<Permutation> erx() {
+  return [](const Permutation& p1, const Permutation& p2, Rng& rng) {
+    const std::size_t n = p1.size();
+    if (n < 2) return std::make_pair(p1, p2);
+
+    // Merged adjacency lists (ring neighbours in either parent, <= 4 each).
+    auto build_adjacency = [&] {
+      std::vector<std::vector<std::uint32_t>> adj(n);
+      auto add_ring = [&](const Permutation& p) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t a = p[i];
+          const std::uint32_t b = p[(i + 1) % n];
+          auto link = [&](std::uint32_t u, std::uint32_t v) {
+            auto& lst = adj[u];
+            if (std::find(lst.begin(), lst.end(), v) == lst.end())
+              lst.push_back(v);
+          };
+          link(a, b);
+          link(b, a);
+        }
+      };
+      add_ring(p1);
+      add_ring(p2);
+      return adj;
+    };
+
+    auto make_child = [&](std::uint32_t start) {
+      auto adj = build_adjacency();
+      std::vector<std::uint8_t> used(n, 0);
+      Permutation child(n);
+      std::uint32_t current = start;
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        child[pos] = current;
+        used[current] = 1;
+        // Remove `current` from every adjacency list it appears in.
+        for (std::uint32_t nb : adj[current]) {
+          auto& lst = adj[nb];
+          lst.erase(std::remove(lst.begin(), lst.end(), current), lst.end());
+        }
+        if (pos + 1 == n) break;
+        // Next: the unused neighbour with the shortest remaining list
+        // (ties broken uniformly); if none, a random unused vertex.
+        std::uint32_t next = 0;
+        std::size_t best_len = SIZE_MAX;
+        std::size_t ties = 0;
+        for (std::uint32_t nb : adj[current]) {
+          if (used[nb]) continue;
+          const std::size_t len = adj[nb].size();
+          if (len < best_len) {
+            best_len = len;
+            next = nb;
+            ties = 1;
+          } else if (len == best_len) {
+            ++ties;
+            if (rng.index(ties) == 0) next = nb;
+          }
+        }
+        if (best_len == SIZE_MAX) {
+          // Dead end: restart from a uniformly random unused vertex.
+          std::size_t remaining = 0;
+          for (std::size_t v = 0; v < n; ++v) remaining += !used[v];
+          std::size_t pick = rng.index(remaining);
+          for (std::uint32_t v = 0; v < n; ++v) {
+            if (used[v]) continue;
+            if (pick-- == 0) {
+              next = v;
+              break;
+            }
+          }
+        }
+        current = next;
+      }
+      return child;
+    };
+
+    return std::make_pair(make_child(p1[0]), make_child(p2[0]));
+  };
+}
+
+/// Cycle crossover (CX): children inherit each city's position from exactly
+/// one parent, alternating by cycle.
+[[nodiscard]] inline Crossover<Permutation> cx() {
+  return [](const Permutation& p1, const Permutation& p2, Rng&) {
+    const std::size_t n = p1.size();
+    Permutation c1(n), c2(n);
+    std::vector<std::uint32_t> pos1(n);
+    for (std::size_t i = 0; i < n; ++i) pos1[p1[i]] = static_cast<std::uint32_t>(i);
+    std::vector<std::uint8_t> assigned(n, 0);
+    bool from_first = true;
+    for (std::size_t start = 0; start < n; ++start) {
+      if (assigned[start]) continue;
+      // Walk the cycle containing `start`.
+      std::size_t i = start;
+      do {
+        assigned[i] = 1;
+        c1[i] = from_first ? p1[i] : p2[i];
+        c2[i] = from_first ? p2[i] : p1[i];
+        i = pos1[p2[i]];
+      } while (i != start);
+      from_first = !from_first;
+    }
+    return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+}  // namespace crossover
+}  // namespace pga

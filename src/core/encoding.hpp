@@ -1,0 +1,119 @@
+#pragma once
+// Binary <-> real encodings.
+//
+// Early GAs (and many of the surveyed applications) encode real parameters
+// as fixed-width binary fields, in plain or Gray code — Oyama's ARGA, for
+// instance, ran both binary and real representations.  This header provides
+// the codec: pack k-bit fields into a BitString, decode to box-bounded reals,
+// and convert between standard binary and Gray code (Gray makes adjacent
+// reals differ by one bit, removing Hamming cliffs).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+
+namespace pga {
+
+/// Standard binary -> Gray code.
+[[nodiscard]] constexpr std::uint64_t binary_to_gray(std::uint64_t v) noexcept {
+  return v ^ (v >> 1);
+}
+
+/// Gray code -> standard binary.
+[[nodiscard]] constexpr std::uint64_t gray_to_binary(std::uint64_t g) noexcept {
+  std::uint64_t v = g;
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+/// Fixed-point codec: `dims` real values, each `bits_per_dim` wide, over the
+/// given box bounds.
+class BinaryRealCodec {
+ public:
+  BinaryRealCodec(Bounds bounds, std::size_t bits_per_dim, bool gray = true)
+      : bounds_(std::move(bounds)), bits_(bits_per_dim), gray_(gray) {
+    if (bits_ == 0 || bits_ > 52)
+      throw std::invalid_argument("bits_per_dim must be in [1, 52]");
+  }
+
+  [[nodiscard]] std::size_t genome_length() const noexcept {
+    return bounds_.size() * bits_;
+  }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return bounds_.size(); }
+  [[nodiscard]] bool uses_gray() const noexcept { return gray_; }
+
+  /// Decodes a bitstring of genome_length() bits into a real vector.
+  [[nodiscard]] RealVector decode(const BitString& genome) const {
+    if (genome.size() != genome_length())
+      throw std::invalid_argument("genome length mismatch");
+    RealVector out(bounds_.size());
+    const double denom =
+        static_cast<double>((std::uint64_t{1} << bits_) - 1);
+    for (std::size_t d = 0; d < bounds_.size(); ++d) {
+      std::uint64_t raw = genome.decode_uint(d * bits_, bits_);
+      if (gray_) raw = gray_to_binary(raw);
+      const double t = denom > 0 ? static_cast<double>(raw) / denom : 0.0;
+      out[d] = bounds_.lower[d] + t * bounds_.span(d);
+    }
+    return out;
+  }
+
+  /// Encodes a real vector to the nearest representable bitstring.
+  [[nodiscard]] BitString encode(const RealVector& values) const {
+    if (values.size() != bounds_.size())
+      throw std::invalid_argument("value dimension mismatch");
+    BitString genome(genome_length());
+    const auto max_raw = (std::uint64_t{1} << bits_) - 1;
+    for (std::size_t d = 0; d < bounds_.size(); ++d) {
+      const double span = bounds_.span(d);
+      double t = span > 0.0 ? (values[d] - bounds_.lower[d]) / span : 0.0;
+      t = std::min(std::max(t, 0.0), 1.0);
+      auto raw = static_cast<std::uint64_t>(t * static_cast<double>(max_raw) + 0.5);
+      if (gray_) raw = binary_to_gray(raw);
+      for (std::size_t b = 0; b < bits_; ++b)
+        genome[d * bits_ + b] =
+            static_cast<std::uint8_t>((raw >> (bits_ - 1 - b)) & 1u);
+    }
+    return genome;
+  }
+
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+
+ private:
+  Bounds bounds_;
+  std::size_t bits_;
+  bool gray_;
+};
+
+/// Problem adapter: present a real-valued problem to a binary-coded GA
+/// through a codec (the classic binary-GA-on-continuous-function setup).
+template <class RealProblem>
+class BinaryEncodedProblem final : public Problem<BitString> {
+ public:
+  BinaryEncodedProblem(const RealProblem& inner, BinaryRealCodec codec)
+      : inner_(inner), codec_(std::move(codec)) {}
+
+  [[nodiscard]] double fitness(const BitString& genome) const override {
+    return inner_.fitness(codec_.decode(genome));
+  }
+  [[nodiscard]] double objective(const BitString& genome) const override {
+    return inner_.objective(codec_.decode(genome));
+  }
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return inner_.optimum_fitness();
+  }
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + (codec_.uses_gray() ? "/gray" : "/binary");
+  }
+  [[nodiscard]] const BinaryRealCodec& codec() const noexcept { return codec_; }
+
+ private:
+  const RealProblem& inner_;
+  BinaryRealCodec codec_;
+};
+
+}  // namespace pga

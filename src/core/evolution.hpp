@@ -1,0 +1,234 @@
+#pragma once
+// Panmictic evolution schemes: generational (with elitism and a generation
+// gap) and steady-state.  Together with the cellular scheme in cellular.hpp
+// these are the three island "reproductive loop types" Alba & Troya (2000,
+// 2002) compare; every scheme implements the same `EvolutionScheme` interface
+// so the island model can mix them freely.
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/crossover.hpp"
+#include "core/mutation.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/selection.hpp"
+#include "core/statistics.hpp"
+#include "core/termination.hpp"
+
+namespace pga {
+
+/// The variation pipeline shared by all schemes.
+template <class G>
+struct Operators {
+  Selector select;
+  Crossover<G> cross;
+  Mutation<G> mutate;
+  /// Probability that a selected pair undergoes crossover (otherwise the
+  /// parents are cloned into the offspring slots).
+  double crossover_rate = 0.9;
+};
+
+/// One reproductive loop type.  `step` advances the population by one
+/// generation-equivalent (a number of offspring comparable to the population
+/// size, so different schemes can be compared at equal evaluation budgets)
+/// and returns the number of fitness evaluations it performed.
+template <class G>
+class EvolutionScheme {
+ public:
+  virtual ~EvolutionScheme() = default;
+  virtual std::size_t step(Population<G>& pop, const Problem<G>& problem,
+                           Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Generational scheme
+// ---------------------------------------------------------------------------
+
+/// Classic generational GA.  `elitism` best individuals survive unchanged;
+/// `generation_gap` (0, 1] controls the fraction of the population replaced
+/// each generation (Bethke 1976 studied GAs with a generational gap).
+template <class G>
+class GenerationalScheme final : public EvolutionScheme<G> {
+ public:
+  GenerationalScheme(Operators<G> ops, std::size_t elitism = 1,
+                     double generation_gap = 1.0)
+      : ops_(std::move(ops)), elitism_(elitism), gap_(generation_gap) {
+    if (gap_ <= 0.0 || gap_ > 1.0)
+      throw std::invalid_argument("generation_gap must be in (0, 1]");
+  }
+
+  std::size_t step(Population<G>& pop, const Problem<G>& problem,
+                   Rng& rng) override {
+    const std::size_t n = pop.size();
+    std::size_t replace =
+        static_cast<std::size_t>(gap_ * static_cast<double>(n));
+    replace = std::max<std::size_t>(replace, 1);
+    replace = std::min(replace, n > elitism_ ? n - elitism_ : 0);
+
+    const auto fitness = pop.fitness_values();
+
+    // Offspring for the replaced fraction.
+    std::vector<Individual<G>> offspring;
+    offspring.reserve(replace);
+    while (offspring.size() < replace) {
+      const std::size_t i = ops_.select(fitness, rng);
+      const std::size_t j = ops_.select(fitness, rng);
+      G c1 = pop[i].genome, c2 = pop[j].genome;
+      if (rng.bernoulli(ops_.crossover_rate)) {
+        auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
+        c1 = std::move(a);
+        c2 = std::move(b);
+      }
+      ops_.mutate(c1, rng);
+      offspring.emplace_back(std::move(c1));
+      if (offspring.size() < replace) {
+        ops_.mutate(c2, rng);
+        offspring.emplace_back(std::move(c2));
+      }
+    }
+
+    // Survivors: elite first, then the best of the rest up to n - replace.
+    pop.sort_descending();
+    std::vector<Individual<G>> next;
+    next.reserve(n);
+    for (std::size_t k = 0; k < n - replace; ++k) next.push_back(pop[k]);
+    for (auto& child : offspring) next.push_back(std::move(child));
+    pop = Population<G>(std::move(next));
+    return pop.evaluate_all(problem);
+  }
+
+  [[nodiscard]] std::string name() const override { return "generational"; }
+
+ private:
+  Operators<G> ops_;
+  std::size_t elitism_;
+  double gap_;
+};
+
+// ---------------------------------------------------------------------------
+// Steady-state scheme
+// ---------------------------------------------------------------------------
+
+/// Steady-state GA: each micro-iteration creates one offspring pair and
+/// inserts it by replacing the current worst individuals (if better).  One
+/// `step` performs `pop.size()` offspring so budgets match the generational
+/// scheme; set `offspring_per_step` to customize.
+template <class G>
+class SteadyStateScheme final : public EvolutionScheme<G> {
+ public:
+  explicit SteadyStateScheme(Operators<G> ops, std::size_t offspring_per_step = 0)
+      : ops_(std::move(ops)), offspring_per_step_(offspring_per_step) {}
+
+  std::size_t step(Population<G>& pop, const Problem<G>& problem,
+                   Rng& rng) override {
+    const std::size_t budget =
+        offspring_per_step_ ? offspring_per_step_ : pop.size();
+    std::size_t evals = 0;
+    for (std::size_t k = 0; k < budget; ++k) {
+      const auto fitness = pop.fitness_values();
+      const std::size_t i = ops_.select(fitness, rng);
+      const std::size_t j = ops_.select(fitness, rng);
+      G child = pop[i].genome;
+      if (rng.bernoulli(ops_.crossover_rate)) {
+        auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
+        child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+      }
+      ops_.mutate(child, rng);
+      Individual<G> ind(std::move(child));
+      ind.fitness = problem.fitness(ind.genome);
+      ind.evaluated = true;
+      ++evals;
+      const std::size_t worst = pop.worst_index();
+      if (ind.fitness > pop[worst].fitness) pop[worst] = std::move(ind);
+    }
+    return evals;
+  }
+
+  [[nodiscard]] std::string name() const override { return "steady-state"; }
+
+ private:
+  Operators<G> ops_;
+  std::size_t offspring_per_step_;
+};
+
+// ---------------------------------------------------------------------------
+// Run driver
+// ---------------------------------------------------------------------------
+
+/// Outcome of driving a scheme to a stop condition.
+template <class G>
+struct RunResult {
+  Individual<G> best{};
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  bool reached_target = false;
+  /// Cumulative evaluations when the target was first reached (equals
+  /// `evaluations` if the target was never reached).
+  std::size_t evals_to_target = 0;
+  std::vector<GenStats> history;
+};
+
+/// Drives `scheme` on `pop` until `stop` fires.  Records per-generation
+/// statistics when `record_history` is set.
+template <class G>
+RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
+                 const Problem<G>& problem, const StopCondition& stop, Rng& rng,
+                 bool record_history = false) {
+  RunResult<G> result;
+  result.evaluations += pop.evaluate_all(problem);
+
+  double best_so_far = pop.best_fitness();
+  std::size_t stagnant = 0;
+
+  auto snapshot = [&](std::size_t gen) {
+    if (!record_history) return;
+    GenStats s;
+    s.generation = gen;
+    s.evaluations = result.evaluations;
+    s.best = pop.best_fitness();
+    s.mean = pop.mean_fitness();
+    s.worst = pop[pop.worst_index()].fitness;
+    result.history.push_back(s);
+  };
+  snapshot(0);
+
+  if (stop.target_reached(best_so_far)) {
+    result.reached_target = true;
+    result.evals_to_target = result.evaluations;
+  }
+
+  while (!result.reached_target && result.generations < stop.max_generations &&
+         result.evaluations < stop.max_evaluations) {
+    result.evaluations += scheme.step(pop, problem, rng);
+    ++result.generations;
+    snapshot(result.generations);
+
+    const double best = pop.best_fitness();
+    if (best > best_so_far + 1e-15) {
+      best_so_far = best;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+    if (stop.target_reached(best)) {
+      result.reached_target = true;
+      result.evals_to_target = result.evaluations;
+      break;
+    }
+    if (stop.stagnation_generations && stagnant >= stop.stagnation_generations)
+      break;
+  }
+
+  if (!result.reached_target) result.evals_to_target = result.evaluations;
+  result.best = pop.best();
+  return result;
+}
+
+}  // namespace pga

@@ -1,0 +1,241 @@
+#pragma once
+// Genome representations used across pgalib.
+//
+// The survey's application sections exercise four chromosome families:
+// binary strings (OneMax, traps, MAXSAT, feature selection), real-valued
+// vectors (function optimization, wing design, spectral estimation), integer
+// vectors (reactor core parameters, decision attributes per Pelikan 2002) and
+// permutations (TSP, scheduling).  All four are plain value types: copyable,
+// movable, equality-comparable, hashable, with deterministic `random`
+// factories that take an explicit Rng.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace pga {
+
+// ---------------------------------------------------------------------------
+// BitString
+// ---------------------------------------------------------------------------
+
+/// Fixed-length binary chromosome.  Bits are stored one-per-byte: the library
+/// mutates and crosses over at bit granularity far more often than it scans,
+/// and byte storage keeps the operators branch-free and simple.
+struct BitString {
+  std::vector<std::uint8_t> bits;
+
+  BitString() = default;
+  explicit BitString(std::size_t n, std::uint8_t fill = 0) : bits(n, fill) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bits.empty(); }
+
+  [[nodiscard]] std::uint8_t& operator[](std::size_t i) { return bits[i]; }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const { return bits[i]; }
+
+  /// Number of set bits (the OneMax fitness).
+  [[nodiscard]] std::size_t count_ones() const noexcept {
+    return static_cast<std::size_t>(
+        std::count(bits.begin(), bits.end(), std::uint8_t{1}));
+  }
+
+  /// Hamming distance to another string of the same length.
+  [[nodiscard]] std::size_t hamming(const BitString& other) const {
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) d += (bits[i] != other.bits[i]);
+    return d;
+  }
+
+  void flip(std::size_t i) { bits[i] ^= std::uint8_t{1}; }
+
+  /// Decodes bits [first, first+width) as an unsigned integer, MSB first.
+  [[nodiscard]] std::uint64_t decode_uint(std::size_t first,
+                                          std::size_t width) const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) v = (v << 1) | bits[first + i];
+    return v;
+  }
+
+  /// Uniformly random string of n bits.
+  [[nodiscard]] static BitString random(std::size_t n, Rng& rng) {
+    BitString s(n);
+    for (auto& b : s.bits) b = static_cast<std::uint8_t>(rng.next() & 1u);
+    return s;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    out.reserve(bits.size());
+    for (auto b : bits) out.push_back(b ? '1' : '0');
+    return out;
+  }
+
+  friend bool operator==(const BitString&, const BitString&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// RealVector
+// ---------------------------------------------------------------------------
+
+/// Per-dimension box bounds for real-coded chromosomes.  Operators clamp into
+/// these; the adaptive-range GA (Oyama 2000) shrinks them over time.
+struct Bounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  Bounds() = default;
+  /// Uniform bounds [lo, hi] replicated over n dimensions.
+  Bounds(std::size_t n, double lo, double hi)
+      : lower(n, lo), upper(n, hi) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return lower.size(); }
+
+  [[nodiscard]] double clamp(std::size_t dim, double v) const {
+    return std::min(std::max(v, lower[dim]), upper[dim]);
+  }
+
+  /// Width of dimension `dim`.
+  [[nodiscard]] double span(std::size_t dim) const {
+    return upper[dim] - lower[dim];
+  }
+
+  friend bool operator==(const Bounds&, const Bounds&) = default;
+};
+
+/// Real-coded chromosome: a point in a box-bounded R^n.
+struct RealVector {
+  std::vector<double> values;
+
+  RealVector() = default;
+  explicit RealVector(std::size_t n, double fill = 0.0) : values(n, fill) {}
+  explicit RealVector(std::vector<double> v) : values(std::move(v)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+  [[nodiscard]] double& operator[](std::size_t i) { return values[i]; }
+  [[nodiscard]] double operator[](std::size_t i) const { return values[i]; }
+
+  /// Euclidean distance to another vector of the same dimension.
+  [[nodiscard]] double distance(const RealVector& other) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double d = values[i] - other.values[i];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
+
+  /// Uniformly random point inside `bounds`.
+  [[nodiscard]] static RealVector random(const Bounds& bounds, Rng& rng) {
+    RealVector v(bounds.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v.values[i] = rng.uniform(bounds.lower[i], bounds.upper[i]);
+    return v;
+  }
+
+  friend bool operator==(const RealVector&, const RealVector&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// IntVector
+// ---------------------------------------------------------------------------
+
+/// Integer-coded chromosome with per-gene inclusive ranges, used for mixed
+/// discrete design spaces (reactor zone materials, decision-graph attributes).
+struct IntRanges {
+  std::vector<int> lower;
+  std::vector<int> upper;
+
+  IntRanges() = default;
+  IntRanges(std::size_t n, int lo, int hi) : lower(n, lo), upper(n, hi) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return lower.size(); }
+
+  [[nodiscard]] int clamp(std::size_t dim, int v) const {
+    return std::min(std::max(v, lower[dim]), upper[dim]);
+  }
+
+  friend bool operator==(const IntRanges&, const IntRanges&) = default;
+};
+
+struct IntVector {
+  std::vector<int> values;
+
+  IntVector() = default;
+  explicit IntVector(std::size_t n, int fill = 0) : values(n, fill) {}
+  explicit IntVector(std::vector<int> v) : values(std::move(v)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+  [[nodiscard]] int& operator[](std::size_t i) { return values[i]; }
+  [[nodiscard]] int operator[](std::size_t i) const { return values[i]; }
+
+  [[nodiscard]] static IntVector random(const IntRanges& ranges, Rng& rng) {
+    IntVector v(ranges.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v.values[i] =
+          static_cast<int>(rng.integer(ranges.lower[i], ranges.upper[i]));
+    return v;
+  }
+
+  friend bool operator==(const IntVector&, const IntVector&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Permutation
+// ---------------------------------------------------------------------------
+
+/// Permutation chromosome over {0, ..., n-1} (tours, schedules).
+struct Permutation {
+  std::vector<std::uint32_t> order;
+
+  Permutation() = default;
+  /// Identity permutation of length n.
+  explicit Permutation(std::size_t n) : order(n) {
+    std::iota(order.begin(), order.end(), 0u);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return order.size(); }
+  [[nodiscard]] std::uint32_t& operator[](std::size_t i) { return order[i]; }
+  [[nodiscard]] std::uint32_t operator[](std::size_t i) const {
+    return order[i];
+  }
+
+  /// True iff `order` is a permutation of {0..n-1}.  Operators preserve this
+  /// invariant; tests assert it property-style.
+  [[nodiscard]] bool is_valid() const {
+    std::vector<std::uint8_t> seen(order.size(), 0);
+    for (auto v : order) {
+      if (v >= order.size() || seen[v]) return false;
+      seen[v] = 1;
+    }
+    return true;
+  }
+
+  /// Position of city `v` in the tour.
+  [[nodiscard]] std::size_t position_of(std::uint32_t v) const {
+    return static_cast<std::size_t>(
+        std::find(order.begin(), order.end(), v) - order.begin());
+  }
+
+  [[nodiscard]] static Permutation random(std::size_t n, Rng& rng) {
+    Permutation p(n);
+    // Fisher-Yates with our own index() so results are seed-stable across
+    // standard libraries (std::shuffle's consumption pattern is unspecified).
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = rng.index(i);
+      std::swap(p.order[i - 1], p.order[j]);
+    }
+    return p;
+  }
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+};
+
+}  // namespace pga

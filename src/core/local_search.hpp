@@ -1,0 +1,123 @@
+#pragma once
+// Local search and memetic hybridization.
+//
+// The survey's framework lineage (ParadisEO: "parallel and distributed
+// hybrid metaheuristics") pairs GAs with local search.  A LocalSearch
+// polishes one individual under an evaluation budget; MemeticScheme applies
+// it to each offspring of an inner scheme, in either of the classic modes:
+//   * Lamarckian  — the improved genome replaces the original (acquired
+//     traits are inherited);
+//   * Baldwinian  — only the improved *fitness* is kept, genome unchanged
+//     (learning smooths the landscape without changing genetics).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/evolution.hpp"
+#include "core/mutation.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+/// Improves `ind` in place using at most `budget` evaluations; returns the
+/// number of evaluations spent.  The individual must arrive evaluated and
+/// leave evaluated.
+template <class G>
+using LocalSearch = std::function<std::size_t(
+    Individual<G>&, const Problem<G>&, std::size_t budget, Rng&)>;
+
+namespace local_search {
+
+/// First-improvement bit-flip hill climbing over random loci.
+[[nodiscard]] inline LocalSearch<BitString> bit_hill_climb() {
+  return [](Individual<BitString>& ind, const Problem<BitString>& problem,
+            std::size_t budget, Rng& rng) {
+    std::size_t evals = 0;
+    for (std::size_t step = 0; step < budget; ++step) {
+      const std::size_t locus = rng.index(ind.genome.size());
+      ind.genome.flip(locus);
+      const double candidate = problem.fitness(ind.genome);
+      ++evals;
+      if (candidate > ind.fitness) {
+        ind.fitness = candidate;  // keep the improvement
+      } else {
+        ind.genome.flip(locus);   // revert
+      }
+    }
+    return evals;
+  };
+}
+
+/// Generic mutation-based hill climbing: propose `budget` mutated copies,
+/// keep each improvement (works for any genome given a mutation operator).
+template <class G>
+[[nodiscard]] LocalSearch<G> mutation_hill_climb(Mutation<G> proposal) {
+  return [proposal = std::move(proposal)](Individual<G>& ind,
+                                          const Problem<G>& problem,
+                                          std::size_t budget, Rng& rng) {
+    std::size_t evals = 0;
+    for (std::size_t step = 0; step < budget; ++step) {
+      G candidate = ind.genome;
+      proposal(candidate, rng);
+      const double f = problem.fitness(candidate);
+      ++evals;
+      if (f > ind.fitness) {
+        ind.genome = std::move(candidate);
+        ind.fitness = f;
+      }
+    }
+    return evals;
+  };
+}
+
+}  // namespace local_search
+
+/// How local-search improvements are written back.
+enum class MemeticMode { kLamarckian, kBaldwinian };
+
+/// Wraps an inner evolution scheme: after each inner step, every individual
+/// receives `budget_per_individual` polishing evaluations.
+template <class G>
+class MemeticScheme final : public EvolutionScheme<G> {
+ public:
+  MemeticScheme(std::unique_ptr<EvolutionScheme<G>> inner, LocalSearch<G> ls,
+                std::size_t budget_per_individual,
+                MemeticMode mode = MemeticMode::kLamarckian)
+      : inner_(std::move(inner)),
+        ls_(std::move(ls)),
+        budget_(budget_per_individual),
+        mode_(mode) {}
+
+  std::size_t step(Population<G>& pop, const Problem<G>& problem,
+                   Rng& rng) override {
+    std::size_t evals = inner_->step(pop, problem, rng);
+    for (auto& ind : pop) {
+      Individual<G> polished = ind;
+      evals += ls_(polished, problem, budget_, rng);
+      if (mode_ == MemeticMode::kLamarckian) {
+        ind = std::move(polished);
+      } else {
+        ind.fitness = polished.fitness;  // genome stays, fitness learned
+      }
+    }
+    return evals;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() +
+           (mode_ == MemeticMode::kLamarckian ? "+lamarck" : "+baldwin");
+  }
+
+ private:
+  std::unique_ptr<EvolutionScheme<G>> inner_;
+  LocalSearch<G> ls_;
+  std::size_t budget_;
+  MemeticMode mode_;
+};
+
+}  // namespace pga

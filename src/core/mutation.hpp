@@ -1,0 +1,227 @@
+#pragma once
+// Mutation operators.
+//
+// A Mutation perturbs one genome in place.  Per-gene rates default to the
+// classic 1/L when the factory takes a rate of 0 ("auto").
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/genome.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+template <class G>
+using Mutation = std::function<void(G&, Rng&)>;
+
+namespace mutation {
+
+namespace detail {
+[[nodiscard]] inline double effective_rate(double rate, std::size_t length) {
+  return rate > 0.0 ? rate : 1.0 / static_cast<double>(std::max<std::size_t>(1, length));
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// BitString
+// ---------------------------------------------------------------------------
+
+/// Independent bit-flip with probability `rate` per bit (0 = auto 1/L).
+[[nodiscard]] inline Mutation<BitString> bit_flip(double rate = 0.0) {
+  return [rate](BitString& g, Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (rng.bernoulli(p)) g.flip(i);
+  };
+}
+
+/// Flips exactly `count` distinct, uniformly chosen bits.  Used by takeover
+/// experiments where the *number* of perturbations must be controlled.
+[[nodiscard]] inline Mutation<BitString> exact_flips(std::size_t count) {
+  return [count](BitString& g, Rng& rng) {
+    for (std::size_t k = 0; k < count; ++k) g.flip(rng.index(g.size()));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// RealVector
+// ---------------------------------------------------------------------------
+
+/// Gaussian creep mutation: each gene perturbed with probability `rate`
+/// (0 = auto) by N(0, sigma_fraction * span), clamped to bounds.
+[[nodiscard]] inline Mutation<RealVector> gaussian(Bounds bounds,
+                                                   double sigma_fraction = 0.1,
+                                                   double rate = 0.0) {
+  return [bounds = std::move(bounds), sigma_fraction, rate](RealVector& g,
+                                                            Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!rng.bernoulli(p)) continue;
+      const double sigma = sigma_fraction * bounds.span(i);
+      g[i] = bounds.clamp(i, g[i] + rng.gaussian(0.0, sigma));
+    }
+  };
+}
+
+/// Uniform reset mutation: replaces a gene by a fresh uniform draw from its
+/// bounds with probability `rate` (0 = auto).
+[[nodiscard]] inline Mutation<RealVector> uniform_reset(Bounds bounds,
+                                                        double rate = 0.0) {
+  return [bounds = std::move(bounds), rate](RealVector& g, Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (rng.bernoulli(p)) g[i] = rng.uniform(bounds.lower[i], bounds.upper[i]);
+  };
+}
+
+/// Polynomial mutation (Deb) with distribution index `eta`; larger eta makes
+/// smaller steps.  Applied per gene with probability `rate` (0 = auto).
+[[nodiscard]] inline Mutation<RealVector> polynomial(Bounds bounds,
+                                                     double eta = 20.0,
+                                                     double rate = 0.0) {
+  return [bounds = std::move(bounds), eta, rate](RealVector& g, Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!rng.bernoulli(p)) continue;
+      const double lo = bounds.lower[i], hi = bounds.upper[i];
+      if (hi <= lo) continue;
+      const double x = g[i];
+      const double d1 = (x - lo) / (hi - lo), d2 = (hi - x) / (hi - lo);
+      const double u = rng.uniform();
+      const double pow_exp = 1.0 / (eta + 1.0);
+      double delta;
+      if (u < 0.5) {
+        const double bl = 2.0 * u + (1.0 - 2.0 * u) * std::pow(1.0 - d1, eta + 1.0);
+        delta = std::pow(bl, pow_exp) - 1.0;
+      } else {
+        const double bl =
+            2.0 * (1.0 - u) + 2.0 * (u - 0.5) * std::pow(1.0 - d2, eta + 1.0);
+        delta = 1.0 - std::pow(bl, pow_exp);
+      }
+      g[i] = bounds.clamp(i, x + delta * (hi - lo));
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
+// IntVector
+// ---------------------------------------------------------------------------
+
+/// Random-reset mutation on integer genes within their ranges.
+[[nodiscard]] inline Mutation<IntVector> int_reset(IntRanges ranges,
+                                                   double rate = 0.0) {
+  return [ranges = std::move(ranges), rate](IntVector& g, Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (rng.bernoulli(p))
+        g[i] = static_cast<int>(rng.integer(ranges.lower[i], ranges.upper[i]));
+  };
+}
+
+/// Creep mutation on integer genes: +/- step within range.
+[[nodiscard]] inline Mutation<IntVector> int_creep(IntRanges ranges,
+                                                   int max_step = 1,
+                                                   double rate = 0.0) {
+  if (max_step < 1) throw std::invalid_argument("int_creep max_step >= 1");
+  return [ranges = std::move(ranges), max_step, rate](IntVector& g, Rng& rng) {
+    const double p = detail::effective_rate(rate, g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!rng.bernoulli(p)) continue;
+      const int step = static_cast<int>(rng.integer(1, max_step));
+      g[i] = ranges.clamp(i, g[i] + (rng.bernoulli(0.5) ? step : -step));
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Permutation
+// ---------------------------------------------------------------------------
+
+/// Swap mutation: exchanges two random positions.
+[[nodiscard]] inline Mutation<Permutation> swap() {
+  return [](Permutation& g, Rng& rng) {
+    if (g.size() < 2) return;
+    const std::size_t a = rng.index(g.size());
+    std::size_t b = rng.index(g.size() - 1);
+    if (b >= a) ++b;
+    std::swap(g[a], g[b]);
+  };
+}
+
+/// Insertion mutation: removes one element and reinserts it elsewhere.
+[[nodiscard]] inline Mutation<Permutation> insertion() {
+  return [](Permutation& g, Rng& rng) {
+    if (g.size() < 2) return;
+    const std::size_t from = rng.index(g.size());
+    const std::size_t to = rng.index(g.size());
+    if (from == to) return;
+    const std::uint32_t v = g[from];
+    if (from < to)
+      std::move(g.order.begin() + static_cast<std::ptrdiff_t>(from) + 1,
+                g.order.begin() + static_cast<std::ptrdiff_t>(to) + 1,
+                g.order.begin() + static_cast<std::ptrdiff_t>(from));
+    else
+      std::move_backward(g.order.begin() + static_cast<std::ptrdiff_t>(to),
+                         g.order.begin() + static_cast<std::ptrdiff_t>(from),
+                         g.order.begin() + static_cast<std::ptrdiff_t>(from) + 1);
+    g[to] = v;
+  };
+}
+
+/// Inversion (2-opt style) mutation: reverses a random segment.
+[[nodiscard]] inline Mutation<Permutation> inversion() {
+  return [](Permutation& g, Rng& rng) {
+    if (g.size() < 2) return;
+    std::size_t a = rng.index(g.size()), b = rng.index(g.size());
+    if (a > b) std::swap(a, b);
+    std::reverse(g.order.begin() + static_cast<std::ptrdiff_t>(a),
+                 g.order.begin() + static_cast<std::ptrdiff_t>(b) + 1);
+  };
+}
+
+/// Scramble mutation: shuffles a random segment.
+[[nodiscard]] inline Mutation<Permutation> scramble() {
+  return [](Permutation& g, Rng& rng) {
+    if (g.size() < 2) return;
+    std::size_t a = rng.index(g.size()), b = rng.index(g.size());
+    if (a > b) std::swap(a, b);
+    for (std::size_t i = b; i > a; --i) {
+      const std::size_t j = a + rng.index(i - a + 1);
+      std::swap(g.order[i], g.order[j]);
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Applies `op` with probability `prob`, otherwise leaves the genome alone.
+template <class G>
+[[nodiscard]] Mutation<G> with_probability(double prob, Mutation<G> op) {
+  return [prob, op = std::move(op)](G& g, Rng& rng) {
+    if (rng.bernoulli(prob)) op(g, rng);
+  };
+}
+
+/// Applies several mutations in sequence.
+template <class G>
+[[nodiscard]] Mutation<G> chain(std::vector<Mutation<G>> ops) {
+  return [ops = std::move(ops)](G& g, Rng& rng) {
+    for (const auto& op : ops) op(g, rng);
+  };
+}
+
+/// The identity mutation (selection-only studies, experiment E4).
+template <class G>
+[[nodiscard]] Mutation<G> none() {
+  return [](G&, Rng&) {};
+}
+
+}  // namespace mutation
+}  // namespace pga

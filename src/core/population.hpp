@@ -1,0 +1,132 @@
+#pragma once
+// Individuals and populations.
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+/// A genome paired with its (lazily computed) fitness.
+template <class G>
+struct Individual {
+  G genome{};
+  double fitness = -std::numeric_limits<double>::infinity();
+  bool evaluated = false;
+
+  Individual() = default;
+  explicit Individual(G g) : genome(std::move(g)) {}
+  Individual(G g, double f) : genome(std::move(g)), fitness(f), evaluated(true) {}
+};
+
+/// A population is a vector of individuals plus bookkeeping helpers.  It is a
+/// plain container: evolution engines own the update logic, demes own the
+/// migration logic.
+template <class G>
+class Population {
+ public:
+  using IndividualT = Individual<G>;
+
+  Population() = default;
+  explicit Population(std::vector<IndividualT> members)
+      : members_(std::move(members)) {}
+
+  /// Builds a population of `n` random genomes via `make(rng)`.
+  template <class MakeFn>
+  [[nodiscard]] static Population random(std::size_t n, MakeFn&& make,
+                                         Rng& rng) {
+    std::vector<IndividualT> members;
+    members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) members.emplace_back(make(rng));
+    return Population(std::move(members));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  [[nodiscard]] IndividualT& operator[](std::size_t i) { return members_[i]; }
+  [[nodiscard]] const IndividualT& operator[](std::size_t i) const {
+    return members_[i];
+  }
+
+  [[nodiscard]] auto begin() noexcept { return members_.begin(); }
+  [[nodiscard]] auto end() noexcept { return members_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return members_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return members_.end(); }
+
+  [[nodiscard]] std::vector<IndividualT>& members() noexcept { return members_; }
+  [[nodiscard]] const std::vector<IndividualT>& members() const noexcept {
+    return members_;
+  }
+
+  void push_back(IndividualT ind) { members_.push_back(std::move(ind)); }
+
+  /// Evaluates every not-yet-evaluated member against `problem`; returns the
+  /// number of fitness evaluations performed.
+  std::size_t evaluate_all(const Problem<G>& problem) {
+    std::size_t evals = 0;
+    for (auto& ind : members_) {
+      if (!ind.evaluated) {
+        ind.fitness = problem.fitness(ind.genome);
+        ind.evaluated = true;
+        ++evals;
+      }
+    }
+    return evals;
+  }
+
+  /// Index of the best (highest-fitness) individual.  Population must be
+  /// non-empty and evaluated.
+  [[nodiscard]] std::size_t best_index() const {
+    if (members_.empty()) throw std::logic_error("best_index on empty population");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i)
+      if (members_[i].fitness > members_[best].fitness) best = i;
+    return best;
+  }
+
+  [[nodiscard]] const IndividualT& best() const { return members_[best_index()]; }
+
+  [[nodiscard]] std::size_t worst_index() const {
+    if (members_.empty()) throw std::logic_error("worst_index on empty population");
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i)
+      if (members_[i].fitness < members_[worst].fitness) worst = i;
+    return worst;
+  }
+
+  [[nodiscard]] double best_fitness() const { return best().fitness; }
+
+  [[nodiscard]] double mean_fitness() const {
+    double s = 0.0;
+    for (const auto& ind : members_) s += ind.fitness;
+    return members_.empty() ? 0.0 : s / static_cast<double>(members_.size());
+  }
+
+  /// Fitness values of all members in order (used by index-based selectors).
+  [[nodiscard]] std::vector<double> fitness_values() const {
+    std::vector<double> f;
+    f.reserve(members_.size());
+    for (const auto& ind : members_) f.push_back(ind.fitness);
+    return f;
+  }
+
+  /// Sorts members by descending fitness (best first).
+  void sort_descending() {
+    std::sort(members_.begin(), members_.end(),
+              [](const IndividualT& a, const IndividualT& b) {
+                return a.fitness > b.fitness;
+              });
+  }
+
+ private:
+  std::vector<IndividualT> members_;
+};
+
+}  // namespace pga

@@ -1,0 +1,73 @@
+#pragma once
+// Problem interfaces.
+//
+// Engines in pgalib always *maximize* `fitness`.  Minimization problems
+// (most numeric benchmarks) return the negated objective from `fitness()`
+// and expose the raw value through `objective()`, so reports can print the
+// familiar minimization numbers while the evolutionary machinery stays
+// sign-uniform.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pga {
+
+/// Problem classes used by Alba & Troya (2000) to span the difficulty
+/// spectrum; experiment E3 sweeps migration policy across all five.
+enum class ProblemClass { kEasy, kDeceptive, kMultimodal, kNpComplete, kEpistatic };
+
+[[nodiscard]] constexpr const char* to_string(ProblemClass c) noexcept {
+  switch (c) {
+    case ProblemClass::kEasy: return "easy";
+    case ProblemClass::kDeceptive: return "deceptive";
+    case ProblemClass::kMultimodal: return "multimodal";
+    case ProblemClass::kNpComplete: return "np-complete";
+    case ProblemClass::kEpistatic: return "epistatic";
+  }
+  return "?";
+}
+
+/// Single-objective problem over genome type G.  Implementations must be
+/// thread-compatible: `fitness` is called concurrently from slave threads and
+/// must not mutate shared state.
+template <class G>
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  /// Fitness to maximize.
+  [[nodiscard]] virtual double fitness(const G& genome) const = 0;
+
+  /// Raw objective in the problem's natural sense (e.g. function value to
+  /// minimize, tour length).  Defaults to `fitness`.
+  [[nodiscard]] virtual double objective(const G& genome) const {
+    return fitness(genome);
+  }
+
+  /// Known global optimum of `fitness`, when the benchmark has one.  Engines
+  /// use it for success-rate and evaluations-to-solution accounting.
+  [[nodiscard]] virtual std::optional<double> optimum_fitness() const {
+    return std::nullopt;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Multi-objective problem (all objectives minimized, ZDT convention).  Used
+/// by the specialized island model (Xiao & Armstrong 2003) experiments.
+template <class G>
+class MultiObjectiveProblem {
+ public:
+  virtual ~MultiObjectiveProblem() = default;
+
+  [[nodiscard]] virtual std::size_t num_objectives() const = 0;
+
+  /// Objective vector, each component minimized.
+  [[nodiscard]] virtual std::vector<double> evaluate(const G& genome) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace pga

@@ -1,0 +1,148 @@
+#pragma once
+// Deterministic random number generation for pgalib.
+//
+// Every stochastic component in the library takes an explicit `Rng&`, never a
+// global generator: parallel genetic algorithms are only debuggable and
+// benchmarkable when a run is a pure function of its seed.  Demes, slaves and
+// cellular blocks each receive an independent stream derived with
+// `Rng::split`, so the trajectory of one deme does not depend on how many
+// numbers its neighbours consumed (crucial for sync-vs-async comparisons).
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through splitmix64
+// as its authors recommend.  Both are implemented here from the public-domain
+// reference algorithms; no <random> engine is used for generation (only the
+// distributions are hand-rolled too, so results are bit-stable across
+// standard libraries).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pga {
+
+/// One step of the splitmix64 sequence; used for seeding and stream-splitting.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with hand-rolled, bit-stable distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Derives an independent generator for a child component (deme, node,
+  /// island...).  Mixing the salt through splitmix64 decorrelates children
+  /// with adjacent indices.
+  [[nodiscard]] Rng split(std::uint64_t salt) const noexcept {
+    std::uint64_t sm = state_[0] ^ (salt * 0x9e3779b97f4a7c15ULL) ^ state_[3];
+    Rng child{splitmix64(sm)};
+    return child;
+  }
+
+  /// Raw 64 uniformly random bits.
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (lets Rng drive std::shuffle).
+  [[nodiscard]] std::uint64_t operator()() noexcept { return next(); }
+  [[nodiscard]] static constexpr std::uint64_t min() noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of resolution.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.  Uses Lemire-style rejection
+  /// to avoid modulo bias.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept {
+    const std::uint64_t bound = static_cast<std::uint64_t>(n);
+    // Threshold for rejection sampling: 2^64 mod bound.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return static_cast<std::size_t>(r % bound);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] long long integer(long long lo, long long hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1u;
+    return lo + static_cast<long long>(index(static_cast<std::size_t>(span)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal variate (Marsaglia polar method; caches the spare).
+  [[nodiscard]] double gaussian() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Normal variate with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential variate with rate lambda (> 0).
+  [[nodiscard]] double exponential(double lambda) noexcept {
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / lambda;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace pga

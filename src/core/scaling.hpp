@@ -1,0 +1,107 @@
+#pragma once
+// Fitness scaling: transforms applied to raw fitness before
+// fitness-proportionate selection.  Classic GA practice (Goldberg ch. 3) to
+// keep selection pressure useful early (when one super-individual would take
+// over) and late (when fitnesses have converged and roulette degenerates to
+// uniform).  Scalings compose with any Selector via `scaled`.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace pga {
+
+/// Maps a fitness vector to a scaled one (same length).
+using FitnessScaling =
+    std::function<std::vector<double>(std::span<const double>)>;
+
+namespace scaling {
+
+/// Linear scaling f' = a f + b with the classic calibration: mean maps to
+/// mean, max maps to `pressure` * mean (default 2.0), truncated at zero.
+[[nodiscard]] inline FitnessScaling linear(double pressure = 2.0) {
+  if (pressure <= 1.0)
+    throw std::invalid_argument("linear scaling pressure must be > 1");
+  return [pressure](std::span<const double> fitness) {
+    const double n = static_cast<double>(fitness.size());
+    const double mean = std::accumulate(fitness.begin(), fitness.end(), 0.0) / n;
+    const double max = *std::max_element(fitness.begin(), fitness.end());
+    std::vector<double> out(fitness.size());
+    if (max <= mean + 1e-300) {
+      std::fill(out.begin(), out.end(), 1.0);  // converged: uniform
+      return out;
+    }
+    const double a = (pressure - 1.0) * mean / (max - mean);
+    const double b = mean * (1.0 - a);
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      out[i] = std::max(0.0, a * fitness[i] + b);
+    return out;
+  };
+}
+
+/// Sigma truncation: f' = max(0, f - (mean - c * sigma)); individuals more
+/// than c standard deviations below the mean get zero reproductive mass.
+[[nodiscard]] inline FitnessScaling sigma_truncation(double c = 2.0) {
+  return [c](std::span<const double> fitness) {
+    const double n = static_cast<double>(fitness.size());
+    const double mean = std::accumulate(fitness.begin(), fitness.end(), 0.0) / n;
+    double var = 0.0;
+    for (double f : fitness) var += (f - mean) * (f - mean);
+    const double sigma = std::sqrt(var / n);
+    // A converged population has no signal to rescale; keep its mass.
+    if (sigma < 1e-300)
+      return std::vector<double>(fitness.begin(), fitness.end());
+    std::vector<double> out(fitness.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      out[i] = std::max(0.0, fitness[i] - (mean - c * sigma));
+    return out;
+  };
+}
+
+/// Power-law scaling f' = f^k on non-negative fitness (shifted if needed).
+[[nodiscard]] inline FitnessScaling power(double k = 1.005) {
+  return [k](std::span<const double> fitness) {
+    const double lo = *std::min_element(fitness.begin(), fitness.end());
+    const double shift = lo < 0.0 ? -lo : 0.0;
+    std::vector<double> out(fitness.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      out[i] = std::pow(fitness[i] + shift, k);
+    return out;
+  };
+}
+
+/// Rank transform: fitness replaced by rank (worst = 1 ... best = n), the
+/// non-parametric alternative to scaling.
+[[nodiscard]] inline FitnessScaling ranked() {
+  return [](std::span<const double> fitness) {
+    const std::size_t n = fitness.size();
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return fitness[a] < fitness[b];
+    });
+    std::vector<double> out(n);
+    for (std::size_t r = 0; r < n; ++r)
+      out[idx[r]] = static_cast<double>(r + 1);
+    return out;
+  };
+}
+
+}  // namespace scaling
+
+/// Wraps a selector so it sees scaled fitness values.
+[[nodiscard]] inline Selector scaled(FitnessScaling scale, Selector inner) {
+  return [scale = std::move(scale), inner = std::move(inner)](
+             std::span<const double> fitness, Rng& rng) {
+    const auto transformed = scale(fitness);
+    return inner(transformed, rng);
+  };
+}
+
+}  // namespace pga

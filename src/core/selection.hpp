@@ -1,0 +1,168 @@
+#pragma once
+// Selection operators.
+//
+// A Selector maps a span of fitness values to the index of one chosen parent.
+// All classic schemes the survey's basics section lists are provided:
+// fitness-proportionate (roulette), stochastic universal sampling, k-ary
+// tournament, linear ranking, truncation and Boltzmann selection.  Selection
+// intensity differences between these drive experiment E4 (takeover time).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace pga {
+
+/// Picks the index of one parent given the population's fitness values.
+using Selector = std::function<std::size_t(std::span<const double>, Rng&)>;
+
+namespace selection {
+
+namespace detail {
+/// Produces a non-negative selection mass (roulette and SUS need one).
+/// Positive fitness is used as-is — classic fitness-proportionate behaviour —
+/// while populations containing non-positive values are window-shifted so the
+/// worst individual keeps a sliver of probability.
+[[nodiscard]] inline std::vector<double> nonnegative_mass(
+    std::span<const double> fitness) {
+  const double lo = *std::min_element(fitness.begin(), fitness.end());
+  if (lo > 0.0) return {fitness.begin(), fitness.end()};
+  const double hi = *std::max_element(fitness.begin(), fitness.end());
+  const double eps = (hi > lo) ? (hi - lo) * 1e-9 : 1.0;
+  std::vector<double> mass(fitness.size());
+  for (std::size_t i = 0; i < fitness.size(); ++i)
+    mass[i] = fitness[i] - lo + eps;
+  return mass;
+}
+
+/// Samples one index proportionally to `mass` (which must be non-negative
+/// with positive total).
+[[nodiscard]] inline std::size_t sample_proportional(
+    std::span<const double> mass, Rng& rng) {
+  const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < mass.size(); ++i) {
+    r -= mass[i];
+    if (r <= 0.0) return i;
+  }
+  return mass.size() - 1;  // numerical tail
+}
+}  // namespace detail
+
+/// Fitness-proportionate (roulette-wheel) selection.
+[[nodiscard]] inline Selector roulette() {
+  return [](std::span<const double> fitness, Rng& rng) {
+    const auto mass = detail::nonnegative_mass(fitness);
+    return detail::sample_proportional(mass, rng);
+  };
+}
+
+/// k-ary tournament selection: sample k competitors uniformly with
+/// replacement, return the fittest.  k >= 1; k = 1 is uniform-random.
+[[nodiscard]] inline Selector tournament(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("tournament size must be >= 1");
+  return [k](std::span<const double> fitness, Rng& rng) {
+    std::size_t best = rng.index(fitness.size());
+    for (std::size_t i = 1; i < k; ++i) {
+      const std::size_t c = rng.index(fitness.size());
+      if (fitness[c] > fitness[best]) best = c;
+    }
+    return best;
+  };
+}
+
+/// Linear ranking selection with pressure s in (1, 2]: the best individual
+/// gets expected s offspring, the worst 2-s (Baker 1985).
+[[nodiscard]] inline Selector linear_rank(double s = 1.8) {
+  if (s <= 1.0 || s > 2.0)
+    throw std::invalid_argument("linear_rank pressure must be in (1, 2]");
+  return [s](std::span<const double> fitness, Rng& rng) {
+    const std::size_t n = fitness.size();
+    // rank[i] = number of individuals strictly worse than i.
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+    std::vector<double> mass(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double p =
+          (2.0 - s) + 2.0 * (s - 1.0) * static_cast<double>(r) /
+                          static_cast<double>(n > 1 ? n - 1 : 1);
+      mass[idx[r]] = p;
+    }
+    return detail::sample_proportional(mass, rng);
+  };
+}
+
+/// Truncation selection: choose uniformly among the top `fraction` of the
+/// population (fraction in (0, 1]).
+[[nodiscard]] inline Selector truncation(double fraction = 0.5) {
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("truncation fraction must be in (0, 1]");
+  return [fraction](std::span<const double> fitness, Rng& rng) {
+    const std::size_t n = fitness.size();
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(n))));
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     idx.end(), [&](std::size_t a, std::size_t b) {
+                       return fitness[a] > fitness[b];
+                     });
+    return idx[rng.index(keep)];
+  };
+}
+
+/// Boltzmann selection: probability proportional to exp(fitness / T).
+/// Lower temperature -> higher selection pressure.
+[[nodiscard]] inline Selector boltzmann(double temperature) {
+  if (temperature <= 0.0)
+    throw std::invalid_argument("boltzmann temperature must be > 0");
+  return [temperature](std::span<const double> fitness, Rng& rng) {
+    // Stabilize by subtracting the max before exponentiating.
+    const double hi = *std::max_element(fitness.begin(), fitness.end());
+    std::vector<double> mass(fitness.size());
+    for (std::size_t i = 0; i < fitness.size(); ++i)
+      mass[i] = std::exp((fitness[i] - hi) / temperature);
+    return detail::sample_proportional(mass, rng);
+  };
+}
+
+/// Uniform-random selection (no pressure); the control arm in takeover
+/// experiments.
+[[nodiscard]] inline Selector uniform() {
+  return [](std::span<const double> fitness, Rng& rng) {
+    return rng.index(fitness.size());
+  };
+}
+
+/// Stochastic universal sampling: draws `count` parents with a single spin of
+/// an evenly-spaced multi-arm wheel, guaranteeing each individual's draw count
+/// differs from its expectation by less than 1 (Baker 1987).
+[[nodiscard]] inline std::vector<std::size_t> sus(
+    std::span<const double> fitness, std::size_t count, Rng& rng) {
+  const auto mass = detail::nonnegative_mass(fitness);
+  const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+  const double step = total / static_cast<double>(count);
+  double pointer = rng.uniform() * step;
+  std::vector<std::size_t> picks;
+  picks.reserve(count);
+  double cumulative = mass[0];
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double target = pointer + static_cast<double>(k) * step;
+    while (cumulative < target && i + 1 < mass.size()) cumulative += mass[++i];
+    picks.push_back(i);
+  }
+  return picks;
+}
+
+}  // namespace selection
+}  // namespace pga

@@ -1,0 +1,100 @@
+#pragma once
+// Run statistics: per-generation snapshots, running moments, and the
+// success/effort accounting used by every experiment (success rate, mean
+// evaluations-to-solution, numerical speedup).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pga {
+
+/// Welford running mean/variance; used for aggregating repeated GA runs and
+/// for on-line population statistics.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One generation's population snapshot.
+struct GenStats {
+  std::size_t generation = 0;
+  std::size_t evaluations = 0;  ///< cumulative evaluations at snapshot time
+  double best = 0.0;
+  double mean = 0.0;
+  double worst = 0.0;
+};
+
+/// Aggregates many independent runs of the same configuration into the
+/// efficacy / effort numbers Alba & Troya report: hit rate, mean and median
+/// evaluations among successful runs.
+class EffortAccumulator {
+ public:
+  /// Records one run: whether it hit the target, and at how many evaluations.
+  void add_run(bool success, std::size_t evals_to_target) {
+    ++runs_;
+    if (success) {
+      ++hits_;
+      successful_evals_.push_back(static_cast<double>(evals_to_target));
+    }
+  }
+
+  [[nodiscard]] std::size_t runs() const noexcept { return runs_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+  /// Efficacy: fraction of runs that found the target ("number of hits").
+  [[nodiscard]] double hit_rate() const noexcept {
+    return runs_ ? static_cast<double>(hits_) / static_cast<double>(runs_) : 0.0;
+  }
+
+  /// Mean evaluations-to-solution over *successful* runs (the "numerical
+  /// effort" measure; infinity when no run succeeded).
+  [[nodiscard]] double mean_evals() const noexcept {
+    if (successful_evals_.empty())
+      return std::numeric_limits<double>::infinity();
+    double s = 0.0;
+    for (double v : successful_evals_) s += v;
+    return s / static_cast<double>(successful_evals_.size());
+  }
+
+  [[nodiscard]] double median_evals() const {
+    if (successful_evals_.empty())
+      return std::numeric_limits<double>::infinity();
+    std::vector<double> v = successful_evals_;
+    std::sort(v.begin(), v.end());
+    const std::size_t m = v.size() / 2;
+    return (v.size() % 2) ? v[m] : 0.5 * (v[m - 1] + v[m]);
+  }
+
+ private:
+  std::size_t runs_ = 0;
+  std::size_t hits_ = 0;
+  std::vector<double> successful_evals_;
+};
+
+}  // namespace pga

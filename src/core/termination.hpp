@@ -1,0 +1,27 @@
+#pragma once
+// Termination criteria shared by all engines and parallel models.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+
+namespace pga {
+
+/// Stop conditions: a run halts when ANY enabled limit is reached.  Targets
+/// are compared with a small tolerance so "reached the known optimum" is
+/// robust to floating-point accumulation.
+struct StopCondition {
+  std::size_t max_generations = 1000;
+  std::size_t max_evaluations = std::numeric_limits<std::size_t>::max();
+  std::optional<double> target_fitness{};  ///< stop when best >= target - tol
+  double target_tolerance = 1e-9;
+  /// Stop after this many consecutive generations without best-fitness
+  /// improvement (0 disables stagnation detection).
+  std::size_t stagnation_generations = 0;
+
+  [[nodiscard]] bool target_reached(double best) const noexcept {
+    return target_fitness && best >= *target_fitness - target_tolerance;
+  }
+};
+
+}  // namespace pga

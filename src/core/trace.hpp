@@ -1,0 +1,119 @@
+#pragma once
+// Run tracing: CSV export of per-generation statistics, so pgalib runs can
+// be plotted/analyzed with external tools — the reporting layer every
+// library in the survey's Table 1 shipped in some form.
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/statistics.hpp"
+
+namespace pga {
+
+/// Serializes a run history (RunResult::history) as CSV text with header
+/// `generation,evaluations,best,mean,worst`.
+[[nodiscard]] inline std::string history_to_csv(
+    const std::vector<GenStats>& history) {
+  std::ostringstream out;
+  out << "generation,evaluations,best,mean,worst\n";
+  out.precision(17);
+  for (const auto& g : history) {
+    out << g.generation << ',' << g.evaluations << ',' << g.best << ','
+        << g.mean << ',' << g.worst << '\n';
+  }
+  return out.str();
+}
+
+/// Parses CSV produced by history_to_csv (round-trip support for analysis
+/// pipelines and tests).  Throws on malformed input.
+[[nodiscard]] inline std::vector<GenStats> history_from_csv(
+    const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "generation,evaluations,best,mean,worst")
+    throw std::runtime_error("bad trace header");
+  std::vector<GenStats> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    GenStats g;
+    std::istringstream fields(line);
+    char c1, c2, c3, c4;
+    if (!(fields >> g.generation >> c1 >> g.evaluations >> c2 >> g.best >>
+          c3 >> g.mean >> c4 >> g.worst) ||
+        c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',')
+      throw std::runtime_error("bad trace row: " + line);
+    out.push_back(g);
+  }
+  return out;
+}
+
+/// Writes a history CSV file.
+inline void save_trace(const std::vector<GenStats>& history,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << history_to_csv(history);
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+/// Reads a history CSV file.
+[[nodiscard]] inline std::vector<GenStats> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return history_from_csv(buffer.str());
+}
+
+/// Generic CSV table builder for experiment harnesses that want to persist
+/// results next to their stdout tables.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  CsvTable& row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_.size())
+      throw std::invalid_argument("CSV row width mismatch");
+    rows_.push_back(cells);
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    out << join(columns_) << '\n';
+    for (const auto& r : rows_) out << join(r) << '\n';
+    return out.str();
+  }
+
+  void save(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open CSV file: " + path);
+    out << to_string();
+  }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  [[nodiscard]] static std::string join(const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out.push_back(',');
+      // Quote cells containing commas.
+      if (cells[i].find(',') != std::string::npos)
+        out += '"' + cells[i] + '"';
+      else
+        out += cells[i];
+    }
+    return out;
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pga

@@ -1,0 +1,185 @@
+#pragma once
+// NSGA-II (Deb et al. 2000/2002): the era's canonical multi-objective GA,
+// built from the Pareto utilities in pareto.hpp.  Serves as the panmictic
+// baseline the specialized island model is compared against in E8's
+// extended runs, and as a library feature in its own right (the survey's
+// perspective section expects multi-objective frameworks).
+//
+// Implementation: (mu + mu) survival with fast non-dominated sorting and
+// crowding-distance truncation; binary tournament on (rank, crowding).
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/crossover.hpp"
+#include "core/mutation.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "multiobj/pareto.hpp"
+
+namespace pga::multiobj {
+
+/// One NSGA-II member: genome plus cached objective vector.
+template <class G>
+struct MoIndividual {
+  G genome{};
+  std::vector<double> objectives;
+};
+
+template <class G>
+struct Nsga2Config {
+  std::size_t population_size = 100;
+  Crossover<G> cross;
+  Mutation<G> mutate;
+  double crossover_rate = 0.9;
+};
+
+template <class G>
+struct Nsga2Result {
+  std::vector<MoIndividual<G>> population;
+  /// Indices of the first non-dominated front within `population`.
+  std::vector<std::size_t> front;
+  std::size_t evaluations = 0;
+
+  [[nodiscard]] std::vector<std::vector<double>> front_objectives() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(front.size());
+    for (std::size_t i : front) out.push_back(population[i].objectives);
+    return out;
+  }
+};
+
+template <class G>
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config<G> config) : config_(std::move(config)) {
+    if (config_.population_size < 4)
+      throw std::invalid_argument("NSGA-II population must be >= 4");
+  }
+
+  /// Runs `generations` generations from random genomes built by `make`.
+  template <class MakeGenome>
+  Nsga2Result<G> run(const MultiObjectiveProblem<G>& problem,
+                     std::size_t generations, MakeGenome&& make, Rng& rng) {
+    Nsga2Result<G> result;
+    std::vector<MoIndividual<G>> pop;
+    pop.reserve(config_.population_size);
+    for (std::size_t i = 0; i < config_.population_size; ++i) {
+      MoIndividual<G> ind;
+      ind.genome = make(rng);
+      ind.objectives = problem.evaluate(ind.genome);
+      ++result.evaluations;
+      pop.push_back(std::move(ind));
+    }
+
+    for (std::size_t gen = 0; gen < generations; ++gen) {
+      // Rank + crowding of the current population (for mating selection).
+      auto [rank, crowd] = rank_and_crowd(pop);
+
+      auto tournament = [&](Rng& r) -> const MoIndividual<G>& {
+        const std::size_t a = r.index(pop.size());
+        const std::size_t b = r.index(pop.size());
+        if (rank[a] != rank[b]) return pop[rank[a] < rank[b] ? a : b];
+        return pop[crowd[a] > crowd[b] ? a : b];
+      };
+
+      // Offspring.
+      std::vector<MoIndividual<G>> offspring;
+      offspring.reserve(config_.population_size);
+      while (offspring.size() < config_.population_size) {
+        const auto& p1 = tournament(rng);
+        const auto& p2 = tournament(rng);
+        G c1 = p1.genome, c2 = p2.genome;
+        if (rng.bernoulli(config_.crossover_rate)) {
+          auto [a, b] = config_.cross(p1.genome, p2.genome, rng);
+          c1 = std::move(a);
+          c2 = std::move(b);
+        }
+        config_.mutate(c1, rng);
+        offspring.push_back(evaluate(problem, std::move(c1), result));
+        if (offspring.size() < config_.population_size) {
+          config_.mutate(c2, rng);
+          offspring.push_back(evaluate(problem, std::move(c2), result));
+        }
+      }
+
+      // (mu + mu) environmental selection.
+      for (auto& child : offspring) pop.push_back(std::move(child));
+      pop = truncate(std::move(pop));
+    }
+
+    auto [rank, crowd] = rank_and_crowd(pop);
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      if (rank[i] == 0) result.front.push_back(i);
+    result.population = std::move(pop);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] static MoIndividual<G> evaluate(
+      const MultiObjectiveProblem<G>& problem, G genome,
+      Nsga2Result<G>& result) {
+    MoIndividual<G> ind;
+    ind.genome = std::move(genome);
+    ind.objectives = problem.evaluate(ind.genome);
+    ++result.evaluations;
+    return ind;
+  }
+
+  /// Computes per-individual front rank and crowding distance.
+  [[nodiscard]] static std::pair<std::vector<std::size_t>, std::vector<double>>
+  rank_and_crowd(const std::vector<MoIndividual<G>>& pop) {
+    std::vector<std::vector<double>> points;
+    points.reserve(pop.size());
+    for (const auto& ind : pop) points.push_back(ind.objectives);
+    const auto fronts = nondominated_sort(points);
+    std::vector<std::size_t> rank(pop.size(), 0);
+    std::vector<double> crowd(pop.size(), 0.0);
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      const auto dist = crowding_distance(points, fronts[f]);
+      for (std::size_t k = 0; k < fronts[f].size(); ++k) {
+        rank[fronts[f][k]] = f;
+        crowd[fronts[f][k]] = dist[k];
+      }
+    }
+    return {std::move(rank), std::move(crowd)};
+  }
+
+  /// Keeps the best population_size individuals by (front, crowding).
+  [[nodiscard]] std::vector<MoIndividual<G>> truncate(
+      std::vector<MoIndividual<G>> merged) const {
+    std::vector<std::vector<double>> points;
+    points.reserve(merged.size());
+    for (const auto& ind : merged) points.push_back(ind.objectives);
+    const auto fronts = nondominated_sort(points);
+
+    std::vector<MoIndividual<G>> next;
+    next.reserve(config_.population_size);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= config_.population_size) {
+        for (std::size_t i : front) next.push_back(std::move(merged[i]));
+        continue;
+      }
+      // Partial front: keep the most crowded-out... i.e. LARGEST distances.
+      const auto dist = crowding_distance(points, front);
+      std::vector<std::size_t> order(front.size());
+      for (std::size_t k = 0; k < front.size(); ++k) order[k] = k;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return dist[a] > dist[b];
+      });
+      for (std::size_t k = 0;
+           k < order.size() && next.size() < config_.population_size; ++k)
+        next.push_back(std::move(merged[front[order[k]]]));
+      break;
+    }
+    return next;
+  }
+
+  Nsga2Config<G> config_;
+};
+
+}  // namespace pga::multiobj

@@ -1,0 +1,149 @@
+#pragma once
+// Pareto utilities for multi-objective PGAs (all objectives minimized):
+// dominance, fast non-dominated sorting, crowding distance, the 2-D
+// hypervolume indicator and the additive epsilon indicator.  Used by the
+// specialized island model (Xiao & Armstrong 2003) experiments.
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace pga::multiobj {
+
+/// True iff `a` Pareto-dominates `b` (<= everywhere, < somewhere).
+[[nodiscard]] inline bool dominates(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+/// Indices of the non-dominated points in `points`.
+[[nodiscard]] inline std::vector<std::size_t> nondominated_indices(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+      if (j != i && (dominates(points[j], points[i]) ||
+                     (points[j] == points[i] && j < i)))
+        dominated = true;  // duplicates keep only their first occurrence
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+/// Fast non-dominated sort (Deb's NSGA-II): returns fronts of indices, best
+/// front first.
+[[nodiscard]] inline std::vector<std::vector<std::size_t>> nondominated_sort(
+    const std::vector<std::vector<double>>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts(1);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(points[p], points[q]))
+        dominated_by[p].push_back(q);
+      else if (dominates(points[q], points[p]))
+        ++domination_count[p];
+    }
+    if (domination_count[p] == 0) fronts[0].push_back(p);
+  }
+
+  std::size_t f = 0;
+  while (!fronts[f].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : fronts[f]) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    fronts.push_back(std::move(next));
+    ++f;
+  }
+  fronts.pop_back();  // the trailing empty front
+  return fronts;
+}
+
+/// NSGA-II crowding distance for the points at `front` indices.
+[[nodiscard]] inline std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const std::size_t m = points[front[0]].size();
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return points[front[a]][obj] < points[front[b]][obj];
+    });
+    const double lo = points[front[order.front()]][obj];
+    const double hi = points[front[order.back()]][obj];
+    dist[order.front()] = dist[order.back()] =
+        std::numeric_limits<double>::infinity();
+    if (hi <= lo) continue;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      dist[order[k]] += (points[front[order[k + 1]]][obj] -
+                         points[front[order[k - 1]]][obj]) /
+                        (hi - lo);
+    }
+  }
+  return dist;
+}
+
+/// 2-D hypervolume dominated by `points` with respect to `reference`
+/// (both objectives minimized; points beyond the reference contribute 0).
+[[nodiscard]] inline double hypervolume_2d(
+    std::vector<std::vector<double>> points,
+    const std::vector<double>& reference) {
+  if (reference.size() != 2)
+    throw std::invalid_argument("hypervolume_2d needs a 2-D reference point");
+  // Keep only points strictly better than the reference in both objectives.
+  std::erase_if(points, [&](const std::vector<double>& p) {
+    return p[0] >= reference[0] || p[1] >= reference[1];
+  });
+  if (points.empty()) return 0.0;
+  // Sort by f0 ascending; sweep keeping the best f1 so far.
+  std::sort(points.begin(), points.end());
+  double volume = 0.0;
+  double prev_f1 = reference[1];
+  for (const auto& p : points) {
+    if (p[1] < prev_f1) {
+      volume += (reference[0] - p[0]) * (prev_f1 - p[1]);
+      prev_f1 = p[1];
+    }
+  }
+  return volume;
+}
+
+/// Additive epsilon indicator: the smallest shift e such that every point of
+/// `reference_front` is weakly dominated by some point of `approx` shifted by
+/// -e (smaller is better; 0 means `approx` covers the reference front).
+[[nodiscard]] inline double epsilon_indicator(
+    const std::vector<std::vector<double>>& approx,
+    const std::vector<std::vector<double>>& reference_front) {
+  double eps = 0.0;
+  for (const auto& r : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& a : approx) {
+      double worst_obj = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < r.size(); ++i)
+        worst_obj = std::max(worst_obj, a[i] - r[i]);
+      best = std::min(best, worst_obj);
+    }
+    eps = std::max(eps, best);
+  }
+  return eps;
+}
+
+}  // namespace pga::multiobj

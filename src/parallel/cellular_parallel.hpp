@@ -1,0 +1,309 @@
+#pragma once
+// Fine-grained parallel GA: the global cellular grid is partitioned into
+// horizontal strips, one per rank, with ghost-row exchange at the strip
+// boundaries — the standard decomposition used by fine-grained
+// implementations on distributed memory (Pelikan, Parthasarathy & Ramraj
+// 2002 in Charm++; Kohlmorgen et al. on MasPar).
+//
+// Two boundary protocols:
+//   * synchronous  — every sweep exchanges fresh boundary rows and blocks for
+//     the neighbours' rows (bulk-synchronous; scalability limited by the
+//     slowest rank and by latency per sweep);
+//   * asynchronous — boundary rows are posted every sweep but the receiver
+//     integrates whatever has arrived and never blocks (Pelikan's "fully
+//     asynchronous and distributed" scheme; stale ghosts are allowed).
+//
+// Experiment E11 measures virtual-time efficiency of both protocols up to 64
+// simulated processors.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/cellular.hpp"
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+template <class G>
+struct ParallelCellularConfig {
+  std::size_t width = 16;
+  std::size_t height = 16;  ///< global rows; ranks own contiguous strips
+  Operators<G> ops{};
+  Neighborhood neighborhood = Neighborhood::kLinear5;
+  ReplacePolicy replace = ReplacePolicy::kIfBetterOrEqual;
+  std::size_t sweeps = 50;
+  bool async = false;
+  double eval_cost_s = 0.0;
+  std::uint64_t seed = 1;
+  std::function<G(Rng&)> make_genome;
+};
+
+template <class G>
+struct CellularRankReport {
+  Individual<G> best{};
+  std::size_t evaluations = 0;
+  std::size_t sweeps = 0;
+  std::size_t stale_ghost_sweeps = 0;  ///< async sweeps run on old boundary data
+};
+
+namespace cell_detail {
+// Ghost tags carry the sweep parity so a rank one sweep ahead cannot have its
+// fresh boundary rows consumed as the neighbour's *current* rows (ranks can
+// skew by at most one sweep, so one parity bit suffices).
+inline constexpr int kGhostUpBase = 20;    ///< rows sent to the rank above (+parity)
+inline constexpr int kGhostDownBase = 22;  ///< rows sent to the rank below (+parity)
+
+[[nodiscard]] constexpr bool is_ghost_up(int tag) noexcept {
+  return tag == kGhostUpBase || tag == kGhostUpBase + 1;
+}
+[[nodiscard]] constexpr bool is_ghost_down(int tag) noexcept {
+  return tag == kGhostDownBase || tag == kGhostDownBase + 1;
+}
+
+/// Relative (dx, dy) offsets of a neighborhood, center first.
+[[nodiscard]] inline std::vector<std::pair<long long, long long>>
+neighborhood_offsets(Neighborhood shape) {
+  std::vector<std::pair<long long, long long>> out;
+  out.emplace_back(0, 0);
+  auto add = [&](long long dx, long long dy) { out.emplace_back(dx, dy); };
+  switch (shape) {
+    case Neighborhood::kLinear5:
+      add(1, 0); add(-1, 0); add(0, 1); add(0, -1);
+      break;
+    case Neighborhood::kCompact9:
+      for (long long dy = -1; dy <= 1; ++dy)
+        for (long long dx = -1; dx <= 1; ++dx)
+          if (dx != 0 || dy != 0) add(dx, dy);
+      break;
+    case Neighborhood::kLinear9:
+      add(1, 0); add(-1, 0); add(0, 1); add(0, -1);
+      add(2, 0); add(-2, 0); add(0, 2); add(0, -2);
+      break;
+    case Neighborhood::kCompact13:
+      for (long long dy = -1; dy <= 1; ++dy)
+        for (long long dx = -1; dx <= 1; ++dx)
+          if (dx != 0 || dy != 0) add(dx, dy);
+      add(2, 0); add(-2, 0); add(0, 2); add(0, -2);
+      break;
+  }
+  return out;
+}
+
+/// Ghost depth required by a neighborhood shape (max axial reach).
+[[nodiscard]] constexpr std::size_t ghost_depth(Neighborhood n) noexcept {
+  switch (n) {
+    case Neighborhood::kLinear5:
+    case Neighborhood::kCompact9:
+      return 1;
+    case Neighborhood::kLinear9:
+    case Neighborhood::kCompact13:
+      return 2;
+  }
+  return 1;
+}
+
+template <class G>
+[[nodiscard]] std::vector<std::uint8_t> pack_rows(
+    const std::vector<Individual<G>>& cells, std::size_t width,
+    std::size_t first_row, std::size_t rows) {
+  comm::ByteWriter w;
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(rows * width));
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < width; ++c)
+      comm::serialize(w, cells[(first_row + r) * width + c]);
+  return std::move(w).take();
+}
+
+template <class G>
+void unpack_rows(const std::vector<std::uint8_t>& bytes,
+                 std::vector<Individual<G>>& cells, std::size_t width,
+                 std::size_t first_row) {
+  comm::ByteReader r(bytes);
+  const auto n = r.read<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i)
+    comm::deserialize(r, cells[first_row * width + i]);
+}
+}  // namespace cell_detail
+
+/// Extracts the best owned individual into the report.
+template <class G>
+CellularRankReport<G> finish_cellular(CellularRankReport<G> report,
+                                      const std::vector<Individual<G>>& cells,
+                                      std::size_t width, std::size_t depth,
+                                      std::size_t my_rows,
+                                      std::size_t sweeps_done) {
+  report.sweeps = sweeps_done;
+  std::size_t best = depth * width;
+  for (std::size_t i = depth * width; i < (depth + my_rows) * width; ++i)
+    if (cells[i].fitness > cells[best].fitness) best = i;
+  report.best = cells[best];
+  return report;
+}
+
+/// Per-rank body of the distributed cellular GA.  The global grid is
+/// `cfg.height` rows by `cfg.width` columns on a torus; rank k owns rows
+/// [k*height/P, (k+1)*height/P).  Requires height >= P * ghost_depth.
+template <class G>
+CellularRankReport<G> run_cellular_rank(comm::Transport& t,
+                                        const Problem<G>& problem,
+                                        const ParallelCellularConfig<G>& cfg) {
+  const int rank = t.rank();
+  const int world = t.world_size();
+  const std::size_t depth = cell_detail::ghost_depth(cfg.neighborhood);
+
+  // Strip bounds (remainder rows go to the last ranks).
+  const std::size_t base = cfg.height / static_cast<std::size_t>(world);
+  const std::size_t extra = cfg.height % static_cast<std::size_t>(world);
+  auto strip_rows = [&](int r) {
+    return base + (static_cast<std::size_t>(r) >=
+                           static_cast<std::size_t>(world) - extra
+                       ? 1u
+                       : 0u);
+  };
+  std::size_t my_rows = strip_rows(rank);
+  if (my_rows < depth)
+    throw std::invalid_argument("cellular strip thinner than ghost depth");
+
+  const int up = (rank + world - 1) % world;    // owns the rows above mine
+  const int down = (rank + 1) % world;          // owns the rows below mine
+
+  // Local layout: depth ghost rows, my_rows own rows, depth ghost rows.
+  const std::size_t total_rows = my_rows + 2 * depth;
+  const std::size_t W = cfg.width;
+  Rng rng = Rng(cfg.seed).split(static_cast<std::uint64_t>(rank));
+
+  std::vector<Individual<G>> cells;
+  cells.reserve(total_rows * W);
+  for (std::size_t i = 0; i < total_rows * W; ++i) {
+    Individual<G> ind(cfg.make_genome(rng));
+    ind.fitness = problem.fitness(ind.genome);
+    ind.evaluated = true;
+    cells.push_back(std::move(ind));
+  }
+
+  CellularRankReport<G> report;
+  report.evaluations += my_rows * W;  // initial evaluation of owned cells
+  t.compute(static_cast<double>(my_rows * W) * cfg.eval_cost_s);
+
+  // Neighborhood offsets relative to a cell.
+  const auto offsets = cell_detail::neighborhood_offsets(cfg.neighborhood);
+
+  auto cell_at = [&](std::size_t local_row, std::size_t col) -> Individual<G>& {
+    return cells[local_row * W + col];
+  };
+
+  for (std::size_t sweep = 0; sweep < cfg.sweeps; ++sweep) {
+    // --- Boundary exchange --------------------------------------------------
+    if (world > 1) {
+      const int parity = static_cast<int>(sweep % 2);
+      t.send(up, cell_detail::kGhostUpBase + parity,
+             cell_detail::pack_rows(cells, W, depth, depth));
+      t.send(down, cell_detail::kGhostDownBase + parity,
+             cell_detail::pack_rows(cells, W, my_rows, depth));
+      // The rank above sends me its bottom rows tagged "down"; they become my
+      // TOP ghost.  Symmetrically "up"-tagged rows become my bottom ghost.
+      bool got_top = false, got_bottom = false;
+      if (cfg.async) {
+        // Integrate whatever arrived (any parity); run with stale ghosts
+        // otherwise.
+        while (auto m = t.try_recv(comm::Transport::kAnySource,
+                                   comm::Transport::kAnyTag)) {
+          if (cell_detail::is_ghost_down(m->tag)) {
+            cell_detail::unpack_rows(m->payload, cells, W, 0);
+            got_top = true;
+          } else if (cell_detail::is_ghost_up(m->tag)) {
+            cell_detail::unpack_rows(m->payload, cells, W, depth + my_rows);
+            got_bottom = true;
+          }
+        }
+        if (!got_top || !got_bottom) ++report.stale_ghost_sweeps;
+      } else {
+        while (!got_top) {
+          auto m = t.recv(up, cell_detail::kGhostDownBase + parity);
+          if (!m) return finish_cellular(report, cells, W, depth, my_rows, sweep);
+          cell_detail::unpack_rows(m->payload, cells, W, 0);
+          got_top = true;
+        }
+        while (!got_bottom) {
+          auto m = t.recv(down, cell_detail::kGhostUpBase + parity);
+          if (!m) return finish_cellular(report, cells, W, depth, my_rows, sweep);
+          cell_detail::unpack_rows(m->payload, cells, W, depth + my_rows);
+          got_bottom = true;
+        }
+      }
+    } else {
+      // Single rank: wrap ghosts locally (full torus).
+      for (std::size_t d = 0; d < depth; ++d)
+        for (std::size_t c = 0; c < W; ++c) {
+          cell_at(d, c) = cell_at(my_rows + d, c);                  // top ghost
+          cell_at(depth + my_rows + d, c) = cell_at(depth + d, c);  // bottom
+        }
+    }
+
+    // --- Synchronous local update (against the sweep-start snapshot) -------
+    std::size_t sweep_evals = 0;  // batched into one compute() declaration
+    std::vector<Individual<G>> next(cells.begin() + static_cast<std::ptrdiff_t>(depth * W),
+                                    cells.begin() + static_cast<std::ptrdiff_t>((depth + my_rows) * W));
+    for (std::size_t row = 0; row < my_rows; ++row) {
+      for (std::size_t col = 0; col < W; ++col) {
+        const std::size_t lr = depth + row;
+        // Neighborhood fitness (center first).
+        std::vector<double> hood_fitness;
+        std::vector<std::pair<std::size_t, std::size_t>> hood_pos;
+        hood_fitness.reserve(offsets.size());
+        for (auto [dx, dy] : offsets) {
+          const std::size_t nr = static_cast<std::size_t>(
+              static_cast<long long>(lr) + dy);  // within ghost halo
+          const std::size_t nc = static_cast<std::size_t>(
+              (static_cast<long long>(col) + dx + static_cast<long long>(W)) %
+              static_cast<long long>(W));
+          hood_pos.emplace_back(nr, nc);
+          hood_fitness.push_back(cell_at(nr, nc).fitness);
+        }
+        const auto mate_pos = hood_pos[cfg.ops.select(hood_fitness, rng)];
+        const auto& center = cell_at(lr, col);
+        const auto& mate = cell_at(mate_pos.first, mate_pos.second);
+        G child = center.genome;
+        if (rng.bernoulli(cfg.ops.crossover_rate)) {
+          auto [a, b] = cfg.ops.cross(center.genome, mate.genome, rng);
+          child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+        }
+        cfg.ops.mutate(child, rng);
+        Individual<G> offspring(std::move(child));
+        offspring.fitness = problem.fitness(offspring.genome);
+        offspring.evaluated = true;
+        ++report.evaluations;
+        ++sweep_evals;
+
+        auto& slot = next[row * W + col];
+        switch (cfg.replace) {
+          case ReplacePolicy::kAlways:
+            slot = std::move(offspring);
+            break;
+          case ReplacePolicy::kIfBetter:
+            if (offspring.fitness > slot.fitness) slot = std::move(offspring);
+            break;
+          case ReplacePolicy::kIfBetterOrEqual:
+            if (offspring.fitness >= slot.fitness) slot = std::move(offspring);
+            break;
+        }
+      }
+    }
+    std::copy(next.begin(), next.end(),
+              cells.begin() + static_cast<std::ptrdiff_t>(depth * W));
+    t.compute(static_cast<double>(sweep_evals) * cfg.eval_cost_s);
+    ++report.sweeps;
+  }
+
+  return finish_cellular(report, cells, W, depth, my_rows, cfg.sweeps);
+}
+
+}  // namespace pga

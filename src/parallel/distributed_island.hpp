@@ -1,0 +1,226 @@
+#pragma once
+// Distributed island model: one deme per rank, migration over a Transport.
+//
+// The same migration policy as the sequential IslandModel, but the demes are
+// message-passing processes: run it on comm::InprocCluster for real threads
+// or on sim::SimCluster for virtual-time speedup measurements (experiments
+// E2, E10).  Synchronous mode blocks at each migration epoch until one
+// migrant packet from every in-neighbor has arrived — reproducing the
+// barrier penalty Alba & Troya (2001) analyze — while asynchronous mode
+// integrates whatever has already arrived and never waits.
+//
+// Wire protocol (tags):
+//   kMigrantTag  one packet per out-edge per epoch: [count, Individual...]
+//   kStopTag     broadcast when a rank reaches the target fitness
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/termination.hpp"
+#include "parallel/migration.hpp"
+#include "parallel/topology.hpp"
+
+namespace pga {
+
+template <class G>
+struct DemeReport {
+  Individual<G> best{};
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  bool reached_target = false;
+  bool stopped_by_peer = false;
+};
+
+template <class G>
+struct DistributedIslandConfig {
+  Topology topology = Topology::ring(1);
+  MigrationPolicy policy{};
+  StopCondition stop{};
+  std::size_t deme_size = 64;
+  /// Asynchronous migration: never wait for in-neighbors.
+  bool async = false;
+  /// Virtual CPU seconds declared per fitness evaluation (drives the
+  /// simulator's timing; ignored by the thread transport).
+  double eval_cost_s = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Per-rank scheme; demes may run different reproductive loops.
+  std::function<std::unique_ptr<EvolutionScheme<G>>(int rank)> make_scheme;
+  /// Random genome factory.
+  std::function<G(Rng&)> make_genome;
+};
+
+namespace detail {
+inline constexpr int kMigrantTag = 1;
+/// "A rank reached the target fitness": every rank stops as soon as it sees
+/// this (between generations or while blocked on migration).
+inline constexpr int kStopTag = 2;
+/// "This rank exhausted its budget and exits": receivers stop *expecting its
+/// migrant packets* but keep evolving their own budget.
+inline constexpr int kQuitTag = 3;
+
+template <class G>
+[[nodiscard]] std::vector<std::uint8_t> pack_migrants(
+    const std::vector<Individual<G>>& migrants) {
+  comm::ByteWriter w;
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(migrants.size()));
+  for (const auto& m : migrants) comm::serialize(w, m);
+  return std::move(w).take();
+}
+
+template <class G>
+[[nodiscard]] std::vector<Individual<G>> unpack_migrants(
+    const std::vector<std::uint8_t>& bytes) {
+  comm::ByteReader r(bytes);
+  const auto n = r.read<std::uint32_t>();
+  std::vector<Individual<G>> out(n);
+  for (auto& m : out) comm::deserialize(r, m);
+  return out;
+}
+}  // namespace detail
+
+/// The per-rank process body.  Call from a cluster's process lambda:
+///
+///   cluster.run([&](comm::Transport& t) {
+///     auto report = run_island_rank(t, problem, config);
+///     ...collect report (thread-safe container indexed by t.rank())...
+///   });
+template <class G>
+DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
+                              const DistributedIslandConfig<G>& cfg) {
+  const int rank = t.rank();
+  const std::size_t deme = static_cast<std::size_t>(rank);
+  Rng rng = Rng(cfg.seed).split(static_cast<std::uint64_t>(rank));
+
+  // In-neighbors: whose migrant packets to expect per epoch in sync mode.
+  // Entries are cleared when the neighbour announces it has quit.
+  std::vector<std::uint8_t> in_neighbor(cfg.topology.num_demes(), 0);
+  for (std::size_t d = 0; d < cfg.topology.num_demes(); ++d)
+    for (std::size_t dst : cfg.topology.neighbors_out(d))
+      if (dst == deme) in_neighbor[d] = 1;
+  auto in_degree = [&] {
+    std::size_t n = 0;
+    for (auto v : in_neighbor) n += v;
+    return n;
+  };
+
+  auto scheme = cfg.make_scheme(rank);
+  auto pop = Population<G>::random(cfg.deme_size, cfg.make_genome, rng);
+
+  DemeReport<G> report;
+  report.evaluations += pop.evaluate_all(problem);
+  t.compute(static_cast<double>(report.evaluations) * cfg.eval_cost_s);
+
+  bool announced = false;
+  auto announce = [&](int tag) {
+    if (announced) return;
+    announced = true;
+    for (int r = 0; r < t.world_size(); ++r)
+      if (r != rank) t.send(r, tag, {});
+  };
+  auto announce_stop = [&] { announce(detail::kStopTag); };
+
+  auto target_hit = [&] {
+    return cfg.stop.target_reached(pop.best_fitness());
+  };
+
+  if (target_hit()) {
+    report.reached_target = true;
+    announce_stop();
+    report.best = pop.best();
+    return report;
+  }
+
+  bool stop_now = false;
+  while (!stop_now && report.generations < cfg.stop.max_generations &&
+         report.evaluations < cfg.stop.max_evaluations) {
+    const std::size_t evals = scheme->step(pop, problem, rng);
+    report.evaluations += evals;
+    ++report.generations;
+    t.compute(static_cast<double>(evals) * cfg.eval_cost_s);
+
+    if (target_hit()) {
+      report.reached_target = true;
+      announce_stop();
+      break;
+    }
+
+    // Peer control messages are observed between generations.
+    while (auto ctl = t.try_recv(comm::Transport::kAnySource, detail::kStopTag)) {
+      report.stopped_by_peer = true;
+      stop_now = true;
+      break;
+    }
+    while (auto ctl = t.try_recv(comm::Transport::kAnySource, detail::kQuitTag))
+      in_neighbor[static_cast<std::size_t>(ctl->source)] = 0;
+    if (stop_now) break;
+
+    if (!cfg.policy.enabled() ||
+        report.generations % cfg.policy.interval != 0)
+      continue;
+
+    // --- Migration epoch ---------------------------------------------------
+    for (std::size_t dst : cfg.topology.neighbors_out(deme)) {
+      auto migrants = select_migrants(pop, cfg.policy, rng);
+      t.send(static_cast<int>(dst), detail::kMigrantTag,
+             detail::pack_migrants(migrants));
+    }
+
+    if (cfg.async) {
+      // Integrate whatever has arrived; never wait.
+      while (auto msg =
+                 t.try_recv(comm::Transport::kAnySource, detail::kMigrantTag)) {
+        auto migrants = detail::unpack_migrants<G>(msg->payload);
+        integrate_migrants(pop, migrants, cfg.policy, rng);
+      }
+    } else {
+      // Block until one packet per still-active in-neighbor arrives (or a
+      // stop/quit/shutdown).
+      std::size_t received = 0;
+      while (received < in_degree() && !stop_now) {
+        auto msg = t.recv(comm::Transport::kAnySource, comm::Transport::kAnyTag);
+        if (!msg) {
+          stop_now = true;  // transport shut down
+          break;
+        }
+        if (msg->tag == detail::kStopTag) {
+          report.stopped_by_peer = true;
+          stop_now = true;
+          break;
+        }
+        if (msg->tag == detail::kQuitTag) {
+          in_neighbor[static_cast<std::size_t>(msg->source)] = 0;
+          continue;
+        }
+        auto migrants = detail::unpack_migrants<G>(msg->payload);
+        integrate_migrants(pop, migrants, cfg.policy, rng);
+        ++received;
+      }
+    }
+
+    if (target_hit()) {
+      report.reached_target = true;
+      announce_stop();
+      break;
+    }
+  }
+
+  // Leaving without a target hit (budget exhausted, peer stop, shutdown):
+  // tell the others not to expect our migrants, but let them finish their
+  // own budgets.
+  announce(detail::kQuitTag);
+  report.best = pop.best();
+  return report;
+}
+
+}  // namespace pga

@@ -1,0 +1,253 @@
+#pragma once
+// Hybrid parallel GA: islands of master-slave groups.
+//
+// The survey's computing-trends section describes the model that emerged
+// with clusters of SMP machines: "a centralized model within each SMP
+// machine, but running under a distributed model within machines in the
+// cluster".  Here the world's ranks are split into contiguous groups; the
+// first rank of each group is the *leader*, which runs one island deme
+// (selection/variation/replacement) and farms fitness evaluations out to
+// its group's remaining ranks (the SMP cores).  Leaders migrate individuals
+// among themselves along an inter-group topology (the cluster network).
+//
+// The run is budget-driven (fixed generations), matching how the hybrid
+// model is benchmarked in E15.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "parallel/migration.hpp"
+#include "parallel/topology.hpp"
+
+namespace pga {
+
+template <class G>
+struct HybridConfig {
+  /// Number of SMP groups; world_size must be divisible into contiguous
+  /// groups (remainder ranks join the last group).
+  std::size_t groups = 2;
+  Topology topology = Topology::ring(2);  ///< over groups
+  MigrationPolicy policy{};
+  std::size_t deme_size = 32;
+  std::size_t generations = 50;
+  std::size_t elitism = 1;
+  Operators<G> ops{};
+  std::size_t chunk_size = 4;
+  double eval_cost_s = 0.0;
+  std::uint64_t seed = 1;
+  std::function<G(Rng&)> make_genome;
+};
+
+template <class G>
+struct HybridReport {
+  bool is_leader = false;
+  Individual<G> best{};     ///< leader only
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;  ///< evaluations this rank *performed*
+};
+
+namespace hybrid_detail {
+inline constexpr int kWorkTag = 30;
+inline constexpr int kResultTag = 31;
+inline constexpr int kStopTag = 32;
+inline constexpr int kMigrantTag = 33;
+
+/// Group id of a rank under contiguous splitting.
+[[nodiscard]] inline std::size_t group_of(int rank, int world,
+                                          std::size_t groups) {
+  const std::size_t per = static_cast<std::size_t>(world) / groups;
+  const std::size_t g = static_cast<std::size_t>(rank) / std::max<std::size_t>(per, 1);
+  return std::min(g, groups - 1);
+}
+
+/// First (leader) rank of a group.
+[[nodiscard]] inline int leader_of(std::size_t group, int world,
+                                   std::size_t groups) {
+  const std::size_t per = static_cast<std::size_t>(world) / groups;
+  return static_cast<int>(group * per);
+}
+}  // namespace hybrid_detail
+
+/// Per-rank body of the hybrid model.
+template <class G>
+HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
+                                const HybridConfig<G>& cfg) {
+  namespace hd = hybrid_detail;
+  const int rank = t.rank();
+  const int world = t.world_size();
+  if (static_cast<std::size_t>(world) < cfg.groups)
+    throw std::invalid_argument("world smaller than group count");
+  if (cfg.topology.num_demes() != cfg.groups)
+    throw std::invalid_argument("topology size != group count");
+
+  const std::size_t my_group = hd::group_of(rank, world, cfg.groups);
+  const int my_leader = hd::leader_of(my_group, world, cfg.groups);
+
+  HybridReport<G> report;
+
+  // ---- Slave role ----------------------------------------------------------
+  if (rank != my_leader) {
+    for (;;) {
+      auto msg = t.recv(my_leader, comm::Transport::kAnyTag);
+      if (!msg || msg->tag == hd::kStopTag) return report;
+      comm::ByteReader r(msg->payload);
+      const auto count = r.read<std::uint32_t>();
+      comm::ByteWriter reply;
+      reply.write<std::uint32_t>(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto id = r.read<std::uint32_t>();
+        G genome;
+        comm::deserialize(r, genome);
+        t.compute(cfg.eval_cost_s);
+        ++report.evaluations;
+        reply.write<std::uint32_t>(id);
+        reply.write<double>(problem.fitness(genome));
+      }
+      t.send(my_leader, hd::kResultTag, std::move(reply).take());
+    }
+  }
+
+  // ---- Leader role ----------------------------------------------------------
+  report.is_leader = true;
+  Rng rng = Rng(cfg.seed).split(my_group);
+
+  // My group's slave ranks.
+  std::vector<int> slaves;
+  for (int r = 0; r < world; ++r)
+    if (r != rank && hd::group_of(r, world, cfg.groups) == my_group)
+      slaves.push_back(r);
+
+  // In-neighbor count for synchronous migration between leaders.
+  std::size_t in_degree = 0;
+  for (std::size_t g = 0; g < cfg.groups; ++g)
+    for (std::size_t dst : cfg.topology.neighbors_out(g))
+      if (dst == my_group) ++in_degree;
+
+  // Distributed (or local) batch evaluation.
+  auto evaluate_batch = [&](std::vector<Individual<G>>& batch) {
+    std::vector<std::uint32_t> todo;
+    for (std::uint32_t i = 0; i < batch.size(); ++i)
+      if (!batch[static_cast<std::size_t>(i)].evaluated) todo.push_back(i);
+    if (todo.empty()) return;
+    if (slaves.empty()) {
+      for (auto i : todo) {
+        auto& ind = batch[static_cast<std::size_t>(i)];
+        t.compute(cfg.eval_cost_s);
+        ind.fitness = problem.fitness(ind.genome);
+        ind.evaluated = true;
+        ++report.evaluations;
+      }
+      return;
+    }
+    // Deal chunks round-robin, then collect.
+    std::size_t sent_chunks = 0;
+    std::size_t next_slave = 0;
+    for (std::size_t i = 0; i < todo.size(); i += cfg.chunk_size) {
+      comm::ByteWriter w;
+      const std::size_t end = std::min(i + cfg.chunk_size, todo.size());
+      w.write<std::uint32_t>(static_cast<std::uint32_t>(end - i));
+      for (std::size_t k = i; k < end; ++k) {
+        w.write<std::uint32_t>(todo[k]);
+        comm::serialize(w, batch[todo[k]].genome);
+      }
+      t.send(slaves[next_slave], hd::kWorkTag, std::move(w).take());
+      next_slave = (next_slave + 1) % slaves.size();
+      ++sent_chunks;
+    }
+    for (std::size_t c = 0; c < sent_chunks; ++c) {
+      auto msg = t.recv(comm::Transport::kAnySource, hd::kResultTag);
+      if (!msg) return;  // transport shut down
+      comm::ByteReader r(msg->payload);
+      const auto count = r.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto id = r.read<std::uint32_t>();
+        auto& ind = batch[id];
+        ind.fitness = r.read<double>();
+        ind.evaluated = true;
+      }
+    }
+  };
+
+  // Initial deme.
+  std::vector<Individual<G>> members;
+  members.reserve(cfg.deme_size);
+  for (std::size_t i = 0; i < cfg.deme_size; ++i)
+    members.emplace_back(cfg.make_genome(rng));
+  evaluate_batch(members);
+  Population<G> pop(std::move(members));
+
+  for (std::size_t gen = 1; gen <= cfg.generations; ++gen) {
+    // Variation (as in the generational scheme, evaluation deferred).
+    const auto fitness = pop.fitness_values();
+    const std::size_t offspring_count =
+        cfg.deme_size > cfg.elitism ? cfg.deme_size - cfg.elitism : 1;
+    std::vector<Individual<G>> offspring;
+    offspring.reserve(offspring_count);
+    while (offspring.size() < offspring_count) {
+      const std::size_t i = cfg.ops.select(fitness, rng);
+      const std::size_t j = cfg.ops.select(fitness, rng);
+      G c1 = pop[i].genome, c2 = pop[j].genome;
+      if (rng.bernoulli(cfg.ops.crossover_rate)) {
+        auto [a, b] = cfg.ops.cross(pop[i].genome, pop[j].genome, rng);
+        c1 = std::move(a);
+        c2 = std::move(b);
+      }
+      cfg.ops.mutate(c1, rng);
+      offspring.emplace_back(std::move(c1));
+      if (offspring.size() < offspring_count) {
+        cfg.ops.mutate(c2, rng);
+        offspring.emplace_back(std::move(c2));
+      }
+    }
+    evaluate_batch(offspring);
+
+    pop.sort_descending();
+    std::vector<Individual<G>> next;
+    next.reserve(cfg.deme_size);
+    for (std::size_t e = 0; e < cfg.elitism && e < pop.size(); ++e)
+      next.push_back(pop[e]);
+    for (auto& child : offspring) next.push_back(std::move(child));
+    pop = Population<G>(std::move(next));
+    ++report.generations;
+
+    // Inter-group migration (leaders only, synchronous).
+    if (cfg.policy.enabled() && gen % cfg.policy.interval == 0) {
+      for (std::size_t dst : cfg.topology.neighbors_out(my_group)) {
+        auto migrants = select_migrants(pop, cfg.policy, rng);
+        comm::ByteWriter w;
+        w.write<std::uint32_t>(static_cast<std::uint32_t>(migrants.size()));
+        for (const auto& m : migrants) comm::serialize(w, m);
+        t.send(hd::leader_of(dst, world, cfg.groups), hd::kMigrantTag,
+               std::move(w).take());
+      }
+      std::size_t received = 0;
+      while (received < in_degree) {
+        auto msg = t.recv(comm::Transport::kAnySource, hd::kMigrantTag);
+        if (!msg) break;
+        comm::ByteReader r(msg->payload);
+        const auto count = r.read<std::uint32_t>();
+        std::vector<Individual<G>> immigrants(count);
+        for (auto& m : immigrants) comm::deserialize(r, m);
+        integrate_migrants(pop, immigrants, cfg.policy, rng);
+        ++received;
+      }
+    }
+  }
+
+  // Release group slaves.
+  for (int s : slaves) t.send(s, hd::kStopTag, {});
+  report.best = pop.best();
+  return report;
+}
+
+}  // namespace pga

@@ -1,0 +1,246 @@
+#pragma once
+// Sequential (in-process) island model.
+//
+// The coarse-grained PGA: several demes evolve independently and exchange
+// individuals along a topology at fixed intervals.  This engine steps the
+// demes round-robin in one thread — the right tool for *policy* experiments
+// (migration frequency, migrant selection, topology, deme count: E3, E5,
+// E14), where search behaviour matters and wall-clock does not.  The
+// distributed version in distributed_island.hpp runs the same policy over a
+// Transport for timing experiments.
+//
+// Demes may run different reproductive loop types (generational,
+// steady-state, cellular), the heterogeneous-islands setting of Alba & Troya
+// (2000, 2002).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "parallel/migration.hpp"
+#include "parallel/topology.hpp"
+
+namespace pga {
+
+/// Migration timing within an epoch.  Synchronous collects every deme's
+/// emigrants against the same epoch snapshot before anyone integrates;
+/// asynchronous integrates deme-by-deme so information can hop several demes
+/// within one epoch (the sequential analogue of non-blocking migration).
+enum class MigrationSync { kSynchronous, kAsynchronous };
+
+template <class G>
+struct IslandResult {
+  Individual<G> best{};
+  std::size_t epochs = 0;            ///< deme generations executed
+  std::size_t evaluations = 0;       ///< summed over demes
+  bool reached_target = false;
+  std::size_t evals_to_target = 0;   ///< total evals when target first hit
+  std::vector<double> deme_best;     ///< final best fitness per deme
+  std::size_t migration_epochs = 0;  ///< epochs in which migration occurred
+};
+
+/// Decides, after each epoch, whether a migration exchange happens now.
+/// Receives the epoch number and the current demes; the default policy is
+/// the classic fixed interval, but adaptive controllers (e.g. migrate when
+/// a deme's diversity collapses — the survey's "working model theories"
+/// perspective) plug in here.
+template <class G>
+using MigrationTrigger =
+    std::function<bool(std::size_t epoch, const std::vector<Population<G>>&)>;
+
+namespace migration_trigger {
+
+/// Classic fixed-interval trigger (interval 0 = never).
+template <class G>
+[[nodiscard]] MigrationTrigger<G> every(std::size_t interval) {
+  return [interval](std::size_t epoch, const std::vector<Population<G>>&) {
+    return interval != 0 && epoch % interval == 0;
+  };
+}
+
+/// Adaptive trigger: migrate when any deme's diversity (as measured by
+/// `diversity_of`) drops below `threshold`, with a refractory period of
+/// `cooldown` epochs so a converged deme doesn't trigger every epoch.
+template <class G, class DiversityFn>
+[[nodiscard]] MigrationTrigger<G> on_low_diversity(DiversityFn diversity_of,
+                                                   double threshold,
+                                                   std::size_t cooldown = 4) {
+  auto last_fired = std::make_shared<std::size_t>(0);
+  return [diversity_of = std::move(diversity_of), threshold, cooldown,
+          last_fired](std::size_t epoch,
+                      const std::vector<Population<G>>& demes) {
+    if (epoch < *last_fired + cooldown) return false;
+    for (const auto& deme : demes) {
+      if (diversity_of(deme) < threshold) {
+        *last_fired = epoch;
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace migration_trigger
+
+template <class G>
+class IslandModel {
+ public:
+  /// Takes ownership of one evolution scheme per deme; `topology.num_demes()`
+  /// must match.  Each deme gets an independent RNG stream split from `seed`.
+  IslandModel(Topology topology, MigrationPolicy policy,
+              std::vector<std::unique_ptr<EvolutionScheme<G>>> schemes,
+              MigrationSync sync = MigrationSync::kSynchronous)
+      : topology_(std::move(topology)),
+        policy_(policy),
+        schemes_(std::move(schemes)),
+        sync_(sync) {
+    if (schemes_.size() != topology_.num_demes())
+      throw std::invalid_argument("one scheme per deme required");
+    if (schemes_.empty())
+      throw std::invalid_argument("island model needs at least one deme");
+  }
+
+  [[nodiscard]] std::size_t num_demes() const noexcept {
+    return schemes_.size();
+  }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  /// Replaces the default fixed-interval migration timing with a custom
+  /// trigger (see migration_trigger::on_low_diversity).  The policy's
+  /// count/selection/replacement still govern *what* migrates.
+  void set_migration_trigger(MigrationTrigger<G> trigger) {
+    trigger_ = std::move(trigger);
+  }
+
+  /// Runs until `stop` fires (generations are per-deme; evaluations are
+  /// summed across demes).  `populations` holds one deme population per
+  /// island and is evolved in place.
+  IslandResult<G> run(std::vector<Population<G>>& populations,
+                      const Problem<G>& problem, const StopCondition& stop,
+                      Rng& rng) {
+    if (populations.size() != num_demes())
+      throw std::invalid_argument("one population per deme required");
+
+    // Independent, reproducible stream per deme.
+    std::vector<Rng> deme_rngs;
+    deme_rngs.reserve(num_demes());
+    for (std::size_t d = 0; d < num_demes(); ++d)
+      deme_rngs.push_back(rng.split(d));
+
+    IslandResult<G> result;
+    for (auto& pop : populations) result.evaluations += pop.evaluate_all(problem);
+
+    auto check_target = [&]() {
+      if (result.reached_target) return;
+      for (const auto& pop : populations) {
+        if (stop.target_reached(pop.best_fitness())) {
+          result.reached_target = true;
+          result.evals_to_target = result.evaluations;
+          return;
+        }
+      }
+    };
+    check_target();
+
+    while (!result.reached_target && result.epochs < stop.max_generations &&
+           result.evaluations < stop.max_evaluations) {
+      // One generation per deme.
+      for (std::size_t d = 0; d < num_demes(); ++d)
+        result.evaluations +=
+            schemes_[d]->step(populations[d], problem, deme_rngs[d]);
+      ++result.epochs;
+
+      // Migration epoch.
+      const bool migrate_now =
+          trigger_ ? trigger_(result.epochs, populations)
+                   : (policy_.enabled() &&
+                      result.epochs % policy_.interval == 0);
+      if (migrate_now) {
+        migrate(populations, deme_rngs);
+        ++result.migration_epochs;
+      }
+
+      check_target();
+    }
+
+    // Aggregate the final answer.
+    result.deme_best.reserve(num_demes());
+    std::size_t best_deme = 0;
+    for (std::size_t d = 0; d < num_demes(); ++d) {
+      result.deme_best.push_back(populations[d].best_fitness());
+      if (populations[d].best_fitness() > populations[best_deme].best_fitness())
+        best_deme = d;
+    }
+    result.best = populations[best_deme].best();
+    if (!result.reached_target) result.evals_to_target = result.evaluations;
+    return result;
+  }
+
+  /// Convenience: builds `num_demes` random populations of `deme_size`.
+  template <class MakeGenome>
+  [[nodiscard]] std::vector<Population<G>> make_populations(
+      std::size_t deme_size, MakeGenome&& make, Rng& rng) const {
+    std::vector<Population<G>> pops;
+    pops.reserve(num_demes());
+    for (std::size_t d = 0; d < num_demes(); ++d) {
+      Rng stream = rng.split(1000 + d);
+      pops.push_back(Population<G>::random(deme_size, make, stream));
+    }
+    return pops;
+  }
+
+ private:
+  void migrate(std::vector<Population<G>>& populations,
+               std::vector<Rng>& deme_rngs) {
+    if (sync_ == MigrationSync::kSynchronous) {
+      // Snapshot emigrants from every deme first, then integrate, so the
+      // result is independent of deme iteration order.
+      std::vector<std::vector<Individual<G>>> inbox(num_demes());
+      for (std::size_t d = 0; d < num_demes(); ++d) {
+        for (std::size_t dst : topology_.neighbors_out(d)) {
+          auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          for (auto& m : migrants) inbox[dst].push_back(std::move(m));
+        }
+      }
+      for (std::size_t d = 0; d < num_demes(); ++d)
+        integrate_migrants(populations[d], inbox[d], policy_, deme_rngs[d]);
+    } else {
+      // Asynchronous: integrate immediately, in deme order.
+      for (std::size_t d = 0; d < num_demes(); ++d) {
+        for (std::size_t dst : topology_.neighbors_out(d)) {
+          auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          integrate_migrants(populations[dst], migrants, policy_, deme_rngs[d]);
+        }
+      }
+    }
+  }
+
+  Topology topology_;
+  MigrationPolicy policy_;
+  std::vector<std::unique_ptr<EvolutionScheme<G>>> schemes_;
+  MigrationSync sync_;
+  MigrationTrigger<G> trigger_;
+};
+
+/// Helper: builds an island model whose demes all run the same generational
+/// scheme — the most common configuration in the surveyed studies.
+template <class G>
+[[nodiscard]] IslandModel<G> make_uniform_island_model(
+    Topology topology, MigrationPolicy policy, const Operators<G>& ops,
+    std::size_t elitism = 1,
+    MigrationSync sync = MigrationSync::kSynchronous) {
+  std::vector<std::unique_ptr<EvolutionScheme<G>>> schemes;
+  schemes.reserve(topology.num_demes());
+  for (std::size_t d = 0; d < topology.num_demes(); ++d)
+    schemes.push_back(std::make_unique<GenerationalScheme<G>>(ops, elitism));
+  return IslandModel<G>(std::move(topology), policy, std::move(schemes), sync);
+}
+
+}  // namespace pga

@@ -1,0 +1,371 @@
+#pragma once
+// Global (master-slave) parallel GA.
+//
+// The master runs the full evolutionary loop — selection, crossover,
+// mutation, replacement — and farms fitness evaluations out to slave ranks.
+// This is Grefenstette's (1981) global PGA and the model Cantú-Paz analyzes
+// in depth: with n individuals, evaluation time Tf and per-message cost Tc,
+// the optimal slave count is s* = sqrt(n Tf / Tc) (experiment E1).
+//
+// Three dispatch modes:
+//   * kSynchronous  — deal all chunks round-robin, then collect everything
+//     (one barrier per generation; hurts with heterogeneous slaves).
+//   * kAsynchronous — keep a bounded number of chunks in flight per slave and
+//     refill on completion (self-balancing; Gagné's "adaptivity").
+//   * fault tolerance (any mode) — when `timeout_s` is finite, a silent slave
+//     is declared dead and its outstanding chunks are reassigned to the
+//     survivors (Gagné's "robustness", experiment E9).  With every slave
+//     dead, the master degrades to evaluating locally ("transparency").
+//
+// Run rank 0 as master, ranks >= 1 as slaves via run_master_slave_rank().
+// With a world of size 1 the master simply evaluates locally, which provides
+// the sequential baseline at identical code path and cost accounting.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/termination.hpp"
+
+namespace pga {
+
+enum class DispatchMode { kSynchronous, kAsynchronous };
+
+template <class G>
+struct MasterSlaveConfig {
+  std::size_t pop_size = 64;
+  StopCondition stop{};
+  Operators<G> ops{};
+  std::size_t elitism = 1;
+  /// Individuals per work message; larger chunks amortize latency.
+  std::size_t chunk_size = 1;
+  DispatchMode mode = DispatchMode::kAsynchronous;
+  /// Virtual CPU seconds per fitness evaluation, declared by slaves (and by
+  /// the master in local-fallback mode).
+  double eval_cost_s = 0.0;
+  /// Declared master-side CPU cost per offspring for variation (usually
+  /// negligible next to Tf; part of the serial fraction in E1).
+  double variation_cost_s = 0.0;
+  /// Finite => fault tolerance on: silence longer than this declares a slave
+  /// dead.  Infinite => plain blocking collection.
+  double timeout_s = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 1;
+  std::function<G(Rng&)> make_genome;
+};
+
+template <class G>
+struct MasterResult {
+  Individual<G> best{};
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  bool reached_target = false;
+  std::size_t evals_to_target = 0;
+  /// Slaves declared dead by the failure detector over the whole run.
+  std::size_t slaves_lost = 0;
+  /// Evaluations the master had to perform locally (fallback).
+  std::size_t local_evaluations = 0;
+};
+
+namespace ms_detail {
+inline constexpr int kWorkTag = 10;
+inline constexpr int kResultTag = 11;
+inline constexpr int kStopTag = 12;
+
+template <class G>
+[[nodiscard]] std::vector<std::uint8_t> pack_work(
+    const std::vector<std::pair<std::uint32_t, const G*>>& items) {
+  comm::ByteWriter w;
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(items.size()));
+  for (const auto& [id, genome] : items) {
+    w.write<std::uint32_t>(id);
+    comm::serialize(w, *genome);
+  }
+  return std::move(w).take();
+}
+}  // namespace ms_detail
+
+/// Slave loop: evaluate work chunks until told to stop.  Thread-compatible
+/// with any Problem (evaluations are const).
+template <class G>
+void run_slave(comm::Transport& t, const Problem<G>& problem,
+               const MasterSlaveConfig<G>& cfg) {
+  for (;;) {
+    auto msg = t.recv(0, comm::Transport::kAnyTag);
+    if (!msg || msg->tag == ms_detail::kStopTag) return;
+    comm::ByteReader r(msg->payload);
+    const auto count = r.read<std::uint32_t>();
+    comm::ByteWriter reply;
+    reply.write<std::uint32_t>(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto id = r.read<std::uint32_t>();
+      G genome;
+      comm::deserialize(r, genome);
+      t.compute(cfg.eval_cost_s);
+      reply.write<std::uint32_t>(id);
+      reply.write<double>(problem.fitness(genome));
+    }
+    t.send(0, ms_detail::kResultTag, std::move(reply).take());
+  }
+}
+
+/// Master loop: generational GA with farmed-out evaluation.
+template <class G>
+MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
+                           const MasterSlaveConfig<G>& cfg) {
+  Rng rng(cfg.seed);
+  MasterResult<G> result;
+
+  const int world = t.world_size();
+  std::vector<std::uint8_t> slave_alive(static_cast<std::size_t>(world), 1);
+  slave_alive[0] = 0;  // the master is not a slave
+  auto live_slaves = [&] {
+    std::size_t n = 0;
+    for (int r = 1; r < world; ++r) n += slave_alive[static_cast<std::size_t>(r)];
+    return n;
+  };
+
+  // ---- Distributed evaluation of a batch of genomes -----------------------
+  // Returns fitness per genome, reassigning chunks away from dead slaves.
+  auto evaluate_batch = [&](std::vector<Individual<G>>& batch) {
+    std::vector<std::uint32_t> todo;  // indices still needing evaluation
+    for (std::uint32_t i = 0; i < batch.size(); ++i)
+      if (!batch[static_cast<std::size_t>(i)].evaluated) todo.push_back(i);
+    if (todo.empty()) return;
+    result.evaluations += todo.size();
+
+    if (live_slaves() == 0) {
+      // Transparency: degrade to local evaluation.
+      for (auto i : todo) {
+        auto& ind = batch[static_cast<std::size_t>(i)];
+        t.compute(cfg.eval_cost_s);
+        ind.fitness = problem.fitness(ind.genome);
+        ind.evaluated = true;
+        ++result.local_evaluations;
+      }
+      return;
+    }
+
+    // Chunk the work queue.
+    std::deque<std::vector<std::uint32_t>> chunks;
+    for (std::size_t i = 0; i < todo.size(); i += cfg.chunk_size) {
+      chunks.emplace_back(
+          todo.begin() + static_cast<std::ptrdiff_t>(i),
+          todo.begin() +
+              static_cast<std::ptrdiff_t>(std::min(i + cfg.chunk_size, todo.size())));
+    }
+
+    // Outstanding chunks per slave (for reassignment on death).
+    std::vector<std::vector<std::vector<std::uint32_t>>> outstanding(
+        static_cast<std::size_t>(world));
+    std::size_t pending_items = todo.size();
+
+    auto send_chunk = [&](int slave, std::vector<std::uint32_t> chunk) {
+      std::vector<std::pair<std::uint32_t, const G*>> items;
+      items.reserve(chunk.size());
+      for (auto i : chunk)
+        items.emplace_back(i, &batch[static_cast<std::size_t>(i)].genome);
+      t.send(slave, ms_detail::kWorkTag, ms_detail::pack_work<G>(items));
+      outstanding[static_cast<std::size_t>(slave)].push_back(std::move(chunk));
+    };
+
+    // Initial deal.
+    {
+      // In synchronous mode everything is dealt upfront; in asynchronous mode
+      // at most `kInFlight` chunks per slave are outstanding.
+      constexpr std::size_t kInFlight = 2;
+      int next_slave = 1;
+      auto next_live = [&](int from) {
+        int r = from;
+        for (int step = 0; step < world; ++step) {
+          if (r >= world) r = 1;
+          if (slave_alive[static_cast<std::size_t>(r)]) return r;
+          ++r;
+        }
+        return 0;  // unreachable while live_slaves() > 0
+      };
+      while (!chunks.empty()) {
+        const int slave = next_live(next_slave);
+        next_slave = slave + 1;
+        if (cfg.mode == DispatchMode::kAsynchronous &&
+            outstanding[static_cast<std::size_t>(slave)].size() >= kInFlight) {
+          // Every live slave saturated?
+          bool all_full = true;
+          for (int r = 1; r < world; ++r)
+            if (slave_alive[static_cast<std::size_t>(r)] &&
+                outstanding[static_cast<std::size_t>(r)].size() < kInFlight)
+              all_full = false;
+          if (all_full) break;
+          continue;
+        }
+        send_chunk(slave, std::move(chunks.front()));
+        chunks.pop_front();
+      }
+    }
+
+    // Collect, refilling (async) and reassigning on failure.
+    while (pending_items > 0) {
+      std::optional<comm::Message> msg;
+      if (std::isfinite(cfg.timeout_s))
+        msg = t.recv_timeout(cfg.timeout_s, comm::Transport::kAnySource,
+                             ms_detail::kResultTag);
+      else
+        msg = t.recv(comm::Transport::kAnySource, ms_detail::kResultTag);
+
+      if (!msg) {
+        // Silence: every slave with outstanding work is presumed dead;
+        // reclaim their chunks (robustness).
+        bool reclaimed = false;
+        for (int r = 1; r < world; ++r) {
+          auto& out = outstanding[static_cast<std::size_t>(r)];
+          if (!slave_alive[static_cast<std::size_t>(r)] || out.empty()) continue;
+          slave_alive[static_cast<std::size_t>(r)] = 0;
+          ++result.slaves_lost;
+          reclaimed = true;
+          for (auto& chunk : out) chunks.push_back(std::move(chunk));
+          out.clear();
+        }
+        if (!reclaimed && !std::isfinite(cfg.timeout_s)) {
+          // Blocking transport shut down with work pending: evaluate locally.
+          slave_alive.assign(slave_alive.size(), 0);
+        }
+        // Redistribute reclaimed chunks (or fall back to local evaluation).
+        if (live_slaves() == 0) {
+          while (!chunks.empty()) {
+            for (auto i : chunks.front()) {
+              auto& ind = batch[static_cast<std::size_t>(i)];
+              if (ind.evaluated) continue;
+              t.compute(cfg.eval_cost_s);
+              ind.fitness = problem.fitness(ind.genome);
+              ind.evaluated = true;
+              ++result.local_evaluations;
+              --pending_items;
+            }
+            chunks.pop_front();
+          }
+          break;
+        }
+        int slave = 1;
+        while (!chunks.empty()) {
+          while (!slave_alive[static_cast<std::size_t>(slave)]) slave = slave % (world - 1) + 1;
+          send_chunk(slave, std::move(chunks.front()));
+          chunks.pop_front();
+          slave = slave % (world - 1) + 1;
+        }
+        continue;
+      }
+
+      // A result chunk: record fitness values.
+      const int slave = msg->source;
+      comm::ByteReader r(msg->payload);
+      const auto count = r.read<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto id = r.read<std::uint32_t>();
+        const double fitness = r.read<double>();
+        auto& ind = batch[static_cast<std::size_t>(id)];
+        if (!ind.evaluated) {
+          ind.fitness = fitness;
+          ind.evaluated = true;
+          --pending_items;
+        }
+      }
+      // Pop one outstanding chunk for this slave (FIFO completes in order
+      // because the slave processes sequentially).
+      auto& out = outstanding[static_cast<std::size_t>(slave)];
+      if (!out.empty()) out.erase(out.begin());
+      // Refill in async mode.
+      if (!chunks.empty() && slave_alive[static_cast<std::size_t>(slave)]) {
+        send_chunk(slave, std::move(chunks.front()));
+        chunks.pop_front();
+      }
+    }
+  };
+
+  // ---- Generational loop ---------------------------------------------------
+  std::vector<Individual<G>> members;
+  members.reserve(cfg.pop_size);
+  for (std::size_t i = 0; i < cfg.pop_size; ++i)
+    members.emplace_back(cfg.make_genome(rng));
+  evaluate_batch(members);
+  Population<G> pop(std::move(members));
+
+  auto update_target = [&] {
+    if (!result.reached_target && cfg.stop.target_reached(pop.best_fitness())) {
+      result.reached_target = true;
+      result.evals_to_target = result.evaluations;
+    }
+  };
+  update_target();
+
+  while (!result.reached_target &&
+         result.generations < cfg.stop.max_generations &&
+         result.evaluations < cfg.stop.max_evaluations) {
+    // Variation on the master (the serial fraction).
+    const auto fitness = pop.fitness_values();
+    const std::size_t offspring_count =
+        cfg.pop_size > cfg.elitism ? cfg.pop_size - cfg.elitism : 1;
+    std::vector<Individual<G>> offspring;
+    offspring.reserve(offspring_count);
+    while (offspring.size() < offspring_count) {
+      const std::size_t i = cfg.ops.select(fitness, rng);
+      const std::size_t j = cfg.ops.select(fitness, rng);
+      G c1 = pop[i].genome, c2 = pop[j].genome;
+      if (rng.bernoulli(cfg.ops.crossover_rate)) {
+        auto [a, b] = cfg.ops.cross(pop[i].genome, pop[j].genome, rng);
+        c1 = std::move(a);
+        c2 = std::move(b);
+      }
+      cfg.ops.mutate(c1, rng);
+      offspring.emplace_back(std::move(c1));
+      if (offspring.size() < offspring_count) {
+        cfg.ops.mutate(c2, rng);
+        offspring.emplace_back(std::move(c2));
+      }
+    }
+    t.compute(cfg.variation_cost_s * static_cast<double>(offspring_count));
+
+    evaluate_batch(offspring);
+
+    pop.sort_descending();
+    std::vector<Individual<G>> next;
+    next.reserve(cfg.pop_size);
+    for (std::size_t e = 0; e < cfg.elitism && e < pop.size(); ++e)
+      next.push_back(pop[e]);
+    for (auto& child : offspring) next.push_back(std::move(child));
+    pop = Population<G>(std::move(next));
+
+    ++result.generations;
+    update_target();
+  }
+
+  // Release the slaves.
+  for (int r = 1; r < world; ++r)
+    if (slave_alive[static_cast<std::size_t>(r)])
+      t.send(r, ms_detail::kStopTag, {});
+
+  if (!result.reached_target) result.evals_to_target = result.evaluations;
+  result.best = pop.best();
+  return result;
+}
+
+/// Dispatch helper: run the right role for this rank.  Returns the master's
+/// result on rank 0, nullopt on slave ranks.
+template <class G>
+std::optional<MasterResult<G>> run_master_slave_rank(
+    comm::Transport& t, const Problem<G>& problem,
+    const MasterSlaveConfig<G>& cfg) {
+  if (t.rank() == 0) return run_master(t, problem, cfg);
+  run_slave(t, problem, cfg);
+  return std::nullopt;
+}
+
+}  // namespace pga

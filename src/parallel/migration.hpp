@@ -1,0 +1,124 @@
+#pragma once
+// Migration policy: who leaves, how often, and who they replace.
+//
+// Alba & Troya (2000) show that migration frequency and migrant selection
+// govern coarse-grained PGA behaviour across problem classes (experiment E3);
+// Cantú-Paz quantifies rate/interval trade-offs.  This header captures the
+// policy knobs shared by the sequential and distributed island models.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/population.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+
+/// How emigrants are chosen from the source deme.
+enum class MigrantSelection { kBest, kRandom, kTournament };
+
+/// How immigrants are inserted into the destination deme.
+enum class MigrantReplacement {
+  kWorst,          ///< overwrite the current worst individuals
+  kRandom,         ///< overwrite uniformly random individuals
+  kWorstIfBetter,  ///< overwrite worst only when the immigrant is fitter
+};
+
+[[nodiscard]] constexpr const char* to_string(MigrantSelection s) noexcept {
+  switch (s) {
+    case MigrantSelection::kBest: return "best";
+    case MigrantSelection::kRandom: return "random";
+    case MigrantSelection::kTournament: return "tournament";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(MigrantReplacement r) noexcept {
+  switch (r) {
+    case MigrantReplacement::kWorst: return "worst";
+    case MigrantReplacement::kRandom: return "random";
+    case MigrantReplacement::kWorstIfBetter: return "worst-if-better";
+  }
+  return "?";
+}
+
+struct MigrationPolicy {
+  /// Deme generations between migration epochs (0 disables migration).
+  std::size_t interval = 16;
+  /// Emigrants per out-edge per epoch ("migration rate").
+  std::size_t count = 1;
+  MigrantSelection selection = MigrantSelection::kBest;
+  MigrantReplacement replacement = MigrantReplacement::kWorst;
+  /// Tournament size when selection == kTournament.
+  std::size_t tournament_size = 3;
+
+  [[nodiscard]] bool enabled() const noexcept { return interval > 0; }
+};
+
+/// Picks `policy.count` emigrant copies from `pop` (with replacement across
+/// picks for random/tournament; "best" sends the top-k distinct individuals).
+template <class G>
+[[nodiscard]] std::vector<Individual<G>> select_migrants(
+    const Population<G>& pop, const MigrationPolicy& policy, Rng& rng) {
+  std::vector<Individual<G>> out;
+  out.reserve(policy.count);
+  switch (policy.selection) {
+    case MigrantSelection::kBest: {
+      // Top-k by fitness without mutating the deme.
+      std::vector<std::size_t> idx(pop.size());
+      for (std::size_t i = 0; i < pop.size(); ++i) idx[i] = i;
+      const std::size_t k = std::min(policy.count, pop.size());
+      std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                        idx.end(), [&](std::size_t a, std::size_t b) {
+                          return pop[a].fitness > pop[b].fitness;
+                        });
+      for (std::size_t i = 0; i < k; ++i) out.push_back(pop[idx[i]]);
+      break;
+    }
+    case MigrantSelection::kRandom: {
+      for (std::size_t i = 0; i < policy.count; ++i)
+        out.push_back(pop[rng.index(pop.size())]);
+      break;
+    }
+    case MigrantSelection::kTournament: {
+      for (std::size_t i = 0; i < policy.count; ++i) {
+        std::size_t best = rng.index(pop.size());
+        for (std::size_t t = 1; t < policy.tournament_size; ++t) {
+          const std::size_t c = rng.index(pop.size());
+          if (pop[c].fitness > pop[best].fitness) best = c;
+        }
+        out.push_back(pop[best]);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Inserts immigrants into `pop` according to the replacement policy.
+template <class G>
+void integrate_migrants(Population<G>& pop,
+                        const std::vector<Individual<G>>& immigrants,
+                        const MigrationPolicy& policy, Rng& rng) {
+  for (const auto& immigrant : immigrants) {
+    switch (policy.replacement) {
+      case MigrantReplacement::kWorst: {
+        pop[pop.worst_index()] = immigrant;
+        break;
+      }
+      case MigrantReplacement::kRandom: {
+        pop[rng.index(pop.size())] = immigrant;
+        break;
+      }
+      case MigrantReplacement::kWorstIfBetter: {
+        const std::size_t w = pop.worst_index();
+        if (immigrant.fitness > pop[w].fitness) pop[w] = immigrant;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pga

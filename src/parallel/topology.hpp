@@ -1,0 +1,179 @@
+#pragma once
+// Inter-deme communication topologies.
+//
+// The survey (§3.2) lists the classic families: uni/bi-directional rings,
+// 2-D grids/meshes, toruses, hypercubes, stars, fully-connected graphs and
+// pipelines.  A Topology is a directed graph over deme indices; migration
+// sends emigrants along out-edges.  Cantú-Paz's results on topology choice
+// (denser graphs converge faster at higher communication cost) are
+// experiment E5.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace pga {
+
+/// Directed neighbor structure over `n` demes.
+class Topology {
+ public:
+  Topology(std::string name, std::vector<std::vector<std::size_t>> out_edges)
+      : name_(std::move(name)), out_(std::move(out_edges)) {}
+
+  [[nodiscard]] std::size_t num_demes() const noexcept { return out_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors_out(
+      std::size_t deme) const {
+    return out_[deme];
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total directed edge count (communication volume per migration epoch).
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    std::size_t e = 0;
+    for (const auto& v : out_) e += v.size();
+    return e;
+  }
+
+  /// True iff every deme can reach every other (BFS from each source).
+  [[nodiscard]] bool is_strongly_connected() const {
+    const std::size_t n = num_demes();
+    if (n <= 1) return true;
+    for (std::size_t s = 0; s < n; ++s) {
+      std::vector<std::uint8_t> seen(n, 0);
+      std::vector<std::size_t> stack{s};
+      seen[s] = 1;
+      std::size_t visited = 1;
+      while (!stack.empty()) {
+        const std::size_t u = stack.back();
+        stack.pop_back();
+        for (std::size_t v : out_[u]) {
+          if (!seen[v]) {
+            seen[v] = 1;
+            ++visited;
+            stack.push_back(v);
+          }
+        }
+      }
+      if (visited != n) return false;
+    }
+    return true;
+  }
+
+  // --- Factories -----------------------------------------------------------
+
+  /// No edges: the isolated-demes control arm (Cantú-Paz: "impractical").
+  [[nodiscard]] static Topology isolated(std::size_t n) {
+    return Topology("isolated", std::vector<std::vector<std::size_t>>(n));
+  }
+
+  /// Unidirectional ring 0 -> 1 -> ... -> n-1 -> 0.
+  [[nodiscard]] static Topology ring(std::size_t n) {
+    std::vector<std::vector<std::size_t>> out(n);
+    if (n > 1)
+      for (std::size_t i = 0; i < n; ++i) out[i] = {(i + 1) % n};
+    return Topology("ring", std::move(out));
+  }
+
+  /// Bidirectional ring.
+  [[nodiscard]] static Topology bidirectional_ring(std::size_t n) {
+    std::vector<std::vector<std::size_t>> out(n);
+    if (n > 2) {
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = {(i + 1) % n, (i + n - 1) % n};
+    } else if (n == 2) {
+      out[0] = {1};
+      out[1] = {0};
+    }
+    return Topology("bi-ring", std::move(out));
+  }
+
+  /// Complete graph (fully connected).
+  [[nodiscard]] static Topology complete(std::size_t n) {
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) out[i].push_back(j);
+    return Topology("complete", std::move(out));
+  }
+
+  /// Star: hub deme 0 exchanges with every leaf (hierarchical master deme).
+  [[nodiscard]] static Topology star(std::size_t n) {
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      out[0].push_back(i);
+      out[i].push_back(0);
+    }
+    return Topology("star", std::move(out));
+  }
+
+  /// 2-D grid (non-wrapping mesh) of rows x cols demes, 4-neighborhood.
+  [[nodiscard]] static Topology grid(std::size_t rows, std::size_t cols) {
+    const std::size_t n = rows * cols;
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        if (r > 0) out[i].push_back(i - cols);
+        if (r + 1 < rows) out[i].push_back(i + cols);
+        if (c > 0) out[i].push_back(i - 1);
+        if (c + 1 < cols) out[i].push_back(i + 1);
+      }
+    return Topology("grid", std::move(out));
+  }
+
+  /// 2-D torus (wrapping grid), 4-neighborhood.
+  [[nodiscard]] static Topology torus(std::size_t rows, std::size_t cols) {
+    const std::size_t n = rows * cols;
+    std::vector<std::vector<std::size_t>> out(n);
+    if (n == 1) return Topology("torus", std::move(out));
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t i = r * cols + c;
+        auto add = [&](std::size_t rr, std::size_t cc) {
+          const std::size_t j = (rr % rows) * cols + (cc % cols);
+          if (j != i) out[i].push_back(j);
+        };
+        add(r + rows - 1, c);
+        add(r + 1, c);
+        add(r, c + cols - 1);
+        add(r, c + 1);
+      }
+    return Topology("torus", std::move(out));
+  }
+
+  /// Hypercube over n = 2^d demes; neighbors differ in one address bit.
+  [[nodiscard]] static Topology hypercube(std::size_t n) {
+    if (n == 0 || (n & (n - 1)) != 0)
+      throw std::invalid_argument("hypercube size must be a power of two");
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t bit = 1; bit < n; bit <<= 1) out[i].push_back(i ^ bit);
+    return Topology("hypercube", std::move(out));
+  }
+
+  /// Each deme gets k distinct random out-neighbors (Erdos-Renyi-ish).
+  [[nodiscard]] static Topology random_k(std::size_t n, std::size_t k,
+                                         Rng& rng) {
+    if (n > 1 && k >= n) throw std::invalid_argument("random_k needs k < n");
+    std::vector<std::vector<std::size_t>> out(n);
+    for (std::size_t i = 0; i < n && n > 1; ++i) {
+      while (out[i].size() < k) {
+        const std::size_t j = rng.index(n);
+        if (j == i) continue;
+        bool dup = false;
+        for (std::size_t seen : out[i]) dup |= (seen == j);
+        if (!dup) out[i].push_back(j);
+      }
+    }
+    return Topology("random-" + std::to_string(k), std::move(out));
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::size_t>> out_;
+};
+
+}  // namespace pga

@@ -1,0 +1,67 @@
+#pragma once
+// Umbrella header: pulls in the whole public API of pgalib.
+//
+// Fine-grained includes compile faster; this header exists for quick
+// experiments and example code.  Module map:
+//
+//   core/      genomes, RNG, operators, engines, scaling, encodings,
+//              diversity, local search, adaptive control, checkpoints, traces
+//   problems/  benchmark problems across the difficulty classes
+//   comm/      message-passing transport, serialization, collectives
+//   sim/       deterministic virtual-time cluster simulator
+//   parallel/  master-slave, island, cellular, hierarchical, SIM, hybrid
+//   multiobj/  Pareto utilities and NSGA-II
+//   theory/    analytic models (sizing, takeover, speedup)
+//   workloads/ synthetic application substrates
+
+#include "comm/collectives.hpp"
+#include "comm/inproc.hpp"
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/adaptive.hpp"
+#include "core/cellular.hpp"
+#include "core/checkpoint.hpp"
+#include "core/crossover.hpp"
+#include "core/diversity.hpp"
+#include "core/encoding.hpp"
+#include "core/evolution.hpp"
+#include "core/genome.hpp"
+#include "core/local_search.hpp"
+#include "core/mutation.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/scaling.hpp"
+#include "core/selection.hpp"
+#include "core/statistics.hpp"
+#include "core/termination.hpp"
+#include "core/trace.hpp"
+#include "multiobj/nsga2.hpp"
+#include "multiobj/pareto.hpp"
+#include "parallel/cellular_parallel.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/hierarchical.hpp"
+#include "parallel/hybrid.hpp"
+#include "parallel/island.hpp"
+#include "parallel/master_slave.hpp"
+#include "parallel/migration.hpp"
+#include "parallel/specialized_island.hpp"
+#include "parallel/topology.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+#include "problems/graph.hpp"
+#include "problems/joinorder.hpp"
+#include "problems/multiobjective.hpp"
+#include "problems/npcomplete.hpp"
+#include "problems/scheduling.hpp"
+#include "problems/tsp.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "theory/models.hpp"
+#include "workloads/airfoil.hpp"
+#include "workloads/cameras.hpp"
+#include "workloads/digits.hpp"
+#include "workloads/doppler.hpp"
+#include "workloads/images.hpp"
+#include "workloads/reactor.hpp"
+#include "workloads/stock.hpp"

@@ -1,0 +1,198 @@
+#pragma once
+// Binary-coded benchmark problems spanning the Alba & Troya difficulty
+// classes: OneMax (easy), concatenated k-traps (deceptive), P-PEAKS
+// (multimodal) and NK landscapes (epistatic).  MAXSAT/subset-sum/knapsack
+// (NP-complete) live in npcomplete.hpp.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+/// OneMax: fitness = number of set bits.  The canonical "easy" problem.
+class OneMax final : public Problem<BitString> {
+ public:
+  explicit OneMax(std::size_t length) : length_(length) {}
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    return static_cast<double>(g.count_ones());
+  }
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return static_cast<double>(length_);
+  }
+  [[nodiscard]] std::string name() const override { return "onemax"; }
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+
+ private:
+  std::size_t length_;
+};
+
+/// Concatenation of m fully deceptive k-bit trap functions.  Each block
+/// scores k for all-ones, otherwise (k - 1 - ones): hill-climbing within a
+/// block leads *away* from the optimum, which is why traps are the standard
+/// deceptive workload (Goldberg; used throughout Cantu-Paz 2000).
+class DeceptiveTrap final : public Problem<BitString> {
+ public:
+  DeceptiveTrap(std::size_t num_blocks, std::size_t block_size)
+      : blocks_(num_blocks), k_(block_size) {
+    if (k_ < 2) throw std::invalid_argument("trap block size must be >= 2");
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    if (g.size() != blocks_ * k_)
+      throw std::invalid_argument("trap genome length mismatch");
+    double total = 0.0;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      std::size_t ones = 0;
+      for (std::size_t i = 0; i < k_; ++i) ones += g[b * k_ + i];
+      total += (ones == k_) ? static_cast<double>(k_)
+                            : static_cast<double>(k_ - 1 - ones);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return static_cast<double>(blocks_ * k_);
+  }
+  [[nodiscard]] std::string name() const override { return "trap"; }
+  [[nodiscard]] std::size_t length() const noexcept { return blocks_ * k_; }
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::size_t block_size() const noexcept { return k_; }
+
+ private:
+  std::size_t blocks_;
+  std::size_t k_;
+};
+
+/// P-PEAKS multimodal generator (De Jong, Potter & Spears; used by Alba &
+/// Troya): p random N-bit strings are peaks; fitness of x is
+/// max_i (N - hamming(x, peak_i)) / N, so the optimum is 1.0 at any peak.
+class PPeaks final : public Problem<BitString> {
+ public:
+  PPeaks(std::size_t num_peaks, std::size_t length, Rng& rng)
+      : length_(length) {
+    peaks_.reserve(num_peaks);
+    for (std::size_t i = 0; i < num_peaks; ++i)
+      peaks_.push_back(BitString::random(length, rng));
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    std::size_t best = 0;
+    for (const auto& peak : peaks_) {
+      const std::size_t match = length_ - g.hamming(peak);
+      if (match > best) best = match;
+    }
+    return static_cast<double>(best) / static_cast<double>(length_);
+  }
+
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return 1.0;
+  }
+  [[nodiscard]] std::string name() const override { return "p-peaks"; }
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+  [[nodiscard]] const std::vector<BitString>& peaks() const noexcept {
+    return peaks_;
+  }
+
+ private:
+  std::size_t length_;
+  std::vector<BitString> peaks_;
+};
+
+/// Kauffman NK landscape: each bit's contribution depends on itself and K
+/// random epistatic neighbours, via a table of uniform(0,1) entries.  The
+/// "epistatic" problem class; ruggedness grows with K.
+class NKLandscape final : public Problem<BitString> {
+ public:
+  NKLandscape(std::size_t n, std::size_t k, Rng& rng) : n_(n), k_(k) {
+    if (k >= n) throw std::invalid_argument("NK requires K < N");
+    links_.resize(n);
+    tables_.resize(n);
+    const std::size_t table_size = std::size_t{1} << (k + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      // K distinct neighbours other than i.
+      while (links_[i].size() < k) {
+        const std::size_t j = rng.index(n);
+        if (j == i) continue;
+        bool dup = false;
+        for (std::size_t seen : links_[i]) dup |= (seen == j);
+        if (!dup) links_[i].push_back(j);
+      }
+      tables_[i].reserve(table_size);
+      for (std::size_t t = 0; t < table_size; ++t)
+        tables_[i].push_back(rng.uniform());
+    }
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    if (g.size() != n_) throw std::invalid_argument("NK genome length mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::size_t key = g[i];
+      for (std::size_t j : links_[i]) key = (key << 1) | g[j];
+      total += tables_[i][key];
+    }
+    return total / static_cast<double>(n_);
+  }
+
+  /// NK optima are instance-specific; exhaustively solvable only for small N.
+  [[nodiscard]] std::string name() const override { return "nk-landscape"; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  /// Exhaustive optimum for N <= 24 (test support).
+  [[nodiscard]] double brute_force_optimum() const {
+    if (n_ > 24) throw std::logic_error("brute force limited to N <= 24");
+    double best = 0.0;
+    BitString g(n_);
+    const std::uint64_t count = std::uint64_t{1} << n_;
+    for (std::uint64_t v = 0; v < count; ++v) {
+      for (std::size_t i = 0; i < n_; ++i)
+        g[i] = static_cast<std::uint8_t>((v >> i) & 1u);
+      best = std::max(best, fitness(g));
+    }
+    return best;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::vector<std::size_t>> links_;
+  std::vector<std::vector<double>> tables_;
+};
+
+/// Royal Road R1 (Mitchell/Forrest/Holland): fitness is the summed size of
+/// fully-set contiguous blocks; rewards only complete building blocks.
+class RoyalRoad final : public Problem<BitString> {
+ public:
+  RoyalRoad(std::size_t num_blocks, std::size_t block_size)
+      : blocks_(num_blocks), k_(block_size) {}
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    double total = 0.0;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      bool complete = true;
+      for (std::size_t i = 0; i < k_; ++i) complete &= (g[b * k_ + i] != 0);
+      if (complete) total += static_cast<double>(k_);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return static_cast<double>(blocks_ * k_);
+  }
+  [[nodiscard]] std::string name() const override { return "royal-road"; }
+  [[nodiscard]] std::size_t length() const noexcept { return blocks_ * k_; }
+
+ private:
+  std::size_t blocks_;
+  std::size_t k_;
+};
+
+}  // namespace pga::problems

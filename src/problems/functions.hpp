@@ -1,0 +1,213 @@
+#pragma once
+// Continuous benchmark functions (real-coded genomes).
+//
+// All are classic minimization problems; `fitness` returns the negated value
+// so engines can uniformly maximize, while `objective` reports the familiar
+// minimization number.  Sphere/Rosenbrock are the "easy" end; Rastrigin,
+// Schwefel, Griewank and Ackley are the multimodal workloads Muehlenbein's
+// and Alba & Troya's parallel GA studies use.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+
+namespace pga::problems {
+
+/// Base for functions of a fixed dimension with uniform box bounds.
+class ContinuousFunction : public Problem<RealVector> {
+ public:
+  ContinuousFunction(std::size_t dim, double lo, double hi)
+      : bounds_(dim, lo, hi) {}
+
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return bounds_.size(); }
+
+  [[nodiscard]] double fitness(const RealVector& x) const final {
+    return -objective(x);
+  }
+
+  /// All functions below have a known global minimum of 0.
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return 0.0;
+  }
+
+ private:
+  Bounds bounds_;
+};
+
+/// f(x) = sum x_i^2, minimum 0 at the origin.  Problem class: easy/unimodal.
+class Sphere final : public ContinuousFunction {
+ public:
+  explicit Sphere(std::size_t dim) : ContinuousFunction(dim, -5.12, 5.12) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 0.0;
+    for (double v : x.values) s += v * v;
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "sphere"; }
+};
+
+/// Rosenbrock's banana valley; unimodal but ill-conditioned.
+class Rosenbrock final : public ContinuousFunction {
+ public:
+  explicit Rosenbrock(std::size_t dim) : ContinuousFunction(dim, -2.048, 2.048) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+      const double a = x[i + 1] - x[i] * x[i];
+      const double b = 1.0 - x[i];
+      s += 100.0 * a * a + b * b;
+    }
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "rosenbrock"; }
+};
+
+/// Rastrigin: highly multimodal with a regular lattice of local minima.
+class Rastrigin final : public ContinuousFunction {
+ public:
+  explicit Rastrigin(std::size_t dim) : ContinuousFunction(dim, -5.12, 5.12) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 10.0 * static_cast<double>(x.size());
+    for (double v : x.values)
+      s += v * v - 10.0 * std::cos(2.0 * std::numbers::pi * v);
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "rastrigin"; }
+};
+
+/// Schwefel 7: deceptive multimodal landscape whose best local optima lie far
+/// from the global one.  Minimum ~0 at x_i = 420.9687.
+class Schwefel final : public ContinuousFunction {
+ public:
+  explicit Schwefel(std::size_t dim) : ContinuousFunction(dim, -500.0, 500.0) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 418.9828872724339 * static_cast<double>(x.size());
+    for (double v : x.values) s -= v * std::sin(std::sqrt(std::abs(v)));
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "schwefel"; }
+};
+
+/// Griewank: multimodal with decreasing modality in high dimension.
+class Griewank final : public ContinuousFunction {
+ public:
+  explicit Griewank(std::size_t dim) : ContinuousFunction(dim, -600.0, 600.0) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double sum = 0.0, prod = 1.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sum += x[i] * x[i] / 4000.0;
+      prod *= std::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
+    }
+    return 1.0 + sum - prod;
+  }
+  [[nodiscard]] std::string name() const override { return "griewank"; }
+};
+
+/// De Jong F3 (step function): sum of floor(x_i) shifted to be non-negative;
+/// piecewise-constant plateaus defeat gradient information entirely.
+/// Minimum 0 on the cell [-5.12, -5) in every dimension.
+class Step final : public ContinuousFunction {
+ public:
+  explicit Step(std::size_t dim) : ContinuousFunction(dim, -5.12, 5.12) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 0.0;
+    for (double v : x.values) s += std::floor(v) + 6.0;  // floor(-5.12..)=-6
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "step"; }
+};
+
+/// De Jong F4 (quartic with noise): sum i*x_i^4 plus frozen noise.  The
+/// noise is *deterministic per genome* (hashed from the coordinates) so the
+/// Problem interface stays const and runs stay reproducible, while the
+/// landscape keeps F4's noisy character.  Minimum ~0 at the origin.
+class QuarticNoise final : public ContinuousFunction {
+ public:
+  explicit QuarticNoise(std::size_t dim, double noise_amplitude = 0.1)
+      : ContinuousFunction(dim, -1.28, 1.28), amplitude_(noise_amplitude) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double s = 0.0;
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      s += static_cast<double>(i + 1) * x[i] * x[i] * x[i] * x[i];
+      std::uint64_t bits;
+      const double v = x[i];
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h = (h ^ bits) * 0xbf58476d1ce4e5b9ULL;
+    }
+    // Frozen uniform noise in [0, amplitude).
+    const double noise =
+        amplitude_ * static_cast<double>(h >> 11) * 0x1.0p-53;
+    return s + noise;
+  }
+  [[nodiscard]] std::string name() const override { return "quartic-noise"; }
+
+  /// The noise floor makes the exact optimum instance-dependent.
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return std::nullopt;
+  }
+
+ private:
+  double amplitude_;
+};
+
+/// De Jong F5 (Shekel's foxholes): 2-D, 25 narrow wells on a 5x5 lattice;
+/// the classic multimodal trap for hill climbers.  The global minimum is
+/// ~0.998 at the first foxhole (-32, -32); the plateau between wells sits
+/// near 500.
+class Foxholes final : public ContinuousFunction {
+ public:
+  Foxholes() : ContinuousFunction(2, -65.536, 65.536) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    double inv_sum = 0.002;
+    for (int j = 0; j < 25; ++j) {
+      const double a0 = static_cast<double>(j % 5 - 2) * 16.0;
+      const double a1 = static_cast<double>(j / 5 - 2) * 16.0;
+      const double d0 = x[0] - a0;
+      const double d1 = x[1] - a1;
+      inv_sum += 1.0 / (static_cast<double>(j + 1) + d0 * d0 * d0 * d0 * d0 * d0 +
+                        d1 * d1 * d1 * d1 * d1 * d1);
+    }
+    return 1.0 / inv_sum;
+  }
+  [[nodiscard]] std::string name() const override { return "foxholes"; }
+
+  /// Minimum is near (but not exactly) 1/(0.002 + 1) at the best well.
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return std::nullopt;
+  }
+};
+
+/// Ackley: nearly flat outer region with a deep central funnel.
+class Ackley final : public ContinuousFunction {
+ public:
+  explicit Ackley(std::size_t dim) : ContinuousFunction(dim, -32.768, 32.768) {}
+
+  [[nodiscard]] double objective(const RealVector& x) const override {
+    const auto n = static_cast<double>(x.size());
+    double sq = 0.0, cs = 0.0;
+    for (double v : x.values) {
+      sq += v * v;
+      cs += std::cos(2.0 * std::numbers::pi * v);
+    }
+    return -20.0 * std::exp(-0.2 * std::sqrt(sq / n)) - std::exp(cs / n) +
+           20.0 + std::numbers::e;
+  }
+  [[nodiscard]] std::string name() const override { return "ackley"; }
+};
+
+}  // namespace pga::problems

@@ -1,0 +1,107 @@
+#pragma once
+// Graph partitioning problems (the survey's application list opens with
+// "graph bipartity, graph partitioning problem").
+//
+// Bipartitioning: split the vertex set into two equal halves minimizing the
+// edge cut.  Instances are random graphs with an optional *planted* bisection
+// (dense inside the halves, sparse across), so the optimum is known with
+// high probability and success-rate accounting works.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+/// Undirected graph as an edge list over n vertices.
+struct Graph {
+  std::size_t num_vertices = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges.size(); }
+};
+
+/// Erdos-Renyi random graph G(n, p).
+[[nodiscard]] inline Graph random_graph(std::size_t n, double p, Rng& rng) {
+  Graph g;
+  g.num_vertices = n;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.edges.emplace_back(u, v);
+  return g;
+}
+
+/// Planted-bisection graph: vertices 0..n/2-1 and n/2..n-1 form the hidden
+/// halves; intra-half edge probability `p_in`, cross probability `p_out`
+/// (p_in >> p_out makes the planted cut optimal w.h.p.).
+[[nodiscard]] inline Graph planted_bisection(std::size_t n, double p_in,
+                                             double p_out, Rng& rng) {
+  if (n % 2 != 0) throw std::invalid_argument("planted bisection needs even n");
+  Graph g;
+  g.num_vertices = n;
+  const std::size_t half = n / 2;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      const bool same = (u < half) == (v < half);
+      if (rng.bernoulli(same ? p_in : p_out)) g.edges.emplace_back(u, v);
+    }
+  return g;
+}
+
+/// Bipartitioning problem: genome bit i assigns vertex i to side 0/1.
+/// Fitness = -(cut + imbalance_penalty * |#side0 - #side1|); balanced
+/// partitions with small cuts score best.
+class GraphBipartition final : public Problem<BitString> {
+ public:
+  explicit GraphBipartition(Graph graph, double imbalance_penalty = 2.0)
+      : graph_(std::move(graph)), penalty_(imbalance_penalty) {}
+
+  [[nodiscard]] std::size_t cut_size(const BitString& assignment) const {
+    std::size_t cut = 0;
+    for (const auto& [u, v] : graph_.edges)
+      cut += (assignment[u] != assignment[v]);
+    return cut;
+  }
+
+  [[nodiscard]] long long imbalance(const BitString& assignment) const {
+    const auto ones = static_cast<long long>(assignment.count_ones());
+    const auto n = static_cast<long long>(graph_.num_vertices);
+    return std::abs(2 * ones - n);
+  }
+
+  [[nodiscard]] double fitness(const BitString& assignment) const override {
+    if (assignment.size() != graph_.num_vertices)
+      throw std::invalid_argument("assignment length mismatch");
+    return -(static_cast<double>(cut_size(assignment)) +
+             penalty_ * static_cast<double>(imbalance(assignment)));
+  }
+
+  /// Raw cut size (the natural minimization objective).
+  [[nodiscard]] double objective(const BitString& assignment) const override {
+    return static_cast<double>(cut_size(assignment));
+  }
+
+  [[nodiscard]] std::string name() const override { return "graph-bisection"; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Fitness of the planted partition (first half = 0, second half = 1) —
+  /// the reference target for planted instances.
+  [[nodiscard]] double planted_fitness() const {
+    BitString planted(graph_.num_vertices, 0);
+    for (std::size_t v = graph_.num_vertices / 2; v < graph_.num_vertices; ++v)
+      planted[v] = 1;
+    return fitness(planted);
+  }
+
+ private:
+  Graph graph_;
+  double penalty_;
+};
+
+}  // namespace pga::problems

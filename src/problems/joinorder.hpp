@@ -1,0 +1,135 @@
+#pragma once
+// Database join-order optimization (the survey's §4 application list:
+// "optimization of server load or database queries").
+//
+// Left-deep join ordering is the classic NP-hard query-optimization core: a
+// permutation of N relations determines the join tree; the cost model sums
+// intermediate result sizes under independence-assumption selectivities.
+// Synthetic instances are generated with a known star/chain mix so greedy
+// and GA baselines can be compared.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+/// A synthetic query: relation cardinalities plus pairwise join
+/// selectivities (1.0 where no join predicate exists — a cross product).
+struct QueryGraph {
+  std::vector<double> cardinality;             ///< rows per relation
+  std::vector<std::vector<double>> selectivity;  ///< symmetric matrix
+
+  [[nodiscard]] std::size_t num_relations() const noexcept {
+    return cardinality.size();
+  }
+};
+
+/// Random query with chain + random extra predicates: relations sized
+/// 10^2..10^6 rows, predicate selectivities 10^-4..10^-1; non-joined pairs
+/// keep selectivity 1 (cross products are possible but catastrophic, which
+/// is exactly what makes ordering matter).
+[[nodiscard]] inline QueryGraph random_query(std::size_t relations,
+                                             double extra_edge_prob, Rng& rng) {
+  if (relations < 2) throw std::invalid_argument("need >= 2 relations");
+  QueryGraph q;
+  q.cardinality.reserve(relations);
+  for (std::size_t i = 0; i < relations; ++i)
+    q.cardinality.push_back(std::pow(10.0, rng.uniform(2.0, 6.0)));
+  q.selectivity.assign(relations, std::vector<double>(relations, 1.0));
+  auto set_pred = [&](std::size_t a, std::size_t b) {
+    const double s = std::pow(10.0, rng.uniform(-4.0, -1.0));
+    q.selectivity[a][b] = q.selectivity[b][a] = s;
+  };
+  for (std::size_t i = 0; i + 1 < relations; ++i) set_pred(i, i + 1);  // chain
+  for (std::size_t a = 0; a < relations; ++a)
+    for (std::size_t b = a + 2; b < relations; ++b)
+      if (rng.bernoulli(extra_edge_prob)) set_pred(a, b);
+  return q;
+}
+
+/// Left-deep join ordering problem: genome = permutation of relations;
+/// cost = sum of intermediate result cardinalities (log-scaled fitness so
+/// the GA is not dominated by one astronomic cross product).
+class JoinOrderProblem final : public Problem<Permutation> {
+ public:
+  explicit JoinOrderProblem(QueryGraph query) : query_(std::move(query)) {}
+
+  /// Total intermediate-result rows of the left-deep plan.
+  [[nodiscard]] double plan_cost(const Permutation& order) const {
+    const std::size_t n = query_.num_relations();
+    if (order.size() != n) throw std::invalid_argument("order length mismatch");
+    double rows = query_.cardinality[order[0]];
+    double cost = 0.0;
+    std::vector<std::uint8_t> joined(n, 0);
+    joined[order[0]] = 1;
+    for (std::size_t step = 1; step < n; ++step) {
+      const std::size_t next = order[step];
+      // Combined selectivity against everything already joined.
+      double sel = 1.0;
+      for (std::size_t r = 0; r < n; ++r)
+        if (joined[r]) sel *= query_.selectivity[r][next];
+      rows = rows * query_.cardinality[next] * sel;
+      rows = std::max(rows, 1.0);
+      cost += rows;
+      joined[next] = 1;
+    }
+    return cost;
+  }
+
+  [[nodiscard]] double fitness(const Permutation& order) const override {
+    return -std::log10(plan_cost(order) + 1.0);
+  }
+  [[nodiscard]] double objective(const Permutation& order) const override {
+    return plan_cost(order);
+  }
+  [[nodiscard]] std::string name() const override { return "join-order"; }
+
+  [[nodiscard]] const QueryGraph& query() const noexcept { return query_; }
+
+  /// Greedy smallest-intermediate-first baseline (the textbook heuristic).
+  [[nodiscard]] Permutation greedy_plan() const {
+    const std::size_t n = query_.num_relations();
+    Permutation order(n);
+    std::vector<std::uint8_t> joined(n, 0);
+    // Start from the smallest relation.
+    std::size_t start = 0;
+    for (std::size_t r = 1; r < n; ++r)
+      if (query_.cardinality[r] < query_.cardinality[start]) start = r;
+    order[0] = static_cast<std::uint32_t>(start);
+    joined[start] = 1;
+    double rows = query_.cardinality[start];
+    for (std::size_t step = 1; step < n; ++step) {
+      std::size_t best = n;
+      double best_rows = 0.0;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (joined[cand]) continue;
+        double sel = 1.0;
+        for (std::size_t r = 0; r < n; ++r)
+          if (joined[r]) sel *= query_.selectivity[r][cand];
+        const double next_rows =
+            std::max(rows * query_.cardinality[cand] * sel, 1.0);
+        if (best == n || next_rows < best_rows) {
+          best = cand;
+          best_rows = next_rows;
+        }
+      }
+      order[step] = static_cast<std::uint32_t>(best);
+      joined[best] = 1;
+      rows = best_rows;
+    }
+    return order;
+  }
+
+ private:
+  QueryGraph query_;
+};
+
+}  // namespace pga::problems

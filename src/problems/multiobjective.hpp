@@ -1,0 +1,106 @@
+#pragma once
+// Multi-objective benchmarks for the specialized island model experiments
+// (Xiao & Armstrong 2003): the ZDT family (Zitzler, Deb & Thiele 2000) and a
+// two-objective DTLZ2 slice.  All objectives are minimized; genomes are
+// real-coded in [0, 1]^n.
+
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+
+namespace pga::problems {
+
+/// Shared base: n-dimensional [0,1] box, two objectives.
+class ZdtBase : public MultiObjectiveProblem<RealVector> {
+ public:
+  explicit ZdtBase(std::size_t dim) : bounds_(dim, 0.0, 1.0) {}
+
+  [[nodiscard]] std::size_t num_objectives() const override { return 2; }
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return bounds_.size(); }
+
+ protected:
+  /// g(x) = 1 + 9 * mean(x_2..x_n): the distance-to-front term shared by
+  /// ZDT1-3.  g == 1 on the Pareto-optimal front.
+  [[nodiscard]] double g_term(const RealVector& x) const {
+    double s = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+    return 1.0 + 9.0 * s / static_cast<double>(x.size() - 1);
+  }
+
+ private:
+  Bounds bounds_;
+};
+
+/// ZDT1: convex Pareto front f2 = 1 - sqrt(f1).
+class Zdt1 final : public ZdtBase {
+ public:
+  explicit Zdt1(std::size_t dim = 30) : ZdtBase(dim) {}
+
+  [[nodiscard]] std::vector<double> evaluate(const RealVector& x) const override {
+    const double f1 = x[0];
+    const double g = g_term(x);
+    const double f2 = g * (1.0 - std::sqrt(f1 / g));
+    return {f1, f2};
+  }
+  [[nodiscard]] std::string name() const override { return "zdt1"; }
+};
+
+/// ZDT2: concave front f2 = 1 - f1^2.
+class Zdt2 final : public ZdtBase {
+ public:
+  explicit Zdt2(std::size_t dim = 30) : ZdtBase(dim) {}
+
+  [[nodiscard]] std::vector<double> evaluate(const RealVector& x) const override {
+    const double f1 = x[0];
+    const double g = g_term(x);
+    const double f2 = g * (1.0 - (f1 / g) * (f1 / g));
+    return {f1, f2};
+  }
+  [[nodiscard]] std::string name() const override { return "zdt2"; }
+};
+
+/// ZDT3: disconnected front.
+class Zdt3 final : public ZdtBase {
+ public:
+  explicit Zdt3(std::size_t dim = 30) : ZdtBase(dim) {}
+
+  [[nodiscard]] std::vector<double> evaluate(const RealVector& x) const override {
+    const double f1 = x[0];
+    const double g = g_term(x);
+    const double r = f1 / g;
+    const double f2 =
+        g * (1.0 - std::sqrt(r) - r * std::sin(10.0 * std::numbers::pi * f1));
+    return {f1, f2};
+  }
+  [[nodiscard]] std::string name() const override { return "zdt3"; }
+};
+
+/// Two-objective DTLZ2: spherical front f1^2 + f2^2 = 1.
+class Dtlz2 final : public MultiObjectiveProblem<RealVector> {
+ public:
+  explicit Dtlz2(std::size_t dim = 12) : bounds_(dim, 0.0, 1.0) {}
+
+  [[nodiscard]] std::size_t num_objectives() const override { return 2; }
+
+  [[nodiscard]] std::vector<double> evaluate(const RealVector& x) const override {
+    double g = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      const double d = x[i] - 0.5;
+      g += d * d;
+    }
+    const double a = x[0] * std::numbers::pi / 2.0;
+    return {(1.0 + g) * std::cos(a), (1.0 + g) * std::sin(a)};
+  }
+  [[nodiscard]] std::string name() const override { return "dtlz2"; }
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+
+ private:
+  Bounds bounds_;
+};
+
+}  // namespace pga::problems

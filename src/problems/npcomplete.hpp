@@ -1,0 +1,211 @@
+#pragma once
+// NP-complete benchmark problems: random MAXSAT, subset sum (the workload of
+// the DREAM/DRM experiments, Jelasity 2002) and 0/1 knapsack.  Instance
+// generators take an Rng so experiments are reproducible; each generator
+// plants a known satisfying/exact solution so `optimum_fitness` is available
+// for success-rate accounting.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+/// Random 3-SAT MAXSAT.  Clauses are generated uniformly but each is checked
+/// (and if needed flipped) to be satisfied by a hidden planted assignment, so
+/// the instance is satisfiable and the optimum is `num_clauses`.
+class MaxSat final : public Problem<BitString> {
+ public:
+  struct Literal {
+    std::uint32_t var;
+    bool negated;
+  };
+  using Clause = std::array<Literal, 3>;
+
+  MaxSat(std::size_t num_vars, std::size_t num_clauses, Rng& rng)
+      : num_vars_(num_vars) {
+    if (num_vars < 3) throw std::invalid_argument("MaxSat needs >= 3 variables");
+    planted_ = BitString::random(num_vars, rng);
+    clauses_.reserve(num_clauses);
+    while (clauses_.size() < num_clauses) {
+      Clause c{};
+      // Three distinct variables.
+      std::size_t v0 = rng.index(num_vars), v1, v2;
+      do { v1 = rng.index(num_vars); } while (v1 == v0);
+      do { v2 = rng.index(num_vars); } while (v2 == v0 || v2 == v1);
+      const std::size_t vars[3] = {v0, v1, v2};
+      for (int i = 0; i < 3; ++i) {
+        c[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(vars[i]),
+                                          rng.bernoulli(0.5)};
+      }
+      // Ensure the planted assignment satisfies the clause: if not, flip the
+      // polarity of one random literal.
+      if (!satisfied_by(c, planted_)) {
+        auto& lit = c[rng.index(3)];
+        lit.negated = !lit.negated;
+      }
+      clauses_.push_back(c);
+    }
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    if (g.size() != num_vars_)
+      throw std::invalid_argument("MaxSat genome length mismatch");
+    std::size_t sat = 0;
+    for (const auto& c : clauses_) sat += satisfied_by(c, g);
+    return static_cast<double>(sat);
+  }
+
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return static_cast<double>(clauses_.size());
+  }
+  [[nodiscard]] std::string name() const override { return "maxsat-3"; }
+  [[nodiscard]] std::size_t num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t num_clauses() const noexcept {
+    return clauses_.size();
+  }
+  [[nodiscard]] const BitString& planted_assignment() const noexcept {
+    return planted_;
+  }
+
+ private:
+  [[nodiscard]] static bool satisfied_by(const Clause& c, const BitString& g) {
+    for (const auto& lit : c) {
+      const bool value = g[lit.var] != 0;
+      if (value != lit.negated) return true;
+    }
+    return false;
+  }
+
+  std::size_t num_vars_;
+  BitString planted_;
+  std::vector<Clause> clauses_;
+};
+
+/// Subset sum: given positive weights w_i and target T (the sum of a hidden
+/// random subset), maximize closeness of the selected subset's sum to T.
+/// Fitness is -|sum - T| so the optimum is 0.
+class SubsetSum final : public Problem<BitString> {
+ public:
+  SubsetSum(std::size_t n, Rng& rng, std::uint64_t max_weight = 1000) : n_(n) {
+    weights_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      weights_.push_back(1 + static_cast<std::uint64_t>(rng.index(
+                                 static_cast<std::size_t>(max_weight))));
+    planted_ = BitString::random(n, rng);
+    target_ = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (planted_[i]) target_ += weights_[i];
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    return -std::abs(objective(g));
+  }
+
+  /// Signed deviation sum(selected) - target.
+  [[nodiscard]] double objective(const BitString& g) const override {
+    if (g.size() != n_) throw std::invalid_argument("SubsetSum length mismatch");
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      if (g[i]) sum += static_cast<std::int64_t>(weights_[i]);
+    return static_cast<double>(sum - static_cast<std::int64_t>(target_));
+  }
+
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    return 0.0;
+  }
+  [[nodiscard]] std::string name() const override { return "subset-sum"; }
+  [[nodiscard]] std::uint64_t target() const noexcept { return target_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> weights_;
+  BitString planted_;
+  std::uint64_t target_ = 0;
+};
+
+/// 0/1 knapsack with a capacity set to half the total weight.  Infeasible
+/// selections are penalized proportionally to the overweight, the standard
+/// GA treatment.
+class Knapsack final : public Problem<BitString> {
+ public:
+  Knapsack(std::size_t n, Rng& rng, double value_max = 100.0,
+           double weight_max = 100.0)
+      : n_(n) {
+    values_.reserve(n);
+    weights_.reserve(n);
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      values_.push_back(rng.uniform(1.0, value_max));
+      weights_.push_back(rng.uniform(1.0, weight_max));
+      total_weight += weights_.back();
+    }
+    capacity_ = 0.5 * total_weight;
+  }
+
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    if (g.size() != n_) throw std::invalid_argument("Knapsack length mismatch");
+    double value = 0.0, weight = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!g[i]) continue;
+      value += values_[i];
+      weight += weights_[i];
+    }
+    if (weight <= capacity_) return value;
+    // Penalty: lose twice the best value density times the overweight.
+    return value - 2.0 * max_density() * (weight - capacity_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "knapsack"; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Greedy density bound (upper-bound helper for tests).
+  [[nodiscard]] double greedy_value() const {
+    std::vector<std::size_t> idx(n_);
+    for (std::size_t i = 0; i < n_; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return values_[a] / weights_[a] > values_[b] / weights_[b];
+    });
+    double value = 0.0, weight = 0.0;
+    for (std::size_t i : idx) {
+      if (weight + weights_[i] <= capacity_) {
+        value += values_[i];
+        weight += weights_[i];
+      }
+    }
+    return value;
+  }
+
+ private:
+  [[nodiscard]] double max_density() const {
+    double d = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+      d = std::max(d, values_[i] / weights_[i]);
+    return d;
+  }
+
+  std::size_t n_;
+  std::vector<double> values_;
+  std::vector<double> weights_;
+  double capacity_ = 0.0;
+};
+
+}  // namespace pga::problems

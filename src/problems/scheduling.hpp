@@ -1,0 +1,194 @@
+#pragma once
+// Multiprocessor task-graph scheduling (Kwok & Ahmad 1997, cited by the
+// survey [37]: "Efficient Scheduling of Arbitrary Task Graphs to
+// Multiprocessors Using a Parallel Genetic Algorithm").
+//
+// A DAG of tasks with computation costs and edge communication costs must be
+// mapped onto m processors to minimize the makespan.  The genome is a task
+// *priority permutation*; a deterministic list scheduler assigns each task
+// (in precedence-feasible priority order) to the processor giving the
+// earliest finish time.  This genome/decoder split is the standard GA
+// formulation of the problem.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+/// Directed acyclic task graph; edges carry communication costs paid when
+/// producer and consumer run on different processors.
+struct TaskGraph {
+  std::vector<double> compute_cost;  ///< per task
+  struct Edge {
+    std::uint32_t from;
+    std::uint32_t to;
+    double comm_cost;
+  };
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return compute_cost.size();
+  }
+};
+
+/// Random layered DAG: `layers` layers of `width` tasks; edges go from layer
+/// k to k+1 with probability `edge_prob`.  Guarantees acyclicity and gives
+/// the fork/join structure real workflows have.
+[[nodiscard]] inline TaskGraph random_layered_dag(std::size_t layers,
+                                                  std::size_t width,
+                                                  double edge_prob, Rng& rng) {
+  TaskGraph g;
+  const std::size_t n = layers * width;
+  g.compute_cost.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g.compute_cost.push_back(rng.uniform(1.0, 10.0));
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t a = 0; a < width; ++a)
+      for (std::size_t b = 0; b < width; ++b) {
+        if (!rng.bernoulli(edge_prob)) continue;
+        g.edges.push_back({static_cast<std::uint32_t>(layer * width + a),
+                           static_cast<std::uint32_t>((layer + 1) * width + b),
+                           rng.uniform(0.5, 5.0)});
+      }
+  }
+  return g;
+}
+
+/// Priority-list scheduling problem over `processors` machines.
+class TaskScheduling final : public Problem<Permutation> {
+ public:
+  TaskScheduling(TaskGraph graph, std::size_t processors)
+      : graph_(std::move(graph)), processors_(processors) {
+    if (processors_ == 0)
+      throw std::invalid_argument("need at least one processor");
+    // Precompute predecessor lists for the decoder.
+    preds_.resize(graph_.num_tasks());
+    for (const auto& e : graph_.edges) preds_[e.to].push_back(e);
+  }
+
+  /// Decodes a priority permutation into a schedule makespan.  Tasks are
+  /// taken in permutation order, deferring any whose predecessors have not
+  /// finished (stable topological repair), and greedily placed on the
+  /// processor minimizing the task's finish time.
+  [[nodiscard]] double makespan(const Permutation& priority) const {
+    const std::size_t n = graph_.num_tasks();
+    if (priority.size() != n)
+      throw std::invalid_argument("priority length mismatch");
+
+    std::vector<double> task_finish(n, -1.0);
+    std::vector<std::uint32_t> task_proc(n, 0);
+    std::vector<double> proc_free(processors_, 0.0);
+
+    // Repair the permutation into a precedence-feasible order.
+    std::vector<std::uint32_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> scheduled(n, 0);
+    std::vector<std::uint32_t> pending(priority.order.begin(),
+                                       priority.order.end());
+    while (!pending.empty()) {
+      bool progressed = false;
+      std::vector<std::uint32_t> next_round;
+      for (std::uint32_t task : pending) {
+        bool ready = true;
+        for (const auto& e : preds_[task]) ready &= (scheduled[e.from] != 0);
+        if (ready) {
+          order.push_back(task);
+          scheduled[task] = 1;
+          progressed = true;
+        } else {
+          next_round.push_back(task);
+        }
+      }
+      if (!progressed)
+        throw std::logic_error("task graph has a cycle");  // DAG invariant
+      pending = std::move(next_round);
+    }
+
+    // Greedy earliest-finish placement.
+    double total_makespan = 0.0;
+    for (std::uint32_t task : order) {
+      double best_finish = -1.0;
+      std::uint32_t best_proc = 0;
+      for (std::uint32_t p = 0; p < processors_; ++p) {
+        // Ready time on processor p: all predecessor results available
+        // (instantly if same processor, after comm_cost otherwise).
+        double ready = proc_free[p];
+        for (const auto& e : preds_[task]) {
+          const double arrival =
+              task_finish[e.from] + (task_proc[e.from] == p ? 0.0 : e.comm_cost);
+          ready = std::max(ready, arrival);
+        }
+        const double finish = ready + graph_.compute_cost[task];
+        if (best_finish < 0.0 || finish < best_finish) {
+          best_finish = finish;
+          best_proc = p;
+        }
+      }
+      task_finish[task] = best_finish;
+      task_proc[task] = best_proc;
+      proc_free[best_proc] = best_finish;
+      total_makespan = std::max(total_makespan, best_finish);
+    }
+    return total_makespan;
+  }
+
+  [[nodiscard]] double fitness(const Permutation& priority) const override {
+    return -makespan(priority);
+  }
+  [[nodiscard]] double objective(const Permutation& priority) const override {
+    return makespan(priority);
+  }
+  [[nodiscard]] std::string name() const override { return "task-scheduling"; }
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return graph_.num_tasks();
+  }
+  [[nodiscard]] std::size_t num_processors() const noexcept {
+    return processors_;
+  }
+
+  /// Lower bound: total work / processors (ignores precedence and comm).
+  [[nodiscard]] double work_lower_bound() const {
+    double total = 0.0;
+    for (double c : graph_.compute_cost) total += c;
+    return total / static_cast<double>(processors_);
+  }
+
+  /// Critical-path lower bound (longest compute-only chain).
+  [[nodiscard]] double critical_path_lower_bound() const {
+    const std::size_t n = graph_.num_tasks();
+    std::vector<double> longest(n, 0.0);
+    // Tasks are layer-ordered by construction, but compute robustly by
+    // iterating until fixpoint (DAG depth passes).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& e : graph_.edges) {
+        const double candidate = longest[e.from] + graph_.compute_cost[e.from];
+        if (candidate > longest[e.to] + 1e-12) {
+          longest[e.to] = candidate;
+          changed = true;
+        }
+      }
+    }
+    double best = 0.0;
+    for (std::size_t t = 0; t < n; ++t)
+      best = std::max(best, longest[t] + graph_.compute_cost[t]);
+    return best;
+  }
+
+ private:
+  TaskGraph graph_;
+  std::size_t processors_;
+  std::vector<std::vector<TaskGraph::Edge>> preds_;
+};
+
+}  // namespace pga::problems

@@ -1,0 +1,143 @@
+#pragma once
+// Euclidean travelling-salesman instances (the cluster case study of Sena,
+// Megherbi & Isern 2001).  Instances are generated on the unit square or on
+// a ring; the ring layout has a known optimal tour (the convex hull order),
+// which gives tests and success-rate experiments an exact target.
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::problems {
+
+class Tsp final : public Problem<Permutation> {
+ public:
+  struct City {
+    double x;
+    double y;
+  };
+
+  /// Uniformly random cities on the unit square.
+  [[nodiscard]] static Tsp random(std::size_t n, Rng& rng) {
+    std::vector<City> cities;
+    cities.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      cities.push_back({rng.uniform(), rng.uniform()});
+    return Tsp(std::move(cities), /*known_optimum=*/std::nullopt);
+  }
+
+  /// Cities evenly spaced on a circle of radius 1 — the optimal tour visits
+  /// them in angular order with length 2 n sin(pi/n).
+  [[nodiscard]] static Tsp ring(std::size_t n) {
+    std::vector<City> cities;
+    cities.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a =
+          2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+      cities.push_back({std::cos(a), std::sin(a)});
+    }
+    const double opt =
+        2.0 * static_cast<double>(n) * std::sin(std::numbers::pi / static_cast<double>(n));
+    return Tsp(std::move(cities), opt);
+  }
+
+  explicit Tsp(std::vector<City> cities,
+               std::optional<double> known_optimum = std::nullopt)
+      : cities_(std::move(cities)), known_optimum_(known_optimum) {
+    // Precompute the distance matrix; tour evaluation is the GA's hot loop.
+    const std::size_t n = cities_.size();
+    dist_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dx = cities_[i].x - cities_[j].x;
+        const double dy = cities_[i].y - cities_[j].y;
+        dist_[i * n + j] = std::sqrt(dx * dx + dy * dy);
+      }
+  }
+
+  [[nodiscard]] double tour_length(const Permutation& tour) const {
+    const std::size_t n = cities_.size();
+    double len = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      len += dist_[tour[i] * n + tour[(i + 1) % n]];
+    return len;
+  }
+
+  [[nodiscard]] double fitness(const Permutation& tour) const override {
+    return -tour_length(tour);
+  }
+  [[nodiscard]] double objective(const Permutation& tour) const override {
+    return tour_length(tour);
+  }
+  [[nodiscard]] std::optional<double> optimum_fitness() const override {
+    if (known_optimum_) return -*known_optimum_;
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override { return "tsp"; }
+
+  [[nodiscard]] std::size_t num_cities() const noexcept { return cities_.size(); }
+  [[nodiscard]] const std::vector<City>& cities() const noexcept {
+    return cities_;
+  }
+
+  /// Nearest-neighbour construction heuristic — the classic baseline a GA
+  /// must beat to be interesting.
+  [[nodiscard]] Permutation nearest_neighbor_tour(std::size_t start = 0) const {
+    const std::size_t n = cities_.size();
+    Permutation tour(n);
+    std::vector<std::uint8_t> used(n, 0);
+    tour[0] = static_cast<std::uint32_t>(start);
+    used[start] = 1;
+    for (std::size_t step = 1; step < n; ++step) {
+      const std::size_t prev = tour[step - 1];
+      std::size_t best = n;
+      double best_d = 0.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (used[c]) continue;
+        const double d = dist_[prev * n + c];
+        if (best == n || d < best_d) {
+          best = c;
+          best_d = d;
+        }
+      }
+      tour[step] = static_cast<std::uint32_t>(best);
+      used[best] = 1;
+    }
+    return tour;
+  }
+
+  /// One full pass of 2-opt improvement; returns true if the tour changed.
+  /// Used as the memetic local-search option in the TSP example.
+  bool two_opt_pass(Permutation& tour) const {
+    const std::size_t n = cities_.size();
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 2; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // same edge
+        const std::size_t a = tour[i], b = tour[i + 1];
+        const std::size_t c = tour[j], d = tour[(j + 1) % n];
+        const double delta = dist_[a * n + c] + dist_[b * n + d] -
+                             dist_[a * n + b] - dist_[c * n + d];
+        if (delta < -1e-12) {
+          std::reverse(tour.order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       tour.order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+    return improved;
+  }
+
+ private:
+  std::vector<City> cities_;
+  std::optional<double> known_optimum_;
+  std::vector<double> dist_;
+};
+
+}  // namespace pga::problems

@@ -1,0 +1,342 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace pga::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct PendingMessage {
+  double arrival = 0.0;
+  std::uint64_t seq = 0;  ///< global send order; total tie-break
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class St { kRunning, kWaiting, kDone, kDead };
+
+struct Node {
+  double clock = 0.0;
+  double speed = 1.0;
+  double fail_at = kInf;
+  St st = St::kRunning;
+  std::vector<PendingMessage> mailbox;  ///< sorted by (arrival, seq)
+
+  // Published while the node sleeps inside a receive, so peers can (a) elect
+  // the next event owner when everyone is waiting and (b) refresh the key
+  // when a matching message lands in the sleeping node's mailbox.
+  int w_source = comm::Transport::kAnySource;
+  int w_tag = comm::Transport::kAnyTag;
+  double wait_deadline = kInf;
+  double wait_key = kInf;
+
+  double compute_time = 0.0;
+  std::size_t messages_sent = 0;
+  std::size_t bytes_sent = 0;
+  double end_time = 0.0;
+};
+
+struct World {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Node> nodes;
+  const SimConfig* cfg = nullptr;
+  std::uint64_t seq = 0;
+  int alive = 0;    ///< kRunning + kWaiting
+  int waiting = 0;  ///< kWaiting
+
+  [[nodiscard]] bool msg_matches(const PendingMessage& m, int source, int tag) const {
+    return (source == comm::Transport::kAnySource || m.source == source) &&
+           (tag == comm::Transport::kAnyTag || m.tag == tag);
+  }
+
+  /// Min clock over alive nodes other than `self` (+inf if none).
+  [[nodiscard]] double others_min_clock(int self) const {
+    double lo = kInf;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (static_cast<int>(i) == self) continue;
+      const auto& n = nodes[i];
+      if (n.st == St::kRunning || n.st == St::kWaiting)
+        lo = std::min(lo, n.clock);
+    }
+    return lo;
+  }
+};
+
+class SimTransport final : public comm::Transport {
+ public:
+  SimTransport(World& world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept override { return rank_; }
+  [[nodiscard]] int world_size() const noexcept override {
+    return static_cast<int>(world_.nodes.size());
+  }
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+    std::unique_lock<std::mutex> lock(world_.mutex);
+    auto& me = self();
+    check_death(me);
+    advance(me, world_.cfg->send_overhead_s * me.speed);  // overhead is CPU work
+    const double arrival =
+        me.clock + world_.cfg->network.transfer_time(payload.size());
+    ++me.messages_sent;
+    me.bytes_sent += payload.size();
+
+    auto& peer = world_.nodes[static_cast<std::size_t>(dest)];
+    if (peer.st == St::kDone || peer.st == St::kDead) return;  // dropped
+    PendingMessage msg{arrival, world_.seq++, rank_, tag, std::move(payload)};
+    auto pos = std::upper_bound(
+        peer.mailbox.begin(), peer.mailbox.end(), msg,
+        [](const PendingMessage& a, const PendingMessage& b) {
+          return a.arrival != b.arrival ? a.arrival < b.arrival : a.seq < b.seq;
+        });
+    peer.mailbox.insert(pos, std::move(msg));
+    // A sleeping receiver's event key may have moved earlier.
+    refresh_wait_key(dest);
+    world_.cv.notify_all();
+  }
+
+  [[nodiscard]] std::optional<comm::Message> recv(int source, int tag) override {
+    return recv_impl(source, tag, kInf, /*is_try=*/false);
+  }
+
+  [[nodiscard]] std::optional<comm::Message> try_recv(int source, int tag) override {
+    return recv_impl(source, tag, 0.0, /*is_try=*/true);
+  }
+
+  [[nodiscard]] std::optional<comm::Message> recv_timeout(double seconds,
+                                                          int source,
+                                                          int tag) override {
+    return recv_impl(source, tag, seconds, /*is_try=*/false);
+  }
+
+  void compute(double seconds) override {
+    std::unique_lock<std::mutex> lock(world_.mutex);
+    auto& me = self();
+    check_death(me);
+    advance(me, seconds);
+    world_.cv.notify_all();
+  }
+
+  [[nodiscard]] double now() const override {
+    std::unique_lock<std::mutex> lock(world_.mutex);
+    return world_.nodes[static_cast<std::size_t>(rank_)].clock;
+  }
+
+ private:
+  [[nodiscard]] Node& self() {
+    return world_.nodes[static_cast<std::size_t>(rank_)];
+  }
+
+  void check_death(Node& me) {
+    if (me.clock >= me.fail_at) die(me);
+  }
+
+  [[noreturn]] void die(Node& me) {
+    me.clock = me.fail_at;
+    throw comm::NodeFailure(rank_);
+  }
+
+  /// Advances virtual time by `seconds` of reference work (scaled by node
+  /// speed); dies mid-advance if the failure time is crossed.
+  void advance(Node& me, double seconds) {
+    const double duration = seconds / me.speed;
+    if (me.clock + duration >= me.fail_at) {
+      me.compute_time += std::max(0.0, me.fail_at - me.clock);
+      die(me);
+    }
+    me.clock += duration;
+    me.compute_time += duration;
+  }
+
+  /// Earliest message in `node`'s mailbox matching (source, tag); mailbox is
+  /// kept sorted so this is the first match.
+  [[nodiscard]] std::vector<PendingMessage>::iterator earliest_match(
+      Node& node, int source, int tag) {
+    for (auto it = node.mailbox.begin(); it != node.mailbox.end(); ++it)
+      if (world_.msg_matches(*it, source, tag)) return it;
+    return node.mailbox.end();
+  }
+
+  /// Recomputes and publishes the sleeping node's event key:
+  /// min(time it could take its earliest matching message, its deadline, its
+  /// failure time).  Caller holds the world mutex.
+  void refresh_wait_key(int rank) {
+    auto& n = world_.nodes[static_cast<std::size_t>(rank)];
+    if (n.st != St::kWaiting) return;
+    double key = std::min(n.wait_deadline, n.fail_at);
+    for (const auto& m : n.mailbox) {
+      if (world_.msg_matches(m, n.w_source, n.w_tag)) {
+        key = std::min(key, std::max(n.clock, m.arrival));
+        break;
+      }
+    }
+    n.wait_key = key;
+  }
+
+  [[nodiscard]] std::optional<comm::Message> recv_impl(int source, int tag,
+                                                       double timeout,
+                                                       bool is_try) {
+    std::unique_lock<std::mutex> lock(world_.mutex);
+    auto& me = self();
+    check_death(me);
+    const double deadline = is_try ? me.clock : (timeout == kInf ? kInf : me.clock + timeout);
+
+    for (;;) {
+      // 1. A message that has already arrived: take it.
+      auto it = earliest_match(me, source, tag);
+      if (it != me.mailbox.end() && it->arrival <= me.clock) {
+        return take(me, it);
+      }
+      const double t_msg = (it != me.mailbox.end()) ? it->arrival : kInf;
+
+      // 2. Conclude immediately when every other alive rank has passed the
+      // point we would act at (conservative rule; see header comment).
+      if (is_try) {
+        if (world_.others_min_clock(rank_) >= me.clock) return std::nullopt;
+      } else {
+        const double act = std::min(t_msg, deadline);
+        if (act < kInf && world_.others_min_clock(rank_) >= act)
+          return fire(me, source, tag, t_msg, deadline);
+      }
+
+      // 3. Everyone is (about to be) waiting: pure discrete-event step — the
+      // waiter owning the globally smallest event key fires; ties break by
+      // rank.  If every key is infinite the system is quiescent and ranks are
+      // released smallest-rank-first with a shutdown nullopt.
+      me.w_source = source;
+      me.w_tag = tag;
+      me.wait_deadline = is_try ? me.clock : deadline;
+      me.st = St::kWaiting;
+      refresh_wait_key(rank_);
+      ++world_.waiting;
+
+      if (world_.waiting == world_.alive) {
+        double best_key = me.wait_key;
+        int owner = rank_;
+        for (std::size_t i = 0; i < world_.nodes.size(); ++i) {
+          const auto& n = world_.nodes[i];
+          if (n.st != St::kWaiting || static_cast<int>(i) == rank_) continue;
+          if (n.wait_key < best_key ||
+              (n.wait_key == best_key && static_cast<int>(i) < owner)) {
+            best_key = n.wait_key;
+            owner = static_cast<int>(i);
+          }
+        }
+        if (owner == rank_) {
+          --world_.waiting;
+          me.st = St::kRunning;
+          if (best_key == kInf) return std::nullopt;  // quiescent: shut down
+          if (is_try) return std::nullopt;
+          return fire(me, source, tag, t_msg, deadline);
+        }
+        // Someone else owns the next event; make sure they are awake.
+        world_.cv.notify_all();
+      }
+
+      world_.cv.wait(lock);
+      --world_.waiting;
+      me.st = St::kRunning;
+      me.wait_key = kInf;
+    }
+  }
+
+  /// Fires this rank's pending receive event: advance to the message arrival
+  /// or the deadline, whichever is earlier, honoring failure injection.
+  [[nodiscard]] std::optional<comm::Message> fire(Node& me, int source, int tag,
+                                                  double t_msg,
+                                                  double deadline) {
+    const double target = std::min(t_msg, deadline);
+    if (target >= me.fail_at) {
+      me.clock = me.fail_at;
+      die(me);
+    }
+    if (target > me.clock) me.clock = target;  // waiting time (not compute)
+    world_.cv.notify_all();
+    if (t_msg <= deadline) {
+      auto it = earliest_match(me, source, tag);
+      return take(me, it);
+    }
+    return std::nullopt;  // timeout
+  }
+
+  [[nodiscard]] std::optional<comm::Message> take(
+      Node& me, std::vector<PendingMessage>::iterator it) {
+    comm::Message out{it->source, it->tag, std::move(it->payload)};
+    me.mailbox.erase(it);
+    return out;
+  }
+
+  World& world_;
+  int rank_;
+};
+
+}  // namespace
+
+SimCluster::SimCluster(SimConfig config) : config_(std::move(config)) {
+  if (config_.nodes.empty())
+    throw std::invalid_argument("SimCluster needs at least one node");
+}
+
+SimCluster::Report SimCluster::run(
+    const std::function<void(comm::Transport&)>& process) {
+  World world;
+  world.cfg = &config_;
+  world.nodes.resize(config_.nodes.size());
+  for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+    world.nodes[i].speed = config_.nodes[i].speed;
+    world.nodes[i].fail_at = config_.nodes[i].fail_at;
+  }
+  world.alive = static_cast<int>(config_.nodes.size());
+
+  Report report;
+  report.ranks.resize(config_.nodes.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.nodes.size());
+  for (std::size_t r = 0; r < config_.nodes.size(); ++r) {
+    threads.emplace_back([&, r] {
+      SimTransport transport(world, static_cast<int>(r));
+      auto& rep = report.ranks[r];
+      try {
+        process(transport);
+        rep.completed = true;
+      } catch (const comm::NodeFailure&) {
+        rep.died = true;
+      } catch (const std::exception& e) {
+        rep.error = e.what();
+      } catch (...) {
+        rep.error = "unknown exception";
+      }
+      std::lock_guard<std::mutex> lock(world.mutex);
+      auto& n = world.nodes[r];
+      n.st = rep.died ? St::kDead : St::kDone;
+      n.end_time = n.clock;
+      --world.alive;
+      world.cv.notify_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t r = 0; r < world.nodes.size(); ++r) {
+    auto& rep = report.ranks[r];
+    const auto& n = world.nodes[r];
+    rep.end_time = n.end_time;
+    rep.compute_time = n.compute_time;
+    rep.messages_sent = n.messages_sent;
+    rep.bytes_sent = n.bytes_sent;
+    report.makespan = std::max(report.makespan, n.end_time);
+    report.total_messages += n.messages_sent;
+    report.total_bytes += n.bytes_sent;
+  }
+  return report;
+}
+
+}  // namespace pga::sim

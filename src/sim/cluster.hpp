@@ -1,0 +1,103 @@
+#pragma once
+// SimCluster: deterministic virtual-time execution of message-passing
+// programs.
+//
+// Each rank runs its real C++ process function on its own thread, but time is
+// *virtual*: `compute(s)` advances the rank's clock by s / node-speed, and a
+// message sent at clock t arrives at t + network.transfer_time(bytes).  A
+// conservative scheduling rule (a rank may only consume a message or conclude
+// a timeout once no other alive rank's clock is behind that point) makes the
+// execution equivalent to a sequential discrete-event simulation: the result
+// — every message, every timestamp, the final makespan — is a pure function
+// of the program and the seed, independent of OS thread interleaving.
+//
+// This is the substitution for the paper's clusters (DESIGN.md §2): speedup
+// is measured as sequential-virtual-time / parallel-virtual-makespan, which
+// reproduces the communication/computation trade-offs of the surveyed
+// studies on a single-core host.
+//
+// Failure injection: a rank with `fail_at < inf` dies the moment its clock
+// would pass that time; its next transport call throws NodeFailure.  Dead
+// ranks drop incoming messages — survivors see only silence, as on a real
+// network.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "sim/network.hpp"
+
+namespace pga::sim {
+
+struct NodeSpec {
+  /// Relative CPU speed; compute(s) takes s/speed virtual seconds.
+  double speed = 1.0;
+  /// Virtual time at which this node dies (infinity = never).
+  double fail_at = std::numeric_limits<double>::infinity();
+};
+
+struct SimConfig {
+  NetworkModel network{};
+  std::vector<NodeSpec> nodes;  ///< one entry per rank
+  /// CPU cost a sender pays per message (protocol overhead), virtual seconds.
+  double send_overhead_s = 1e-6;
+};
+
+/// Homogeneous configuration helper.
+[[nodiscard]] inline SimConfig homogeneous(int ranks, NetworkModel net,
+                                           double speed = 1.0) {
+  SimConfig cfg;
+  cfg.network = net;
+  cfg.nodes.assign(static_cast<std::size_t>(ranks), NodeSpec{speed, std::numeric_limits<double>::infinity()});
+  return cfg;
+}
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimConfig config);
+
+  struct RankReport {
+    bool completed = false;  ///< process returned normally
+    bool died = false;       ///< killed by failure injection
+    std::string error;       ///< exception text (other than injected death)
+    double end_time = 0.0;   ///< rank's virtual clock at exit
+    double compute_time = 0.0;  ///< virtual seconds spent in compute()
+    std::size_t messages_sent = 0;
+    std::size_t bytes_sent = 0;
+  };
+
+  struct Report {
+    std::vector<RankReport> ranks;
+    /// Virtual completion time of the whole program (max over ranks).
+    double makespan = 0.0;
+    std::size_t total_messages = 0;
+    std::size_t total_bytes = 0;
+
+    [[nodiscard]] bool all_completed() const {
+      for (const auto& r : ranks)
+        if (!r.completed) return false;
+      return true;
+    }
+    /// Total virtual compute across ranks (the "work" term of efficiency).
+    [[nodiscard]] double total_compute() const {
+      double s = 0.0;
+      for (const auto& r : ranks) s += r.compute_time;
+      return s;
+    }
+  };
+
+  /// Runs `process(transport)` on every rank in virtual time and joins.
+  Report run(const std::function<void(comm::Transport&)>& process);
+
+  [[nodiscard]] int num_ranks() const noexcept {
+    return static_cast<int>(config_.nodes.size());
+  }
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace pga::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Network cost model for the simulated cluster.
+//
+// A message of b bytes sent at virtual time t arrives at
+//   t + latency + b / bandwidth          (the classic alpha-beta model).
+// Presets capture the interconnect families the survey's computing-trends
+// section names: shared-memory SMP buses, Fast/Gigabit Ethernet Beowulfs,
+// Myrinet clusters, and Internet-grade WANs (the DREAM setting).
+
+#include <cstddef>
+#include <string>
+
+namespace pga::sim {
+
+struct NetworkModel {
+  double latency_s = 50e-6;      ///< per-message latency (seconds)
+  double bandwidth_Bps = 125e6;  ///< bytes per second
+  std::string name = "gigabit-ethernet";
+
+  /// Wire time for a payload of `bytes`.
+  [[nodiscard]] double transfer_time(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  // --- Presets (order-of-magnitude figures for the 2000-2004 hardware the
+  // survey describes; see EXPERIMENTS.md for sources/rationale) -------------
+
+  /// SMP shared-memory transfer: sub-microsecond latency, multi-GB/s copies.
+  [[nodiscard]] static NetworkModel shared_memory() {
+    return {0.5e-6, 4e9, "shared-memory"};
+  }
+  /// 100 Mbit switched Ethernet (classic Beowulf).
+  [[nodiscard]] static NetworkModel fast_ethernet() {
+    return {120e-6, 12.5e6, "fast-ethernet"};
+  }
+  /// Gigabit Ethernet cluster.
+  [[nodiscard]] static NetworkModel gigabit_ethernet() {
+    return {50e-6, 125e6, "gigabit-ethernet"};
+  }
+  /// Myrinet: the low-latency cluster interconnect of the era.
+  [[nodiscard]] static NetworkModel myrinet() {
+    return {8e-6, 250e6, "myrinet"};
+  }
+  /// Internet/WAN grid computing (DREAM-style peer-to-peer).
+  [[nodiscard]] static NetworkModel internet_wan() {
+    return {40e-3, 1.25e6, "internet-wan"};
+  }
+};
+
+}  // namespace pga::sim

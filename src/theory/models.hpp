@@ -1,0 +1,155 @@
+#pragma once
+// Analytic models from the theory the survey reviews (Cantú-Paz 2000,
+// Goldberg/Harik population sizing, Sarma & De Jong cellular takeover,
+// Amdahl/Gustafson speedup laws).  Experiments overlay these predictions on
+// measured curves (E1, E4, E6) — the "rational design of fast and accurate
+// PGAs" toolkit the dissertation is praised for in §2.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace pga::theory {
+
+// ---------------------------------------------------------------------------
+// Master-slave timing (Cantú-Paz ch. 4)
+// ---------------------------------------------------------------------------
+
+/// Wall time of one master-slave generation: n evaluations of cost Tf spread
+/// over s slaves, plus per-slave communication cost Tc (send work + receive
+/// results).  T(s) = n Tf / s + s Tc.
+[[nodiscard]] inline double master_slave_generation_time(std::size_t n,
+                                                         double tf, double tc,
+                                                         std::size_t s) {
+  if (s == 0) throw std::invalid_argument("need at least one slave");
+  return static_cast<double>(n) * tf / static_cast<double>(s) +
+         static_cast<double>(s) * tc;
+}
+
+/// The slave count minimizing the above: s* = sqrt(n Tf / Tc).
+[[nodiscard]] inline double optimal_slave_count(std::size_t n, double tf,
+                                                double tc) {
+  if (tc <= 0.0) throw std::invalid_argument("communication cost must be > 0");
+  return std::sqrt(static_cast<double>(n) * tf / tc);
+}
+
+/// Speedup of the master-slave PGA at s slaves vs. sequential evaluation.
+[[nodiscard]] inline double master_slave_speedup(std::size_t n, double tf,
+                                                 double tc, std::size_t s) {
+  return static_cast<double>(n) * tf /
+         master_slave_generation_time(n, tf, tc, s);
+}
+
+// ---------------------------------------------------------------------------
+// Classic speedup laws
+// ---------------------------------------------------------------------------
+
+/// Amdahl's law: serial fraction (1 - f) bounds speedup at p processors.
+[[nodiscard]] inline double amdahl_speedup(double parallel_fraction,
+                                           std::size_t p) {
+  if (parallel_fraction < 0.0 || parallel_fraction > 1.0)
+    throw std::invalid_argument("parallel fraction in [0, 1]");
+  return 1.0 / ((1.0 - parallel_fraction) +
+                parallel_fraction / static_cast<double>(p));
+}
+
+/// Gustafson's law: scaled speedup for a problem grown with p.
+[[nodiscard]] inline double gustafson_speedup(double parallel_fraction,
+                                              std::size_t p) {
+  return static_cast<double>(p) -
+         (1.0 - parallel_fraction) * (static_cast<double>(p) - 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Population sizing (gambler's ruin model; Harik et al., Cantú-Paz)
+// ---------------------------------------------------------------------------
+
+/// Gambler's-ruin population size for a problem of m' building blocks of
+/// size k: n = -2^(k-1) ln(alpha) * (sigma_bb sqrt(pi m')) / d, where alpha
+/// is the acceptable per-block failure probability, d the fitness signal
+/// between best and second block, and sigma_bb the block fitness noise.
+[[nodiscard]] inline double gamblers_ruin_population_size(
+    std::size_t k, double alpha, double sigma_bb, double d,
+    std::size_t m_prime) {
+  if (alpha <= 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("failure probability alpha in (0, 1)");
+  if (d <= 0.0) throw std::invalid_argument("signal d must be > 0");
+  return -std::pow(2.0, static_cast<double>(k) - 1.0) * std::log(alpha) *
+         sigma_bb * std::sqrt(3.14159265358979323846 * static_cast<double>(m_prime)) / d;
+}
+
+/// Predicted success probability of a single building block under the
+/// gambler's ruin model for population size n:
+///   P = 1 - alpha = 1 - exp(-n d / (2^(k-1) sigma_bb sqrt(pi m'))).
+[[nodiscard]] inline double gamblers_ruin_success_probability(
+    double n, std::size_t k, double sigma_bb, double d, std::size_t m_prime) {
+  const double denom = std::pow(2.0, static_cast<double>(k) - 1.0) * sigma_bb *
+                       std::sqrt(3.14159265358979323846 * static_cast<double>(m_prime));
+  return 1.0 - std::exp(-n * d / denom);
+}
+
+// ---------------------------------------------------------------------------
+// Takeover time / selection intensity
+// ---------------------------------------------------------------------------
+
+/// Panmictic takeover time under binary-tournament-like selection with
+/// per-step growth factor close to logistic: t* ≈ ln(n) / ln(2) generations
+/// for one copy to fill a population of n (Goldberg & Deb 1991 shape).
+[[nodiscard]] inline double panmictic_takeover_time(std::size_t n) {
+  return std::log(static_cast<double>(n)) / std::log(2.0);
+}
+
+/// Logistic growth curve: proportion of best copies after t steps with
+/// initial proportion p0 and growth rate r.
+[[nodiscard]] inline double logistic_growth(double p0, double r, double t) {
+  return 1.0 / (1.0 + (1.0 / p0 - 1.0) * std::exp(-r * t));
+}
+
+/// Cellular takeover is bounded by spatial diffusion: the best individual
+/// spreads at most `radius` cells per sweep, so a WxH torus needs at least
+/// ceil((W + H) / (4 * radius)) sweeps — linear, not logarithmic, growth
+/// (Sarma & De Jong 1997; the qualitative contrast E4 demonstrates).
+[[nodiscard]] inline double cellular_takeover_lower_bound(std::size_t width,
+                                                          std::size_t height,
+                                                          std::size_t radius) {
+  // The farthest cell on a torus is (W/2 + H/2) Manhattan steps away.
+  return std::ceil(
+      (static_cast<double>(width) / 2.0 + static_cast<double>(height) / 2.0) /
+      static_cast<double>(radius));
+}
+
+// ---------------------------------------------------------------------------
+// Island model timing
+// ---------------------------------------------------------------------------
+
+/// Virtual wall time of one island-model epoch: each of the p demes runs
+/// deme_size evaluations of cost Tf in parallel, then exchanges `migrants`
+/// individuals of `bytes_each` along `edges_per_deme` links every
+/// `interval` generations (costs amortized per generation).
+[[nodiscard]] inline double island_generation_time(std::size_t deme_size,
+                                                   double tf, double latency,
+                                                   double bytes_per_migrant,
+                                                   double bandwidth,
+                                                   std::size_t migrants,
+                                                   std::size_t edges_per_deme,
+                                                   std::size_t interval) {
+  const double comm = interval == 0
+                          ? 0.0
+                          : static_cast<double>(edges_per_deme) *
+                                (latency + static_cast<double>(migrants) *
+                                               bytes_per_migrant / bandwidth) /
+                                static_cast<double>(interval);
+  return static_cast<double>(deme_size) * tf + comm;
+}
+
+/// Ideal island-model speedup at p demes when the total population n is
+/// split evenly and communication is amortized: close to p until the
+/// per-epoch communication term dominates.
+[[nodiscard]] inline double island_speedup(std::size_t n, std::size_t p,
+                                           double tf, double comm_per_gen) {
+  const double seq = static_cast<double>(n) * tf;
+  const double par = seq / static_cast<double>(p) + comm_per_gen;
+  return seq / par;
+}
+
+}  // namespace pga::theory

@@ -1,0 +1,95 @@
+#include "workloads/airfoil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pga::workloads {
+
+namespace {
+[[nodiscard]] double lerp(double lo, double hi, double t) {
+  return lo + (hi - lo) * t;
+}
+[[nodiscard]] double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+AirfoilDesign AirfoilSurrogate::decode(const RealVector& g) {
+  AirfoilDesign d;
+  d.camber = lerp(0.0, 0.09, g[0]);
+  d.camber_pos = lerp(0.2, 0.7, g[1]);
+  d.thickness = lerp(0.06, 0.18, g[2]);
+  d.alpha = lerp(-2.0, 8.0, g[3]);
+  d.twist = lerp(-4.0, 4.0, g[4]);
+  d.sweep = lerp(10.0, 40.0, g[5]);
+  return d;
+}
+
+double AirfoilSurrogate::lift_to_drag(const AirfoilDesign& d) {
+  // Thin-airfoil-flavoured lift: slope reduced by sweep, camber adds lift,
+  // effective incidence includes twist.
+  const double alpha_rad = deg2rad(d.alpha + 0.5 * d.twist);
+  const double cos_sweep = std::cos(deg2rad(d.sweep));
+  const double cl =
+      2.0 * std::numbers::pi * cos_sweep *
+      (alpha_rad + 2.0 * d.camber / std::max(d.camber_pos, 0.05));
+
+  // Drag: profile (grows with thickness), induced (cl^2), and a transonic
+  // drag-rise term that punishes thick/cambered sections at high lift —
+  // swept wings delay it (the design trade-off of the original study).
+  const double cd0 = 0.006 + 2.0 * d.thickness * d.thickness;
+  const double induced = cl * cl / (std::numbers::pi * 7.0 * 0.85);
+  const double critical = 0.75 + 0.3 * (1.0 - cos_sweep) - 0.6 * d.thickness -
+                          0.8 * d.camber;
+  const double excess = std::max(0.0, 0.72 + 0.12 * cl - critical);
+  const double wave = 20.0 * excess * excess * excess;
+  const double cd = cd0 + induced + wave;
+
+  if (cl <= 0.0) return cl / cd;  // negative lift: strongly penalized ratio
+  return cl / cd;
+}
+
+double AirfoilSurrogate::fitness(const RealVector& genome,
+                                 std::size_t level) const {
+  const auto design = decode(genome);
+  double value = lift_to_drag(design);
+  if (level > 0) {
+    // Deterministic model error growing with the fidelity gap: a ripple over
+    // the design space that shifts local optima without destroying the
+    // global basin.
+    const double amp = 0.8 * static_cast<double>(level);
+    double phase = 0.0;
+    for (std::size_t i = 0; i < genome.size(); ++i)
+      phase += (static_cast<double>(i) + 2.0) * genome[i];
+    value += amp * std::sin(7.0 * phase);
+  }
+  return value;
+}
+
+double AirfoilSurrogate::cost(std::size_t level) const {
+  // Level 0 costs 1 unit; each coarser level is cost_ratio_ times cheaper.
+  return std::pow(cost_ratio_, -static_cast<double>(level));
+}
+
+Bounds adapt_range(const Bounds& original, const Bounds& current,
+                   const std::vector<Individual<RealVector>>& elite,
+                   double shrink) {
+  if (elite.empty()) return current;
+  const std::size_t dims = original.size();
+  Bounds next = current;
+  for (std::size_t i = 0; i < dims; ++i) {
+    // Center on the elite mean, shrink the current span.
+    double mean = 0.0;
+    for (const auto& ind : elite) mean += ind.genome[i];
+    mean /= static_cast<double>(elite.size());
+    const double half = 0.5 * shrink * current.span(i);
+    next.lower[i] = std::max(original.lower[i], mean - half);
+    next.upper[i] = std::min(original.upper[i], mean + half);
+    if (next.upper[i] <= next.lower[i]) {  // degenerate: re-open slightly
+      next.lower[i] = std::max(original.lower[i], mean - 1e-6);
+      next.upper[i] = std::min(original.upper[i], mean + 1e-6);
+    }
+  }
+  return next;
+}
+
+}  // namespace pga::workloads

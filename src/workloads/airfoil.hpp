@@ -1,0 +1,77 @@
+#pragma once
+// Transonic wing / airfoil design surrogate (Oyama, Obayashi & Nakamura
+// 2000: real-coded adaptive-range GA for aerodynamic wing optimization;
+// Sefrioui & Périaux 2000: multi-fidelity hierarchical GA on nozzle/airfoil
+// models).
+//
+// The surrogate replaces the CFD solver (DESIGN.md §2): a smooth analytic
+// lift/drag model over a parametric section (camber, camber position,
+// thickness, angle of attack, twist, sweep) with a transonic drag-rise term
+// that punishes thick, highly-cambered sections — giving the narrow-valley,
+// mildly multimodal landscape typical of aerodynamic optimization.  Fidelity
+// levels add systematic model error (ripple) and cost less, which is exactly
+// what the hierarchical GA exploits.
+
+#include <cstddef>
+#include <string>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "parallel/hierarchical.hpp"
+
+namespace pga::workloads {
+
+/// Decoded design variables (all normalized into physical ranges).
+struct AirfoilDesign {
+  double camber;         ///< [0, 0.09] fraction of chord
+  double camber_pos;     ///< [0.2, 0.7] chordwise position
+  double thickness;      ///< [0.06, 0.18] fraction of chord
+  double alpha;          ///< [-2, 8] degrees angle of attack
+  double twist;          ///< [-4, 4] degrees
+  double sweep;          ///< [10, 40] degrees
+};
+
+class AirfoilSurrogate final : public MultiFidelityProblem<RealVector> {
+ public:
+  /// `levels` model fidelities; level 0 is exact, each level up multiplies
+  /// the cost by 1/cost_ratio and adds error ripple.
+  explicit AirfoilSurrogate(std::size_t levels = 3, double cost_ratio = 8.0)
+      : levels_(levels), cost_ratio_(cost_ratio) {}
+
+  /// Genome layout (6 genes in [0,1]) mapped to the physical ranges above.
+  [[nodiscard]] static Bounds genome_bounds() { return Bounds(6, 0.0, 1.0); }
+  [[nodiscard]] static AirfoilDesign decode(const RealVector& genome);
+
+  /// Exact lift-to-drag objective (maximized).
+  [[nodiscard]] static double lift_to_drag(const AirfoilDesign& design);
+
+  [[nodiscard]] std::size_t num_levels() const override { return levels_; }
+  [[nodiscard]] double fitness(const RealVector& genome,
+                               std::size_t level) const override;
+  [[nodiscard]] double cost(std::size_t level) const override;
+  [[nodiscard]] std::string name() const override { return "airfoil"; }
+
+ private:
+  std::size_t levels_;
+  double cost_ratio_;
+};
+
+/// Single-fidelity view of the surrogate as a plain Problem (level 0), for
+/// the real-coded GA example and tests.
+class AirfoilProblem final : public Problem<RealVector> {
+ public:
+  [[nodiscard]] double fitness(const RealVector& genome) const override {
+    return AirfoilSurrogate::lift_to_drag(AirfoilSurrogate::decode(genome));
+  }
+  [[nodiscard]] std::string name() const override { return "airfoil-hifi"; }
+};
+
+/// Adaptive-range GA (Oyama 2000): periodically re-centers and shrinks the
+/// sampling bounds around the elite individuals, so the real-coded search
+/// concentrates on the promising region.  Returns updated bounds clamped to
+/// the original box.
+[[nodiscard]] Bounds adapt_range(const Bounds& original, const Bounds& current,
+                                 const std::vector<Individual<RealVector>>& elite,
+                                 double shrink = 0.8);
+
+}  // namespace pga::workloads

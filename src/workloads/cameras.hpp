@@ -1,0 +1,178 @@
+#pragma once
+// Photogrammetric camera-network design (Olague 2001, survey §4: "a system
+// for placing cameras in order to satisfy a set of interrelated and
+// competing constraints for three-dimensional objects").
+//
+// Synthetic substitute (DESIGN.md §2): the object is a cloud of surface
+// points with outward normals on a sphere; K cameras sit on a viewing
+// sphere, parameterized by (azimuth, elevation) each.  The objective mixes
+// the competing criteria of the original: per-point visibility (a point
+// counts when seen by >= 2 cameras from its front side), triangulation
+// quality (convergence angles near 90 degrees between observing cameras),
+// and a workspace constraint (cameras below minimum elevation are
+// penalized).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::workloads {
+
+struct Vec3 {
+  double x, y, z;
+
+  [[nodiscard]] double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 minus(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec3{x / n, y / n, z / n} : *this;
+  }
+};
+
+/// Surface point with outward normal.
+struct SurfacePoint {
+  Vec3 position;
+  Vec3 normal;
+};
+
+/// Random points on a unit sphere (normal = position direction).
+[[nodiscard]] inline std::vector<SurfacePoint> make_sphere_object(
+    std::size_t points, Rng& rng) {
+  std::vector<SurfacePoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Marsaglia sphere sampling.
+    double a, b, s;
+    do {
+      a = rng.uniform(-1.0, 1.0);
+      b = rng.uniform(-1.0, 1.0);
+      s = a * a + b * b;
+    } while (s >= 1.0);
+    const double t = 2.0 * std::sqrt(1.0 - s);
+    Vec3 p{a * t, b * t, 1.0 - 2.0 * s};
+    out.push_back({p, p});
+  }
+  return out;
+}
+
+/// Camera-placement problem: genome = K x (azimuth in [0, 2pi), elevation in
+/// [-pi/2, pi/2]) on a viewing sphere of `radius`.
+class CameraPlacementProblem final : public Problem<RealVector> {
+ public:
+  CameraPlacementProblem(std::vector<SurfacePoint> object,
+                         std::size_t num_cameras, double radius = 3.0,
+                         double min_elevation = -0.2)
+      : object_(std::move(object)),
+        cameras_(num_cameras),
+        radius_(radius),
+        min_elevation_(min_elevation) {}
+
+  [[nodiscard]] Bounds genome_bounds() const {
+    Bounds b;
+    b.lower.resize(cameras_ * 2);
+    b.upper.resize(cameras_ * 2);
+    for (std::size_t c = 0; c < cameras_; ++c) {
+      b.lower[2 * c] = 0.0;
+      b.upper[2 * c] = 2.0 * std::numbers::pi;
+      b.lower[2 * c + 1] = -std::numbers::pi / 2.0;
+      b.upper[2 * c + 1] = std::numbers::pi / 2.0;
+    }
+    return b;
+  }
+
+  [[nodiscard]] std::vector<Vec3> decode_cameras(const RealVector& g) const {
+    std::vector<Vec3> cams;
+    cams.reserve(cameras_);
+    for (std::size_t c = 0; c < cameras_; ++c) {
+      const double az = g[2 * c], el = g[2 * c + 1];
+      cams.push_back({radius_ * std::cos(el) * std::cos(az),
+                      radius_ * std::cos(el) * std::sin(az),
+                      radius_ * std::sin(el)});
+    }
+    return cams;
+  }
+
+  /// Fraction of points observed by at least two front-side cameras whose
+  /// viewing directions differ by a usable baseline (>= ~6 degrees) — two
+  /// coincident cameras cannot triangulate.
+  [[nodiscard]] double coverage(const RealVector& g) const {
+    const auto cams = decode_cameras(g);
+    std::size_t covered = 0;
+    for (const auto& pt : object_)
+      covered += best_convergence(pt, observers(pt, cams)) >= 0.1;
+    return static_cast<double>(covered) / static_cast<double>(object_.size());
+  }
+
+  [[nodiscard]] double fitness(const RealVector& g) const override {
+    const auto cams = decode_cameras(g);
+    double score = 0.0;
+    for (const auto& pt : object_) {
+      const auto seen_by = observers(pt, cams);
+      const double angle = best_convergence(pt, seen_by);
+      if (angle < 0.1) continue;  // not triangulable (no usable baseline)
+      // Quality peaks at 90 degrees convergence, falls to 0 at 0 or 180.
+      const double quality = 1.0 - std::abs(angle - std::numbers::pi / 2.0) /
+                                       (std::numbers::pi / 2.0);
+      score += 1.0 + quality;  // visibility + triangulation terms
+    }
+    // Workspace constraint: cameras below the floor elevation are penalized.
+    double penalty = 0.0;
+    for (std::size_t c = 0; c < cameras_; ++c) {
+      const double el = g[2 * c + 1];
+      if (el < min_elevation_) penalty += 10.0 * (min_elevation_ - el);
+    }
+    return score / static_cast<double>(object_.size()) - penalty;
+  }
+
+  [[nodiscard]] std::string name() const override { return "camera-placement"; }
+  [[nodiscard]] std::size_t num_cameras() const noexcept { return cameras_; }
+
+ private:
+  /// Largest pairwise convergence angle (radians) among observing cameras,
+  /// capped at 90 degrees for the comparison; 0 when fewer than two observe.
+  [[nodiscard]] double best_convergence(const SurfacePoint& pt,
+                                        const std::vector<Vec3>& seen_by) const {
+    double best = 0.0;
+    for (std::size_t i = 0; i < seen_by.size(); ++i)
+      for (std::size_t j = i + 1; j < seen_by.size(); ++j) {
+        const Vec3 d1 = seen_by[i].minus(pt.position).normalized();
+        const Vec3 d2 = seen_by[j].minus(pt.position).normalized();
+        const double angle = std::acos(std::clamp(d1.dot(d2), -1.0, 1.0));
+        // Prefer the pair whose quality is highest (closest to 90 deg).
+        if (std::abs(angle - std::numbers::pi / 2.0) <
+            std::abs(best - std::numbers::pi / 2.0))
+          best = angle;
+      }
+    return best;
+  }
+
+  /// Positions of cameras that see the point from its front hemisphere.
+  [[nodiscard]] std::vector<Vec3> observers(const SurfacePoint& pt,
+                                            const std::vector<Vec3>& cams) const {
+    std::vector<Vec3> out;
+    for (const auto& cam : cams) {
+      const Vec3 to_cam = cam.minus(pt.position).normalized();
+      if (to_cam.dot(pt.normal) > 0.2) out.push_back(cam);  // front side
+    }
+    return out;
+  }
+
+  std::vector<SurfacePoint> object_;
+  std::size_t cameras_;
+  double radius_;
+  double min_elevation_;
+};
+
+}  // namespace pga::workloads

@@ -1,0 +1,101 @@
+#include "workloads/digits.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pga::workloads {
+
+DigitsDataset make_digits_dataset(std::size_t num_classes,
+                                  std::size_t num_features,
+                                  std::size_t informative,
+                                  std::size_t samples_per_class,
+                                  double noise_sigma, Rng& rng) {
+  if (informative > num_features)
+    throw std::invalid_argument("informative features exceed total features");
+  DigitsDataset data;
+  data.num_classes = num_classes;
+  data.num_features = num_features;
+
+  // Choose which coordinates carry signal.
+  std::vector<std::uint8_t> is_informative(num_features, 0);
+  while (data.informative.size() < informative) {
+    const std::size_t f = rng.index(num_features);
+    if (is_informative[f]) continue;
+    is_informative[f] = 1;
+    data.informative.push_back(f);
+  }
+
+  // Class prototypes: informative coordinates separated by ~3 sigma.
+  std::vector<std::vector<double>> prototypes(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    prototypes[c].assign(num_features, 0.0);
+    for (std::size_t f : data.informative)
+      prototypes[c][f] = 3.0 * noise_sigma * rng.gaussian();
+  }
+
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s) {
+      std::vector<double> x(num_features);
+      for (std::size_t f = 0; f < num_features; ++f)
+        x[f] = prototypes[c][f] + noise_sigma * rng.gaussian();
+      data.samples.push_back(std::move(x));
+      data.labels.push_back(c);
+    }
+  }
+  return data;
+}
+
+double nearest_centroid_accuracy(const DigitsDataset& data,
+                                 const BitString& mask) {
+  if (mask.size() != data.num_features)
+    throw std::invalid_argument("mask length != feature count");
+  std::vector<std::size_t> selected;
+  for (std::size_t f = 0; f < mask.size(); ++f)
+    if (mask[f]) selected.push_back(f);
+  if (selected.empty()) return 0.0;
+
+  // Centroids from even-indexed samples.
+  std::vector<std::vector<double>> centroid(
+      data.num_classes, std::vector<double>(selected.size(), 0.0));
+  std::vector<std::size_t> counts(data.num_classes, 0);
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    const std::size_t c = data.labels[i];
+    for (std::size_t k = 0; k < selected.size(); ++k)
+      centroid[c][k] += data.samples[i][selected[k]];
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < data.num_classes; ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& v : centroid[c]) v /= static_cast<double>(counts[c]);
+  }
+
+  // Accuracy on odd-indexed samples.
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 1; i < data.size(); i += 2) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < data.num_classes; ++c) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < selected.size(); ++k) {
+        const double diff = data.samples[i][selected[k]] - centroid[c][k];
+        d += diff * diff;
+      }
+      if (d < best_d) {
+        best_d = d;
+        best_c = c;
+      }
+    }
+    correct += (best_c == data.labels[i]);
+    ++total;
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+double FeatureSelectionProblem::fitness(const BitString& mask) const {
+  const double accuracy = nearest_centroid_accuracy(data_, mask);
+  return accuracy -
+         penalty_ * static_cast<double>(mask.count_ones());
+}
+
+}  // namespace pga::workloads

@@ -1,0 +1,114 @@
+#include "workloads/doppler.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pga::workloads {
+
+std::vector<double> make_ar_signal(const std::vector<double>& coeffs,
+                                   std::size_t n, double noise_sigma,
+                                   Rng& rng) {
+  const std::size_t p = coeffs.size();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double v = noise_sigma * rng.gaussian();
+    for (std::size_t k = 0; k < p && k < t; ++k) v += coeffs[k] * x[t - 1 - k];
+    x[t] = v;
+  }
+  return x;
+}
+
+std::vector<double> two_resonance_ar(double f1, double f2, double r) {
+  // Each pole pair contributes 1 - 2r cos(2 pi f) z^-1 + r^2 z^-2; the AR
+  // coefficients are the negated convolution of the two quadratics (minus
+  // the leading 1).
+  auto quad = [&](double f) {
+    return std::vector<double>{1.0, -2.0 * r * std::cos(2.0 * std::numbers::pi * f),
+                               r * r};
+  };
+  const auto q1 = quad(f1), q2 = quad(f2);
+  std::vector<double> poly(q1.size() + q2.size() - 1, 0.0);
+  for (std::size_t i = 0; i < q1.size(); ++i)
+    for (std::size_t j = 0; j < q2.size(); ++j) poly[i + j] += q1[i] * q2[j];
+  // x[t] - a1 x[t-1] - ... = e[t]  ->  a_k = -poly[k], k >= 1.
+  std::vector<double> coeffs(poly.size() - 1);
+  for (std::size_t k = 1; k < poly.size(); ++k) coeffs[k - 1] = -poly[k];
+  return coeffs;
+}
+
+std::vector<double> ar_spectrum(const std::vector<double>& coeffs,
+                                std::size_t bins, double sigma) {
+  std::vector<double> spectrum(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double f = 0.5 * (static_cast<double>(b) + 0.5) /
+                     static_cast<double>(bins);
+    std::complex<double> denom(1.0, 0.0);
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      const double w = 2.0 * std::numbers::pi * f * static_cast<double>(k + 1);
+      denom -= coeffs[k] * std::complex<double>(std::cos(w), -std::sin(w));
+    }
+    spectrum[b] = sigma * sigma / std::norm(denom);
+  }
+  // Normalize to unit total power so shapes are comparable.
+  double total = 0.0;
+  for (double v : spectrum) total += v;
+  if (total > 0.0)
+    for (double& v : spectrum) v /= total;
+  return spectrum;
+}
+
+std::vector<double> periodogram(const std::vector<double>& signal,
+                                std::size_t bins) {
+  const std::size_t n = signal.size();
+  if (n < 4) throw std::invalid_argument("signal too short");
+  std::vector<double> spectrum(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double f = 0.5 * (static_cast<double>(b) + 0.5) /
+                     static_cast<double>(bins);
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      // Hann window suppresses leakage.
+      const double w =
+          0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(t) /
+                                static_cast<double>(n - 1)));
+      const double phase = 2.0 * std::numbers::pi * f * static_cast<double>(t);
+      acc += w * signal[t] *
+             std::complex<double>(std::cos(phase), -std::sin(phase));
+    }
+    spectrum[b] = std::norm(acc);
+  }
+  double total = 0.0;
+  for (double v : spectrum) total += v;
+  if (total > 0.0)
+    for (double& v : spectrum) v /= total;
+  return spectrum;
+}
+
+SpectralFitProblem::SpectralFitProblem(std::vector<double> signal,
+                                       std::size_t order, std::size_t bins)
+    : order_(order),
+      bins_(bins),
+      target_(periodogram(signal, bins)),
+      bounds_(order, -2.0, 2.0) {}
+
+double SpectralFitProblem::fitness(const RealVector& genome) const {
+  const auto model = ar_spectrum(genome.values, bins_);
+  double dist = 0.0;
+  for (std::size_t b = 0; b < bins_; ++b) {
+    const double d = model[b] - target_[b];
+    dist += d * d;
+  }
+  return -dist;
+}
+
+double SpectralFitProblem::dominant_frequency(
+    const std::vector<double>& spectrum) {
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < spectrum.size(); ++b)
+    if (spectrum[b] > spectrum[best]) best = b;
+  return 0.5 * (static_cast<double>(best) + 0.5) /
+         static_cast<double>(spectrum.size());
+}
+
+}  // namespace pga::workloads

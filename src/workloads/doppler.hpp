@@ -1,0 +1,71 @@
+#pragma once
+// Model-based spectral estimation of Doppler signals via GA (Solano
+// González, Rodríguez Vázquez & García Nocetti 2000).
+//
+// A synthetic Doppler-ultrasound-like signal is generated from a known AR(p)
+// process (two resonant pole pairs, as in blood-flow velocimetry) plus
+// noise.  The GA searches the AR coefficient space for the parametric
+// spectrum that minimizes the squared distance to the signal's periodogram —
+// the adaptive-filter parameter fit of the original paper, at laptop cost.
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::workloads {
+
+/// Generates n samples of an AR(p) process x[t] = sum a_k x[t-k] + e[t].
+[[nodiscard]] std::vector<double> make_ar_signal(
+    const std::vector<double>& coeffs, std::size_t n, double noise_sigma,
+    Rng& rng);
+
+/// AR coefficients for two resonances at normalized frequencies f1, f2
+/// (cycles/sample, < 0.5) with pole radius r (< 1): an AR(4) model.
+[[nodiscard]] std::vector<double> two_resonance_ar(double f1, double f2,
+                                                   double r);
+
+/// Power spectrum of an AR model at `bins` uniformly spaced frequencies in
+/// (0, 0.5): P(f) = sigma^2 / |1 - sum a_k e^{-i 2 pi f k}|^2.
+[[nodiscard]] std::vector<double> ar_spectrum(const std::vector<double>& coeffs,
+                                              std::size_t bins,
+                                              double sigma = 1.0);
+
+/// Periodogram of a signal at `bins` frequencies (simple DFT magnitude^2,
+/// Hann-windowed, normalized to unit total power).
+[[nodiscard]] std::vector<double> periodogram(const std::vector<double>& signal,
+                                              std::size_t bins);
+
+/// GA problem: genome = AR(p) coefficients; fitness = negative L2 distance
+/// between the model spectrum and the target periodogram (both normalized).
+class SpectralFitProblem final : public Problem<RealVector> {
+ public:
+  SpectralFitProblem(std::vector<double> signal, std::size_t order,
+                     std::size_t bins = 64);
+
+  [[nodiscard]] double fitness(const RealVector& genome) const override;
+  [[nodiscard]] std::string name() const override { return "spectral-fit"; }
+
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const std::vector<double>& target_spectrum() const noexcept {
+    return target_;
+  }
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+
+  /// Dominant frequency (bin centre) of an AR model's spectrum — the
+  /// clinically relevant velocity estimate.
+  [[nodiscard]] static double dominant_frequency(
+      const std::vector<double>& spectrum);
+
+ private:
+  std::size_t order_;
+  std::size_t bins_;
+  std::vector<double> target_;
+  Bounds bounds_;
+};
+
+}  // namespace pga::workloads

@@ -1,0 +1,155 @@
+#include "workloads/images.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pga::workloads {
+
+double Image::sample(double x, double y) const {
+  if (x < 0.0 || y < 0.0 || x > static_cast<double>(width_ - 1) ||
+      y > static_cast<double>(height_ - 1))
+    return 0.0;
+  const auto x0 = static_cast<std::size_t>(x);
+  const auto y0 = static_cast<std::size_t>(y);
+  const std::size_t x1 = std::min(x0 + 1, width_ - 1);
+  const std::size_t y1 = std::min(y0 + 1, height_ - 1);
+  const double fx = x - static_cast<double>(x0);
+  const double fy = y - static_cast<double>(y0);
+  const double top = at(x0, y0) * (1.0 - fx) + at(x1, y0) * fx;
+  const double bottom = at(x0, y1) * (1.0 - fx) + at(x1, y1) * fx;
+  return top * (1.0 - fy) + bottom * fy;
+}
+
+Image Image::downsample() const {
+  Image out(width_ / 2, height_ / 2);
+  for (std::size_t y = 0; y < out.height(); ++y)
+    for (std::size_t x = 0; x < out.width(); ++x)
+      out.at(x, y) = 0.25 * (at(2 * x, 2 * y) + at(2 * x + 1, 2 * y) +
+                             at(2 * x, 2 * y + 1) + at(2 * x + 1, 2 * y + 1));
+  return out;
+}
+
+Image make_textured_image(std::size_t width, std::size_t height,
+                          std::size_t blobs, Rng& rng) {
+  Image img(width, height);
+  // Gradient background gives global structure the correlation can lock onto.
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x)
+      img.at(x, y) = 0.2 * (static_cast<double>(x) + static_cast<double>(y)) /
+                     static_cast<double>(width + height);
+
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = rng.uniform(0.0, static_cast<double>(width));
+    const double cy = rng.uniform(0.0, static_cast<double>(height));
+    const double sigma = rng.uniform(1.5, static_cast<double>(width) / 8.0);
+    const double amp = rng.uniform(0.2, 0.8);
+    const double inv = 1.0 / (2.0 * sigma * sigma);
+    // Only touch the local window; blobs decay fast.
+    const auto lo_x = static_cast<std::size_t>(std::max(0.0, cx - 3 * sigma));
+    const auto hi_x = static_cast<std::size_t>(
+        std::min(static_cast<double>(width - 1), cx + 3 * sigma));
+    const auto lo_y = static_cast<std::size_t>(std::max(0.0, cy - 3 * sigma));
+    const auto hi_y = static_cast<std::size_t>(
+        std::min(static_cast<double>(height - 1), cy + 3 * sigma));
+    for (std::size_t y = lo_y; y <= hi_y; ++y)
+      for (std::size_t x = lo_x; x <= hi_x; ++x) {
+        const double dx = static_cast<double>(x) - cx;
+        const double dy = static_cast<double>(y) - cy;
+        img.at(x, y) += amp * std::exp(-(dx * dx + dy * dy) * inv);
+      }
+  }
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x)
+      img.at(x, y) = std::clamp(img.at(x, y), 0.0, 1.0);
+  return img;
+}
+
+namespace {
+/// Maps a point of the output image back into source coordinates under the
+/// inverse of `t` (rotate about center, then translate).
+void inverse_map(const RigidTransform& t, double cx, double cy, double x,
+                 double y, double& sx, double& sy) {
+  // Forward: p' = R(p - c) + c + d.  Inverse: p = R^T(p' - c - d) + c.
+  const double c = std::cos(t.angle), s = std::sin(t.angle);
+  const double ux = x - cx - t.dx;
+  const double uy = y - cy - t.dy;
+  sx = c * ux + s * uy + cx;
+  sy = -s * ux + c * uy + cy;
+}
+}  // namespace
+
+Image apply_transform(const Image& src, const RigidTransform& transform,
+                      double noise, Rng& rng) {
+  Image out(src.width(), src.height());
+  const double cx = static_cast<double>(src.width()) / 2.0;
+  const double cy = static_cast<double>(src.height()) / 2.0;
+  for (std::size_t y = 0; y < out.height(); ++y)
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      double sx, sy;
+      inverse_map(transform, cx, cy, static_cast<double>(x),
+                  static_cast<double>(y), sx, sy);
+      double v = src.sample(sx, sy);
+      if (noise > 0.0) v += rng.uniform(-noise, noise);
+      out.at(x, y) = std::clamp(v, 0.0, 1.0);
+    }
+  return out;
+}
+
+double ncc(const Image& reference, const Image& sensed,
+           const RigidTransform& transform) {
+  // Warp the sensed image by the *candidate* transform's inverse and compare
+  // with the reference where both are defined.
+  const double cx = static_cast<double>(reference.width()) / 2.0;
+  const double cy = static_cast<double>(reference.height()) / 2.0;
+  double sum_a = 0.0, sum_b = 0.0, sum_ab = 0.0, sum_aa = 0.0, sum_bb = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < reference.height(); ++y)
+    for (std::size_t x = 0; x < reference.width(); ++x) {
+      // The sensed image was produced by warping the reference forward with
+      // the true transform; evaluating a candidate means sampling the sensed
+      // image at the candidate's *forward* position of (x, y).
+      const double c = std::cos(transform.angle), s = std::sin(transform.angle);
+      const double px = static_cast<double>(x) - cx;
+      const double py = static_cast<double>(y) - cy;
+      const double qx = c * px - s * py + cx + transform.dx;
+      const double qy = s * px + c * py + cy + transform.dy;
+      if (qx < 0.0 || qy < 0.0 ||
+          qx > static_cast<double>(sensed.width() - 1) ||
+          qy > static_cast<double>(sensed.height() - 1))
+        continue;
+      const double a = reference.at(x, y);
+      const double b = sensed.sample(qx, qy);
+      sum_a += a;
+      sum_b += b;
+      sum_ab += a * b;
+      sum_aa += a * a;
+      sum_bb += b * b;
+      ++n;
+    }
+  if (n < 16) return -1.0;  // not enough overlap to correlate
+  const double dn = static_cast<double>(n);
+  const double cov = sum_ab - sum_a * sum_b / dn;
+  const double var_a = sum_aa - sum_a * sum_a / dn;
+  const double var_b = sum_bb - sum_b * sum_b / dn;
+  if (var_a <= 1e-12 || var_b <= 1e-12) return -1.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+RegistrationProblem::RegistrationProblem(Image reference, Image sensed,
+                                         double max_shift, double max_angle)
+    : reference_(std::move(reference)), sensed_(std::move(sensed)) {
+  bounds_.lower = {-max_shift, -max_shift, -max_angle};
+  bounds_.upper = {max_shift, max_shift, max_angle};
+}
+
+double RegistrationProblem::fitness(const RealVector& genome) const {
+  return ncc(reference_, sensed_, decode(genome));
+}
+
+RegistrationProblem RegistrationProblem::coarser() const {
+  RegistrationProblem coarse(reference_.downsample(), sensed_.downsample(),
+                             bounds_.upper[0] / 2.0, bounds_.upper[2]);
+  return coarse;
+}
+
+}  // namespace pga::workloads

@@ -1,0 +1,104 @@
+#pragma once
+// Synthetic image workload for GA-based registration (Chalermwat, El-Ghazawi
+// & LeMoigne 2001: 2-phase GA registration of LandSat imagery).
+//
+// We generate textured grayscale images (mixtures of Gaussian blobs over a
+// gradient), apply a rigid transform (rotation + translation) with noise to
+// obtain the "sensed" image, and search for the transform maximizing
+// normalized cross-correlation (NCC).  The 2-phase algorithm of the paper
+// runs a GA on a downsampled pyramid level first, then refines at full
+// resolution around the phase-1 candidates.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::workloads {
+
+/// Row-major grayscale image with values in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, double fill = 0.0)
+      : width_(width), height_(height), pixels_(width * height, fill) {}
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y) {
+    return pixels_[y * width_ + x];
+  }
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+
+  /// Bilinear sample at a real-valued position; out-of-bounds reads return 0.
+  [[nodiscard]] double sample(double x, double y) const;
+
+  /// 2x box-filter downsample (one pyramid level).
+  [[nodiscard]] Image downsample() const;
+
+  [[nodiscard]] const std::vector<double>& pixels() const noexcept {
+    return pixels_;
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<double> pixels_;
+};
+
+/// Rigid 2-D transform: rotate by `angle` (radians) about the image center,
+/// then translate by (dx, dy) pixels.
+struct RigidTransform {
+  double dx = 0.0;
+  double dy = 0.0;
+  double angle = 0.0;
+};
+
+/// Generates a textured reference image: `blobs` Gaussian bumps of random
+/// position/scale/amplitude on a diagonal gradient background.
+[[nodiscard]] Image make_textured_image(std::size_t width, std::size_t height,
+                                        std::size_t blobs, Rng& rng);
+
+/// Applies `transform` to `src` (inverse-warp with bilinear sampling) and
+/// adds pixel noise of amplitude `noise` (clamped to [0, 1]).
+[[nodiscard]] Image apply_transform(const Image& src,
+                                    const RigidTransform& transform,
+                                    double noise, Rng& rng);
+
+/// Normalized cross-correlation between the overlap of `a` and `b` warped by
+/// `transform` (the registration objective; 1.0 = perfect).
+[[nodiscard]] double ncc(const Image& reference, const Image& sensed,
+                         const RigidTransform& transform);
+
+/// Registration problem: genome = (dx, dy, angle) as a RealVector, fitness =
+/// NCC against the reference at this pyramid level.
+class RegistrationProblem final : public Problem<RealVector> {
+ public:
+  /// Search bounds: +-max_shift pixels, +-max_angle radians.
+  RegistrationProblem(Image reference, Image sensed, double max_shift,
+                      double max_angle);
+
+  [[nodiscard]] double fitness(const RealVector& genome) const override;
+  [[nodiscard]] std::string name() const override { return "registration"; }
+
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] static RigidTransform decode(const RealVector& genome) {
+    return {genome[0], genome[1], genome[2]};
+  }
+
+  /// A coarser version of this problem (one pyramid level down): shifts are
+  /// halved in pixel units, angles unchanged.
+  [[nodiscard]] RegistrationProblem coarser() const;
+
+ private:
+  Image reference_;
+  Image sensed_;
+  Bounds bounds_;
+};
+
+}  // namespace pga::workloads

@@ -1,0 +1,82 @@
+#include "workloads/reactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pga::workloads {
+
+namespace {
+constexpr double kFluxFloor = 0.55;      ///< minimum normalized thermal flux
+constexpr double kModerationCap = 1.9;   ///< sub-moderation limit
+constexpr double kCriticalityTol = 0.02; ///< |k_eff - 1| tolerance
+
+[[nodiscard]] double enrichment_fraction(int step) {
+  return 1.5 + 0.3 * static_cast<double>(step);  // percent U-235
+}
+}  // namespace
+
+ReactorDesign ReactorProblem::decode(const RealVector& g) {
+  ReactorDesign d{};
+  for (int z = 0; z < 3; ++z) {
+    const double v = g[static_cast<std::size_t>(z)] * 9.999;
+    d.enrichment[z] = std::clamp(static_cast<int>(v), 0, 9);
+  }
+  d.fuel_radius = 0.4 + 0.2 * g[3];
+  d.pitch = 1.0 + 0.6 * g[4];
+  return d;
+}
+
+ReactorState ReactorProblem::evaluate_core(const ReactorDesign& d) {
+  const double e0 = enrichment_fraction(d.enrichment[0]);  // inner zone
+  const double e1 = enrichment_fraction(d.enrichment[1]);
+  const double e2 = enrichment_fraction(d.enrichment[2]);  // outer zone
+
+  // Zone powers: the inner zone sees the highest flux weighting; flatter
+  // profiles need enrichment *increasing* outward (low-leakage loading).
+  const double w0 = 1.35, w1 = 1.0, w2 = 0.62;
+  const double p0 = w0 * e0, p1 = w1 * e1, p2 = w2 * e2;
+  const double mean_p = (p0 + p1 + p2) / 3.0;
+  const double peak = std::max({p0, p1, p2}) / mean_p;
+
+  // Moderation ratio from lattice geometry.
+  const double moderation =
+      (d.pitch * d.pitch - 3.1416 * d.fuel_radius * d.fuel_radius) /
+      (3.1416 * d.fuel_radius * d.fuel_radius);
+
+  // k_eff: grows with mean enrichment and moderation (up to over-moderation).
+  const double mean_e = (e0 + e1 + e2) / 3.0;
+  const double mod_eff = 1.0 - 0.25 * (moderation - 1.4) * (moderation - 1.4);
+  const double k_eff = 0.62 * mean_e * mod_eff / 1.55;
+
+  // Thermal flux improves with moderation but drops with heavy absorption at
+  // high enrichment.
+  const double flux = 0.45 + 0.25 * std::min(moderation / 1.6, 1.3) -
+                      0.03 * (mean_e - 2.5);
+
+  return {peak, k_eff, flux, moderation};
+}
+
+bool ReactorProblem::feasible(const ReactorState& s) {
+  return std::abs(s.k_eff - 1.0) <= kCriticalityTol &&
+         s.thermal_flux >= kFluxFloor && s.moderation <= kModerationCap;
+}
+
+double ReactorProblem::objective(const RealVector& genome) const {
+  return evaluate_core(decode(genome)).peak_factor;
+}
+
+double ReactorProblem::fitness(const RealVector& genome) const {
+  const auto state = evaluate_core(decode(genome));
+  double penalty = 0.0;
+  // Quadratic exterior penalties, scaled so constraint violations always
+  // dominate peak-factor gains.
+  const double dk = std::max(0.0, std::abs(state.k_eff - 1.0) - kCriticalityTol);
+  penalty += 40.0 * dk * dk + 4.0 * dk;
+  const double dflux = std::max(0.0, kFluxFloor - state.thermal_flux);
+  penalty += 40.0 * dflux * dflux + 4.0 * dflux;
+  const double dmod = std::max(0.0, state.moderation - kModerationCap);
+  penalty += 40.0 * dmod * dmod + 4.0 * dmod;
+  return -state.peak_factor - penalty;
+}
+
+}  // namespace pga::workloads

@@ -1,0 +1,53 @@
+#pragma once
+// Nuclear reactor core design workload (Pereira & Lapa 2003: coarse-grained
+// island GA minimizing the average peak factor of a three-enrichment-zone
+// reactor under thermal-flux, criticality and sub-moderation constraints).
+//
+// The physics code is replaced by a smooth synthetic core model (DESIGN.md
+// §2) with the same decision structure: per-zone enrichment levels (integer
+// choices), fuel/moderator dimensions (reals), and constraint penalties.
+// The model is built so the unconstrained optimum violates criticality —
+// the GA must negotiate the constraint boundary, as in the original study.
+
+#include <cstddef>
+#include <string>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+
+namespace pga::workloads {
+
+/// Decoded design: 3 integer enrichment levels (0..9 -> 1.5%..4.2%) plus
+/// fuel radius and moderator pitch (normalized reals).
+struct ReactorDesign {
+  int enrichment[3];     ///< per-zone enrichment step, 0..9
+  double fuel_radius;    ///< [0.4, 0.6] cm
+  double pitch;          ///< [1.0, 1.6] cm lattice pitch
+};
+
+/// Core model outputs.
+struct ReactorState {
+  double peak_factor;   ///< radial power peaking (minimize)
+  double k_eff;         ///< effective multiplication factor (must be ~1)
+  double thermal_flux;  ///< average thermal flux (must exceed a floor)
+  double moderation;    ///< moderator-to-fuel ratio (must stay sub-moderated)
+};
+
+class ReactorProblem final : public Problem<RealVector> {
+ public:
+  /// Genome: 5 genes in [0,1] (3 enrichments discretized to 10 steps, fuel
+  /// radius, pitch).
+  [[nodiscard]] static Bounds genome_bounds() { return Bounds(5, 0.0, 1.0); }
+  [[nodiscard]] static ReactorDesign decode(const RealVector& genome);
+  [[nodiscard]] static ReactorState evaluate_core(const ReactorDesign& design);
+
+  /// Fitness = -(peak factor) - constraint penalties (maximize).
+  [[nodiscard]] double fitness(const RealVector& genome) const override;
+  [[nodiscard]] double objective(const RealVector& genome) const override;
+  [[nodiscard]] std::string name() const override { return "reactor-core"; }
+
+  /// True iff every constraint is satisfied.
+  [[nodiscard]] static bool feasible(const ReactorState& state);
+};
+
+}  // namespace pga::workloads

@@ -1,0 +1,143 @@
+#include "workloads/stock.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pga::workloads {
+
+std::vector<double> make_price_series(std::size_t days, double bull_drift,
+                                      double bear_drift, double volatility,
+                                      double switch_prob, Rng& rng) {
+  std::vector<double> prices;
+  prices.reserve(days);
+  double price = 100.0;
+  bool bull = true;
+  for (std::size_t d = 0; d < days; ++d) {
+    prices.push_back(price);
+    if (rng.bernoulli(switch_prob)) bull = !bull;
+    const double drift = bull ? bull_drift : bear_drift;
+    price *= std::exp(drift + volatility * rng.gaussian());
+  }
+  return prices;
+}
+
+IndicatorSeries compute_indicators(const std::vector<double>& prices) {
+  constexpr std::size_t kWarmup = 20;
+  if (prices.size() <= kWarmup + 2)
+    throw std::invalid_argument("price series too short for indicators");
+  IndicatorSeries out;
+  out.warmup = kWarmup;
+
+  auto sma = [&](std::size_t day, std::size_t window) {
+    double s = 0.0;
+    for (std::size_t i = day + 1 - window; i <= day; ++i) s += prices[i];
+    return s / static_cast<double>(window);
+  };
+
+  for (std::size_t day = kWarmup; day < prices.size(); ++day) {
+    std::vector<double> row(IndicatorSeries::num_indicators());
+    row[0] = prices[day] / sma(day, 5) - 1.0;
+    row[1] = prices[day] / sma(day, 20) - 1.0;
+    row[2] = prices[day] / prices[day - 5] - 1.0;  // momentum
+    // 10-day realized volatility of log returns.
+    double var = 0.0;
+    for (std::size_t i = day - 9; i <= day; ++i) {
+      const double r = std::log(prices[i] / prices[i - 1]);
+      var += r * r;
+    }
+    row[3] = std::sqrt(var / 10.0);
+    // RSI(14) mapped to [-0.5, 0.5].
+    double gains = 0.0, losses = 0.0;
+    for (std::size_t i = day - 13; i <= day; ++i) {
+      const double diff = prices[i] - prices[i - 1];
+      if (diff > 0.0) gains += diff;
+      else losses -= diff;
+    }
+    const double total = gains + losses;
+    row[4] = (total > 0.0 ? gains / total : 0.5) - 0.5;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+double TradingMlp::forward(const std::vector<double>& weights,
+                           const std::vector<double>& inputs) const {
+  if (weights.size() != num_weights())
+    throw std::invalid_argument("weight vector size mismatch");
+  if (inputs.size() != inputs_)
+    throw std::invalid_argument("input vector size mismatch");
+  const double* w_ih = weights.data();
+  const double* b_h = w_ih + inputs_ * hidden_;
+  const double* w_ho = b_h + hidden_;
+  const double b_o = *(w_ho + hidden_);
+
+  double out = b_o;
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    double a = b_h[h];
+    for (std::size_t i = 0; i < inputs_; ++i)
+      a += w_ih[h * inputs_ + i] * inputs[i];
+    out += w_ho[h] * std::tanh(a);
+  }
+  return std::tanh(out);
+}
+
+double simulate_strategy(const TradingMlp& mlp,
+                         const std::vector<double>& weights,
+                         const std::vector<double>& prices,
+                         const IndicatorSeries& indicators, std::size_t first,
+                         std::size_t last, double cost) {
+  double wealth = 1.0;
+  bool long_position = false;
+  for (std::size_t row = first; row + 1 < last; ++row) {
+    const bool want_long = mlp.forward(weights, indicators.rows[row]) > 0.0;
+    if (want_long != long_position) {
+      wealth *= 1.0 - cost;  // trade at today's close
+      long_position = want_long;
+    }
+    if (long_position) {
+      const std::size_t day = indicators.warmup + row;
+      wealth *= prices[day + 1] / prices[day];
+    }
+  }
+  return wealth;
+}
+
+double buy_and_hold_return(const std::vector<double>& prices,
+                           const IndicatorSeries& indicators,
+                           std::size_t first, std::size_t last) {
+  if (first + 1 >= last) return 1.0;
+  const std::size_t d0 = indicators.warmup + first;
+  const std::size_t d1 = indicators.warmup + last - 1;
+  return prices[d1] / prices[d0];
+}
+
+NeuroTradingProblem::NeuroTradingProblem(std::vector<double> prices,
+                                         std::size_t hidden,
+                                         double train_fraction)
+    : prices_(std::move(prices)),
+      indicators_(compute_indicators(prices_)),
+      mlp_(IndicatorSeries::num_indicators(), hidden),
+      split_(static_cast<std::size_t>(
+          train_fraction * static_cast<double>(indicators_.rows.size()))),
+      bounds_(mlp_.num_weights(), -4.0, 4.0) {}
+
+double NeuroTradingProblem::fitness(const RealVector& genome) const {
+  return simulate_strategy(mlp_, genome.values, prices_, indicators_, 0,
+                           split_);
+}
+
+double NeuroTradingProblem::test_return(const RealVector& genome) const {
+  return simulate_strategy(mlp_, genome.values, prices_, indicators_, split_,
+                           indicators_.rows.size());
+}
+
+double NeuroTradingProblem::train_buy_and_hold() const {
+  return buy_and_hold_return(prices_, indicators_, 0, split_);
+}
+
+double NeuroTradingProblem::test_buy_and_hold() const {
+  return buy_and_hold_return(prices_, indicators_, split_,
+                             indicators_.rows.size());
+}
+
+}  // namespace pga::workloads

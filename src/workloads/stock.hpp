@@ -1,0 +1,109 @@
+#pragma once
+// Neuro-genetic stock prediction workload (Kwon & Moon 2003).
+//
+// A synthetic regime-switching price series substitutes for market data
+// (DESIGN.md §2): geometric returns with a latent drift that flips between a
+// bull and a bear regime, so there *is* exploitable temporal structure.
+// Technical indicators derived from the prices feed a small MLP whose
+// weights are the GA genome (the paper's 2-D weight-matrix encoding maps to
+// crossover::block_2d on a BitString, or directly to a RealVector).  Fitness
+// is the trading return of the network's long/flat signal on a training
+// window; EXPERIMENTS.md compares it against buy-and-hold on held-out data.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+
+namespace pga::workloads {
+
+/// Synthetic daily close prices: regime-switching geometric Brownian motion.
+[[nodiscard]] std::vector<double> make_price_series(std::size_t days,
+                                                    double bull_drift,
+                                                    double bear_drift,
+                                                    double volatility,
+                                                    double switch_prob,
+                                                    Rng& rng);
+
+/// Technical indicator matrix: one row per day (from `warmup` on), columns:
+/// price/SMA(5)-1, price/SMA(20)-1, 5-day momentum, 10-day volatility,
+/// RSI(14)-0.5.  All roughly centred on 0.
+struct IndicatorSeries {
+  std::size_t warmup = 0;                 ///< first day with valid indicators
+  std::vector<std::vector<double>> rows;  ///< rows.size() == days - warmup
+
+  [[nodiscard]] static constexpr std::size_t num_indicators() { return 5; }
+};
+
+[[nodiscard]] IndicatorSeries compute_indicators(
+    const std::vector<double>& prices);
+
+/// One-hidden-layer MLP with tanh activations; weights flattened as
+/// [input x hidden | hidden bias | hidden x 1 | output bias].
+class TradingMlp {
+ public:
+  TradingMlp(std::size_t inputs, std::size_t hidden)
+      : inputs_(inputs), hidden_(hidden) {}
+
+  [[nodiscard]] std::size_t num_weights() const noexcept {
+    return inputs_ * hidden_ + hidden_ + hidden_ + 1;
+  }
+
+  /// Network output in (-1, 1); > 0 means "be long tomorrow".
+  [[nodiscard]] double forward(const std::vector<double>& weights,
+                               const std::vector<double>& inputs) const;
+
+  [[nodiscard]] std::size_t inputs() const noexcept { return inputs_; }
+  [[nodiscard]] std::size_t hidden() const noexcept { return hidden_; }
+
+ private:
+  std::size_t inputs_;
+  std::size_t hidden_;
+};
+
+/// Simulates the long/flat strategy driven by the MLP over days
+/// [first, last) of the indicator series; returns total compounded return
+/// (1.0 = broke even).  `cost` is the per-trade proportional cost.
+[[nodiscard]] double simulate_strategy(const TradingMlp& mlp,
+                                       const std::vector<double>& weights,
+                                       const std::vector<double>& prices,
+                                       const IndicatorSeries& indicators,
+                                       std::size_t first, std::size_t last,
+                                       double cost = 0.0005);
+
+/// Buy-and-hold return over the same day range (the paper's baseline).
+[[nodiscard]] double buy_and_hold_return(const std::vector<double>& prices,
+                                         const IndicatorSeries& indicators,
+                                         std::size_t first, std::size_t last);
+
+/// GA problem: genome = MLP weights (RealVector), fitness = training-window
+/// strategy return.
+class NeuroTradingProblem final : public Problem<RealVector> {
+ public:
+  NeuroTradingProblem(std::vector<double> prices, std::size_t hidden,
+                      double train_fraction = 0.7);
+
+  [[nodiscard]] double fitness(const RealVector& genome) const override;
+  [[nodiscard]] std::string name() const override { return "neuro-trading"; }
+
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const TradingMlp& mlp() const noexcept { return mlp_; }
+
+  /// Held-out evaluation of a genome (test-window strategy return).
+  [[nodiscard]] double test_return(const RealVector& genome) const;
+  /// Baselines over the two windows.
+  [[nodiscard]] double train_buy_and_hold() const;
+  [[nodiscard]] double test_buy_and_hold() const;
+
+ private:
+  std::vector<double> prices_;
+  IndicatorSeries indicators_;
+  TradingMlp mlp_;
+  std::size_t split_;  ///< first test row
+  Bounds bounds_;
+};
+
+}  // namespace pga::workloads

@@ -1,0 +1,130 @@
+// Adaptive parameter control tests.
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/evolution.hpp"
+#include "problems/functions.hpp"
+
+namespace pga {
+namespace {
+
+TEST(OneFifthRuleTest, GrowsOnHighSuccess) {
+  OneFifthRule rule(0.1, 1e-4, 1.0, /*window=*/10);
+  const double before = rule.sigma();
+  for (int i = 0; i < 10; ++i) rule.record(true);  // 100% success
+  EXPECT_GT(rule.sigma(), before);
+}
+
+TEST(OneFifthRuleTest, ShrinksOnLowSuccess) {
+  OneFifthRule rule(0.1, 1e-4, 1.0, 10);
+  const double before = rule.sigma();
+  for (int i = 0; i < 10; ++i) rule.record(false);
+  EXPECT_LT(rule.sigma(), before);
+}
+
+TEST(OneFifthRuleTest, ExactlyOneFifthShrinks) {
+  // > 1/5 grows; exactly 1/5 is "not exceeding" -> shrink.
+  OneFifthRule rule(0.1, 1e-4, 1.0, 10);
+  const double before = rule.sigma();
+  for (int i = 0; i < 10; ++i) rule.record(i < 2);
+  EXPECT_LT(rule.sigma(), before);
+}
+
+TEST(OneFifthRuleTest, RespectsBounds) {
+  OneFifthRule rule(0.5, 0.4, 0.6, 5);
+  for (int w = 0; w < 20; ++w)
+    for (int i = 0; i < 5; ++i) rule.record(true);
+  EXPECT_LE(rule.sigma(), 0.6);
+  OneFifthRule down(0.5, 0.4, 0.6, 5);
+  for (int w = 0; w < 20; ++w)
+    for (int i = 0; i < 5; ++i) down.record(false);
+  EXPECT_GE(down.sigma(), 0.4);
+}
+
+TEST(OneFifthRuleTest, NoChangeMidWindow) {
+  OneFifthRule rule(0.1, 1e-4, 1.0, 100);
+  for (int i = 0; i < 50; ++i) rule.record(true);
+  EXPECT_DOUBLE_EQ(rule.sigma(), 0.1);
+}
+
+TEST(OneFifthRuleTest, RejectsBadParameters) {
+  EXPECT_THROW(OneFifthRule(0.1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(OneFifthRule(0.1, 0.5, 0.4), std::invalid_argument);
+  EXPECT_THROW(OneFifthRule(0.1, 0.01, 1.0, 0), std::invalid_argument);
+}
+
+TEST(AnnealingScheduleTest, DecaysToFloor) {
+  AnnealingSchedule schedule(1.0, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.value(), 1.0);
+  schedule.step();
+  EXPECT_DOUBLE_EQ(schedule.value(), 0.5);
+  for (int i = 0; i < 20; ++i) schedule.step();
+  EXPECT_DOUBLE_EQ(schedule.value(), 0.1);
+}
+
+TEST(AnnealingScheduleTest, RejectsBadDecay) {
+  EXPECT_THROW(AnnealingSchedule(1.0, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(AnnealingSchedule(1.0, 1.5, 0.1), std::invalid_argument);
+}
+
+TEST(AdaptiveMutation, OperatesWithinBounds) {
+  Bounds bounds(5, -2.0, 2.0);
+  auto [mutate, controller] = make_adaptive_mutation(bounds, 0.2);
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    RealVector g = RealVector::random(bounds, rng);
+    mutate(g, rng);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_GE(g[i], -2.0);
+      EXPECT_LE(g[i], 2.0);
+    }
+  }
+}
+
+TEST(AdaptiveMutation, ControllerDrivesStepSize) {
+  Bounds bounds(1, -10.0, 10.0);
+  auto [mutate, controller] = make_adaptive_mutation(bounds, 0.3, /*window=*/5);
+  // Drive sigma down via repeated failures.
+  for (int w = 0; w < 30; ++w)
+    for (int i = 0; i < 5; ++i) controller->record(false);
+  const double small_sigma = controller->sigma();
+  EXPECT_LT(small_sigma, 0.3);
+  // Step magnitude reflects the adapted sigma.
+  Rng rng(2);
+  double total_step = 0.0;
+  for (int t = 0; t < 3000; ++t) {
+    RealVector g(1, 0.0);
+    mutate(g, rng);
+    total_step += std::abs(g[0]);
+  }
+  // Mean |step| for applied mutations ~ sigma*span*sqrt(2/pi); with p=1 per
+  // gene (single-gene genome: 1/L = 1).
+  EXPECT_LT(total_step / 3000.0, 0.3 * 20.0);
+}
+
+TEST(AdaptiveMutation, AdaptiveGaConvergesOnSphere) {
+  // 1/5-rule adaptation: success-driven sigma shrinks near the optimum.
+  problems::Sphere problem(4);
+  auto [mutate, controller] = make_adaptive_mutation(problem.bounds(), 0.1, 25);
+  Rng rng(3);
+  Individual<RealVector> current(RealVector::random(problem.bounds(), rng));
+  current.fitness = problem.fitness(current.genome);
+  // (1+1)-style loop: the canonical setting for the 1/5 rule.
+  for (int step = 0; step < 3000; ++step) {
+    RealVector candidate = current.genome;
+    mutate(candidate, rng);
+    const double f = problem.fitness(candidate);
+    const bool success = f > current.fitness;
+    controller->record(success);
+    if (success) {
+      current.genome = std::move(candidate);
+      current.fitness = f;
+    }
+  }
+  EXPECT_LT(problem.objective(current.genome), 0.05);
+  EXPECT_LT(controller->sigma(), 0.1);  // annealed near the optimum
+}
+
+}  // namespace
+}  // namespace pga

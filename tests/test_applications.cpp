@@ -1,0 +1,179 @@
+// Tests for the join-order and camera-placement application problems.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "core/evolution.hpp"
+#include "problems/joinorder.hpp"
+#include "workloads/cameras.hpp"
+
+namespace pga {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Join ordering
+// ---------------------------------------------------------------------------
+
+using problems::JoinOrderProblem;
+using problems::QueryGraph;
+
+QueryGraph tiny_query() {
+  QueryGraph q;
+  q.cardinality = {1000.0, 10.0, 100.0};
+  q.selectivity = {{1.0, 0.01, 1.0}, {0.01, 1.0, 0.1}, {1.0, 0.1, 1.0}};
+  return q;
+}
+
+TEST(JoinOrder, CostFollowsTheModel) {
+  JoinOrderProblem problem(tiny_query());
+  // Order (1, 0, 2): 10 rows; join 0: 10*1000*0.01 = 100 -> cost 100;
+  // join 2: 100*100*(sel(1,2)*sel(0,2)) = 100*100*0.1 = 1000 -> cost 1100.
+  Permutation order(3);
+  order[0] = 1;
+  order[1] = 0;
+  order[2] = 2;
+  EXPECT_DOUBLE_EQ(problem.plan_cost(order), 1100.0);
+}
+
+TEST(JoinOrder, CrossProductFirstIsWorse) {
+  JoinOrderProblem problem(tiny_query());
+  Permutation cross(3);  // (0, 2): no predicate -> cross product
+  cross[0] = 0;
+  cross[1] = 2;
+  cross[2] = 1;
+  Permutation good(3);
+  good[0] = 1;
+  good[1] = 0;
+  good[2] = 2;
+  EXPECT_GT(problem.plan_cost(cross), problem.plan_cost(good));
+  EXPECT_LT(problem.fitness(cross), problem.fitness(good));
+}
+
+TEST(JoinOrder, RandomQueryShape) {
+  Rng rng(1);
+  auto q = problems::random_query(8, 0.2, rng);
+  EXPECT_EQ(q.num_relations(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(q.cardinality[i], 100.0);
+    EXPECT_LE(q.cardinality[i], 1e6);
+    EXPECT_DOUBLE_EQ(q.selectivity[i][i], 1.0);
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(q.selectivity[i][j], q.selectivity[j][i]);
+  }
+  // Chain predicates exist.
+  for (std::size_t i = 0; i + 1 < 8; ++i)
+    EXPECT_LT(q.selectivity[i][i + 1], 1.0);
+}
+
+TEST(JoinOrder, GreedyBeatsRandomOrders) {
+  Rng rng(2);
+  auto q = problems::random_query(10, 0.15, rng);
+  JoinOrderProblem problem(q);
+  const double greedy_cost = problem.plan_cost(problem.greedy_plan());
+  double random_total = 0.0;
+  for (int t = 0; t < 30; ++t)
+    random_total += problem.plan_cost(Permutation::random(10, rng));
+  EXPECT_LT(greedy_cost, random_total / 30.0);
+}
+
+TEST(JoinOrder, GaMatchesOrBeatsGreedy) {
+  Rng rng(3);
+  auto q = problems::random_query(12, 0.15, rng);
+  JoinOrderProblem problem(q);
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::pmx();
+  ops.mutate = mutation::swap();
+  GenerationalScheme<Permutation> scheme(ops, 2);
+  auto pop = Population<Permutation>::random(
+      60, [](Rng& r) { return Permutation::random(12, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 80;
+  auto result = run(scheme, pop, problem, stop, rng);
+  const double greedy_cost = problem.plan_cost(problem.greedy_plan());
+  // Log-scale comparison: within half an order of magnitude of greedy, and
+  // usually better (greedy is myopic on cyclic predicates).
+  EXPECT_LT(problem.plan_cost(result.best.genome), greedy_cost * 3.0);
+}
+
+TEST(JoinOrder, RejectsBadInput) {
+  Rng rng(4);
+  EXPECT_THROW(problems::random_query(1, 0.1, rng), std::invalid_argument);
+  JoinOrderProblem problem(tiny_query());
+  EXPECT_THROW((void)problem.plan_cost(Permutation(4)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Camera placement
+// ---------------------------------------------------------------------------
+
+using workloads::CameraPlacementProblem;
+using workloads::make_sphere_object;
+
+TEST(Cameras, SphereObjectPointsAreUnitNormed) {
+  Rng rng(5);
+  auto object = make_sphere_object(100, rng);
+  EXPECT_EQ(object.size(), 100u);
+  for (const auto& pt : object) {
+    EXPECT_NEAR(pt.position.norm(), 1.0, 1e-9);
+    EXPECT_NEAR(pt.normal.dot(pt.position), 1.0, 1e-9);
+  }
+}
+
+TEST(Cameras, DecodePlacesCamerasOnViewingSphere) {
+  Rng rng(6);
+  CameraPlacementProblem problem(make_sphere_object(50, rng), 3, 3.0);
+  auto g = RealVector::random(problem.genome_bounds(), rng);
+  for (const auto& cam : problem.decode_cameras(g))
+    EXPECT_NEAR(cam.norm(), 3.0, 1e-9);
+}
+
+TEST(Cameras, SpreadPairBeatsCoincidentPair) {
+  Rng rng(7);
+  CameraPlacementProblem problem(make_sphere_object(200, rng), 2);
+  // Two coincident cameras cannot triangulate anything (no baseline), so
+  // both coverage and fitness must be zero; a 90-degree-spread pair covers
+  // the overlap of its viewing caps.
+  RealVector coincident(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  RealVector spread(
+      std::vector<double>{0.0, 0.3, std::numbers::pi / 2.0, 0.3});
+  EXPECT_DOUBLE_EQ(problem.coverage(coincident), 0.0);
+  EXPECT_DOUBLE_EQ(problem.fitness(coincident), 0.0);
+  EXPECT_GT(problem.fitness(spread), problem.fitness(coincident));
+  EXPECT_GT(problem.coverage(spread), 0.03);
+}
+
+TEST(Cameras, WorkspaceConstraintPenalizesLowCameras) {
+  Rng rng(8);
+  CameraPlacementProblem problem(make_sphere_object(100, rng), 2, 3.0,
+                                 /*min_elevation=*/0.0);
+  RealVector above(std::vector<double>{0.0, 0.4, 2.0, 0.4});
+  RealVector below(std::vector<double>{0.0, -1.2, 2.0, 0.4});
+  EXPECT_GT(problem.fitness(above), problem.fitness(below));
+}
+
+TEST(Cameras, GaImprovesNetworkDesign) {
+  Rng rng(9);
+  CameraPlacementProblem problem(make_sphere_object(120, rng), 4);
+  const Bounds bounds = problem.genome_bounds();
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(bounds, 0.3);
+  ops.mutate = mutation::gaussian(bounds, 0.1);
+  auto pop = Population<RealVector>::random(
+      40, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  pop.evaluate_all(problem);
+  const double initial_best = pop.best_fitness();
+  GenerationalScheme<RealVector> scheme(ops, 2);
+  StopCondition stop;
+  stop.max_generations = 50;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_GT(result.best.fitness, initial_best);
+  // 4 cameras with a >=2-observer triangulation requirement cover roughly
+  // half the sphere at best; demand a solid fraction.
+  EXPECT_GT(problem.coverage(result.best.genome), 0.35);
+}
+
+}  // namespace
+}  // namespace pga

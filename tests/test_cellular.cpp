@@ -1,0 +1,228 @@
+// Cellular (fine-grained) scheme tests: grid geometry, neighborhoods, update
+// policies, takeover behaviour and search capability.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cellular.hpp"
+#include "problems/binary.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+
+TEST(TorusGrid, IndexRoundTrip) {
+  TorusGrid g(5, 3);
+  for (std::size_t i = 0; i < g.cells(); ++i)
+    EXPECT_EQ(g.index(g.x_of(i), g.y_of(i)), i);
+}
+
+TEST(TorusGrid, WrapAround) {
+  TorusGrid g(4, 4);
+  const std::size_t corner = g.index(0, 0);
+  EXPECT_EQ(g.wrap(corner, -1, 0), g.index(3, 0));
+  EXPECT_EQ(g.wrap(corner, 0, -1), g.index(0, 3));
+  EXPECT_EQ(g.wrap(corner, 4, 4), corner);
+  EXPECT_EQ(g.wrap(corner, -5, 0), g.index(3, 0));
+}
+
+TEST(TorusGrid, NeighborhoodSizes) {
+  TorusGrid g(8, 8);
+  EXPECT_EQ(g.neighbors(0, Neighborhood::kLinear5).size(), 5u);
+  EXPECT_EQ(g.neighbors(0, Neighborhood::kCompact9).size(), 9u);
+  EXPECT_EQ(g.neighbors(0, Neighborhood::kLinear9).size(), 9u);
+  EXPECT_EQ(g.neighbors(0, Neighborhood::kCompact13).size(), 13u);
+}
+
+TEST(TorusGrid, NeighborhoodsAreDistinctCells) {
+  TorusGrid g(8, 8);
+  for (auto shape : {Neighborhood::kLinear5, Neighborhood::kCompact9,
+                     Neighborhood::kLinear9, Neighborhood::kCompact13}) {
+    auto hood = g.neighbors(27, shape);
+    std::set<std::size_t> unique(hood.begin(), hood.end());
+    EXPECT_EQ(unique.size(), hood.size());
+    EXPECT_EQ(hood.front(), 27u);  // center first
+  }
+}
+
+TEST(TorusGrid, RejectsZeroDimensions) {
+  EXPECT_THROW(TorusGrid(0, 4), std::invalid_argument);
+  EXPECT_THROW(TorusGrid(4, 0), std::invalid_argument);
+}
+
+CellularConfig takeover_config(UpdatePolicy policy) {
+  CellularConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  cfg.neighborhood = Neighborhood::kLinear5;
+  cfg.update = policy;
+  cfg.replace = ReplacePolicy::kIfBetterOrEqual;
+  cfg.selection_only = true;
+  return cfg;
+}
+
+Operators<BitString> takeover_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::none<BitString>();
+  ops.crossover_rate = 0.0;
+  return ops;
+}
+
+/// Seeds one all-ones individual in a population of all-zeros; takeover is
+/// complete when every cell holds the best genome.
+Population<BitString> seeded_population(std::size_t cells) {
+  std::vector<Individual<BitString>> members;
+  members.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    BitString g(8, i == cells / 2 ? std::uint8_t{1} : std::uint8_t{0});
+    members.emplace_back(g, static_cast<double>(g.count_ones()));
+  }
+  return Population<BitString>(std::move(members));
+}
+
+class TakeoverTest : public ::testing::TestWithParam<UpdatePolicy> {};
+
+TEST_P(TakeoverTest, BestIndividualTakesOver) {
+  OneMax problem(8);
+  auto cfg = takeover_config(GetParam());
+  CellularScheme<BitString> scheme(cfg, takeover_ops(), Rng(42));
+  auto pop = seeded_population(cfg.width * cfg.height);
+  Rng rng(7);
+  std::size_t sweeps = 0;
+  while (pop.mean_fitness() < 8.0 && sweeps < 200) {
+    scheme.step(pop, problem, rng);
+    ++sweeps;
+  }
+  EXPECT_DOUBLE_EQ(pop.mean_fitness(), 8.0)
+      << "takeover incomplete under " << to_string(GetParam());
+  // Diffusion over a 16x16 torus with L5 needs at least ~8 sweeps (radius).
+  EXPECT_GE(sweeps, 4u);
+  EXPECT_LT(sweeps, 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, TakeoverTest,
+    ::testing::Values(UpdatePolicy::kSynchronous, UpdatePolicy::kFixedLineSweep,
+                      UpdatePolicy::kFixedRandomSweep,
+                      UpdatePolicy::kNewRandomSweep,
+                      UpdatePolicy::kUniformChoice),
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Takeover, LargerNeighborhoodsTakeOverFaster) {
+  // Sarma & De Jong: selection pressure in cEAs grows with neighborhood
+  // size/radius; compare L5 (radius 1) against C13 (radius 2).
+  OneMax problem(8);
+  auto sweeps_with = [&](Neighborhood shape, std::uint64_t seed) {
+    auto cfg = takeover_config(UpdatePolicy::kSynchronous);
+    cfg.neighborhood = shape;
+    CellularScheme<BitString> scheme(cfg, takeover_ops(), Rng(seed));
+    auto pop = seeded_population(cfg.width * cfg.height);
+    Rng rng(seed + 99);
+    std::size_t sweeps = 0;
+    while (pop.mean_fitness() < 8.0 && sweeps < 500) {
+      scheme.step(pop, problem, rng);
+      ++sweeps;
+    }
+    return sweeps;
+  };
+  double small = 0.0, large = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    small += static_cast<double>(sweeps_with(Neighborhood::kLinear5, s));
+    large += static_cast<double>(sweeps_with(Neighborhood::kCompact13, s));
+  }
+  EXPECT_LT(large, small);
+}
+
+TEST(Takeover, AsyncLineSweepFasterThanSynchronous) {
+  // Giacobini et al. 2003: asynchronous sweeps propagate the best individual
+  // faster than the synchronous update (information travels within a sweep).
+  OneMax problem(8);
+  auto count_sweeps = [&](UpdatePolicy policy, std::uint64_t seed) {
+    auto cfg = takeover_config(policy);
+    CellularScheme<BitString> scheme(cfg, takeover_ops(), Rng(seed));
+    auto pop = seeded_population(cfg.width * cfg.height);
+    Rng rng(seed + 1000);
+    std::size_t sweeps = 0;
+    while (pop.mean_fitness() < 8.0 && sweeps < 500) {
+      scheme.step(pop, problem, rng);
+      ++sweeps;
+    }
+    return sweeps;
+  };
+  double sync_total = 0.0, async_total = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    sync_total += static_cast<double>(count_sweeps(UpdatePolicy::kSynchronous, s));
+    async_total +=
+        static_cast<double>(count_sweeps(UpdatePolicy::kFixedLineSweep, s));
+  }
+  EXPECT_LT(async_total, sync_total);
+}
+
+TEST(CellularScheme, SolvesOneMax) {
+  OneMax problem(32);
+  CellularConfig cfg;
+  cfg.width = 10;
+  cfg.height = 10;
+  cfg.update = UpdatePolicy::kSynchronous;
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  ops.crossover_rate = 0.9;
+  CellularScheme<BitString> scheme(cfg, ops, Rng(1));
+  Rng rng(2);
+  auto pop = Population<BitString>::random(
+      100, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 200;
+  stop.target_fitness = 32.0;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(CellularScheme, RejectsMismatchedPopulation) {
+  OneMax problem(8);
+  CellularConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  CellularScheme<BitString> scheme(cfg, takeover_ops(), Rng(3));
+  Rng rng(4);
+  auto pop = Population<BitString>::random(
+      10, [&](Rng& r) { return BitString::random(8, r); }, rng);
+  pop.evaluate_all(problem);
+  EXPECT_THROW(scheme.step(pop, problem, rng), std::invalid_argument);
+}
+
+TEST(CellularScheme, ReplaceIfBetterKeepsEliteCells) {
+  OneMax problem(8);
+  auto cfg = takeover_config(UpdatePolicy::kSynchronous);
+  cfg.replace = ReplacePolicy::kIfBetter;
+  cfg.selection_only = false;
+  auto ops = takeover_ops();
+  ops.mutate = mutation::bit_flip(0.5);  // heavy mutation
+  ops.crossover_rate = 0.0;
+  CellularScheme<BitString> scheme(cfg, ops, Rng(5));
+  auto pop = seeded_population(cfg.width * cfg.height);
+  const double best_before = pop.best_fitness();
+  Rng rng(6);
+  for (int s = 0; s < 5; ++s) scheme.step(pop, problem, rng);
+  EXPECT_GE(pop.best_fitness(), best_before);
+}
+
+TEST(CellularScheme, NameReportsPolicy) {
+  auto cfg = takeover_config(UpdatePolicy::kNewRandomSweep);
+  CellularScheme<BitString> scheme(cfg, takeover_ops(), Rng(8));
+  EXPECT_EQ(scheme.name(), "cellular/new-random-sweep");
+}
+
+}  // namespace
+}  // namespace pga

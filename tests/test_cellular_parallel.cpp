@@ -1,0 +1,174 @@
+// Block-partitioned distributed cellular GA tests.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "comm/inproc.hpp"
+#include "parallel/cellular_parallel.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+
+ParallelCellularConfig<BitString> base_config(std::size_t bits) {
+  ParallelCellularConfig<BitString> cfg;
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.sweeps = 40;
+  cfg.seed = 5;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::uniform<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.make_genome = [bits](Rng& r) { return BitString::random(bits, r); };
+  return cfg;
+}
+
+template <class Cluster>
+std::vector<CellularRankReport<BitString>> run_on(
+    Cluster& cluster, const OneMax& problem,
+    const ParallelCellularConfig<BitString>& cfg, int ranks) {
+  std::vector<CellularRankReport<BitString>> reports(
+      static_cast<std::size_t>(ranks));
+  std::mutex mu;
+  cluster.run([&](comm::Transport& t) {
+    auto rep = run_cellular_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    reports[static_cast<std::size_t>(t.rank())] = std::move(rep);
+  });
+  return reports;
+}
+
+TEST(ParallelCellular, SingleRankSolvesOneMax) {
+  OneMax problem(24);
+  auto cfg = base_config(24);
+  comm::InprocCluster cluster(1);
+  auto reports = run_on(cluster, problem, cfg, 1);
+  EXPECT_EQ(reports[0].sweeps, 40u);
+  EXPECT_DOUBLE_EQ(reports[0].best.fitness, 24.0);
+}
+
+TEST(ParallelCellular, FourRanksSolveOneMax) {
+  OneMax problem(24);
+  auto cfg = base_config(24);
+  comm::InprocCluster cluster(4);  // 2 rows per rank
+  auto reports = run_on(cluster, problem, cfg, 4);
+  double best = 0.0;
+  for (const auto& r : reports) {
+    best = std::max(best, r.best.fitness);
+    EXPECT_EQ(r.sweeps, 40u);
+  }
+  EXPECT_DOUBLE_EQ(best, 24.0);
+}
+
+TEST(ParallelCellular, EvaluationCountsMatchStripSizes) {
+  OneMax problem(8);
+  auto cfg = base_config(8);
+  cfg.sweeps = 3;
+  comm::InprocCluster cluster(2);  // 4 rows each
+  auto reports = run_on(cluster, problem, cfg, 2);
+  for (const auto& r : reports) {
+    // 4 rows x 8 cols owned: initial 32 evals + 3 sweeps x 32 offspring.
+    EXPECT_EQ(r.evaluations, 32u + 3u * 32u);
+  }
+}
+
+TEST(ParallelCellular, UnevenStripsHandled) {
+  OneMax problem(8);
+  auto cfg = base_config(8);
+  cfg.height = 7;  // 3 ranks: strips of 2, 2, 3 (remainder to the tail)
+  cfg.sweeps = 5;
+  comm::InprocCluster cluster(3);
+  auto reports = run_on(cluster, problem, cfg, 3);
+  std::size_t total_initial = 0;
+  for (const auto& r : reports) total_initial += r.evaluations;
+  // All owned rows covered: 7 rows x 8 cols x (1 + 5 sweeps).
+  EXPECT_EQ(total_initial, 7u * 8u * 6u);
+}
+
+TEST(ParallelCellular, RejectsStripThinnerThanGhostDepth) {
+  OneMax problem(8);
+  auto cfg = base_config(8);
+  cfg.height = 4;
+  cfg.neighborhood = Neighborhood::kLinear9;  // ghost depth 2
+  comm::InprocCluster cluster(4);             // 1 row per rank < depth
+  std::mutex mu;
+  int failures = 0;
+  cluster.run([&](comm::Transport& t) {
+    try {
+      (void)run_cellular_rank(t, problem, cfg);
+    } catch (const std::invalid_argument&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 4);
+}
+
+TEST(ParallelCellular, AsyncModeRunsAndCountsStaleSweeps) {
+  OneMax problem(16);
+  auto cfg = base_config(16);
+  cfg.async = true;
+  comm::InprocCluster cluster(2);
+  auto reports = run_on(cluster, problem, cfg, 2);
+  for (const auto& r : reports) EXPECT_EQ(r.sweeps, 40u);
+  double best = 0.0;
+  for (const auto& r : reports) best = std::max(best, r.best.fitness);
+  EXPECT_GE(best, 15.0);  // async staleness may cost a little quality
+}
+
+TEST(ParallelCellular, SyncTimingOnSimulator) {
+  OneMax problem(16);
+  auto cfg = base_config(16);
+  cfg.sweeps = 10;
+  cfg.eval_cost_s = 1e-3;
+  auto run_ranks = [&](int ranks) {
+    sim::SimCluster cluster(
+        sim::homogeneous(ranks, sim::NetworkModel::myrinet()));
+    auto report = cluster.run([&](comm::Transport& t) {
+      (void)run_cellular_rank(t, problem, cfg);
+    });
+    EXPECT_TRUE(report.all_completed());
+    return report.makespan;
+  };
+  const double t1 = run_ranks(1);
+  const double t4 = run_ranks(4);
+  EXPECT_LT(t4, t1);             // parallel strips are faster
+  EXPECT_GT(t4, t1 / 8.0);       // but not super-linearly so
+}
+
+TEST(ParallelCellular, DeterministicOnSimulator) {
+  OneMax problem(16);
+  auto cfg = base_config(16);
+  cfg.sweeps = 6;
+  cfg.eval_cost_s = 1e-4;
+  auto once = [&] {
+    sim::SimCluster cluster(sim::homogeneous(2, sim::NetworkModel::gigabit_ethernet()));
+    double best = 0.0;
+    std::mutex mu;
+    cluster.run([&](comm::Transport& t) {
+      auto rep = run_cellular_rank(t, problem, cfg);
+      std::lock_guard<std::mutex> lock(mu);
+      best = std::max(best, rep.best.fitness);
+    });
+    return best;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(ParallelCellular, CompactNeighborhoodAlsoWorks) {
+  OneMax problem(16);
+  auto cfg = base_config(16);
+  cfg.neighborhood = Neighborhood::kCompact9;
+  comm::InprocCluster cluster(2);
+  auto reports = run_on(cluster, problem, cfg, 2);
+  double best = 0.0;
+  for (const auto& r : reports) best = std::max(best, r.best.fitness);
+  EXPECT_DOUBLE_EQ(best, 16.0);
+}
+
+}  // namespace
+}  // namespace pga

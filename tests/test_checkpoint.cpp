@@ -1,0 +1,122 @@
+// Population checkpoint tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "core/evolution.hpp"
+#include "problems/binary.hpp"
+
+namespace pga {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, BytesRoundTripBitStrings) {
+  Rng rng(1);
+  problems::OneMax problem(24);
+  auto pop = Population<BitString>::random(
+      17, [](Rng& r) { return BitString::random(24, r); }, rng);
+  pop.evaluate_all(problem);
+  auto restored = deserialize_population<BitString>(serialize_population(pop));
+  ASSERT_EQ(restored.size(), pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_EQ(restored[i].genome, pop[i].genome);
+    EXPECT_DOUBLE_EQ(restored[i].fitness, pop[i].fitness);
+    EXPECT_TRUE(restored[i].evaluated);
+  }
+}
+
+TEST(Checkpoint, BytesRoundTripPermutations) {
+  Rng rng(2);
+  auto pop = Population<Permutation>::random(
+      9, [](Rng& r) { return Permutation::random(12, r); }, rng);
+  auto restored =
+      deserialize_population<Permutation>(serialize_population(pop));
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    EXPECT_EQ(restored[i].genome, pop[i].genome);
+}
+
+TEST(Checkpoint, EmptyPopulation) {
+  Population<RealVector> empty;
+  auto restored =
+      deserialize_population<RealVector>(serialize_population(empty));
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(Checkpoint, RejectsWrongMagic) {
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_THROW((void)deserialize_population<BitString>(junk),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTrailingBytes) {
+  Rng rng(3);
+  auto pop = Population<BitString>::random(
+      2, [](Rng& r) { return BitString::random(8, r); }, rng);
+  auto bytes = serialize_population(pop);
+  bytes.push_back(0xFF);
+  EXPECT_THROW((void)deserialize_population<BitString>(bytes),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncatedInput) {
+  Rng rng(4);
+  auto pop = Population<BitString>::random(
+      4, [](Rng& r) { return BitString::random(16, r); }, rng);
+  auto bytes = serialize_population(pop);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)deserialize_population<BitString>(bytes), std::exception);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(5);
+  problems::OneMax problem(16);
+  auto pop = Population<BitString>::random(
+      11, [](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  const std::string path = temp_path("pga_checkpoint_test.bin");
+  save_checkpoint(pop, path);
+  auto restored = load_checkpoint<BitString>(path);
+  ASSERT_EQ(restored.size(), 11u);
+  EXPECT_DOUBLE_EQ(restored.best_fitness(), pop.best_fitness());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW((void)load_checkpoint<BitString>("/nonexistent/dir/x.bin"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ResumedRunContinuesImproving) {
+  // The operational scenario: evolve, checkpoint, restore, keep evolving.
+  problems::OneMax problem(48);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  Rng rng(6);
+  auto pop = Population<BitString>::random(
+      30, [](Rng& r) { return BitString::random(48, r); }, rng);
+  pop.evaluate_all(problem);
+  for (int g = 0; g < 10; ++g) scheme.step(pop, problem, rng);
+  const double at_checkpoint = pop.best_fitness();
+
+  const std::string path = temp_path("pga_resume_test.bin");
+  save_checkpoint(pop, path);
+  auto resumed = load_checkpoint<BitString>(path);
+  std::remove(path.c_str());
+
+  EXPECT_DOUBLE_EQ(resumed.best_fitness(), at_checkpoint);
+  Rng rng2(7);
+  for (int g = 0; g < 30; ++g) scheme.step(resumed, problem, rng2);
+  EXPECT_GT(resumed.best_fitness(), at_checkpoint);
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,124 @@
+// Collectives are built on point-to-point messaging; these tests exercise
+// them on the thread transport.  test_simcluster.cpp re-runs the core set on
+// the simulator to prove transport portability.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/collectives.hpp"
+#include "comm/inproc.hpp"
+
+namespace pga::comm {
+namespace {
+
+TEST(Collectives, BarrierSynchronizesPhases) {
+  constexpr int kRanks = 5;
+  InprocCluster cluster(kRanks);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  auto reports = cluster.run([&](Transport& t) {
+    phase1.fetch_add(1);
+    barrier(t, /*tag=*/100);
+    // After the barrier, every rank must have completed phase 1.
+    if (phase1.load() != kRanks) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+  for (const auto& r : reports) EXPECT_TRUE(r.completed) << r.error;
+}
+
+TEST(Collectives, BroadcastDeliversRootPayload) {
+  InprocCluster cluster(4);
+  cluster.run([&](Transport& t) {
+    std::vector<std::uint8_t> data;
+    if (t.rank() == 2) data = {10, 20, 30};
+    auto out = broadcast(t, /*root=*/2, 101, std::move(data));
+    EXPECT_EQ(out, (std::vector<std::uint8_t>{10, 20, 30}));
+  });
+}
+
+TEST(Collectives, GatherCollectsBySourceRank) {
+  InprocCluster cluster(4);
+  cluster.run([&](Transport& t) {
+    std::vector<std::uint8_t> mine{static_cast<std::uint8_t>(t.rank() + 1)};
+    auto parts = gather(t, /*root=*/0, 102, std::move(mine));
+    if (t.rank() == 0) {
+      ASSERT_EQ(parts.size(), 4u);
+      for (std::size_t r = 0; r < 4; ++r) {
+        ASSERT_EQ(parts[r].size(), 1u);
+        EXPECT_EQ(parts[r][0], r + 1);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllgatherGivesEveryoneEverything) {
+  InprocCluster cluster(3);
+  cluster.run([&](Transport& t) {
+    std::vector<std::uint8_t> mine{static_cast<std::uint8_t>(t.rank() * 11)};
+    auto parts = allgather(t, 103, std::move(mine));
+    ASSERT_EQ(parts.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+      ASSERT_EQ(parts[r].size(), 1u);
+      EXPECT_EQ(parts[r][0], r * 11);
+    }
+  });
+}
+
+TEST(Collectives, ReduceSum) {
+  InprocCluster cluster(6);
+  cluster.run([&](Transport& t) {
+    const double result =
+        reduce(t, /*root=*/0, 104, static_cast<double>(t.rank()),
+               [](double a, double b) { return a + b; });
+    if (t.rank() == 0) EXPECT_DOUBLE_EQ(result, 15.0);  // 0+..+5
+  });
+}
+
+TEST(Collectives, ReduceMax) {
+  InprocCluster cluster(4);
+  cluster.run([&](Transport& t) {
+    const double result =
+        reduce(t, /*root=*/3, 105, static_cast<double>(t.rank() * t.rank()),
+               [](double a, double b) { return a > b ? a : b; });
+    if (t.rank() == 3) EXPECT_DOUBLE_EQ(result, 9.0);
+  });
+}
+
+TEST(Collectives, AllreduceEveryoneGetsResult) {
+  InprocCluster cluster(5);
+  std::atomic<int> correct{0};
+  cluster.run([&](Transport& t) {
+    const double result =
+        allreduce(t, 106, 1.0, [](double a, double b) { return a + b; });
+    if (result == 5.0) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 5);
+}
+
+TEST(Collectives, RepeatedCollectivesWithDistinctTags) {
+  InprocCluster cluster(3);
+  cluster.run([&](Transport& t) {
+    for (int round = 0; round < 10; ++round) {
+      const double sum = allreduce(t, 200 + round, static_cast<double>(round),
+                                   [](double a, double b) { return a + b; });
+      EXPECT_DOUBLE_EQ(sum, 3.0 * round);
+    }
+  });
+}
+
+TEST(Collectives, SingleRankDegenerates) {
+  InprocCluster cluster(1);
+  cluster.run([&](Transport& t) {
+    barrier(t, 300);
+    auto out = broadcast(t, 0, 301, {7});
+    EXPECT_EQ(out, (std::vector<std::uint8_t>{7}));
+    const double r = allreduce(t, 302, 2.5, [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(r, 2.5);
+  });
+}
+
+}  // namespace
+}  // namespace pga::comm

@@ -1,0 +1,347 @@
+// Crossover operator tests, including property-style parameterized suites:
+// permutation operators must always yield valid permutations; vector
+// operators must be gene-conserving where the operator guarantees it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/crossover.hpp"
+#include "core/genome.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit-string operators
+// ---------------------------------------------------------------------------
+
+TEST(OnePoint, ChildrenAreComplementaryRecombination) {
+  Rng rng(1);
+  BitString p1(16, 0), p2(16, 1);
+  auto cross = crossover::one_point<BitString>();
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    // Per locus, children carry one 0 and one 1 between them.
+    for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(c1[i] + c2[i], 1);
+    // One-point: c1 is a prefix of zeros then ones (or vice versa) -> at most
+    // one transition.
+    int transitions = 0;
+    for (std::size_t i = 1; i < 16; ++i) transitions += (c1[i] != c1[i - 1]);
+    EXPECT_LE(transitions, 1);
+  }
+}
+
+TEST(TwoPoint, AtMostTwoTransitions) {
+  Rng rng(2);
+  BitString p1(32, 0), p2(32, 1);
+  auto cross = crossover::two_point<BitString>();
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    int transitions = 0;
+    for (std::size_t i = 1; i < 32; ++i) transitions += (c1[i] != c1[i - 1]);
+    EXPECT_LE(transitions, 2);
+    for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(c1[i] + c2[i], 1);
+  }
+}
+
+TEST(UniformCrossover, LocusConservation) {
+  Rng rng(3);
+  BitString p1 = BitString::random(64, rng);
+  BitString p2 = BitString::random(64, rng);
+  auto cross = crossover::uniform<BitString>(0.5);
+  auto [c1, c2] = cross(p1, p2, rng);
+  for (std::size_t i = 0; i < 64; ++i) {
+    // The multiset of alleles at each locus is conserved.
+    EXPECT_EQ(static_cast<int>(c1[i]) + c2[i], static_cast<int>(p1[i]) + p2[i]);
+  }
+}
+
+TEST(UniformCrossover, ZeroSwapProbCopiesParents) {
+  Rng rng(4);
+  BitString p1 = BitString::random(32, rng), p2 = BitString::random(32, rng);
+  auto cross = crossover::uniform<BitString>(0.0);
+  auto [c1, c2] = cross(p1, p2, rng);
+  EXPECT_EQ(c1, p1);
+  EXPECT_EQ(c2, p2);
+}
+
+TEST(UniformCrossover, SwapRateNearParameter) {
+  Rng rng(5);
+  BitString p1(1000, 0), p2(1000, 1);
+  auto cross = crossover::uniform<BitString>(0.3);
+  auto [c1, c2] = cross(p1, p2, rng);
+  const double swapped = static_cast<double>(c1.count_ones()) / 1000.0;
+  EXPECT_NEAR(swapped, 0.3, 0.05);
+}
+
+TEST(Block2d, SwapsExactlyARectangle) {
+  Rng rng(6);
+  const std::size_t rows = 8, cols = 8;
+  BitString p1(rows * cols, 0), p2(rows * cols, 1);
+  auto cross = crossover::block_2d(rows, cols);
+  auto [c1, c2] = cross(p1, p2, rng);
+  // The set of swapped cells in c1 must form an axis-aligned rectangle.
+  std::size_t min_r = rows, max_r = 0, min_c = cols, max_c = 0;
+  std::size_t swapped = 0;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (c1[r * cols + c] == 1) {
+        ++swapped;
+        min_r = std::min(min_r, r);
+        max_r = std::max(max_r, r);
+        min_c = std::min(min_c, c);
+        max_c = std::max(max_c, c);
+      }
+  ASSERT_GE(swapped, 1u);
+  EXPECT_EQ(swapped, (max_r - min_r + 1) * (max_c - min_c + 1));
+}
+
+TEST(Block2d, RejectsMismatchedSize) {
+  Rng rng(7);
+  BitString p1(10), p2(10);
+  auto cross = crossover::block_2d(4, 4);
+  EXPECT_THROW(cross(p1, p2, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Real-coded operators
+// ---------------------------------------------------------------------------
+
+TEST(Arithmetic, ChildrenAreConvexCombinations) {
+  Rng rng(8);
+  RealVector p1(std::vector<double>{0.0, 10.0});
+  RealVector p2(std::vector<double>{1.0, 20.0});
+  auto cross = crossover::arithmetic();
+  for (int t = 0; t < 20; ++t) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_GE(c1[i], std::min(p1[i], p2[i]) - 1e-12);
+      EXPECT_LE(c1[i], std::max(p1[i], p2[i]) + 1e-12);
+      // Sum is conserved by whole arithmetic crossover.
+      EXPECT_NEAR(c1[i] + c2[i], p1[i] + p2[i], 1e-9);
+    }
+  }
+}
+
+TEST(BlxAlpha, StaysWithinExtendedIntervalAndBounds) {
+  Rng rng(9);
+  Bounds bounds(2, -10.0, 10.0);
+  RealVector p1(std::vector<double>{0.0, 5.0});
+  RealVector p2(std::vector<double>{2.0, 5.0});
+  auto cross = crossover::blx_alpha(bounds, 0.5);
+  for (int t = 0; t < 100; ++t) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    // Dim 0: interval [0,2] extended by alpha*2=1 -> [-1, 3].
+    EXPECT_GE(c1[0], -1.0 - 1e-12);
+    EXPECT_LE(c1[0], 3.0 + 1e-12);
+    // Dim 1: degenerate interval stays at the point.
+    EXPECT_DOUBLE_EQ(c1[1], 5.0);
+    EXPECT_DOUBLE_EQ(c2[1], 5.0);
+  }
+}
+
+TEST(BlxAlpha, ClampsToBounds) {
+  Rng rng(10);
+  Bounds bounds(1, 0.0, 1.0);
+  RealVector p1(std::vector<double>{0.0});
+  RealVector p2(std::vector<double>{1.0});
+  auto cross = crossover::blx_alpha(bounds, 1.0);
+  for (int t = 0; t < 200; ++t) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    EXPECT_GE(c1[0], 0.0);
+    EXPECT_LE(c1[0], 1.0);
+    EXPECT_GE(c2[0], 0.0);
+    EXPECT_LE(c2[0], 1.0);
+  }
+}
+
+TEST(Sbx, MeanPreservedPerGeneWhenApplied) {
+  Rng rng(11);
+  Bounds bounds(1, -100.0, 100.0);
+  RealVector p1(std::vector<double>{-3.0});
+  RealVector p2(std::vector<double>{7.0});
+  auto cross = crossover::sbx(bounds, 10.0);
+  for (int t = 0; t < 100; ++t) {
+    auto [c1, c2] = cross(p1, p2, rng);
+    // SBX children are symmetric around the parents' midpoint (when no clamp
+    // binds).
+    EXPECT_NEAR(c1[0] + c2[0], p1[0] + p2[0], 1e-9);
+  }
+}
+
+TEST(Sbx, HighEtaStaysNearParents) {
+  Rng rng(12);
+  Bounds bounds(1, -100.0, 100.0);
+  RealVector p1(std::vector<double>{0.0}), p2(std::vector<double>{1.0});
+  auto tight = crossover::sbx(bounds, 100.0);
+  double max_dev = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    auto [c1, c2] = tight(p1, p2, rng);
+    max_dev = std::max(max_dev, std::abs(c1[0] - 0.5) - 0.5);
+  }
+  EXPECT_LT(max_dev, 0.2);  // rarely strays far outside the parent interval
+}
+
+// ---------------------------------------------------------------------------
+// Bounded real-coded crossovers: children stay inside the box, across boxes.
+class BoundedRealCrossoverTest
+    : public ::testing::TestWithParam<std::pair<const char*, double>> {};
+
+TEST_P(BoundedRealCrossoverTest, ChildrenRespectBounds) {
+  Rng rng(99);
+  const double span = GetParam().second;
+  const double lo = span > 0.0 ? -span : 0.0;
+  const double hi = span > 0.0 ? span : 1.0;
+  Bounds bounds(6, lo, hi);
+  const Crossover<RealVector> ops[] = {
+      crossover::blx_alpha(bounds, 0.7),
+      crossover::sbx(bounds, 5.0),
+  };
+  for (const auto& cross : ops) {
+    for (int t = 0; t < 200; ++t) {
+      auto p1 = RealVector::random(bounds, rng);
+      auto p2 = RealVector::random(bounds, rng);
+      auto [c1, c2] = cross(p1, p2, rng);
+      for (std::size_t d = 0; d < 6; ++d) {
+        ASSERT_GE(c1[d], lo);
+        ASSERT_LE(c1[d], hi);
+        ASSERT_GE(c2[d], lo);
+        ASSERT_LE(c2[d], hi);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, BoundedRealCrossoverTest,
+    ::testing::Values(std::make_pair("unit", 0.0),
+                      std::make_pair("sym5", 5.0),
+                      std::make_pair("sym500", 500.0)),
+    [](const auto& param_info) { return std::string(param_info.param.first); });
+
+// ---------------------------------------------------------------------------
+// Permutation operators (property suite)
+// ---------------------------------------------------------------------------
+
+class PermutationCrossoverTest
+    : public ::testing::TestWithParam<std::pair<const char*, Crossover<Permutation>>> {};
+
+TEST_P(PermutationCrossoverTest, AlwaysProducesValidPermutations) {
+  Rng rng(13);
+  const auto& cross = GetParam().second;
+  for (std::size_t n : {2u, 3u, 5u, 17u, 64u}) {
+    for (int t = 0; t < 50; ++t) {
+      auto p1 = Permutation::random(n, rng);
+      auto p2 = Permutation::random(n, rng);
+      auto [c1, c2] = cross(p1, p2, rng);
+      ASSERT_TRUE(c1.is_valid()) << GetParam().first << " n=" << n;
+      ASSERT_TRUE(c2.is_valid()) << GetParam().first << " n=" << n;
+    }
+  }
+}
+
+TEST_P(PermutationCrossoverTest, IdenticalParentsYieldSameChild) {
+  // ERX is excluded: it preserves the parents' *cycle* (up to rotation and
+  // direction), not the literal permutation — covered by its own test below.
+  Rng rng(14);
+  const auto& cross = GetParam().second;
+  auto p = Permutation::random(12, rng);
+  auto [c1, c2] = cross(p, p, rng);
+  EXPECT_EQ(c1, p);
+  EXPECT_EQ(c2, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PositionalOperators, PermutationCrossoverTest,
+    ::testing::Values(std::make_pair("pmx", crossover::pmx()),
+                      std::make_pair("ox", crossover::ox()),
+                      std::make_pair("cx", crossover::cx())),
+    [](const auto& param_info) { return param_info.param.first; });
+
+class ErxValidityTest
+    : public ::testing::TestWithParam<std::pair<const char*, Crossover<Permutation>>> {};
+
+TEST_P(ErxValidityTest, AlwaysProducesValidPermutations) {
+  Rng rng(13);
+  const auto& cross = GetParam().second;
+  for (std::size_t n : {2u, 3u, 5u, 17u, 64u}) {
+    for (int t = 0; t < 50; ++t) {
+      auto p1 = Permutation::random(n, rng);
+      auto p2 = Permutation::random(n, rng);
+      auto [c1, c2] = cross(p1, p2, rng);
+      ASSERT_TRUE(c1.is_valid()) << "n=" << n;
+      ASSERT_TRUE(c2.is_valid()) << "n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Erx, ErxValidityTest,
+    ::testing::Values(std::make_pair("erx", crossover::erx())),
+    [](const auto& param_info) { return param_info.param.first; });
+
+TEST(Erx, IdenticalParentsPreserveTheCycle) {
+  // With identical parents, the merged edge set IS the parent's ring, so the
+  // child must trace exactly that cycle (any rotation/direction).
+  Rng rng(14);
+  auto p = Permutation::random(12, rng);
+  auto [c1, c2] = crossover::erx()(p, p, rng);
+  auto edges = [](const Permutation& perm) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> out;
+    const std::size_t n = perm.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto a = perm[i], b = perm[(i + 1) % n];
+      out.insert({std::min(a, b), std::max(a, b)});
+    }
+    return out;
+  };
+  EXPECT_EQ(edges(c1), edges(p));
+  EXPECT_EQ(edges(c2), edges(p));
+}
+
+TEST(Erx, ChildEdgesComeMostlyFromParents) {
+  // ERX's defining property: child ring edges are inherited from the merged
+  // parental edge set except at rare dead-end restarts.
+  Rng rng(16);
+  auto edge_set = [](const Permutation& p) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+    const std::size_t n = p.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto a = p[i], b = p[(i + 1) % n];
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+    return edges;
+  };
+  int inherited = 0, total = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto p1 = Permutation::random(40, rng);
+    auto p2 = Permutation::random(40, rng);
+    auto parent_edges = edge_set(p1);
+    for (auto& e : edge_set(p2)) parent_edges.insert(e);
+    auto [c1, c2] = crossover::erx()(p1, p2, rng);
+    for (const auto& child : {c1, c2}) {
+      for (const auto& e : edge_set(child)) {
+        inherited += parent_edges.count(e) > 0;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(inherited) / total, 0.9);
+}
+
+TEST(Cx, EveryGeneComesFromAParentAtSamePosition) {
+  Rng rng(15);
+  auto p1 = Permutation::random(20, rng);
+  auto p2 = Permutation::random(20, rng);
+  auto [c1, c2] = crossover::cx()(p1, p2, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(c1[i] == p1[i] || c1[i] == p2[i]);
+    EXPECT_TRUE(c2[i] == p1[i] || c2[i] == p2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,113 @@
+// Diversity metric tests.
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.hpp"
+#include "core/selection.hpp"
+
+namespace pga {
+namespace {
+
+Population<BitString> uniform_population(std::size_t n, std::size_t bits,
+                                         std::uint8_t fill) {
+  Population<BitString> pop;
+  for (std::size_t i = 0; i < n; ++i)
+    pop.push_back(Individual<BitString>(BitString(bits, fill), 0.0));
+  return pop;
+}
+
+TEST(BitEntropy, ConvergedIsZero) {
+  auto pop = uniform_population(10, 16, 1);
+  EXPECT_DOUBLE_EQ(diversity::bit_entropy(pop), 0.0);
+}
+
+TEST(BitEntropy, HalfSplitIsOne) {
+  Population<BitString> pop;
+  for (int i = 0; i < 10; ++i)
+    pop.push_back(Individual<BitString>(
+        BitString(8, static_cast<std::uint8_t>(i % 2)), 0.0));
+  EXPECT_NEAR(diversity::bit_entropy(pop), 1.0, 1e-12);
+}
+
+TEST(BitEntropy, RandomPopulationNearOne) {
+  Rng rng(1);
+  auto pop = Population<BitString>::random(
+      200, [](Rng& r) { return BitString::random(64, r); }, rng);
+  EXPECT_GT(diversity::bit_entropy(pop), 0.9);
+}
+
+TEST(MeanHamming, ConvergedIsZeroRandomIsHalf) {
+  auto converged = uniform_population(20, 32, 0);
+  EXPECT_DOUBLE_EQ(diversity::mean_hamming(converged), 0.0);
+  Rng rng(2);
+  auto random_pop = Population<BitString>::random(
+      100, [](Rng& r) { return BitString::random(64, r); }, rng);
+  EXPECT_NEAR(diversity::mean_hamming(random_pop), 0.5, 0.05);
+}
+
+TEST(MeanHamming, TwoComplementaryIndividuals) {
+  Population<BitString> pop;
+  pop.push_back(Individual<BitString>(BitString(8, 0), 0.0));
+  pop.push_back(Individual<BitString>(BitString(8, 1), 0.0));
+  EXPECT_DOUBLE_EQ(diversity::mean_hamming(pop), 1.0);
+}
+
+TEST(CentroidDispersion, ConvergedIsZero) {
+  Population<RealVector> pop;
+  for (int i = 0; i < 5; ++i)
+    pop.push_back(Individual<RealVector>(RealVector(3, 2.0), 0.0));
+  EXPECT_DOUBLE_EQ(diversity::centroid_dispersion(pop), 0.0);
+}
+
+TEST(CentroidDispersion, SymmetricSpread) {
+  Population<RealVector> pop;
+  pop.push_back(Individual<RealVector>(RealVector(std::vector<double>{-1.0}), 0.0));
+  pop.push_back(Individual<RealVector>(RealVector(std::vector<double>{1.0}), 0.0));
+  EXPECT_DOUBLE_EQ(diversity::centroid_dispersion(pop), 1.0);
+}
+
+TEST(TakeoverFraction, SingleGenotypeIsOne) {
+  auto pop = uniform_population(12, 8, 1);
+  EXPECT_DOUBLE_EQ(diversity::takeover_fraction(pop), 1.0);
+}
+
+TEST(TakeoverFraction, MajorityGenotypeCounted) {
+  Population<BitString> pop;
+  for (int i = 0; i < 3; ++i)
+    pop.push_back(Individual<BitString>(BitString(4, 1), 0.0));
+  pop.push_back(Individual<BitString>(BitString(4, 0), 0.0));
+  EXPECT_DOUBLE_EQ(diversity::takeover_fraction(pop), 0.75);
+}
+
+TEST(DistinctGenotypes, CountsUnique) {
+  Population<BitString> pop;
+  pop.push_back(Individual<BitString>(BitString(4, 0), 0.0));
+  pop.push_back(Individual<BitString>(BitString(4, 0), 0.0));
+  pop.push_back(Individual<BitString>(BitString(4, 1), 0.0));
+  EXPECT_EQ(diversity::distinct_genotypes(pop), 2u);
+}
+
+TEST(DiversityUnderSelection, PressureReducesEntropyOverTime) {
+  // A selection-only loop must monotonically (in expectation) reduce
+  // diversity; verify start vs end.
+  Rng rng(3);
+  auto pop = Population<BitString>::random(
+      50, [](Rng& r) { return BitString::random(32, r); }, rng);
+  for (auto& ind : pop) {
+    ind.fitness = static_cast<double>(ind.genome.count_ones());
+    ind.evaluated = true;
+  }
+  const double before = diversity::bit_entropy(pop);
+  auto sel = selection::tournament(2);
+  for (int g = 0; g < 10; ++g) {
+    const auto fitness = pop.fitness_values();
+    std::vector<Individual<BitString>> next;
+    Population<BitString>& p = pop;
+    for (std::size_t i = 0; i < p.size(); ++i) next.push_back(p[sel(fitness, rng)]);
+    pop = Population<BitString>(std::move(next));
+  }
+  EXPECT_LT(diversity::bit_entropy(pop), before);
+}
+
+}  // namespace
+}  // namespace pga

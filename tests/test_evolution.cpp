@@ -1,0 +1,244 @@
+// Tests for the panmictic evolution schemes and the run driver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evolution.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+using problems::Sphere;
+
+Operators<BitString> onemax_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+TEST(Generational, SolvesOneMax) {
+  OneMax problem(64);
+  Rng rng(1);
+  auto pop = Population<BitString>::random(
+      64, [&](Rng& r) { return BitString::random(64, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops(), /*elitism=*/1);
+  StopCondition stop;
+  stop.max_generations = 500;
+  stop.target_fitness = 64.0;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_DOUBLE_EQ(result.best.fitness, 64.0);
+}
+
+TEST(Generational, ElitismNeverLosesBest) {
+  OneMax problem(32);
+  Rng rng(2);
+  auto pop = Population<BitString>::random(
+      20, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  GenerationalScheme<BitString> scheme(onemax_ops(), /*elitism=*/2);
+  double best = pop.best_fitness();
+  for (int g = 0; g < 50; ++g) {
+    scheme.step(pop, problem, rng);
+    EXPECT_GE(pop.best_fitness(), best);
+    best = pop.best_fitness();
+  }
+}
+
+TEST(Generational, GenerationGapReplacesOnlyFraction) {
+  OneMax problem(32);
+  Rng rng(3);
+  auto pop = Population<BitString>::random(
+      40, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  GenerationalScheme<BitString> scheme(onemax_ops(), 0, /*generation_gap=*/0.25);
+  const std::size_t evals = scheme.step(pop, problem, rng);
+  EXPECT_EQ(evals, 10u);  // only a quarter of the population is new
+  EXPECT_EQ(pop.size(), 40u);
+}
+
+TEST(Generational, RejectsBadGap) {
+  EXPECT_THROW(GenerationalScheme<BitString>(onemax_ops(), 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(GenerationalScheme<BitString>(onemax_ops(), 0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(SteadyState, SolvesOneMax) {
+  OneMax problem(64);
+  Rng rng(4);
+  auto pop = Population<BitString>::random(
+      64, [&](Rng& r) { return BitString::random(64, r); }, rng);
+  SteadyStateScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 500;
+  stop.target_fitness = 64.0;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(SteadyState, NeverReplacesWithWorse) {
+  OneMax problem(32);
+  Rng rng(5);
+  auto pop = Population<BitString>::random(
+      16, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops());
+  double worst = pop[pop.worst_index()].fitness;
+  for (int g = 0; g < 20; ++g) {
+    scheme.step(pop, problem, rng);
+    const double new_worst = pop[pop.worst_index()].fitness;
+    EXPECT_GE(new_worst, worst);
+    worst = new_worst;
+  }
+}
+
+TEST(SteadyState, OffspringPerStepControlsBudget) {
+  OneMax problem(16);
+  Rng rng(6);
+  auto pop = Population<BitString>::random(
+      10, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops(), /*offspring_per_step=*/3);
+  EXPECT_EQ(scheme.step(pop, problem, rng), 3u);
+}
+
+TEST(RunDriver, StopsAtMaxGenerations) {
+  OneMax problem(128);
+  Rng rng(7);
+  auto pop = Population<BitString>::random(
+      8, [&](Rng& r) { return BitString::random(128, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 5;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_EQ(result.generations, 5u);
+  EXPECT_FALSE(result.reached_target);
+}
+
+TEST(RunDriver, StopsAtEvaluationBudget) {
+  OneMax problem(128);
+  Rng rng(8);
+  auto pop = Population<BitString>::random(
+      16, [&](Rng& r) { return BitString::random(128, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 1000000;
+  stop.max_evaluations = 100;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_GE(result.evaluations, 100u);
+  EXPECT_LT(result.evaluations, 140u);  // one generation of overshoot at most
+}
+
+TEST(RunDriver, RecordsHistory) {
+  OneMax problem(32);
+  Rng rng(9);
+  auto pop = Population<BitString>::random(
+      16, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 10;
+  auto result = run(scheme, pop, problem, stop, rng, /*record_history=*/true);
+  ASSERT_EQ(result.history.size(), result.generations + 1);
+  EXPECT_EQ(result.history.front().generation, 0u);
+  // Best fitness with elitism is monotone in history.
+  for (std::size_t i = 1; i < result.history.size(); ++i)
+    EXPECT_GE(result.history[i].best, result.history[i - 1].best);
+}
+
+TEST(RunDriver, StagnationStopsEarly) {
+  // A constant-fitness problem stagnates immediately.
+  class Flat final : public Problem<BitString> {
+   public:
+    [[nodiscard]] double fitness(const BitString&) const override { return 1.0; }
+    [[nodiscard]] std::string name() const override { return "flat"; }
+  };
+  Flat problem;
+  Rng rng(10);
+  auto pop = Population<BitString>::random(
+      8, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 1000;
+  stop.stagnation_generations = 7;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_EQ(result.generations, 7u);
+}
+
+TEST(RunDriver, EvalsToTargetRecorded) {
+  OneMax problem(16);
+  Rng rng(11);
+  auto pop = Population<BitString>::random(
+      32, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  GenerationalScheme<BitString> scheme(onemax_ops());
+  StopCondition stop;
+  stop.max_generations = 200;
+  stop.target_fitness = 16.0;
+  auto result = run(scheme, pop, problem, stop, rng);
+  ASSERT_TRUE(result.reached_target);
+  EXPECT_EQ(result.evals_to_target, result.evaluations);
+  EXPECT_GT(result.evals_to_target, 0u);
+}
+
+TEST(RunDriver, WorksOnRealGenomes) {
+  Sphere problem(6);
+  Rng rng(12);
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::sbx(problem.bounds(), 10.0);
+  ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+  auto pop = Population<RealVector>::random(
+      50, [&](Rng& r) { return RealVector::random(problem.bounds(), r); }, rng);
+  GenerationalScheme<RealVector> scheme(ops, 2);
+  StopCondition stop;
+  stop.max_generations = 200;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_LT(problem.objective(result.best.genome), 0.1);
+}
+
+TEST(Population, EvaluateAllCountsOnlyUnevaluated) {
+  OneMax problem(8);
+  Rng rng(13);
+  auto pop = Population<BitString>::random(
+      10, [&](Rng& r) { return BitString::random(8, r); }, rng);
+  EXPECT_EQ(pop.evaluate_all(problem), 10u);
+  EXPECT_EQ(pop.evaluate_all(problem), 0u);
+  pop[3].evaluated = false;
+  EXPECT_EQ(pop.evaluate_all(problem), 1u);
+}
+
+TEST(Population, BestAndWorstIndices) {
+  Population<BitString> pop;
+  pop.push_back(Individual<BitString>(BitString(4), 1.0));
+  pop.push_back(Individual<BitString>(BitString(4), 5.0));
+  pop.push_back(Individual<BitString>(BitString(4), -2.0));
+  EXPECT_EQ(pop.best_index(), 1u);
+  EXPECT_EQ(pop.worst_index(), 2u);
+  EXPECT_DOUBLE_EQ(pop.mean_fitness(), 4.0 / 3.0);
+}
+
+TEST(Population, SortDescending) {
+  Population<BitString> pop;
+  pop.push_back(Individual<BitString>(BitString(1), 1.0));
+  pop.push_back(Individual<BitString>(BitString(1), 3.0));
+  pop.push_back(Individual<BitString>(BitString(1), 2.0));
+  pop.sort_descending();
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 3.0);
+  EXPECT_DOUBLE_EQ(pop[2].fitness, 1.0);
+}
+
+TEST(Population, EmptyThrows) {
+  Population<BitString> pop;
+  EXPECT_THROW((void)pop.best_index(), std::logic_error);
+  EXPECT_THROW((void)pop.worst_index(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pga

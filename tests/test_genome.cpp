@@ -1,0 +1,144 @@
+// Tests for the genome value types.
+
+#include <gtest/gtest.h>
+
+#include "core/genome.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+namespace {
+
+TEST(BitString, CountOnesAndFlip) {
+  BitString s(8);
+  EXPECT_EQ(s.count_ones(), 0u);
+  s.flip(0);
+  s.flip(7);
+  EXPECT_EQ(s.count_ones(), 2u);
+  s.flip(0);
+  EXPECT_EQ(s.count_ones(), 1u);
+}
+
+TEST(BitString, HammingDistance) {
+  BitString a(6), b(6);
+  EXPECT_EQ(a.hamming(b), 0u);
+  b.flip(1);
+  b.flip(4);
+  EXPECT_EQ(a.hamming(b), 2u);
+  EXPECT_EQ(b.hamming(a), 2u);
+}
+
+TEST(BitString, DecodeUint) {
+  BitString s(8);
+  s[0] = 1;  // MSB of the first nibble
+  s[3] = 1;
+  EXPECT_EQ(s.decode_uint(0, 4), 0b1001u);
+  EXPECT_EQ(s.decode_uint(4, 4), 0u);
+}
+
+TEST(BitString, RandomIsBalanced) {
+  Rng rng(1);
+  std::size_t ones = 0;
+  const std::size_t n = 10000;
+  auto s = BitString::random(n, rng);
+  ones = s.count_ones();
+  EXPECT_NEAR(static_cast<double>(ones), n / 2.0, n / 20.0);
+}
+
+TEST(BitString, RandomIsDeterministic) {
+  Rng a(5), b(5);
+  EXPECT_EQ(BitString::random(64, a), BitString::random(64, b));
+}
+
+TEST(BitString, ToString) {
+  BitString s(4);
+  s[1] = 1;
+  EXPECT_EQ(s.to_string(), "0100");
+}
+
+TEST(Bounds, ClampAndSpan) {
+  Bounds b(3, -1.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.clamp(0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(b.clamp(1, -5.0), -1.0);
+  EXPECT_DOUBLE_EQ(b.clamp(2, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(b.span(0), 3.0);
+}
+
+TEST(RealVector, RandomWithinBounds) {
+  Bounds b(10, -2.0, 3.0);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    auto v = RealVector::random(b, rng);
+    ASSERT_EQ(v.size(), 10u);
+    for (std::size_t d = 0; d < v.size(); ++d) {
+      EXPECT_GE(v[d], -2.0);
+      EXPECT_LE(v[d], 3.0);
+    }
+  }
+}
+
+TEST(RealVector, Distance) {
+  RealVector a(std::vector<double>{0.0, 0.0});
+  RealVector b(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.distance(a), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(IntVector, RandomWithinRanges) {
+  IntRanges r(5, -3, 3);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto v = IntVector::random(r, rng);
+    for (std::size_t d = 0; d < v.size(); ++d) {
+      EXPECT_GE(v[d], -3);
+      EXPECT_LE(v[d], 3);
+    }
+  }
+}
+
+TEST(IntRanges, Clamp) {
+  IntRanges r(2, 0, 9);
+  EXPECT_EQ(r.clamp(0, 15), 9);
+  EXPECT_EQ(r.clamp(1, -4), 0);
+}
+
+TEST(Permutation, IdentityIsValid) {
+  Permutation p(10);
+  EXPECT_TRUE(p.is_valid());
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[9], 9u);
+}
+
+TEST(Permutation, RandomIsValidPermutation) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    auto p = Permutation::random(20, rng);
+    EXPECT_TRUE(p.is_valid());
+  }
+}
+
+TEST(Permutation, RandomIsShuffled) {
+  Rng rng(6);
+  auto p = Permutation::random(100, rng);
+  EXPECT_NE(p, Permutation(100));
+}
+
+TEST(Permutation, InvalidDetected) {
+  Permutation p(4);
+  p[0] = 1;  // duplicate of p[1]
+  EXPECT_FALSE(p.is_valid());
+  Permutation q(4);
+  q[2] = 9;  // out of range
+  EXPECT_FALSE(q.is_valid());
+}
+
+TEST(Permutation, PositionOf) {
+  Permutation p(5);
+  std::swap(p.order[1], p.order[3]);
+  EXPECT_EQ(p.position_of(3), 1u);
+  EXPECT_EQ(p.position_of(1), 3u);
+  EXPECT_EQ(p.position_of(0), 0u);
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,182 @@
+// Graph bipartitioning and task-graph scheduling problem tests.
+
+#include <gtest/gtest.h>
+
+#include "core/evolution.hpp"
+#include "problems/graph.hpp"
+#include "problems/scheduling.hpp"
+
+namespace pga::problems {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph bipartitioning
+// ---------------------------------------------------------------------------
+
+TEST(RandomGraph, EdgeCountMatchesProbability) {
+  Rng rng(1);
+  auto g = random_graph(40, 0.3, rng);
+  const double possible = 40.0 * 39.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / possible, 0.3, 0.07);
+}
+
+TEST(PlantedBisection, CrossEdgesAreSparse) {
+  Rng rng(2);
+  auto g = planted_bisection(40, 0.5, 0.05, rng);
+  std::size_t cross = 0;
+  for (const auto& [u, v] : g.edges) cross += ((u < 20) != (v < 20));
+  // Expected cross edges: 400 pairs * 0.05 = 20 of ~ (190+190)*0.5+20.
+  EXPECT_LT(cross, g.num_edges() / 3);
+}
+
+TEST(PlantedBisection, RejectsOddN) {
+  Rng rng(3);
+  EXPECT_THROW(planted_bisection(5, 0.5, 0.1, rng), std::invalid_argument);
+}
+
+TEST(GraphBipartitionProblem, CutAndImbalance) {
+  Graph g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1}, {2, 3}, {1, 2}};
+  GraphBipartition problem(g, 2.0);
+  BitString split(4, 0);
+  split[2] = split[3] = 1;  // {0,1} vs {2,3}: cuts only edge 1-2
+  EXPECT_EQ(problem.cut_size(split), 1u);
+  EXPECT_EQ(problem.imbalance(split), 0);
+  EXPECT_DOUBLE_EQ(problem.fitness(split), -1.0);
+
+  BitString lopsided(4, 0);  // everything on one side: no cut, max imbalance
+  EXPECT_EQ(problem.cut_size(lopsided), 0u);
+  EXPECT_EQ(problem.imbalance(lopsided), 4);
+  EXPECT_DOUBLE_EQ(problem.fitness(lopsided), -8.0);
+}
+
+TEST(GraphBipartitionProblem, PlantedPartitionScoresWell) {
+  Rng rng(4);
+  auto g = planted_bisection(32, 0.6, 0.05, rng);
+  GraphBipartition problem(g);
+  Rng sample_rng(5);
+  double random_total = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    auto mask = BitString::random(32, sample_rng);
+    random_total += problem.fitness(mask);
+  }
+  EXPECT_GT(problem.planted_fitness(), random_total / 50.0);
+}
+
+TEST(GraphBipartitionProblem, GaRecoversPlantedCut) {
+  Rng rng(6);
+  auto g = planted_bisection(32, 0.6, 0.03, rng);
+  GraphBipartition problem(g);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 2);
+  auto pop = Population<BitString>::random(
+      60, [](Rng& r) { return BitString::random(32, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 120;
+  auto result = run(scheme, pop, problem, stop, rng);
+  // Within a small margin of the planted cut quality.
+  EXPECT_GE(result.best.fitness, problem.planted_fitness() - 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph scheduling
+// ---------------------------------------------------------------------------
+
+TEST(LayeredDag, ShapeAndAcyclicity) {
+  Rng rng(7);
+  auto g = random_layered_dag(4, 5, 0.3, rng);
+  EXPECT_EQ(g.num_tasks(), 20u);
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.from / 5, e.to / 5);  // edges go strictly forward by layer
+  }
+}
+
+TEST(TaskSchedulingProblem, SingleProcessorMakespanIsTotalWork) {
+  TaskGraph g;
+  g.compute_cost = {2.0, 3.0, 4.0};
+  g.edges = {{0, 1, 1.0}, {1, 2, 1.0}};
+  TaskScheduling problem(g, 1);
+  Permutation order(3);
+  EXPECT_DOUBLE_EQ(problem.makespan(order), 9.0);
+  EXPECT_DOUBLE_EQ(problem.work_lower_bound(), 9.0);
+}
+
+TEST(TaskSchedulingProblem, TwoIndependentTasksParallelize) {
+  TaskGraph g;
+  g.compute_cost = {5.0, 5.0};
+  TaskScheduling problem(g, 2);
+  Permutation order(2);
+  EXPECT_DOUBLE_EQ(problem.makespan(order), 5.0);
+}
+
+TEST(TaskSchedulingProblem, CommunicationCostCanForceColocation) {
+  // Chain with a huge comm cost: running both tasks on one processor (5+5)
+  // beats splitting (5 + 100 + 5); the greedy decoder must colocate.
+  TaskGraph g;
+  g.compute_cost = {5.0, 5.0};
+  g.edges = {{0, 1, 100.0}};
+  TaskScheduling problem(g, 2);
+  Permutation order(2);
+  EXPECT_DOUBLE_EQ(problem.makespan(order), 10.0);
+}
+
+TEST(TaskSchedulingProblem, PrecedenceRepairHandlesReversedPriority) {
+  TaskGraph g;
+  g.compute_cost = {1.0, 1.0, 1.0};
+  g.edges = {{0, 1, 0.1}, {1, 2, 0.1}};
+  TaskScheduling problem(g, 2);
+  Permutation reversed(3);
+  reversed[0] = 2;
+  reversed[1] = 1;
+  reversed[2] = 0;
+  // Must still produce a legal schedule (0 before 1 before 2).
+  EXPECT_GE(problem.makespan(reversed), 3.0);
+}
+
+TEST(TaskSchedulingProblem, MakespanRespectsBothLowerBounds) {
+  Rng rng(8);
+  auto g = random_layered_dag(5, 4, 0.4, rng);
+  TaskScheduling problem(g, 3);
+  for (int t = 0; t < 50; ++t) {
+    auto order = Permutation::random(20, rng);
+    const double ms = problem.makespan(order);
+    EXPECT_GE(ms, problem.work_lower_bound() - 1e-9);
+    EXPECT_GE(ms, problem.critical_path_lower_bound() - 1e-9);
+  }
+}
+
+TEST(TaskSchedulingProblem, GaImprovesOverRandomPriorities) {
+  Rng rng(9);
+  auto g = random_layered_dag(6, 5, 0.35, rng);
+  TaskScheduling problem(g, 4);
+  // Random baseline.
+  double random_best = 1e18;
+  for (int t = 0; t < 30; ++t)
+    random_best =
+        std::min(random_best, problem.makespan(Permutation::random(30, rng)));
+  // GA.
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::ox();
+  ops.mutate = mutation::swap();
+  GenerationalScheme<Permutation> scheme(ops, 2);
+  auto pop = Population<Permutation>::random(
+      40, [](Rng& r) { return Permutation::random(30, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 60;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_LE(-result.best.fitness, random_best);
+}
+
+TEST(TaskSchedulingProblem, RejectsZeroProcessors) {
+  TaskGraph g;
+  g.compute_cost = {1.0};
+  EXPECT_THROW(TaskScheduling(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pga::problems

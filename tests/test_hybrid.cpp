@@ -1,0 +1,167 @@
+// Hybrid model (islands of master-slave groups) tests.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "comm/inproc.hpp"
+#include "parallel/hybrid.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+
+HybridConfig<BitString> base_config(std::size_t groups, std::size_t bits) {
+  HybridConfig<BitString> cfg;
+  cfg.groups = groups;
+  cfg.topology = Topology::ring(groups);
+  cfg.policy.interval = 5;
+  cfg.policy.count = 1;
+  cfg.deme_size = 24;
+  cfg.generations = 60;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.seed = 31;
+  cfg.make_genome = [bits](Rng& r) { return BitString::random(bits, r); };
+  return cfg;
+}
+
+template <class Cluster>
+std::vector<HybridReport<BitString>> run_on(Cluster& cluster,
+                                            const OneMax& problem,
+                                            const HybridConfig<BitString>& cfg,
+                                            int ranks) {
+  std::vector<HybridReport<BitString>> reports(static_cast<std::size_t>(ranks));
+  std::mutex mu;
+  cluster.run([&](comm::Transport& t) {
+    auto rep = run_hybrid_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    reports[static_cast<std::size_t>(t.rank())] = std::move(rep);
+  });
+  return reports;
+}
+
+TEST(Hybrid, GroupAndLeaderAssignment) {
+  using hybrid_detail::group_of;
+  using hybrid_detail::leader_of;
+  // 8 ranks, 2 groups -> groups of 4; leaders 0 and 4.
+  EXPECT_EQ(group_of(0, 8, 2), 0u);
+  EXPECT_EQ(group_of(3, 8, 2), 0u);
+  EXPECT_EQ(group_of(4, 8, 2), 1u);
+  EXPECT_EQ(group_of(7, 8, 2), 1u);
+  EXPECT_EQ(leader_of(0, 8, 2), 0);
+  EXPECT_EQ(leader_of(1, 8, 2), 4);
+  // Remainder ranks join the last group: 7 ranks, 3 groups (per = 2).
+  EXPECT_EQ(group_of(6, 7, 3), 2u);
+}
+
+TEST(Hybrid, SolvesOneMaxOnThreads) {
+  OneMax problem(48);
+  auto cfg = base_config(2, 48);
+  comm::InprocCluster cluster(8);  // 2 groups x (1 leader + 3 slaves)
+  auto reports = run_on(cluster, problem, cfg, 8);
+  int leaders = 0;
+  double best = 0.0;
+  std::size_t slave_evals = 0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    if (reports[r].is_leader) {
+      ++leaders;
+      best = std::max(best, reports[r].best.fitness);
+      EXPECT_EQ(reports[r].generations, 60u);
+    } else {
+      slave_evals += reports[r].evaluations;
+    }
+  }
+  EXPECT_EQ(leaders, 2);
+  EXPECT_GE(best, 46.0);          // near-solves OneMax(48)
+  EXPECT_GT(slave_evals, 1000u);  // slaves actually carried the evaluation load
+}
+
+TEST(Hybrid, LeaderOnlyGroupsFallBackToLocalEvaluation) {
+  OneMax problem(24);
+  auto cfg = base_config(3, 24);
+  cfg.generations = 30;
+  comm::InprocCluster cluster(3);  // three 1-rank groups
+  auto reports = run_on(cluster, problem, cfg, 3);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.is_leader);
+    EXPECT_GT(r.evaluations, 0u);  // evaluated locally
+  }
+}
+
+TEST(Hybrid, RunsOnSimulatorAndSlavesCutLeaderTime) {
+  OneMax problem(32);
+  auto time_with_ranks = [&](int ranks, std::size_t groups) {
+    auto cfg = base_config(groups, 32);
+    cfg.generations = 20;
+    cfg.eval_cost_s = 1e-3;
+    sim::SimCluster cluster(
+        sim::homogeneous(ranks, sim::NetworkModel::shared_memory()));
+    auto report = cluster.run([&](comm::Transport& t) {
+      (void)run_hybrid_rank(t, problem, cfg);
+    });
+    EXPECT_TRUE(report.all_completed());
+    return report.makespan;
+  };
+  const double leaders_only = time_with_ranks(2, 2);
+  const double with_slaves = time_with_ranks(8, 2);
+  EXPECT_LT(with_slaves, leaders_only);
+}
+
+TEST(Hybrid, RejectsBadConfigurations) {
+  OneMax problem(8);
+  auto cfg = base_config(4, 8);
+  comm::InprocCluster small(2);  // fewer ranks than groups
+  int failures = 0;
+  std::mutex mu;
+  small.run([&](comm::Transport& t) {
+    try {
+      (void)run_hybrid_rank(t, problem, cfg);
+    } catch (const std::invalid_argument&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 2);
+
+  auto mismatched = base_config(2, 8);
+  mismatched.topology = Topology::ring(3);
+  comm::InprocCluster cluster(4);
+  failures = 0;
+  cluster.run([&](comm::Transport& t) {
+    try {
+      (void)run_hybrid_rank(t, problem, mismatched);
+    } catch (const std::invalid_argument&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 4);
+}
+
+TEST(Hybrid, DeterministicOnSimulator) {
+  OneMax problem(24);
+  auto cfg = base_config(2, 24);
+  cfg.generations = 15;
+  cfg.eval_cost_s = 1e-4;
+  auto once = [&] {
+    sim::SimCluster cluster(
+        sim::homogeneous(6, sim::NetworkModel::gigabit_ethernet()));
+    double best = 0.0;
+    std::mutex mu;
+    cluster.run([&](comm::Transport& t) {
+      auto rep = run_hybrid_rank(t, problem, cfg);
+      std::lock_guard<std::mutex> lock(mu);
+      if (rep.is_leader) best = std::max(best, rep.best.fitness);
+    });
+    return best;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,122 @@
+// Synthetic-image registration workload tests.
+
+#include <gtest/gtest.h>
+
+#include "workloads/images.hpp"
+
+namespace pga::workloads {
+namespace {
+
+TEST(ImageClass, BilinearSampleInterpolates) {
+  Image img(2, 2);
+  img.at(0, 0) = 0.0;
+  img.at(1, 0) = 1.0;
+  img.at(0, 1) = 0.0;
+  img.at(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(img.sample(0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(img.sample(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(img.sample(1.0, 1.0), 1.0);
+}
+
+TEST(ImageClass, OutOfBoundsSamplesZero) {
+  Image img(4, 4, 1.0);
+  EXPECT_DOUBLE_EQ(img.sample(-0.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(img.sample(2.0, 5.0), 0.0);
+}
+
+TEST(ImageClass, DownsampleHalvesAndAverages) {
+  Image img(4, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) img.at(x, y) = static_cast<double>(x < 2);
+  auto small = img.downsample();
+  EXPECT_EQ(small.width(), 2u);
+  EXPECT_EQ(small.height(), 2u);
+  EXPECT_DOUBLE_EQ(small.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(small.at(1, 0), 0.0);
+}
+
+TEST(TexturedImage, PixelsInRangeAndNonConstant) {
+  Rng rng(1);
+  auto img = make_textured_image(32, 32, 10, rng);
+  double lo = 1.0, hi = 0.0;
+  for (double v : img.pixels()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.1);
+}
+
+TEST(Ncc, IdentityTransformOnCleanCopyIsPerfect) {
+  Rng rng(2);
+  auto ref = make_textured_image(32, 32, 8, rng);
+  auto sensed = apply_transform(ref, {0.0, 0.0, 0.0}, 0.0, rng);
+  EXPECT_NEAR(ncc(ref, sensed, {0.0, 0.0, 0.0}), 1.0, 1e-6);
+}
+
+TEST(Ncc, TrueTransformScoresHigherThanWrongOne) {
+  Rng rng(3);
+  auto ref = make_textured_image(48, 48, 12, rng);
+  const RigidTransform truth{3.0, -2.0, 0.1};
+  auto sensed = apply_transform(ref, truth, 0.01, rng);
+  const double at_truth = ncc(ref, sensed, truth);
+  const double at_identity = ncc(ref, sensed, {0.0, 0.0, 0.0});
+  const double far_off = ncc(ref, sensed, {-6.0, 5.0, -0.2});
+  EXPECT_GT(at_truth, 0.9);
+  EXPECT_GT(at_truth, at_identity);
+  EXPECT_GT(at_truth, far_off);
+}
+
+TEST(Ncc, NoOverlapReturnsSentinel) {
+  Rng rng(4);
+  auto ref = make_textured_image(16, 16, 4, rng);
+  auto sensed = apply_transform(ref, {0.0, 0.0, 0.0}, 0.0, rng);
+  EXPECT_DOUBLE_EQ(ncc(ref, sensed, {100.0, 100.0, 0.0}), -1.0);
+}
+
+TEST(RegistrationProblemClass, FitnessPeaksNearTruth) {
+  Rng rng(5);
+  auto ref = make_textured_image(32, 32, 10, rng);
+  const RigidTransform truth{2.0, 1.0, 0.05};
+  auto sensed = apply_transform(ref, truth, 0.01, rng);
+  RegistrationProblem problem(ref, sensed, 8.0, 0.3);
+  RealVector at_truth(std::vector<double>{2.0, 1.0, 0.05});
+  RealVector wrong(std::vector<double>{-4.0, 4.0, -0.2});
+  EXPECT_GT(problem.fitness(at_truth), problem.fitness(wrong));
+  EXPECT_GT(problem.fitness(at_truth), 0.85);
+}
+
+TEST(RegistrationProblemClass, DecodeRoundTrip) {
+  RealVector g(std::vector<double>{1.5, -2.5, 0.07});
+  auto t = RegistrationProblem::decode(g);
+  EXPECT_DOUBLE_EQ(t.dx, 1.5);
+  EXPECT_DOUBLE_EQ(t.dy, -2.5);
+  EXPECT_DOUBLE_EQ(t.angle, 0.07);
+}
+
+TEST(RegistrationProblemClass, CoarserLevelHalvesShiftBounds) {
+  Rng rng(6);
+  auto ref = make_textured_image(32, 32, 8, rng);
+  auto sensed = apply_transform(ref, {1.0, 1.0, 0.0}, 0.0, rng);
+  RegistrationProblem fine(ref, sensed, 8.0, 0.3);
+  auto coarse = fine.coarser();
+  EXPECT_DOUBLE_EQ(coarse.bounds().upper[0], 4.0);
+  EXPECT_DOUBLE_EQ(coarse.bounds().upper[2], 0.3);  // angles unchanged
+}
+
+TEST(RegistrationProblemClass, CoarseLevelStillRanksTruthHighly) {
+  Rng rng(7);
+  auto ref = make_textured_image(64, 64, 16, rng);
+  const RigidTransform truth{4.0, -3.0, 0.08};
+  auto sensed = apply_transform(ref, truth, 0.02, rng);
+  RegistrationProblem fine(ref, sensed, 10.0, 0.3);
+  auto coarse = fine.coarser();
+  // At half resolution the same transform has halved pixel shifts.
+  RealVector coarse_truth(std::vector<double>{2.0, -1.5, 0.08});
+  RealVector coarse_wrong(std::vector<double>{-3.0, 3.0, -0.25});
+  EXPECT_GT(coarse.fitness(coarse_truth), coarse.fitness(coarse_wrong));
+}
+
+}  // namespace
+}  // namespace pga::workloads

@@ -1,0 +1,206 @@
+// In-process (thread) transport tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/inproc.hpp"
+#include "comm/serialize.hpp"
+
+namespace pga::comm {
+namespace {
+
+TEST(Inproc, RejectsZeroRanks) {
+  EXPECT_THROW(InprocCluster(0), std::invalid_argument);
+}
+
+TEST(Inproc, RanksSeeCorrectIdentity) {
+  InprocCluster cluster(4);
+  std::atomic<int> rank_sum{0};
+  auto reports = cluster.run([&](Transport& t) {
+    EXPECT_EQ(t.world_size(), 4);
+    rank_sum += t.rank();
+  });
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+  for (const auto& r : reports) EXPECT_TRUE(r.completed);
+}
+
+TEST(Inproc, PingPong) {
+  InprocCluster cluster(2);
+  auto reports = cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      ByteWriter w;
+      w.write<int>(41);
+      t.send(1, /*tag=*/7, std::move(w).take());
+      auto reply = t.recv(1, 8);
+      ASSERT_TRUE(reply.has_value());
+      ByteReader r(reply->payload);
+      EXPECT_EQ(r.read<int>(), 42);
+    } else {
+      auto msg = t.recv(0, 7);
+      ASSERT_TRUE(msg.has_value());
+      ByteReader r(msg->payload);
+      ByteWriter w;
+      w.write<int>(r.read<int>() + 1);
+      t.send(0, 8, std::move(w).take());
+    }
+  });
+  for (const auto& r : reports) EXPECT_TRUE(r.completed) << r.error;
+}
+
+TEST(Inproc, AnySourceReceivesFromAll) {
+  constexpr int kWorkers = 5;
+  InprocCluster cluster(kWorkers + 1);
+  cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      std::vector<bool> seen(kWorkers + 1, false);
+      for (int i = 0; i < kWorkers; ++i) {
+        auto m = t.recv(Transport::kAnySource, 1);
+        ASSERT_TRUE(m.has_value());
+        seen[static_cast<std::size_t>(m->source)] = true;
+      }
+      for (int w = 1; w <= kWorkers; ++w) EXPECT_TRUE(seen[static_cast<std::size_t>(w)]);
+    } else {
+      t.send(0, 1, {});
+    }
+  });
+}
+
+TEST(Inproc, TagFilteringIsSelective) {
+  InprocCluster cluster(2);
+  cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      t.send(1, /*tag=*/10, pack(RealVector(std::vector<double>{1.0})));
+      t.send(1, /*tag=*/20, pack(RealVector(std::vector<double>{2.0})));
+    } else {
+      // Receive tag 20 first even though tag 10 was sent first.
+      auto m20 = t.recv(0, 20);
+      ASSERT_TRUE(m20.has_value());
+      EXPECT_DOUBLE_EQ(unpack<RealVector>(m20->payload)[0], 2.0);
+      auto m10 = t.recv(0, 10);
+      ASSERT_TRUE(m10.has_value());
+      EXPECT_DOUBLE_EQ(unpack<RealVector>(m10->payload)[0], 1.0);
+    }
+  });
+}
+
+TEST(Inproc, TryRecvNonBlocking) {
+  InprocCluster cluster(1);
+  cluster.run([&](Transport& t) {
+    EXPECT_FALSE(t.try_recv().has_value());
+    t.send(0, 3, {});  // self-send
+    auto m = t.try_recv(0, 3);
+    EXPECT_TRUE(m.has_value());
+  });
+}
+
+TEST(Inproc, RecvReturnsNulloptWhenAllSendersGone) {
+  InprocCluster cluster(3);
+  auto reports = cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      // Both peers exit immediately; a blocking recv must not deadlock.
+      auto m = t.recv();
+      EXPECT_FALSE(m.has_value());
+    }
+  });
+  EXPECT_TRUE(reports[0].completed);
+}
+
+TEST(Inproc, RecvTimeoutExpires) {
+  InprocCluster cluster(2);
+  cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      const auto m = t.recv_timeout(0.05, 1, 9);
+      EXPECT_FALSE(m.has_value());
+      t.send(1, 1, {});  // release peer
+    } else {
+      auto m = t.recv(0, 1);
+      EXPECT_TRUE(m.has_value());
+    }
+  });
+}
+
+TEST(Inproc, RecvTimeoutDeliversEarlyArrival) {
+  InprocCluster cluster(2);
+  cluster.run([&](Transport& t) {
+    if (t.rank() == 0) {
+      auto m = t.recv_timeout(5.0, 1, 2);
+      EXPECT_TRUE(m.has_value());
+    } else {
+      t.send(0, 2, {});
+    }
+  });
+}
+
+TEST(Inproc, ExceptionInOneRankIsIsolated) {
+  InprocCluster cluster(2);
+  auto reports = cluster.run([&](Transport& t) {
+    if (t.rank() == 1) throw std::runtime_error("worker exploded");
+    // Rank 0 recv unblocks via shutdown rather than deadlocking.
+    (void)t.recv();
+  });
+  EXPECT_TRUE(reports[0].completed);
+  EXPECT_FALSE(reports[1].completed);
+  EXPECT_EQ(reports[1].error, "worker exploded");
+}
+
+TEST(Inproc, DeclaredComputeIsAccumulated) {
+  InprocCluster cluster(2);
+  auto reports = cluster.run([&](Transport& t) {
+    t.compute(0.25);
+    t.compute(0.5);
+  });
+  for (const auto& r : reports) EXPECT_DOUBLE_EQ(r.declared_compute, 0.75);
+}
+
+TEST(Inproc, ManyMessagesArriveInOrderPerPair) {
+  InprocCluster cluster(2);
+  cluster.run([&](Transport& t) {
+    constexpr int kCount = 200;
+    if (t.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        ByteWriter w;
+        w.write<int>(i);
+        t.send(1, 1, std::move(w).take());
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        auto m = t.recv(0, 1);
+        ASSERT_TRUE(m.has_value());
+        ByteReader r(m->payload);
+        EXPECT_EQ(r.read<int>(), i);  // FIFO per sender
+      }
+    }
+  });
+}
+
+TEST(Inproc, AllToAllStress) {
+  constexpr int kRanks = 6;
+  InprocCluster cluster(kRanks);
+  auto reports = cluster.run([&](Transport& t) {
+    for (int d = 0; d < kRanks; ++d) {
+      if (d == t.rank()) continue;
+      ByteWriter w;
+      w.write<int>(t.rank() * 100 + d);
+      t.send(d, 5, std::move(w).take());
+    }
+    int received = 0;
+    long long sum = 0;
+    while (received < kRanks - 1) {
+      auto m = t.recv(Transport::kAnySource, 5);
+      ASSERT_TRUE(m.has_value());
+      ByteReader r(m->payload);
+      sum += r.read<int>();
+      ++received;
+    }
+    long long expected = 0;
+    for (int s = 0; s < kRanks; ++s)
+      if (s != t.rank()) expected += s * 100 + t.rank();
+    EXPECT_EQ(sum, expected);
+  });
+  for (const auto& r : reports) EXPECT_TRUE(r.completed) << r.error;
+}
+
+}  // namespace
+}  // namespace pga::comm

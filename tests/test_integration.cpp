@@ -1,0 +1,241 @@
+// Cross-module integration tests: pipelines a downstream user would build,
+// exercising several subsystems together.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+
+#include "comm/inproc.hpp"
+#include "core/checkpoint.hpp"
+#include "core/diversity.hpp"
+#include "core/encoding.hpp"
+#include "core/local_search.hpp"
+#include "core/scaling.hpp"
+#include "core/trace.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+#include "problems/tsp.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+TEST(Integration, BinaryEncodedSphereOnIslands) {
+  // Binary GA + Gray codec + island model: the classic 1990s pipeline.
+  problems::Sphere sphere(4);
+  BinaryRealCodec codec(sphere.bounds(), 10);
+  BinaryEncodedProblem<problems::Sphere> encoded(sphere, codec);
+
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  MigrationPolicy policy;
+  policy.interval = 6;
+  auto model = make_uniform_island_model<BitString>(Topology::ring(4), policy, ops);
+  Rng rng(1);
+  const std::size_t len = codec.genome_length();
+  auto pops = model.make_populations(
+      25, [len](Rng& r) { return BitString::random(len, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 80;
+  auto result = model.run(pops, encoded, stop, rng);
+  EXPECT_LT(sphere.objective(codec.decode(result.best.genome)), 0.5);
+}
+
+TEST(Integration, MemeticIslandsOnTsp) {
+  // Islands whose demes run a memetic scheme (OX + hill-climbing via swap
+  // proposals) on a ring TSP with a known optimum.
+  auto tsp = problems::Tsp::ring(18);
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::erx();
+  ops.mutate = mutation::inversion();
+  std::vector<std::unique_ptr<EvolutionScheme<Permutation>>> schemes;
+  for (int d = 0; d < 3; ++d) {
+    schemes.push_back(std::make_unique<MemeticScheme<Permutation>>(
+        std::make_unique<GenerationalScheme<Permutation>>(ops, 1),
+        local_search::mutation_hill_climb<Permutation>(mutation::inversion()),
+        4, MemeticMode::kLamarckian));
+  }
+  MigrationPolicy policy;
+  policy.interval = 5;
+  IslandModel<Permutation> model(Topology::ring(3), policy, std::move(schemes));
+  Rng rng(2);
+  auto pops = model.make_populations(
+      20, [](Rng& r) { return Permutation::random(18, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 120;
+  stop.target_fitness = *tsp.optimum_fitness();
+  stop.target_tolerance = 1e-6;
+  auto result = model.run(pops, tsp, stop, rng);
+  EXPECT_TRUE(result.reached_target)
+      << "best tour " << -result.best.fitness << " vs optimum "
+      << -*tsp.optimum_fitness();
+}
+
+TEST(Integration, ScaledSelectionInsideEngine) {
+  // Rank-scaled roulette plugged into the generational engine.
+  problems::OneMax problem(48);
+  Operators<BitString> ops;
+  ops.select = scaled(scaling::ranked(), selection::roulette());
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  Rng rng(3);
+  auto pop = Population<BitString>::random(
+      40, [](Rng& r) { return BitString::random(48, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 200;
+  stop.target_fitness = 48.0;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(Integration, CheckpointAcrossIslandEpochs) {
+  // Save all demes mid-run, restore into a fresh model, finish the search.
+  problems::OneMax problem(40);
+  MigrationPolicy policy;
+  policy.interval = 4;
+  auto ops = [] {
+    Operators<BitString> o;
+    o.select = selection::tournament(2);
+    o.cross = crossover::two_point<BitString>();
+    o.mutate = mutation::bit_flip();
+    return o;
+  }();
+  auto model = make_uniform_island_model<BitString>(Topology::ring(3), policy, ops);
+  Rng rng(4);
+  auto pops = model.make_populations(
+      20, [](Rng& r) { return BitString::random(40, r); }, rng);
+  StopCondition half;
+  half.max_generations = 10;
+  half.target_fitness = 1e9;
+  (void)model.run(pops, problem, half, rng);
+
+  // Round-trip every deme through checkpoint files.
+  std::vector<Population<BitString>> restored;
+  for (std::size_t d = 0; d < pops.size(); ++d) {
+    const auto path = (std::filesystem::temp_directory_path() /
+                       ("pga_integ_" + std::to_string(d) + ".bin"))
+                          .string();
+    save_checkpoint(pops[d], path);
+    restored.push_back(load_checkpoint<BitString>(path));
+    std::remove(path.c_str());
+  }
+
+  auto model2 = make_uniform_island_model<BitString>(Topology::ring(3), policy, ops);
+  StopCondition rest;
+  rest.max_generations = 300;
+  rest.target_fitness = 40.0;
+  Rng rng2(5);
+  auto result = model2.run(restored, problem, rest, rng2);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(Integration, DistributedIslandWithFailingDemesStillDelivers) {
+  // Failure injection + distributed islands: two demes die; the survivors'
+  // answer is still collected and sane.
+  problems::OneMax problem(32);
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(5);
+  cfg.policy.interval = 4;
+  cfg.deme_size = 15;
+  cfg.stop.max_generations = 60;
+  cfg.stop.target_fitness = 1e9;
+  cfg.async = true;
+  cfg.eval_cost_s = 1e-4;
+  cfg.seed = 6;
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+
+  auto sim_cfg = sim::homogeneous(5, sim::NetworkModel::fast_ethernet());
+  sim_cfg.nodes[1].fail_at = 0.02;
+  sim_cfg.nodes[3].fail_at = 0.05;
+  sim::SimCluster cluster(sim_cfg);
+  double best = 0.0;
+  int finished = 0;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto rep = run_island_rank(t, problem, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    best = std::max(best, rep.best.fitness);
+    ++finished;
+  });
+  EXPECT_TRUE(report.ranks[1].died);
+  EXPECT_TRUE(report.ranks[3].died);
+  EXPECT_EQ(finished, 3);  // the three survivors returned
+  EXPECT_GE(best, 28.0);   // and kept searching effectively
+}
+
+TEST(Integration, TraceDiversityAndHistoryTogether) {
+  // Record history with the run driver, convert to CSV, parse back, and
+  // cross-check against live diversity computation.
+  problems::OneMax problem(24);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  Rng rng(7);
+  auto pop = Population<BitString>::random(
+      30, [](Rng& r) { return BitString::random(24, r); }, rng);
+  const double initial_entropy = diversity::bit_entropy(pop);
+  StopCondition stop;
+  stop.max_generations = 25;
+  auto result = run(scheme, pop, problem, stop, rng, /*record_history=*/true);
+  const double final_entropy = diversity::bit_entropy(pop);
+  EXPECT_LT(final_entropy, initial_entropy);  // selection consumed diversity
+
+  const auto restored = history_from_csv(history_to_csv(result.history));
+  ASSERT_EQ(restored.size(), result.history.size());
+  EXPECT_DOUBLE_EQ(restored.back().best, pop.best_fitness());
+}
+
+TEST(Integration, SameIslandRunOnThreadsAndSimulatorAgreesOnSearch) {
+  // The search trajectory depends only on seeds, not on the transport: the
+  // best fitness from InprocCluster and SimCluster runs must agree for a
+  // fixed-budget isolated-island run (no message races involved).
+  problems::OneMax problem(32);
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::isolated(3);
+  cfg.policy.interval = 0;
+  cfg.deme_size = 12;
+  cfg.stop.max_generations = 25;
+  cfg.stop.target_fitness = 1e9;
+  cfg.seed = 8;
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+
+  auto collect = [&](auto& cluster) {
+    std::vector<double> best(3, 0.0);
+    std::mutex mu;
+    cluster.run([&](comm::Transport& t) {
+      auto rep = run_island_rank(t, problem, cfg);
+      std::lock_guard<std::mutex> lock(mu);
+      best[static_cast<std::size_t>(t.rank())] = rep.best.fitness;
+    });
+    return best;
+  };
+  comm::InprocCluster threads(3);
+  sim::SimCluster simulated(sim::homogeneous(3, sim::NetworkModel::myrinet()));
+  EXPECT_EQ(collect(threads), collect(simulated));
+}
+
+}  // namespace
+}  // namespace pga

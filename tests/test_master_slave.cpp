@@ -1,0 +1,221 @@
+// Master-slave model: correctness, dispatch modes, fault tolerance.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <optional>
+
+#include "comm/inproc.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+
+MasterSlaveConfig<BitString> base_config(std::size_t bits) {
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 40;
+  cfg.stop.max_generations = 150;
+  cfg.stop.target_fitness = static_cast<double>(bits);
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.seed = 21;
+  cfg.make_genome = [bits](Rng& r) { return BitString::random(bits, r); };
+  return cfg;
+}
+
+template <class Cluster>
+MasterResult<BitString> run_ms(Cluster& cluster, const OneMax& problem,
+                               const MasterSlaveConfig<BitString>& cfg) {
+  std::optional<MasterResult<BitString>> result;
+  std::mutex mu;
+  cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+  });
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+TEST(MasterSlave, SolvesOneMaxOnThreads) {
+  OneMax problem(32);
+  auto cfg = base_config(32);
+  comm::InprocCluster cluster(4);  // master + 3 slaves
+  auto result = run_ms(cluster, problem, cfg);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_DOUBLE_EQ(result.best.fitness, 32.0);
+  EXPECT_EQ(result.slaves_lost, 0u);
+  EXPECT_EQ(result.local_evaluations, 0u);
+}
+
+TEST(MasterSlave, SingleRankFallsBackToLocalEvaluation) {
+  OneMax problem(24);
+  auto cfg = base_config(24);
+  comm::InprocCluster cluster(1);
+  auto result = run_ms(cluster, problem, cfg);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.local_evaluations, result.evaluations);
+}
+
+TEST(MasterSlave, SynchronousModeSolves) {
+  OneMax problem(32);
+  auto cfg = base_config(32);
+  cfg.mode = DispatchMode::kSynchronous;
+  cfg.chunk_size = 4;
+  comm::InprocCluster cluster(3);
+  auto result = run_ms(cluster, problem, cfg);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(MasterSlave, ChunkSizesProduceSameSearchTrajectory) {
+  // Chunking changes communication, not evolution: with the same seed, the
+  // master's variation stream is identical, so results agree.
+  OneMax problem(24);
+  auto run_chunk = [&](std::size_t chunk) {
+    auto cfg = base_config(24);
+    cfg.stop.max_generations = 20;
+    cfg.stop.target_fitness = 1e9;
+    cfg.chunk_size = chunk;
+    comm::InprocCluster cluster(3);
+    return run_ms(cluster, problem, cfg);
+  };
+  const auto r1 = run_chunk(1);
+  const auto r4 = run_chunk(4);
+  EXPECT_DOUBLE_EQ(r1.best.fitness, r4.best.fitness);
+  EXPECT_EQ(r1.evaluations, r4.evaluations);
+}
+
+TEST(MasterSlave, RunsOnSimulatorWithTiming) {
+  OneMax problem(24);
+  auto cfg = base_config(24);
+  cfg.eval_cost_s = 1e-3;
+  cfg.stop.max_generations = 10;
+  cfg.stop.target_fitness = 1e9;
+  sim::SimCluster cluster(sim::homogeneous(5, sim::NetworkModel::gigabit_ethernet()));
+  std::optional<MasterResult<BitString>> result;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+  });
+  EXPECT_TRUE(report.all_completed());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->generations, 10u);
+  // 4 slaves share the evaluation load; makespan must be well under the
+  // sequential cost and above the perfectly-parallel bound.
+  const double seq_cost =
+      static_cast<double>(result->evaluations) * cfg.eval_cost_s;
+  EXPECT_LT(report.makespan, seq_cost);
+  EXPECT_GT(report.makespan, seq_cost / 4.0);
+}
+
+TEST(MasterSlave, MoreSlavesReduceSimulatedTime) {
+  OneMax problem(24);
+  auto time_with = [&](int ranks) {
+    auto cfg = base_config(24);
+    cfg.eval_cost_s = 5e-3;
+    cfg.stop.max_generations = 8;
+    cfg.stop.target_fitness = 1e9;
+    sim::SimCluster cluster(
+        sim::homogeneous(ranks, sim::NetworkModel::myrinet()));
+    double makespan = 0.0;
+    std::mutex mu;
+    auto report = cluster.run([&](comm::Transport& t) {
+      (void)run_master_slave_rank(t, problem, cfg);
+    });
+    makespan = report.makespan;
+    return makespan;
+  };
+  const double t2 = time_with(3);   // 2 slaves
+  const double t8 = time_with(9);   // 8 slaves
+  EXPECT_LT(t8, t2);
+}
+
+TEST(MasterSlave, FaultToleranceSurvivesSlaveDeath) {
+  OneMax problem(32);
+  auto cfg = base_config(32);
+  cfg.eval_cost_s = 1e-3;
+  cfg.timeout_s = 0.5;  // failure detector
+  cfg.stop.max_generations = 30;
+  cfg.stop.target_fitness = 1e9;
+  auto sim_cfg = sim::homogeneous(4, sim::NetworkModel::gigabit_ethernet());
+  sim_cfg.nodes[2].fail_at = 0.05;  // one slave dies early
+  sim::SimCluster cluster(sim_cfg);
+  std::optional<MasterResult<BitString>> result;
+  std::mutex mu;
+  auto report = cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(report.ranks[2].died);
+  EXPECT_TRUE(report.ranks[0].completed);       // master finished
+  EXPECT_EQ(result->generations, 30u);          // full run despite the loss
+  EXPECT_GE(result->slaves_lost, 1u);
+}
+
+TEST(MasterSlave, SurvivesAllSlavesDying) {
+  // Transparency: with every slave dead the master degrades to local
+  // evaluation and still completes.
+  OneMax problem(16);
+  auto cfg = base_config(16);
+  cfg.eval_cost_s = 1e-4;
+  cfg.timeout_s = 0.2;
+  cfg.stop.max_generations = 10;
+  cfg.stop.target_fitness = 1e9;
+  auto sim_cfg = sim::homogeneous(3, sim::NetworkModel::gigabit_ethernet());
+  sim_cfg.nodes[1].fail_at = 0.01;
+  sim_cfg.nodes[2].fail_at = 0.02;
+  sim::SimCluster cluster(sim_cfg);
+  std::optional<MasterResult<BitString>> result;
+  std::mutex mu;
+  cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+  });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->generations, 10u);
+  EXPECT_EQ(result->slaves_lost, 2u);
+  EXPECT_GT(result->local_evaluations, 0u);
+}
+
+TEST(MasterSlave, AsyncBalancesHeterogeneousSlaves) {
+  // Self-balancing dispatch: a 4x-slower slave should not quadruple the
+  // makespan when the fast slave can absorb the work.
+  OneMax problem(24);
+  auto run_mode = [&](DispatchMode mode) {
+    auto cfg = base_config(24);
+    cfg.eval_cost_s = 2e-3;
+    cfg.mode = mode;
+    cfg.stop.max_generations = 10;
+    cfg.stop.target_fitness = 1e9;
+    auto sim_cfg = sim::homogeneous(3, sim::NetworkModel::myrinet());
+    sim_cfg.nodes[2].speed = 0.25;
+    sim::SimCluster cluster(sim_cfg);
+    auto report = cluster.run([&](comm::Transport& t) {
+      (void)run_master_slave_rank(t, problem, cfg);
+    });
+    return report.makespan;
+  };
+  EXPECT_LE(run_mode(DispatchMode::kAsynchronous),
+            run_mode(DispatchMode::kSynchronous));
+}
+
+}  // namespace
+}  // namespace pga

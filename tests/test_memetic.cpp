@@ -1,0 +1,148 @@
+// Local search and memetic scheme tests.
+
+#include <gtest/gtest.h>
+
+#include "core/local_search.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+
+namespace pga {
+namespace {
+
+using problems::OneMax;
+
+TEST(BitHillClimb, ImprovesOneMax) {
+  OneMax problem(64);
+  Rng rng(1);
+  Individual<BitString> ind(BitString(64, 0), 0.0);
+  ind.evaluated = true;
+  auto ls = local_search::bit_hill_climb();
+  const std::size_t evals = ls(ind, problem, 200, rng);
+  EXPECT_EQ(evals, 200u);
+  EXPECT_GT(ind.fitness, 40.0);  // most random flips on zeros improve
+  EXPECT_DOUBLE_EQ(ind.fitness, problem.fitness(ind.genome));  // consistent
+}
+
+TEST(BitHillClimb, NeverWorsens) {
+  OneMax problem(32);
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    auto g = BitString::random(32, rng);
+    Individual<BitString> ind(std::move(g));
+    ind.fitness = problem.fitness(ind.genome);
+    ind.evaluated = true;
+    const double before = ind.fitness;
+    local_search::bit_hill_climb()(ind, problem, 50, rng);
+    EXPECT_GE(ind.fitness, before);
+  }
+}
+
+TEST(MutationHillClimb, ImprovesSphere) {
+  problems::Sphere problem(6);
+  Rng rng(3);
+  Individual<RealVector> ind(RealVector(6, 3.0));
+  ind.fitness = problem.fitness(ind.genome);
+  ind.evaluated = true;
+  auto ls = local_search::mutation_hill_climb<RealVector>(
+      mutation::gaussian(problem.bounds(), 0.05, 1.0));
+  const double before = ind.fitness;
+  ls(ind, problem, 300, rng);
+  EXPECT_GT(ind.fitness, before);
+  EXPECT_DOUBLE_EQ(ind.fitness, problem.fitness(ind.genome));
+}
+
+Operators<BitString> onemax_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  return ops;
+}
+
+TEST(Memetic, LamarckianSolvesInFewerGenerations) {
+  // Local search trades evaluations for per-generation progress: the memetic
+  // scheme must reach the optimum in clearly fewer generations (its raw
+  // evaluation count is higher — that is the classic memetic trade-off).
+  OneMax problem(96);
+  auto gens_to_solve = [&](bool memetic, std::uint64_t seed) {
+    Rng rng(seed);
+    auto pop = Population<BitString>::random(
+        20, [](Rng& r) { return BitString::random(96, r); }, rng);
+    std::unique_ptr<EvolutionScheme<BitString>> scheme =
+        std::make_unique<GenerationalScheme<BitString>>(onemax_ops(), 1);
+    if (memetic)
+      scheme = std::make_unique<MemeticScheme<BitString>>(
+          std::move(scheme), local_search::bit_hill_climb(), 10,
+          MemeticMode::kLamarckian);
+    StopCondition stop;
+    stop.max_generations = 500;
+    stop.target_fitness = 96.0;
+    auto result = run(*scheme, pop, problem, stop, rng);
+    EXPECT_TRUE(result.reached_target);
+    return result.generations;
+  };
+  double plain = 0.0, memetic = 0.0;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    plain += static_cast<double>(gens_to_solve(false, s));
+    memetic += static_cast<double>(gens_to_solve(true, s));
+  }
+  EXPECT_LT(memetic, plain * 0.8);
+}
+
+TEST(Memetic, BaldwinianKeepsGenomesButLearnsFitness) {
+  OneMax problem(32);
+  Rng rng(5);
+  auto pop = Population<BitString>::random(
+      10, [](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  MemeticScheme<BitString> scheme(
+      std::make_unique<GenerationalScheme<BitString>>(onemax_ops(), 10),
+      local_search::bit_hill_climb(), 20, MemeticMode::kBaldwinian);
+  scheme.step(pop, problem, rng);
+  // Baldwinian: stored fitness may exceed the genome's raw fitness.
+  bool learned = false;
+  for (const auto& ind : pop)
+    learned |= (ind.fitness > problem.fitness(ind.genome));
+  EXPECT_TRUE(learned);
+}
+
+TEST(Memetic, LamarckianGenomesMatchTheirFitness) {
+  OneMax problem(32);
+  Rng rng(6);
+  auto pop = Population<BitString>::random(
+      10, [](Rng& r) { return BitString::random(32, r); }, rng);
+  pop.evaluate_all(problem);
+  MemeticScheme<BitString> scheme(
+      std::make_unique<GenerationalScheme<BitString>>(onemax_ops(), 1),
+      local_search::bit_hill_climb(), 20, MemeticMode::kLamarckian);
+  scheme.step(pop, problem, rng);
+  for (const auto& ind : pop)
+    EXPECT_DOUBLE_EQ(ind.fitness, problem.fitness(ind.genome));
+}
+
+TEST(Memetic, NameReflectsMode) {
+  MemeticScheme<BitString> lam(
+      std::make_unique<GenerationalScheme<BitString>>(onemax_ops()),
+      local_search::bit_hill_climb(), 5, MemeticMode::kLamarckian);
+  MemeticScheme<BitString> bal(
+      std::make_unique<GenerationalScheme<BitString>>(onemax_ops()),
+      local_search::bit_hill_climb(), 5, MemeticMode::kBaldwinian);
+  EXPECT_EQ(lam.name(), "generational+lamarck");
+  EXPECT_EQ(bal.name(), "generational+baldwin");
+}
+
+TEST(Memetic, EvaluationAccountingIncludesLocalSearch) {
+  OneMax problem(16);
+  Rng rng(7);
+  auto pop = Population<BitString>::random(
+      8, [](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  MemeticScheme<BitString> scheme(
+      std::make_unique<GenerationalScheme<BitString>>(onemax_ops(), 1),
+      local_search::bit_hill_climb(), 10, MemeticMode::kLamarckian);
+  // Inner generational step: 7 offspring; local search: 8 * 10.
+  EXPECT_EQ(scheme.step(pop, problem, rng), 7u + 80u);
+}
+
+}  // namespace
+}  // namespace pga

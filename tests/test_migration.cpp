@@ -1,0 +1,137 @@
+// Migration selection/integration policy tests.
+
+#include <gtest/gtest.h>
+
+#include "parallel/migration.hpp"
+
+namespace pga {
+namespace {
+
+Population<BitString> make_pop(std::initializer_list<double> fitnesses) {
+  Population<BitString> pop;
+  int i = 0;
+  for (double f : fitnesses) {
+    BitString g(4, static_cast<std::uint8_t>(i++ % 2));
+    pop.push_back(Individual<BitString>(std::move(g), f));
+  }
+  return pop;
+}
+
+TEST(MigrantSelectionPolicy, BestPicksTopK) {
+  auto pop = make_pop({1.0, 5.0, 3.0, 4.0});
+  MigrationPolicy policy;
+  policy.count = 2;
+  policy.selection = MigrantSelection::kBest;
+  Rng rng(1);
+  auto migrants = select_migrants(pop, policy, rng);
+  ASSERT_EQ(migrants.size(), 2u);
+  EXPECT_DOUBLE_EQ(migrants[0].fitness, 5.0);
+  EXPECT_DOUBLE_EQ(migrants[1].fitness, 4.0);
+}
+
+TEST(MigrantSelectionPolicy, BestClampsToPopulationSize) {
+  auto pop = make_pop({1.0, 2.0});
+  MigrationPolicy policy;
+  policy.count = 10;
+  policy.selection = MigrantSelection::kBest;
+  Rng rng(2);
+  EXPECT_EQ(select_migrants(pop, policy, rng).size(), 2u);
+}
+
+TEST(MigrantSelectionPolicy, RandomDrawsRequestedCount) {
+  auto pop = make_pop({1.0, 2.0, 3.0});
+  MigrationPolicy policy;
+  policy.count = 5;
+  policy.selection = MigrantSelection::kRandom;
+  Rng rng(3);
+  EXPECT_EQ(select_migrants(pop, policy, rng).size(), 5u);
+}
+
+TEST(MigrantSelectionPolicy, TournamentPrefersFit) {
+  auto pop = make_pop({0.0, 0.0, 0.0, 100.0});
+  MigrationPolicy policy;
+  policy.count = 200;
+  policy.selection = MigrantSelection::kTournament;
+  policy.tournament_size = 3;
+  Rng rng(4);
+  auto migrants = select_migrants(pop, policy, rng);
+  int best_picked = 0;
+  for (const auto& m : migrants) best_picked += (m.fitness == 100.0);
+  // P(win) = 1 - (3/4)^3 ≈ 0.58.
+  EXPECT_GT(best_picked, 80);
+}
+
+TEST(MigrantIntegration, WorstIsReplaced) {
+  auto pop = make_pop({1.0, 5.0, 3.0});
+  MigrationPolicy policy;
+  policy.replacement = MigrantReplacement::kWorst;
+  Rng rng(5);
+  std::vector<Individual<BitString>> immigrants{
+      Individual<BitString>(BitString(4), 10.0)};
+  integrate_migrants(pop, immigrants, policy, rng);
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 10.0);  // index 0 was worst
+  EXPECT_DOUBLE_EQ(pop.best_fitness(), 10.0);
+}
+
+TEST(MigrantIntegration, WorstIfBetterRejectsWeakImmigrants) {
+  auto pop = make_pop({2.0, 5.0, 3.0});
+  MigrationPolicy policy;
+  policy.replacement = MigrantReplacement::kWorstIfBetter;
+  Rng rng(6);
+  std::vector<Individual<BitString>> weak{
+      Individual<BitString>(BitString(4), 1.0)};
+  integrate_migrants(pop, weak, policy, rng);
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 2.0);  // unchanged
+
+  std::vector<Individual<BitString>> strong{
+      Individual<BitString>(BitString(4), 4.0)};
+  integrate_migrants(pop, strong, policy, rng);
+  EXPECT_DOUBLE_EQ(pop[0].fitness, 4.0);
+}
+
+TEST(MigrantIntegration, RandomReplacementKeepsSize) {
+  auto pop = make_pop({1.0, 2.0, 3.0, 4.0});
+  MigrationPolicy policy;
+  policy.replacement = MigrantReplacement::kRandom;
+  Rng rng(7);
+  std::vector<Individual<BitString>> immigrants{
+      Individual<BitString>(BitString(4), 9.0),
+      Individual<BitString>(BitString(4), 8.0)};
+  integrate_migrants(pop, immigrants, policy, rng);
+  EXPECT_EQ(pop.size(), 4u);
+}
+
+TEST(MigrantIntegration, SequentialWorstReplacementStacks) {
+  // Two immigrants under kWorst replace the two successive worsts.
+  auto pop = make_pop({1.0, 2.0, 9.0});
+  MigrationPolicy policy;
+  policy.replacement = MigrantReplacement::kWorst;
+  Rng rng(8);
+  std::vector<Individual<BitString>> immigrants{
+      Individual<BitString>(BitString(4), 5.0),
+      Individual<BitString>(BitString(4), 6.0)};
+  integrate_migrants(pop, immigrants, policy, rng);
+  std::vector<double> fit = pop.fitness_values();
+  std::sort(fit.begin(), fit.end());
+  EXPECT_EQ(fit, (std::vector<double>{5.0, 6.0, 9.0}));
+}
+
+TEST(MigrationPolicyStruct, EnabledFlag) {
+  MigrationPolicy p;
+  p.interval = 0;
+  EXPECT_FALSE(p.enabled());
+  p.interval = 3;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(MigrationPolicyStruct, ToStringCoversEnums) {
+  EXPECT_STREQ(to_string(MigrantSelection::kBest), "best");
+  EXPECT_STREQ(to_string(MigrantSelection::kRandom), "random");
+  EXPECT_STREQ(to_string(MigrantSelection::kTournament), "tournament");
+  EXPECT_STREQ(to_string(MigrantReplacement::kWorst), "worst");
+  EXPECT_STREQ(to_string(MigrantReplacement::kRandom), "random");
+  EXPECT_STREQ(to_string(MigrantReplacement::kWorstIfBetter), "worst-if-better");
+}
+
+}  // namespace
+}  // namespace pga

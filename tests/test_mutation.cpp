@@ -1,0 +1,233 @@
+// Mutation operator tests: rates, bounds, and permutation validity.
+
+#include <gtest/gtest.h>
+
+#include "core/genome.hpp"
+#include "core/mutation.hpp"
+#include "core/rng.hpp"
+
+namespace pga {
+namespace {
+
+TEST(BitFlip, AutoRateFlipsAboutOneBit) {
+  Rng rng(1);
+  auto mut = mutation::bit_flip();  // 1/L
+  const std::size_t L = 100;
+  double total_flips = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    BitString g(L, 0);
+    mut(g, rng);
+    total_flips += static_cast<double>(g.count_ones());
+  }
+  EXPECT_NEAR(total_flips / trials, 1.0, 0.1);
+}
+
+TEST(BitFlip, ExplicitRate) {
+  Rng rng(2);
+  auto mut = mutation::bit_flip(0.25);
+  BitString g(10000, 0);
+  mut(g, rng);
+  EXPECT_NEAR(static_cast<double>(g.count_ones()) / 10000.0, 0.25, 0.02);
+}
+
+TEST(ExactFlips, FlipsAtMostCountBits) {
+  Rng rng(3);
+  auto mut = mutation::exact_flips(3);
+  for (int t = 0; t < 100; ++t) {
+    BitString g(64, 0);
+    mut(g, rng);
+    // Collisions can cancel, so ones ∈ {1, 3} with parity preserved.
+    EXPECT_LE(g.count_ones(), 3u);
+    EXPECT_EQ(g.count_ones() % 2, 1u);
+  }
+}
+
+TEST(GaussianMutation, RespectsBoundsAndMoves) {
+  Rng rng(4);
+  Bounds bounds(50, -1.0, 1.0);
+  auto mut = mutation::gaussian(bounds, 0.2, 1.0);  // mutate every gene
+  RealVector g(50, 0.0);
+  mut(g, rng);
+  bool moved = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(g[i], -1.0);
+    EXPECT_LE(g[i], 1.0);
+    moved |= (g[i] != 0.0);
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(GaussianMutation, StepScalesWithSigmaFraction) {
+  Rng rng(5);
+  Bounds bounds(1, -1000.0, 1000.0);
+  auto small = mutation::gaussian(bounds, 0.001, 1.0);
+  auto large = mutation::gaussian(bounds, 0.1, 1.0);
+  double small_sq = 0.0, large_sq = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    RealVector a(1, 0.0), b(1, 0.0);
+    small(a, rng);
+    large(b, rng);
+    small_sq += a[0] * a[0];
+    large_sq += b[0] * b[0];
+  }
+  EXPECT_LT(small_sq * 100.0, large_sq);
+}
+
+TEST(UniformReset, ResetsWithinBounds) {
+  Rng rng(6);
+  Bounds bounds(20, 5.0, 6.0);
+  auto mut = mutation::uniform_reset(bounds, 1.0);
+  RealVector g(20, 0.0);  // out of bounds on purpose
+  mut(g, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_GE(g[i], 5.0);
+    EXPECT_LE(g[i], 6.0);
+  }
+}
+
+TEST(PolynomialMutation, StaysInBounds) {
+  Rng rng(7);
+  Bounds bounds(10, -2.0, 3.0);
+  auto mut = mutation::polynomial(bounds, 20.0, 1.0);
+  for (int t = 0; t < 200; ++t) {
+    RealVector g = RealVector::random(bounds, rng);
+    mut(g, rng);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_GE(g[i], -2.0);
+      EXPECT_LE(g[i], 3.0);
+    }
+  }
+}
+
+TEST(PolynomialMutation, HighEtaMakesSmallSteps) {
+  Rng rng(8);
+  Bounds bounds(1, 0.0, 1.0);
+  auto mut = mutation::polynomial(bounds, 500.0, 1.0);
+  double max_step = 0.0;
+  for (int t = 0; t < 500; ++t) {
+    RealVector g(1, 0.5);
+    mut(g, rng);
+    max_step = std::max(max_step, std::abs(g[0] - 0.5));
+  }
+  EXPECT_LT(max_step, 0.1);
+}
+
+TEST(IntReset, WithinRanges) {
+  Rng rng(9);
+  IntRanges ranges(8, 2, 5);
+  auto mut = mutation::int_reset(ranges, 1.0);
+  IntVector g(8, 0);
+  mut(g, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(g[i], 2);
+    EXPECT_LE(g[i], 5);
+  }
+}
+
+TEST(IntCreep, StepBounded) {
+  Rng rng(10);
+  IntRanges ranges(4, -100, 100);
+  auto mut = mutation::int_creep(ranges, 2, 1.0);
+  for (int t = 0; t < 200; ++t) {
+    IntVector g(4, 0);
+    mut(g, rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_LE(std::abs(g[i]), 2);
+      EXPECT_NE(g[i], 0);  // creep always moves when applied
+    }
+  }
+}
+
+TEST(IntCreep, ClampsAtRangeEdge) {
+  Rng rng(11);
+  IntRanges ranges(1, 0, 3);
+  auto mut = mutation::int_creep(ranges, 5, 1.0);
+  for (int t = 0; t < 100; ++t) {
+    IntVector g(1, 3);
+    mut(g, rng);
+    EXPECT_GE(g[0], 0);
+    EXPECT_LE(g[0], 3);
+  }
+}
+
+// Permutation mutations must preserve validity — property suite.
+class PermMutationTest
+    : public ::testing::TestWithParam<std::pair<const char*, Mutation<Permutation>>> {};
+
+TEST_P(PermMutationTest, PreservesValidity) {
+  Rng rng(12);
+  const auto& mut = GetParam().second;
+  for (std::size_t n : {1u, 2u, 3u, 10u, 50u}) {
+    for (int t = 0; t < 100; ++t) {
+      auto p = Permutation::random(n, rng);
+      mut(p, rng);
+      ASSERT_TRUE(p.is_valid()) << GetParam().first << " n=" << n;
+    }
+  }
+}
+
+TEST_P(PermMutationTest, UsuallyChangesLargePermutation) {
+  Rng rng(13);
+  const auto& mut = GetParam().second;
+  int changed = 0;
+  for (int t = 0; t < 100; ++t) {
+    auto p = Permutation::random(30, rng);
+    auto before = p;
+    mut(p, rng);
+    changed += (p != before);
+  }
+  EXPECT_GT(changed, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, PermMutationTest,
+    ::testing::Values(std::make_pair("swap", mutation::swap()),
+                      std::make_pair("insertion", mutation::insertion()),
+                      std::make_pair("inversion", mutation::inversion()),
+                      std::make_pair("scramble", mutation::scramble())),
+    [](const auto& param_info) { return param_info.param.first; });
+
+TEST(SwapMutation, ChangesExactlyTwoPositions) {
+  Rng rng(14);
+  for (int t = 0; t < 100; ++t) {
+    auto p = Permutation::random(20, rng);
+    auto before = p;
+    mutation::swap()(p, rng);
+    int diffs = 0;
+    for (std::size_t i = 0; i < 20; ++i) diffs += (p[i] != before[i]);
+    EXPECT_EQ(diffs, 2);
+  }
+}
+
+TEST(Combinators, WithProbabilityGates) {
+  Rng rng(15);
+  auto never = mutation::with_probability<BitString>(0.0, mutation::bit_flip(1.0));
+  auto always = mutation::with_probability<BitString>(1.0, mutation::bit_flip(1.0));
+  BitString a(16, 0), b(16, 0);
+  never(a, rng);
+  always(b, rng);
+  EXPECT_EQ(a.count_ones(), 0u);
+  EXPECT_EQ(b.count_ones(), 16u);
+}
+
+TEST(Combinators, ChainAppliesInSequence) {
+  Rng rng(16);
+  auto chain = mutation::chain<BitString>(
+      {mutation::bit_flip(1.0), mutation::bit_flip(1.0)});
+  BitString g(8, 0);
+  chain(g, rng);  // double flip restores
+  EXPECT_EQ(g.count_ones(), 0u);
+}
+
+TEST(Combinators, NoneIsIdentity) {
+  Rng rng(17);
+  auto none = mutation::none<Permutation>();
+  auto p = Permutation::random(10, rng);
+  auto before = p;
+  none(p, rng);
+  EXPECT_EQ(p, before);
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,121 @@
+// NSGA-II engine tests.
+
+#include <gtest/gtest.h>
+
+#include "multiobj/nsga2.hpp"
+#include "problems/multiobjective.hpp"
+
+namespace pga::multiobj {
+namespace {
+
+using problems::Zdt1;
+using problems::Zdt2;
+
+Nsga2Config<RealVector> zdt_config(const Bounds& bounds, std::size_t pop = 60) {
+  Nsga2Config<RealVector> cfg;
+  cfg.population_size = pop;
+  cfg.cross = crossover::sbx(bounds, 15.0);
+  cfg.mutate = mutation::polynomial(bounds, 20.0);
+  return cfg;
+}
+
+TEST(Nsga2Engine, RejectsTinyPopulation) {
+  Zdt1 zdt(5);
+  auto cfg = zdt_config(zdt.bounds());
+  cfg.population_size = 2;
+  EXPECT_THROW((Nsga2<RealVector>(cfg)), std::invalid_argument);
+}
+
+TEST(Nsga2Engine, PopulationSizeIsStable) {
+  Zdt1 zdt(6);
+  Nsga2<RealVector> engine(zdt_config(zdt.bounds(), 40));
+  Rng rng(1);
+  auto result = engine.run(
+      zdt, 10, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); }, rng);
+  EXPECT_EQ(result.population.size(), 40u);
+  EXPECT_FALSE(result.front.empty());
+  // evaluations = initial + generations * offspring.
+  EXPECT_EQ(result.evaluations, 40u + 10u * 40u);
+}
+
+TEST(Nsga2Engine, FrontIsMutuallyNondominated) {
+  Zdt1 zdt(8);
+  Nsga2<RealVector> engine(zdt_config(zdt.bounds()));
+  Rng rng(2);
+  auto result = engine.run(
+      zdt, 20, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); }, rng);
+  const auto front = result.front_objectives();
+  for (std::size_t i = 0; i < front.size(); ++i)
+    for (std::size_t j = 0; j < front.size(); ++j)
+      if (i != j) {
+        EXPECT_FALSE(dominates(front[i], front[j]));
+      }
+}
+
+TEST(Nsga2Engine, HypervolumeImprovesWithGenerations) {
+  Zdt1 zdt(10);
+  const std::vector<double> ref{1.5, 8.0};
+  auto hv_after = [&](std::size_t gens) {
+    Nsga2<RealVector> engine(zdt_config(zdt.bounds()));
+    Rng rng(3);
+    auto result = engine.run(
+        zdt, gens, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); },
+        rng);
+    return hypervolume_2d(result.front_objectives(), ref);
+  };
+  const double early = hv_after(2);
+  const double late = hv_after(40);
+  EXPECT_GT(late, early);
+}
+
+TEST(Nsga2Engine, ApproachesZdt1Front) {
+  Zdt1 zdt(10);
+  Nsga2<RealVector> engine(zdt_config(zdt.bounds(), 80));
+  Rng rng(4);
+  auto result = engine.run(
+      zdt, 80, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); }, rng);
+  // On the true front, f2 = 1 - sqrt(f1) and g = 1.  Check mean deviation.
+  double dev = 0.0;
+  const auto front = result.front_objectives();
+  for (const auto& f : front)
+    dev += std::abs(f[1] - (1.0 - std::sqrt(std::min(f[0], 1.0))));
+  EXPECT_LT(dev / static_cast<double>(front.size()), 0.35);
+  // And the front should spread across f1.
+  double min_f1 = 1e9, max_f1 = -1e9;
+  for (const auto& f : front) {
+    min_f1 = std::min(min_f1, f[0]);
+    max_f1 = std::max(max_f1, f[0]);
+  }
+  EXPECT_LT(min_f1, 0.15);
+  EXPECT_GT(max_f1, 0.6);
+}
+
+TEST(Nsga2Engine, WorksOnConcaveFrontZdt2) {
+  Zdt2 zdt(8);
+  Nsga2<RealVector> engine(zdt_config(zdt.bounds(), 60));
+  Rng rng(5);
+  auto result = engine.run(
+      zdt, 60, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); }, rng);
+  // NSGA-II keeps concave fronts (unlike weighted-sum methods): expect
+  // interior points with 0.2 < f1 < 0.8.
+  bool interior = false;
+  for (const auto& f : result.front_objectives())
+    interior |= (f[0] > 0.2 && f[0] < 0.8 && f[1] < 1.5);
+  EXPECT_TRUE(interior);
+}
+
+TEST(Nsga2Engine, DeterministicGivenSeed) {
+  Zdt1 zdt(6);
+  auto run_once = [&] {
+    Nsga2<RealVector> engine(zdt_config(zdt.bounds(), 40));
+    Rng rng(77);
+    auto result = engine.run(
+        zdt, 10, [&](Rng& r) { return RealVector::random(zdt.bounds(), r); },
+        rng);
+    return hypervolume_2d(result.front_objectives(), {2.0, 10.0});
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace pga::multiobj

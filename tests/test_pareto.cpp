@@ -1,0 +1,119 @@
+// Multi-objective utility tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "multiobj/pareto.hpp"
+
+namespace pga::multiobj {
+namespace {
+
+TEST(Dominates, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 3.0}, {2.0, 3.0}));
+  EXPECT_FALSE(dominates({1.0, 3.0}, {1.0, 3.0}));  // equal: no domination
+  EXPECT_FALSE(dominates({1.0, 4.0}, {2.0, 3.0}));  // incomparable
+  EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 2.0}));
+}
+
+TEST(NondominatedIndices, ExtractsFront) {
+  std::vector<std::vector<double>> pts{
+      {1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}, {3.0, 3.0}, {5.0, 5.0}};
+  auto front = nondominated_indices(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(NondominatedIndices, DuplicatesKeepFirstOnly) {
+  std::vector<std::vector<double>> pts{{1.0, 1.0}, {1.0, 1.0}};
+  auto front = nondominated_indices(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(NondominatedSort, LayersAreCorrect) {
+  std::vector<std::vector<double>> pts{
+      {1.0, 4.0}, {4.0, 1.0},   // front 0
+      {2.0, 5.0}, {5.0, 2.0},   // front 1
+      {6.0, 6.0}};              // front 2
+  auto fronts = nondominated_sort(pts);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{4}));
+}
+
+TEST(NondominatedSort, AllIncomparableIsOneFront) {
+  std::vector<std::vector<double>> pts{{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}};
+  auto fronts = nondominated_sort(pts);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+}
+
+TEST(CrowdingDistance, BoundaryPointsAreInfinite) {
+  std::vector<std::vector<double>> pts{{1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0},
+                                       {4.0, 1.0}};
+  std::vector<std::size_t> front{0, 1, 2, 3};
+  auto d = crowding_distance(pts, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[3]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(CrowdingDistance, DenserPointsScoreLower) {
+  // Point 1 is crowded between 0 and 2; point 3 has wide gaps.
+  std::vector<std::vector<double>> pts{
+      {0.0, 10.0}, {0.5, 9.5}, {1.0, 9.0}, {5.0, 5.0}, {10.0, 0.0}};
+  std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  auto d = crowding_distance(pts, front);
+  EXPECT_LT(d[1], d[3]);
+}
+
+TEST(Hypervolume2d, SinglePointRectangle) {
+  const double hv = hypervolume_2d({{1.0, 1.0}}, {3.0, 3.0});
+  EXPECT_DOUBLE_EQ(hv, 4.0);
+}
+
+TEST(Hypervolume2d, TwoPointsUnion) {
+  // Rectangles (1,2)-(4,4) and (2,1)-(4,4): union area = 2*3 + 1*... compute:
+  // sweep: p(1,2): (4-1)*(4-2)=6; p(2,1): (4-2)*(2-1)=2 -> 8.
+  const double hv = hypervolume_2d({{1.0, 2.0}, {2.0, 1.0}}, {4.0, 4.0});
+  EXPECT_DOUBLE_EQ(hv, 8.0);
+}
+
+TEST(Hypervolume2d, DominatedPointAddsNothing) {
+  const double base = hypervolume_2d({{1.0, 1.0}}, {4.0, 4.0});
+  const double with_dominated =
+      hypervolume_2d({{1.0, 1.0}, {2.0, 2.0}}, {4.0, 4.0});
+  EXPECT_DOUBLE_EQ(base, with_dominated);
+}
+
+TEST(Hypervolume2d, PointsBeyondReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{5.0, 5.0}}, {4.0, 4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {4.0, 4.0}), 0.0);
+}
+
+TEST(Hypervolume2d, BetterFrontHasLargerVolume) {
+  const double near = hypervolume_2d({{0.5, 0.5}}, {2.0, 2.0});
+  const double far = hypervolume_2d({{1.0, 1.0}}, {2.0, 2.0});
+  EXPECT_GT(near, far);
+}
+
+TEST(Hypervolume2d, RejectsBadReference) {
+  EXPECT_THROW((void)hypervolume_2d({{1.0, 1.0}}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(EpsilonIndicator, ZeroWhenCovering) {
+  std::vector<std::vector<double>> front{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(front, front), 0.0);
+}
+
+TEST(EpsilonIndicator, MeasuresShortfall) {
+  std::vector<std::vector<double>> reference{{1.0, 1.0}};
+  std::vector<std::vector<double>> approx{{1.5, 1.5}};
+  EXPECT_DOUBLE_EQ(epsilon_indicator(approx, reference), 0.5);
+}
+
+}  // namespace
+}  // namespace pga::multiobj

@@ -1,0 +1,381 @@
+// Benchmark-problem tests: known optima, instance generators, invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+#include "problems/multiobjective.hpp"
+#include "problems/npcomplete.hpp"
+#include "problems/tsp.hpp"
+
+namespace pga {
+namespace {
+
+using namespace pga::problems;
+
+// ---------------------------------------------------------------------------
+// Continuous functions
+// ---------------------------------------------------------------------------
+
+class ContinuousOptimumTest
+    : public ::testing::TestWithParam<std::shared_ptr<ContinuousFunction>> {};
+
+TEST_P(ContinuousOptimumTest, FitnessIsNegObjective) {
+  Rng rng(1);
+  auto& f = *GetParam();
+  for (int t = 0; t < 20; ++t) {
+    auto x = RealVector::random(f.bounds(), rng);
+    EXPECT_DOUBLE_EQ(f.fitness(x), -f.objective(x));
+  }
+}
+
+TEST_P(ContinuousOptimumTest, ObjectiveNonNegativeInBounds) {
+  Rng rng(2);
+  auto& f = *GetParam();
+  for (int t = 0; t < 200; ++t) {
+    auto x = RealVector::random(f.bounds(), rng);
+    EXPECT_GE(f.objective(x), -1e-9) << f.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, ContinuousOptimumTest,
+    ::testing::Values(std::make_shared<Sphere>(8),
+                      std::make_shared<Rosenbrock>(8),
+                      std::make_shared<Rastrigin>(8),
+                      std::make_shared<Schwefel>(8),
+                      std::make_shared<Griewank>(8),
+                      std::make_shared<Ackley>(8),
+                      std::make_shared<Step>(8),
+                      std::make_shared<QuarticNoise>(8),
+                      std::make_shared<Foxholes>()),
+    [](const auto& param_info) {
+      std::string name = param_info.param->name();
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(StepFunction, PlateausAndMinimumCell) {
+  Step f(3);
+  RealVector corner(3, -5.1);
+  EXPECT_DOUBLE_EQ(f.objective(corner), 0.0);
+  // Anywhere within the same unit cell scores identically (plateau).
+  RealVector same_cell(3, -5.01);
+  EXPECT_DOUBLE_EQ(f.objective(same_cell), 0.0);
+  RealVector next_cell(3, -4.99);
+  EXPECT_DOUBLE_EQ(f.objective(next_cell), 3.0);
+}
+
+TEST(QuarticNoiseFunction, DeterministicAndBounded) {
+  QuarticNoise f(5, 0.1);
+  Rng rng(50);
+  for (int t = 0; t < 50; ++t) {
+    auto x = RealVector::random(f.bounds(), rng);
+    const double a = f.objective(x);
+    EXPECT_DOUBLE_EQ(a, f.objective(x));  // frozen noise: repeatable
+    EXPECT_GE(a, 0.0);
+  }
+  // Noise differs across points.
+  RealVector origin(5, 0.0);
+  RealVector nearby(5, 1e-9);
+  EXPECT_NE(f.objective(origin), f.objective(nearby));
+}
+
+TEST(FoxholesFunction, WellsAreDeepAndOrdered) {
+  Foxholes f;
+  RealVector best_well(std::vector<double>{-32.0, -32.0});
+  RealVector other_well(std::vector<double>{32.0, 32.0});
+  RealVector plateau(std::vector<double>{8.0, 8.0});
+  EXPECT_LT(f.objective(best_well), 1.1);           // ~0.998
+  EXPECT_LT(f.objective(best_well), f.objective(other_well));
+  EXPECT_GT(f.objective(plateau), 100.0);           // far from every well
+}
+
+TEST(Sphere, OptimumAtOrigin) {
+  Sphere f(5);
+  EXPECT_NEAR(f.objective(RealVector(5, 0.0)), 0.0, 1e-12);
+  EXPECT_GT(f.objective(RealVector(5, 1.0)), 0.0);
+}
+
+TEST(Rosenbrock, OptimumAtOnes) {
+  Rosenbrock f(6);
+  EXPECT_NEAR(f.objective(RealVector(6, 1.0)), 0.0, 1e-12);
+}
+
+TEST(Rastrigin, OptimumAtOriginAndLatticeOfLocalMinima) {
+  Rastrigin f(4);
+  EXPECT_NEAR(f.objective(RealVector(4, 0.0)), 0.0, 1e-9);
+  // x = 1 is near a local minimum with value about 4 (one unit per dim).
+  EXPECT_GT(f.objective(RealVector(4, 1.0)), 3.0);
+}
+
+TEST(Schwefel, OptimumNearMagicConstant) {
+  Schwefel f(3);
+  EXPECT_NEAR(f.objective(RealVector(3, 420.9687)), 0.0, 1e-3);
+}
+
+TEST(Ackley, OptimumAtOrigin) {
+  Ackley f(10);
+  EXPECT_NEAR(f.objective(RealVector(10, 0.0)), 0.0, 1e-9);
+  EXPECT_GT(f.objective(RealVector(10, 5.0)), 10.0);
+}
+
+TEST(Griewank, OptimumAtOrigin) {
+  Griewank f(10);
+  EXPECT_NEAR(f.objective(RealVector(10, 0.0)), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Binary problems
+// ---------------------------------------------------------------------------
+
+TEST(OneMaxProblem, CountsOnes) {
+  OneMax p(10);
+  BitString g(10, 1);
+  EXPECT_DOUBLE_EQ(p.fitness(g), 10.0);
+  g.flip(0);
+  EXPECT_DOUBLE_EQ(p.fitness(g), 9.0);
+  EXPECT_EQ(*p.optimum_fitness(), 10.0);
+}
+
+TEST(Trap, AllOnesIsGlobalOptimum) {
+  DeceptiveTrap p(4, 5);
+  BitString ones(20, 1);
+  EXPECT_DOUBLE_EQ(p.fitness(ones), 20.0);
+  EXPECT_EQ(*p.optimum_fitness(), 20.0);
+}
+
+TEST(Trap, AllZerosIsTheDeceptiveAttractor) {
+  DeceptiveTrap p(4, 5);
+  BitString zeros(20, 0);
+  // Each block scores k-1 = 4 -> total 16, the second-best per-block value.
+  EXPECT_DOUBLE_EQ(p.fitness(zeros), 16.0);
+}
+
+TEST(Trap, FitnessDecreasesAsOnesApproachKMinusOne) {
+  DeceptiveTrap p(1, 5);
+  // ones: 0 ->4, 1 ->3, 2 ->2, 3 ->1, 4 ->0, 5 ->5
+  BitString g(5, 0);
+  EXPECT_DOUBLE_EQ(p.fitness(g), 4.0);
+  g[0] = 1;
+  EXPECT_DOUBLE_EQ(p.fitness(g), 3.0);
+  g[1] = 1;
+  g[2] = 1;
+  g[3] = 1;
+  EXPECT_DOUBLE_EQ(p.fitness(g), 0.0);
+  g[4] = 1;
+  EXPECT_DOUBLE_EQ(p.fitness(g), 5.0);
+}
+
+TEST(PPeaksProblem, PeakHasFitnessOne) {
+  Rng rng(3);
+  PPeaks p(10, 64, rng);
+  for (const auto& peak : p.peaks()) EXPECT_DOUBLE_EQ(p.fitness(peak), 1.0);
+}
+
+TEST(PPeaksProblem, FitnessIsClosenessToNearestPeak) {
+  Rng rng(4);
+  PPeaks p(1, 32, rng);
+  BitString x = p.peaks()[0];
+  x.flip(0);
+  EXPECT_NEAR(p.fitness(x), 31.0 / 32.0, 1e-12);
+}
+
+TEST(NK, K0IsAdditiveAndBruteForceMatches) {
+  Rng rng(5);
+  NKLandscape p(10, 0, rng);
+  // With K=0 each bit contributes independently; the optimum picks the better
+  // table entry per bit, which brute force must reproduce.
+  double greedy = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    BitString zero(10, 0), one(10, 0);
+    one[i] = 1;
+    greedy += std::max(p.fitness(one) - p.fitness(zero), 0.0);
+  }
+  const double bf = p.brute_force_optimum();
+  BitString zeros(10, 0);
+  EXPECT_NEAR(bf, p.fitness(zeros) + greedy, 1e-9);
+}
+
+TEST(NK, FitnessInUnitInterval) {
+  Rng rng(6);
+  NKLandscape p(20, 3, rng);
+  for (int t = 0; t < 100; ++t) {
+    auto g = BitString::random(20, rng);
+    const double f = p.fitness(g);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(NK, RejectsKGreaterEqualN) {
+  Rng rng(7);
+  EXPECT_THROW(NKLandscape(4, 4, rng), std::invalid_argument);
+}
+
+TEST(RoyalRoadProblem, OnlyCompleteBlocksScore) {
+  RoyalRoad p(2, 4);
+  BitString g(8, 0);
+  for (int i = 0; i < 3; ++i) g[static_cast<std::size_t>(i)] = 1;
+  EXPECT_DOUBLE_EQ(p.fitness(g), 0.0);  // incomplete block scores nothing
+  g[3] = 1;
+  EXPECT_DOUBLE_EQ(p.fitness(g), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// NP-complete problems
+// ---------------------------------------------------------------------------
+
+TEST(MaxSatProblem, PlantedAssignmentSatisfiesAll) {
+  Rng rng(8);
+  MaxSat p(30, 120, rng);
+  EXPECT_DOUBLE_EQ(p.fitness(p.planted_assignment()),
+                   static_cast<double>(p.num_clauses()));
+  EXPECT_EQ(*p.optimum_fitness(), 120.0);
+}
+
+TEST(MaxSatProblem, RandomAssignmentSatisfiesAboutSevenEighths) {
+  Rng rng(9);
+  MaxSat p(50, 400, rng);
+  double total = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t)
+    total += p.fitness(BitString::random(50, rng));
+  // Random 3-SAT satisfies 7/8 of clauses in expectation; planting nudges it
+  // slightly above.
+  EXPECT_NEAR(total / trials / 400.0, 7.0 / 8.0, 0.04);
+}
+
+TEST(SubsetSumProblem, PlantedSubsetIsExact) {
+  Rng rng(10);
+  SubsetSum p(24, rng);
+  EXPECT_GE(p.target(), 1u);
+  // The planted subset has deviation zero; check via optimum.
+  EXPECT_EQ(*p.optimum_fitness(), 0.0);
+  BitString empty(24, 0);
+  EXPECT_DOUBLE_EQ(p.fitness(empty), -static_cast<double>(p.target()));
+}
+
+TEST(KnapsackProblem, FeasibleSelectionScoresSumOfValues) {
+  Rng rng(11);
+  Knapsack p(10, rng);
+  BitString none(10, 0);
+  EXPECT_DOUBLE_EQ(p.fitness(none), 0.0);
+}
+
+TEST(KnapsackProblem, OverCapacityIsPenalizedBelowFeasibleEquivalent) {
+  Rng rng(12);
+  Knapsack p(16, rng);
+  BitString all(16, 1);  // certainly over capacity (capacity = half of total)
+  double weight = 0.0, value = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    weight += p.weights()[i];
+    value += p.values()[i];
+  }
+  EXPECT_GT(weight, p.capacity());
+  EXPECT_LT(p.fitness(all), value);
+}
+
+TEST(KnapsackProblem, GreedyBeatsEmpty) {
+  Rng rng(13);
+  Knapsack p(32, rng);
+  EXPECT_GT(p.greedy_value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TSP
+// ---------------------------------------------------------------------------
+
+TEST(TspProblem, RingOptimumIsAngularOrder) {
+  auto tsp = Tsp::ring(16);
+  Permutation ordered(16);
+  EXPECT_NEAR(tsp.tour_length(ordered), -*tsp.optimum_fitness(), 1e-9);
+}
+
+TEST(TspProblem, AnyTourIsAtLeastOptimal) {
+  auto tsp = Tsp::ring(12);
+  Rng rng(14);
+  const double opt = -*tsp.optimum_fitness();
+  for (int t = 0; t < 100; ++t) {
+    auto tour = Permutation::random(12, rng);
+    EXPECT_GE(tsp.tour_length(tour), opt - 1e-9);
+  }
+}
+
+TEST(TspProblem, TourLengthInvariantUnderRotation) {
+  Rng rng(15);
+  auto tsp = Tsp::random(10, rng);
+  auto tour = Permutation::random(10, rng);
+  Permutation rotated(10);
+  for (std::size_t i = 0; i < 10; ++i) rotated[i] = tour[(i + 3) % 10];
+  EXPECT_NEAR(tsp.tour_length(tour), tsp.tour_length(rotated), 1e-12);
+}
+
+TEST(TspProblem, NearestNeighborBeatsRandomOnAverage) {
+  Rng rng(16);
+  auto tsp = Tsp::random(40, rng);
+  const auto nn = tsp.nearest_neighbor_tour();
+  EXPECT_TRUE(nn.is_valid());
+  double random_total = 0.0;
+  for (int t = 0; t < 20; ++t)
+    random_total += tsp.tour_length(Permutation::random(40, rng));
+  EXPECT_LT(tsp.tour_length(nn), random_total / 20.0);
+}
+
+TEST(TspProblem, TwoOptImproves) {
+  Rng rng(17);
+  auto tsp = Tsp::random(30, rng);
+  auto tour = Permutation::random(30, rng);
+  const double before = tsp.tour_length(tour);
+  while (tsp.two_opt_pass(tour)) {
+  }
+  EXPECT_TRUE(tour.is_valid());
+  EXPECT_LT(tsp.tour_length(tour), before);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-objective problems
+// ---------------------------------------------------------------------------
+
+TEST(Zdt, FrontShapeAtGEqualsOne) {
+  Zdt1 z1(5);
+  Zdt2 z2(5);
+  // Points with x_2..x_n = 0 lie on the Pareto front (g == 1).
+  RealVector x(5, 0.0);
+  x[0] = 0.25;
+  auto f1 = z1.evaluate(x);
+  EXPECT_NEAR(f1[1], 1.0 - std::sqrt(0.25), 1e-9);
+  auto f2 = z2.evaluate(x);
+  EXPECT_NEAR(f2[1], 1.0 - 0.25 * 0.25, 1e-9);
+}
+
+TEST(Zdt, GTermPenalizesTailDimensions) {
+  Zdt1 z(5);
+  RealVector on_front(5, 0.0);
+  RealVector off_front(5, 0.5);
+  on_front[0] = off_front[0] = 0.5;
+  EXPECT_LT(z.evaluate(on_front)[1], z.evaluate(off_front)[1]);
+}
+
+TEST(Zdt3, FrontIsDisconnectedBelowZdt1) {
+  Zdt3 z(4);
+  RealVector x(4, 0.0);
+  x[0] = 0.1;
+  auto f = z.evaluate(x);
+  // sin term can push f2 below the ZDT1 value at the same f1.
+  EXPECT_LT(f[1], 1.0);
+  EXPECT_EQ(z.num_objectives(), 2u);
+}
+
+TEST(Dtlz2Problem, FrontIsUnitCircle) {
+  Dtlz2 d(6);
+  RealVector x(6, 0.5);
+  x[0] = 0.3;
+  auto f = d.evaluate(x);
+  EXPECT_NEAR(f[0] * f[0] + f[1] * f[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pga

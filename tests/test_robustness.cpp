@@ -1,0 +1,168 @@
+// Robustness tests: malformed wire data must throw (never crash or read out
+// of bounds), the umbrella header must compile, and small combinatorial
+// problems are cross-checked against brute force.
+
+#include <gtest/gtest.h>
+
+#include "pga.hpp"
+
+namespace pga {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization fuzz: deterministic pseudo-random byte soup
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, RandomBytesNeverCrashGenomeDeserialization) {
+  Rng rng(123);
+  int threw = 0, parsed = 0;
+  for (int t = 0; t < 500; ++t) {
+    std::vector<std::uint8_t> junk(rng.index(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)comm::unpack<BitString>(junk);
+      ++parsed;  // tiny chance the length prefix happens to be consistent
+    } catch (const std::exception&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + parsed, 500);
+  EXPECT_GT(threw, 400);  // almost all inputs are malformed
+}
+
+TEST(Robustness, RandomBytesNeverCrashCheckpointLoad) {
+  Rng rng(456);
+  for (int t = 0; t < 300; ++t) {
+    std::vector<std::uint8_t> junk(rng.index(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_THROW((void)deserialize_population<RealVector>(junk),
+                 std::exception);
+  }
+}
+
+TEST(Robustness, TruncatedIndividualThrows) {
+  Rng rng(789);
+  Individual<Permutation> ind(Permutation::random(20, rng), 1.0);
+  auto bytes = comm::pack(ind);
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 7) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)comm::unpack<Individual<Permutation>>(prefix),
+                 std::exception);
+  }
+}
+
+TEST(Robustness, CorruptedTraceRowsThrow) {
+  const char* bad[] = {
+      "generation,evaluations,best,mean,worst\nabc\n",
+      "generation,evaluations,best,mean,worst\n1;2;3;4;5\n",
+      "wrong,header\n",
+  };
+  for (const char* csv : bad)
+    EXPECT_THROW((void)history_from_csv(csv), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-checks on small instances
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, JoinOrderGaFindsBruteForceOptimumOnSmallQuery) {
+  Rng rng(11);
+  auto q = problems::random_query(7, 0.2, rng);
+  problems::JoinOrderProblem problem(q);
+
+  // Exhaustive minimum over all 7! = 5040 left-deep orders.
+  Permutation order(7);
+  double best_cost = problem.plan_cost(order);
+  std::vector<std::uint32_t> perm(order.order.begin(), order.order.end());
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    Permutation candidate(7);
+    candidate.order.assign(perm.begin(), perm.end());
+    best_cost = std::min(best_cost, problem.plan_cost(candidate));
+  }
+
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::pmx();
+  ops.mutate = mutation::swap();
+  GenerationalScheme<Permutation> scheme(ops, 2);
+  auto pop = Population<Permutation>::random(
+      50, [](Rng& r) { return Permutation::random(7, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 60;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_NEAR(problem.plan_cost(result.best.genome), best_cost,
+              best_cost * 0.01);
+}
+
+TEST(Robustness, TspGaMatchesBruteForceOnSevenCities) {
+  Rng rng(12);
+  auto tsp = problems::Tsp::random(7, rng);
+  Permutation tour(7);
+  double best_len = tsp.tour_length(tour);
+  std::vector<std::uint32_t> perm(tour.order.begin(), tour.order.end());
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    Permutation candidate(7);
+    candidate.order.assign(perm.begin(), perm.end());
+    best_len = std::min(best_len, tsp.tour_length(candidate));
+  }
+
+  Operators<Permutation> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::erx();
+  ops.mutate = mutation::inversion();
+  GenerationalScheme<Permutation> scheme(ops, 1);
+  auto pop = Population<Permutation>::random(
+      30, [](Rng& r) { return Permutation::random(7, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 60;
+  stop.target_fitness = -best_len;
+  stop.target_tolerance = 1e-9;
+  auto result = run(scheme, pop, tsp, stop, rng);
+  EXPECT_TRUE(result.reached_target);
+}
+
+TEST(Robustness, KnapsackGaMatchesBruteForceOnSixteenItems) {
+  Rng rng(13);
+  problems::Knapsack knapsack(16, rng);
+  double best = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    BitString g(16);
+    for (std::size_t b = 0; b < 16; ++b)
+      g[b] = static_cast<std::uint8_t>((mask >> b) & 1u);
+    best = std::max(best, knapsack.fitness(g));
+  }
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 2);
+  auto pop = Population<BitString>::random(
+      50, [](Rng& r) { return BitString::random(16, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 100;
+  auto result = run(scheme, pop, knapsack, stop, rng);
+  EXPECT_NEAR(result.best.fitness, best, best * 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Umbrella header sanity
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, UmbrellaHeaderExposesEveryNamespace) {
+  // Touch one symbol from each module to prove pga.hpp pulled them in.
+  Rng rng(1);
+  (void)selection::tournament(2);
+  (void)crossover::one_point<BitString>();
+  (void)mutation::bit_flip();
+  (void)Topology::ring(4);
+  (void)sim::NetworkModel::myrinet();
+  (void)theory::amdahl_speedup(0.9, 4);
+  (void)multiobj::dominates({1.0}, {2.0});
+  (void)problems::OneMax(8);
+  (void)workloads::make_sphere_object(4, rng);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pga

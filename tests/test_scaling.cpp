@@ -1,0 +1,94 @@
+// Fitness scaling tests.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/scaling.hpp"
+
+namespace pga {
+namespace {
+
+TEST(LinearScaling, PreservesMeanAndSetsMaxPressure) {
+  auto scale = scaling::linear(2.0);
+  const std::vector<double> f{1.0, 2.0, 3.0, 6.0};  // mean 3
+  auto out = scale(f);
+  const double mean_out =
+      std::accumulate(out.begin(), out.end(), 0.0) / static_cast<double>(out.size());
+  EXPECT_NEAR(mean_out, 3.0, 1e-9);
+  EXPECT_NEAR(*std::max_element(out.begin(), out.end()), 6.0, 1e-9);  // 2x mean
+}
+
+TEST(LinearScaling, ConvergedPopulationBecomesUniform) {
+  auto scale = scaling::linear(2.0);
+  const std::vector<double> f{5.0, 5.0, 5.0};
+  auto out = scale(f);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(LinearScaling, NeverNegative) {
+  auto scale = scaling::linear(2.0);
+  const std::vector<double> f{0.0, 0.1, 10.0};  // strong spread
+  for (double v : scale(f)) EXPECT_GE(v, 0.0);
+}
+
+TEST(LinearScaling, RejectsBadPressure) {
+  EXPECT_THROW(scaling::linear(1.0), std::invalid_argument);
+}
+
+TEST(SigmaTruncation, CutsLowTail) {
+  auto scale = scaling::sigma_truncation(1.0);
+  const std::vector<double> f{0.0, 10.0, 10.0, 10.0, 10.0};
+  auto out = scale(f);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // far below mean - sigma
+  EXPECT_GT(out[1], 0.0);
+}
+
+TEST(SigmaTruncation, UniformPopulationKeepsMass) {
+  auto scale = scaling::sigma_truncation(2.0);
+  const std::vector<double> f{4.0, 4.0, 4.0};
+  for (double v : scale(f)) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(PowerScaling, SharpensDifferences) {
+  auto scale = scaling::power(2.0);
+  const std::vector<double> f{1.0, 2.0};
+  auto out = scale(f);
+  EXPECT_DOUBLE_EQ(out[1] / out[0], 4.0);
+}
+
+TEST(PowerScaling, HandlesNegativeByShifting) {
+  auto scale = scaling::power(2.0);
+  const std::vector<double> f{-3.0, 1.0};
+  auto out = scale(f);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 16.0);
+}
+
+TEST(RankScaling, ProducesRanks) {
+  auto scale = scaling::ranked();
+  const std::vector<double> f{10.0, -5.0, 3.0};
+  auto out = scale(f);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);  // best
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // worst
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(ScaledSelector, AppliesTransformBeforeSelection) {
+  // With rank scaling + roulette, a huge outlier no longer dominates: its
+  // selection probability is n/(n(n+1)/2) instead of ~1.
+  const std::vector<double> f{1.0, 2.0, 1000.0};
+  auto plain = selection::roulette();
+  auto rank_scaled = scaled(scaling::ranked(), selection::roulette());
+  Rng rng(1);
+  int plain_hits = 0, scaled_hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    plain_hits += (plain(f, rng) == 2);
+    scaled_hits += (rank_scaled(f, rng) == 2);
+  }
+  EXPECT_GT(plain_hits, 19000);                 // outlier dominates raw roulette
+  EXPECT_NEAR(scaled_hits, 10000, 800);         // rank: P = 3/6
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,163 @@
+// Tests for selection operators, including the selection-pressure ordering
+// that underpins the takeover-time experiment (E4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/selection.hpp"
+
+namespace pga {
+namespace {
+
+/// Empirical probability that `sel` picks index `target` out of `fitness`.
+double pick_rate(const Selector& sel, const std::vector<double>& fitness,
+                 std::size_t target, int trials = 20000, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) hits += (sel(fitness, rng) == target);
+  return static_cast<double>(hits) / trials;
+}
+
+TEST(Roulette, PrefersFitter) {
+  const std::vector<double> f{1.0, 2.0, 4.0};
+  auto sel = selection::roulette();
+  const double p2 = pick_rate(sel, f, 2);
+  const double p0 = pick_rate(sel, f, 0);
+  EXPECT_GT(p2, p0);
+}
+
+TEST(Roulette, HandlesNegativeFitness) {
+  const std::vector<double> f{-10.0, -5.0, -1.0};
+  auto sel = selection::roulette();
+  // Must not crash and must still prefer the least-negative individual.
+  EXPECT_GT(pick_rate(sel, f, 2), pick_rate(sel, f, 0));
+}
+
+TEST(Roulette, UniformWhenAllEqual) {
+  const std::vector<double> f{3.0, 3.0, 3.0, 3.0};
+  auto sel = selection::roulette();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(pick_rate(sel, f, i), 0.25, 0.02);
+}
+
+TEST(Tournament, SizeOneIsUniform) {
+  const std::vector<double> f{0.0, 100.0};
+  auto sel = selection::tournament(1);
+  EXPECT_NEAR(pick_rate(sel, f, 1), 0.5, 0.02);
+}
+
+TEST(Tournament, LargerTournamentsIncreasePressure) {
+  // P(best selected) for binary tournament over n=4 equals 1-(3/4)^2 = 7/16;
+  // pressure grows with k.
+  const std::vector<double> f{1.0, 2.0, 3.0, 4.0};
+  const double p2 = pick_rate(selection::tournament(2), f, 3);
+  const double p4 = pick_rate(selection::tournament(4), f, 3);
+  EXPECT_NEAR(p2, 7.0 / 16.0, 0.02);
+  EXPECT_GT(p4, p2);
+}
+
+TEST(Tournament, RejectsZeroSize) {
+  EXPECT_THROW(selection::tournament(0), std::invalid_argument);
+}
+
+TEST(LinearRank, BestGetsApproxSOverN) {
+  const std::vector<double> f{5.0, 1.0, 3.0, 2.0};  // best is index 0
+  const double s = 2.0;
+  auto sel = selection::linear_rank(s);
+  EXPECT_NEAR(pick_rate(sel, f, 0), s / 4.0, 0.02);
+}
+
+TEST(LinearRank, WorstGetsApprox2MinusSOverN) {
+  const std::vector<double> f{5.0, 1.0, 3.0, 2.0};  // worst is index 1
+  const double s = 1.5;
+  auto sel = selection::linear_rank(s);
+  EXPECT_NEAR(pick_rate(sel, f, 1), (2.0 - s) / 4.0, 0.02);
+}
+
+TEST(LinearRank, RejectsBadPressure) {
+  EXPECT_THROW(selection::linear_rank(1.0), std::invalid_argument);
+  EXPECT_THROW(selection::linear_rank(2.5), std::invalid_argument);
+}
+
+TEST(Truncation, OnlyTopFractionSelected) {
+  const std::vector<double> f{1.0, 2.0, 3.0, 4.0};
+  auto sel = selection::truncation(0.5);  // keeps indices 3 and 2
+  EXPECT_NEAR(pick_rate(sel, f, 3), 0.5, 0.02);
+  EXPECT_NEAR(pick_rate(sel, f, 2), 0.5, 0.02);
+  EXPECT_EQ(pick_rate(sel, f, 0), 0.0);
+  EXPECT_EQ(pick_rate(sel, f, 1), 0.0);
+}
+
+TEST(Truncation, RejectsBadFraction) {
+  EXPECT_THROW(selection::truncation(0.0), std::invalid_argument);
+  EXPECT_THROW(selection::truncation(1.5), std::invalid_argument);
+}
+
+TEST(Boltzmann, LowTemperatureIsGreedy) {
+  const std::vector<double> f{1.0, 2.0, 3.0};
+  auto sel = selection::boltzmann(0.01);
+  EXPECT_GT(pick_rate(sel, f, 2), 0.99);
+}
+
+TEST(Boltzmann, HighTemperatureIsNearUniform) {
+  const std::vector<double> f{1.0, 2.0, 3.0};
+  auto sel = selection::boltzmann(1000.0);
+  EXPECT_NEAR(pick_rate(sel, f, 0), 1.0 / 3.0, 0.02);
+}
+
+TEST(Boltzmann, RejectsNonPositiveTemperature) {
+  EXPECT_THROW(selection::boltzmann(0.0), std::invalid_argument);
+}
+
+TEST(Uniform, IgnoresFitness) {
+  const std::vector<double> f{0.0, 1000.0};
+  auto sel = selection::uniform();
+  EXPECT_NEAR(pick_rate(sel, f, 0), 0.5, 0.02);
+}
+
+TEST(Sus, DrawCountMatchesExpectationWithinOne) {
+  // SUS guarantee: each individual is drawn floor or ceil of its expectation.
+  const std::vector<double> f{1.0, 1.0, 2.0};  // expectations for 8 draws: 2,2,4
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto picks = selection::sus(f, 8, rng);
+    ASSERT_EQ(picks.size(), 8u);
+    std::vector<int> counts(3, 0);
+    for (auto p : picks) ++counts[p];
+    EXPECT_GE(counts[2], 3);  // floor(4 - 1)
+    EXPECT_LE(counts[2], 5);
+    EXPECT_GE(counts[0], 1);
+    EXPECT_LE(counts[0], 3);
+  }
+}
+
+TEST(Sus, SingleIndividual) {
+  const std::vector<double> f{42.0};
+  Rng rng(10);
+  auto picks = selection::sus(f, 4, rng);
+  for (auto p : picks) EXPECT_EQ(p, 0u);
+}
+
+// Selection intensity ordering: Boltzmann(low T) > tournament(7) >
+// tournament(2) > uniform, measured by the mean fitness of selected parents.
+TEST(SelectionPressure, OrderingAcrossOperators) {
+  std::vector<double> f;
+  for (int i = 0; i < 64; ++i) f.push_back(static_cast<double>(i));
+  auto mean_selected = [&](const Selector& sel) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += f[sel(f, rng)];
+    return sum / n;
+  };
+  const double uni = mean_selected(selection::uniform());
+  const double t2 = mean_selected(selection::tournament(2));
+  const double t7 = mean_selected(selection::tournament(7));
+  EXPECT_LT(uni, t2);
+  EXPECT_LT(t2, t7);
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,108 @@
+// Wire-format round trips.
+
+#include <gtest/gtest.h>
+
+#include "comm/serialize.hpp"
+
+namespace pga::comm {
+namespace {
+
+TEST(ByteIo, ScalarRoundTrip) {
+  ByteWriter w;
+  w.write<std::uint32_t>(0xdeadbeef);
+  w.write<double>(3.25);
+  w.write<std::int8_t>(-7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::int8_t>(), -7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteIo, VectorRoundTrip) {
+  ByteWriter w;
+  w.write_vector(std::vector<int>{1, -2, 3});
+  w.write_vector(std::vector<double>{});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_vector<int>(), (std::vector<int>{1, -2, 3}));
+  EXPECT_TRUE(r.read_vector<double>().empty());
+}
+
+TEST(ByteIo, StringRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello demes");
+  w.write_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "hello demes");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST(ByteIo, TruncationDetected) {
+  ByteWriter w;
+  w.write<std::uint64_t>(100);  // claims a long vector follows
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.read_vector<double>(), std::out_of_range);
+}
+
+TEST(GenomeSerialization, BitStringRoundTrip) {
+  Rng rng(1);
+  auto g = BitString::random(77, rng);
+  auto bytes = pack(g);
+  EXPECT_EQ(unpack<BitString>(bytes), g);
+}
+
+TEST(GenomeSerialization, RealVectorRoundTrip) {
+  Rng rng(2);
+  auto g = RealVector::random(Bounds(13, -5.0, 5.0), rng);
+  EXPECT_EQ(unpack<RealVector>(pack(g)), g);
+}
+
+TEST(GenomeSerialization, IntVectorRoundTrip) {
+  Rng rng(3);
+  auto g = IntVector::random(IntRanges(9, -4, 11), rng);
+  EXPECT_EQ(unpack<IntVector>(pack(g)), g);
+}
+
+TEST(GenomeSerialization, PermutationRoundTrip) {
+  Rng rng(4);
+  auto g = Permutation::random(31, rng);
+  EXPECT_EQ(unpack<Permutation>(pack(g)), g);
+}
+
+TEST(GenomeSerialization, IndividualRoundTrip) {
+  Rng rng(5);
+  Individual<BitString> ind(BitString::random(16, rng), 42.5);
+  auto copy = unpack<Individual<BitString>>(pack(ind));
+  EXPECT_EQ(copy.genome, ind.genome);
+  EXPECT_DOUBLE_EQ(copy.fitness, 42.5);
+  EXPECT_TRUE(copy.evaluated);
+}
+
+TEST(GenomeSerialization, UnevaluatedFlagPreserved) {
+  Individual<RealVector> ind(RealVector(3, 1.0));
+  EXPECT_FALSE(ind.evaluated);
+  auto copy = unpack<Individual<RealVector>>(pack(ind));
+  EXPECT_FALSE(copy.evaluated);
+}
+
+TEST(GenomeSerialization, ManyIndividualsSequential) {
+  Rng rng(6);
+  ByteWriter w;
+  std::vector<Individual<Permutation>> originals;
+  for (int i = 0; i < 10; ++i) {
+    originals.emplace_back(Permutation::random(12, rng),
+                           static_cast<double>(i));
+    serialize(w, originals.back());
+  }
+  ByteReader r(w.bytes());
+  for (int i = 0; i < 10; ++i) {
+    Individual<Permutation> ind;
+    deserialize(r, ind);
+    EXPECT_EQ(ind.genome, originals[static_cast<std::size_t>(i)].genome);
+    EXPECT_DOUBLE_EQ(ind.fitness, static_cast<double>(i));
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace pga::comm

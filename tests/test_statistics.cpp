@@ -1,0 +1,76 @@
+// Statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.hpp"
+
+namespace pga {
+namespace {
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(EffortAccumulator, HitRate) {
+  EffortAccumulator acc;
+  acc.add_run(true, 100);
+  acc.add_run(false, 0);
+  acc.add_run(true, 300);
+  acc.add_run(false, 0);
+  EXPECT_EQ(acc.runs(), 4u);
+  EXPECT_EQ(acc.hits(), 2u);
+  EXPECT_DOUBLE_EQ(acc.hit_rate(), 0.5);
+}
+
+TEST(EffortAccumulator, MeanAndMedianOverSuccessesOnly) {
+  EffortAccumulator acc;
+  acc.add_run(true, 100);
+  acc.add_run(true, 200);
+  acc.add_run(true, 600);
+  acc.add_run(false, 999999);  // failures excluded from effort
+  EXPECT_DOUBLE_EQ(acc.mean_evals(), 300.0);
+  EXPECT_DOUBLE_EQ(acc.median_evals(), 200.0);
+}
+
+TEST(EffortAccumulator, MedianEvenCount) {
+  EffortAccumulator acc;
+  acc.add_run(true, 100);
+  acc.add_run(true, 300);
+  EXPECT_DOUBLE_EQ(acc.median_evals(), 200.0);
+}
+
+TEST(EffortAccumulator, NoSuccessesIsInfiniteEffort) {
+  EffortAccumulator acc;
+  acc.add_run(false, 0);
+  EXPECT_TRUE(std::isinf(acc.mean_evals()));
+  EXPECT_TRUE(std::isinf(acc.median_evals()));
+  EXPECT_DOUBLE_EQ(acc.hit_rate(), 0.0);
+}
+
+TEST(EffortAccumulator, EmptyIsZeroHitRate) {
+  EffortAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pga

