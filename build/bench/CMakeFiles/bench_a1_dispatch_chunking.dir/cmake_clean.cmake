@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_dispatch_chunking.dir/bench_a1_dispatch_chunking.cpp.o"
+  "CMakeFiles/bench_a1_dispatch_chunking.dir/bench_a1_dispatch_chunking.cpp.o.d"
+  "bench_a1_dispatch_chunking"
+  "bench_a1_dispatch_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_dispatch_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_selection_pressure.dir/bench_a2_selection_pressure.cpp.o"
+  "CMakeFiles/bench_a2_selection_pressure.dir/bench_a2_selection_pressure.cpp.o.d"
+  "bench_a2_selection_pressure"
+  "bench_a2_selection_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_selection_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_adaptive_migration.dir/bench_a3_adaptive_migration.cpp.o"
+  "CMakeFiles/bench_a3_adaptive_migration.dir/bench_a3_adaptive_migration.cpp.o.d"
+  "bench_a3_adaptive_migration"
+  "bench_a3_adaptive_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_adaptive_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_image_registration.dir/bench_e12_image_registration.cpp.o"
+  "CMakeFiles/bench_e12_image_registration.dir/bench_e12_image_registration.cpp.o.d"
+  "bench_e12_image_registration"
+  "bench_e12_image_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_image_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_neurogenetic_stock.dir/bench_e13_neurogenetic_stock.cpp.o"
+  "CMakeFiles/bench_e13_neurogenetic_stock.dir/bench_e13_neurogenetic_stock.cpp.o.d"
+  "bench_e13_neurogenetic_stock"
+  "bench_e13_neurogenetic_stock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_neurogenetic_stock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

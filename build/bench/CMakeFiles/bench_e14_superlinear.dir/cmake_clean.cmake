@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_superlinear.dir/bench_e14_superlinear.cpp.o"
+  "CMakeFiles/bench_e14_superlinear.dir/bench_e14_superlinear.cpp.o.d"
+  "bench_e14_superlinear"
+  "bench_e14_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_wan_grid.dir/bench_e16_wan_grid.cpp.o"
+  "CMakeFiles/bench_e16_wan_grid.dir/bench_e16_wan_grid.cpp.o.d"
+  "bench_e16_wan_grid"
+  "bench_e16_wan_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_wan_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_sync_async_islands.dir/bench_e2_sync_async_islands.cpp.o"
+  "CMakeFiles/bench_e2_sync_async_islands.dir/bench_e2_sync_async_islands.cpp.o.d"
+  "bench_e2_sync_async_islands"
+  "bench_e2_sync_async_islands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_sync_async_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

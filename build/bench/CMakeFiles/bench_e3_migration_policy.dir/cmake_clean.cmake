@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_migration_policy.dir/bench_e3_migration_policy.cpp.o"
+  "CMakeFiles/bench_e3_migration_policy.dir/bench_e3_migration_policy.cpp.o.d"
+  "bench_e3_migration_policy"
+  "bench_e3_migration_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_migration_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_cellular_takeover.dir/bench_e4_cellular_takeover.cpp.o"
+  "CMakeFiles/bench_e4_cellular_takeover.dir/bench_e4_cellular_takeover.cpp.o.d"
+  "bench_e4_cellular_takeover"
+  "bench_e4_cellular_takeover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_cellular_takeover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

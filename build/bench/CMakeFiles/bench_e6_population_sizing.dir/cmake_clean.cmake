@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_population_sizing.dir/bench_e6_population_sizing.cpp.o"
+  "CMakeFiles/bench_e6_population_sizing.dir/bench_e6_population_sizing.cpp.o.d"
+  "bench_e6_population_sizing"
+  "bench_e6_population_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_population_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

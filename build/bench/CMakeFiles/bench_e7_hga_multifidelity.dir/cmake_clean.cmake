@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_hga_multifidelity.dir/bench_e7_hga_multifidelity.cpp.o"
+  "CMakeFiles/bench_e7_hga_multifidelity.dir/bench_e7_hga_multifidelity.cpp.o.d"
+  "bench_e7_hga_multifidelity"
+  "bench_e7_hga_multifidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_hga_multifidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

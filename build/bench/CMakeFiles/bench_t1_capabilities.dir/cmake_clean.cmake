@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_capabilities.dir/bench_t1_capabilities.cpp.o"
+  "CMakeFiles/bench_t1_capabilities.dir/bench_t1_capabilities.cpp.o.d"
+  "bench_t1_capabilities"
+  "bench_t1_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

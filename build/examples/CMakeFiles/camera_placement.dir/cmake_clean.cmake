@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_placement.dir/camera_placement.cpp.o"
+  "CMakeFiles/camera_placement.dir/camera_placement.cpp.o.d"
+  "camera_placement"
+  "camera_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

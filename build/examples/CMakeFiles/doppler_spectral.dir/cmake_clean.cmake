@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppler_spectral.dir/doppler_spectral.cpp.o"
+  "CMakeFiles/doppler_spectral.dir/doppler_spectral.cpp.o.d"
+  "doppler_spectral"
+  "doppler_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppler_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

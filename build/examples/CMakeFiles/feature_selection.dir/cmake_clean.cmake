@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_selection.dir/feature_selection.cpp.o"
+  "CMakeFiles/feature_selection.dir/feature_selection.cpp.o.d"
+  "feature_selection"
+  "feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

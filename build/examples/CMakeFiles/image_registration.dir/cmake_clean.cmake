@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_registration.dir/image_registration.cpp.o"
+  "CMakeFiles/image_registration.dir/image_registration.cpp.o.d"
+  "image_registration"
+  "image_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/island_diversity.dir/island_diversity.cpp.o"
+  "CMakeFiles/island_diversity.dir/island_diversity.cpp.o.d"
+  "island_diversity"
+  "island_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/island_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

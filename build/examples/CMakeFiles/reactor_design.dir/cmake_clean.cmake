@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactor_design.dir/reactor_design.cpp.o"
+  "CMakeFiles/reactor_design.dir/reactor_design.cpp.o.d"
+  "reactor_design"
+  "reactor_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactor_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_prediction.dir/stock_prediction.cpp.o"
+  "CMakeFiles/stock_prediction.dir/stock_prediction.cpp.o.d"
+  "stock_prediction"
+  "stock_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_cluster.dir/tsp_cluster.cpp.o"
+  "CMakeFiles/tsp_cluster.dir/tsp_cluster.cpp.o.d"
+  "tsp_cluster"
+  "tsp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wing_design.dir/wing_design.cpp.o"
+  "CMakeFiles/wing_design.dir/wing_design.cpp.o.d"
+  "wing_design"
+  "wing_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wing_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

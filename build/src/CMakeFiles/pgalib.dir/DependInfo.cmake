@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/inproc.cpp" "src/CMakeFiles/pgalib.dir/comm/inproc.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/comm/inproc.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/pgalib.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/workloads/airfoil.cpp" "src/CMakeFiles/pgalib.dir/workloads/airfoil.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/airfoil.cpp.o.d"
+  "/root/repo/src/workloads/digits.cpp" "src/CMakeFiles/pgalib.dir/workloads/digits.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/digits.cpp.o.d"
+  "/root/repo/src/workloads/doppler.cpp" "src/CMakeFiles/pgalib.dir/workloads/doppler.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/doppler.cpp.o.d"
+  "/root/repo/src/workloads/images.cpp" "src/CMakeFiles/pgalib.dir/workloads/images.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/images.cpp.o.d"
+  "/root/repo/src/workloads/reactor.cpp" "src/CMakeFiles/pgalib.dir/workloads/reactor.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/reactor.cpp.o.d"
+  "/root/repo/src/workloads/stock.cpp" "src/CMakeFiles/pgalib.dir/workloads/stock.cpp.o" "gcc" "src/CMakeFiles/pgalib.dir/workloads/stock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgalib.dir/comm/inproc.cpp.o"
+  "CMakeFiles/pgalib.dir/comm/inproc.cpp.o.d"
+  "CMakeFiles/pgalib.dir/sim/cluster.cpp.o"
+  "CMakeFiles/pgalib.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/airfoil.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/airfoil.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/digits.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/digits.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/doppler.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/doppler.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/images.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/images.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/reactor.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/reactor.cpp.o.d"
+  "CMakeFiles/pgalib.dir/workloads/stock.cpp.o"
+  "CMakeFiles/pgalib.dir/workloads/stock.cpp.o.d"
+  "libpgalib.a"
+  "libpgalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellular_parallel.dir/test_cellular_parallel.cpp.o"
+  "CMakeFiles/test_cellular_parallel.dir/test_cellular_parallel.cpp.o.d"
+  "test_cellular_parallel"
+  "test_cellular_parallel.pdb"
+  "test_cellular_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellular_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

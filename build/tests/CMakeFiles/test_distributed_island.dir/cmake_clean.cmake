@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_island.dir/test_distributed_island.cpp.o"
+  "CMakeFiles/test_distributed_island.dir/test_distributed_island.cpp.o.d"
+  "test_distributed_island"
+  "test_distributed_island.pdb"
+  "test_distributed_island[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_scheduling.dir/test_graph_scheduling.cpp.o"
+  "CMakeFiles/test_graph_scheduling.dir/test_graph_scheduling.cpp.o.d"
+  "test_graph_scheduling"
+  "test_graph_scheduling.pdb"
+  "test_graph_scheduling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memetic.dir/test_memetic.cpp.o"
+  "CMakeFiles/test_memetic.dir/test_memetic.cpp.o.d"
+  "test_memetic"
+  "test_memetic.pdb"
+  "test_memetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

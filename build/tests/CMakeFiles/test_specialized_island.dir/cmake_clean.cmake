@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specialized_island.dir/test_specialized_island.cpp.o"
+  "CMakeFiles/test_specialized_island.dir/test_specialized_island.cpp.o.d"
+  "test_specialized_island"
+  "test_specialized_island.pdb"
+  "test_specialized_island[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specialized_island.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
