@@ -12,6 +12,8 @@
 #include <optional>
 
 #include "bench_util.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
 #include "sim/cluster.hpp"
@@ -25,7 +27,7 @@ namespace {
 /// of the era) — Cantú-Paz's Tc.
 constexpr double kTc = 4e-4;
 
-double simulated_time(double tf, int ranks) {
+double simulated_time(double tf, int ranks, obs::EventLog* trace = nullptr) {
   problems::OneMax problem(64);
   MasterSlaveConfig<BitString> cfg;
   cfg.pop_size = 64;
@@ -40,9 +42,11 @@ double simulated_time(double tf, int ranks) {
   cfg.eval_cost_s = tf;
   cfg.seed = 3;
   cfg.make_genome = [](Rng& r) { return BitString::random(64, r); };
+  cfg.trace = obs::Tracer(trace);
 
   auto sim_cfg = sim::homogeneous(ranks, sim::NetworkModel::gigabit_ethernet());
   sim_cfg.send_overhead_s = kTc;
+  sim_cfg.trace = trace;
   sim::SimCluster cluster(sim_cfg);
   auto report = cluster.run([&](comm::Transport& t) {
     (void)run_master_slave_rank(t, problem, cfg);
@@ -80,5 +84,13 @@ int main() {
               "as communication dominates; expensive fitness (large Tf)\n"
               "sustains more slaves - who wins flips exactly as the survey\n"
               "describes for global PGAs.\n");
+
+  // Traced exemplar run: Tf = 1 ms with 8 slaves, exported for
+  // chrome://tracing and audited with the event-stream report.
+  obs::EventLog log;
+  (void)simulated_time(1e-3, 9, &log);
+  obs::save_chrome_trace(log, "bench_e1_trace.json", "E1 master-slave");
+  std::printf("\nTraced run (Tf = 1 ms, 8 slaves) -> bench_e1_trace.json\n%s",
+              obs::RunReport::from(log).to_string().c_str());
   return 0;
 }

@@ -13,6 +13,8 @@
 
 #include "bench_util.hpp"
 #include "core/statistics.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
@@ -47,7 +49,8 @@ struct Outcome {
   std::size_t evals = 0;  ///< search effort actually performed
 };
 
-Outcome run_master_slave(int failures, std::uint64_t seed) {
+Outcome run_master_slave(int failures, std::uint64_t seed,
+                         obs::EventLog* trace = nullptr) {
   problems::OneMax problem(kBits);
   MasterSlaveConfig<BitString> cfg;
   cfg.pop_size = 56;
@@ -59,8 +62,11 @@ Outcome run_master_slave(int failures, std::uint64_t seed) {
   cfg.timeout_s = 0.5;
   cfg.seed = seed;
   cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+  cfg.trace = obs::Tracer(trace);
 
-  sim::SimCluster cluster(cluster_with_failures(failures, seed));
+  auto sim_cfg = cluster_with_failures(failures, seed);
+  sim_cfg.trace = trace;
+  sim::SimCluster cluster(sim_cfg);
   Outcome out;
   std::mutex mu;
   auto report = cluster.run([&](comm::Transport& t) {
@@ -150,5 +156,13 @@ int main() {
               "with each dead deme - the work its population would have done\n"
               "is simply lost.  That asymmetry is Gagne et al.'s robustness\n"
               "argument for the master-slave architecture.\n");
+
+  // Traced exemplar run: FT master-slave with 2 failures — the dead slaves'
+  // lanes stop cold in the timeline and the report flags them as failed.
+  obs::EventLog log;
+  (void)run_master_slave(/*failures=*/2, /*seed=*/1, &log);
+  obs::save_chrome_trace(log, "bench_e9_trace.json", "E9 FT master-slave");
+  std::printf("\nTraced run (2 failures) -> bench_e9_trace.json\n%s",
+              obs::RunReport::from(log).to_string().c_str());
   return 0;
 }

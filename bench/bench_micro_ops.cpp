@@ -11,6 +11,8 @@
 #include "core/cellular.hpp"
 #include "core/evolution.hpp"
 #include "multiobj/pareto.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "problems/binary.hpp"
 #include "problems/functions.hpp"
 #include "problems/tsp.hpp"
@@ -189,6 +191,56 @@ void BM_NondominatedSort(benchmark::State& state) {
     benchmark::DoNotOptimize(multiobj::nondominated_sort(points));
 }
 BENCHMARK(BM_NondominatedSort)->Arg(100)->Arg(400);
+
+// Tracing cost model (obs/events.hpp): a null tracer must cost one
+// predictable branch per emit site — this is what makes always-on
+// instrumentation of the hot paths acceptable.  The live-tracer and metrics
+// numbers bound the cost of turning observability on.
+
+void BM_TracerEmitNull(benchmark::State& state) {
+  obs::Tracer tracer;  // null sink
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.message_sent(0, t, 1, 7, 64);
+    t += 1e-9;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TracerEmitNull);
+
+void BM_TracerEmitLive(benchmark::State& state) {
+  obs::EventLog log;
+  obs::Tracer tracer(&log);
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.message_sent(0, t, 1, 7, 64);
+    t += 1e-9;
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEmitLive);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench_ops_total");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench_latency_s", {1e-6, 1e-5, 1e-4, 1e-3});
+  double v = 0.0;
+  for (auto _ : state) {
+    hist.observe(v);
+    v += 1e-7;
+    if (v > 1e-2) v = 0.0;
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 }  // namespace
 

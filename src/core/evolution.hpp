@@ -20,6 +20,7 @@
 #include "core/selection.hpp"
 #include "core/statistics.hpp"
 #include "core/termination.hpp"
+#include "obs/events.hpp"
 
 namespace pga {
 
@@ -176,11 +177,13 @@ struct RunResult {
 };
 
 /// Drives `scheme` on `pop` until `stop` fires.  Records per-generation
-/// statistics when `record_history` is set.
+/// statistics when `record_history` is set; when `trace` is live, the same
+/// snapshots are emitted as gen_stats events (rank 0, generation index as
+/// the virtual timestamp) so sequential runs audit with obs::RunReport too.
 template <class G>
 RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
                  const Problem<G>& problem, const StopCondition& stop, Rng& rng,
-                 bool record_history = false) {
+                 bool record_history = false, obs::Tracer trace = {}) {
   RunResult<G> result;
   result.evaluations += pop.evaluate_all(problem);
 
@@ -188,14 +191,16 @@ RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
   std::size_t stagnant = 0;
 
   auto snapshot = [&](std::size_t gen) {
-    if (!record_history) return;
+    if (!record_history && !trace) return;
     GenStats s;
     s.generation = gen;
     s.evaluations = result.evaluations;
     s.best = pop.best_fitness();
     s.mean = pop.mean_fitness();
     s.worst = pop[pop.worst_index()].fitness;
-    result.history.push_back(s);
+    trace.gen_stats(0, static_cast<double>(gen), gen, s.evaluations, s.best,
+                    s.mean, s.worst);
+    if (record_history) result.history.push_back(s);
   };
   snapshot(0);
 

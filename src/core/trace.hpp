@@ -46,6 +46,12 @@ namespace pga {
           c3 >> g.mean >> c4 >> g.worst) ||
         c1 != ',' || c2 != ',' || c3 != ',' || c4 != ',')
       throw std::runtime_error("bad trace row: " + line);
+    // The last field must consume the rest of the line: "5junk" parses the 5
+    // and leaves "junk" behind, which is a malformed row, not a value.
+    // Trailing whitespace (e.g. the \r of a CRLF file) stays accepted.
+    fields >> std::ws;
+    if (fields.peek() != std::istringstream::traits_type::eof())
+      throw std::runtime_error("trailing garbage in trace row: " + line);
     out.push_back(g);
   }
   return out;
@@ -103,11 +109,18 @@ class CsvTable {
     std::string out;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i) out.push_back(',');
-      // Quote cells containing commas.
-      if (cells[i].find(',') != std::string::npos)
-        out += '"' + cells[i] + '"';
-      else
+      // RFC 4180: quote cells containing separators, quotes or newlines,
+      // and double any embedded quote.
+      if (cells[i].find_first_of(",\"\n\r") != std::string::npos) {
+        out.push_back('"');
+        for (char c : cells[i]) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
         out += cells[i];
+      }
     }
     return out;
   }

@@ -1,0 +1,154 @@
+#pragma once
+// Chrome `trace_event` JSON export for an obs::EventLog.
+//
+// Any traced run — simulated cluster, in-process threads, or the sequential
+// island engine — renders as a timeline in chrome://tracing or Perfetto:
+// one lane (tid) per rank, duration events for spans, instant events for
+// messages/migrations/failures, and counter tracks for per-generation
+// fitness.  Virtual seconds map to microseconds (`ts` is in µs per the
+// trace_event spec), so a 0.5 s virtual makespan shows as a 500 ms timeline.
+//
+// Format reference: Trace Event Format (the `traceEvents` array of phase
+// B/E/i/C/M objects).  Only features every viewer supports are emitted.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+namespace chrome_detail {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+inline void append_json_string(std::ostringstream& out, const char* s) {
+  out << '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+inline void event_header(std::ostringstream& out, const char* name,
+                         const char* phase, int tid, double ts_us) {
+  out << "{\"name\":";
+  append_json_string(out, name);
+  out << ",\"ph\":\"" << phase << "\",\"pid\":0,\"tid\":" << tid
+      << ",\"ts\":" << ts_us;
+}
+
+}  // namespace chrome_detail
+
+/// Renders the log as a complete Chrome trace JSON document.
+/// `process_name` labels the single pid-0 process row in the viewer.
+[[nodiscard]] inline std::string chrome_trace_json(
+    const EventLog& log, const std::string& process_name = "pga") {
+  using chrome_detail::append_json_string;
+  using chrome_detail::event_header;
+
+  const auto events = log.sorted_by_time();
+
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Metadata: name the process and give every rank its own named lane.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":";
+  append_json_string(out, process_name.c_str());
+  out << "}}";
+  std::set<int> ranks;
+  for (const auto& e : events) ranks.insert(e.rank);
+  for (int r : ranks) {
+    const std::string lane = "rank " + std::to_string(r);
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+        << ",\"args\":{\"name\":";
+    append_json_string(out, lane.c_str());
+    out << "}},{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+           "\"tid\":"
+        << r << ",\"args\":{\"sort_index\":" << r << "}}";
+  }
+
+  for (const auto& e : events) {
+    const double ts = e.t * 1e6;  // seconds -> microseconds
+    out << ',';
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        event_header(out, e.name, "B", e.rank, ts);
+        out << '}';
+        break;
+      case EventKind::kSpanEnd:
+        event_header(out, e.name, "E", e.rank, ts);
+        out << '}';
+        break;
+      case EventKind::kMessageSent:
+      case EventKind::kMessageRecv:
+        event_header(out, e.name, "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
+            << ",\"tag\":" << e.tag << ",\"bytes\":" << e.count << "}}";
+        break;
+      case EventKind::kMigration:
+        event_header(out, "migration", "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"dest\":" << e.peer
+            << ",\"migrants\":" << e.count << ",\"policy\":";
+        append_json_string(out, e.name);
+        out << "}}";
+        break;
+      case EventKind::kEvaluationBatch:
+        event_header(out, e.name, "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"batch\":" << e.count << "}}";
+        break;
+      case EventKind::kNodeFailure:
+        event_header(out, "node_failure", "i", e.rank, ts);
+        // Process-scoped instant: failures draw full-height in the viewer.
+        out << ",\"s\":\"p\",\"args\":{\"cause\":";
+        append_json_string(out, e.name);
+        out << ",\"peer\":" << e.peer << "}}";
+        break;
+      case EventKind::kGenStats: {
+        const std::string track = "fitness[" + std::to_string(e.rank) + "]";
+        event_header(out, track.c_str(), "C", e.rank, ts);
+        out << ",\"args\":{\"best\":" << e.best << ",\"mean\":" << e.mean
+            << ",\"worst\":" << e.worst << "}}";
+        break;
+      }
+      case EventKind::kMark:
+        event_header(out, e.name, "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
+            << ",\"count\":" << e.count << "}}";
+        break;
+    }
+  }
+
+  out << "]}";
+  return out.str();
+}
+
+/// Writes the trace document next to a run's other artifacts; load the file
+/// via chrome://tracing "Load" or ui.perfetto.dev "Open trace file".
+inline void save_chrome_trace(const EventLog& log, const std::string& path,
+                              const std::string& process_name = "pga") {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << chrome_trace_json(log, process_name);
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+}  // namespace pga::obs

@@ -1,0 +1,275 @@
+#pragma once
+// Structured event tracing: the observability substrate under every parallel
+// model.
+//
+// The survey's quantitative claims — master-slave speedup, sync/async island
+// convergence, migration-policy effects, takeover curves, fault tolerance —
+// are statements about *when things happen*: messages, migrations,
+// evaluations, failures.  Per-generation CSV stats (core/trace.hpp) cannot
+// audit those claims below generation granularity, so instrumented code emits
+// typed `Event` records into an `EventLog` instead, each carrying the
+// emitting rank and a virtual (simulator) or wall (in-process) timestamp.
+//
+// Cost model: hot paths hold a `Tracer`, a nullable handle to an EventLog.
+// With tracing off the tracer is null and every emit is exactly one
+// predictable branch (see BM_TracerEmitNull in bench_micro_ops.cpp); with
+// tracing on, appends take a short mutex-protected push_back.
+//
+// Downstream consumers: chrome_trace.hpp renders a log as Chrome
+// `trace_event` JSON (one lane per rank); report.hpp derives the survey's
+// headline numbers (utilization, comm/compute ratio, takeover time,
+// migration counts) from the same stream.
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pga::obs {
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin,        ///< start of a named duration on a rank's lane
+  kSpanEnd,          ///< end of the innermost open span with the same name
+  kMessageSent,      ///< transport-level send (peer = dest, count = bytes)
+  kMessageRecv,      ///< transport-level receive (peer = source)
+  kMigration,        ///< migrant packet leaving a deme (peer = dest deme)
+  kEvaluationBatch,  ///< a batch of fitness evaluations (count = batch size)
+  kNodeFailure,      ///< the rank died (failure injection or detection)
+  kGenStats,         ///< per-generation population snapshot
+  kMark,             ///< generic instant marker (dispatch, re_dispatch, ...)
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kMessageSent: return "message_sent";
+    case EventKind::kMessageRecv: return "message_recv";
+    case EventKind::kMigration: return "migration";
+    case EventKind::kEvaluationBatch: return "evaluation_batch";
+    case EventKind::kNodeFailure: return "node_failure";
+    case EventKind::kGenStats: return "gen_stats";
+    case EventKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+/// One structured record.  `name` must point at a string with static storage
+/// duration (instrumentation sites use literals), so events are plain
+/// trivially-copyable values with no per-event allocation.
+struct Event {
+  EventKind kind = EventKind::kMark;
+  int rank = 0;      ///< emitting rank / deme
+  double t = 0.0;    ///< virtual seconds (sim), wall seconds, or epoch index
+  const char* name = "";  ///< span name, marker label, or policy name
+  int peer = -1;     ///< message/migration counterpart rank (-1 = none)
+  int tag = 0;       ///< transport tag (message events)
+  std::uint64_t count = 0;  ///< bytes, migrant count, or evaluations in batch
+  std::uint64_t generation = 0;   ///< gen_stats: generation index
+  std::uint64_t evaluations = 0;  ///< gen_stats: cumulative evaluations
+  double best = 0.0;   ///< gen_stats: best fitness
+  double mean = 0.0;   ///< gen_stats: mean fitness
+  double worst = 0.0;  ///< gen_stats: worst fitness
+  std::uint64_t seq = 0;  ///< global append order, assigned by the log
+};
+
+/// Thread-safe append-only event store.  Ranks on a SimCluster or
+/// InprocCluster append concurrently; `seq` gives a total order that breaks
+/// timestamp ties deterministically (per-rank program order is preserved
+/// because each rank appends its own events in order).
+class EventLog {
+ public:
+  void append(Event e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    e.seq = next_seq_++;
+    events_.push_back(e);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    next_seq_ = 0;
+  }
+
+  /// Copy of the stream in append order.
+  [[nodiscard]] std::vector<Event> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  /// Copy sorted by (timestamp, seq) — the canonical virtual-time order the
+  /// exporters and RunReport consume.
+  [[nodiscard]] std::vector<Event> sorted_by_time() const {
+    auto out = snapshot();
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event& a, const Event& b) {
+                       return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+                     });
+    return out;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Nullable handle instrumented code emits through.  A default-constructed
+/// Tracer is the null sink: every emit below is one branch and returns.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(EventLog* log) noexcept : log_(log) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return log_ != nullptr; }
+  explicit operator bool() const noexcept { return enabled(); }
+  [[nodiscard]] EventLog* log() const noexcept { return log_; }
+
+  void span_begin(int rank, double t, const char* name) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kSpanBegin;
+    e.rank = rank;
+    e.t = t;
+    e.name = name;
+    log_->append(e);
+  }
+
+  void span_end(int rank, double t, const char* name) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kSpanEnd;
+    e.rank = rank;
+    e.t = t;
+    e.name = name;
+    log_->append(e);
+  }
+
+  void message_sent(int rank, double t, int dest, int tag,
+                    std::uint64_t bytes) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kMessageSent;
+    e.rank = rank;
+    e.t = t;
+    e.name = "send";
+    e.peer = dest;
+    e.tag = tag;
+    e.count = bytes;
+    log_->append(e);
+  }
+
+  void message_recv(int rank, double t, int source, int tag,
+                    std::uint64_t bytes) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kMessageRecv;
+    e.rank = rank;
+    e.t = t;
+    e.name = "recv";
+    e.peer = source;
+    e.tag = tag;
+    e.count = bytes;
+    log_->append(e);
+  }
+
+  /// A migrant packet leaving `rank` for deme `dest`; `policy` names the
+  /// migrant-selection rule so policy sweeps are distinguishable in one log.
+  void migration(int rank, double t, int dest, std::uint64_t migrants,
+                 const char* policy) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kMigration;
+    e.rank = rank;
+    e.t = t;
+    e.name = policy;
+    e.peer = dest;
+    e.count = migrants;
+    log_->append(e);
+  }
+
+  void evaluation_batch(int rank, double t, std::uint64_t batch_size,
+                        const char* label = "eval") const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kEvaluationBatch;
+    e.rank = rank;
+    e.t = t;
+    e.name = label;
+    e.count = batch_size;
+    log_->append(e);
+  }
+
+  void node_failure(int rank, double t, const char* cause = "killed",
+                    int peer = -1) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kNodeFailure;
+    e.rank = rank;
+    e.t = t;
+    e.name = cause;
+    e.peer = peer;
+    log_->append(e);
+  }
+
+  void gen_stats(int rank, double t, std::uint64_t generation,
+                 std::uint64_t evaluations, double best, double mean,
+                 double worst) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kGenStats;
+    e.rank = rank;
+    e.t = t;
+    e.name = "gen";
+    e.generation = generation;
+    e.evaluations = evaluations;
+    e.best = best;
+    e.mean = mean;
+    e.worst = worst;
+    log_->append(e);
+  }
+
+  /// Generic instant marker (e.g. "dispatch", "re_dispatch",
+  /// "slave_declared_dead") with an optional counterpart rank and count.
+  void mark(int rank, double t, const char* label, int peer = -1,
+            std::uint64_t count = 0) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kMark;
+    e.rank = rank;
+    e.t = t;
+    e.name = label;
+    e.peer = peer;
+    e.count = count;
+    log_->append(e);
+  }
+
+ private:
+  EventLog* log_ = nullptr;
+};
+
+/// Process-wide log behind `default_tracer()`.
+[[nodiscard]] inline EventLog& global_log() {
+  static EventLog log;
+  return log;
+}
+
+/// Build-configurable default sink.  With PGA_TRACE_DEFAULT_OFF (the normal
+/// build; see the CMake option of the same name) this is the null sink, so
+/// code written against `default_tracer()` costs one branch per emit site.
+/// Configuring with -DPGA_TRACE_DEFAULT_OFF=OFF flips the default to the
+/// process-global log without touching call sites.
+[[nodiscard]] inline Tracer default_tracer() noexcept {
+#ifdef PGA_TRACE_DEFAULT_OFF
+  return Tracer{};
+#else
+  return Tracer{&global_log()};
+#endif
+}
+
+}  // namespace pga::obs

@@ -1,0 +1,230 @@
+#pragma once
+// Metrics registry: thread-safe counters, gauges, and fixed-bucket
+// histograms with Prometheus-style text and CSV export.
+//
+// Tracing (events.hpp) answers "when did each thing happen"; metrics answer
+// "how many / how much right now" cheaply enough to stay on in production.
+// The registry hands out stable references — metric objects never move once
+// created — so hot paths hold a `Counter&` and pay one relaxed atomic
+// add per increment, with no registry lock after the first lookup.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pga::obs {
+
+/// Monotonically increasing count (events, messages, evaluations).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, utilization, temperature).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    // CAS loop instead of fetch_add(double) for toolchain portability.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: `bounds` are inclusive
+/// upper edges, plus an implicit +Inf bucket).  Observation is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+      if (!(bounds_[i - 1] < bounds_[i]))
+        throw std::invalid_argument(
+            "histogram bucket bounds must be strictly increasing");
+  }
+
+  void observe(double x) noexcept {
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Observations in bucket `i` (i == bounds().size() is the +Inf bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+  /// Cumulative count through bucket `i`, the Prometheus `le` convention.
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const {
+    std::uint64_t c = 0;
+    for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b)
+      c += buckets_[b].load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  // deque-free fixed array of atomics; the vector never resizes after
+  // construction so the atomics never move.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns metrics by name.  Lookup/creation takes the registry mutex; the
+/// returned references remain valid and lock-free for the registry's
+/// lifetime.  Names follow the Prometheus charset `[a-zA-Z_:][a-zA-Z0-9_:]*`
+/// and each name binds to exactly one metric type.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require_valid_name(name);
+    require_unclaimed(name, Kind::kCounter);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require_valid_name(name);
+    require_unclaimed(name, Kind::kGauge);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  /// Bucket bounds matter only on first creation; later lookups of the same
+  /// name return the existing histogram and ignore `bounds`.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require_valid_name(name);
+    require_unclaimed(name, Kind::kHistogram);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+  }
+
+  /// Prometheus text exposition format (counters, gauges, histogram
+  /// `_bucket`/`_sum`/`_count` series), names sorted for determinism.
+  [[nodiscard]] std::string to_prometheus() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto& [name, c] : counters_) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << ' ' << c->value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << ' ' << g->value() << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << "# TYPE " << name << " histogram\n";
+      const auto& bounds = h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i)
+        out << name << "_bucket{le=\"" << bounds[i] << "\"} "
+            << h->cumulative_count(i) << '\n';
+      out << name << "_bucket{le=\"+Inf\"} " << h->count() << '\n';
+      out << name << "_sum " << h->sum() << '\n';
+      out << name << "_count " << h->count() << '\n';
+    }
+    return out.str();
+  }
+
+  /// Flat CSV snapshot: `metric,type,value` (histograms export their
+  /// `_sum`/`_count` plus one row per bucket).
+  [[nodiscard]] std::string to_csv() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out.precision(17);
+    out << "metric,type,value\n";
+    for (const auto& [name, c] : counters_)
+      out << name << ",counter," << c->value() << '\n';
+    for (const auto& [name, g] : gauges_)
+      out << name << ",gauge," << g->value() << '\n';
+    for (const auto& [name, h] : histograms_) {
+      const auto& bounds = h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i)
+        out << name << "_bucket_le_" << bounds[i] << ",histogram,"
+            << h->cumulative_count(i) << '\n';
+      out << name << "_sum,histogram," << h->sum() << '\n';
+      out << name << "_count,histogram," << h->count() << '\n';
+    }
+    return out.str();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  static void require_valid_name(const std::string& name) {
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+             c == ':';
+    };
+    auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+    bool ok = !name.empty() && head(name.front());
+    for (std::size_t i = 1; ok && i < name.size(); ++i) ok = tail(name[i]);
+    if (!ok)
+      throw std::invalid_argument("invalid metric name: '" + name + "'");
+  }
+
+  void require_unclaimed(const std::string& name, Kind want) const {
+    if (want != Kind::kCounter && counters_.count(name))
+      throw std::invalid_argument("metric '" + name + "' is a counter");
+    if (want != Kind::kGauge && gauges_.count(name))
+      throw std::invalid_argument("metric '" + name + "' is a gauge");
+    if (want != Kind::kHistogram && histograms_.count(name))
+      throw std::invalid_argument("metric '" + name + "' is a histogram");
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pga::obs

@@ -1,0 +1,262 @@
+#pragma once
+// RunReport: derives the survey's headline numbers from an event stream.
+//
+// Harada, Alba & Luque argue that distributed GAs must be compared on
+// wall/virtual-time event series rather than generation counts; this
+// aggregator turns an obs::EventLog into exactly those numbers:
+//
+//   * per-rank busy time and utilization against the virtual makespan
+//     ("compute" spans are CPU work; everything else on a lane is idle/comm)
+//   * comm/compute ratio — the overhead term in every speedup model
+//   * message and byte totals per rank and overall
+//   * migration counts per (source, dest) edge
+//   * node failures with their timestamps (Gagné's fault-tolerance audit)
+//   * time-to-fitness / takeover time from the gen_stats series
+//
+// Utilization convention: only spans named "compute" count as busy (the
+// simulator emits them for every compute() call), so a master rank that
+// blocks in recv shows the low utilization the bottleneck analysis predicts
+// instead of being hidden inside an umbrella span.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+/// Per-rank usage derived from the event stream.
+struct RankUsage {
+  double busy_s = 0.0;  ///< total time inside outermost "compute" spans
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_recv = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t evaluations = 0;     ///< summed evaluation_batch counts
+  std::uint64_t migrations_out = 0;  ///< migration packets emitted
+  std::uint64_t migrants_out = 0;    ///< individuals in those packets
+  bool failed = false;
+  double fail_t = std::numeric_limits<double>::infinity();
+  double last_t = 0.0;  ///< rank's final event timestamp
+
+  [[nodiscard]] double utilization(double makespan) const noexcept {
+    return makespan > 0.0 ? busy_s / makespan : 0.0;
+  }
+};
+
+/// One gen_stats sample, retained so convergence/takeover questions can be
+/// asked after the fact.
+struct FitnessSample {
+  double t = 0.0;
+  int rank = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t evaluations = 0;
+  double best = 0.0;
+};
+
+class RunReport {
+ public:
+  /// Builds the report from a log (events are re-sorted by virtual time, so
+  /// append order across ranks does not matter).
+  [[nodiscard]] static RunReport from(const EventLog& log) {
+    return RunReport(log.sorted_by_time());
+  }
+
+  /// Builds from an explicit, already time-sorted event sequence.
+  [[nodiscard]] static RunReport from(std::vector<Event> sorted_events) {
+    return RunReport(std::move(sorted_events));
+  }
+
+  [[nodiscard]] double makespan() const noexcept { return makespan_; }
+  [[nodiscard]] const std::vector<RankUsage>& ranks() const noexcept {
+    return ranks_;
+  }
+  [[nodiscard]] std::size_t num_ranks() const noexcept {
+    return ranks_.size();
+  }
+
+  [[nodiscard]] double total_busy() const noexcept {
+    double s = 0.0;
+    for (const auto& r : ranks_) s += r.busy_s;
+    return s;
+  }
+
+  /// Mean utilization: aggregate busy time over ranks * makespan.
+  [[nodiscard]] double mean_utilization() const noexcept {
+    const double denom =
+        makespan_ * static_cast<double>(ranks_.size());
+    return denom > 0.0 ? total_busy() / denom : 0.0;
+  }
+
+  /// Non-compute (communication + idle) time over compute time, the overhead
+  /// ratio that bounds speedup in every model of the survey.
+  [[nodiscard]] double comm_compute_ratio() const noexcept {
+    const double busy = total_busy();
+    const double total = makespan_ * static_cast<double>(ranks_.size());
+    return busy > 0.0 ? (total - busy) / busy
+                      : std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.messages_sent;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.bytes_sent;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_evaluations() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.evaluations;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_migrations() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.migrations_out;
+    return n;
+  }
+  [[nodiscard]] std::size_t failures() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : ranks_) n += r.failed;
+    return n;
+  }
+
+  /// Migration packets per (source deme, dest deme) edge.
+  [[nodiscard]] const std::map<std::pair<int, int>, std::uint64_t>&
+  migration_edges() const noexcept {
+    return migration_edges_;
+  }
+
+  /// Instant markers by label ("dispatch", "re_dispatch", ...).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& marks()
+      const noexcept {
+    return marks_;
+  }
+
+  /// Best fitness over all ranks' gen_stats series at any time.
+  [[nodiscard]] double final_best() const noexcept { return final_best_; }
+
+  /// Earliest virtual time at which any rank's gen_stats best reached
+  /// `target` — the takeover / time-to-solution measure (+inf if never).
+  [[nodiscard]] double time_to_fitness(double target) const noexcept {
+    for (const auto& s : fitness_series_)  // sorted by time
+      if (s.best >= target) return s.t;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] const std::vector<FitnessSample>& fitness_series()
+      const noexcept {
+    return fitness_series_;
+  }
+
+  /// Markdown-ish per-rank summary for experiment harness stdout.
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    out.precision(6);
+    out << "RunReport: makespan " << makespan_ << " s, mean utilization "
+        << mean_utilization() << ", comm/compute " << comm_compute_ratio()
+        << ", " << total_messages() << " msgs, " << total_bytes()
+        << " bytes, " << total_migrations() << " migrations, " << failures()
+        << " failures\n";
+    out << "| rank | busy (s) | util | msgs out | bytes out | evals | "
+           "migrations | failed |\n";
+    out << "|------|----------|------|----------|-----------|-------|"
+           "------------|--------|\n";
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const auto& u = ranks_[r];
+      out << "| " << r << " | " << u.busy_s << " | "
+          << u.utilization(makespan_) << " | " << u.messages_sent << " | "
+          << u.bytes_sent << " | " << u.evaluations << " | "
+          << u.migrations_out << " | " << (u.failed ? "yes" : "no")
+          << " |\n";
+    }
+    return out.str();
+  }
+
+ private:
+  explicit RunReport(std::vector<Event> events) {
+    int max_rank = -1;
+    for (const auto& e : events) max_rank = std::max(max_rank, e.rank);
+    ranks_.resize(static_cast<std::size_t>(max_rank + 1));
+
+    // Per-rank nesting depth of "compute" spans and the open timestamp, so
+    // re-entrant compute spans are not double counted.
+    std::vector<int> depth(ranks_.size(), 0);
+    std::vector<double> open_t(ranks_.size(), 0.0);
+
+    for (const auto& e : events) {
+      auto& u = ranks_[static_cast<std::size_t>(e.rank)];
+      makespan_ = std::max(makespan_, e.t);
+      u.last_t = std::max(u.last_t, e.t);
+      const auto r = static_cast<std::size_t>(e.rank);
+      switch (e.kind) {
+        case EventKind::kSpanBegin:
+          if (std::string_view(e.name) == "compute" && depth[r]++ == 0)
+            open_t[r] = e.t;
+          break;
+        case EventKind::kSpanEnd:
+          if (std::string_view(e.name) == "compute" && depth[r] > 0 &&
+              --depth[r] == 0)
+            u.busy_s += e.t - open_t[r];
+          break;
+        case EventKind::kMessageSent:
+          ++u.messages_sent;
+          u.bytes_sent += e.count;
+          break;
+        case EventKind::kMessageRecv:
+          ++u.messages_recv;
+          u.bytes_recv += e.count;
+          break;
+        case EventKind::kMigration:
+          ++u.migrations_out;
+          u.migrants_out += e.count;
+          ++migration_edges_[{e.rank, e.peer}];
+          break;
+        case EventKind::kEvaluationBatch:
+          u.evaluations += e.count;
+          break;
+        case EventKind::kNodeFailure:
+          u.failed = true;
+          u.fail_t = std::min(u.fail_t, e.t);
+          break;
+        case EventKind::kGenStats: {
+          FitnessSample s;
+          s.t = e.t;
+          s.rank = e.rank;
+          s.generation = e.generation;
+          s.evaluations = e.evaluations;
+          s.best = e.best;
+          fitness_series_.push_back(s);
+          final_best_ = std::max(final_best_, e.best);
+          break;
+        }
+        case EventKind::kMark:
+          ++marks_[e.name];
+          break;
+      }
+    }
+
+    // A span left open (e.g. the rank died mid-compute and the end event
+    // never fired) is charged through the makespan.
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      if (depth[r] > 0) ranks_[r].busy_s += makespan_ - open_t[r];
+  }
+
+  std::vector<RankUsage> ranks_;
+  double makespan_ = 0.0;
+  double final_best_ = -std::numeric_limits<double>::infinity();
+  std::map<std::pair<int, int>, std::uint64_t> migration_edges_;
+  std::map<std::string, std::uint64_t> marks_;
+  std::vector<FitnessSample> fitness_series_;
+};
+
+}  // namespace pga::obs

@@ -27,6 +27,7 @@
 #include "core/problem.hpp"
 #include "core/rng.hpp"
 #include "core/termination.hpp"
+#include "obs/events.hpp"
 #include "parallel/migration.hpp"
 #include "parallel/topology.hpp"
 
@@ -58,6 +59,10 @@ struct DistributedIslandConfig {
   std::function<std::unique_ptr<EvolutionScheme<G>>(int rank)> make_scheme;
   /// Random genome factory.
   std::function<G(Rng&)> make_genome;
+  /// Optional event sink: each rank emits per-generation stats and one
+  /// migration event per outgoing packet (source/dest/policy), stamped with
+  /// transport time.  Null (default) costs one branch per site.
+  obs::Tracer trace{};
 };
 
 namespace detail {
@@ -148,6 +153,12 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
     report.evaluations += evals;
     ++report.generations;
     t.compute(static_cast<double>(evals) * cfg.eval_cost_s);
+    if (cfg.trace) {
+      cfg.trace.evaluation_batch(rank, t.now(), evals);
+      cfg.trace.gen_stats(rank, t.now(), report.generations,
+                          report.evaluations, pop.best_fitness(),
+                          pop.mean_fitness(), pop[pop.worst_index()].fitness);
+    }
 
     if (target_hit()) {
       report.reached_target = true;
@@ -172,6 +183,8 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
     // --- Migration epoch ---------------------------------------------------
     for (std::size_t dst : cfg.topology.neighbors_out(deme)) {
       auto migrants = select_migrants(pop, cfg.policy, rng);
+      cfg.trace.migration(rank, t.now(), static_cast<int>(dst),
+                          migrants.size(), to_string(cfg.policy.selection));
       t.send(static_cast<int>(dst), detail::kMigrantTag,
              detail::pack_migrants(migrants));
     }
@@ -181,6 +194,8 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
       while (auto msg =
                  t.try_recv(comm::Transport::kAnySource, detail::kMigrantTag)) {
         auto migrants = detail::unpack_migrants<G>(msg->payload);
+        cfg.trace.mark(rank, t.now(), "migrants_integrated", msg->source,
+                       migrants.size());
         integrate_migrants(pop, migrants, cfg.policy, rng);
       }
     } else {
@@ -203,6 +218,8 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
           continue;
         }
         auto migrants = detail::unpack_migrants<G>(msg->payload);
+        cfg.trace.mark(rank, t.now(), "migrants_integrated", msg->source,
+                       migrants.size());
         integrate_migrants(pop, migrants, cfg.policy, rng);
         ++received;
       }

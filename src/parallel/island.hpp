@@ -24,6 +24,7 @@
 #include "core/population.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "obs/events.hpp"
 #include "parallel/migration.hpp"
 #include "parallel/topology.hpp"
 
@@ -119,6 +120,12 @@ class IslandModel {
     trigger_ = std::move(trigger);
   }
 
+  /// Attaches an event sink.  The engine is sequential, so the "virtual
+  /// time" stamped on events is the epoch index and each deme gets its own
+  /// rank lane: per-epoch gen_stats per deme plus one migration event per
+  /// topology edge per migration epoch.
+  void set_tracer(obs::Tracer trace) noexcept { trace_ = trace; }
+
   /// Runs until `stop` fires (generations are per-deme; evaluations are
   /// summed across demes).  `populations` holds one deme population per
   /// island and is evolved in place.
@@ -152,10 +159,28 @@ class IslandModel {
     while (!result.reached_target && result.epochs < stop.max_generations &&
            result.evaluations < stop.max_evaluations) {
       // One generation per deme.
-      for (std::size_t d = 0; d < num_demes(); ++d)
-        result.evaluations +=
-            schemes_[d]->step(populations[d], problem, deme_rngs[d]);
+      std::vector<std::size_t> deme_evals(num_demes());
+      for (std::size_t d = 0; d < num_demes(); ++d) {
+        deme_evals[d] = schemes_[d]->step(populations[d], problem, deme_rngs[d]);
+        result.evaluations += deme_evals[d];
+      }
       ++result.epochs;
+
+      if (trace_) {
+        const double now = static_cast<double>(result.epochs);
+        for (std::size_t d = 0; d < num_demes(); ++d) {
+          const auto& pop = populations[d];
+          // Each deme's generation fills the whole epoch slot [now-1, now]:
+          // the engine is sequential, so lanes show logical concurrency.
+          trace_.span_begin(static_cast<int>(d), now - 1.0, "compute");
+          trace_.evaluation_batch(static_cast<int>(d), now, deme_evals[d]);
+          trace_.span_end(static_cast<int>(d), now, "compute");
+          trace_.gen_stats(static_cast<int>(d), now, result.epochs,
+                           result.evaluations, pop.best_fitness(),
+                           pop.mean_fitness(),
+                           pop[pop.worst_index()].fitness);
+        }
+      }
 
       // Migration epoch.
       const bool migrate_now =
@@ -163,7 +188,7 @@ class IslandModel {
                    : (policy_.enabled() &&
                       result.epochs % policy_.interval == 0);
       if (migrate_now) {
-        migrate(populations, deme_rngs);
+        migrate(populations, deme_rngs, result.epochs);
         ++result.migration_epochs;
       }
 
@@ -198,7 +223,8 @@ class IslandModel {
 
  private:
   void migrate(std::vector<Population<G>>& populations,
-               std::vector<Rng>& deme_rngs) {
+               std::vector<Rng>& deme_rngs, std::size_t epoch) {
+    const double now = static_cast<double>(epoch);
     if (sync_ == MigrationSync::kSynchronous) {
       // Snapshot emigrants from every deme first, then integrate, so the
       // result is independent of deme iteration order.
@@ -206,6 +232,8 @@ class IslandModel {
       for (std::size_t d = 0; d < num_demes(); ++d) {
         for (std::size_t dst : topology_.neighbors_out(d)) {
           auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          trace_.migration(static_cast<int>(d), now, static_cast<int>(dst),
+                           migrants.size(), to_string(policy_.selection));
           for (auto& m : migrants) inbox[dst].push_back(std::move(m));
         }
       }
@@ -216,6 +244,8 @@ class IslandModel {
       for (std::size_t d = 0; d < num_demes(); ++d) {
         for (std::size_t dst : topology_.neighbors_out(d)) {
           auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          trace_.migration(static_cast<int>(d), now, static_cast<int>(dst),
+                           migrants.size(), to_string(policy_.selection));
           integrate_migrants(populations[dst], migrants, policy_, deme_rngs[d]);
         }
       }
@@ -227,6 +257,7 @@ class IslandModel {
   std::vector<std::unique_ptr<EvolutionScheme<G>>> schemes_;
   MigrationSync sync_;
   MigrationTrigger<G> trigger_;
+  obs::Tracer trace_{};
 };
 
 /// Helper: builds an island model whose demes all run the same generational

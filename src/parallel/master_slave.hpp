@@ -36,6 +36,7 @@
 #include "core/problem.hpp"
 #include "core/rng.hpp"
 #include "core/termination.hpp"
+#include "obs/events.hpp"
 
 namespace pga {
 
@@ -61,6 +62,10 @@ struct MasterSlaveConfig {
   double timeout_s = std::numeric_limits<double>::infinity();
   std::uint64_t seed = 1;
   std::function<G(Rng&)> make_genome;
+  /// Optional event sink: the master emits per-generation stats,
+  /// dispatch/result/re-dispatch markers and failure-detection events; the
+  /// slaves emit per-chunk evaluation spans.  Null (default) = one branch.
+  obs::Tracer trace{};
 };
 
 template <class G>
@@ -104,6 +109,8 @@ void run_slave(comm::Transport& t, const Problem<G>& problem,
     if (!msg || msg->tag == ms_detail::kStopTag) return;
     comm::ByteReader r(msg->payload);
     const auto count = r.read<std::uint32_t>();
+    cfg.trace.span_begin(t.rank(), t.now(), "eval_chunk");
+    cfg.trace.evaluation_batch(t.rank(), t.now(), count, "eval_chunk");
     comm::ByteWriter reply;
     reply.write<std::uint32_t>(count);
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -114,6 +121,7 @@ void run_slave(comm::Transport& t, const Problem<G>& problem,
       reply.write<std::uint32_t>(id);
       reply.write<double>(problem.fitness(genome));
     }
+    cfg.trace.span_end(t.rank(), t.now(), "eval_chunk");
     t.send(0, ms_detail::kResultTag, std::move(reply).take());
   }
 }
@@ -142,6 +150,7 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
       if (!batch[static_cast<std::size_t>(i)].evaluated) todo.push_back(i);
     if (todo.empty()) return;
     result.evaluations += todo.size();
+    cfg.trace.evaluation_batch(t.rank(), t.now(), todo.size(), "eval_batch");
 
     if (live_slaves() == 0) {
       // Transparency: degrade to local evaluation.
@@ -169,11 +178,13 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
         static_cast<std::size_t>(world));
     std::size_t pending_items = todo.size();
 
-    auto send_chunk = [&](int slave, std::vector<std::uint32_t> chunk) {
+    auto send_chunk = [&](int slave, std::vector<std::uint32_t> chunk,
+                          const char* label = "dispatch") {
       std::vector<std::pair<std::uint32_t, const G*>> items;
       items.reserve(chunk.size());
       for (auto i : chunk)
         items.emplace_back(i, &batch[static_cast<std::size_t>(i)].genome);
+      cfg.trace.mark(t.rank(), t.now(), label, slave, chunk.size());
       t.send(slave, ms_detail::kWorkTag, ms_detail::pack_work<G>(items));
       outstanding[static_cast<std::size_t>(slave)].push_back(std::move(chunk));
     };
@@ -231,6 +242,8 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
           slave_alive[static_cast<std::size_t>(r)] = 0;
           ++result.slaves_lost;
           reclaimed = true;
+          cfg.trace.mark(t.rank(), t.now(), "slave_declared_dead", r,
+                         out.size());
           for (auto& chunk : out) chunks.push_back(std::move(chunk));
           out.clear();
         }
@@ -257,7 +270,7 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
         int slave = 1;
         while (!chunks.empty()) {
           while (!slave_alive[static_cast<std::size_t>(slave)]) slave = slave % (world - 1) + 1;
-          send_chunk(slave, std::move(chunks.front()));
+          send_chunk(slave, std::move(chunks.front()), "re_dispatch");
           chunks.pop_front();
           slave = slave % (world - 1) + 1;
         }
@@ -268,6 +281,7 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
       const int slave = msg->source;
       comm::ByteReader r(msg->payload);
       const auto count = r.read<std::uint32_t>();
+      cfg.trace.mark(t.rank(), t.now(), "result", slave, count);
       for (std::uint32_t i = 0; i < count; ++i) {
         const auto id = r.read<std::uint32_t>();
         const double fitness = r.read<double>();
@@ -297,6 +311,14 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
     members.emplace_back(cfg.make_genome(rng));
   evaluate_batch(members);
   Population<G> pop(std::move(members));
+
+  auto snapshot_stats = [&] {
+    if (!cfg.trace) return;
+    cfg.trace.gen_stats(t.rank(), t.now(), result.generations,
+                        result.evaluations, pop.best_fitness(),
+                        pop.mean_fitness(), pop[pop.worst_index()].fitness);
+  };
+  snapshot_stats();
 
   auto update_target = [&] {
     if (!result.reached_target && cfg.stop.target_reached(pop.best_fitness())) {
@@ -344,6 +366,7 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
     pop = Population<G>(std::move(next));
 
     ++result.generations;
+    snapshot_stats();
     update_target();
   }
 

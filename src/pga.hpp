@@ -11,6 +11,7 @@
 //   sim/       deterministic virtual-time cluster simulator
 //   parallel/  master-slave, island, cellular, hierarchical, SIM, hybrid
 //   multiobj/  Pareto utilities and NSGA-II
+//   obs/       event tracing, metrics, Chrome-trace export, run reports
 //   theory/    analytic models (sizing, takeover, speedup)
 //   workloads/ synthetic application substrates
 
@@ -38,6 +39,10 @@
 #include "core/trace.hpp"
 #include "multiobj/nsga2.hpp"
 #include "multiobj/pareto.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "parallel/cellular_parallel.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/hierarchical.hpp"

@@ -72,7 +72,8 @@ struct World {
 
 class SimTransport final : public comm::Transport {
  public:
-  SimTransport(World& world, int rank) : world_(world), rank_(rank) {}
+  SimTransport(World& world, int rank)
+      : world_(world), rank_(rank), tr_(world.cfg->trace) {}
 
   [[nodiscard]] int rank() const noexcept override { return rank_; }
   [[nodiscard]] int world_size() const noexcept override {
@@ -88,6 +89,7 @@ class SimTransport final : public comm::Transport {
         me.clock + world_.cfg->network.transfer_time(payload.size());
     ++me.messages_sent;
     me.bytes_sent += payload.size();
+    tr_.message_sent(rank_, me.clock, dest, tag, payload.size());
 
     auto& peer = world_.nodes[static_cast<std::size_t>(dest)];
     if (peer.st == St::kDone || peer.st == St::kDead) return;  // dropped
@@ -141,6 +143,7 @@ class SimTransport final : public comm::Transport {
 
   [[noreturn]] void die(Node& me) {
     me.clock = me.fail_at;
+    tr_.node_failure(rank_, me.fail_at);
     throw comm::NodeFailure(rank_);
   }
 
@@ -149,8 +152,16 @@ class SimTransport final : public comm::Transport {
   void advance(Node& me, double seconds) {
     const double duration = seconds / me.speed;
     if (me.clock + duration >= me.fail_at) {
+      if (me.fail_at > me.clock) {
+        tr_.span_begin(rank_, me.clock, "compute");
+        tr_.span_end(rank_, me.fail_at, "compute");
+      }
       me.compute_time += std::max(0.0, me.fail_at - me.clock);
       die(me);
+    }
+    if (duration > 0.0) {
+      tr_.span_begin(rank_, me.clock, "compute");
+      tr_.span_end(rank_, me.clock + duration, "compute");
     }
     me.clock += duration;
     me.compute_time += duration;
@@ -271,11 +282,14 @@ class SimTransport final : public comm::Transport {
       Node& me, std::vector<PendingMessage>::iterator it) {
     comm::Message out{it->source, it->tag, std::move(it->payload)};
     me.mailbox.erase(it);
+    tr_.message_recv(rank_, me.clock, out.source, out.tag,
+                     out.payload.size());
     return out;
   }
 
   World& world_;
   int rank_;
+  obs::Tracer tr_;
 };
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "comm/transport.hpp"
+#include "obs/events.hpp"
 #include "sim/network.hpp"
 
 namespace pga::sim {
@@ -44,6 +45,11 @@ struct SimConfig {
   std::vector<NodeSpec> nodes;  ///< one entry per rank
   /// CPU cost a sender pays per message (protocol overhead), virtual seconds.
   double send_overhead_s = 1e-6;
+  /// Optional event sink.  When set, every rank emits "compute" spans,
+  /// message send/recv records and failure events stamped with its virtual
+  /// clock, so a run exports to chrome://tracing and audits with
+  /// obs::RunReport.  Null (the default) costs one branch per call site.
+  obs::EventLog* trace = nullptr;
 };
 
 /// Homogeneous configuration helper.

@@ -1,0 +1,566 @@
+// Observability subsystem tests: metrics registry concurrency, event-log
+// ordering, Chrome-trace JSON well-formedness, RunReport math, and the
+// end-to-end acceptance path (traced sim-cluster master-slave run).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON well-formedness checker (recursive descent).  Not a full
+// parser — just enough to reject any structurally broken document, which is
+// what "loads in chrome://tracing" requires first of all.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (!strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            strchr(".eE+-", s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterConcurrentIncrements) {
+  obs::MetricsRegistry registry;
+  auto& messages = registry.counter("pga_messages_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) messages.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(messages.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, RegistryConcurrentLookupSameName) {
+  obs::MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&] {
+      for (int n = 0; n < 1000; ++n) registry.counter("shared_total").inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared_total").value(), 8000u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::MetricsRegistry registry;
+  auto& depth = registry.gauge("queue_depth");
+  depth.set(5.0);
+  depth.add(2.5);
+  depth.add(-1.5);
+  EXPECT_DOUBLE_EQ(depth.value(), 6.0);
+}
+
+TEST(Metrics, HistogramBucketsAndConcurrentObserve) {
+  obs::MetricsRegistry registry;
+  auto& lat = registry.histogram("latency_s", {0.001, 0.01, 0.1});
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&] {
+      for (int n = 0; n < 1000; ++n) {
+        lat.observe(0.0005);  // bucket 0
+        lat.observe(0.05);    // bucket 2
+        lat.observe(5.0);     // +Inf bucket
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lat.count(), 12000u);
+  EXPECT_EQ(lat.bucket_count(0), 4000u);
+  EXPECT_EQ(lat.bucket_count(1), 0u);
+  EXPECT_EQ(lat.bucket_count(2), 4000u);
+  EXPECT_EQ(lat.bucket_count(3), 4000u);           // +Inf
+  EXPECT_EQ(lat.cumulative_count(2), 8000u);       // le=0.1
+  EXPECT_NEAR(lat.sum(), 4000 * (0.0005 + 0.05 + 5.0), 1e-6);
+}
+
+TEST(Metrics, PrometheusExport) {
+  obs::MetricsRegistry registry;
+  registry.counter("evals_total").inc(42);
+  registry.gauge("utilization").set(0.75);
+  registry.histogram("eval_s", {0.5, 1.0}).observe(0.7);
+  const auto text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE evals_total counter\nevals_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE utilization gauge\nutilization 0.75\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("eval_s_bucket{le=\"0.5\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("eval_s_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("eval_s_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("eval_s_count 1"), std::string::npos);
+}
+
+TEST(Metrics, CsvExport) {
+  obs::MetricsRegistry registry;
+  registry.counter("a_total").inc(3);
+  registry.gauge("b_now").set(1.5);
+  const auto csv = registry.to_csv();
+  EXPECT_NE(csv.find("metric,type,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("a_total,counter,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("b_now,gauge,1.5\n"), std::string::npos);
+}
+
+TEST(Metrics, RejectsBadNamesAndTypeCollisions) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW((void)registry.counter("7starts_with_digit"),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter(""), std::invalid_argument);
+  (void)registry.counter("taken");
+  EXPECT_THROW((void)registry.gauge("taken"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("taken", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW((void)registry.histogram("bad", {1.0, 0.5}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Event log + tracer
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, NullTracerEmitsNothingAndIsDisabled) {
+  obs::Tracer null;
+  EXPECT_FALSE(null.enabled());
+  // All emit paths must be safe no-ops through a null tracer.
+  null.span_begin(0, 0.0, "compute");
+  null.span_end(0, 1.0, "compute");
+  null.message_sent(0, 1.0, 1, 7, 64);
+  null.migration(0, 1.0, 1, 2, "best");
+  null.gen_stats(0, 1.0, 1, 10, 3.0, 2.0, 1.0);
+  null.node_failure(0, 1.0);
+  null.mark(0, 1.0, "dispatch");
+  SUCCEED();
+}
+
+TEST(EventLog, OrdersByVirtualTimeWithSeqTieBreak) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  // Appended out of time order, from interleaved "ranks".
+  tr.mark(1, 3.0, "c");
+  tr.mark(0, 1.0, "a");
+  tr.mark(2, 2.0, "b");
+  tr.mark(0, 2.0, "b_tie");  // same t as "b", appended later => after it
+  const auto sorted = log.sorted_by_time();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_STREQ(sorted[0].name, "a");
+  EXPECT_STREQ(sorted[1].name, "b");
+  EXPECT_STREQ(sorted[2].name, "b_tie");
+  EXPECT_STREQ(sorted[3].name, "c");
+  // Append order is preserved in snapshot() and by seq.
+  const auto raw = log.snapshot();
+  EXPECT_STREQ(raw[0].name, "c");
+  EXPECT_LT(raw[0].seq, raw[1].seq);
+}
+
+TEST(EventLog, ConcurrentAppendsAllLand) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r)
+    threads.emplace_back([&, r] {
+      for (int i = 0; i < 5000; ++i)
+        tr.mark(r, static_cast<double>(i), "m");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), 20000u);
+  // Seqs are unique.
+  auto events = log.snapshot();
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(events.size());
+  for (const auto& e : events) seqs.push_back(e.seq);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::adjacent_find(seqs.begin(), seqs.end()), seqs.end());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, WellFormedJsonWithLanesAndNesting) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "outer");
+  tr.span_begin(0, 0.25, "compute");
+  tr.span_end(0, 0.75, "compute");
+  tr.span_end(0, 1.0, "outer");
+  tr.message_sent(0, 0.8, 1, 3, 128);
+  tr.message_recv(1, 0.9, 0, 3, 128);
+  tr.migration(1, 0.95, 0, 2, "best");
+  tr.gen_stats(1, 1.0, 1, 64, 10.0, 5.0, 1.0);
+  tr.node_failure(1, 1.5, "killed \"hard\"\n");  // exercises escaping
+  const auto json = chrome_trace_json(log, "unit \"test\"");
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // One named lane per rank.
+  EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 1\""), std::string::npos);
+  // Escaped strings survived.
+  EXPECT_NE(json.find("killed \\\"hard\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("unit \\\"test\\\""), std::string::npos);
+}
+
+/// Walks `json` event-array objects the dumb way (they are emitted on one
+/// line each) and checks B/E stack discipline per lane.
+void expect_balanced_spans(const std::string& json) {
+  std::map<int, std::vector<std::string>> stacks;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"name\":", pos)) != std::string::npos) {
+    const std::size_t end = json.find('}', pos);
+    const std::string obj = json.substr(pos, end - pos + 1);
+    pos = end;
+    const auto ph_at = obj.find("\"ph\":\"");
+    if (ph_at == std::string::npos) continue;
+    const char phase = obj[ph_at + 6];
+    if (phase != 'B' && phase != 'E') continue;
+    const auto name_from = obj.find(':') + 2;
+    const std::string name =
+        obj.substr(name_from, obj.find('"', name_from) - name_from);
+    const auto tid_at = obj.find("\"tid\":") + 6;
+    const int tid = std::stoi(obj.substr(tid_at));
+    if (phase == 'B') {
+      stacks[tid].push_back(name);
+    } else {
+      ASSERT_FALSE(stacks[tid].empty())
+          << "E without open B on tid " << tid << ": " << obj;
+      EXPECT_EQ(stacks[tid].back(), name) << "mis-nested span on tid " << tid;
+      stacks[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+}
+
+// ---------------------------------------------------------------------------
+// RunReport math on a hand-built event sequence
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, HandBuiltSequence) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  // rank 0: two compute spans of 1s each within makespan 4 => util 0.5.
+  tr.span_begin(0, 0.0, "compute");
+  tr.span_end(0, 1.0, "compute");
+  tr.span_begin(0, 2.0, "compute");
+  tr.span_end(0, 3.0, "compute");
+  tr.message_sent(0, 1.0, 1, 5, 100);
+  tr.message_sent(0, 3.0, 1, 5, 100);
+  tr.gen_stats(0, 1.0, 1, 32, 5.0, 3.0, 1.0);
+  tr.gen_stats(0, 3.0, 2, 64, 10.0, 6.0, 2.0);
+  // rank 1: one 4s compute span => util 1.0; one migration; then it dies.
+  tr.span_begin(1, 0.0, "compute");
+  tr.span_end(1, 4.0, "compute");
+  tr.message_recv(1, 1.5, 0, 5, 100);
+  tr.migration(1, 2.0, 0, 3, "best");
+  tr.evaluation_batch(1, 2.5, 25);
+  tr.node_failure(1, 4.0);
+  tr.mark(0, 3.5, "dispatch", 1, 2);
+  tr.mark(0, 3.6, "dispatch", 1, 2);
+
+  const auto report = obs::RunReport::from(log);
+  ASSERT_EQ(report.num_ranks(), 2u);
+  EXPECT_DOUBLE_EQ(report.makespan(), 4.0);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].busy_s, 2.0);
+  EXPECT_DOUBLE_EQ(report.ranks()[1].busy_s, 4.0);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].utilization(report.makespan()), 0.5);
+  EXPECT_DOUBLE_EQ(report.ranks()[1].utilization(report.makespan()), 1.0);
+  EXPECT_DOUBLE_EQ(report.total_busy(), 6.0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(report.comm_compute_ratio(), 2.0 / 6.0);
+
+  EXPECT_EQ(report.ranks()[0].messages_sent, 2u);
+  EXPECT_EQ(report.ranks()[0].bytes_sent, 200u);
+  EXPECT_EQ(report.ranks()[1].messages_recv, 1u);
+  EXPECT_EQ(report.ranks()[1].evaluations, 25u);
+  EXPECT_EQ(report.total_messages(), 2u);
+  EXPECT_EQ(report.total_migrations(), 1u);
+  ASSERT_EQ(report.migration_edges().count({1, 0}), 1u);
+  EXPECT_EQ(report.migration_edges().at({1, 0}), 1u);
+
+  EXPECT_TRUE(report.ranks()[1].failed);
+  EXPECT_FALSE(report.ranks()[0].failed);
+  EXPECT_DOUBLE_EQ(report.ranks()[1].fail_t, 4.0);
+  EXPECT_EQ(report.failures(), 1u);
+
+  EXPECT_DOUBLE_EQ(report.final_best(), 10.0);
+  EXPECT_DOUBLE_EQ(report.time_to_fitness(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(report.time_to_fitness(10.0), 3.0);
+  EXPECT_TRUE(std::isinf(report.time_to_fitness(11.0)));
+
+  ASSERT_EQ(report.marks().count("dispatch"), 1u);
+  EXPECT_EQ(report.marks().at("dispatch"), 2u);
+
+  // The pretty summary mentions every rank.
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("| 0 |"), std::string::npos);
+  EXPECT_NE(text.find("| 1 |"), std::string::npos);
+}
+
+TEST(RunReport, OpenComputeSpanIsChargedThroughMakespan) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 1.0, "compute");  // never closed (rank died mid-compute)
+  tr.mark(1, 5.0, "end");            // stretches the makespan to 5
+  const auto report = obs::RunReport::from(log);
+  EXPECT_DOUBLE_EQ(report.makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].busy_s, 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: traced sim-cluster master-slave run
+// ---------------------------------------------------------------------------
+
+TEST(ObsAcceptance, TracedMasterSlaveRunExportsAndAudits) {
+  problems::OneMax problem(32);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 24;
+  cfg.stop.max_generations = 4;
+  cfg.stop.target_fitness = 1e9;  // fixed budget
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.chunk_size = 4;
+  cfg.eval_cost_s = 1e-3;
+  cfg.seed = 11;
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+
+  constexpr int kRanks = 4;
+  obs::EventLog log;
+  cfg.trace = obs::Tracer(&log);
+  auto sim_cfg = sim::homogeneous(kRanks, sim::NetworkModel::fast_ethernet());
+  sim_cfg.trace = &log;
+  sim::SimCluster cluster(sim_cfg);
+  auto sim_report = cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+  ASSERT_TRUE(sim_report.all_completed());
+  ASSERT_GT(log.size(), 0u);
+
+  // 1. The exported trace is valid JSON with one lane per rank and
+  // properly nested spans.
+  const auto json = chrome_trace_json(log, "master-slave");
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid());
+  for (int r = 0; r < kRanks; ++r) {
+    const std::string lane = "\"name\":\"rank " + std::to_string(r) + "\"";
+    EXPECT_NE(json.find(lane), std::string::npos) << "missing lane " << r;
+  }
+  expect_balanced_spans(json);
+
+  // 2. RunReport agrees with the simulator's own accounting: per-rank busy
+  // time equals the declared compute time, and utilizations sum consistently
+  // with the virtual makespan.
+  const auto report = obs::RunReport::from(log);
+  ASSERT_EQ(report.num_ranks(), static_cast<std::size_t>(kRanks));
+  EXPECT_NEAR(report.makespan(), sim_report.makespan, 1e-12);
+  double util_sum = 0.0;
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& usage = report.ranks()[static_cast<std::size_t>(r)];
+    EXPECT_NEAR(usage.busy_s,
+                sim_report.ranks[static_cast<std::size_t>(r)].compute_time,
+                1e-9)
+        << "rank " << r;
+    EXPECT_EQ(usage.messages_sent,
+              sim_report.ranks[static_cast<std::size_t>(r)].messages_sent);
+    EXPECT_EQ(usage.bytes_sent,
+              sim_report.ranks[static_cast<std::size_t>(r)].bytes_sent);
+    const double util = usage.utilization(report.makespan());
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0 + 1e-12);
+    util_sum += util;
+  }
+  EXPECT_NEAR(util_sum * report.makespan(), sim_report.total_compute(), 1e-9);
+  EXPECT_NEAR(report.mean_utilization(),
+              sim_report.total_compute() / (kRanks * sim_report.makespan),
+              1e-12);
+
+  // 3. The master's structured events tell the dispatch story: one initial
+  // gen_stats plus one per generation, and at least one dispatch per
+  // evaluation batch.
+  std::size_t master_gen_stats = 0;
+  for (const auto& s : report.fitness_series()) master_gen_stats += s.rank == 0;
+  EXPECT_EQ(master_gen_stats, cfg.stop.max_generations + 1);
+  ASSERT_EQ(report.marks().count("dispatch"), 1u);
+  EXPECT_GE(report.marks().at("dispatch"), cfg.stop.max_generations + 1);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_GT(report.total_evaluations(), 0u);
+}
+
+TEST(ObsAcceptance, FailureInjectionShowsUpInReport) {
+  problems::OneMax problem(32);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 16;
+  cfg.stop.max_generations = 6;
+  cfg.stop.target_fitness = 1e9;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.chunk_size = 2;
+  cfg.eval_cost_s = 1e-3;
+  cfg.timeout_s = 0.5;  // fault tolerance on
+  cfg.seed = 5;
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+
+  obs::EventLog log;
+  cfg.trace = obs::Tracer(&log);
+  auto sim_cfg = sim::homogeneous(3, sim::NetworkModel::gigabit_ethernet());
+  sim_cfg.nodes[2].fail_at = 0.02;  // kill one slave early
+  sim_cfg.trace = &log;
+  sim::SimCluster cluster(sim_cfg);
+  std::size_t master_generations = 0;
+  auto sim_report = cluster.run([&](comm::Transport& t) {
+    auto r = run_master_slave_rank(t, problem, cfg);
+    if (r) master_generations = r->generations;
+  });
+
+  EXPECT_EQ(master_generations, cfg.stop.max_generations);
+  EXPECT_TRUE(sim_report.ranks[2].died);
+  const auto report = obs::RunReport::from(log);
+  EXPECT_EQ(report.failures(), 1u);
+  EXPECT_TRUE(report.ranks()[2].failed);
+  // The master noticed and re-dispatched the dead slave's chunks.
+  EXPECT_EQ(report.marks().count("slave_declared_dead"), 1u);
+  EXPECT_EQ(report.marks().count("re_dispatch"), 1u);
+  // The trace still exports as valid JSON despite the dead rank's
+  // unterminated spans being possible.
+  JsonChecker checker(chrome_trace_json(log));
+  EXPECT_TRUE(checker.valid());
+}
+
+}  // namespace
+}  // namespace pga

@@ -54,6 +54,23 @@ TEST(Trace, RejectsMalformedRow) {
                std::runtime_error);
 }
 
+TEST(Trace, RejectsTrailingGarbageAfterLastField) {
+  EXPECT_THROW((void)history_from_csv(
+                   "generation,evaluations,best,mean,worst\n1,2,3,4,5junk\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)history_from_csv(
+                   "generation,evaluations,best,mean,worst\n1,2,3,4,5,6\n"),
+               std::runtime_error);
+}
+
+TEST(Trace, AcceptsTrailingWhitespaceAndCrlf) {
+  const auto rows = history_from_csv(
+      "generation,evaluations,best,mean,worst\n1,2,3,4,5\r\n2,4,6,8,10 \n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].worst, 5.0);
+  EXPECT_DOUBLE_EQ(rows[1].worst, 10.0);
+}
+
 TEST(Trace, FileRoundTrip) {
   const auto path =
       (std::filesystem::temp_directory_path() / "pga_trace_test.csv").string();
@@ -86,6 +103,16 @@ TEST(CsvTableTest, BuildsAndCounts) {
   table.row({"1", "2"}).row({"3", "4,5"});
   EXPECT_EQ(table.num_rows(), 2u);
   EXPECT_EQ(table.to_string(), "a,b\n1,2\n3,\"4,5\"\n");
+}
+
+TEST(CsvTableTest, EscapesQuotesPerRfc4180) {
+  CsvTable table({"name", "note"});
+  table.row({"plain", "say \"hi\""});
+  table.row({"multi\nline", "quoted,\"and\",separated"});
+  EXPECT_EQ(table.to_string(),
+            "name,note\n"
+            "plain,\"say \"\"hi\"\"\"\n"
+            "\"multi\nline\",\"quoted,\"\"and\"\",separated\"\n");
 }
 
 TEST(CsvTableTest, RejectsWidthMismatch) {
