@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/report.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
@@ -90,7 +91,10 @@ int main() {
   obs::EventLog log;
   (void)simulated_time(1e-3, 9, &log);
   obs::save_chrome_trace(log, "bench_e1_trace.json", "E1 master-slave");
-  std::printf("\nTraced run (Tf = 1 ms, 8 slaves) -> bench_e1_trace.json\n%s",
+  obs::save_event_log(log, "bench_e1_events.json");
+  std::printf("\nTraced run (Tf = 1 ms, 8 slaves) -> bench_e1_trace.json\n"
+              "Lossless event dump -> bench_e1_events.json "
+              "(diagnose with: pga_doctor bench_e1_events.json)\n%s",
               obs::RunReport::from(log).to_string().c_str());
   return 0;
 }

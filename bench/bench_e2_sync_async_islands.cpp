@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/report.hpp"
 #include "parallel/distributed_island.hpp"
 #include "problems/binary.hpp"
@@ -117,7 +118,17 @@ int main() {
   (void)run_once(onemax, 96, 96.0, /*async=*/true, /*heterogeneous=*/true, 0,
                  &log);
   obs::save_chrome_trace(log, "bench_e2_trace.json", "E2 async islands");
-  std::printf("\nTraced run (async, heterogeneous) -> bench_e2_trace.json\n%s",
-              obs::RunReport::from(log).to_string().c_str());
+  obs::save_event_log(log, "bench_e2_events.json");
+  const auto traced = obs::RunReport::from(log);
+  std::printf("\nTraced run (async, heterogeneous) -> bench_e2_trace.json\n"
+              "Lossless event dump -> bench_e2_events.json "
+              "(diagnose with: pga_doctor bench_e2_events.json)\n%s",
+              traced.to_string().c_str());
+
+  // Probe-derived search dynamics of the straggler island (rank 3): the
+  // diversity/intensity curve is regenerated from the kSearchStats stream,
+  // not from engine-side accounting.
+  std::printf("\nSearch dynamics on the 4x-slower island (rank 3):\n");
+  bench::print_search_curve(traced, /*rank=*/3);
   return 0;
 }

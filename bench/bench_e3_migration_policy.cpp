@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "core/statistics.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/report.hpp"
 #include "parallel/island.hpp"
 #include "problems/binary.hpp"
@@ -134,8 +135,18 @@ int main() {
     stop.target_fitness = 64.0;
     (void)model.run(pops, onemax, stop, rng);
     obs::save_chrome_trace(log, "bench_e3_trace.json", "E3 island policy");
-    std::printf("\nTraced run (interval 8, best) -> bench_e3_trace.json\n%s",
-                obs::RunReport::from(log).to_string().c_str());
+    obs::save_event_log(log, "bench_e3_events.json");
+    const auto traced = obs::RunReport::from(log);
+    std::printf("\nTraced run (interval 8, best) -> bench_e3_trace.json\n"
+                "Lossless event dump -> bench_e3_events.json "
+                "(diagnose with: pga_doctor bench_e3_events.json)\n%s",
+                traced.to_string().c_str());
+
+    // Probe-derived curve for deme 0: best-migrant exchange every 8 epochs
+    // shows as periodic diversity refreshes in the kSearchStats series —
+    // the Alba & Troya policy effect read off the event stream itself.
+    std::printf("\nSearch dynamics on deme 0 (probe stream):\n");
+    bench::print_search_curve(traced, /*rank=*/0);
   }
   return 0;
 }

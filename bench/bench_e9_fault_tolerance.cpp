@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "core/statistics.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/report.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/master_slave.hpp"
@@ -162,7 +163,10 @@ int main() {
   obs::EventLog log;
   (void)run_master_slave(/*failures=*/2, /*seed=*/1, &log);
   obs::save_chrome_trace(log, "bench_e9_trace.json", "E9 FT master-slave");
-  std::printf("\nTraced run (2 failures) -> bench_e9_trace.json\n%s",
+  obs::save_event_log(log, "bench_e9_events.json");
+  std::printf("\nTraced run (2 failures) -> bench_e9_trace.json\n"
+              "Lossless event dump -> bench_e9_events.json (pga_doctor flags\n"
+              "the dead ranks and exits 1: pga_doctor bench_e9_events.json)\n%s",
               obs::RunReport::from(log).to_string().c_str());
   return 0;
 }

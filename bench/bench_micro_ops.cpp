@@ -13,6 +13,7 @@
 #include "multiobj/pareto.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probes.hpp"
 #include "problems/binary.hpp"
 #include "problems/functions.hpp"
 #include "problems/tsp.hpp"
@@ -220,6 +221,49 @@ void BM_TracerEmitLive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracerEmitLive);
+
+// Probe cost model (obs/probes.hpp): like every emit site, a generation
+// probe held against a null tracer is one branch per observe() — the
+// acceptance bound is <= 5 ns.  The live number is the real price of the
+// per-generation diversity/takeover/entropy computation (O(loci * pop) for
+// bitstrings plus the capped pairwise takeover scan).
+
+void BM_ProbeObserveNull(benchmark::State& state) {
+  Rng rng(16);
+  problems::OneMax problem(64);
+  auto pop = Population<BitString>::random(
+      256, [](Rng& r) { return BitString::random(64, r); }, rng);
+  pop.evaluate_all(problem);
+  obs::GenerationProbe<BitString> probe;  // null tracer
+  double t = 0.0;
+  std::uint64_t gen = 0;
+  for (auto _ : state) {
+    probe.observe(pop, t, gen++, 256);
+    t += 1e-9;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ProbeObserveNull);
+
+void BM_ProbeObserveLive(benchmark::State& state) {
+  Rng rng(17);
+  problems::OneMax problem(64);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pop = Population<BitString>::random(
+      n, [](Rng& r) { return BitString::random(64, r); }, rng);
+  pop.evaluate_all(problem);
+  obs::EventLog log;
+  obs::GenerationProbe<BitString> probe(obs::Tracer(&log), 0);
+  double t = 0.0;
+  std::uint64_t gen = 0;
+  for (auto _ : state) {
+    probe.observe(pop, t, gen++, n);
+    t += 1e-9;
+    if (log.size() > 1u << 20) log.clear();  // bound memory, off the hot path
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeObserveLive)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 
 void BM_MetricsCounterInc(benchmark::State& state) {
   obs::MetricsRegistry registry;

@@ -6,13 +6,16 @@
 // table of measured values, and (c) the expected qualitative shape, so the
 // output is self-contained for EXPERIMENTS.md.
 
+#include <algorithm>
 #include <cstdarg>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/evolution.hpp"
 #include "core/genome.hpp"
+#include "obs/report.hpp"
 
 namespace bench {
 
@@ -74,6 +77,39 @@ inline void headline(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("Claim: %s\n", claim);
   std::printf("==============================================================\n\n");
+}
+
+/// Prints the probe-derived search-dynamics curve of a traced run as a
+/// markdown table, downsampled to at most `max_rows` samples of rank
+/// `rank` (-1 = all ranks).  This is how the E2/E3/E4 harnesses regenerate
+/// their convergence curves from the kSearchStats stream instead of ad-hoc
+/// engine-side accounting: the same table can be rebuilt offline from the
+/// dumped event log by pga_doctor or any trace consumer.
+inline void print_search_curve(const pga::obs::RunReport& report, int rank = -1,
+                               std::size_t max_rows = 12) {
+  std::vector<const pga::obs::SearchSample*> samples;
+  for (const auto& s : report.search_series())
+    if (rank < 0 || s.rank == rank) samples.push_back(&s);
+  if (samples.empty()) {
+    std::printf("(no search-dynamics samples in the trace)\n");
+    return;
+  }
+  Table table({"t (s)", "rank", "gen", "diversity", "spread", "entropy",
+               "intensity", "takeover"});
+  const std::size_t stride =
+      std::max<std::size_t>(1, (samples.size() + max_rows - 1) / max_rows);
+  auto emit = [&](const pga::obs::SearchSample& s) {
+    table.row({fmt("%.4f", s.t), fmt("%d", s.rank),
+               fmt("%llu", static_cast<unsigned long long>(s.generation)),
+               fmt("%.4f", s.diversity), fmt("%.3f", s.spread),
+               fmt("%.3f", s.entropy), fmt("%+.3f", s.intensity),
+               fmt("%.3f", s.takeover)});
+  };
+  for (std::size_t i = 0; i < samples.size(); i += stride) emit(*samples[i]);
+  if ((samples.size() - 1) % stride != 0) emit(*samples.back());
+  table.print();
+  std::printf("(%zu samples total, eval throughput %.4g evals/s virtual)\n",
+              samples.size(), report.eval_throughput());
 }
 
 /// Standard binary-genome operator bundle used across experiments.

@@ -21,6 +21,7 @@
 #include "core/statistics.hpp"
 #include "core/termination.hpp"
 #include "obs/events.hpp"
+#include "obs/probes.hpp"
 
 namespace pga {
 
@@ -190,6 +191,8 @@ RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
   double best_so_far = pop.best_fitness();
   std::size_t stagnant = 0;
 
+  obs::GenerationProbe<G> probe(trace, /*rank=*/0);
+  std::size_t probed_evals = 0;
   auto snapshot = [&](std::size_t gen) {
     if (!record_history && !trace) return;
     GenStats s;
@@ -200,6 +203,9 @@ RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
     s.worst = pop[pop.worst_index()].fitness;
     trace.gen_stats(0, static_cast<double>(gen), gen, s.evaluations, s.best,
                     s.mean, s.worst);
+    probe.observe(pop, static_cast<double>(gen), gen,
+                  result.evaluations - probed_evals);
+    probed_evals = result.evaluations;
     if (record_history) result.history.push_back(s);
   };
   snapshot(0);

@@ -1,0 +1,381 @@
+#pragma once
+// Streaming anomaly diagnosis over the obs event stream.
+//
+// Lobo et al.'s massive-parallelization architecture argues that model-level
+// statistics are what make large fleets debuggable: nobody hand-reads a
+// 64-rank trace.  The detector consumes the same event stream the exporters
+// and RunReport read — online, one consume() per event in any order — and
+// at finish() reports the failure signatures the survey's experiments
+// produce, each with rank + virtual-timestamp evidence:
+//
+//   * failed ranks    — kNodeFailure events (E9's injected deaths)
+//   * stalled ranks   — a rank silent for the trailing `stall_fraction` of
+//                       the makespan while the run continued without it
+//   * premature convergence — a rank's genotypic diversity collapsed below
+//                       `diversity_floor` *before* its best fitness
+//                       plateaued: the search lost its raw material while it
+//                       still had progress to make (needs kSearchStats from
+//                       obs/probes.hpp)
+//   * stragglers      — per-rank utilization outliers: busy fraction below
+//                       `straggler_ratio` x the median rank's (flags both
+//                       slow victims and serial-role bottlenecks such as a
+//                       blocking master — Bethke's analysis made automatic)
+//   * comm-bound phases — windows of the timeline where aggregate compute
+//                       occupancy drops below `comm_busy_floor`
+//
+// `pga_doctor` (tools/) drives this as a CI gate: failure/stall anomalies
+// trip a nonzero exit by default, the dynamics diagnostics print as
+// warnings.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+enum class AnomalyKind : std::uint8_t {
+  kFailedRank,
+  kStalledRank,
+  kPrematureConvergence,
+  kStraggler,
+  kCommBound,
+};
+
+[[nodiscard]] constexpr const char* to_string(AnomalyKind k) noexcept {
+  switch (k) {
+    case AnomalyKind::kFailedRank: return "failure";
+    case AnomalyKind::kStalledRank: return "stall";
+    case AnomalyKind::kPrematureConvergence: return "premature_convergence";
+    case AnomalyKind::kStraggler: return "straggler";
+    case AnomalyKind::kCommBound: return "comm_bound";
+  }
+  return "?";
+}
+
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kFailedRank;
+  int rank = -1;        ///< -1 for whole-run phases (comm-bound)
+  double t_begin = 0.0; ///< virtual-time evidence: onset
+  double t_end = 0.0;   ///< virtual-time evidence: end of the episode
+  double value = 0.0;   ///< kind-specific magnitude (utilization, fraction…)
+  std::string detail;   ///< human-readable one-liner
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    out.precision(6);
+    out << '[' << obs::to_string(kind) << "] ";
+    if (rank >= 0) out << "rank " << rank << ": ";
+    out << detail;
+    return out.str();
+  }
+};
+
+struct AnomalyConfig {
+  /// A non-failed rank whose last event precedes the makespan by more than
+  /// this fraction of it is stalled.
+  double stall_fraction = 0.25;
+  /// Genotypic diversity below this counts as collapsed.
+  double diversity_floor = 0.05;
+  /// Fitness within this relative margin of the rank's final best counts as
+  /// "plateau reached" (absolute for final best == 0).
+  double plateau_margin = 1e-6;
+  /// A rank whose utilization is below ratio x median is a straggler.
+  double straggler_ratio = 0.5;
+  /// Aggregate busy fraction below this marks a window comm/idle-bound.
+  double comm_busy_floor = 0.25;
+  /// Number of equal windows the makespan is split into for phase analysis.
+  std::size_t comm_windows = 16;
+  /// Ranks with fewer events than this are ignored by the stall detector
+  /// (a lane that only ever logged a metadata mark is not "stalled").
+  std::size_t min_events_per_rank = 2;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feed one event; order does not matter (state is keyed by rank and
+  /// finalized against the observed makespan).
+  void consume(const Event& e) {
+    auto& r = rank_state(e.rank);
+    makespan_ = std::max(makespan_, e.t);
+    ++r.events;
+    r.last_t = std::max(r.last_t, e.t);
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        if (std::string_view(e.name) == "compute" && r.depth++ == 0)
+          r.open_t = e.t;
+        break;
+      case EventKind::kSpanEnd:
+        if (std::string_view(e.name) == "compute" && r.depth > 0 &&
+            --r.depth == 0)
+          add_busy(e.rank, r.open_t, e.t);
+        break;
+      case EventKind::kNodeFailure:
+        if (!r.failed || e.t < r.fail_t) {
+          r.failed = true;
+          r.fail_t = e.t;
+          r.fail_cause = e.name;
+        }
+        break;
+      case EventKind::kGenStats:
+        r.fitness.push_back({e.t, e.best});
+        break;
+      case EventKind::kSearchStats:
+        r.diversity.push_back({e.t, e.diversity});
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Convenience: drain a whole log.
+  void consume(const EventLog& log) {
+    for (const auto& e : log.sorted_by_time()) consume(e);
+  }
+
+  /// Finalizes the analysis.  Callable once per detector; the stream state
+  /// is not consumed, so interleaving further consume()+finish() rounds
+  /// re-evaluates against the longer prefix.
+  [[nodiscard]] std::vector<Anomaly> finish() const {
+    std::vector<Anomaly> out;
+    find_failures(out);
+    find_stalls(out);
+    find_premature_convergence(out);
+    find_stragglers(out);
+    find_comm_bound(out);
+    return out;
+  }
+
+  /// One-shot analysis of a complete log.
+  [[nodiscard]] static std::vector<Anomaly> analyze(const EventLog& log,
+                                                    AnomalyConfig cfg = {}) {
+    AnomalyDetector d(cfg);
+    d.consume(log);
+    return d.finish();
+  }
+
+  [[nodiscard]] double makespan() const noexcept { return makespan_; }
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    double v = 0.0;
+  };
+  struct RankState {
+    std::size_t events = 0;
+    double last_t = 0.0;
+    bool failed = false;
+    double fail_t = std::numeric_limits<double>::infinity();
+    std::string fail_cause;
+    int depth = 0;       ///< open "compute" span nesting
+    double open_t = 0.0; ///< outermost open span's begin time
+    std::vector<Sample> fitness;   ///< (t, best) from kGenStats
+    std::vector<Sample> diversity; ///< (t, genotypic diversity)
+  };
+  struct BusyInterval {
+    double begin = 0.0;
+    double end = 0.0;
+  };
+
+  RankState& rank_state(int rank) {
+    if (rank >= static_cast<int>(ranks_.size()))
+      ranks_.resize(static_cast<std::size_t>(rank) + 1);
+    return ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  void add_busy(int rank, double begin, double end) {
+    rank_intervals_.push_back({rank, {begin, end}});
+  }
+
+  void find_failures(std::vector<Anomaly>& out) const {
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const auto& s = ranks_[r];
+      if (!s.failed) continue;
+      Anomaly a;
+      a.kind = AnomalyKind::kFailedRank;
+      a.rank = static_cast<int>(r);
+      a.t_begin = a.t_end = s.fail_t;
+      std::ostringstream d;
+      d.precision(6);
+      d << "node failure at t=" << s.fail_t << " s (cause: "
+        << (s.fail_cause.empty() ? "unknown" : s.fail_cause) << ")";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  void find_stalls(std::vector<Anomaly>& out) const {
+    if (ranks_.size() < 2 || makespan_ <= 0.0) return;
+    const double horizon = makespan_ * (1.0 - cfg_.stall_fraction);
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const auto& s = ranks_[r];
+      if (s.events < cfg_.min_events_per_rank) continue;
+      // A failed rank's silence is explained by its failure anomaly; still
+      // report the stall so the timeline evidence is explicit.
+      if (s.last_t >= horizon) continue;
+      Anomaly a;
+      a.kind = AnomalyKind::kStalledRank;
+      a.rank = static_cast<int>(r);
+      a.t_begin = s.last_t;
+      a.t_end = makespan_;
+      a.value = makespan_ - s.last_t;
+      std::ostringstream d;
+      d.precision(6);
+      d << "silent from t=" << s.last_t << " s to makespan " << makespan_
+        << " s" << (s.failed ? " (after node failure)" : "");
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  void find_premature_convergence(std::vector<Anomaly>& out) const {
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const auto& s = ranks_[r];
+      if (s.diversity.size() < 2 || s.fitness.size() < 2) continue;
+      // Collapse onset: first sample below the floor, provided the series
+      // was ever above it (a population born converged is not a collapse).
+      bool was_alive = false;
+      double t_collapse = std::numeric_limits<double>::infinity();
+      for (const auto& d : s.diversity) {
+        if (d.v >= cfg_.diversity_floor) {
+          was_alive = true;
+        } else if (was_alive) {
+          t_collapse = d.t;
+          break;
+        }
+      }
+      if (!std::isfinite(t_collapse)) continue;
+      // Plateau time: first t at which best fitness reached (within margin)
+      // its final value on this rank.
+      double final_best = -std::numeric_limits<double>::infinity();
+      for (const auto& f : s.fitness)
+        final_best = std::max(final_best, f.v);
+      const double margin =
+          std::abs(final_best) > 0.0
+              ? std::abs(final_best) * cfg_.plateau_margin
+              : cfg_.plateau_margin;
+      double t_plateau = s.fitness.back().t;
+      for (const auto& f : s.fitness)
+        if (f.v >= final_best - margin) {
+          t_plateau = f.t;
+          break;
+        }
+      if (t_collapse >= t_plateau) continue;  // fitness settled first: healthy
+      Anomaly a;
+      a.kind = AnomalyKind::kPrematureConvergence;
+      a.rank = static_cast<int>(r);
+      a.t_begin = t_collapse;
+      a.t_end = t_plateau;
+      a.value = cfg_.diversity_floor;
+      std::ostringstream d;
+      d.precision(6);
+      d << "diversity fell below " << cfg_.diversity_floor << " at t="
+        << t_collapse << " s while best fitness kept moving until t="
+        << t_plateau << " s";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  void find_stragglers(std::vector<Anomaly>& out) const {
+    if (makespan_ <= 0.0 || ranks_.size() < 3) return;
+    std::vector<double> busy(ranks_.size(), 0.0);
+    for (const auto& iv : rank_intervals_)
+      busy[static_cast<std::size_t>(iv.first)] += iv.second.end - iv.second.begin;
+    // Open spans charged through the makespan.
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      if (ranks_[r].depth > 0) busy[r] += makespan_ - ranks_[r].open_t;
+    std::vector<double> utils;
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      if (ranks_[r].events >= cfg_.min_events_per_rank)
+        utils.push_back(busy[r] / makespan_);
+    if (utils.size() < 3) return;
+    std::vector<double> sorted = utils;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median <= 0.0) return;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      if (ranks_[r].events < cfg_.min_events_per_rank) continue;
+      const double util = busy[r] / makespan_;
+      if (util >= cfg_.straggler_ratio * median) continue;
+      Anomaly a;
+      a.kind = AnomalyKind::kStraggler;
+      a.rank = static_cast<int>(r);
+      a.t_begin = 0.0;
+      a.t_end = makespan_;
+      a.value = util;
+      std::ostringstream d;
+      d.precision(3);
+      d << "utilization " << util << " vs median " << median
+        << " (serial-role bottleneck or straggler victim)";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  void find_comm_bound(std::vector<Anomaly>& out) const {
+    if (makespan_ <= 0.0 || cfg_.comm_windows == 0 || ranks_.empty()) return;
+    std::size_t participants = 0;
+    for (const auto& r : ranks_)
+      if (r.events >= cfg_.min_events_per_rank) ++participants;
+    if (participants == 0) return;
+    const std::size_t w = cfg_.comm_windows;
+    const double dt = makespan_ / static_cast<double>(w);
+    std::vector<double> busy(w, 0.0);
+    auto charge = [&](double begin, double end) {
+      for (std::size_t i = 0; i < w; ++i) {
+        const double lo = static_cast<double>(i) * dt;
+        const double hi = lo + dt;
+        const double overlap = std::min(end, hi) - std::max(begin, lo);
+        if (overlap > 0.0) busy[i] += overlap;
+      }
+    };
+    for (const auto& iv : rank_intervals_) charge(iv.second.begin, iv.second.end);
+    for (const auto& r : ranks_)
+      if (r.depth > 0) charge(r.open_t, makespan_);
+    // Merge consecutive under-occupied windows into phases.
+    const double capacity = dt * static_cast<double>(participants);
+    std::size_t i = 0;
+    while (i < w) {
+      if (busy[i] / capacity >= cfg_.comm_busy_floor) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      double phase_busy = 0.0;
+      while (j < w && busy[j] / capacity < cfg_.comm_busy_floor)
+        phase_busy += busy[j++];
+      Anomaly a;
+      a.kind = AnomalyKind::kCommBound;
+      a.rank = -1;
+      a.t_begin = static_cast<double>(i) * dt;
+      a.t_end = static_cast<double>(j) * dt;
+      a.value = phase_busy / (capacity * static_cast<double>(j - i));
+      std::ostringstream d;
+      d.precision(6);
+      d << "compute occupancy " << a.value << " in [" << a.t_begin << ", "
+        << a.t_end << "] s — communication/idle bound phase";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+      i = j;
+    }
+  }
+
+  AnomalyConfig cfg_;
+  double makespan_ = 0.0;
+  std::vector<RankState> ranks_;
+  /// Closed outermost "compute" spans, tagged with their rank.
+  std::vector<std::pair<int, BusyInterval>> rank_intervals_;
+};
+
+}  // namespace pga::obs

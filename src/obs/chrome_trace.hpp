@@ -129,6 +129,15 @@ inline void event_header(std::ostringstream& out, const char* name,
             << ",\"worst\":" << e.worst << "}}";
         break;
       }
+      case EventKind::kSearchStats: {
+        const std::string track = "search[" + std::to_string(e.rank) + "]";
+        event_header(out, track.c_str(), "C", e.rank, ts);
+        out << ",\"args\":{\"diversity\":" << e.diversity
+            << ",\"spread\":" << e.spread << ",\"entropy\":" << e.entropy
+            << ",\"intensity\":" << e.intensity
+            << ",\"takeover\":" << e.takeover << "}}";
+        break;
+      }
       case EventKind::kMark:
         event_header(out, e.name, "i", e.rank, ts);
         out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer

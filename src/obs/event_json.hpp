@@ -1,0 +1,298 @@
+#pragma once
+// Lossless EventLog <-> JSON: the on-disk format `pga_doctor` consumes.
+//
+// chrome_trace.hpp is a *view* — it renders spans and counters for a human
+// in a trace viewer and drops fields that view does not need.  The doctor
+// needs the full stream back, so benches also dump this sidecar format:
+//
+//   {"format": "pga-event-log-v1", "events": [{...}, ...]}
+//
+// Every Event field is written (doubles at max round-trip precision) and
+// `parse_event_log` reconstructs an equivalent EventLog.  Event::name must
+// point at storage that outlives the log, so loaded names are interned into
+// a process-lifetime pool — bounded in practice because instrumentation
+// sites use a small fixed set of literals.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+
+namespace pga::obs {
+
+namespace event_json_detail {
+
+/// JSON string escaping (shared rules with chrome_trace.hpp).
+inline void append_escaped(std::string& out, const char* s) {
+  out += '"';
+  for (const char* p = s; *p; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Shortest round-trip decimal for a double.
+inline void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// Loaded events need `name` pointers with effectively-static lifetime; the
+/// intern pool keeps one copy of each distinct string for the process.
+[[nodiscard]] inline const char* intern_name(const std::string& s) {
+  static std::mutex mutex;
+  static std::unordered_set<std::string> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  return pool.insert(s).first->c_str();
+}
+
+[[nodiscard]] inline EventKind kind_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMark); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  throw std::runtime_error("unknown event kind: " + s);
+}
+
+}  // namespace event_json_detail
+
+/// Serializes one event as a JSON object (all fields, lossless doubles).
+[[nodiscard]] inline std::string event_json(const Event& e) {
+  using event_json_detail::append_double;
+  using event_json_detail::append_escaped;
+  std::string out = "{\"kind\":";
+  append_escaped(out, to_string(e.kind));
+  out += ",\"rank\":" + std::to_string(e.rank);
+  out += ",\"t\":";
+  append_double(out, e.t);
+  out += ",\"name\":";
+  append_escaped(out, e.name);
+  out += ",\"peer\":" + std::to_string(e.peer);
+  out += ",\"tag\":" + std::to_string(e.tag);
+  out += ",\"count\":" + std::to_string(e.count);
+  out += ",\"generation\":" + std::to_string(e.generation);
+  out += ",\"evaluations\":" + std::to_string(e.evaluations);
+  out += ",\"best\":";
+  append_double(out, e.best);
+  out += ",\"mean\":";
+  append_double(out, e.mean);
+  out += ",\"worst\":";
+  append_double(out, e.worst);
+  out += ",\"diversity\":";
+  append_double(out, e.diversity);
+  out += ",\"spread\":";
+  append_double(out, e.spread);
+  out += ",\"entropy\":";
+  append_double(out, e.entropy);
+  out += ",\"intensity\":";
+  append_double(out, e.intensity);
+  out += ",\"takeover\":";
+  append_double(out, e.takeover);
+  out += ",\"seq\":" + std::to_string(e.seq);
+  out += "}";
+  return out;
+}
+
+/// Full-log dump in canonical (t, rank, program) order with `seq`
+/// renumbered to match: `{"format":"pga-event-log-v1","events":[...]}`.
+/// Canonical order — not raw append order — keeps the file a pure function
+/// of the run: concurrent ranks whose clocks tie append in racy real-thread
+/// order, and dumping that order verbatim would break the byte-identical
+/// re-run property the deterministic simulator otherwise guarantees.
+[[nodiscard]] inline std::string event_log_json(const EventLog& log) {
+  std::string out = "{\"format\":\"pga-event-log-v1\",\"events\":[\n";
+  auto events = log.sorted_by_time();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].seq = i;
+    out += event_json(events[i]);
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+inline void save_event_log(const EventLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << event_log_json(log);
+}
+
+/// Reconstructs events from a pga-event-log-v1 document, appending into
+/// `out` (EventLog owns a mutex and cannot be returned by value).  Names are
+/// interned (stable const char* for the process lifetime); `seq` is
+/// reassigned by append order, which matches the dumped order.
+inline void parse_event_log(const std::string& text, EventLog& out) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object())
+    throw std::runtime_error("event log: top level is not an object");
+  if (doc.string_or("format", "") != "pga-event-log-v1")
+    throw std::runtime_error("event log: missing or unknown \"format\"");
+  const json::Value* events = doc.find("events");
+  if (!events || !events->is_array())
+    throw std::runtime_error("event log: missing \"events\" array");
+
+  for (const json::Value& v : events->as_array()) {
+    if (!v.is_object())
+      throw std::runtime_error("event log: event entry is not an object");
+    Event e;
+    e.kind = event_json_detail::kind_from_string(v.string_or("kind", "mark"));
+    e.rank = static_cast<int>(v.number_or("rank", 0.0));
+    e.t = v.number_or("t", 0.0);
+    e.name = event_json_detail::intern_name(v.string_or("name", ""));
+    e.peer = static_cast<int>(v.number_or("peer", -1.0));
+    e.tag = static_cast<int>(v.number_or("tag", 0.0));
+    e.count = static_cast<std::uint64_t>(v.number_or("count", 0.0));
+    e.generation = static_cast<std::uint64_t>(v.number_or("generation", 0.0));
+    e.evaluations = static_cast<std::uint64_t>(v.number_or("evaluations", 0.0));
+    e.best = v.number_or("best", 0.0);
+    e.mean = v.number_or("mean", 0.0);
+    e.worst = v.number_or("worst", 0.0);
+    e.diversity = v.number_or("diversity", 0.0);
+    e.spread = v.number_or("spread", 0.0);
+    e.entropy = v.number_or("entropy", 0.0);
+    e.intensity = v.number_or("intensity", 0.0);
+    e.takeover = v.number_or("takeover", 0.0);
+    out.append(e);
+  }
+}
+
+inline void load_event_log(const std::string& path, EventLog& out) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  parse_event_log(buf.str(), out);
+}
+
+/// Best-effort import of a Chrome trace_event document produced by
+/// chrome_trace.hpp (the `bench_eN_trace.json` artifacts).  The chrome view
+/// is lossy — generation indices and message tags are not rendered — but
+/// everything the anomaly detector and RunReport consume (spans, failures,
+/// migrations, counter tracks) round-trips.
+inline void parse_chrome_trace(const std::string& text, EventLog& out) {
+  using event_json_detail::intern_name;
+  const json::Value doc = json::parse(text);
+  const json::Value* trace_events = doc.find("traceEvents");
+  if (!trace_events || !trace_events->is_array())
+    throw std::runtime_error("chrome trace: missing \"traceEvents\" array");
+
+  for (const json::Value& v : trace_events->as_array()) {
+    if (!v.is_object()) continue;
+    const std::string ph = v.string_or("ph", "");
+    if (ph == "M") continue;  // viewer metadata
+    Event e;
+    e.rank = static_cast<int>(v.number_or("tid", 0.0));
+    e.t = v.number_or("ts", 0.0) / 1e6;  // microseconds -> seconds
+    const std::string name = v.string_or("name", "");
+    const json::Value* args = v.find("args");
+    auto arg = [&](const char* key, double dflt) {
+      return args ? args->number_or(key, dflt) : dflt;
+    };
+    if (ph == "B" || ph == "E") {
+      e.kind = ph == "B" ? EventKind::kSpanBegin : EventKind::kSpanEnd;
+      e.name = intern_name(name);
+    } else if (ph == "C") {
+      if (name.rfind("search[", 0) == 0) {
+        e.kind = EventKind::kSearchStats;
+        e.name = "search";
+        e.diversity = arg("diversity", 0.0);
+        e.spread = arg("spread", 0.0);
+        e.entropy = arg("entropy", 0.0);
+        e.intensity = arg("intensity", 0.0);
+        e.takeover = arg("takeover", 0.0);
+      } else if (name.rfind("fitness[", 0) == 0) {
+        e.kind = EventKind::kGenStats;
+        e.name = "gen";
+        e.best = arg("best", 0.0);
+        e.mean = arg("mean", 0.0);
+        e.worst = arg("worst", 0.0);
+      } else {
+        continue;  // unknown counter track
+      }
+    } else if (ph == "i") {
+      if (name == "node_failure") {
+        e.kind = EventKind::kNodeFailure;
+        e.name = intern_name(args ? args->string_or("cause", "killed")
+                                  : std::string("killed"));
+        e.peer = static_cast<int>(arg("peer", -1.0));
+      } else if (name == "migration") {
+        e.kind = EventKind::kMigration;
+        e.name = intern_name(args ? args->string_or("policy", "?")
+                                  : std::string("?"));
+        e.peer = static_cast<int>(arg("dest", -1.0));
+        e.count = static_cast<std::uint64_t>(arg("migrants", 0.0));
+      } else if (args && args->find("bytes") &&
+                 (name == "send" || name == "recv")) {
+        e.kind = name == "send" ? EventKind::kMessageSent
+                                : EventKind::kMessageRecv;
+        e.name = name == "send" ? "send" : "recv";
+        e.peer = static_cast<int>(arg("peer", -1.0));
+        e.tag = static_cast<int>(arg("tag", 0.0));
+        e.count = static_cast<std::uint64_t>(arg("bytes", 0.0));
+      } else if (args && args->find("batch")) {
+        e.kind = EventKind::kEvaluationBatch;
+        e.name = intern_name(name);
+        e.count = static_cast<std::uint64_t>(arg("batch", 0.0));
+      } else {
+        e.kind = EventKind::kMark;
+        e.name = intern_name(name);
+        e.peer = static_cast<int>(arg("peer", -1.0));
+        e.count = static_cast<std::uint64_t>(arg("count", 0.0));
+      }
+    } else {
+      continue;  // phases this library never emits
+    }
+    out.append(e);
+  }
+}
+
+/// Loads either supported on-disk format, sniffing by document shape:
+/// pga-event-log-v1 (lossless) or a chrome_trace.hpp export (best effort).
+inline void load_any_trace(const std::string& path, EventLog& out) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const json::Value doc = json::parse(text);
+  if (doc.string_or("format", "") == "pga-event-log-v1") {
+    parse_event_log(text, out);
+    return;
+  }
+  if (doc.find("traceEvents")) {
+    parse_chrome_trace(text, out);
+    return;
+  }
+  throw std::runtime_error(path +
+                           ": neither a pga-event-log-v1 dump nor a chrome "
+                           "trace (no \"format\"/\"traceEvents\" key)");
+}
+
+}  // namespace pga::obs

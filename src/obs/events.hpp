@@ -36,6 +36,7 @@ enum class EventKind : std::uint8_t {
   kEvaluationBatch,  ///< a batch of fitness evaluations (count = batch size)
   kNodeFailure,      ///< the rank died (failure injection or detection)
   kGenStats,         ///< per-generation population snapshot
+  kSearchStats,      ///< per-generation search-dynamics probe record
   kMark,             ///< generic instant marker (dispatch, re_dispatch, ...)
 };
 
@@ -49,6 +50,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kEvaluationBatch: return "evaluation_batch";
     case EventKind::kNodeFailure: return "node_failure";
     case EventKind::kGenStats: return "gen_stats";
+    case EventKind::kSearchStats: return "search_stats";
     case EventKind::kMark: return "mark";
   }
   return "?";
@@ -70,6 +72,12 @@ struct Event {
   double best = 0.0;   ///< gen_stats: best fitness
   double mean = 0.0;   ///< gen_stats: mean fitness
   double worst = 0.0;  ///< gen_stats: worst fitness
+  // search_stats payload (see obs/probes.hpp for the definitions):
+  double diversity = 0.0;  ///< genotypic diversity of the population
+  double spread = 0.0;     ///< phenotypic diversity (fitness stddev)
+  double entropy = 0.0;    ///< fitness entropy, normalized to [0, 1]
+  double intensity = 0.0;  ///< selection intensity vs. previous generation
+  double takeover = 0.0;   ///< fraction holding the most common genotype
   std::uint64_t seq = 0;  ///< global append order, assigned by the log
 };
 
@@ -102,13 +110,19 @@ class EventLog {
     return events_;
   }
 
-  /// Copy sorted by (timestamp, seq) — the canonical virtual-time order the
-  /// exporters and RunReport consume.
+  /// Copy sorted by (timestamp, rank, seq) — the canonical virtual-time
+  /// order the exporters and RunReport consume.  Breaking timestamp ties by
+  /// rank (not raw seq) matters under concurrency: ranks whose clocks tie
+  /// append in whatever real-thread order the OS ran them, so seq alone
+  /// would make two identical runs serialize differently.  Per-rank program
+  /// order still holds — each rank's own events carry increasing seq.
   [[nodiscard]] std::vector<Event> sorted_by_time() const {
     auto out = snapshot();
     std::stable_sort(out.begin(), out.end(),
                      [](const Event& a, const Event& b) {
-                       return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+                       if (a.t != b.t) return a.t < b.t;
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.seq < b.seq;
                      });
     return out;
   }
@@ -231,6 +245,28 @@ class Tracer {
     e.best = best;
     e.mean = mean;
     e.worst = worst;
+    log_->append(e);
+  }
+
+  /// Per-generation search-dynamics record (obs/probes.hpp computes the
+  /// payload; `count` carries the evaluations performed this generation so
+  /// evaluation throughput can be derived downstream).
+  void search_stats(int rank, double t, std::uint64_t generation,
+                    std::uint64_t gen_evals, double diversity, double spread,
+                    double entropy, double intensity, double takeover) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kSearchStats;
+    e.rank = rank;
+    e.t = t;
+    e.name = "search";
+    e.generation = generation;
+    e.count = gen_evals;
+    e.diversity = diversity;
+    e.spread = spread;
+    e.entropy = entropy;
+    e.intensity = intensity;
+    e.takeover = takeover;
     log_->append(e);
   }
 

@@ -1,0 +1,296 @@
+#pragma once
+// Minimal JSON value parser (recursive descent, no dependencies).
+//
+// The obs subsystem both writes JSON (chrome_trace.hpp, event_json.hpp) and
+// reads it back (pga_doctor loads trace dumps; tests round-trip exported
+// documents to prove escaping is correct).  This is a small, strict parser
+// for those two jobs — it builds a value tree and rejects structurally
+// broken documents; it does not aim at full RFC 8259 conformance (no
+// surrogate-pair decoding: \uXXXX escapes are validated and preserved
+// verbatim, which is lossless for the ASCII event names the library emits).
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pga::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value.  Objects keep first-wins semantics on duplicate keys.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double n) : type_(Type::kNumber), number_(n) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const {
+    static const Array empty;
+    return array_ ? *array_ : empty;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    static const Object empty;
+    return object_ ? *object_ : empty;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = object_->find(key);
+    return it == object_->end() ? nullptr : &it->second;
+  }
+
+  /// Convenience accessors with defaults for the doctor's tolerant reads.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const {
+    const Value* v = find(key);
+    return v && v->is_number() ? v->as_number() : dflt;
+  }
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& dflt) const {
+    const Value* v = find(key);
+    return v && v->is_string() ? v->as_string() : dflt;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] Value parse() {
+    skip_ws();
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  Value value() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't': literal("true"); return Value(true);
+      case 'f': literal("false"); return Value(false);
+      case 'n': literal("null"); return Value();
+      default: return Value(number());
+    }
+  }
+
+  Value object() {
+    ++pos_;  // '{'
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      out.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value array() {
+    ++pos_;  // '['
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    for (;;) {
+      skip_ws();
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) fail("truncated escape");
+        const char e = s_[pos_];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= s_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+                fail("bad \\u escape");
+              const char h = s_[pos_];
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0'
+                                  : (h | 0x20) - 'a' + 10);
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              // Preserve non-ASCII escapes verbatim; the library only ever
+              // emits ASCII \u00XX control escapes, so this path is for
+              // foreign documents the doctor merely passes through.
+              out += "\\u";
+              out += s_.substr(pos_ - 3, 4);
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t from = pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+      return pos_ > from;
+    };
+    if (!digits()) fail("expected number");
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) fail("expected fraction digits");
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) fail("expected exponent digits");
+    }
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses a complete document; throws std::runtime_error on any error.
+[[nodiscard]] inline Value parse(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+/// Non-throwing variant for validity checks.
+[[nodiscard]] inline std::optional<Value> try_parse(const std::string& text) {
+  try {
+    return parse(text);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace pga::obs::json

@@ -1,0 +1,264 @@
+#pragma once
+// Search-dynamics probes: per-generation algorithm-level observables.
+//
+// PR 1's obs layer records *system* facts — spans, messages, utilization.
+// The survey's quantitative claims, however, are about *search dynamics
+// under parallelism*: Giacobini's selection-intensity curves for
+// asynchronous cellular EAs, Cantú-Paz's takeover/sizing rules, Alba &
+// Troya's migration-policy effects on diversity.  Harada, Alba & Luque
+// (2021) argue that distributed-GA evaluation needs exactly these
+// algorithm-level observables alongside the wall-clock ones.
+//
+// A `GenerationProbe` hooks an engine's generation loop and emits one
+// `kSearchStats` event per generation through the same nullable `Tracer`:
+//
+//   * genotypic diversity — per-locus Hamming diversity for bitstrings,
+//     centroid dispersion for real vectors, sampled pairwise-distinct rate
+//     for any other genome with operator==
+//   * phenotypic diversity — fitness standard deviation ("spread")
+//   * fitness entropy — Shannon entropy of the binned fitness distribution,
+//     normalized to [0, 1]
+//   * selection intensity — I = (M_t - M_{t-1}) / sigma_{t-1}, the classic
+//     response-to-selection measure the cellular takeover studies plot
+//   * takeover fraction — share of the (sampled) population holding the
+//     most common genotype, Cantú-Paz / Giacobini's growth-curve quantity
+//
+// Cost model: like every obs emit site, a probe held against a null tracer
+// is exactly one predictable branch per observe() — nothing is computed
+// unless an EventLog is attached (BM_ProbeObserveNull in bench_micro_ops
+// keeps this honest; the acceptance bound is <= 5 ns per generation-probe).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/genome.hpp"
+#include "core/population.hpp"
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+/// One generation's search-dynamics snapshot (the kSearchStats payload).
+struct SearchStats {
+  double genotypic_diversity = 0.0;
+  double phenotypic_diversity = 0.0;  ///< fitness stddev
+  double fitness_entropy = 0.0;       ///< normalized to [0, 1]
+  double selection_intensity = 0.0;   ///< 0 for the first observed generation
+  double takeover_fraction = 0.0;
+};
+
+struct ProbeConfig {
+  /// Pairwise statistics (takeover, generic genotypic diversity) are
+  /// O(k^2) in the sample size; populations larger than this are stride-
+  /// sampled down to ~this many individuals.  0 = exact (no cap).
+  std::size_t pairwise_sample_cap = 256;
+  /// Histogram bins for the fitness-entropy estimate.
+  std::size_t entropy_bins = 16;
+};
+
+namespace probe_detail {
+
+/// Stride-sampled index set over [0, n): spatially uniform for grid
+/// populations (a prefix sample would bias cellular takeover curves toward
+/// one corner of the torus).
+[[nodiscard]] inline std::size_t sample_stride(std::size_t n,
+                                               std::size_t cap) noexcept {
+  if (cap == 0 || n <= cap) return 1;
+  return (n + cap - 1) / cap;
+}
+
+/// Genotypic diversity of [first, last) (iterators over Individual<G>).
+/// BitString: expected pairwise per-locus disagreement (0 converged, 0.5
+/// random), the mean-Hamming measure of core/diversity.hpp.  RealVector:
+/// mean distance to the centroid (scale-dependent).  Anything else with
+/// operator==: fraction of sampled pairs that differ (0 converged, 1 all
+/// distinct).
+template <class It>
+[[nodiscard]] double genotypic_diversity(It first, It last,
+                                         const ProbeConfig& cfg) {
+  using G = std::decay_t<decltype(first->genome)>;
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n < 2) return 0.0;
+  if constexpr (std::is_same_v<G, BitString>) {
+    const std::size_t length = first->genome.size();
+    if (length == 0) return 0.0;
+    const double dn = static_cast<double>(n);
+    double total = 0.0;
+    for (std::size_t locus = 0; locus < length; ++locus) {
+      double ones = 0.0;
+      for (It it = first; it != last; ++it) ones += it->genome[locus];
+      total += 2.0 * ones * (dn - ones) / (dn * (dn - 1.0));
+    }
+    return total / static_cast<double>(length);
+  } else if constexpr (std::is_same_v<G, RealVector>) {
+    const std::size_t dims = first->genome.size();
+    if (dims == 0) return 0.0;
+    RealVector centroid(dims, 0.0);
+    for (It it = first; it != last; ++it)
+      for (std::size_t d = 0; d < dims; ++d) centroid[d] += it->genome[d];
+    for (std::size_t d = 0; d < dims; ++d)
+      centroid[d] /= static_cast<double>(n);
+    double total = 0.0;
+    for (It it = first; it != last; ++it)
+      total += it->genome.distance(centroid);
+    return total / static_cast<double>(n);
+  } else {
+    const std::size_t stride = sample_stride(n, cfg.pairwise_sample_cap);
+    std::vector<const G*> sample;
+    for (std::size_t i = 0; i < n; i += stride)
+      sample.push_back(&(first + static_cast<std::ptrdiff_t>(i))->genome);
+    if (sample.size() < 2) return 0.0;
+    std::size_t pairs = 0, distinct = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i)
+      for (std::size_t j = i + 1; j < sample.size(); ++j) {
+        ++pairs;
+        distinct += !(*sample[i] == *sample[j]);
+      }
+    return static_cast<double>(distinct) / static_cast<double>(pairs);
+  }
+}
+
+/// Takeover fraction over a stride sample of [first, last): the share of
+/// sampled individuals holding the single most common genotype.
+template <class It>
+[[nodiscard]] double takeover_fraction(It first, It last,
+                                       const ProbeConfig& cfg) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) return 0.0;
+  const std::size_t stride = sample_stride(n, cfg.pairwise_sample_cap);
+  std::vector<It> sample;
+  for (std::size_t i = 0; i < n; i += stride)
+    sample.push_back(first + static_cast<std::ptrdiff_t>(i));
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < sample.size(); ++j)
+      count += (sample[j]->genome == sample[i]->genome);
+    best_count = std::max(best_count, count);
+  }
+  return static_cast<double>(best_count) /
+         static_cast<double>(sample.size());
+}
+
+/// Normalized Shannon entropy of the binned fitness distribution: 0 when
+/// every individual has the same fitness, 1 when the histogram is uniform.
+[[nodiscard]] inline double fitness_entropy(const std::vector<double>& fitness,
+                                            std::size_t bins) {
+  if (fitness.size() < 2 || bins < 2) return 0.0;
+  const auto [lo_it, hi_it] =
+      std::minmax_element(fitness.begin(), fitness.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (!(hi - lo > 0.0) || !std::isfinite(hi - lo)) return 0.0;
+  std::vector<std::size_t> hist(bins, 0);
+  for (double f : fitness) {
+    auto b = static_cast<std::size_t>((f - lo) / (hi - lo) *
+                                      static_cast<double>(bins));
+    ++hist[std::min(b, bins - 1)];
+  }
+  const double n = static_cast<double>(fitness.size());
+  double h = 0.0;
+  for (std::size_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h / std::log2(static_cast<double>(bins));
+}
+
+}  // namespace probe_detail
+
+/// Full per-generation computation over a range of Individual<G>.
+/// `prev_mean`/`prev_stddev` come from the previous generation's snapshot
+/// (selection intensity is 0 when `has_prev` is false or the previous
+/// spread was degenerate).
+template <class It>
+[[nodiscard]] SearchStats compute_search_stats(It first, It last,
+                                               const ProbeConfig& cfg,
+                                               bool has_prev = false,
+                                               double prev_mean = 0.0,
+                                               double prev_stddev = 0.0) {
+  SearchStats s;
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) return s;
+
+  std::vector<double> fitness;
+  fitness.reserve(n);
+  for (It it = first; it != last; ++it) fitness.push_back(it->fitness);
+  double mean = 0.0;
+  for (double f : fitness) mean += f;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double f : fitness) var += (f - mean) * (f - mean);
+  var /= static_cast<double>(n);
+
+  s.phenotypic_diversity = std::sqrt(var);
+  s.fitness_entropy = probe_detail::fitness_entropy(fitness, cfg.entropy_bins);
+  if (has_prev && prev_stddev > 1e-12)
+    s.selection_intensity = (mean - prev_mean) / prev_stddev;
+  s.genotypic_diversity = probe_detail::genotypic_diversity(first, last, cfg);
+  s.takeover_fraction = probe_detail::takeover_fraction(first, last, cfg);
+  return s;
+}
+
+/// Generation-loop hook: holds the tracer, the emitting rank and the
+/// previous generation's fitness moments (for selection intensity), and
+/// emits one kSearchStats event per observe().  Against a null tracer every
+/// observe is a single branch — engines can hold a probe unconditionally.
+template <class G>
+class GenerationProbe {
+ public:
+  GenerationProbe() = default;
+  explicit GenerationProbe(Tracer trace, int rank, ProbeConfig cfg = {})
+      : trace_(trace), rank_(rank), cfg_(cfg) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return trace_.enabled(); }
+
+  /// Observe a population snapshot at virtual time `t`.  `gen_evals` is the
+  /// number of fitness evaluations this generation performed (throughput
+  /// numerator); pass 0 when unknown.
+  void observe(const Population<G>& pop, double t, std::uint64_t generation,
+               std::uint64_t gen_evals) {
+    if (!trace_) return;
+    observe_range(pop.begin(), pop.end(), t, generation, gen_evals);
+  }
+
+  /// Range form for engines whose population is not a Population<G> — the
+  /// parallel cellular grid observes its owned-cell slice directly.
+  template <class It>
+  void observe_range(It first, It last, double t, std::uint64_t generation,
+                     std::uint64_t gen_evals) {
+    if (!trace_) return;
+    const auto stats = compute_search_stats(first, last, cfg_, has_prev_,
+                                            prev_mean_, prev_stddev_);
+    // Remember this generation's moments for the next intensity estimate.
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    if (n > 0) {
+      double mean = 0.0;
+      for (It it = first; it != last; ++it) mean += it->fitness;
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (It it = first; it != last; ++it)
+        var += (it->fitness - mean) * (it->fitness - mean);
+      prev_mean_ = mean;
+      prev_stddev_ = std::sqrt(var / static_cast<double>(n));
+      has_prev_ = true;
+    }
+    trace_.search_stats(rank_, t, generation, gen_evals,
+                        stats.genotypic_diversity, stats.phenotypic_diversity,
+                        stats.fitness_entropy, stats.selection_intensity,
+                        stats.takeover_fraction);
+  }
+
+ private:
+  Tracer trace_{};
+  int rank_ = 0;
+  ProbeConfig cfg_{};
+  bool has_prev_ = false;
+  double prev_mean_ = 0.0;
+  double prev_stddev_ = 0.0;
+};
+
+}  // namespace pga::obs

@@ -61,6 +61,20 @@ struct FitnessSample {
   double best = 0.0;
 };
 
+/// One search_stats sample (obs/probes.hpp payload), retained so the
+/// Giacobini/Cantú-Paz-shaped curves can be re-plotted from any trace.
+struct SearchSample {
+  double t = 0.0;
+  int rank = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t gen_evals = 0;  ///< evaluations this generation performed
+  double diversity = 0.0;
+  double spread = 0.0;
+  double entropy = 0.0;
+  double intensity = 0.0;
+  double takeover = 0.0;
+};
+
 class RunReport {
  public:
   /// Builds the report from a log (events are re-sorted by virtual time, so
@@ -96,12 +110,13 @@ class RunReport {
   }
 
   /// Non-compute (communication + idle) time over compute time, the overhead
-  /// ratio that bounds speedup in every model of the survey.
+  /// ratio that bounds speedup in every model of the survey.  Degenerate
+  /// streams (empty log, zero makespan, no compute spans) report 0 rather
+  /// than inf/NaN so downstream tables stay finite.
   [[nodiscard]] double comm_compute_ratio() const noexcept {
     const double busy = total_busy();
     const double total = makespan_ * static_cast<double>(ranks_.size());
-    return busy > 0.0 ? (total - busy) / busy
-                      : std::numeric_limits<double>::infinity();
+    return busy > 0.0 && total > 0.0 ? (total - busy) / busy : 0.0;
   }
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
@@ -156,6 +171,22 @@ class RunReport {
   [[nodiscard]] const std::vector<FitnessSample>& fitness_series()
       const noexcept {
     return fitness_series_;
+  }
+
+  /// Per-generation search-dynamics samples in virtual-time order.
+  [[nodiscard]] const std::vector<SearchSample>& search_series()
+      const noexcept {
+    return search_series_;
+  }
+
+  /// Summed per-generation evaluation counts from search_stats events over
+  /// the makespan — the probe-derived evaluation throughput (0 when no
+  /// probes ran or the makespan is degenerate).
+  [[nodiscard]] double eval_throughput() const noexcept {
+    if (makespan_ <= 0.0) return 0.0;
+    std::uint64_t evals = 0;
+    for (const auto& s : search_series_) evals += s.gen_evals;
+    return static_cast<double>(evals) / makespan_;
   }
 
   /// Markdown-ish per-rank summary for experiment harness stdout.
@@ -239,6 +270,20 @@ class RunReport {
           final_best_ = std::max(final_best_, e.best);
           break;
         }
+        case EventKind::kSearchStats: {
+          SearchSample s;
+          s.t = e.t;
+          s.rank = e.rank;
+          s.generation = e.generation;
+          s.gen_evals = e.count;
+          s.diversity = e.diversity;
+          s.spread = e.spread;
+          s.entropy = e.entropy;
+          s.intensity = e.intensity;
+          s.takeover = e.takeover;
+          search_series_.push_back(s);
+          break;
+        }
         case EventKind::kMark:
           ++marks_[e.name];
           break;
@@ -257,6 +302,7 @@ class RunReport {
   std::map<std::pair<int, int>, std::uint64_t> migration_edges_;
   std::map<std::string, std::uint64_t> marks_;
   std::vector<FitnessSample> fitness_series_;
+  std::vector<SearchSample> search_series_;
 };
 
 }  // namespace pga::obs

@@ -29,6 +29,8 @@
 #include "core/population.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "obs/events.hpp"
+#include "obs/probes.hpp"
 
 namespace pga {
 
@@ -44,6 +46,12 @@ struct ParallelCellularConfig {
   double eval_cost_s = 0.0;
   std::uint64_t seed = 1;
   std::function<G(Rng&)> make_genome;
+  /// Optional event sink: each rank probes its owned-cell strip once per
+  /// sweep (search_stats + evaluation_batch).  Takeover growth curves over a
+  /// strip sample are exact when `probe.pairwise_sample_cap` >= strip size.
+  /// Null (default) costs one branch per sweep.
+  obs::Tracer trace{};
+  obs::ProbeConfig probe{};
 };
 
 template <class G>
@@ -193,6 +201,16 @@ CellularRankReport<G> run_cellular_rank(comm::Transport& t,
   report.evaluations += my_rows * W;  // initial evaluation of owned cells
   t.compute(static_cast<double>(my_rows * W) * cfg.eval_cost_s);
 
+  // Search-dynamics probe over the owned strip (ghost rows excluded — they
+  // are copies of neighbours' cells and would bias diversity/takeover).
+  // Compute spans come from the transport itself, so this emits only
+  // search_stats + evaluation_batch events.
+  obs::GenerationProbe<G> probe(cfg.trace, rank, cfg.probe);
+  probe.observe_range(cells.begin() + static_cast<std::ptrdiff_t>(depth * W),
+                      cells.begin() +
+                          static_cast<std::ptrdiff_t>((depth + my_rows) * W),
+                      t.now(), 0, my_rows * W);
+
   // Neighborhood offsets relative to a cell.
   const auto offsets = cell_detail::neighborhood_offsets(cfg.neighborhood);
 
@@ -301,6 +319,13 @@ CellularRankReport<G> run_cellular_rank(comm::Transport& t,
               cells.begin() + static_cast<std::ptrdiff_t>(depth * W));
     t.compute(static_cast<double>(sweep_evals) * cfg.eval_cost_s);
     ++report.sweeps;
+    if (cfg.trace) {
+      cfg.trace.evaluation_batch(rank, t.now(), sweep_evals);
+      probe.observe_range(
+          cells.begin() + static_cast<std::ptrdiff_t>(depth * W),
+          cells.begin() + static_cast<std::ptrdiff_t>((depth + my_rows) * W),
+          t.now(), report.sweeps, sweep_evals);
+    }
   }
 
   return finish_cellular(report, cells, W, depth, my_rows, cfg.sweeps);

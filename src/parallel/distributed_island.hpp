@@ -28,6 +28,7 @@
 #include "core/rng.hpp"
 #include "core/termination.hpp"
 #include "obs/events.hpp"
+#include "obs/probes.hpp"
 #include "parallel/migration.hpp"
 #include "parallel/topology.hpp"
 
@@ -147,6 +148,7 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
   }
 
   bool stop_now = false;
+  obs::GenerationProbe<G> probe(cfg.trace, rank);
   while (!stop_now && report.generations < cfg.stop.max_generations &&
          report.evaluations < cfg.stop.max_evaluations) {
     const std::size_t evals = scheme->step(pop, problem, rng);
@@ -158,6 +160,7 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
       cfg.trace.gen_stats(rank, t.now(), report.generations,
                           report.evaluations, pop.best_fitness(),
                           pop.mean_fitness(), pop[pop.worst_index()].fitness);
+      probe.observe(pop, t.now(), report.generations, evals);
     }
 
     if (target_hit()) {

@@ -25,6 +25,7 @@
 #include "core/problem.hpp"
 #include "core/rng.hpp"
 #include "obs/events.hpp"
+#include "obs/probes.hpp"
 #include "parallel/migration.hpp"
 #include "parallel/topology.hpp"
 
@@ -144,6 +145,14 @@ class IslandModel {
     IslandResult<G> result;
     for (auto& pop : populations) result.evaluations += pop.evaluate_all(problem);
 
+    // One search-dynamics probe per deme lane (null-tracer cost: one branch
+    // per deme per epoch).  Probes persist across epochs so each deme's
+    // selection intensity is measured against its own previous generation.
+    std::vector<obs::GenerationProbe<G>> probes;
+    probes.reserve(num_demes());
+    for (std::size_t d = 0; d < num_demes(); ++d)
+      probes.emplace_back(trace_, static_cast<int>(d));
+
     auto check_target = [&]() {
       if (result.reached_target) return;
       for (const auto& pop : populations) {
@@ -179,6 +188,7 @@ class IslandModel {
                            result.evaluations, pop.best_fitness(),
                            pop.mean_fitness(),
                            pop[pop.worst_index()].fitness);
+          probes[d].observe(pop, now, result.epochs, deme_evals[d]);
         }
       }
 

@@ -37,6 +37,7 @@
 #include "core/rng.hpp"
 #include "core/termination.hpp"
 #include "obs/events.hpp"
+#include "obs/probes.hpp"
 
 namespace pga {
 
@@ -312,11 +313,16 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
   evaluate_batch(members);
   Population<G> pop(std::move(members));
 
+  obs::GenerationProbe<G> probe(cfg.trace, t.rank());
+  std::size_t probed_evals = 0;
   auto snapshot_stats = [&] {
     if (!cfg.trace) return;
     cfg.trace.gen_stats(t.rank(), t.now(), result.generations,
                         result.evaluations, pop.best_fitness(),
                         pop.mean_fitness(), pop[pop.worst_index()].fitness);
+    probe.observe(pop, t.now(), result.generations,
+                  result.evaluations - probed_evals);
+    probed_evals = result.evaluations;
   };
   snapshot_stats();
 

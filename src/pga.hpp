@@ -11,7 +11,8 @@
 //   sim/       deterministic virtual-time cluster simulator
 //   parallel/  master-slave, island, cellular, hierarchical, SIM, hybrid
 //   multiobj/  Pareto utilities and NSGA-II
-//   obs/       event tracing, metrics, Chrome-trace export, run reports
+//   obs/       event tracing, search-dynamics probes, anomaly diagnosis,
+//              metrics, Chrome-trace + JSON export, run reports
 //   theory/    analytic models (sizing, takeover, speedup)
 //   workloads/ synthetic application substrates
 
@@ -39,9 +40,13 @@
 #include "core/trace.hpp"
 #include "multiobj/nsga2.hpp"
 #include "multiobj/pareto.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probes.hpp"
 #include "obs/report.hpp"
 #include "parallel/cellular_parallel.hpp"
 #include "parallel/distributed_island.hpp"

@@ -1,0 +1,69 @@
+# End-to-end exercise of the pga_doctor CLI, run under ctest:
+#
+#   1. `--gen healthy` writes a clean 4-rank master-slave trace; diagnosing
+#      it must exit 0 (advisory warnings allowed, no gated anomaly).
+#   2. `--gen faulty` writes an 8-rank trace with rank 2 killed at virtual
+#      t=0.02 s; diagnosing it must exit nonzero and the diagnosis must name
+#      the failed rank with its timestamp.
+#
+# Driven with: cmake -DDOCTOR=<path> -DWORK_DIR=<dir> -P pga_doctor_cli.cmake
+
+if(NOT DOCTOR OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DWORK_DIR=<dir> -P pga_doctor_cli.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(healthy "${WORK_DIR}/doctor_healthy.json")
+set(faulty "${WORK_DIR}/doctor_faulty.json")
+
+# --- generate both demo traces -------------------------------------------
+execute_process(COMMAND "${DOCTOR}" --gen healthy "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen healthy failed (exit ${rc}):\n${out}")
+endif()
+
+execute_process(COMMAND "${DOCTOR}" --gen faulty "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen faulty failed (exit ${rc}):\n${out}")
+endif()
+
+# --- healthy trace: gate must stay green ---------------------------------
+execute_process(COMMAND "${DOCTOR}" --report "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "healthy diagnosis (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy trace must exit 0, got ${rc}")
+endif()
+
+# --- faulty trace: gate must trip and name rank 2 at t=0.02 --------------
+execute_process(COMMAND "${DOCTOR}" "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "faulty diagnosis (exit ${rc}):\n${out}")
+if(rc EQUAL 0)
+  message(FATAL_ERROR "faulty trace must exit nonzero, got 0")
+endif()
+if(NOT out MATCHES "FAIL \\[failure\\] rank 2")
+  message(FATAL_ERROR "diagnosis did not flag the failed rank 2")
+endif()
+if(NOT out MATCHES "t=0\\.02")
+  message(FATAL_ERROR "diagnosis did not report the failure timestamp 0.02 s")
+endif()
+
+# --- a --fail-on none run of the faulty trace is advisory-only -----------
+execute_process(COMMAND "${DOCTOR}" --fail-on none "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--fail-on none must exit 0, got ${rc}")
+endif()
+
+# --- garbage input is a load error (exit 2), not a crash -----------------
+file(WRITE "${WORK_DIR}/doctor_garbage.json" "{\"nope\": true}")
+execute_process(COMMAND "${DOCTOR}" "${WORK_DIR}/doctor_garbage.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unrecognized document must exit 2, got ${rc}")
+endif()
+
+message(STATUS "pga_doctor CLI gate behaves as specified")

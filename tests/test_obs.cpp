@@ -13,9 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/anomaly.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
 #include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probes.hpp"
 #include "obs/report.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
@@ -266,20 +270,23 @@ TEST(EventLog, NullTracerEmitsNothingAndIsDisabled) {
   SUCCEED();
 }
 
-TEST(EventLog, OrdersByVirtualTimeWithSeqTieBreak) {
+TEST(EventLog, OrdersByVirtualTimeWithRankTieBreak) {
   obs::EventLog log;
   obs::Tracer tr(&log);
   // Appended out of time order, from interleaved "ranks".
   tr.mark(1, 3.0, "c");
   tr.mark(0, 1.0, "a");
-  tr.mark(2, 2.0, "b");
-  tr.mark(0, 2.0, "b_tie");  // same t as "b", appended later => after it
+  tr.mark(2, 2.0, "b_hi");
+  tr.mark(0, 2.0, "b_lo");   // same t, lower rank => before "b_hi" even
+                             // though it was appended later
+  tr.mark(0, 2.0, "b_lo2");  // same t AND rank => program order holds
   const auto sorted = log.sorted_by_time();
-  ASSERT_EQ(sorted.size(), 4u);
+  ASSERT_EQ(sorted.size(), 5u);
   EXPECT_STREQ(sorted[0].name, "a");
-  EXPECT_STREQ(sorted[1].name, "b");
-  EXPECT_STREQ(sorted[2].name, "b_tie");
-  EXPECT_STREQ(sorted[3].name, "c");
+  EXPECT_STREQ(sorted[1].name, "b_lo");
+  EXPECT_STREQ(sorted[2].name, "b_lo2");
+  EXPECT_STREQ(sorted[3].name, "b_hi");
+  EXPECT_STREQ(sorted[4].name, "c");
   // Append order is preserved in snapshot() and by seq.
   const auto raw = log.snapshot();
   EXPECT_STREQ(raw[0].name, "c");
@@ -560,6 +567,488 @@ TEST(ObsAcceptance, FailureInjectionShowsUpInReport) {
   // unterminated spans being possible.
   JsonChecker checker(chrome_trace_json(log));
   EXPECT_TRUE(checker.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Search-dynamics probes
+// ---------------------------------------------------------------------------
+
+Population<BitString> bit_population(
+    const std::vector<std::pair<std::string, double>>& members) {
+  std::vector<Individual<BitString>> inds;
+  for (const auto& [bits, fitness] : members) {
+    BitString g(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) g[i] = bits[i] == '1';
+    Individual<BitString> ind(std::move(g));
+    ind.fitness = fitness;
+    ind.evaluated = true;
+    inds.push_back(std::move(ind));
+  }
+  return Population<BitString>(std::move(inds));
+}
+
+TEST(Probes, ConvergedPopulationIsDegenerate) {
+  const auto pop = bit_population(
+      {{"1010", 2.0}, {"1010", 2.0}, {"1010", 2.0}, {"1010", 2.0}});
+  const auto s = obs::compute_search_stats(pop.begin(), pop.end(), {});
+  EXPECT_DOUBLE_EQ(s.genotypic_diversity, 0.0);
+  EXPECT_DOUBLE_EQ(s.takeover_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(s.phenotypic_diversity, 0.0);
+  EXPECT_DOUBLE_EQ(s.fitness_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(s.selection_intensity, 0.0);
+}
+
+TEST(Probes, MixedPopulationKnownValues) {
+  // Two all-ones, two all-zeros, 4 loci.  Per-locus: 2 ones of 4 =>
+  // 2*2*2/(4*3) = 2/3 pairwise disagreement at every locus.
+  const auto pop = bit_population(
+      {{"1111", 4.0}, {"1111", 4.0}, {"0000", 0.0}, {"0000", 0.0}});
+  obs::ProbeConfig cfg;  // 16 entropy bins
+  const auto s = obs::compute_search_stats(pop.begin(), pop.end(), cfg);
+  EXPECT_NEAR(s.genotypic_diversity, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.takeover_fraction, 0.5);
+  // Fitness {4,4,0,0}: mean 2, var 4 => stddev 2; two equally loaded bins
+  // => H = 1 bit over log2(16) = 0.25 normalized.
+  EXPECT_DOUBLE_EQ(s.phenotypic_diversity, 2.0);
+  EXPECT_NEAR(s.fitness_entropy, 0.25, 1e-12);
+}
+
+TEST(Probes, SelectionIntensityAgainstPreviousMoments) {
+  const auto pop = bit_population(
+      {{"1111", 4.0}, {"1100", 2.0}, {"1000", 1.0}, {"0100", 1.0}});
+  // Current mean 2.0; previous mean 1.0, stddev 2.0 => I = 0.5.
+  const auto s = obs::compute_search_stats(pop.begin(), pop.end(), {},
+                                           /*has_prev=*/true,
+                                           /*prev_mean=*/1.0,
+                                           /*prev_stddev=*/2.0);
+  EXPECT_DOUBLE_EQ(s.selection_intensity, 0.5);
+}
+
+TEST(Probes, GenerationProbeEmitsSearchStatsEvents) {
+  auto pop = bit_population(
+      {{"1111", 4.0}, {"1111", 4.0}, {"0000", 0.0}, {"0000", 0.0}});
+  obs::EventLog log;
+  obs::GenerationProbe<BitString> probe(obs::Tracer(&log), /*rank=*/3);
+  probe.observe(pop, 1.0, 1, 4);
+  probe.observe(pop, 2.0, 2, 4);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kSearchStats);
+  EXPECT_EQ(events[0].rank, 3);
+  EXPECT_EQ(events[0].generation, 1u);
+  EXPECT_EQ(events[0].count, 4u);
+  EXPECT_NEAR(events[0].diversity, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(events[0].takeover, 0.5);
+  // First observation has no previous moments => intensity 0; the second
+  // sees an unchanged population => intensity 0 too, but now via the
+  // (mean - prev_mean) / prev_stddev = 0/2 path.
+  EXPECT_DOUBLE_EQ(events[0].intensity, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].intensity, 0.0);
+}
+
+TEST(Probes, NullTracerProbeEmitsNothing) {
+  auto pop = bit_population({{"1111", 4.0}, {"0000", 0.0}});
+  obs::GenerationProbe<BitString> probe;  // null tracer
+  EXPECT_FALSE(probe.enabled());
+  probe.observe(pop, 1.0, 1, 2);  // must be a safe no-op
+  SUCCEED();
+}
+
+TEST(Probes, StrideSamplingBoundsPairwiseWork) {
+  // 100 distinct permutations with cap 10: the generic pairwise path
+  // samples ~10 individuals and reports full distinctness.
+  std::vector<Individual<Permutation>> inds;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Individual<Permutation> ind(Permutation::random(8, rng));
+    ind.fitness = static_cast<double>(i);
+    ind.evaluated = true;
+    inds.push_back(std::move(ind));
+  }
+  obs::ProbeConfig cfg;
+  cfg.pairwise_sample_cap = 10;
+  const auto s = obs::compute_search_stats(inds.begin(), inds.end(), cfg);
+  EXPECT_GT(s.genotypic_diversity, 0.8);  // near-all-distinct sample
+  EXPECT_LT(s.takeover_fraction, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser + event-log round trips
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndStructures) {
+  const auto v = obs::json::parse(
+      R"({"a": [1, -2.5, 3e2], "b": {"t": true, "n": null}, "s": "x\"\\\n"})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_TRUE(a && a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), -2.5);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), 300.0);
+  const auto* b = v.find("b");
+  ASSERT_TRUE(b && b->is_object());
+  EXPECT_TRUE(b->find("t")->as_bool());
+  EXPECT_TRUE(b->find("n")->is_null());
+  EXPECT_EQ(v.find("s")->as_string(), "x\"\\\n");
+}
+
+TEST(Json, RejectsBrokenDocuments) {
+  EXPECT_FALSE(obs::json::try_parse("{"));
+  EXPECT_FALSE(obs::json::try_parse("{\"a\":}"));
+  EXPECT_FALSE(obs::json::try_parse("[1,]"));
+  EXPECT_FALSE(obs::json::try_parse("\"unterminated"));
+  EXPECT_FALSE(obs::json::try_parse("01x"));
+  EXPECT_FALSE(obs::json::try_parse("{} trailing"));
+  EXPECT_FALSE(obs::json::try_parse("\"bad \\q escape\""));
+  EXPECT_TRUE(obs::json::try_parse("  {\"ok\": [1, 2, 3]}  "));
+}
+
+TEST(ChromeTrace, RoundTripParseRecoversEscapedNames) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  // Names with quotes, backslashes and control characters must survive a
+  // full export -> parse cycle, not merely "look escaped".
+  tr.node_failure(1, 0.5, "cause \"quoted\" back\\slash\ttab");
+  tr.span_begin(0, 0.0, "compute");
+  tr.span_end(0, 1.0, "compute");
+  const auto text = chrome_trace_json(log, "proc \"q\" \\ name");
+  const auto doc = obs::json::parse(text);  // throws if escaping is broken
+  const auto* events = doc.find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+  bool found_cause = false, found_proc = false;
+  for (const auto& e : events->as_array()) {
+    if (const auto* args = e.find("args")) {
+      if (args->string_or("cause", "") == "cause \"quoted\" back\\slash\ttab")
+        found_cause = true;
+      if (args->string_or("name", "") == "proc \"q\" \\ name")
+        found_proc = true;
+    }
+  }
+  EXPECT_TRUE(found_cause);
+  EXPECT_TRUE(found_proc);
+}
+
+TEST(EventJson, LosslessRoundTripAllKinds) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.125, "compute");
+  tr.span_end(0, 0.25, "compute");
+  tr.message_sent(1, 0.3, 2, 7, 4096);
+  tr.message_recv(2, 0.31, 1, 7, 4096);
+  tr.migration(3, 0.4, 0, 5, "best\\\"policy\"");
+  tr.evaluation_batch(1, 0.5, 128);
+  tr.node_failure(2, 0.6, "killed");
+  tr.gen_stats(0, 0.7, 9, 1234, 31.5, 20.25, 3.0);
+  tr.search_stats(0, 0.8, 10, 64, 0.5, 1.25, 0.75, -0.375, 0.875);
+  tr.mark(1, 0.9, "dispatch", 3, 2);
+
+  obs::EventLog loaded;
+  obs::parse_event_log(obs::event_log_json(log), loaded);
+  const auto a = log.snapshot();
+  const auto b = loaded.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << i;
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t) << i;
+    EXPECT_STREQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].peer, b[i].peer) << i;
+    EXPECT_EQ(a[i].tag, b[i].tag) << i;
+    EXPECT_EQ(a[i].count, b[i].count) << i;
+    EXPECT_EQ(a[i].generation, b[i].generation) << i;
+    EXPECT_EQ(a[i].evaluations, b[i].evaluations) << i;
+    EXPECT_DOUBLE_EQ(a[i].best, b[i].best) << i;
+    EXPECT_DOUBLE_EQ(a[i].mean, b[i].mean) << i;
+    EXPECT_DOUBLE_EQ(a[i].worst, b[i].worst) << i;
+    EXPECT_DOUBLE_EQ(a[i].diversity, b[i].diversity) << i;
+    EXPECT_DOUBLE_EQ(a[i].spread, b[i].spread) << i;
+    EXPECT_DOUBLE_EQ(a[i].entropy, b[i].entropy) << i;
+    EXPECT_DOUBLE_EQ(a[i].intensity, b[i].intensity) << i;
+    EXPECT_DOUBLE_EQ(a[i].takeover, b[i].takeover) << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << i;
+  }
+}
+
+TEST(EventJson, ChromeTraceImportPreservesWhatReportsNeed) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "compute");
+  tr.span_end(0, 2.0, "compute");
+  tr.migration(0, 1.0, 1, 3, "best");
+  tr.node_failure(1, 1.5, "killed");
+  tr.search_stats(0, 2.0, 4, 32, 0.4, 1.0, 0.5, 0.1, 0.3);
+  tr.mark(1, 2.5, "end");
+
+  obs::EventLog imported;
+  obs::parse_chrome_trace(chrome_trace_json(log), imported);
+  const auto report = obs::RunReport::from(imported);
+  EXPECT_DOUBLE_EQ(report.makespan(), 2.5);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].busy_s, 2.0);
+  EXPECT_EQ(report.total_migrations(), 1u);
+  EXPECT_EQ(report.failures(), 1u);
+  EXPECT_TRUE(report.ranks()[1].failed);
+  EXPECT_DOUBLE_EQ(report.ranks()[1].fail_t, 1.5);
+  ASSERT_EQ(report.search_series().size(), 1u);
+  EXPECT_DOUBLE_EQ(report.search_series()[0].diversity, 0.4);
+  EXPECT_DOUBLE_EQ(report.search_series()[0].takeover, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// RunReport degenerate inputs (satellite hardening)
+// ---------------------------------------------------------------------------
+
+TEST(RunReport, EmptyLogReportsZerosNotNaN) {
+  obs::EventLog log;
+  const auto report = obs::RunReport::from(log);
+  EXPECT_EQ(report.num_ranks(), 0u);
+  EXPECT_DOUBLE_EQ(report.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(report.comm_compute_ratio(), 0.0);
+  EXPECT_FALSE(std::isnan(report.mean_utilization()));
+  EXPECT_FALSE(std::isinf(report.comm_compute_ratio()));
+}
+
+TEST(RunReport, ZeroMakespanReportsZeroRatios) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.mark(0, 0.0, "only");  // a single instant at t = 0
+  const auto report = obs::RunReport::from(log);
+  EXPECT_DOUBLE_EQ(report.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(report.comm_compute_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].utilization(report.makespan()), 0.0);
+  EXPECT_DOUBLE_EQ(report.eval_throughput(), 0.0);
+}
+
+TEST(RunReport, SingleRankNoComputeSpansStaysFinite) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.mark(0, 1.0, "a");
+  tr.mark(0, 2.0, "b");
+  const auto report = obs::RunReport::from(log);
+  EXPECT_EQ(report.num_ranks(), 1u);
+  EXPECT_DOUBLE_EQ(report.comm_compute_ratio(), 0.0);  // no busy time: 0, not inf
+  EXPECT_DOUBLE_EQ(report.mean_utilization(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly detector
+// ---------------------------------------------------------------------------
+
+TEST(Anomaly, HealthyStreamHasNoFindings) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  for (int r = 0; r < 3; ++r) {
+    tr.span_begin(r, 0.0, "compute");
+    tr.span_end(r, 1.0, "compute");
+  }
+  const auto anomalies = obs::AnomalyDetector::analyze(log);
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(Anomaly, FlagsFailedRankWithTimestamp) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.mark(0, 1.0, "end");
+  tr.node_failure(2, 0.25, "killed");
+  const auto anomalies = obs::AnomalyDetector::analyze(log);
+  bool found = false;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kFailedRank) {
+      found = true;
+      EXPECT_EQ(a.rank, 2);
+      EXPECT_DOUBLE_EQ(a.t_begin, 0.25);
+      EXPECT_NE(a.detail.find("killed"), std::string::npos);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Anomaly, FlagsStalledRank) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  for (int i = 1; i <= 10; ++i)
+    tr.mark(0, static_cast<double>(i) / 10.0, "tick");
+  tr.mark(1, 0.1, "tick");
+  tr.mark(1, 0.2, "tick");  // rank 1 then goes silent for 80% of the run
+  const auto anomalies = obs::AnomalyDetector::analyze(log);
+  bool found = false;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kStalledRank) {
+      found = true;
+      EXPECT_EQ(a.rank, 1);
+      EXPECT_DOUBLE_EQ(a.t_begin, 0.2);
+      EXPECT_DOUBLE_EQ(a.t_end, 1.0);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Anomaly, FlagsPrematureConvergenceOnlyWhenFitnessStillMoving) {
+  // Rank 0: diversity collapses at t=3 while best fitness keeps improving
+  // until t=5 => premature.  Rank 1: fitness plateaus at t=2, diversity
+  // collapses later at t=4 => healthy convergence, not flagged.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  const double floor_v = 0.05;
+  auto diversity = [&](int rank, double t, double v) {
+    tr.search_stats(rank, t, static_cast<std::uint64_t>(t), 0, v, 0, 0, 0, 0);
+  };
+  auto best = [&](int rank, double t, double v) {
+    tr.gen_stats(rank, t, static_cast<std::uint64_t>(t), 0, v, v, v);
+  };
+  diversity(0, 1.0, 0.4);
+  diversity(0, 2.0, 0.2);
+  diversity(0, 3.0, 0.01);
+  for (int t = 1; t <= 5; ++t) best(0, t, static_cast<double>(t));
+  diversity(1, 1.0, 0.4);
+  diversity(1, 3.0, 0.2);
+  diversity(1, 4.0, 0.01);
+  best(1, 1.0, 1.0);
+  best(1, 2.0, 5.0);
+  best(1, 3.0, 5.0);
+  best(1, 4.0, 5.0);
+  best(1, 5.0, 5.0);
+
+  obs::AnomalyConfig cfg;
+  cfg.diversity_floor = floor_v;
+  cfg.stall_fraction = 1.0;      // quiet the stall detector for this stream
+  cfg.comm_busy_floor = 0.0;     // and the phase detector
+  const auto anomalies = obs::AnomalyDetector::analyze(log, cfg);
+  int premature = 0;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kPrematureConvergence) {
+      ++premature;
+      EXPECT_EQ(a.rank, 0);
+      EXPECT_DOUBLE_EQ(a.t_begin, 3.0);  // collapse onset
+      EXPECT_DOUBLE_EQ(a.t_end, 5.0);    // fitness still moving until here
+    }
+  EXPECT_EQ(premature, 1);
+}
+
+TEST(Anomaly, FlagsUtilizationStraggler) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  for (int r = 0; r < 3; ++r) {
+    tr.span_begin(r, 0.0, "compute");
+    tr.span_end(r, r == 2 ? 0.1 : 0.9, "compute");  // rank 2 barely works
+    tr.mark(r, 1.0, "end");
+  }
+  obs::AnomalyConfig cfg;
+  cfg.comm_busy_floor = 0.0;
+  const auto anomalies = obs::AnomalyDetector::analyze(log, cfg);
+  bool found = false;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kStraggler) {
+      found = true;
+      EXPECT_EQ(a.rank, 2);
+      EXPECT_NEAR(a.value, 0.1, 1e-9);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Anomaly, FlagsCommBoundPhase) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  // One rank computes for the first quarter, then idles to t=1.
+  tr.span_begin(0, 0.0, "compute");
+  tr.span_end(0, 0.25, "compute");
+  tr.mark(0, 1.0, "end");
+  obs::AnomalyConfig cfg;
+  cfg.stall_fraction = 1.0;
+  const auto anomalies = obs::AnomalyDetector::analyze(log, cfg);
+  bool found = false;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kCommBound) {
+      found = true;
+      EXPECT_EQ(a.rank, -1);
+      EXPECT_NEAR(a.t_begin, 0.25, 1e-9);
+      EXPECT_NEAR(a.t_end, 1.0, 1e-9);
+      EXPECT_NEAR(a.value, 0.0, 1e-9);
+    }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Doctor-grade end-to-end: healthy vs injected-fault simulated runs
+// ---------------------------------------------------------------------------
+
+namespace doctor_e2e {
+
+/// The default pga_doctor gate: failure/stall anomalies fail a run, the
+/// search-dynamics diagnostics are advisory (tools/pga_doctor.cpp).
+[[nodiscard]] bool gate_trips(const std::vector<obs::Anomaly>& anomalies) {
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kFailedRank ||
+        a.kind == obs::AnomalyKind::kStalledRank)
+      return true;
+  return false;
+}
+
+void run_traced(obs::EventLog* log, bool inject_failure) {
+  problems::OneMax problem(32);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 16;
+  cfg.stop.max_generations = 6;
+  cfg.stop.target_fitness = 1e9;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.chunk_size = 2;
+  cfg.eval_cost_s = 1e-3;
+  if (inject_failure) cfg.timeout_s = 0.5;
+  cfg.seed = 5;
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+  cfg.trace = obs::Tracer(log);
+  auto sim_cfg = sim::homogeneous(inject_failure ? 4 : 3,
+                                  sim::NetworkModel::gigabit_ethernet());
+  if (inject_failure) sim_cfg.nodes[2].fail_at = 0.02;
+  sim_cfg.trace = log;
+  sim::SimCluster cluster(sim_cfg);
+  cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+}
+
+}  // namespace doctor_e2e
+
+TEST(Anomaly, InjectedFaultRunFlagsFailedRankHealthyRunPasses) {
+  // Faulty arm: the detector must name the killed rank (2) with the
+  // injection timestamp, and the doctor's default gate must trip.
+  obs::EventLog faulty;
+  doctor_e2e::run_traced(&faulty, /*inject_failure=*/true);
+  const auto bad = obs::AnomalyDetector::analyze(faulty);
+  bool flagged = false;
+  for (const auto& a : bad)
+    if (a.kind == obs::AnomalyKind::kFailedRank) {
+      flagged = true;
+      EXPECT_EQ(a.rank, 2);
+      EXPECT_NEAR(a.t_begin, 0.02, 1e-9);
+    }
+  EXPECT_TRUE(flagged);
+  EXPECT_TRUE(doctor_e2e::gate_trips(bad));
+
+  // Healthy arm: no failure/stall findings — the gate stays green even
+  // though the master lane's low utilization may warn as a straggler.
+  obs::EventLog healthy;
+  doctor_e2e::run_traced(&healthy, /*inject_failure=*/false);
+  EXPECT_FALSE(doctor_e2e::gate_trips(obs::AnomalyDetector::analyze(healthy)));
+}
+
+TEST(Probes, InstrumentedEnginesEmitSearchStats) {
+  // The sim-driven master-slave engine (with the probe wired into its
+  // generation snapshot) produces one search_stats record per generation.
+  obs::EventLog log;
+  doctor_e2e::run_traced(&log, /*inject_failure=*/false);
+  const auto report = obs::RunReport::from(log);
+  ASSERT_FALSE(report.search_series().empty());
+  EXPECT_EQ(report.search_series().size(), 7u);  // initial + 6 generations
+  for (const auto& s : report.search_series()) {
+    EXPECT_EQ(s.rank, 0);  // the master owns the population
+    EXPECT_GE(s.diversity, 0.0);
+    EXPECT_LE(s.takeover, 1.0);
+    EXPECT_GE(s.entropy, 0.0);
+    EXPECT_LE(s.entropy, 1.0);
+  }
+  EXPECT_GT(report.eval_throughput(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+// pga_doctor — automated diagnosis of a traced PGA run.
+//
+// Loads an obs event stream (a lossless pga-event-log-v1 dump or a
+// chrome_trace.hpp export), runs the streaming anomaly detector plus
+// RunReport, and prints a human-readable diagnosis.  Anomaly kinds listed in
+// --fail-on trip a nonzero exit, which makes the tool a CI gate:
+//
+//   pga_doctor bench_e9_events.json            # diagnose, exit 1 on failure/stall
+//   pga_doctor --fail-on all trace.json        # strict: any anomaly fails
+//   pga_doctor --report trace.json             # include the per-rank table
+//   pga_doctor --gen faulty demo.json          # write a demo trace (see below)
+//
+// The default gate is {failure, stall} only: search-dynamics diagnostics
+// (stragglers, premature convergence, comm-bound phases) are advisory,
+// because a healthy master-slave run legitimately has a low-utilization
+// master lane (the Bethke bottleneck) that a strict gate would flag.
+//
+// --gen healthy|faulty runs a small simulated master-slave GA and dumps its
+// event stream, so CI and the test suite can exercise the full
+// load-diagnose-exit path without depending on bench artifacts.  The faulty
+// trace injects a node death on rank 2 at virtual t=0.02 s.
+//
+// Exit codes: 0 clean (or only advisory warnings), 1 gated anomaly, 2 usage
+// or load error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/anomaly.hpp"
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "obs/report.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace pga;
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: pga_doctor [options] <trace.json>\n"
+      "       pga_doctor --gen healthy|faulty <out.json>\n"
+      "\n"
+      "Diagnoses a traced PGA run: anomaly detection + run report.\n"
+      "Accepts pga-event-log-v1 dumps and chrome_trace.hpp exports.\n"
+      "\n"
+      "options:\n"
+      "  --fail-on LIST     comma-separated anomaly kinds that cause exit 1.\n"
+      "                     kinds: failure stall premature_convergence\n"
+      "                            straggler comm_bound; also: all, none.\n"
+      "                     default: failure,stall\n"
+      "  --report           print the full per-rank RunReport table\n"
+      "  --stall-fraction X    stall horizon as a fraction of makespan "
+      "(0.25)\n"
+      "  --diversity-floor X   collapsed-diversity threshold (0.05)\n"
+      "  --straggler-ratio X   utilization-vs-median outlier ratio (0.5)\n"
+      "  --comm-busy-floor X   comm-bound occupancy threshold (0.25)\n"
+      "  --gen MODE         write a demo trace instead of diagnosing:\n"
+      "                     'healthy' = clean 4-rank master-slave run,\n"
+      "                     'faulty'  = 8 ranks, rank 2 killed at t=0.02 s\n"
+      "  -h, --help         this text\n");
+}
+
+/// Parses a --fail-on list into the set of gated kinds.
+bool parse_fail_on(const std::string& list, std::set<obs::AnomalyKind>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    if (item == "none") {
+      out->clear();
+      return true;
+    }
+    if (item == "all") {
+      for (int k = 0; k <= static_cast<int>(obs::AnomalyKind::kCommBound);
+           ++k)
+        out->insert(static_cast<obs::AnomalyKind>(k));
+      continue;
+    }
+    bool known = false;
+    for (int k = 0; k <= static_cast<int>(obs::AnomalyKind::kCommBound);
+         ++k) {
+      const auto kind = static_cast<obs::AnomalyKind>(k);
+      if (item == obs::to_string(kind)) {
+        out->insert(kind);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "pga_doctor: unknown anomaly kind '%s'\n",
+                   item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Demo-trace generator: a small simulated master-slave OneMax run, healthy
+/// or with an injected node death (rank 2 at t=0.02 virtual seconds).
+int generate_demo(const std::string& mode, const std::string& path) {
+  const bool faulty = mode == "faulty";
+  if (!faulty && mode != "healthy") {
+    std::fprintf(stderr, "pga_doctor: --gen expects 'healthy' or 'faulty'\n");
+    return 2;
+  }
+  constexpr std::size_t kBits = 64;
+  problems::OneMax problem(kBits);
+
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 48;
+  cfg.stop.max_generations = 30;
+  cfg.stop.target_fitness = 1e9;  // fixed budget
+  cfg.ops = ops;
+  cfg.chunk_size = 2;
+  cfg.eval_cost_s = 2e-3;
+  cfg.timeout_s = faulty ? 0.5 : std::numeric_limits<double>::infinity();
+  cfg.seed = 1;
+  cfg.make_genome = [](Rng& r) { return BitString::random(kBits, r); };
+
+  obs::EventLog log;
+  cfg.trace = obs::Tracer(&log);
+
+  auto sim_cfg = sim::homogeneous(faulty ? 8 : 4,
+                                  sim::NetworkModel::fast_ethernet());
+  if (faulty) sim_cfg.nodes[2].fail_at = 0.02;
+  sim_cfg.trace = &log;
+
+  sim::SimCluster cluster(sim_cfg);
+  cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+
+  obs::save_event_log(log, path);
+  std::printf("pga_doctor: wrote %s demo trace (%zu events) to %s\n",
+              mode.c_str(), log.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string gen_mode;
+  bool full_report = false;
+  std::set<obs::AnomalyKind> fail_on = {obs::AnomalyKind::kFailedRank,
+                                        obs::AnomalyKind::kStalledRank};
+  obs::AnomalyConfig acfg;
+
+  auto value_arg = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "pga_doctor: %s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--report") {
+      full_report = true;
+    } else if (arg == "--fail-on") {
+      if (!parse_fail_on(value_arg(i, "--fail-on"), &fail_on)) return 2;
+    } else if (arg == "--gen") {
+      gen_mode = value_arg(i, "--gen");
+    } else if (arg == "--stall-fraction") {
+      acfg.stall_fraction = std::atof(value_arg(i, "--stall-fraction"));
+    } else if (arg == "--diversity-floor") {
+      acfg.diversity_floor = std::atof(value_arg(i, "--diversity-floor"));
+    } else if (arg == "--straggler-ratio") {
+      acfg.straggler_ratio = std::atof(value_arg(i, "--straggler-ratio"));
+    } else if (arg == "--comm-busy-floor") {
+      acfg.comm_busy_floor = std::atof(value_arg(i, "--comm-busy-floor"));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pga_doctor: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "pga_doctor: more than one trace file given\n");
+      return 2;
+    }
+  }
+
+  if (path.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (!gen_mode.empty()) return generate_demo(gen_mode, path);
+
+  obs::EventLog log;
+  try {
+    obs::load_any_trace(path, log);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
+    return 2;
+  }
+
+  const auto report = obs::RunReport::from(log);
+  const auto anomalies = obs::AnomalyDetector::analyze(log, acfg);
+
+  std::printf("pga_doctor: %s — %zu events, %zu ranks, makespan %.6g s\n",
+              path.c_str(), log.size(), report.num_ranks(),
+              report.makespan());
+  std::printf(
+      "  mean utilization %.3f, comm/compute %.3f, %llu msgs, %llu "
+      "migrations, %zu failures\n",
+      report.mean_utilization(), report.comm_compute_ratio(),
+      static_cast<unsigned long long>(report.total_messages()),
+      static_cast<unsigned long long>(report.total_migrations()),
+      report.failures());
+  if (!report.search_series().empty())
+    std::printf("  %zu search-dynamics samples, eval throughput %.6g "
+                "evals/s (virtual)\n",
+                report.search_series().size(), report.eval_throughput());
+  if (full_report) std::printf("\n%s", report.to_string().c_str());
+
+  if (anomalies.empty()) {
+    std::printf("\ndiagnosis: no anomalies — run looks healthy\n");
+    return 0;
+  }
+
+  std::printf("\ndiagnosis (%zu finding%s):\n", anomalies.size(),
+              anomalies.size() == 1 ? "" : "s");
+  int gated = 0;
+  for (const auto& a : anomalies) {
+    const bool gate = fail_on.count(a.kind) != 0;
+    gated += gate;
+    std::printf("  %s %s\n", gate ? "FAIL" : "warn", a.to_string().c_str());
+  }
+  if (gated > 0) {
+    std::printf("\n%d gated anomal%s -> exit 1\n", gated,
+                gated == 1 ? "y" : "ies");
+    return 1;
+  }
+  std::printf("\nonly advisory findings -> exit 0\n");
+  return 0;
+}
