@@ -10,6 +10,8 @@
 #include "comm/serialize.hpp"
 #include "core/cellular.hpp"
 #include "core/evolution.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/thread_pool.hpp"
 #include "multiobj/pareto.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -265,6 +267,54 @@ void BM_ProbeObserveLive(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeObserveLive)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 
+// Executor cost model (exec/parallelism.hpp): the W1 acceptance bound is
+// that the threads=1 inline executor adds no measurable overhead over the
+// plain sequential loop (arg 0 = plain, 1 = inline executor, 2 = 2-lane
+// pool).  Dense re-dirties every member per iteration; Sparse re-dirties
+// every 16th, so it prices the dirty-index gather against a population that
+// is mostly clean (the steady-state/elitist case).
+
+template <int kStride>
+void BM_EvaluateAll(benchmark::State& state) {
+  Rng rng(18);
+  problems::OneMax problem(64);
+  auto pop = Population<BitString>::random(
+      1024, [](Rng& r) { return BitString::random(64, r); }, rng);
+  pop.evaluate_all(problem);
+  exec::ThreadPool pool(state.range(0) == 2 ? 2 : 1);
+  exec::Parallelism par(&pool);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pop.size(); i += kStride)
+      pop[i].evaluated = false;
+    if (state.range(0) == 0)
+      benchmark::DoNotOptimize(pop.evaluate_all(problem));
+    else
+      benchmark::DoNotOptimize(pop.evaluate_all(problem, par));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pop.size() / kStride));
+}
+void BM_EvaluateAllDense(benchmark::State& state) { BM_EvaluateAll<1>(state); }
+BENCHMARK(BM_EvaluateAllDense)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+void BM_EvaluateAllSparse(benchmark::State& state) { BM_EvaluateAll<16>(state); }
+BENCHMARK(BM_EvaluateAllSparse)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Scheduling cost of an empty chunked loop — the floor under every
+  // executor-backed evaluation (lanes = range(0)).
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  exec::Parallelism par(&pool);
+  for (auto _ : state) {
+    std::size_t sink = 0;
+    par.for_range(0, 64, 4,
+                  [&](std::size_t lo, std::size_t hi, int) { sink += hi - lo; });
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_MetricsCounterInc(benchmark::State& state) {
   obs::MetricsRegistry registry;
   auto& counter = registry.counter("bench_ops_total");
@@ -285,6 +335,26 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(hist.count());
 }
 BENCHMARK(BM_MetricsHistogramObserve);
+
+// Contended double accumulation (obs/metrics.hpp): with
+// __cpp_lib_atomic_float the Gauge/Histogram sums use a single fetch_add
+// RMW; the portable fallback is a CAS retry loop that degrades under
+// contention.  Function-static metrics so every benchmark thread hammers
+// the same cache line (->Threads(4) is the contended case).
+
+void BM_MetricsGaugeAddContended(benchmark::State& state) {
+  static obs::Gauge gauge;
+  for (auto _ : state) gauge.add(1.0);
+  benchmark::DoNotOptimize(gauge.value());
+}
+BENCHMARK(BM_MetricsGaugeAddContended)->Threads(1)->Threads(4);
+
+void BM_MetricsHistogramSumContended(benchmark::State& state) {
+  static obs::Histogram hist({1.0, 2.0, 4.0});
+  for (auto _ : state) hist.observe(3.0);
+  benchmark::DoNotOptimize(hist.sum());
+}
+BENCHMARK(BM_MetricsHistogramSumContended)->Threads(1)->Threads(4);
 
 }  // namespace
 

@@ -20,6 +20,7 @@
 #include "core/selection.hpp"
 #include "core/statistics.hpp"
 #include "core/termination.hpp"
+#include "exec/parallelism.hpp"
 #include "obs/events.hpp"
 #include "obs/probes.hpp"
 
@@ -46,6 +47,18 @@ class EvolutionScheme {
   virtual ~EvolutionScheme() = default;
   virtual std::size_t step(Population<G>& pop, const Problem<G>& problem,
                            Rng& rng) = 0;
+
+  /// Executor-aware step: identical trajectory to `step` (same RNG
+  /// consumption, same offspring, same survivor ordering), but schemes that
+  /// have a parallelizable evaluation phase may run it through `par`.  The
+  /// default ignores the executor, so schemes whose inner loop is inherently
+  /// sequential (steady-state, cellular) stay correct without changes.
+  virtual std::size_t step_exec(Population<G>& pop, const Problem<G>& problem,
+                                Rng& rng, const exec::Parallelism& par) {
+    (void)par;
+    return step(pop, problem, rng);
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -68,6 +81,20 @@ class GenerationalScheme final : public EvolutionScheme<G> {
 
   std::size_t step(Population<G>& pop, const Problem<G>& problem,
                    Rng& rng) override {
+    return step_impl(pop, problem, rng, nullptr);
+  }
+
+  /// Same generation as `step` — variation stays sequential so the RNG
+  /// stream is consumed identically — but the offspring evaluation batch
+  /// runs through the executor.
+  std::size_t step_exec(Population<G>& pop, const Problem<G>& problem,
+                        Rng& rng, const exec::Parallelism& par) override {
+    return step_impl(pop, problem, rng, &par);
+  }
+
+ private:
+  std::size_t step_impl(Population<G>& pop, const Problem<G>& problem,
+                        Rng& rng, const exec::Parallelism* par) {
     const std::size_t n = pop.size();
     std::size_t replace =
         static_cast<std::size_t>(gap_ * static_cast<double>(n));
@@ -103,9 +130,10 @@ class GenerationalScheme final : public EvolutionScheme<G> {
     for (std::size_t k = 0; k < n - replace; ++k) next.push_back(pop[k]);
     for (auto& child : offspring) next.push_back(std::move(child));
     pop = Population<G>(std::move(next));
-    return pop.evaluate_all(problem);
+    return par ? pop.evaluate_all(problem, *par) : pop.evaluate_all(problem);
   }
 
+ public:
   [[nodiscard]] std::string name() const override { return "generational"; }
 
  private:

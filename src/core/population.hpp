@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/genome.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "exec/parallelism.hpp"
 
 namespace pga {
 
@@ -79,6 +81,47 @@ class Population {
       }
     }
     return evals;
+  }
+
+  /// Executor-aware evaluation: gathers the indices of not-yet-evaluated
+  /// members first, then dispatches only those through `par.for_range` in
+  /// cache-friendly contiguous batches — workers never branch on the
+  /// `evaluated` flag (see BM_EvaluateAllSparse for the dense/sparse delta).
+  /// Requires `problem.fitness` to be thread-compatible (pure, or internally
+  /// synchronized): chunks call it concurrently from pool lanes.  Results
+  /// are bit-identical to the sequential overload at any thread count —
+  /// each dirty individual is evaluated exactly once, in place, and no RNG
+  /// is consumed.  With an inline executor and no tracer this forwards to
+  /// the plain loop above.
+  std::size_t evaluate_all(const Problem<G>& problem,
+                           const exec::Parallelism& par,
+                           std::size_t grain = 0) {
+    if (!par.parallel() && !par.tracer()) return evaluate_all(problem);
+    std::vector<std::uint32_t> dirty;
+    dirty.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i)
+      if (!members_[i].evaluated)
+        dirty.push_back(static_cast<std::uint32_t>(i));
+    if (dirty.empty()) return 0;
+    const obs::Tracer& trace = par.tracer();
+    IndividualT* const m = members_.data();
+    const std::uint32_t* const idx = dirty.data();
+    par.for_range(
+        0, dirty.size(), grain,
+        [&](std::size_t lo, std::size_t hi, int lane) {
+          if (trace) trace.span_begin(lane, par.now(), "compute");
+          for (std::size_t k = lo; k < hi; ++k) {
+            IndividualT& ind = m[idx[k]];
+            ind.fitness = problem.fitness(ind.genome);
+            ind.evaluated = true;
+          }
+          if (trace) {
+            const double t1 = par.now();
+            trace.evaluation_batch(lane, t1, hi - lo, "eval_chunk");
+            trace.span_end(lane, t1, "compute");
+          }
+        });
+    return dirty.size();
   }
 
   /// Index of the best (highest-fitness) individual.  Population must be

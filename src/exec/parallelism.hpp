@@ -1,0 +1,108 @@
+#pragma once
+// Parallelism: the handle hot paths take to run on real cores.
+//
+// Mirrors the obs::Tracer idiom — a small copyable value that is cheap to
+// pass everywhere and degrades to "do nothing special" when empty.  A
+// default-constructed (or threads=1) Parallelism runs every `for_range`
+// inline on the caller with zero pool overhead, so sequential call sites and
+// parallel call sites share one code path (measured in BM_EvaluateAllDense:
+// the inline executor is within noise of the plain loop).
+//
+// The handle also owns the wall-clock side of observability: `now()` returns
+// seconds since the tracing epoch on a steady clock, and `mark_lanes()` tags
+// each pool lane with obs::kWorkerLaneMark so downstream tools (RunReport,
+// pga_doctor) know these ranks follow wall-clock — not virtual-time —
+// conventions.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "../obs/events.hpp"
+#include "../obs/metrics.hpp"
+#include "thread_pool.hpp"
+
+namespace pga::exec {
+
+class Parallelism {
+ public:
+  /// Inline executor: concurrency() == 1, no pool, for_range runs on the
+  /// caller.
+  Parallelism() = default;
+
+  /// Wall-clock executor backed by `pool` (not owned; must outlive the
+  /// handle).
+  explicit Parallelism(ThreadPool* pool) noexcept : pool_(pool) {}
+
+  [[nodiscard]] std::size_t concurrency() const noexcept {
+    return pool_ ? pool_->concurrency() : 1;
+  }
+  /// True when work can actually run on more than one core.
+  [[nodiscard]] bool parallel() const noexcept { return concurrency() > 1; }
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+
+  /// Attach a tracer; instrumented loops stamp events with `now()` from this
+  /// moment on (the epoch rebases so traces start near t=0).
+  void set_tracer(obs::Tracer trace) noexcept {
+    trace_ = trace;
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return trace_; }
+
+  /// Wall seconds since the tracing epoch.
+  [[nodiscard]] double now() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Tag every pool lane `lane_base .. lane_base+concurrency()-1` as a
+  /// wall-clock worker lane.  Call once after set_tracer, before the run.
+  void mark_lanes(int lane_base = 0) const {
+    if (!trace_) return;
+    const double t = now();
+    for (std::size_t l = 0; l < concurrency(); ++l)
+      trace_.mark(lane_base + static_cast<int>(l), t, obs::kWorkerLaneMark);
+  }
+
+  /// Publish the pool's counters into `reg` (idempotent: counters are set
+  /// to the current totals via registry-owned Counter objects on each call).
+  void bind_metrics(obs::MetricsRegistry& reg) const {
+    if (!pool_) return;
+    const PoolStats s = pool_->stats();
+    auto sync = [&reg](const char* name, std::uint64_t total) {
+      obs::Counter& c = reg.counter(name);
+      const std::uint64_t cur = c.value();
+      if (total > cur) c.inc(total - cur);
+    };
+    sync("pga_exec_tasks_total", s.tasks_executed);
+    sync("pga_exec_steals_total", s.steals);
+    sync("pga_exec_steal_failures_total", s.steal_failures);
+  }
+
+  /// Chunked loop over [begin, end): `body(lo, hi, lane)`.  grain=0 picks
+  /// max(1, n / (4 * concurrency())) — ~4 chunks per lane, enough slack for
+  /// stealing to rebalance skew without drowning small loops in scheduling.
+  /// Chunk boundaries depend only on (range, grain, concurrency), so *what*
+  /// each chunk computes is deterministic; only placement varies.
+  template <class Body>
+  void for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                 Body&& body) const {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return;
+    if (!parallel()) {
+      body(begin, end, 0);
+      return;
+    }
+    if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * concurrency()));
+    pool_->parallel_for(begin, end, grain, static_cast<Body&&>(body));
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  obs::Tracer trace_{};
+  std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};
+};
+
+}  // namespace pga::exec

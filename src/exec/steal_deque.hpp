@@ -1,0 +1,145 @@
+#pragma once
+// Chase–Lev work-stealing deque (Chase & Lev 2005, with the C11-atomics
+// formulation of Lê, Pop, Cohen & Zappa Nardelli 2013).
+//
+// One deque per pool lane: the owning thread pushes and pops at the bottom
+// (LIFO, so a worker keeps chewing on the cache-warm end of its own range),
+// thieves take from the top (FIFO, so they grab the work the owner will get
+// to last).  The only cross-thread contention is the CAS on `top`, and only
+// when owner and thief race for the final element.
+//
+// Two deliberate deviations from the letter of the paper, both for the
+// ThreadSanitizer CI gate and for simplicity over raw throughput (chunked
+// parallel_for amortizes every deque operation over a grain of work):
+//
+//   * control words use seq_cst operations instead of standalone fences —
+//     TSan does not model `atomic_thread_fence`, and the fence-free variant
+//     is the one whose proof the 2013 paper actually machine-checked;
+//   * grown buffers are retired to an owner-only list instead of being
+//     freed, so a thief holding a stale buffer pointer can never read
+//     reclaimed memory.  A deque's footprint is bounded by 2x its high-water
+//     mark, which for pool chunks is a few pointers.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pga::exec {
+
+/// Single-owner, multi-thief deque of pointers.  `push`/`pop` may be called
+/// only by the owning thread; `steal` by any thread.
+template <class T>
+class StealDeque {
+  static_assert(std::is_pointer_v<T>,
+                "StealDeque stores pointers (entries must load atomically)");
+
+ public:
+  explicit StealDeque(std::size_t capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    auto buf = std::make_unique<Buffer>(cap);
+    buffer_.store(buf.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(buf));
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: append at the bottom, growing the ring when full.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) buf = grow(buf, t, b);
+    buf->put(b, item);
+    // seq_cst publish: a thief that observes the new bottom also observes
+    // the slot write above (and stays ordered against pop's bottom store).
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: take the most recently pushed item.  Returns false when
+  /// empty (or when a thief won the race for the last item).
+  bool pop(T* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      T item = buf->get(b);
+      if (t == b) {
+        // Last element: race the thieves with a CAS on top.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        if (!won) return false;
+      }
+      *out = item;
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return false;
+  }
+
+  /// Any thread: take the oldest item.  Returns false when empty or when
+  /// another thief (or the owner, on the last item) won the CAS — callers
+  /// treat both as "try the next victim".
+  bool steal(T* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return false;
+    *out = item;
+    return true;
+  }
+
+  /// Approximate (racy) emptiness — good enough for "is it worth visiting
+  /// this victim", never for correctness decisions.
+  [[nodiscard]] bool empty_hint() const noexcept {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t n)
+        : capacity(n), mask(n - 1), slots(std::make_unique<std::atomic<T>[]>(n)) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    [[nodiscard]] T get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(v,
+                                                      std::memory_order_relaxed);
+    }
+  };
+
+  /// Owner only: double the ring, copying the live window [t, b).  The old
+  /// buffer stays alive in `retired_` (in-flight thieves may still read it;
+  /// the values at indices < b are identical in both buffers).
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    Buffer* raw = fresh.get();
+    buffer_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(fresh));
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> retired_;  ///< owner-only
+};
+
+}  // namespace pga::exec

@@ -1,0 +1,288 @@
+#pragma once
+// Work-stealing thread pool: the wall-clock execution backend.
+//
+// pga::sim answers "how would this algorithm scale?" with virtual time on a
+// single thread; this pool answers "how fast does it actually run?" on real
+// cores.  The design goal is the bulk-synchronous `parallel_for` that the GA
+// hot paths need (evaluate a population, step a set of demes), not a general
+// task graph:
+//
+//   * one Chase–Lev deque per *lane*.  Lane 0 belongs to the caller of
+//     `parallel_for`, lanes 1..threads-1 to dedicated workers.  The caller
+//     does not block waiting for the loop — it binds lane 0 and helps, so
+//     `threads=n` really means n cores chewing on chunks.
+//   * chunks are pushed to the submitting lane's own deque and spread by
+//     stealing.  Uniform loops never migrate work (each lane steals once and
+//     then owns a contiguous range); skewed loops rebalance automatically.
+//   * `parallel_for` is re-entrant: a body that calls back into the pool
+//     runs the nested loop on its own lane's deque, so nesting cannot
+//     deadlock (tested in test_exec.cpp).
+//   * exceptions: the lowest-index throwing chunk wins and is rethrown on
+//     the caller after every chunk settled, so a throwing loop behaves like
+//     its sequential equivalent (deterministically, regardless of which
+//     worker ran the chunk).
+//
+// Determinism contract: the pool never touches RNG state and never reorders
+// *what* is computed, only *where*.  Callers that keep per-index work pure
+// (fitness evaluation) or key parallelism by stable indices (deme id via
+// Rng::split) get byte-identical results at any thread count.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "steal_deque.hpp"
+
+namespace pga::exec {
+
+/// Monotonic pool counters, mirrored into obs::MetricsRegistry on demand.
+struct PoolStats {
+  std::uint64_t tasks_executed = 0;  ///< chunks run (by workers or helpers)
+  std::uint64_t steals = 0;          ///< successful deque steals
+  std::uint64_t steal_failures = 0;  ///< full victim sweeps that found nothing
+};
+
+class ThreadPool {
+ public:
+  /// `threads` = total lanes incl. the caller; clamped to >= 1.  threads=1
+  /// spawns no workers at all — parallel_for runs inline on the caller.
+  explicit ThreadPool(std::size_t threads)
+      : lanes_(threads == 0 ? 1 : threads) {
+    deques_.reserve(lanes_);
+    for (std::size_t i = 0; i < lanes_; ++i)
+      deques_.push_back(std::make_unique<StealDeque<Chunk*>>());
+    workers_.reserve(lanes_ > 0 ? lanes_ - 1 : 0);
+    for (std::size_t lane = 1; lane < lanes_; ++lane)
+      workers_.emplace_back([this, lane] { worker_main(static_cast<int>(lane)); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stopping_ = true;
+      ++work_epoch_;
+    }
+    wake_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t concurrency() const noexcept { return lanes_; }
+
+  /// Chunked parallel loop over [begin, end).  `body(lo, hi, lane)` runs on
+  /// some lane in [0, concurrency()); chunk boundaries are a pure function
+  /// of (range, grain, concurrency), never of scheduling.  Blocks until the
+  /// whole range ran; rethrows the lowest-index chunk's exception, if any.
+  template <class Body>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Body&& body) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t num_chunks = (n + grain - 1) / grain;
+    if (lanes_ == 1 || num_chunks == 1) {
+      body(begin, end, bound_lane());
+      tasks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    LoopState st;
+    st.body = &body;
+    st.invoke = [](void* b, std::size_t lo, std::size_t hi, int lane) {
+      (*static_cast<Body*>(b))(lo, hi, lane);
+    };
+    st.remaining.store(num_chunks, std::memory_order_relaxed);
+
+    std::vector<Chunk> chunks(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      chunks[c].state = &st;
+      chunks[c].lo = begin + c * grain;
+      chunks[c].hi = std::min(end, begin + (c + 1) * grain);
+      chunks[c].index = c;
+    }
+
+    SubmitGuard submit(*this);
+    const int my_lane = submit.lane();
+    // Reverse push: the owner pops LIFO, so chunk 0 comes off first and the
+    // caller's lane walks the range front-to-back while thieves take the
+    // tail — the same front/back split a static partition would give.
+    for (std::size_t c = num_chunks; c-- > 0;)
+      deques_[static_cast<std::size_t>(my_lane)]->push(&chunks[c]);
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++work_epoch_;
+    }
+    wake_cv_.notify_all();
+
+    help_until_done(st, my_lane);
+
+    if (st.error) std::rethrow_exception(st.error);
+  }
+
+  [[nodiscard]] PoolStats stats() const noexcept {
+    PoolStats s;
+    s.tasks_executed = tasks_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.steal_failures = steal_failures_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct LoopState;
+
+  struct Chunk {
+    LoopState* state = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::size_t index = 0;
+  };
+
+  struct LoopState {
+    void* body = nullptr;
+    void (*invoke)(void*, std::size_t, std::size_t, int) = nullptr;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+    bool has_error = false;
+  };
+
+  /// thread_local binding of this thread to a pool lane, stacked so nested
+  /// parallel_for calls restore the outer binding on unwind.
+  struct Binding {
+    ThreadPool* pool = nullptr;
+    int lane = 0;
+  };
+  static Binding& tls_binding() {
+    thread_local Binding b;
+    return b;
+  }
+
+  [[nodiscard]] int bound_lane() const {
+    const Binding& b = tls_binding();
+    return b.pool == this ? b.lane : 0;
+  }
+
+  /// An external (unbound) caller claims lane 0 for the loop's duration,
+  /// serialized by submit_mutex_.  A bound thread (worker, or any thread
+  /// inside a nested parallel_for) keeps its lane and skips the mutex —
+  /// that is what makes nesting deadlock-free.
+  class SubmitGuard {
+   public:
+    explicit SubmitGuard(ThreadPool& p) : pool_(p), saved_(tls_binding()) {
+      external_ = saved_.pool != &p;
+      if (external_) {
+        p.submit_mutex_.lock();
+        tls_binding() = Binding{&p, 0};
+      }
+    }
+    ~SubmitGuard() {
+      if (external_) {
+        tls_binding() = saved_;
+        pool_.submit_mutex_.unlock();
+      }
+    }
+    SubmitGuard(const SubmitGuard&) = delete;
+    SubmitGuard& operator=(const SubmitGuard&) = delete;
+
+    [[nodiscard]] int lane() const { return tls_binding().lane; }
+
+   private:
+    ThreadPool& pool_;
+    Binding saved_;
+    bool external_;
+  };
+
+  void run_chunk(Chunk* c, int lane) {
+    LoopState& st = *c->state;
+    try {
+      st.invoke(st.body, c->lo, c->hi, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.error_mutex);
+      if (!st.has_error || c->index < st.error_index) {
+        st.error = std::current_exception();
+        st.error_index = c->index;
+        st.has_error = true;
+      }
+    }
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    // After this decrement `st` may be destroyed by the submitting thread;
+    // completion wake-up goes through pool-owned state only.
+    if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++work_epoch_;
+      wake_cv_.notify_all();
+    }
+  }
+
+  /// Pop own deque first (LIFO, cache-warm), then sweep victims round-robin.
+  [[nodiscard]] Chunk* find_work(int lane) {
+    Chunk* c = nullptr;
+    auto& mine = *deques_[static_cast<std::size_t>(lane)];
+    if (mine.pop(&c)) return c;
+    for (std::size_t i = 1; i < lanes_; ++i) {
+      const std::size_t victim =
+          (static_cast<std::size_t>(lane) + i) % lanes_;
+      if (deques_[victim]->steal(&c)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return c;
+      }
+    }
+    steal_failures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Submitting thread participates until every chunk of `st` settled.
+  void help_until_done(LoopState& st, int lane) {
+    while (st.remaining.load(std::memory_order_acquire) != 0) {
+      if (Chunk* c = find_work(lane)) {
+        run_chunk(c, lane);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      const std::uint64_t seen = work_epoch_;
+      if (st.remaining.load(std::memory_order_acquire) == 0) return;
+      wake_cv_.wait(lock, [&] { return work_epoch_ != seen; });
+    }
+  }
+
+  void worker_main(int lane) {
+    tls_binding() = Binding{this, lane};
+    for (;;) {
+      if (Chunk* c = find_work(lane)) {
+        run_chunk(c, lane);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      const std::uint64_t seen = work_epoch_;
+      if (stopping_) return;
+      wake_cv_.wait(lock, [&] { return work_epoch_ != seen || stopping_; });
+      if (stopping_) return;
+    }
+  }
+
+  std::size_t lanes_;
+  std::vector<std::unique_ptr<StealDeque<Chunk*>>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;  ///< serializes external (unbound) submitters
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::uint64_t work_epoch_ = 0;  ///< guarded by wake_mutex_
+  bool stopping_ = false;         ///< guarded by wake_mutex_
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_failures_{0};
+};
+
+}  // namespace pga::exec

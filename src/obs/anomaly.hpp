@@ -133,6 +133,13 @@ class AnomalyDetector {
       case EventKind::kSearchStats:
         r.diversity.push_back({e.t, e.diversity});
         break;
+      case EventKind::kMark:
+        // exec::Parallelism tags pool-worker lanes; a wall-clock worker is
+        // legitimately idle outside parallel regions, so the virtual-time
+        // "every rank stays active to the end" stall heuristic must not
+        // apply to it.
+        if (std::string_view(e.name) == kWorkerLaneMark) r.wall_lane = true;
+        break;
       default:
         break;
     }
@@ -175,6 +182,7 @@ class AnomalyDetector {
     std::size_t events = 0;
     double last_t = 0.0;
     bool failed = false;
+    bool wall_lane = false;  ///< tagged kWorkerLaneMark (exempt from stalls)
     double fail_t = std::numeric_limits<double>::infinity();
     std::string fail_cause;
     int depth = 0;       ///< open "compute" span nesting
@@ -220,6 +228,7 @@ class AnomalyDetector {
     for (std::size_t r = 0; r < ranks_.size(); ++r) {
       const auto& s = ranks_[r];
       if (s.events < cfg_.min_events_per_rank) continue;
+      if (s.wall_lane) continue;  // pool workers idle between parallel regions
       // A failed rank's silence is explained by its failure anomaly; still
       // report the stall so the timeline evidence is explicit.
       if (s.last_t >= horizon) continue;

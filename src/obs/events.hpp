@@ -56,6 +56,14 @@ enum class EventKind : std::uint8_t {
   return "?";
 }
 
+/// Mark label tagging a rank lane as a wall-clock worker lane (emitted by
+/// exec::Parallelism::mark_lanes).  Virtual-time invariants — notably the
+/// "every rank stays active until the end" stall heuristic — do not apply to
+/// such lanes: a pool worker is legitimately idle whenever the algorithm has
+/// no parallel region open.  AnomalyDetector exempts marked lanes from stall
+/// detection.
+inline constexpr const char kWorkerLaneMark[] = "wallclock_worker";
+
 /// One structured record.  `name` must point at a string with static storage
 /// duration (instrumentation sites use literals), so events are plain
 /// trivially-copyable values with no per-event allocation.

@@ -40,11 +40,17 @@ class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
   void add(double delta) noexcept {
-    // CAS loop instead of fetch_add(double) for toolchain portability.
+#if defined(__cpp_lib_atomic_float) && __cpp_lib_atomic_float >= 201711L
+    // Single RMW where the toolchain provides atomic<double>::fetch_add
+    // (C++20 P0020); under contention this beats the CAS retry loop — see
+    // BM_MetricsGaugeAddContended in bench_micro_ops.cpp.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
                                          std::memory_order_relaxed)) {
     }
+#endif
   }
   [[nodiscard]] double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
@@ -71,10 +77,14 @@ class Histogram {
     while (b < bounds_.size() && x > bounds_[b]) ++b;
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+#if defined(__cpp_lib_atomic_float) && __cpp_lib_atomic_float >= 201711L
+    sum_.fetch_add(x, std::memory_order_relaxed);
+#else
     double cur = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(cur, cur + x,
                                        std::memory_order_relaxed)) {
     }
+#endif
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {

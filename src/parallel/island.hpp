@@ -24,6 +24,7 @@
 #include "core/population.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "exec/parallelism.hpp"
 #include "obs/events.hpp"
 #include "obs/probes.hpp"
 #include "parallel/migration.hpp"
@@ -218,6 +219,109 @@ class IslandModel {
     return result;
   }
 
+  /// Wall-clock overload: same algorithm, same trajectory, real cores.
+  /// Each epoch steps all demes through `par` (one task per deme, grain 1,
+  /// work-stealing balances uneven demes); schemes receive the executor via
+  /// `step_exec` so offspring evaluation fans out further inside each deme
+  /// task.  Determinism: deme RNG streams are keyed by deme index
+  /// (`rng.split(d)`, exactly as the sequential overload) and each stream is
+  /// only ever consumed by the single task stepping that deme, so the run is
+  /// bit-identical to `run(populations, problem, stop, rng)` at any thread
+  /// count — asserted in test_exec.cpp.
+  ///
+  /// Tracing conventions differ from the sequential overload: timestamps
+  /// are wall seconds from `par`'s clock; `compute`/`eval_chunk` events ride
+  /// on *pool-lane* ranks (emitted inside evaluate_all, tagged via
+  /// `par.mark_lanes()`), while `gen_stats`/`search_stats`/`migration` stay
+  /// on *deme* ranks, emitted post-barrier on the calling thread so their
+  /// order is deterministic.
+  IslandResult<G> run(std::vector<Population<G>>& populations,
+                      const Problem<G>& problem, const StopCondition& stop,
+                      Rng& rng, const exec::Parallelism& par) {
+    if (!par.parallel() && !par.tracer())
+      return run(populations, problem, stop, rng);
+    if (populations.size() != num_demes())
+      throw std::invalid_argument("one population per deme required");
+
+    std::vector<Rng> deme_rngs;
+    deme_rngs.reserve(num_demes());
+    for (std::size_t d = 0; d < num_demes(); ++d)
+      deme_rngs.push_back(rng.split(d));
+
+    IslandResult<G> result;
+    par.mark_lanes();
+    for (auto& pop : populations)
+      result.evaluations += pop.evaluate_all(problem, par);
+
+    std::vector<obs::GenerationProbe<G>> probes;
+    probes.reserve(num_demes());
+    for (std::size_t d = 0; d < num_demes(); ++d)
+      probes.emplace_back(trace_, static_cast<int>(d));
+
+    auto check_target = [&]() {
+      if (result.reached_target) return;
+      for (const auto& pop : populations) {
+        if (stop.target_reached(pop.best_fitness())) {
+          result.reached_target = true;
+          result.evals_to_target = result.evaluations;
+          return;
+        }
+      }
+    };
+    check_target();
+
+    while (!result.reached_target && result.epochs < stop.max_generations &&
+           result.evaluations < stop.max_evaluations) {
+      // One generation per deme, demes in flight concurrently.  deme_evals
+      // slots are disjoint per task, so no synchronization is needed beyond
+      // the for_range barrier.
+      std::vector<std::size_t> deme_evals(num_demes());
+      par.for_range(0, num_demes(), 1,
+                    [&](std::size_t lo, std::size_t hi, int /*lane*/) {
+                      for (std::size_t d = lo; d < hi; ++d)
+                        deme_evals[d] = schemes_[d]->step_exec(
+                            populations[d], problem, deme_rngs[d], par);
+                    });
+      for (std::size_t d = 0; d < num_demes(); ++d)
+        result.evaluations += deme_evals[d];
+      ++result.epochs;
+
+      if (trace_) {
+        const double now = par.now();
+        for (std::size_t d = 0; d < num_demes(); ++d) {
+          const auto& pop = populations[d];
+          trace_.gen_stats(static_cast<int>(d), now, result.epochs,
+                           result.evaluations, pop.best_fitness(),
+                           pop.mean_fitness(),
+                           pop[pop.worst_index()].fitness);
+          probes[d].observe(pop, now, result.epochs, deme_evals[d]);
+        }
+      }
+
+      const bool migrate_now =
+          trigger_ ? trigger_(result.epochs, populations)
+                   : (policy_.enabled() &&
+                      result.epochs % policy_.interval == 0);
+      if (migrate_now) {
+        migrate_at(populations, deme_rngs, par.now());
+        ++result.migration_epochs;
+      }
+
+      check_target();
+    }
+
+    result.deme_best.reserve(num_demes());
+    std::size_t best_deme = 0;
+    for (std::size_t d = 0; d < num_demes(); ++d) {
+      result.deme_best.push_back(populations[d].best_fitness());
+      if (populations[d].best_fitness() > populations[best_deme].best_fitness())
+        best_deme = d;
+    }
+    result.best = populations[best_deme].best();
+    if (!result.reached_target) result.evals_to_target = result.evaluations;
+    return result;
+  }
+
   /// Convenience: builds `num_demes` random populations of `deme_size`.
   template <class MakeGenome>
   [[nodiscard]] std::vector<Population<G>> make_populations(
@@ -234,7 +338,13 @@ class IslandModel {
  private:
   void migrate(std::vector<Population<G>>& populations,
                std::vector<Rng>& deme_rngs, std::size_t epoch) {
-    const double now = static_cast<double>(epoch);
+    migrate_at(populations, deme_rngs, static_cast<double>(epoch));
+  }
+
+  /// Migration with an explicit event timestamp (epoch index for the
+  /// sequential engine, wall seconds for the executor-backed one).
+  void migrate_at(std::vector<Population<G>>& populations,
+                  std::vector<Rng>& deme_rngs, double now) {
     if (sync_ == MigrationSync::kSynchronous) {
       // Snapshot emigrants from every deme first, then integrate, so the
       // result is independent of deme iteration order.

@@ -8,6 +8,7 @@
 //              diversity, local search, adaptive control, checkpoints, traces
 //   problems/  benchmark problems across the difficulty classes
 //   comm/      message-passing transport, serialization, collectives
+//   exec/      work-stealing thread pool for wall-clock parallel execution
 //   sim/       deterministic virtual-time cluster simulator
 //   parallel/  master-slave, island, cellular, hierarchical, SIM, hybrid
 //   multiobj/  Pareto utilities and NSGA-II
@@ -38,6 +39,9 @@
 #include "core/statistics.hpp"
 #include "core/termination.hpp"
 #include "core/trace.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/steal_deque.hpp"
+#include "exec/thread_pool.hpp"
 #include "multiobj/nsga2.hpp"
 #include "multiobj/pareto.hpp"
 #include "obs/anomaly.hpp"

@@ -5,6 +5,9 @@
 #   2. `--gen faulty` writes an 8-rank trace with rank 2 killed at virtual
 #      t=0.02 s; diagnosing it must exit nonzero and the diagnosis must name
 #      the failed rank with its timestamp.
+#   3. `--gen wallclock` writes a real thread-pool trace whose worker lanes
+#      are idle for most of the makespan; the stall gate must not fire on
+#      lanes tagged with the wall-clock worker mark.
 #
 # Driven with: cmake -DDOCTOR=<path> -DWORK_DIR=<dir> -P pga_doctor_cli.cmake
 
@@ -49,6 +52,24 @@ if(NOT out MATCHES "FAIL \\[failure\\] rank 2")
 endif()
 if(NOT out MATCHES "t=0\\.02")
   message(FATAL_ERROR "diagnosis did not report the failure timestamp 0.02 s")
+endif()
+
+# --- wallclock trace: idle worker lanes must not trip the stall gate -----
+set(wallclock "${WORK_DIR}/doctor_wallclock.json")
+execute_process(COMMAND "${DOCTOR}" --gen wallclock "${wallclock}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen wallclock failed (exit ${rc}):\n${out}")
+endif()
+
+execute_process(COMMAND "${DOCTOR}" --fail-on stall "${wallclock}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "wallclock diagnosis (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wall-clock trace must pass the stall gate, got exit ${rc}")
+endif()
+if(out MATCHES "\\[stall\\]")
+  message(FATAL_ERROR "stall heuristic fired on marked wall-clock worker lanes")
 endif()
 
 # --- a --fail-on none run of the faulty trace is advisory-only -----------

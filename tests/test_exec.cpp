@@ -1,0 +1,431 @@
+// pga::exec tests: pool lifecycle, range coverage, exception propagation,
+// work stealing under skew, nested-submit deadlock avoidance, and the
+// load-bearing guarantee of the whole subsystem — bit-identical results at
+// any thread count.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/parallelism.hpp"
+#include "exec/steal_deque.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/island.hpp"
+#include "problems/binary.hpp"
+
+namespace pga {
+namespace {
+
+using exec::Parallelism;
+using exec::StealDeque;
+using exec::ThreadPool;
+using problems::OneMax;
+
+Operators<BitString> bit_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// StealDeque
+// ---------------------------------------------------------------------------
+
+TEST(StealDeque, OwnerPushPopIsLifo) {
+  StealDeque<int*> dq;
+  int items[3] = {1, 2, 3};
+  for (auto& it : items) dq.push(&it);
+  int* out = nullptr;
+  ASSERT_TRUE(dq.pop(&out));
+  EXPECT_EQ(out, &items[2]);
+  ASSERT_TRUE(dq.pop(&out));
+  EXPECT_EQ(out, &items[1]);
+  ASSERT_TRUE(dq.pop(&out));
+  EXPECT_EQ(out, &items[0]);
+  EXPECT_FALSE(dq.pop(&out));
+}
+
+TEST(StealDeque, StealTakesOldestAndGrowthPreservesItems) {
+  StealDeque<int*> dq(/*capacity=*/2);
+  std::vector<int> items(100);
+  for (auto& it : items) dq.push(&it);  // forces several grows
+  int* out = nullptr;
+  ASSERT_TRUE(dq.steal(&out));
+  EXPECT_EQ(out, &items[0]);  // FIFO end
+  ASSERT_TRUE(dq.pop(&out));
+  EXPECT_EQ(out, &items[99]);  // LIFO end
+  std::size_t remaining = 0;
+  while (dq.pop(&out)) ++remaining;
+  EXPECT_EQ(remaining, 98u);
+}
+
+TEST(StealDeque, ConcurrentStealersEachItemTakenOnce) {
+  StealDeque<int*> dq;
+  constexpr int kItems = 2000;
+  std::vector<int> items(kItems, 0);
+  std::atomic<int> taken{0};
+  std::vector<std::thread> thieves;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      int* out = nullptr;
+      while (taken.load(std::memory_order_relaxed) < kItems) {
+        if (dq.steal(&out)) {
+          ++*out;  // each item must be taken exactly once for this to stay 1
+          taken.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true);
+  int* out = nullptr;
+  for (auto& it : items) {
+    dq.push(&it);
+    if (dq.pop(&out)) {
+      ++*out;
+      taken.fetch_add(1);
+    }
+  }
+  while (taken.load() < kItems) {
+    if (dq.steal(&out)) {
+      ++*out;
+      taken.fetch_add(1);
+    }
+  }
+  for (auto& t : thieves) t.join();
+  for (const int v : items) EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, StartStopRepeatedly) {
+  for (int i = 0; i < 3; ++i) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.concurrency(), 4u);
+  }
+  ThreadPool clamped(0);  // clamps to one lane, spawns no workers
+  EXPECT_EQ(clamped.concurrency(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), 7,
+                    [&](std::size_t lo, std::size_t hi, int) {
+                      for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                    });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_GE(pool.stats().tasks_executed, (1000 + 6) / 7);
+}
+
+TEST(ThreadPool, SingleLaneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.parallel_for(0, 100, 10, [&](std::size_t, std::size_t, int lane) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lane, 0);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.stats().steals, 0u);
+}
+
+TEST(ThreadPool, ExceptionFromLowestChunkPropagates) {
+  ThreadPool pool(4);
+  // Chunks 20.. and 60.. both throw on every run; regardless of which lane
+  // runs them first, the caller must see the lowest chunk's message.
+  try {
+    pool.parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t, int) {
+      if (lo == 20) throw std::runtime_error("chunk20");
+      if (lo == 60) throw std::runtime_error("chunk60");
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk20");
+  }
+  // The pool survives a throwing loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1,
+                    [&](std::size_t, std::size_t, int) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, WorkStealingRebalancesSkewedCosts) {
+  ThreadPool pool(4);
+  // All chunks land on the submitter's deque; each chunk parks the running
+  // lane for 500 µs, so even on one core the OS schedules the other workers
+  // mid-loop and they must steal to participate.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 32, 1, [&](std::size_t, std::size_t, int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_GT(pool.stats().steals, 0u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::array<std::atomic<int>, 64> hits{};
+  pool.parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi, int) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      pool.parallel_for(0, 16, 2, [&, outer](std::size_t l, std::size_t h, int) {
+        for (std::size_t inner = l; inner < h; ++inner)
+          ++hits[outer * 16 + inner];
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersSerialize) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int rep = 0; rep < 5; ++rep)
+        pool.parallel_for(0, 64, 8,
+                          [&](std::size_t lo, std::size_t hi, int) {
+                            count += static_cast<int>(hi - lo);
+                          });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(count.load(), 4 * 5 * 64);
+}
+
+// ---------------------------------------------------------------------------
+// Parallelism handle
+// ---------------------------------------------------------------------------
+
+TEST(Parallelism, DefaultIsInlineWithZeroPool) {
+  Parallelism par;
+  EXPECT_EQ(par.concurrency(), 1u);
+  EXPECT_FALSE(par.parallel());
+  int calls = 0;
+  par.for_range(3, 10, 0, [&](std::size_t lo, std::size_t hi, int lane) {
+    ++calls;
+    EXPECT_EQ(lo, 3u);
+    EXPECT_EQ(hi, 10u);
+    EXPECT_EQ(lane, 0);
+  });
+  EXPECT_EQ(calls, 1);  // one inline call, no chunking
+}
+
+TEST(Parallelism, BindMetricsPublishesPoolCounters) {
+  ThreadPool pool(2);
+  Parallelism par(&pool);
+  std::atomic<int> sink{0};
+  par.for_range(0, 100, 5,
+                [&](std::size_t lo, std::size_t hi, int) {
+                  sink += static_cast<int>(hi - lo);
+                });
+  obs::MetricsRegistry reg;
+  par.bind_metrics(reg);
+  const auto s = pool.stats();
+  EXPECT_EQ(reg.counter("pga_exec_tasks_total").value(), s.tasks_executed);
+  EXPECT_EQ(reg.counter("pga_exec_steals_total").value(), s.steals);
+  EXPECT_EQ(reg.counter("pga_exec_steal_failures_total").value(),
+            s.steal_failures);
+  par.bind_metrics(reg);  // idempotent: re-sync, not double-count
+  EXPECT_EQ(reg.counter("pga_exec_tasks_total").value(),
+            pool.stats().tasks_executed);
+}
+
+// ---------------------------------------------------------------------------
+// Executor-aware evaluation
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateAll, ExecutorPathMatchesSequential) {
+  OneMax problem(32);
+  Rng rng(7);
+  auto seq = Population<BitString>::random(
+      64, [](Rng& r) { return BitString::random(32, r); }, rng);
+  auto par_pop = seq;  // identical members, both fully dirty
+  seq[3].fitness = 1.0;  // pre-evaluated entries must be skipped by both
+  seq[3].evaluated = true;
+  par_pop[3].fitness = 1.0;
+  par_pop[3].evaluated = true;
+
+  const std::size_t seq_evals = seq.evaluate_all(problem);
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+  const std::size_t par_evals = par_pop.evaluate_all(problem, par);
+
+  EXPECT_EQ(seq_evals, 63u);
+  EXPECT_EQ(par_evals, seq_evals);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par_pop[i].genome, seq[i].genome);
+    EXPECT_DOUBLE_EQ(par_pop[i].fitness, seq[i].fitness);
+    EXPECT_TRUE(par_pop[i].evaluated);
+  }
+}
+
+TEST(EvaluateAll, EmitsComputeSpansAndEvalChunksOnLanes) {
+  OneMax problem(16);
+  Rng rng(11);
+  auto pop = Population<BitString>::random(
+      40, [](Rng& r) { return BitString::random(16, r); }, rng);
+  ThreadPool pool(2);
+  obs::EventLog log;
+  Parallelism par(&pool);
+  par.set_tracer(obs::Tracer(&log));
+  const std::size_t evals = pop.evaluate_all(problem, par, /*grain=*/8);
+  EXPECT_EQ(evals, 40u);
+
+  std::uint64_t batched = 0;
+  std::size_t begins = 0, ends = 0;
+  for (const auto& e : log.snapshot()) {
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 2);
+    if (e.kind == obs::EventKind::kEvaluationBatch) {
+      EXPECT_STREQ(e.name, "eval_chunk");
+      batched += e.count;
+    }
+    if (e.kind == obs::EventKind::kSpanBegin) ++begins;
+    if (e.kind == obs::EventKind::kSpanEnd) ++ends;
+  }
+  EXPECT_EQ(batched, 40u);  // every dirty index in exactly one chunk
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(begins, 5u);  // 40 / grain 8
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread-count determinism (the tentpole guarantee)
+// ---------------------------------------------------------------------------
+
+struct GenRecord {
+  int rank;
+  std::uint64_t generation;
+  std::uint64_t evaluations;
+  double best;
+  double mean;
+  double worst;
+  friend bool operator==(const GenRecord&, const GenRecord&) = default;
+};
+
+struct IslandOutcome {
+  std::vector<Population<BitString>> pops;
+  IslandResult<BitString> result;
+  std::vector<GenRecord> history;
+};
+
+IslandOutcome run_island(std::size_t threads) {
+  OneMax problem(32);
+  MigrationPolicy policy;
+  policy.interval = 3;  // exercise migrate_at on the executor path
+  auto model = make_uniform_island_model<BitString>(Topology::ring(4), policy,
+                                                    bit_ops());
+  Rng rng(42);
+  auto pops = model.make_populations(
+      20, [](Rng& r) { return BitString::random(32, r); }, rng);
+  StopCondition stop;
+  stop.max_generations = 12;
+  stop.target_fitness = 1e9;  // unreachable: all runs do 12 epochs
+
+  obs::EventLog log;
+  model.set_tracer(obs::Tracer(&log));
+  IslandOutcome out;
+  if (threads == 0) {
+    out.result = model.run(pops, problem, stop, rng);  // sequential baseline
+  } else {
+    ThreadPool pool(threads);
+    Parallelism par(&pool);
+    par.set_tracer(obs::Tracer(&log));
+    out.result = model.run(pops, problem, stop, rng, par);
+  }
+  for (const auto& e : log.snapshot())
+    if (e.kind == obs::EventKind::kGenStats)
+      out.history.push_back(
+          {e.rank, e.generation, e.evaluations, e.best, e.mean, e.worst});
+  out.pops = std::move(pops);
+  return out;
+}
+
+TEST(Determinism, IslandRunBitIdenticalAcrossThreadCounts) {
+  const IslandOutcome baseline = run_island(0);
+  ASSERT_EQ(baseline.result.epochs, 12u);
+  ASSERT_FALSE(baseline.history.empty());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const IslandOutcome got = run_island(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    EXPECT_EQ(got.result.epochs, baseline.result.epochs);
+    EXPECT_EQ(got.result.evaluations, baseline.result.evaluations);
+    EXPECT_EQ(got.result.migration_epochs, baseline.result.migration_epochs);
+    EXPECT_EQ(got.result.best.genome, baseline.result.best.genome);
+    EXPECT_EQ(got.result.deme_best, baseline.result.deme_best);
+
+    // Best-fitness history: gen_stats payloads must match record-for-record
+    // (wall timestamps differ; the algorithmic trajectory may not).
+    EXPECT_EQ(got.history, baseline.history);
+
+    // Final populations, member by member, genome bit by genome bit.
+    ASSERT_EQ(got.pops.size(), baseline.pops.size());
+    for (std::size_t d = 0; d < got.pops.size(); ++d) {
+      ASSERT_EQ(got.pops[d].size(), baseline.pops[d].size());
+      for (std::size_t i = 0; i < got.pops[d].size(); ++i) {
+        EXPECT_EQ(got.pops[d][i].genome, baseline.pops[d][i].genome);
+        EXPECT_DOUBLE_EQ(got.pops[d][i].fitness, baseline.pops[d][i].fitness);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock lanes and the stall heuristic
+// ---------------------------------------------------------------------------
+
+TEST(WallClockLanes, MarkedLanesExemptFromStallDetection) {
+  obs::EventLog log;
+  obs::Tracer trace(&log);
+  // Rank 0 is busy for the whole run; rank 1 is a pool worker that went
+  // idle early — silent for the trailing 80% of the makespan.
+  trace.mark(0, 0.0, obs::kWorkerLaneMark);
+  trace.mark(1, 0.0, obs::kWorkerLaneMark);
+  trace.span_begin(1, 0.0, "compute");
+  trace.span_end(1, 0.1, "compute");
+  trace.span_begin(0, 0.0, "compute");
+  trace.span_end(0, 1.0, "compute");
+
+  obs::AnomalyDetector marked;
+  for (const auto& e : log.sorted_by_time()) marked.consume(e);
+  for (const auto& a : marked.finish())
+    EXPECT_NE(a.kind, obs::AnomalyKind::kStalledRank) << a.detail;
+
+  // The same shape without marks is exactly what the stall gate must flag —
+  // proving the exemption (not the thresholds) is what changed the verdict.
+  obs::EventLog bare;
+  obs::Tracer t2(&bare);
+  t2.span_begin(1, 0.0, "compute");
+  t2.span_end(1, 0.1, "compute");
+  t2.span_begin(0, 0.0, "compute");
+  t2.span_end(0, 1.0, "compute");
+  obs::AnomalyDetector unmarked;
+  for (const auto& e : bare.sorted_by_time()) unmarked.consume(e);
+  bool saw_stall = false;
+  for (const auto& a : unmarked.finish())
+    saw_stall |= a.kind == obs::AnomalyKind::kStalledRank;
+  EXPECT_TRUE(saw_stall);
+}
+
+}  // namespace
+}  // namespace pga

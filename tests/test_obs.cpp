@@ -36,7 +36,10 @@ namespace {
 
 class JsonChecker {
  public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
+  // Stores the document by value: call sites pass temporaries
+  // (`JsonChecker(chrome_trace_json(log))`), which a reference member would
+  // dangle on after the full expression — caught by the TSan CI job.
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
 
   [[nodiscard]] bool valid() {
     skip_ws();
@@ -143,7 +146,7 @@ class JsonChecker {
       ++pos_;
   }
 
-  const std::string& s_;
+  std::string s_;
   std::size_t pos_ = 0;
 };
 
@@ -175,6 +178,38 @@ TEST(Metrics, RegistryConcurrentLookupSameName) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(registry.counter("shared_total").value(), 8000u);
   EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, GaugeConcurrentAddIsExact) {
+  // Exercises the atomic<double>::fetch_add path (CAS-loop fallback on
+  // toolchains without __cpp_lib_atomic_float): integer-valued doubles up
+  // to 2^53 add exactly, so contended adds must lose nothing.
+  obs::MetricsRegistry registry;
+  auto& g = registry.gauge("contended_gauge");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      for (int n = 0; n < kPerThread; ++n) g.add(1.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), double(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramConcurrentSumIsExact) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("contended_hist", {1.0, 2.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      for (int n = 0; n < kPerThread; ++n) h.observe(3.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0 * kThreads * kPerThread);
 }
 
 TEST(Metrics, GaugeSetAndAdd) {

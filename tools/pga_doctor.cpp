@@ -23,6 +23,7 @@
 // Exit codes: 0 clean (or only advisory warnings), 1 gated anomaly, 2 usage
 // or load error.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -31,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallelism.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/anomaly.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
@@ -64,8 +67,12 @@ void usage(std::FILE* to) {
       "  --straggler-ratio X   utilization-vs-median outlier ratio (0.5)\n"
       "  --comm-busy-floor X   comm-bound occupancy threshold (0.25)\n"
       "  --gen MODE         write a demo trace instead of diagnosing:\n"
-      "                     'healthy' = clean 4-rank master-slave run,\n"
-      "                     'faulty'  = 8 ranks, rank 2 killed at t=0.02 s\n"
+      "                     'healthy'   = clean 4-rank master-slave run,\n"
+      "                     'faulty'    = 8 ranks, rank 2 killed at t=0.02 s,\n"
+      "                     'wallclock' = real 4-lane thread-pool evaluation\n"
+      "                                   (W1-shaped: worker lanes idle after\n"
+      "                                   the parallel region; must pass the\n"
+      "                                   stall gate)\n"
       "  -h, --help         this text\n");
 }
 
@@ -154,6 +161,60 @@ int generate_demo(const std::string& mode, const std::string& path) {
   return 0;
 }
 
+/// Demo-trace generator for the wall-clock execution backend: a real
+/// exec::ThreadPool evaluation (worker lanes carry mark/compute/eval_chunk
+/// events with wall timestamps) followed by a long sequential tail of
+/// gen_stats on rank 0 only.  The worker lanes are silent for most of the
+/// makespan — exactly the shape the virtual-time stall heuristic would flag
+/// — so this trace is the regression case proving the kWorkerLaneMark
+/// exemption keeps `--gate stall` quiet on real-thread dumps.
+int generate_wallclock(const std::string& path) {
+  constexpr std::size_t kBits = 64;
+
+  // Busy-wait fitness (~200 us per eval) so the parallel region is long
+  // enough for every lane to steal work and emit spans.
+  class SpinOneMax final : public Problem<BitString> {
+   public:
+    [[nodiscard]] double fitness(const BitString& g) const override {
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+      return static_cast<double>(g.count_ones());
+    }
+    [[nodiscard]] std::string name() const override { return "spin-onemax"; }
+  };
+  SpinOneMax problem;
+
+  obs::EventLog log;
+  exec::ThreadPool pool(4);
+  exec::Parallelism par(&pool);
+  par.set_tracer(obs::Tracer(&log));
+  par.mark_lanes();
+
+  Rng rng(1);
+  auto pop = Population<BitString>::random(
+      64, [](Rng& r) { return BitString::random(kBits, r); }, rng);
+  pop.evaluate_all(problem, par, /*grain=*/2);
+
+  // Sequential tail: the caller post-processes alone for ~9x the parallel
+  // phase (synthetic timestamps; the detector only reads the values).
+  obs::Tracer trace(&log);
+  const double t_par = par.now();
+  const double makespan = 10.0 * t_par;
+  for (int g = 1; g <= 30; ++g) {
+    const double t = t_par + (makespan - t_par) * g / 30.0;
+    trace.gen_stats(0, t, static_cast<std::uint64_t>(g), 64, 0.0, 0.0, 0.0);
+  }
+
+  obs::save_event_log(log, path);
+  std::printf(
+      "pga_doctor: wrote wallclock demo trace (%zu events, %zu pool steals) "
+      "to %s\n",
+      log.size(), static_cast<std::size_t>(pool.stats().steals), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +268,7 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+  if (gen_mode == "wallclock") return generate_wallclock(path);
   if (!gen_mode.empty()) return generate_demo(gen_mode, path);
 
   obs::EventLog log;
