@@ -64,13 +64,22 @@ class ThreadTransport final : public Transport {
   [[nodiscard]] int rank() const noexcept override { return rank_; }
   [[nodiscard]] int world_size() const noexcept override { return size_; }
 
-  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+  std::uint64_t send(int dest, int tag,
+                     std::vector<std::uint8_t> payload) override {
+    // Sender-minted (send index, rank) id: unique across ranks, monotone per
+    // sender, 1-based (0 = uncorrelated), and — unlike a shared counter — a
+    // pure function of each rank's own send count, so id assignment is
+    // repeatable whenever the protocol itself is.
+    const std::uint64_t id =
+        next_send_++ * static_cast<std::uint64_t>(size_) +
+        static_cast<std::uint64_t>(rank_) + 1;
     auto& box = world_.mailboxes[static_cast<std::size_t>(dest)];
     {
       std::lock_guard<std::mutex> lock(box.mutex);
-      box.queue.push_back(Message{rank_, tag, std::move(payload)});
+      box.queue.push_back(Message{rank_, tag, id, std::move(payload)});
     }
     box.cv.notify_all();
+    return id;
   }
 
   [[nodiscard]] std::optional<Message> recv(int source, int tag) override {
@@ -122,6 +131,7 @@ class ThreadTransport final : public Transport {
   World& world_;
   int rank_;
   int size_;
+  std::uint64_t next_send_ = 0;  ///< this rank's 0-based send index
   double declared_compute_ = 0.0;
 };
 

@@ -31,6 +31,12 @@ namespace pga::comm {
 struct Message {
   int source = -1;
   int tag = 0;
+  /// Per-run id assigned by the transport at send time (first send gets 1; 0
+  /// is reserved for "uncorrelated").  The id a `send` returns and the id on
+  /// the delivered Message are the same value, which is what lets the
+  /// observability layer (obs/causal.hpp) pair a kMessageSent event with the
+  /// kMessageRecv that observed its arrival.
+  std::uint64_t msg_id = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -56,7 +62,14 @@ class Transport {
   [[nodiscard]] virtual int world_size() const noexcept = 0;
 
   /// Queues `payload` for rank `dest`.  Never blocks (buffered send).
-  virtual void send(int dest, int tag, std::vector<std::uint8_t> payload) = 0;
+  /// Returns the message's per-run id (never 0; unique across ranks and
+  /// monotonically increasing per sender — minted from the sender's own send
+  /// index so a deterministic protocol assigns identical ids on every run),
+  /// which the delivered Message carries as `msg_id`.  Sends to dead ranks
+  /// still consume and return an id — the message vanished, but the send
+  /// happened.
+  virtual std::uint64_t send(int dest, int tag,
+                             std::vector<std::uint8_t> payload) = 0;
 
   /// Blocking receive with optional source/tag wildcards.  Returns nullopt
   /// only when the transport has shut down (e.g. every possible sender has

@@ -112,12 +112,10 @@ class AnomalyDetector {
     r.last_t = std::max(r.last_t, e.t);
     switch (e.kind) {
       case EventKind::kSpanBegin:
-        if (std::string_view(e.name) == "compute" && r.depth++ == 0)
-          r.open_t = e.t;
+        if (is_cpu_span(e.name) && r.depth++ == 0) r.open_t = e.t;
         break;
       case EventKind::kSpanEnd:
-        if (std::string_view(e.name) == "compute" && r.depth > 0 &&
-            --r.depth == 0)
+        if (is_cpu_span(e.name) && r.depth > 0 && --r.depth == 0)
           add_busy(e.rank, r.open_t, e.t);
         break;
       case EventKind::kNodeFailure:
@@ -185,7 +183,7 @@ class AnomalyDetector {
     bool wall_lane = false;  ///< tagged kWorkerLaneMark (exempt from stalls)
     double fail_t = std::numeric_limits<double>::infinity();
     std::string fail_cause;
-    int depth = 0;       ///< open "compute" span nesting
+    int depth = 0;       ///< open CPU-span nesting (obs::is_cpu_span)
     double open_t = 0.0; ///< outermost open span's begin time
     std::vector<Sample> fitness;   ///< (t, best) from kGenStats
     std::vector<Sample> diversity; ///< (t, genotypic diversity)
@@ -383,7 +381,7 @@ class AnomalyDetector {
   AnomalyConfig cfg_;
   double makespan_ = 0.0;
   std::vector<RankState> ranks_;
-  /// Closed outermost "compute" spans, tagged with their rank.
+  /// Closed outermost CPU spans, tagged with their rank.
   std::vector<std::pair<int, BusyInterval>> rank_intervals_;
 };
 

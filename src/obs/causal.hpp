@@ -1,0 +1,459 @@
+#pragma once
+// Causal analysis over an EventLog: message correlation, the critical path,
+// and makespan attribution.
+//
+// The survey's performance claims are causal claims.  Cantú-Paz's optimal
+// slave count and Alba & Troya's LAN/WAN island results are statements about
+// *which dependency chain bounds the makespan* — computation, or the
+// send→recv edges between ranks.  Aggregate ratios (report.hpp) can say a
+// run spent 60% of rank-seconds off-CPU; only a causal walk can say the
+// makespan itself was bounded by communication, and show the chain.
+//
+// The substrate is the per-run `msg_id` the transports stamp on every send
+// (comm/transport.hpp): a kMessageSent (or, for in-process engines, a
+// kMigration) and the events observing that message's arrival (kMessageRecv,
+// "migrants_integrated"/"result" marks) share the id, giving the causal DAG
+// its cross-rank edges.  Program order within a rank gives the rest.
+//
+// The critical path is recovered by a backward walk from the last event,
+// producing one non-overlapping timeline (its segments never sum past the
+// makespan).  Within a rank, closed "compute" spans are compute and closed
+// "send" spans are comm (per-message CPU handling — Cantú-Paz's Tc); a gap
+// that ends at a correlated arrival is comm-latency back to the send
+// timestamp, after which the walk jumps to the sender, whose own chain
+// explains the receiver's pre-send wait.  Stretches of that wait the sender
+// leaves unexplained are charged to the receiver as blocked-waiting; gaps
+// outside any wait window are idle.  This matches the simulator's semantics
+// exactly — SimCluster's fire() advances a blocked receiver's clock to the
+// message arrival — and degrades gracefully on wall-clock traces, where
+// uncorrelated gaps surface as idle.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+/// What one stretch of the critical path was spent on.
+enum class SegmentKind : std::uint8_t {
+  kCompute,      ///< inside a closed "compute" span on the path rank
+  /// A correlated message was in flight toward the path rank, or the rank
+  /// was burning CPU on per-message handling (a "send" span).
+  kCommLatency,
+  /// The receiver sat waiting for a sender that was neither computing nor
+  /// sending — wait time the sender's own chain leaves unexplained.
+  kBlockedWait,
+  kIdle,  ///< nothing on the rank explains the time
+};
+
+[[nodiscard]] constexpr const char* to_string(SegmentKind k) noexcept {
+  switch (k) {
+    case SegmentKind::kCompute: return "compute";
+    case SegmentKind::kCommLatency: return "comm-latency";
+    case SegmentKind::kBlockedWait: return "blocked-wait";
+    case SegmentKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+/// One stretch of the critical path, charged to `rank` over [t_begin, t_end].
+/// Comm segments carry the sender (`from_rank`) and the message id.
+struct PathSegment {
+  SegmentKind kind = SegmentKind::kIdle;
+  int rank = 0;
+  int from_rank = -1;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  const char* label = "";
+  std::uint64_t msg_id = 0;
+
+  [[nodiscard]] double duration() const noexcept { return t_end - t_begin; }
+};
+
+/// send↔arrival bookkeeping quality for a log — the acceptance check that
+/// "every recv carries a msg_id matching exactly one send".
+struct Correlation {
+  std::size_t sends = 0;     ///< distinct message ids with a send event
+  std::size_t arrivals = 0;  ///< recv/arrival events carrying a msg_id
+  std::size_t matched = 0;   ///< arrivals whose id has exactly one send
+  std::vector<std::uint64_t> unmatched;           ///< arrival ids with no send
+  std::vector<std::uint64_t> duplicate_send_ids;  ///< id on >1 send event
+
+  [[nodiscard]] bool fully_correlated() const noexcept {
+    return matched == arrivals && unmatched.empty() &&
+           duplicate_send_ids.empty();
+  }
+};
+
+/// Makespan attribution along the critical path.
+struct CriticalPathReport {
+  double makespan = 0.0;  ///< last event time − first event time
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double blocked_s = 0.0;
+  double idle_s = 0.0;
+  /// Path segments in chronological order (walk output reversed).
+  std::vector<PathSegment> segments;
+  struct RankShare {
+    double compute_s = 0.0;
+    double comm_s = 0.0;
+    double blocked_s = 0.0;
+    double idle_s = 0.0;
+    [[nodiscard]] double total() const noexcept {
+      return compute_s + comm_s + blocked_s + idle_s;
+    }
+  };
+  /// Path time charged to each rank (receiver side for comm segments).
+  std::map<int, RankShare> per_rank;
+
+  [[nodiscard]] double path_total() const noexcept {
+    return compute_s + comm_s + blocked_s + idle_s;
+  }
+  /// Fraction of the makespan bound by communication (in-flight + waiting
+  /// for the sender).  The "comm-bound" doctor verdict gates on this.
+  [[nodiscard]] double comm_fraction() const noexcept {
+    return makespan > 0.0 ? (comm_s + blocked_s) / makespan : 0.0;
+  }
+  [[nodiscard]] double compute_fraction() const noexcept {
+    return makespan > 0.0 ? compute_s / makespan : 0.0;
+  }
+  /// The dominant edge class along the path.
+  [[nodiscard]] SegmentKind dominant() const noexcept {
+    SegmentKind k = SegmentKind::kCompute;
+    double best = compute_s;
+    if (comm_s > best) { best = comm_s; k = SegmentKind::kCommLatency; }
+    if (blocked_s > best) { best = blocked_s; k = SegmentKind::kBlockedWait; }
+    if (idle_s > best) { k = SegmentKind::kIdle; }
+    return k;
+  }
+
+  /// Human-readable report: attribution totals, per-rank breakdown, and the
+  /// dominant chain — the last `top_k` hops of the path, newest last, which
+  /// is the evidence behind a comm-bound/compute-bound verdict.
+  [[nodiscard]] std::string to_string(std::size_t top_k = 12) const {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(6);
+    auto pct = [&](double s) {
+      return makespan > 0.0 ? 100.0 * s / makespan : 0.0;
+    };
+    out << "critical path: makespan " << makespan << " s, "
+        << segments.size() << " path segments across " << per_rank.size()
+        << " rank(s)\n";
+    out << std::setprecision(6)
+        << "  attribution: compute " << compute_s << " s ("
+        << std::setprecision(1) << pct(compute_s) << "%)"
+        << std::setprecision(6) << " | comm-latency " << comm_s << " s ("
+        << std::setprecision(1) << pct(comm_s) << "%)"
+        << std::setprecision(6) << " | blocked-wait " << blocked_s << " s ("
+        << std::setprecision(1) << pct(blocked_s) << "%)"
+        << std::setprecision(6) << " | idle " << idle_s << " s ("
+        << std::setprecision(1) << pct(idle_s) << "%)\n";
+    out << "  dominant: " << obs::to_string(dominant())
+        << " (comm+wait = " << std::setprecision(1)
+        << 100.0 * comm_fraction() << "% of makespan)\n";
+    out << "  per-rank path time:\n" << std::setprecision(6);
+    for (const auto& [rank, share] : per_rank) {
+      out << "    rank " << std::setw(3) << rank << ": total "
+          << share.total() << " s  (compute " << share.compute_s << ", comm "
+          << share.comm_s << ", wait " << share.blocked_s << ", idle "
+          << share.idle_s << ")\n";
+    }
+    out << "  dominant chain (last " << std::min(top_k, segments.size())
+        << " of " << segments.size() << " hops, oldest first):\n";
+    const std::size_t lo =
+        segments.size() > top_k ? segments.size() - top_k : 0;
+    for (std::size_t i = lo; i < segments.size(); ++i) {
+      const auto& s = segments[i];
+      out << "    [rank " << s.rank << "] " << obs::to_string(s.kind);
+      if ((s.kind == SegmentKind::kCommLatency ||
+           s.kind == SegmentKind::kBlockedWait) &&
+          s.msg_id != 0) {
+        out << " <- rank " << s.from_rank << " msg#" << s.msg_id;
+      } else if (s.label && s.label[0] != '\0') {
+        out << " '" << s.label << "'";
+      }
+      out << "  " << s.t_begin << " .. " << s.t_end << "  (+" << s.duration()
+          << " s)\n";
+    }
+    return out.str();
+  }
+};
+
+/// The causal DAG of a log: events in canonical time order, per-rank program
+/// order, and send→arrival message edges keyed by msg_id.
+class CausalGraph {
+ public:
+  [[nodiscard]] static CausalGraph from(const EventLog& log) {
+    return CausalGraph(log.sorted_by_time());
+  }
+  explicit CausalGraph(std::vector<Event> sorted) : events_(std::move(sorted)) {
+    for (std::size_t i = 0; i < events_.size(); ++i)
+      by_rank_[events_[i].rank].push_back(i);
+
+    // First pass: the send side of each id.  A transport-level kMessageSent
+    // is authoritative; a kMigration with the same id is the engine-level
+    // view of the same send (distributed islands emit both), so kMigration
+    // only *defines* the send when no kMessageSent carries the id — which is
+    // how in-process engines (sequential islands, hierarchical) join the
+    // graph without a transport.
+    std::unordered_map<std::uint64_t, std::size_t> migration_send;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const Event& e = events_[i];
+      if (e.msg_id == 0) continue;
+      if (e.kind == EventKind::kMessageSent) {
+        auto [it, inserted] = send_of_.emplace(e.msg_id, i);
+        if (!inserted) correlation_.duplicate_send_ids.push_back(e.msg_id);
+      } else if (e.kind == EventKind::kMigration) {
+        auto [it, inserted] = migration_send.emplace(e.msg_id, i);
+        if (!inserted) correlation_.duplicate_send_ids.push_back(e.msg_id);
+      } else if (e.kind == EventKind::kMessageRecv) {
+        recv_ids_.insert(e.msg_id);
+      }
+    }
+    for (const auto& [id, i] : migration_send) send_of_.emplace(id, i);
+    correlation_.sends = send_of_.size();
+
+    // Second pass: arrivals.  kMessageRecv always; a kMark only when it is
+    // the *first* observer of the id on a rank other than the sender's (so
+    // same-rank "dispatch" marks and post-recv "result" marks don't double
+    // up as arrivals).
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const Event& e = events_[i];
+      if (e.msg_id == 0) continue;
+      const bool is_recv = e.kind == EventKind::kMessageRecv;
+      const bool is_arrival_mark =
+          e.kind == EventKind::kMark && recv_ids_.count(e.msg_id) == 0 &&
+          arrival_of_.count(e.msg_id) == 0 && sender_rank_of(e.msg_id) >= 0 &&
+          sender_rank_of(e.msg_id) != e.rank;
+      if (!is_recv && !is_arrival_mark) continue;
+      ++correlation_.arrivals;
+      auto it = send_of_.find(e.msg_id);
+      if (it == send_of_.end()) {
+        correlation_.unmatched.push_back(e.msg_id);
+      } else {
+        ++correlation_.matched;
+        arrival_of_.emplace(e.msg_id, i);
+        message_edges_.emplace_back(it->second, i);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  /// (send index, arrival index) pairs into events().
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  message_edges() const noexcept {
+    return message_edges_;
+  }
+  [[nodiscard]] const Correlation& correlation() const noexcept {
+    return correlation_;
+  }
+
+  /// Walks the longest dependency chain backward from the last event and
+  /// attributes the makespan.  Linear in path length; safe on truncated or
+  /// partially-correlated logs (unexplained time degrades to idle).
+  [[nodiscard]] CriticalPathReport critical_path() const {
+    CriticalPathReport report;
+    if (events_.empty()) return report;
+    const double t_start = events_.front().t;
+    report.makespan = events_.back().t - t_start;
+
+    std::vector<PathSegment> path;  // built newest-first, reversed at the end
+    auto push = [&](PathSegment s) {
+      if (s.t_end > s.t_begin) path.push_back(s);
+    };
+
+    int rank = events_.back().rank;
+    double cur_t = events_.back().t;
+
+    // Active wait window: after jumping from an arrival to its sender, the
+    // receiver's pre-send wait [lo, hi] is explained by whatever the sender
+    // chain covers; gaps inside the window are the receiver blocked on an
+    // unproductive sender, gaps outside it are plain idle.
+    struct WaitWindow {
+      bool active = false;
+      int receiver = -1;
+      std::uint64_t msg_id = 0;
+      double lo = 0.0, hi = 0.0;
+    } wait;
+
+    // Attribute a gap [lo, hi] on `on_rank`, splitting against the active
+    // wait window (pushes are newest-first like the rest of the walk).
+    auto push_gap = [&](int on_rank, double lo, double hi) {
+      if (hi <= lo) return;
+      const double mid_hi = wait.active ? std::min(hi, wait.hi) : lo;
+      const double mid_lo = wait.active ? std::max(lo, wait.lo) : lo;
+      if (!wait.active || mid_hi <= mid_lo) {
+        push({SegmentKind::kIdle, on_rank, -1, lo, hi, "", 0});
+        return;
+      }
+      push({SegmentKind::kIdle, on_rank, -1, mid_hi, hi, "", 0});
+      push({SegmentKind::kBlockedWait, wait.receiver, on_rank, mid_lo, mid_hi,
+            "", wait.msg_id});
+      push({SegmentKind::kIdle, on_rank, -1, lo, mid_lo, "", 0});
+    };
+    auto rank_pos = [&](int r, double t) -> std::ptrdiff_t {
+      auto it = by_rank_.find(r);
+      if (it == by_rank_.end()) return -1;
+      const auto& lst = it->second;
+      // Latest event on r with t <= cur_t.
+      std::ptrdiff_t lo = 0, hi = static_cast<std::ptrdiff_t>(lst.size()) - 1,
+                     ans = -1;
+      while (lo <= hi) {
+        const std::ptrdiff_t mid = (lo + hi) / 2;
+        if (events_[lst[static_cast<std::size_t>(mid)]].t <= t) {
+          ans = mid;
+          lo = mid + 1;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      return ans;
+    };
+    std::ptrdiff_t idx = rank_pos(rank, cur_t);
+
+    // Every iteration either decrements an index or consumes a message edge,
+    // so 2·|events| iterations bound any walk; the cap is a safety net for
+    // malformed logs (e.g. a hand-written cycle of equal timestamps).
+    std::size_t steps_left = 2 * events_.size() + 16;
+    while (idx >= 0 && steps_left-- > 0) {
+      if (wait.active && cur_t <= wait.lo) wait.active = false;
+      const auto& lst = by_rank_.at(rank);
+      const Event& e = events_[lst[static_cast<std::size_t>(idx)]];
+      if (e.t > cur_t) {
+        --idx;
+        continue;
+      }
+
+      // Correlated arrival: the stretch back to the send timestamp is
+      // in-flight comm; the pre-send wait becomes the active wait window and
+      // the walk jumps to the sender, whose chain explains that window.
+      auto arr = arrival_of_.find(e.msg_id);
+      if (e.msg_id != 0 && arr != arrival_of_.end() &&
+          arr->second == lst[static_cast<std::size_t>(idx)]) {
+        const Event& send = events_[send_of_.at(e.msg_id)];
+        if (send.t <= e.t && send.rank != rank) {
+          push_gap(rank, e.t, cur_t);  // unexplained time after the arrival
+          const double gap_lo =
+              idx > 0
+                  ? std::min(events_[lst[static_cast<std::size_t>(idx - 1)]].t,
+                             e.t)
+                  : e.t;
+          // The full flight [send.t, e.t] is comm: after the jump the walk
+          // continues strictly below send.t, so even when the receiver was
+          // busy with other work past send.t (gap_lo > send.t) the flight
+          // interval is unclaimed and the timeline stays gap-free.
+          push({SegmentKind::kCommLatency, rank, send.rank, send.t, e.t, "",
+                e.msg_id});
+          if (gap_lo < send.t)
+            wait = {true, rank, e.msg_id, gap_lo, send.t};
+          rank = send.rank;
+          cur_t = send.t;
+          idx = rank_pos(rank, cur_t);
+          continue;
+        }
+      }
+
+      if (e.kind == EventKind::kSpanEnd) {
+        // Find the matching begin (same name, balanced nesting).
+        std::ptrdiff_t j = idx - 1;
+        int depth = 0;
+        while (j >= 0) {
+          const Event& f = events_[lst[static_cast<std::size_t>(j)]];
+          if (f.kind == EventKind::kSpanEnd &&
+              std::string_view(f.name) == e.name) {
+            ++depth;
+          } else if (f.kind == EventKind::kSpanBegin &&
+                     std::string_view(f.name) == e.name) {
+            if (depth == 0) break;
+            --depth;
+          }
+          --j;
+        }
+        if (j >= 0) {
+          const Event& b = events_[lst[static_cast<std::size_t>(j)]];
+          push_gap(rank, e.t, cur_t);
+          // "send" spans are CPU burned on per-message handling — the s·Tc
+          // term of the master-slave model — and count as communication.
+          const SegmentKind kind = std::string_view(e.name) == "send"
+                                       ? SegmentKind::kCommLatency
+                                       : SegmentKind::kCompute;
+          push({kind, rank, -1, b.t, std::min(e.t, cur_t), e.name, 0});
+          cur_t = b.t;
+          idx = j - 1;
+          continue;
+        }
+      }
+
+      --idx;  // other events don't explain time; keep scanning backward
+    }
+
+    // Whatever precedes the walk's horizon is one trailing gap, so the
+    // attribution approaches the makespan instead of silently stopping
+    // where the chain ran out of history.
+    push_gap(rank, t_start, cur_t);
+
+    std::reverse(path.begin(), path.end());
+    for (const auto& s : path) {
+      auto& share = report.per_rank[s.rank];
+      switch (s.kind) {
+        case SegmentKind::kCompute:
+          report.compute_s += s.duration();
+          share.compute_s += s.duration();
+          break;
+        case SegmentKind::kCommLatency:
+          report.comm_s += s.duration();
+          share.comm_s += s.duration();
+          break;
+        case SegmentKind::kBlockedWait:
+          report.blocked_s += s.duration();
+          share.blocked_s += s.duration();
+          break;
+        case SegmentKind::kIdle:
+          report.idle_s += s.duration();
+          share.idle_s += s.duration();
+          break;
+      }
+    }
+    report.segments = std::move(path);
+    return report;
+  }
+
+ private:
+  [[nodiscard]] int sender_rank_of(std::uint64_t id) const {
+    auto it = send_of_.find(id);
+    return it == send_of_.end() ? -1 : events_[it->second].rank;
+  }
+
+  std::vector<Event> events_;
+  std::map<int, std::vector<std::size_t>> by_rank_;
+  std::unordered_map<std::uint64_t, std::size_t> send_of_;
+  std::unordered_map<std::uint64_t, std::size_t> arrival_of_;
+  std::unordered_set<std::uint64_t> recv_ids_;
+  std::vector<std::pair<std::size_t, std::size_t>> message_edges_;
+  Correlation correlation_;
+};
+
+/// Convenience: the full pipeline for one log.
+[[nodiscard]] inline CriticalPathReport critical_path(const EventLog& log) {
+  return CausalGraph::from(log).critical_path();
+}
+
+/// Convenience: the correlation audit for one log.
+[[nodiscard]] inline Correlation audit_correlation(const EventLog& log) {
+  return CausalGraph::from(log).correlation();
+}
+
+}  // namespace pga::obs

@@ -11,11 +11,14 @@
 // Format reference: Trace Event Format (the `traceEvents` array of phase
 // B/E/i/C/M objects).  Only features every viewer supports are emitted.
 
+#include <cstdint>
 #include <fstream>
-#include <set>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "obs/events.hpp"
 
@@ -54,6 +57,37 @@ inline void event_header(std::ostringstream& out, const char* name,
       << ",\"ts\":" << ts_us;
 }
 
+/// Flow event (phase "s" start / "f" finish): the arrow the viewer draws
+/// from a send to the recv observing it.  `id` is the per-run msg_id, which
+/// is unique per message, so each pair gets its own arrow.
+inline void flow_event(std::ostringstream& out, const char* phase, int tid,
+                       double ts_us, std::uint64_t id) {
+  out << ",{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"" << phase << "\"";
+  if (phase[0] == 'f') out << ",\"bp\":\"e\"";
+  out << ",\"id\":" << id << ",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << ts_us
+      << "}";
+}
+
+/// Program-role lane label for a rank, inferred from what the rank emitted:
+/// wall-clock pool lanes, dispatching masters/leaders, migrating islands and
+/// chunk-evaluating slaves all have distinct signatures.  Falls back to the
+/// bare rank number for lanes with no recognizable role.
+struct LaneRole {
+  bool worker = false;    ///< kWorkerLaneMark (exec pool lane)
+  bool dispatch = false;  ///< "dispatch" marks (master-slave / hybrid leader)
+  bool migrates = false;  ///< emits kMigration (island deme)
+  bool evals = false;     ///< "eval_chunk" spans (master-slave / hybrid slave)
+
+  [[nodiscard]] std::string label(int rank) const {
+    const std::string r = std::to_string(rank);
+    if (worker) return "worker[" + r + "]";
+    if (dispatch) return rank == 0 ? "master" : "leader[" + r + "]";
+    if (migrates) return "island[" + r + "]";
+    if (evals && rank != 0) return "slave[" + r + "]";
+    return "rank " + r;
+  }
+};
+
 }  // namespace chrome_detail
 
 /// Renders the log as a complete Chrome trace JSON document.
@@ -65,19 +99,69 @@ inline void event_header(std::ostringstream& out, const char* name,
 
   const auto events = log.sorted_by_time();
 
+  // Pre-pass 1: infer each rank's program role for its lane label.
+  std::map<int, chrome_detail::LaneRole> roles;
+  for (const auto& e : events) {
+    auto& role = roles[e.rank];
+    if (e.kind == EventKind::kMark &&
+        std::string_view(e.name) == kWorkerLaneMark)
+      role.worker = true;
+    else if (e.kind == EventKind::kMark &&
+             std::string_view(e.name) == "dispatch")
+      role.dispatch = true;
+    else if (e.kind == EventKind::kMigration)
+      role.migrates = true;
+    else if (e.kind == EventKind::kSpanBegin &&
+             std::string_view(e.name) == "eval_chunk")
+      role.evals = true;
+  }
+
+  // Pre-pass 2: one flow start and at most one flow finish per msg_id.  A
+  // kMessageSent is the canonical start (a kMigration with the same id is
+  // the engine-level view of the same send); the finish is the first
+  // kMessageRecv with the id, or — for in-process engines with no transport
+  // recv — the first cross-rank mark observing it.
+  std::unordered_map<std::uint64_t, std::size_t> flow_start, flow_finish;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.msg_id == 0) continue;
+    if (e.kind == EventKind::kMessageSent) {
+      auto it = flow_start.find(e.msg_id);
+      // kMessageSent overrides a kMigration placeholder for the same id.
+      if (it == flow_start.end() ||
+          events[it->second].kind == EventKind::kMigration)
+        flow_start[e.msg_id] = i;
+    } else if (e.kind == EventKind::kMigration) {
+      flow_start.emplace(e.msg_id, i);
+    }
+  }
+  std::unordered_map<std::uint64_t, std::size_t> mark_finish;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.msg_id == 0) continue;
+    auto start = flow_start.find(e.msg_id);
+    if (start == flow_start.end()) continue;
+    if (e.kind == EventKind::kMessageRecv) {
+      flow_finish.emplace(e.msg_id, i);
+    } else if (e.kind == EventKind::kMark &&
+               events[start->second].rank != e.rank) {
+      mark_finish.emplace(e.msg_id, i);
+    }
+  }
+  for (const auto& [id, i] : mark_finish) flow_finish.emplace(id, i);
+
   std::ostringstream out;
   out.precision(17);
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
 
-  // Metadata: name the process and give every rank its own named lane.
+  // Metadata: name the process and give every rank its own named lane,
+  // labeled by inferred program role (e.g. "island[3]", "master").
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
          "\"args\":{\"name\":";
   append_json_string(out, process_name.c_str());
   out << "}}";
-  std::set<int> ranks;
-  for (const auto& e : events) ranks.insert(e.rank);
-  for (int r : ranks) {
-    const std::string lane = "rank " + std::to_string(r);
+  for (const auto& [r, role] : roles) {
+    const std::string lane = role.label(r);
     out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
         << ",\"args\":{\"name\":";
     append_json_string(out, lane.c_str());
@@ -86,7 +170,8 @@ inline void event_header(std::ostringstream& out, const char* name,
         << r << ",\"args\":{\"sort_index\":" << r << "}}";
   }
 
-  for (const auto& e : events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
     const double ts = e.t * 1e6;  // seconds -> microseconds
     out << ',';
     switch (e.kind) {
@@ -102,12 +187,14 @@ inline void event_header(std::ostringstream& out, const char* name,
       case EventKind::kMessageRecv:
         event_header(out, e.name, "i", e.rank, ts);
         out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
-            << ",\"tag\":" << e.tag << ",\"bytes\":" << e.count << "}}";
+            << ",\"tag\":" << e.tag << ",\"bytes\":" << e.count
+            << ",\"msg_id\":" << e.msg_id << "}}";
         break;
       case EventKind::kMigration:
         event_header(out, "migration", "i", e.rank, ts);
         out << ",\"s\":\"t\",\"args\":{\"dest\":" << e.peer
-            << ",\"migrants\":" << e.count << ",\"policy\":";
+            << ",\"migrants\":" << e.count << ",\"msg_id\":" << e.msg_id
+            << ",\"policy\":";
         append_json_string(out, e.name);
         out << "}}";
         break;
@@ -141,8 +228,18 @@ inline void event_header(std::ostringstream& out, const char* name,
       case EventKind::kMark:
         event_header(out, e.name, "i", e.rank, ts);
         out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
-            << ",\"count\":" << e.count << "}}";
+            << ",\"count\":" << e.count << ",\"msg_id\":" << e.msg_id << "}}";
         break;
+    }
+    // Flow arrows: a start at the (unique) send view of the id, a finish at
+    // the first event observing the arrival.
+    if (e.msg_id != 0) {
+      auto s = flow_start.find(e.msg_id);
+      if (s != flow_start.end() && s->second == i)
+        chrome_detail::flow_event(out, "s", e.rank, ts, e.msg_id);
+      auto f = flow_finish.find(e.msg_id);
+      if (f != flow_finish.end() && f->second == i)
+        chrome_detail::flow_event(out, "f", e.rank, ts, e.msg_id);
     }
   }
 

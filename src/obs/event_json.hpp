@@ -114,6 +114,7 @@ inline void append_double(std::string& out, double v) {
   append_double(out, e.intensity);
   out += ",\"takeover\":";
   append_double(out, e.takeover);
+  out += ",\"msg_id\":" + std::to_string(e.msg_id);
   out += ",\"seq\":" + std::to_string(e.seq);
   out += "}";
   return out;
@@ -179,6 +180,7 @@ inline void parse_event_log(const std::string& text, EventLog& out) {
     e.entropy = v.number_or("entropy", 0.0);
     e.intensity = v.number_or("intensity", 0.0);
     e.takeover = v.number_or("takeover", 0.0);
+    e.msg_id = static_cast<std::uint64_t>(v.number_or("msg_id", 0.0));
     out.append(e);
   }
 }
@@ -237,6 +239,8 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
         continue;  // unknown counter track
       }
     } else if (ph == "i") {
+      // All instant kinds that can observe a message carry msg_id in args.
+      e.msg_id = static_cast<std::uint64_t>(arg("msg_id", 0.0));
       if (name == "node_failure") {
         e.kind = EventKind::kNodeFailure;
         e.name = intern_name(args ? args->string_or("cause", "killed")

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 namespace pga::obs {
@@ -64,6 +65,15 @@ enum class EventKind : std::uint8_t {
 /// detection.
 inline constexpr const char kWorkerLaneMark[] = "wallclock_worker";
 
+/// True for span names that represent CPU work: "compute" (fitness and
+/// algorithm work) and "send" (per-message handling, the simulator's
+/// send-overhead advance — Cantú-Paz's Tc).  RunReport and AnomalyDetector
+/// count both toward busy time; the causal profiler keeps them apart so a
+/// master drowning in per-message handling reads as comm-bound, not busy.
+[[nodiscard]] constexpr bool is_cpu_span(std::string_view name) noexcept {
+  return name == "compute" || name == "send";
+}
+
 /// One structured record.  `name` must point at a string with static storage
 /// duration (instrumentation sites use literals), so events are plain
 /// trivially-copyable values with no per-event allocation.
@@ -86,6 +96,12 @@ struct Event {
   double entropy = 0.0;    ///< fitness entropy, normalized to [0, 1]
   double intensity = 0.0;  ///< selection intensity vs. previous generation
   double takeover = 0.0;   ///< fraction holding the most common genotype
+  /// Causal message correlation: a per-run id shared by a send event and the
+  /// events observing that message's arrival (recv, migrants_integrated,
+  /// result marks).  0 = uncorrelated (the default for non-message events and
+  /// for instrumentation predating the id).  obs/causal.hpp pairs send->recv
+  /// through this field; chrome_trace.hpp renders the pairs as flow arrows.
+  std::uint64_t msg_id = 0;
   std::uint64_t seq = 0;  ///< global append order, assigned by the log
 };
 
@@ -93,29 +109,49 @@ struct Event {
 /// InprocCluster append concurrently; `seq` gives a total order that breaks
 /// timestamp ties deterministically (per-rank program order is preserved
 /// because each rank appends its own events in order).
+///
+/// Storage is chunked: events land in fixed-capacity blocks reserved up
+/// front, so an append is a bump-pointer push_back and never reallocates or
+/// copies earlier events while the mutex is held.  A flat vector would pay a
+/// full O(n) copy under the lock at every capacity doubling — a latency
+/// spike every concurrently-emitting rank serializes behind (see
+/// BM_TracerEmitLive in bench_micro_ops.cpp for the steady-state cost).
 class EventLog {
  public:
+  /// Events per storage block.  4096 * sizeof(Event) keeps a block well
+  /// under typical huge-page size while making block turnover (the only
+  /// allocating append) a 1-in-4096 event.
+  static constexpr std::size_t kBlockEvents = 4096;
+
   void append(Event e) {
     std::lock_guard<std::mutex> lock(mutex_);
     e.seq = next_seq_++;
-    events_.push_back(e);
+    if (blocks_.empty() || blocks_.back().size() == kBlockEvents) {
+      blocks_.emplace_back();
+      blocks_.back().reserve(kBlockEvents);
+    }
+    blocks_.back().push_back(e);
   }
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_.size();
+    return static_cast<std::size_t>(next_seq_);
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
-    events_.clear();
+    blocks_.clear();
     next_seq_ = 0;
   }
 
   /// Copy of the stream in append order.
   [[nodiscard]] std::vector<Event> snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(next_seq_));
+    for (const auto& block : blocks_)
+      out.insert(out.end(), block.begin(), block.end());
+    return out;
   }
 
   /// Copy sorted by (timestamp, rank, seq) — the canonical virtual-time
@@ -137,7 +173,7 @@ class EventLog {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  std::vector<std::vector<Event>> blocks_;
   std::uint64_t next_seq_ = 0;
 };
 
@@ -173,7 +209,7 @@ class Tracer {
   }
 
   void message_sent(int rank, double t, int dest, int tag,
-                    std::uint64_t bytes) const {
+                    std::uint64_t bytes, std::uint64_t msg_id = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kMessageSent;
@@ -183,11 +219,12 @@ class Tracer {
     e.peer = dest;
     e.tag = tag;
     e.count = bytes;
+    e.msg_id = msg_id;
     log_->append(e);
   }
 
   void message_recv(int rank, double t, int source, int tag,
-                    std::uint64_t bytes) const {
+                    std::uint64_t bytes, std::uint64_t msg_id = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kMessageRecv;
@@ -197,13 +234,14 @@ class Tracer {
     e.peer = source;
     e.tag = tag;
     e.count = bytes;
+    e.msg_id = msg_id;
     log_->append(e);
   }
 
   /// A migrant packet leaving `rank` for deme `dest`; `policy` names the
   /// migrant-selection rule so policy sweeps are distinguishable in one log.
   void migration(int rank, double t, int dest, std::uint64_t migrants,
-                 const char* policy) const {
+                 const char* policy, std::uint64_t msg_id = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kMigration;
@@ -212,6 +250,7 @@ class Tracer {
     e.name = policy;
     e.peer = dest;
     e.count = migrants;
+    e.msg_id = msg_id;
     log_->append(e);
   }
 
@@ -280,8 +319,10 @@ class Tracer {
 
   /// Generic instant marker (e.g. "dispatch", "re_dispatch",
   /// "slave_declared_dead") with an optional counterpart rank and count.
+  /// `msg_id` correlates marks that observe a message (dispatch, result,
+  /// migrants_integrated) with the transport-level send carrying it.
   void mark(int rank, double t, const char* label, int peer = -1,
-            std::uint64_t count = 0) const {
+            std::uint64_t count = 0, std::uint64_t msg_id = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kMark;
@@ -290,6 +331,7 @@ class Tracer {
     e.name = label;
     e.peer = peer;
     e.count = count;
+    e.msg_id = msg_id;
     log_->append(e);
   }
 

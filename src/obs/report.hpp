@@ -6,15 +6,16 @@
 // aggregator turns an obs::EventLog into exactly those numbers:
 //
 //   * per-rank busy time and utilization against the virtual makespan
-//     ("compute" spans are CPU work; everything else on a lane is idle/comm)
+//     (CPU spans — "compute" and "send" — are busy; everything else on a
+//     lane is idle/comm)
 //   * comm/compute ratio — the overhead term in every speedup model
 //   * message and byte totals per rank and overall
 //   * migration counts per (source, dest) edge
 //   * node failures with their timestamps (Gagné's fault-tolerance audit)
 //   * time-to-fitness / takeover time from the gen_stats series
 //
-// Utilization convention: only spans named "compute" count as busy (the
-// simulator emits them for every compute() call), so a master rank that
+// Utilization convention: only CPU spans (obs::is_cpu_span — "compute" and
+// the simulator's "send" overhead) count as busy, so a master rank that
 // blocks in recv shows the low utilization the bottleneck analysis predicts
 // instead of being hidden inside an umbrella span.
 
@@ -34,7 +35,7 @@ namespace pga::obs {
 
 /// Per-rank usage derived from the event stream.
 struct RankUsage {
-  double busy_s = 0.0;  ///< total time inside outermost "compute" spans
+  double busy_s = 0.0;  ///< total time inside outermost CPU spans
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_recv = 0;
   std::uint64_t bytes_sent = 0;
@@ -219,7 +220,7 @@ class RunReport {
     for (const auto& e : events) max_rank = std::max(max_rank, e.rank);
     ranks_.resize(static_cast<std::size_t>(max_rank + 1));
 
-    // Per-rank nesting depth of "compute" spans and the open timestamp, so
+    // Per-rank nesting depth of CPU spans and the open timestamp, so
     // re-entrant compute spans are not double counted.
     std::vector<int> depth(ranks_.size(), 0);
     std::vector<double> open_t(ranks_.size(), 0.0);
@@ -231,12 +232,10 @@ class RunReport {
       const auto r = static_cast<std::size_t>(e.rank);
       switch (e.kind) {
         case EventKind::kSpanBegin:
-          if (std::string_view(e.name) == "compute" && depth[r]++ == 0)
-            open_t[r] = e.t;
+          if (is_cpu_span(e.name) && depth[r]++ == 0) open_t[r] = e.t;
           break;
         case EventKind::kSpanEnd:
-          if (std::string_view(e.name) == "compute" && depth[r] > 0 &&
-              --depth[r] == 0)
+          if (is_cpu_span(e.name) && depth[r] > 0 && --depth[r] == 0)
             u.busy_s += e.t - open_t[r];
           break;
         case EventKind::kMessageSent:

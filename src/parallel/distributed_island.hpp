@@ -186,10 +186,13 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
     // --- Migration epoch ---------------------------------------------------
     for (std::size_t dst : cfg.topology.neighbors_out(deme)) {
       auto migrants = select_migrants(pop, cfg.policy, rng);
-      cfg.trace.migration(rank, t.now(), static_cast<int>(dst),
-                          migrants.size(), to_string(cfg.policy.selection));
-      t.send(static_cast<int>(dst), detail::kMigrantTag,
-             detail::pack_migrants(migrants));
+      const double t0 = t.now();
+      const std::size_t n_migrants = migrants.size();
+      const std::uint64_t id = t.send(static_cast<int>(dst),
+                                      detail::kMigrantTag,
+                                      detail::pack_migrants(migrants));
+      cfg.trace.migration(rank, t0, static_cast<int>(dst), n_migrants,
+                          to_string(cfg.policy.selection), id);
     }
 
     if (cfg.async) {
@@ -198,7 +201,7 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
                  t.try_recv(comm::Transport::kAnySource, detail::kMigrantTag)) {
         auto migrants = detail::unpack_migrants<G>(msg->payload);
         cfg.trace.mark(rank, t.now(), "migrants_integrated", msg->source,
-                       migrants.size());
+                       migrants.size(), msg->msg_id);
         integrate_migrants(pop, migrants, cfg.policy, rng);
       }
     } else {
@@ -222,7 +225,7 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
         }
         auto migrants = detail::unpack_migrants<G>(msg->payload);
         cfg.trace.mark(rank, t.now(), "migrants_integrated", msg->source,
-                       migrants.size());
+                       migrants.size(), msg->msg_id);
         integrate_migrants(pop, migrants, cfg.policy, rng);
         ++received;
       }

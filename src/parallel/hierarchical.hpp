@@ -24,6 +24,7 @@
 #include "core/evolution.hpp"
 #include "core/population.hpp"
 #include "core/rng.hpp"
+#include "obs/events.hpp"
 
 namespace pga {
 
@@ -75,6 +76,12 @@ struct HgaConfig {
   std::size_t migration_interval = 4;  ///< deme generations between exchanges
   std::size_t promote_count = 2;       ///< best individuals sent to the parent
   std::size_t refresh_count = 1;       ///< individuals pushed down per child
+  /// Optional event sink; one rank lane per tree node (BFS index), virtual
+  /// time = epoch index.  Promotions/refreshes emit correlated kMigration +
+  /// "migrants_integrated" pairs ("promote" up-edges, "refresh" down-edges),
+  /// so the tree's exchange pattern is visible to the causal profiler even
+  /// though the engine is in-process.  Null (default) = one branch per site.
+  obs::Tracer trace{};
 };
 
 template <class G>
@@ -155,10 +162,29 @@ class HierarchicalGA {
     };
     snapshot();
 
+    // Per-run migration-packet ids (1-based) pairing each promote/refresh
+    // kMigration event with its "migrants_integrated" mark.
+    std::uint64_t msg_seq = 0;
     while (result.total_cost < cost_budget && result.epochs < max_epochs) {
-      for (std::size_t d = 0; d < n; ++d)
-        charge(d, schemes[d]->step(pops[d], *views_[d], rngs[d]));
+      for (std::size_t d = 0; d < n; ++d) {
+        const std::size_t evals = schemes[d]->step(pops[d], *views_[d], rngs[d]);
+        charge(d, evals);
+        if (config_.trace) {
+          // Like the sequential island engine, each deme's generation fills
+          // the whole epoch slot [epoch, epoch+1]: lanes show the logical
+          // concurrency of the tree, not the single-thread interleaving.
+          const auto now = static_cast<double>(result.epochs + 1);
+          config_.trace.span_begin(static_cast<int>(d), now - 1.0, "compute");
+          config_.trace.evaluation_batch(static_cast<int>(d), now, evals);
+          config_.trace.span_end(static_cast<int>(d), now, "compute");
+          config_.trace.gen_stats(static_cast<int>(d), now, result.epochs + 1,
+                                  result.evaluations, pops[d].best_fitness(),
+                                  pops[d].mean_fitness(),
+                                  pops[d][pops[d].worst_index()].fitness);
+        }
+      }
       ++result.epochs;
+      const auto now = static_cast<double>(result.epochs);
 
       if (result.epochs % config_.migration_interval == 0) {
         // Upward promotion: children send their best to the parent, where the
@@ -174,6 +200,9 @@ class HierarchicalGA {
                             idx.end(), [&](std::size_t a, std::size_t b) {
                               return src[a].fitness > src[b].fitness;
                             });
+          const std::uint64_t id = ++msg_seq;
+          config_.trace.migration(static_cast<int>(d), now,
+                                  static_cast<int>(parent), k, "promote", id);
           for (std::size_t i = 0; i < k; ++i) {
             Individual<G> immigrant = src[idx[i]];
             immigrant.fitness = views_[parent]->fitness(immigrant.genome);
@@ -183,11 +212,18 @@ class HierarchicalGA {
             if (immigrant.fitness > dst[worst].fitness)
               dst[worst] = std::move(immigrant);
           }
+          config_.trace.mark(static_cast<int>(parent), now,
+                             "migrants_integrated", static_cast<int>(d), k,
+                             id);
         }
         // Downward refresh: parents push random members to each child (the
         // child re-scores them under its own cheaper model).
         for (std::size_t d = 1; d < n; ++d) {
           const std::size_t parent = parent_of_[d];
+          const std::uint64_t id = ++msg_seq;
+          config_.trace.migration(static_cast<int>(parent), now,
+                                  static_cast<int>(d), config_.refresh_count,
+                                  "refresh", id);
           for (std::size_t i = 0; i < config_.refresh_count; ++i) {
             Individual<G> down =
                 pops[parent][rngs[parent].index(pops[parent].size())];
@@ -196,6 +232,9 @@ class HierarchicalGA {
             charge(d, 1);
             pops[d][rngs[d].index(pops[d].size())] = std::move(down);
           }
+          config_.trace.mark(static_cast<int>(d), now, "migrants_integrated",
+                             static_cast<int>(parent), config_.refresh_count,
+                             id);
         }
       }
       snapshot();

@@ -26,6 +26,7 @@
 #include "core/population.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "obs/events.hpp"
 #include "parallel/migration.hpp"
 #include "parallel/topology.hpp"
 
@@ -46,6 +47,11 @@ struct HybridConfig {
   double eval_cost_s = 0.0;
   std::uint64_t seed = 1;
   std::function<G(Rng&)> make_genome;
+  /// Optional event sink: slaves emit per-chunk evaluation spans; leaders
+  /// emit per-generation stats plus correlated dispatch/result marks and
+  /// migration events — the same conventions as the master-slave and
+  /// distributed-island engines, so one causal profiler reads all three.
+  obs::Tracer trace{};
 };
 
 template <class G>
@@ -102,6 +108,8 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
       if (!msg || msg->tag == hd::kStopTag) return report;
       comm::ByteReader r(msg->payload);
       const auto count = r.read<std::uint32_t>();
+      cfg.trace.span_begin(rank, t.now(), "eval_chunk");
+      cfg.trace.evaluation_batch(rank, t.now(), count, "eval_chunk");
       comm::ByteWriter reply;
       reply.write<std::uint32_t>(count);
       for (std::uint32_t i = 0; i < count; ++i) {
@@ -113,6 +121,7 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
         reply.write<std::uint32_t>(id);
         reply.write<double>(problem.fitness(genome));
       }
+      cfg.trace.span_end(rank, t.now(), "eval_chunk");
       t.send(my_leader, hd::kResultTag, std::move(reply).take());
     }
   }
@@ -160,7 +169,10 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
         w.write<std::uint32_t>(todo[k]);
         comm::serialize(w, batch[todo[k]].genome);
       }
-      t.send(slaves[next_slave], hd::kWorkTag, std::move(w).take());
+      const double t0 = t.now();
+      const std::uint64_t id =
+          t.send(slaves[next_slave], hd::kWorkTag, std::move(w).take());
+      cfg.trace.mark(rank, t0, "dispatch", slaves[next_slave], end - i, id);
       next_slave = (next_slave + 1) % slaves.size();
       ++sent_chunks;
     }
@@ -169,6 +181,8 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
       if (!msg) return;  // transport shut down
       comm::ByteReader r(msg->payload);
       const auto count = r.read<std::uint32_t>();
+      cfg.trace.mark(rank, t.now(), "result", msg->source, count,
+                     msg->msg_id);
       for (std::uint32_t i = 0; i < count; ++i) {
         const auto id = r.read<std::uint32_t>();
         auto& ind = batch[id];
@@ -219,6 +233,9 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
     for (auto& child : offspring) next.push_back(std::move(child));
     pop = Population<G>(std::move(next));
     ++report.generations;
+    cfg.trace.gen_stats(rank, t.now(), report.generations, report.evaluations,
+                        pop.best_fitness(), pop.mean_fitness(),
+                        pop[pop.worst_index()].fitness);
 
     // Inter-group migration (leaders only, synchronous).
     if (cfg.policy.enabled() && gen % cfg.policy.interval == 0) {
@@ -227,8 +244,14 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
         comm::ByteWriter w;
         w.write<std::uint32_t>(static_cast<std::uint32_t>(migrants.size()));
         for (const auto& m : migrants) comm::serialize(w, m);
-        t.send(hd::leader_of(dst, world, cfg.groups), hd::kMigrantTag,
-               std::move(w).take());
+        const double t0 = t.now();
+        const std::uint64_t id =
+            t.send(hd::leader_of(dst, world, cfg.groups), hd::kMigrantTag,
+                   std::move(w).take());
+        cfg.trace.migration(rank, t0,
+                            hd::leader_of(dst, world, cfg.groups),
+                            migrants.size(), to_string(cfg.policy.selection),
+                            id);
       }
       std::size_t received = 0;
       while (received < in_degree) {
@@ -236,6 +259,8 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
         if (!msg) break;
         comm::ByteReader r(msg->payload);
         const auto count = r.read<std::uint32_t>();
+        cfg.trace.mark(rank, t.now(), "migrants_integrated", msg->source,
+                       count, msg->msg_id);
         std::vector<Individual<G>> immigrants(count);
         for (auto& m : immigrants) comm::deserialize(r, m);
         integrate_migrants(pop, immigrants, cfg.policy, rng);

@@ -144,6 +144,9 @@ class IslandModel {
       deme_rngs.push_back(rng.split(d));
 
     IslandResult<G> result;
+    // Per-run migration-packet ids (1-based; reset each run so identical
+    // configurations produce byte-identical traces).
+    std::uint64_t msg_seq = 0;
     for (auto& pop : populations) result.evaluations += pop.evaluate_all(problem);
 
     // One search-dynamics probe per deme lane (null-tracer cost: one branch
@@ -199,7 +202,8 @@ class IslandModel {
                    : (policy_.enabled() &&
                       result.epochs % policy_.interval == 0);
       if (migrate_now) {
-        migrate(populations, deme_rngs, result.epochs);
+        migrate_at(populations, deme_rngs,
+                   static_cast<double>(result.epochs), msg_seq);
         ++result.migration_epochs;
       }
 
@@ -249,6 +253,7 @@ class IslandModel {
       deme_rngs.push_back(rng.split(d));
 
     IslandResult<G> result;
+    std::uint64_t msg_seq = 0;
     par.mark_lanes();
     for (auto& pop : populations)
       result.evaluations += pop.evaluate_all(problem, par);
@@ -303,7 +308,7 @@ class IslandModel {
                    : (policy_.enabled() &&
                       result.epochs % policy_.interval == 0);
       if (migrate_now) {
-        migrate_at(populations, deme_rngs, par.now());
+        migrate_at(populations, deme_rngs, par.now(), msg_seq);
         ++result.migration_epochs;
       }
 
@@ -336,37 +341,54 @@ class IslandModel {
   }
 
  private:
-  void migrate(std::vector<Population<G>>& populations,
-               std::vector<Rng>& deme_rngs, std::size_t epoch) {
-    migrate_at(populations, deme_rngs, static_cast<double>(epoch));
-  }
-
   /// Migration with an explicit event timestamp (epoch index for the
-  /// sequential engine, wall seconds for the executor-backed one).
+  /// sequential engine, wall seconds for the executor-backed one).  Each
+  /// migrant packet draws the next id from `msg_seq` (shared per run) and
+  /// carries it on both the kMigration event and the destination deme's
+  /// "migrants_integrated" mark, so in-process exchanges correlate exactly
+  /// like transport-level ones.
   void migrate_at(std::vector<Population<G>>& populations,
-                  std::vector<Rng>& deme_rngs, double now) {
+                  std::vector<Rng>& deme_rngs, double now,
+                  std::uint64_t& msg_seq) {
     if (sync_ == MigrationSync::kSynchronous) {
       // Snapshot emigrants from every deme first, then integrate, so the
       // result is independent of deme iteration order.
       std::vector<std::vector<Individual<G>>> inbox(num_demes());
+      struct Packet {
+        int source;
+        std::uint64_t id;
+        std::uint64_t count;
+      };
+      std::vector<std::vector<Packet>> packets(num_demes());
       for (std::size_t d = 0; d < num_demes(); ++d) {
         for (std::size_t dst : topology_.neighbors_out(d)) {
           auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          const std::uint64_t id = ++msg_seq;
           trace_.migration(static_cast<int>(d), now, static_cast<int>(dst),
-                           migrants.size(), to_string(policy_.selection));
+                           migrants.size(), to_string(policy_.selection), id);
+          packets[dst].push_back(Packet{static_cast<int>(d), id,
+                                        migrants.size()});
           for (auto& m : migrants) inbox[dst].push_back(std::move(m));
         }
       }
-      for (std::size_t d = 0; d < num_demes(); ++d)
+      for (std::size_t d = 0; d < num_demes(); ++d) {
         integrate_migrants(populations[d], inbox[d], policy_, deme_rngs[d]);
+        for (const auto& p : packets[d])
+          trace_.mark(static_cast<int>(d), now, "migrants_integrated",
+                      p.source, p.count, p.id);
+      }
     } else {
       // Asynchronous: integrate immediately, in deme order.
       for (std::size_t d = 0; d < num_demes(); ++d) {
         for (std::size_t dst : topology_.neighbors_out(d)) {
           auto migrants = select_migrants(populations[d], policy_, deme_rngs[d]);
+          const std::uint64_t id = ++msg_seq;
+          const std::uint64_t n_migrants = migrants.size();
           trace_.migration(static_cast<int>(d), now, static_cast<int>(dst),
-                           migrants.size(), to_string(policy_.selection));
+                           n_migrants, to_string(policy_.selection), id);
           integrate_migrants(populations[dst], migrants, policy_, deme_rngs[d]);
+          trace_.mark(static_cast<int>(dst), now, "migrants_integrated",
+                      static_cast<int>(d), n_migrants, id);
         }
       }
     }

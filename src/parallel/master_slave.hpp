@@ -185,8 +185,10 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
       items.reserve(chunk.size());
       for (auto i : chunk)
         items.emplace_back(i, &batch[static_cast<std::size_t>(i)].genome);
-      cfg.trace.mark(t.rank(), t.now(), label, slave, chunk.size());
-      t.send(slave, ms_detail::kWorkTag, ms_detail::pack_work<G>(items));
+      const double t0 = t.now();
+      const std::uint64_t id =
+          t.send(slave, ms_detail::kWorkTag, ms_detail::pack_work<G>(items));
+      cfg.trace.mark(t.rank(), t0, label, slave, chunk.size(), id);
       outstanding[static_cast<std::size_t>(slave)].push_back(std::move(chunk));
     };
 
@@ -282,7 +284,7 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
       const int slave = msg->source;
       comm::ByteReader r(msg->payload);
       const auto count = r.read<std::uint32_t>();
-      cfg.trace.mark(t.rank(), t.now(), "result", slave, count);
+      cfg.trace.mark(t.rank(), t.now(), "result", slave, count, msg->msg_id);
       for (std::uint32_t i = 0; i < count; ++i) {
         const auto id = r.read<std::uint32_t>();
         const double fitness = r.read<double>();

@@ -13,7 +13,8 @@
 //   parallel/  master-slave, island, cellular, hierarchical, SIM, hybrid
 //   multiobj/  Pareto utilities and NSGA-II
 //   obs/       event tracing, search-dynamics probes, anomaly diagnosis,
-//              metrics, Chrome-trace + JSON export, run reports
+//              causal critical-path profiling, metrics, Chrome-trace +
+//              JSON export, run reports
 //   theory/    analytic models (sizing, takeover, speedup)
 //   workloads/ synthetic application substrates
 
@@ -45,6 +46,7 @@
 #include "multiobj/nsga2.hpp"
 #include "multiobj/pareto.hpp"
 #include "obs/anomaly.hpp"
+#include "obs/causal.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"

@@ -14,7 +14,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct PendingMessage {
   double arrival = 0.0;
-  std::uint64_t seq = 0;  ///< global send order; total tie-break
+  /// The message's per-run msg_id (sender-minted, see SimTransport::send):
+  /// unique across ranks and ordered by (send index, sender rank), so it
+  /// both breaks arrival ties and uniquely correlates send with recv.
+  std::uint64_t seq = 0;
   int source = -1;
   int tag = 0;
   std::vector<std::uint8_t> payload;
@@ -38,6 +41,7 @@ struct Node {
   double wait_key = kInf;
 
   double compute_time = 0.0;
+  std::uint64_t next_send = 0;  ///< this rank's 0-based send index (mints msg_ids)
   std::size_t messages_sent = 0;
   std::size_t bytes_sent = 0;
   double end_time = 0.0;
@@ -48,7 +52,6 @@ struct World {
   std::condition_variable cv;
   std::vector<Node> nodes;
   const SimConfig* cfg = nullptr;
-  std::uint64_t seq = 0;
   int alive = 0;    ///< kRunning + kWaiting
   int waiting = 0;  ///< kWaiting
 
@@ -80,20 +83,29 @@ class SimTransport final : public comm::Transport {
     return static_cast<int>(world_.nodes.size());
   }
 
-  void send(int dest, int tag, std::vector<std::uint8_t> payload) override {
+  std::uint64_t send(int dest, int tag,
+                     std::vector<std::uint8_t> payload) override {
     std::unique_lock<std::mutex> lock(world_.mutex);
     auto& me = self();
     check_death(me);
-    advance(me, world_.cfg->send_overhead_s * me.speed);  // overhead is CPU work
+    // Per-message handling is CPU work, but traced under its own span name
+    // so the causal profiler can tell comm handling from algorithm compute.
+    advance(me, world_.cfg->send_overhead_s * me.speed, "send");
     const double arrival =
         me.clock + world_.cfg->network.transfer_time(payload.size());
     ++me.messages_sent;
     me.bytes_sent += payload.size();
-    tr_.message_sent(rank_, me.clock, dest, tag, payload.size());
+    // Minted from this rank's own send index so the id is a pure function of
+    // the (deterministic) virtual-time execution, not of which thread won the
+    // world mutex — two runs of the same sim must dump byte-identical traces.
+    // Unique across ranks, monotone per sender, 1-based (0 = uncorrelated).
+    const std::uint64_t id =
+        me.next_send++ * world_.nodes.size() + static_cast<std::uint64_t>(rank_) + 1;
+    tr_.message_sent(rank_, me.clock, dest, tag, payload.size(), id);
 
     auto& peer = world_.nodes[static_cast<std::size_t>(dest)];
-    if (peer.st == St::kDone || peer.st == St::kDead) return;  // dropped
-    PendingMessage msg{arrival, world_.seq++, rank_, tag, std::move(payload)};
+    if (peer.st == St::kDone || peer.st == St::kDead) return id;  // dropped
+    PendingMessage msg{arrival, id, rank_, tag, std::move(payload)};
     auto pos = std::upper_bound(
         peer.mailbox.begin(), peer.mailbox.end(), msg,
         [](const PendingMessage& a, const PendingMessage& b) {
@@ -103,6 +115,7 @@ class SimTransport final : public comm::Transport {
     // A sleeping receiver's event key may have moved earlier.
     refresh_wait_key(dest);
     world_.cv.notify_all();
+    return id;
   }
 
   [[nodiscard]] std::optional<comm::Message> recv(int source, int tag) override {
@@ -148,20 +161,22 @@ class SimTransport final : public comm::Transport {
   }
 
   /// Advances virtual time by `seconds` of reference work (scaled by node
-  /// speed); dies mid-advance if the failure time is crossed.
-  void advance(Node& me, double seconds) {
+  /// speed); dies mid-advance if the failure time is crossed.  `label` names
+  /// the emitted span ("compute" for algorithm work, "send" for per-message
+  /// handling); both count as CPU time (obs::is_cpu_span).
+  void advance(Node& me, double seconds, const char* label = "compute") {
     const double duration = seconds / me.speed;
     if (me.clock + duration >= me.fail_at) {
       if (me.fail_at > me.clock) {
-        tr_.span_begin(rank_, me.clock, "compute");
-        tr_.span_end(rank_, me.fail_at, "compute");
+        tr_.span_begin(rank_, me.clock, label);
+        tr_.span_end(rank_, me.fail_at, label);
       }
       me.compute_time += std::max(0.0, me.fail_at - me.clock);
       die(me);
     }
     if (duration > 0.0) {
-      tr_.span_begin(rank_, me.clock, "compute");
-      tr_.span_end(rank_, me.clock + duration, "compute");
+      tr_.span_begin(rank_, me.clock, label);
+      tr_.span_end(rank_, me.clock + duration, label);
     }
     me.clock += duration;
     me.compute_time += duration;
@@ -280,10 +295,10 @@ class SimTransport final : public comm::Transport {
 
   [[nodiscard]] std::optional<comm::Message> take(
       Node& me, std::vector<PendingMessage>::iterator it) {
-    comm::Message out{it->source, it->tag, std::move(it->payload)};
+    comm::Message out{it->source, it->tag, it->seq, std::move(it->payload)};
     me.mailbox.erase(it);
-    tr_.message_recv(rank_, me.clock, out.source, out.tag,
-                     out.payload.size());
+    tr_.message_recv(rank_, me.clock, out.source, out.tag, out.payload.size(),
+                     out.msg_id);
     return out;
   }
 

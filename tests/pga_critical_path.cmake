@@ -1,0 +1,78 @@
+# End-to-end acceptance for the causal profiler, run under ctest:
+#
+#   1. bench_c1_critical_path generates two traces in WORK_DIR — an E16-style
+#      WAN island run (comm-dominated) and a W1-style wall-clock thread-pool
+#      evaluation (compute-dominated).
+#   2. `pga_doctor critical-path --fail-on comm-bound` must exit 1 on the WAN
+#      trace, attribute at least half the makespan to comm+wait, and print
+#      the dominant chain with its message edges as evidence.
+#   3. The same command must exit 0 on the wall-clock trace with a
+#      compute-dominant attribution.
+#
+# Driven with:
+#   cmake -DDOCTOR=<path> -DBENCH=<path> -DWORK_DIR=<dir> -P pga_critical_path.cmake
+
+if(NOT DOCTOR OR NOT BENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DBENCH=<bench_c1_critical_path> -DWORK_DIR=<dir> -P pga_critical_path.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- generate the comm-bound and compute-bound fixture traces ------------
+execute_process(COMMAND "${BENCH}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_c1_critical_path failed (exit ${rc}):\n${out}")
+endif()
+set(wan "${WORK_DIR}/bench_c1_wan_events.json")
+set(w1 "${WORK_DIR}/bench_c1_w1_events.json")
+foreach(trace "${wan}" "${w1}")
+  if(NOT EXISTS "${trace}")
+    message(FATAL_ERROR "bench did not write ${trace}:\n${out}")
+  endif()
+endforeach()
+
+# --- WAN island trace: the gate must trip with the chain as evidence -----
+execute_process(COMMAND "${DOCTOR}" critical-path --fail-on comm-bound "${wan}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "WAN critical-path (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "WAN trace must trip the comm-bound gate (exit 1), got ${rc}")
+endif()
+if(NOT out MATCHES "verdict: comm-bound")
+  message(FATAL_ERROR "WAN verdict is not comm-bound:\n${out}")
+endif()
+# >= half the makespan attributed to comm edges (the printed percentage).
+if(NOT out MATCHES "comm\\+wait ([0-9]+)\\.[0-9]%")
+  message(FATAL_ERROR "WAN output missing the comm+wait percentage:\n${out}")
+endif()
+if(CMAKE_MATCH_1 LESS 50)
+  message(FATAL_ERROR "WAN comm+wait share ${CMAKE_MATCH_1}% is below the 50% floor:\n${out}")
+endif()
+# The dominant chain backs the verdict with concrete message edges.
+if(NOT out MATCHES "dominant chain")
+  message(FATAL_ERROR "WAN output missing the dominant chain:\n${out}")
+endif()
+if(NOT out MATCHES "msg#[0-9]+")
+  message(FATAL_ERROR "WAN chain has no message edge (msg#<id>):\n${out}")
+endif()
+if(NOT out MATCHES "[0-9]+ sends, [0-9]+ arrivals, [0-9]+ matched\n")
+  message(FATAL_ERROR "WAN correlation line missing or incomplete:\n${out}")
+endif()
+
+# --- wall-clock pool trace: compute-dominant, gate stays green -----------
+execute_process(COMMAND "${DOCTOR}" critical-path --fail-on comm-bound "${w1}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "wall-clock critical-path (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wall-clock trace must pass the comm-bound gate (exit 0), got ${rc}")
+endif()
+if(NOT out MATCHES "verdict: compute-bound")
+  message(FATAL_ERROR "wall-clock verdict is not compute-bound:\n${out}")
+endif()
+if(NOT out MATCHES "dominant edge class: compute")
+  message(FATAL_ERROR "wall-clock dominant edge class is not compute:\n${out}")
+endif()
+
+message(STATUS "critical-path attribution matches the survey's comm/compute story")

@@ -79,6 +79,71 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--fail-on none must exit 0, got ${rc}")
 endif()
 
+# --- --fail-on composes: repeated flags accumulate -----------------------
+execute_process(COMMAND "${DOCTOR}" --fail-on failure --fail-on stall "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "repeated --fail-on failure --fail-on stall must gate the faulty trace")
+endif()
+if(NOT out MATCHES "FAIL \\[failure\\] rank 2")
+  message(FATAL_ERROR "repeated --fail-on run did not gate on the failure finding:\n${out}")
+endif()
+
+# --- --fail-on accepts comma lists, applied left to right ----------------
+execute_process(COMMAND "${DOCTOR}" --fail-on stall,failure "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--fail-on stall,failure must gate the faulty trace")
+endif()
+if(NOT out MATCHES "FAIL \\[failure\\] rank 2")
+  message(FATAL_ERROR "comma-list run did not gate on the failure finding:\n${out}")
+endif()
+# 'none' later in the accumulation clears everything gated so far.
+execute_process(COMMAND "${DOCTOR}" --fail-on failure --fail-on none "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--fail-on failure --fail-on none must exit 0, got ${rc}:\n${out}")
+endif()
+execute_process(COMMAND "${DOCTOR}" --fail-on bogus_kind "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown --fail-on kind must exit 2, got ${rc}")
+endif()
+
+# --- causal subcommands: attribution report + deterministic gating -------
+execute_process(COMMAND "${DOCTOR}" critical-path "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "critical-path (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "critical-path without a comm-bound gate must exit 0, got ${rc}")
+endif()
+foreach(needle "correlation:" "attribution:" "dominant chain" "verdict:")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "critical-path output missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${DOCTOR}" profile "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "profile must exit 0 on the healthy trace, got ${rc}")
+endif()
+if(NOT out MATCHES "RunReport")
+  message(FATAL_ERROR "profile output missing the RunReport table:\n${out}")
+endif()
+
+# With the floor at 0 every trace is comm-bound, so the gate must trip —
+# this checks the exit-code path without depending on the trace's shape.
+execute_process(COMMAND "${DOCTOR}" critical-path --fail-on comm-bound
+    --comm-bound-floor 0.0 "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "comm-bound gate with floor 0 must exit 1, got ${rc}")
+endif()
+if(NOT out MATCHES "comm-bound gated")
+  message(FATAL_ERROR "gated critical-path run did not announce the gate:\n${out}")
+endif()
+
 # --- garbage input is a load error (exit 2), not a crash -----------------
 file(WRITE "${WORK_DIR}/doctor_garbage.json" "{\"nope\": true}")
 execute_process(COMMAND "${DOCTOR}" "${WORK_DIR}/doctor_garbage.json"

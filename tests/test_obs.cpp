@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "obs/anomaly.hpp"
+#include "obs/causal.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
@@ -21,6 +23,8 @@
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "obs/report.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/island.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
 #include "sim/cluster.hpp"
@@ -369,9 +373,10 @@ TEST(ChromeTrace, WellFormedJsonWithLanesAndNesting) {
   JsonChecker checker(json);
   EXPECT_TRUE(checker.valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
-  // One named lane per rank.
+  // One named lane per rank; rank 1 emitted a migration, so its lane is
+  // labeled with the inferred island role.
   EXPECT_NE(json.find("\"name\":\"rank 0\""), std::string::npos);
-  EXPECT_NE(json.find("\"name\":\"rank 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"island[1]\""), std::string::npos);
   // Escaped strings survived.
   EXPECT_NE(json.find("killed \\\"hard\\\"\\n"), std::string::npos);
   EXPECT_NE(json.find("unit \\\"test\\\""), std::string::npos);
@@ -518,8 +523,11 @@ TEST(ObsAcceptance, TracedMasterSlaveRunExportsAndAudits) {
   const auto json = chrome_trace_json(log, "master-slave");
   JsonChecker checker(json);
   EXPECT_TRUE(checker.valid());
-  for (int r = 0; r < kRanks; ++r) {
-    const std::string lane = "\"name\":\"rank " + std::to_string(r) + "\"";
+  // Lanes are labeled by inferred program role: the dispatching rank 0 is
+  // the master, the chunk-evaluating ranks are slaves.
+  EXPECT_NE(json.find("\"name\":\"master\""), std::string::npos);
+  for (int r = 1; r < kRanks; ++r) {
+    const std::string lane = "\"name\":\"slave[" + std::to_string(r) + "]\"";
     EXPECT_NE(json.find(lane), std::string::npos) << "missing lane " << r;
   }
   expect_balanced_spans(json);
@@ -768,14 +776,14 @@ TEST(EventJson, LosslessRoundTripAllKinds) {
   obs::Tracer tr(&log);
   tr.span_begin(0, 0.125, "compute");
   tr.span_end(0, 0.25, "compute");
-  tr.message_sent(1, 0.3, 2, 7, 4096);
-  tr.message_recv(2, 0.31, 1, 7, 4096);
-  tr.migration(3, 0.4, 0, 5, "best\\\"policy\"");
+  tr.message_sent(1, 0.3, 2, 7, 4096, 17);
+  tr.message_recv(2, 0.31, 1, 7, 4096, 17);
+  tr.migration(3, 0.4, 0, 5, "best\\\"policy\"", 18);
   tr.evaluation_batch(1, 0.5, 128);
   tr.node_failure(2, 0.6, "killed");
   tr.gen_stats(0, 0.7, 9, 1234, 31.5, 20.25, 3.0);
   tr.search_stats(0, 0.8, 10, 64, 0.5, 1.25, 0.75, -0.375, 0.875);
-  tr.mark(1, 0.9, "dispatch", 3, 2);
+  tr.mark(1, 0.9, "dispatch", 3, 2, 19);
 
   obs::EventLog loaded;
   obs::parse_event_log(obs::event_log_json(log), loaded);
@@ -800,6 +808,7 @@ TEST(EventJson, LosslessRoundTripAllKinds) {
     EXPECT_DOUBLE_EQ(a[i].entropy, b[i].entropy) << i;
     EXPECT_DOUBLE_EQ(a[i].intensity, b[i].intensity) << i;
     EXPECT_DOUBLE_EQ(a[i].takeover, b[i].takeover) << i;
+    EXPECT_EQ(a[i].msg_id, b[i].msg_id) << i;
     EXPECT_EQ(a[i].seq, b[i].seq) << i;
   }
 }
@@ -1084,6 +1093,376 @@ TEST(Probes, InstrumentedEnginesEmitSearchStats) {
     EXPECT_LE(s.entropy, 1.0);
   }
   EXPECT_GT(report.eval_throughput(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked event-log storage
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, ChunkedStorageKeepsOrderAcrossBlockBoundaries) {
+  // Crosses two block boundaries: append order, payloads, and seq numbering
+  // must be seamless where one 4096-event block hands over to the next.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  const std::size_t n = 2 * obs::EventLog::kBlockEvents + 10;
+  for (std::size_t i = 0; i < n; ++i)
+    tr.mark(0, static_cast<double>(i), "m", -1, i);
+  EXPECT_EQ(log.size(), n);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(events[i].seq, i);
+    ASSERT_EQ(events[i].count, i);
+  }
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  tr.mark(0, 0.0, "after_clear");
+  EXPECT_EQ(log.snapshot().front().seq, 0u);  // numbering restarts
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace: flow arrows + role-labeled lanes
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, FlowEventsPairSendsWithArrivals) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.mark(0, 0.05, "dispatch", 1, 8, 1);
+  tr.message_sent(0, 0.1, 1, 3, 64, 1);
+  tr.message_recv(1, 0.3, 0, 3, 64, 1);
+  tr.span_begin(1, 0.3, "eval_chunk");
+  tr.span_end(1, 0.5, "eval_chunk");
+  tr.migration(2, 0.6, 4, 2, "best", 2);
+  tr.mark(4, 0.8, "migrants_integrated", 2, 2, 2);
+  tr.mark(3, 0.0, obs::kWorkerLaneMark);
+  const auto json = chrome_trace_json(log);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // One flow arrow per msg_id: a "s" start at the send view and a "f" finish
+  // (with bp:"e" so the arrow binds to the enclosing slice) at the arrival —
+  // both for a transport recv (id 1) and an in-process migration whose
+  // arrival is a cross-rank mark (id 2).
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":2"), std::string::npos);
+  // Lanes carry ph:"M" thread_name metadata labeled by inferred program
+  // role; a lane with no recognizable role keeps the bare rank number.
+  EXPECT_NE(json.find("\"name\":\"master\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"slave[1]\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"island[2]\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker[3]\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rank 4\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Event-log file round trip with message correlation intact
+// ---------------------------------------------------------------------------
+
+TEST(EventJson, FileRoundTripEveryKindWithMsgIds) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.1, "compute");
+  tr.span_end(0, 0.2, "compute");
+  tr.message_sent(0, 0.3, 1, 7, 512, 41);
+  tr.message_recv(1, 0.35, 0, 7, 512, 41);
+  tr.migration(1, 0.4, 2, 3, "best", 42);
+  tr.mark(2, 0.45, "migrants_integrated", 1, 3, 42);
+  tr.evaluation_batch(1, 0.5, 64);
+  tr.node_failure(2, 0.55, "killed");
+  tr.gen_stats(0, 0.6, 3, 99, 5.0, 2.5, 0.5);
+  tr.search_stats(0, 0.7, 4, 32, 0.5, 1.0, 0.25, 0.1, 0.75);
+
+  const std::string path = testing::TempDir() + "pga_event_log_roundtrip.json";
+  obs::save_event_log(log, path);
+  obs::EventLog loaded;
+  obs::load_event_log(path, loaded);
+  std::remove(path.c_str());
+
+  // save_event_log writes canonical (t, rank, program) order.
+  const auto a = log.sorted_by_time();
+  const auto b = loaded.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << i;
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t) << i;
+    EXPECT_STREQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].msg_id, b[i].msg_id) << i;
+  }
+  // The causal layer sees the same correlation before and after the trip:
+  // one transport pair (41) and one migration/mark pair (42).
+  const auto c = obs::audit_correlation(loaded);
+  EXPECT_EQ(c.sends, 2u);
+  EXPECT_EQ(c.arrivals, 2u);
+  EXPECT_EQ(c.matched, 2u);
+  EXPECT_TRUE(c.fully_correlated());
+}
+
+// ---------------------------------------------------------------------------
+// Causal graph + critical path on hand-built DAGs
+// ---------------------------------------------------------------------------
+
+TEST(Causal, DiamondPicksTheLongerBranch) {
+  // r0 fans out to r1 (fast) and r2 (slow); r3 joins both.  The critical
+  // path must run r0 -> r2 -> r3 and never touch r1.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "c0");
+  tr.span_end(0, 1.0, "c0");
+  tr.message_sent(0, 1.0, 1, 0, 16, 1);
+  tr.message_sent(0, 1.0, 2, 0, 16, 2);
+  tr.span_begin(1, 0.0, "warm");
+  tr.span_end(1, 0.5, "warm");
+  tr.message_recv(1, 1.1, 0, 0, 16, 1);
+  tr.span_begin(1, 1.1, "c1");
+  tr.span_end(1, 2.1, "c1");
+  tr.message_sent(1, 2.1, 3, 0, 16, 3);
+  tr.span_begin(2, 0.0, "warm");
+  tr.span_end(2, 0.5, "warm");
+  tr.message_recv(2, 1.2, 0, 0, 16, 2);
+  tr.span_begin(2, 1.2, "c2");
+  tr.span_end(2, 3.2, "c2");
+  tr.message_sent(2, 3.2, 3, 0, 16, 4);
+  tr.span_begin(3, 0.0, "warm");
+  tr.span_end(3, 0.5, "warm");
+  tr.message_recv(3, 2.2, 1, 0, 16, 3);
+  tr.message_recv(3, 3.3, 2, 0, 16, 4);
+  tr.span_begin(3, 3.3, "c3");
+  tr.span_end(3, 3.8, "c3");
+
+  const auto graph = obs::CausalGraph::from(log);
+  EXPECT_EQ(graph.message_edges().size(), 4u);
+  EXPECT_TRUE(graph.correlation().fully_correlated());
+  EXPECT_EQ(graph.correlation().sends, 4u);
+  EXPECT_EQ(graph.correlation().arrivals, 4u);
+
+  const auto cp = graph.critical_path();
+  EXPECT_DOUBLE_EQ(cp.makespan, 3.8);
+  // c0 (1.0) + c2 (2.0) + c3 (0.5) compute, two in-flight hops of 0.2 + 0.1.
+  EXPECT_NEAR(cp.compute_s, 3.5, 1e-12);
+  EXPECT_NEAR(cp.comm_s, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(cp.blocked_s, 0.0);
+  EXPECT_DOUBLE_EQ(cp.idle_s, 0.0);
+  EXPECT_NEAR(cp.path_total(), cp.makespan, 1e-12);
+  EXPECT_EQ(cp.dominant(), obs::SegmentKind::kCompute);
+  // The fast branch is off the path entirely.
+  EXPECT_EQ(cp.per_rank.count(1), 0u);
+  for (const auto& s : cp.segments) {
+    EXPECT_NE(s.rank, 1);
+    EXPECT_NE(s.from_rank, 1);
+  }
+  ASSERT_EQ(cp.segments.size(), 5u);
+  EXPECT_EQ(cp.segments[2].kind, obs::SegmentKind::kCompute);
+  EXPECT_STREQ(cp.segments[2].label, "c2");
+  EXPECT_EQ(cp.segments[3].kind, obs::SegmentKind::kCommLatency);
+  EXPECT_EQ(cp.segments[3].msg_id, 4u);
+  EXPECT_EQ(cp.segments[3].from_rank, 2);
+}
+
+TEST(Causal, CrossRankChainChargesUnexplainedWaitAsBlocked) {
+  // r1 waits on a message r0 sent late; r0 was idle (not computing) for
+  // [0.5, 1.0] before the send, so exactly that stretch is the receiver's
+  // blocked-wait and the whole timeline tiles the makespan.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "warm0");
+  tr.span_end(0, 0.5, "warm0");
+  tr.message_sent(0, 1.0, 1, 0, 8, 1);
+  tr.span_begin(1, 0.0, "warm1");
+  tr.span_end(1, 0.4, "warm1");
+  tr.message_recv(1, 1.1, 0, 0, 8, 1);
+  tr.span_begin(1, 1.1, "work");
+  tr.span_end(1, 2.0, "work");
+
+  const auto cp = obs::critical_path(log);
+  EXPECT_DOUBLE_EQ(cp.makespan, 2.0);
+  EXPECT_NEAR(cp.compute_s, 1.4, 1e-12);  // warm0 + work
+  EXPECT_NEAR(cp.comm_s, 0.1, 1e-12);     // in flight 1.0 .. 1.1
+  EXPECT_NEAR(cp.blocked_s, 0.5, 1e-12);  // sender idle 0.5 .. 1.0
+  EXPECT_NEAR(cp.idle_s, 0.0, 1e-12);
+  EXPECT_NEAR(cp.path_total(), cp.makespan, 1e-12);
+  bool saw_blocked = false;
+  for (const auto& s : cp.segments)
+    if (s.kind == obs::SegmentKind::kBlockedWait) {
+      saw_blocked = true;
+      EXPECT_EQ(s.rank, 1);       // charged to the receiver
+      EXPECT_EQ(s.from_rank, 0);  // on the sender's lane
+      EXPECT_EQ(s.msg_id, 1u);
+      EXPECT_NEAR(s.t_begin, 0.5, 1e-12);
+      EXPECT_NEAR(s.t_end, 1.0, 1e-12);
+    }
+  EXPECT_TRUE(saw_blocked);
+  // The printed chain names the edge the verdict rests on.
+  const auto text = cp.to_string();
+  EXPECT_NE(text.find("blocked-wait"), std::string::npos);
+  EXPECT_NE(text.find("msg#1"), std::string::npos);
+}
+
+TEST(Causal, CommHandlingSpansCountAsCommLatency) {
+  // A "send" span is CPU burned on per-message handling (the simulator's
+  // send-overhead advance, Cantú-Paz's Tc) and must land in the comm bucket
+  // — that term, not network flight, is what saturates a master.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "send");
+  tr.span_end(0, 0.3, "send");
+  tr.message_sent(0, 0.3, 1, 0, 8, 1);
+  tr.span_begin(1, 0.0, "compute");
+  tr.span_end(1, 0.1, "compute");
+  tr.message_recv(1, 0.4, 0, 0, 8, 1);
+  tr.span_begin(1, 0.4, "compute");
+  tr.span_end(1, 0.6, "compute");
+
+  const auto cp = obs::critical_path(log);
+  EXPECT_DOUBLE_EQ(cp.makespan, 0.6);
+  EXPECT_NEAR(cp.compute_s, 0.2, 1e-12);
+  EXPECT_NEAR(cp.comm_s, 0.4, 1e-12);  // 0.3 send handling + 0.1 in flight
+  EXPECT_EQ(cp.dominant(), obs::SegmentKind::kCommLatency);
+  EXPECT_GT(cp.comm_fraction(), 0.5);
+  // RunReport still counts the send span as busy CPU time.
+  const auto report = obs::RunReport::from(log);
+  EXPECT_DOUBLE_EQ(report.ranks()[0].busy_s, 0.3);
+}
+
+TEST(Causal, FailureTruncatedChainDegradesGracefully) {
+  // r1 died before receiving r0's message: the send stays unanswered (which
+  // does NOT break correlation — the packet was simply lost) and the walk
+  // attributes the unexplained stretch as idle instead of crashing or
+  // over-counting.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.span_begin(0, 0.0, "compute");
+  tr.span_end(0, 1.0, "compute");
+  tr.message_sent(0, 1.0, 1, 0, 32, 1);
+  tr.node_failure(1, 0.5, "killed");
+  tr.span_begin(0, 1.2, "compute");
+  tr.span_end(0, 2.0, "compute");
+
+  const auto c1 = obs::audit_correlation(log);
+  EXPECT_EQ(c1.sends, 1u);
+  EXPECT_EQ(c1.arrivals, 0u);
+  EXPECT_TRUE(c1.fully_correlated());
+
+  const auto cp = obs::critical_path(log);
+  EXPECT_DOUBLE_EQ(cp.makespan, 2.0);
+  EXPECT_NEAR(cp.compute_s, 1.8, 1e-12);
+  EXPECT_NEAR(cp.idle_s, 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(cp.comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(cp.blocked_s, 0.0);
+  EXPECT_NEAR(cp.path_total(), cp.makespan, 1e-12);
+
+  // An arrival with an id no send ever carried is reported as unmatched and
+  // skipped by the walk.
+  tr.message_recv(0, 1.1, 1, 0, 8, 99);
+  const auto c2 = obs::audit_correlation(log);
+  EXPECT_EQ(c2.arrivals, 1u);
+  EXPECT_EQ(c2.matched, 0u);
+  ASSERT_EQ(c2.unmatched.size(), 1u);
+  EXPECT_EQ(c2.unmatched[0], 99u);
+  EXPECT_FALSE(c2.fully_correlated());
+  const auto cp2 = obs::critical_path(log);
+  EXPECT_NEAR(cp2.path_total(), cp2.makespan, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation acceptance on real traced engines
+// ---------------------------------------------------------------------------
+
+TEST(Causal, SimMasterSlaveTraceIsFullyCorrelated) {
+  obs::EventLog log;
+  doctor_e2e::run_traced(&log, /*inject_failure=*/false);
+  // Every transport recv carries a nonzero msg_id...
+  for (const auto& e : log.snapshot()) {
+    if (e.kind == obs::EventKind::kMessageRecv) {
+      EXPECT_NE(e.msg_id, 0u);
+    }
+  }
+  // ...and each one matches exactly one send.
+  const auto c = obs::audit_correlation(log);
+  EXPECT_GT(c.sends, 0u);
+  EXPECT_GT(c.arrivals, 0u);
+  EXPECT_TRUE(c.fully_correlated())
+      << c.unmatched.size() << " unmatched, " << c.duplicate_send_ids.size()
+      << " duplicate send ids";
+  // The critical path tiles the whole makespan.
+  const auto cp = obs::critical_path(log);
+  EXPECT_GT(cp.makespan, 0.0);
+  EXPECT_NEAR(cp.path_total(), cp.makespan, 1e-9);
+}
+
+TEST(Causal, SequentialIslandMigrationsCorrelateSyncAndAsync) {
+  for (const auto sync :
+       {MigrationSync::kSynchronous, MigrationSync::kAsynchronous}) {
+    problems::OneMax problem(16);
+    MigrationPolicy policy;
+    policy.interval = 2;
+    policy.count = 1;
+    Operators<BitString> ops;
+    ops.select = selection::tournament(2);
+    ops.cross = crossover::two_point<BitString>();
+    ops.mutate = mutation::bit_flip();
+    auto model = make_uniform_island_model<BitString>(Topology::ring(3), policy,
+                                                      ops, 1, sync);
+    obs::EventLog log;
+    model.set_tracer(obs::Tracer(&log));
+    Rng rng(7);
+    auto pops = model.make_populations(
+        12, [](Rng& r) { return BitString::random(16, r); }, rng);
+    StopCondition stop;
+    stop.max_generations = 8;
+    stop.target_fitness = 1e9;
+    (void)model.run(pops, problem, stop, rng);
+    // Every migrant packet's kMigration is answered by exactly one
+    // "migrants_integrated" mark with the same id, in both sync modes.
+    const auto c = obs::audit_correlation(log);
+    EXPECT_GT(c.arrivals, 0u);
+    EXPECT_EQ(c.sends, c.arrivals);
+    EXPECT_TRUE(c.fully_correlated());
+  }
+}
+
+TEST(Causal, DistributedIslandWanTraceCorrelatesEveryArrival) {
+  problems::OneMax problem(24);
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(4);
+  cfg.policy.interval = 2;
+  cfg.policy.count = 1;
+  cfg.deme_size = 12;
+  cfg.stop.max_generations = 12;
+  cfg.stop.target_fitness = 1e9;
+  cfg.eval_cost_s = 1e-4;
+  cfg.seed = 3;
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::two_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [](Rng& r) { return BitString::random(24, r); };
+  obs::EventLog log;
+  cfg.trace = obs::Tracer(&log);
+  auto sim_cfg = sim::homogeneous(4, sim::NetworkModel::internet_wan());
+  sim_cfg.trace = &log;
+  sim::SimCluster cluster(sim_cfg);
+  auto rep = cluster.run(
+      [&](comm::Transport& t) { (void)run_island_rank(t, problem, cfg); });
+  EXPECT_TRUE(rep.all_completed());
+
+  for (const auto& e : log.snapshot()) {
+    if (e.kind == obs::EventKind::kMessageRecv) {
+      EXPECT_NE(e.msg_id, 0u);
+    }
+  }
+  const auto c = obs::audit_correlation(log);
+  EXPECT_GT(c.arrivals, 0u);
+  EXPECT_TRUE(c.fully_correlated())
+      << c.unmatched.size() << " unmatched arrival ids";
+  // Migration over WAN latency with millisecond evals: the causal verdict
+  // must be comm-bound (the E16 collapse, seen from the critical path).
+  const auto cp = obs::critical_path(log);
+  EXPECT_GT(cp.comm_fraction(), 0.5);
+  EXPECT_NE(cp.dominant(), obs::SegmentKind::kCompute);
 }
 
 }  // namespace

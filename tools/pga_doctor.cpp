@@ -10,6 +10,18 @@
 //   pga_doctor --report trace.json             # include the per-rank table
 //   pga_doctor --gen faulty demo.json          # write a demo trace (see below)
 //
+// Causal subcommands (obs/causal.hpp) walk the msg_id-correlated dependency
+// graph instead of aggregate ratios, so their verdicts come with the actual
+// bounding chain as evidence:
+//
+//   pga_doctor critical-path trace.json        # makespan attribution + chain
+//   pga_doctor critical-path --fail-on comm-bound trace.json   # CI gate
+//   pga_doctor profile trace.json              # per-rank table + attribution
+//
+// --fail-on may be given multiple times and/or as a comma list; the first
+// occurrence replaces the {failure, stall} default, later ones accumulate
+// ('none' clears everything gated so far).
+//
 // The default gate is {failure, stall} only: search-dynamics diagnostics
 // (stragglers, premature convergence, comm-bound phases) are advisory,
 // because a healthy master-slave run legitimately has a low-utilization
@@ -35,6 +47,7 @@
 #include "exec/parallelism.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/anomaly.hpp"
+#include "obs/causal.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
@@ -50,16 +63,30 @@ void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: pga_doctor [options] <trace.json>\n"
+      "       pga_doctor critical-path [options] <trace.json>\n"
+      "       pga_doctor profile [options] <trace.json>\n"
       "       pga_doctor --gen healthy|faulty <out.json>\n"
       "\n"
       "Diagnoses a traced PGA run: anomaly detection + run report.\n"
       "Accepts pga-event-log-v1 dumps and chrome_trace.hpp exports.\n"
       "\n"
+      "subcommands:\n"
+      "  critical-path      walk the msg_id-correlated causal graph, print\n"
+      "                     the makespan attribution (compute/comm/wait/idle)\n"
+      "                     and the dominant chain; with --fail-on comm-bound\n"
+      "                     exit 1 when comm+wait >= the comm-bound floor\n"
+      "  profile            critical-path attribution plus the per-rank\n"
+      "                     RunReport table\n"
+      "\n"
       "options:\n"
-      "  --fail-on LIST     comma-separated anomaly kinds that cause exit 1.\n"
+      "  --fail-on LIST     anomaly kinds that cause exit 1; comma-separated\n"
+      "                     and/or repeated ('-' and '_' both accepted).\n"
+      "                     First use replaces the default, later uses add.\n"
       "                     kinds: failure stall premature_convergence\n"
       "                            straggler comm_bound; also: all, none.\n"
       "                     default: failure,stall\n"
+      "  --comm-bound-floor X  critical-path comm+wait fraction that trips\n"
+      "                        the comm-bound gate (0.5)\n"
       "  --report           print the full per-rank RunReport table\n"
       "  --stall-fraction X    stall horizon as a fraction of makespan "
       "(0.25)\n"
@@ -76,9 +103,14 @@ void usage(std::FILE* to) {
       "  -h, --help         this text\n");
 }
 
-/// Parses a --fail-on list into the set of gated kinds.
-bool parse_fail_on(const std::string& list, std::set<obs::AnomalyKind>* out) {
-  out->clear();
+/// Parses one --fail-on list, accumulating into the set of gated kinds.
+/// (The caller clears the default set on the first occurrence, so repeated
+/// flags and comma lists compose.)  'none' clears everything gated so far;
+/// '-' and '_' are interchangeable in kind names.
+bool parse_fail_on(const std::string& raw, std::set<obs::AnomalyKind>* out) {
+  std::string list = raw;
+  for (char& c : list)
+    if (c == '-') c = '_';
   std::size_t pos = 0;
   while (pos <= list.size()) {
     const std::size_t comma = list.find(',', pos);
@@ -88,7 +120,7 @@ bool parse_fail_on(const std::string& list, std::set<obs::AnomalyKind>* out) {
     if (item.empty()) continue;
     if (item == "none") {
       out->clear();
-      return true;
+      continue;
     }
     if (item == "all") {
       for (int k = 0; k <= static_cast<int>(obs::AnomalyKind::kCommBound);
@@ -220,9 +252,12 @@ int generate_wallclock(const std::string& path) {
 int main(int argc, char** argv) {
   std::string path;
   std::string gen_mode;
+  std::string subcommand;
   bool full_report = false;
   std::set<obs::AnomalyKind> fail_on = {obs::AnomalyKind::kFailedRank,
                                         obs::AnomalyKind::kStalledRank};
+  bool fail_on_given = false;
+  double comm_bound_floor = 0.5;
   obs::AnomalyConfig acfg;
 
   auto value_arg = [&](int& i, const char* flag) -> const char* {
@@ -241,9 +276,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--report") {
       full_report = true;
     } else if (arg == "--fail-on") {
+      if (!fail_on_given) fail_on.clear();  // first use replaces the default
+      fail_on_given = true;
       if (!parse_fail_on(value_arg(i, "--fail-on"), &fail_on)) return 2;
     } else if (arg == "--gen") {
       gen_mode = value_arg(i, "--gen");
+    } else if (arg == "--comm-bound-floor") {
+      comm_bound_floor = std::atof(value_arg(i, "--comm-bound-floor"));
     } else if (arg == "--stall-fraction") {
       acfg.stall_fraction = std::atof(value_arg(i, "--stall-fraction"));
     } else if (arg == "--diversity-floor") {
@@ -256,6 +295,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pga_doctor: unknown option '%s'\n", arg.c_str());
       usage(stderr);
       return 2;
+    } else if (subcommand.empty() && path.empty() &&
+               (arg == "critical-path" || arg == "profile")) {
+      subcommand = arg;
     } else if (path.empty()) {
       path = arg;
     } else {
@@ -277,6 +319,48 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
     return 2;
+  }
+
+  // ---- Causal subcommands ---------------------------------------------------
+  if (!subcommand.empty()) {
+    const auto graph = obs::CausalGraph::from(log);
+    const auto cp = graph.critical_path();
+    const auto& corr = graph.correlation();
+
+    std::printf("pga_doctor %s: %s — %zu events, makespan %.6g s\n",
+                subcommand.c_str(), path.c_str(), log.size(), cp.makespan);
+    std::printf(
+        "  correlation: %zu sends, %zu arrivals, %zu matched%s\n",
+        corr.sends, corr.arrivals, corr.matched,
+        corr.fully_correlated() ? "" : " [INCOMPLETE]");
+    if (!corr.unmatched.empty())
+      std::printf("  warn: %zu arrival(s) with no matching send (first id "
+                  "%llu)\n",
+                  corr.unmatched.size(),
+                  static_cast<unsigned long long>(corr.unmatched.front()));
+    if (!corr.duplicate_send_ids.empty())
+      std::printf("  warn: %zu duplicate send id(s) (first id %llu)\n",
+                  corr.duplicate_send_ids.size(),
+                  static_cast<unsigned long long>(
+                      corr.duplicate_send_ids.front()));
+
+    if (subcommand == "profile") {
+      const auto report = obs::RunReport::from(log);
+      std::printf("\n%s\n", report.to_string().c_str());
+    }
+    std::printf("\n%s", cp.to_string().c_str());
+
+    const bool comm_bound = cp.comm_fraction() >= comm_bound_floor;
+    std::printf("\nverdict: %s — comm+wait %.1f%% of makespan (floor "
+                "%.0f%%), dominant edge class: %s\n",
+                comm_bound ? "comm-bound" : "compute-bound",
+                100.0 * cp.comm_fraction(), 100.0 * comm_bound_floor,
+                obs::to_string(cp.dominant()));
+    if (comm_bound && fail_on.count(obs::AnomalyKind::kCommBound) != 0) {
+      std::printf("comm-bound gated -> exit 1\n");
+      return 1;
+    }
+    return 0;
   }
 
   const auto report = obs::RunReport::from(log);
