@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+
 #include "comm/inproc.hpp"
 #include "comm/serialize.hpp"
 #include "core/cellular.hpp"
 #include "core/evolution.hpp"
+#include "core/soa.hpp"
 #include "exec/parallelism.hpp"
 #include "exec/thread_pool.hpp"
 #include "multiobj/pareto.hpp"
@@ -103,6 +106,68 @@ void BM_RastriginEvaluation(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(problem.fitness(g));
 }
 BENCHMARK(BM_RastriginEvaluation)->Arg(10)->Arg(100);
+
+// Batched-kernel cost model (core/soa.hpp, problems/kernels.cpp): the
+// FitnessBatch pair prices one full slab sweep — gather into the AoSoA slab
+// plus the kSoaLanes-wide kernel — against the same population pushed one
+// virtual fitness() call at a time.  The per-item gap is the Tf reduction
+// experiment K1 measures end to end.
+
+template <class ProblemT, class G>
+void fitness_batch_bench(benchmark::State& state, const ProblemT& problem,
+                         std::vector<G> genomes, bool batched) {
+  const std::size_t n = genomes.size();
+  SoaSlab<G> slab;
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    if (batched) {
+      evaluate_batch(problem, std::span<const G>(genomes),
+                     slab, std::span<double>(out));
+    } else {
+      for (std::size_t g = 0; g < n; ++g)
+        out[g] = static_cast<const Problem<G>&>(problem).fitness(genomes[g]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_FitnessBatchRastrigin(benchmark::State& state) {
+  Rng rng(19);
+  problems::Rastrigin problem(static_cast<std::size_t>(state.range(0)));
+  std::vector<RealVector> genomes;
+  for (int i = 0; i < 1024; ++i)
+    genomes.push_back(RealVector::random(problem.bounds(), rng));
+  fitness_batch_bench(state, problem, std::move(genomes), state.range(1) == 1);
+}
+BENCHMARK(BM_FitnessBatchRastrigin)
+    ->Args({10, 0})->Args({10, 1})->Args({100, 0})->Args({100, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FitnessBatchSphere(benchmark::State& state) {
+  Rng rng(20);
+  problems::Sphere problem(static_cast<std::size_t>(state.range(0)));
+  std::vector<RealVector> genomes;
+  for (int i = 0; i < 1024; ++i)
+    genomes.push_back(RealVector::random(problem.bounds(), rng));
+  fitness_batch_bench(state, problem, std::move(genomes), state.range(1) == 1);
+}
+BENCHMARK(BM_FitnessBatchSphere)
+    ->Args({10, 0})->Args({10, 1})->Args({100, 0})->Args({100, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FitnessBatchOneMax(benchmark::State& state) {
+  Rng rng(21);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  problems::OneMax problem(bits);
+  std::vector<BitString> genomes;
+  for (int i = 0; i < 1024; ++i)
+    genomes.push_back(BitString::random(bits, rng));
+  fitness_batch_bench(state, problem, std::move(genomes), state.range(1) == 1);
+}
+BENCHMARK(BM_FitnessBatchOneMax)
+    ->Args({64, 0})->Args({64, 1})->Args({256, 0})->Args({256, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TspTourEvaluation(benchmark::State& state) {
   Rng rng(10);

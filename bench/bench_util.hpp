@@ -118,6 +118,7 @@ inline void print_search_curve(const pga::obs::RunReport& report, int rank = -1,
   pga::Operators<pga::BitString> ops;
   ops.select = pga::selection::tournament(tournament);
   ops.cross = pga::crossover::two_point<pga::BitString>();
+  ops.cross_in_place = pga::crossover::two_point_in_place<pga::BitString>();
   ops.mutate = pga::mutation::bit_flip();
   ops.crossover_rate = 0.9;
   return ops;
@@ -129,6 +130,7 @@ inline void print_search_curve(const pga::obs::RunReport& report, int rank = -1,
   pga::Operators<pga::RealVector> ops;
   ops.select = pga::selection::tournament(2);
   ops.cross = pga::crossover::blx_alpha(bounds, 0.4);
+  ops.cross_in_place = pga::crossover::blx_alpha_in_place(bounds, 0.4);
   ops.mutate = pga::mutation::gaussian(bounds, 0.08);
   ops.crossover_rate = 0.9;
   return ops;

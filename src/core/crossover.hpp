@@ -25,30 +25,91 @@ namespace pga {
 template <class G>
 using Crossover = std::function<std::pair<G, G>(const G&, const G&, Rng&)>;
 
+/// Allocation-free crossover form: transforms two children *in place* (the
+/// caller has already copied the parents into reusable child slots).  The
+/// *_in_place factories below consume the RNG identically to their
+/// pair-returning counterparts, so trajectories are interchangeable.
+template <class G>
+using CrossoverInPlace = std::function<void(G&, G&, Rng&)>;
+
 namespace crossover {
 
 namespace detail {
 /// k-point crossover over any random-access sequence of equal length.
+/// Cut points live on the stack for k <= 8 (every factory here uses k <= 2),
+/// keeping the hot path allocation-free; the RNG accept/reject order is the
+/// same either way.
 template <class Seq>
 void k_point_exchange(Seq& a, Seq& b, std::size_t k, Rng& rng) {
   const std::size_t n = a.size();
   if (n < 2) return;
   // Draw k distinct cut points in [1, n-1].
-  std::vector<std::size_t> cuts;
-  cuts.reserve(k);
-  while (cuts.size() < std::min(k, n - 1)) {
-    const std::size_t c = 1 + rng.index(n - 1);
-    if (std::find(cuts.begin(), cuts.end(), c) == cuts.end()) cuts.push_back(c);
+  std::size_t small[8];
+  std::vector<std::size_t> big;
+  const std::size_t want = std::min(k, n - 1);
+  std::size_t* cuts = small;
+  if (want > 8) {
+    big.resize(want);
+    cuts = big.data();
   }
-  std::sort(cuts.begin(), cuts.end());
+  std::size_t count = 0;
+  while (count < want) {
+    const std::size_t c = 1 + rng.index(n - 1);
+    if (std::find(cuts, cuts + count, c) == cuts + count) cuts[count++] = c;
+  }
+  std::sort(cuts, cuts + count);
   bool swapping = false;
   std::size_t cut_idx = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    while (cut_idx < cuts.size() && cuts[cut_idx] == i) {
+    while (cut_idx < count && cuts[cut_idx] == i) {
       swapping = !swapping;
       ++cut_idx;
     }
     if (swapping) std::swap(a[i], b[i]);
+  }
+}
+
+/// Uniform gene exchange between two children in place.
+template <class G>
+void uniform_exchange(G& a, G& b, double swap_prob, Rng& rng) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (rng.bernoulli(swap_prob)) std::swap(a[i], b[i]);
+}
+
+/// Arithmetic blend in place: a and b hold the parent values on entry.
+inline void arithmetic_blend(RealVector& a, RealVector& b, Rng& rng) {
+  const double w = rng.uniform();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x1 = a[i], x2 = b[i];
+    a[i] = w * x1 + (1.0 - w) * x2;
+    b[i] = (1.0 - w) * x1 + w * x2;
+  }
+}
+
+/// BLX-alpha blend in place: a and b hold the parent values on entry.
+inline void blx_blend(RealVector& a, RealVector& b, const Bounds& bounds,
+                      double alpha, Rng& rng) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double lo = std::min(a[i], b[i]);
+    const double hi = std::max(a[i], b[i]);
+    const double ext = alpha * (hi - lo);
+    a[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
+    b[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
+  }
+}
+
+/// SBX in place: a and b hold the parent values on entry.
+inline void sbx_blend(RealVector& a, RealVector& b, const Bounds& bounds,
+                      double eta, Rng& rng) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!rng.bernoulli(0.5)) continue;  // per-gene application, SBX custom
+    const double u = rng.uniform();
+    const double beta =
+        (u <= 0.5) ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                   : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    const double x1 = a[i], x2 = b[i];
+    a[i] = bounds.clamp(i, 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2));
+    b[i] = bounds.clamp(i, 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2));
   }
 }
 }  // namespace detail
@@ -85,9 +146,59 @@ template <class G>
     throw std::invalid_argument("uniform crossover swap_prob in [0,1]");
   return [swap_prob](const G& p1, const G& p2, Rng& rng) {
     G c1 = p1, c2 = p2;
-    for (std::size_t i = 0; i < c1.size(); ++i)
-      if (rng.bernoulli(swap_prob)) std::swap(c1[i], c2[i]);
+    detail::uniform_exchange(c1, c2, swap_prob, rng);
     return std::make_pair(std::move(c1), std::move(c2));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// In-place variants (allocation-free generation loops; see GenWorkspace)
+// ---------------------------------------------------------------------------
+
+/// One-point crossover, in place.
+template <class G>
+[[nodiscard]] CrossoverInPlace<G> one_point_in_place() {
+  return [](G& a, G& b, Rng& rng) { detail::k_point_exchange(a, b, 1, rng); };
+}
+
+/// Two-point crossover, in place.
+template <class G>
+[[nodiscard]] CrossoverInPlace<G> two_point_in_place() {
+  return [](G& a, G& b, Rng& rng) { detail::k_point_exchange(a, b, 2, rng); };
+}
+
+/// Uniform crossover, in place.
+template <class G>
+[[nodiscard]] CrossoverInPlace<G> uniform_in_place(double swap_prob = 0.5) {
+  if (swap_prob < 0.0 || swap_prob > 1.0)
+    throw std::invalid_argument("uniform crossover swap_prob in [0,1]");
+  return [swap_prob](G& a, G& b, Rng& rng) {
+    detail::uniform_exchange(a, b, swap_prob, rng);
+  };
+}
+
+/// Whole arithmetic crossover, in place.
+[[nodiscard]] inline CrossoverInPlace<RealVector> arithmetic_in_place() {
+  return [](RealVector& a, RealVector& b, Rng& rng) {
+    detail::arithmetic_blend(a, b, rng);
+  };
+}
+
+/// BLX-alpha crossover, in place.
+[[nodiscard]] inline CrossoverInPlace<RealVector> blx_alpha_in_place(
+    Bounds bounds, double alpha = 0.5) {
+  return [bounds = std::move(bounds), alpha](RealVector& a, RealVector& b,
+                                             Rng& rng) {
+    detail::blx_blend(a, b, bounds, alpha, rng);
+  };
+}
+
+/// SBX crossover, in place.
+[[nodiscard]] inline CrossoverInPlace<RealVector> sbx_in_place(
+    Bounds bounds, double eta = 15.0) {
+  return [bounds = std::move(bounds), eta](RealVector& a, RealVector& b,
+                                           Rng& rng) {
+    detail::sbx_blend(a, b, bounds, eta, rng);
   };
 }
 
@@ -119,12 +230,8 @@ template <class G>
 /// random weight per call.
 [[nodiscard]] inline Crossover<RealVector> arithmetic() {
   return [](const RealVector& p1, const RealVector& p2, Rng& rng) {
-    const double a = rng.uniform();
-    RealVector c1(p1.size()), c2(p1.size());
-    for (std::size_t i = 0; i < p1.size(); ++i) {
-      c1[i] = a * p1[i] + (1.0 - a) * p2[i];
-      c2[i] = (1.0 - a) * p1[i] + a * p2[i];
-    }
+    RealVector c1 = p1, c2 = p2;
+    detail::arithmetic_blend(c1, c2, rng);
     return std::make_pair(std::move(c1), std::move(c2));
   };
 }
@@ -135,14 +242,8 @@ template <class G>
                                                      double alpha = 0.5) {
   return [bounds = std::move(bounds), alpha](const RealVector& p1,
                                              const RealVector& p2, Rng& rng) {
-    RealVector c1(p1.size()), c2(p1.size());
-    for (std::size_t i = 0; i < p1.size(); ++i) {
-      const double lo = std::min(p1[i], p2[i]);
-      const double hi = std::max(p1[i], p2[i]);
-      const double ext = alpha * (hi - lo);
-      c1[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
-      c2[i] = bounds.clamp(i, rng.uniform(lo - ext, hi + ext));
-    }
+    RealVector c1 = p1, c2 = p2;
+    detail::blx_blend(c1, c2, bounds, alpha, rng);
     return std::make_pair(std::move(c1), std::move(c2));
   };
 }
@@ -154,16 +255,7 @@ template <class G>
   return [bounds = std::move(bounds), eta](const RealVector& p1,
                                            const RealVector& p2, Rng& rng) {
     RealVector c1 = p1, c2 = p2;
-    for (std::size_t i = 0; i < p1.size(); ++i) {
-      if (!rng.bernoulli(0.5)) continue;  // per-gene application, SBX custom
-      const double u = rng.uniform();
-      const double beta =
-          (u <= 0.5) ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
-                     : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
-      const double x1 = p1[i], x2 = p2[i];
-      c1[i] = bounds.clamp(i, 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2));
-      c2[i] = bounds.clamp(i, 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2));
-    }
+    detail::sbx_blend(c1, c2, bounds, eta, rng);
     return std::make_pair(std::move(c1), std::move(c2));
   };
 }

@@ -15,6 +15,7 @@
 #include "core/crossover.hpp"
 #include "core/mutation.hpp"
 #include "core/population.hpp"
+#include "core/workspace.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
 #include "core/selection.hpp"
@@ -35,6 +36,11 @@ struct Operators {
   /// Probability that a selected pair undergoes crossover (otherwise the
   /// parents are cloned into the offspring slots).
   double crossover_rate = 0.9;
+  /// Optional allocation-free crossover (crossover::*_in_place).  When set,
+  /// schemes apply it to the already-copied child slots instead of calling
+  /// `cross`; the trajectory is identical because the in-place factories
+  /// consume the RNG exactly like their pair-returning counterparts.
+  CrossoverInPlace<G> cross_in_place;
 };
 
 /// One reproductive loop type.  `step` advances the population by one
@@ -101,35 +107,52 @@ class GenerationalScheme final : public EvolutionScheme<G> {
     replace = std::max<std::size_t>(replace, 1);
     replace = std::min(replace, n > elitism_ ? n - elitism_ : 0);
 
-    const auto fitness = pop.fitness_values();
+    pop.fitness_values_into(ws_.fitness);
 
-    // Offspring for the replaced fraction.
-    std::vector<Individual<G>> offspring;
-    offspring.reserve(replace);
-    while (offspring.size() < replace) {
-      const std::size_t i = ops_.select(fitness, rng);
-      const std::size_t j = ops_.select(fitness, rng);
-      G c1 = pop[i].genome, c2 = pop[j].genome;
+    // Offspring for the replaced fraction, built in persistent slots: each
+    // slot's genome keeps its capacity across generations, so the copies
+    // below are allocation-free after warmup.  A dropped second child (odd
+    // `replace`) lands in ws_.spare — its crossover RNG is still consumed,
+    // exactly as in the historical pair-returning loop.
+    ws_.offspring.resize(replace);
+    std::size_t made = 0;
+    while (made < replace) {
+      const std::size_t i = ops_.select(ws_.fitness, rng);
+      const std::size_t j = ops_.select(ws_.fitness, rng);
+      Individual<G>& s1 = ws_.offspring[made];
+      Individual<G>& s2 =
+          (made + 1 < replace) ? ws_.offspring[made + 1] : ws_.spare;
+      s1.genome = pop[i].genome;
+      s2.genome = pop[j].genome;
+      s1.evaluated = s2.evaluated = false;
       if (rng.bernoulli(ops_.crossover_rate)) {
-        auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
-        c1 = std::move(a);
-        c2 = std::move(b);
+        if (ops_.cross_in_place) {
+          ops_.cross_in_place(s1.genome, s2.genome, rng);
+        } else {
+          auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
+          s1.genome = std::move(a);
+          s2.genome = std::move(b);
+        }
       }
-      ops_.mutate(c1, rng);
-      offspring.emplace_back(std::move(c1));
-      if (offspring.size() < replace) {
-        ops_.mutate(c2, rng);
-        offspring.emplace_back(std::move(c2));
+      ops_.mutate(s1.genome, rng);
+      ++made;
+      if (made < replace) {
+        ops_.mutate(s2.genome, rng);
+        ++made;
       }
     }
 
     // Survivors: elite first, then the best of the rest up to n - replace.
+    // Offspring are swapped (not moved) into the staging vector so their
+    // slot capacity circulates back into the workspace, and the population's
+    // member vector is swapped (not reassigned) so its evaluation scratch
+    // (dirty list, SoA slab) survives the generation.
     pop.sort_descending();
-    std::vector<Individual<G>> next;
-    next.reserve(n);
-    for (std::size_t k = 0; k < n - replace; ++k) next.push_back(pop[k]);
-    for (auto& child : offspring) next.push_back(std::move(child));
-    pop = Population<G>(std::move(next));
+    ws_.next.resize(n);
+    for (std::size_t k = 0; k < n - replace; ++k) ws_.next[k] = pop[k];
+    for (std::size_t r = 0; r < replace; ++r)
+      std::swap(ws_.next[n - replace + r], ws_.offspring[r]);
+    pop.members().swap(ws_.next);
     return par ? pop.evaluate_all(problem, *par) : pop.evaluate_all(problem);
   }
 
@@ -140,6 +163,7 @@ class GenerationalScheme final : public EvolutionScheme<G> {
   Operators<G> ops_;
   std::size_t elitism_;
   double gap_;
+  GenWorkspace<G> ws_;
 };
 
 // ---------------------------------------------------------------------------
@@ -161,22 +185,38 @@ class SteadyStateScheme final : public EvolutionScheme<G> {
     const std::size_t budget =
         offspring_per_step_ ? offspring_per_step_ : pop.size();
     std::size_t evals = 0;
+    // The fitness snapshot is refilled once and maintained incrementally on
+    // each replacement — the values the selector sees are exactly what a
+    // fresh fitness_values() would return, without the per-offspring
+    // allocate-and-copy the historical loop paid.
+    pop.fitness_values_into(ws_.fitness);
+    ws_.offspring.resize(2);
     for (std::size_t k = 0; k < budget; ++k) {
-      const auto fitness = pop.fitness_values();
-      const std::size_t i = ops_.select(fitness, rng);
-      const std::size_t j = ops_.select(fitness, rng);
-      G child = pop[i].genome;
+      const std::size_t i = ops_.select(ws_.fitness, rng);
+      const std::size_t j = ops_.select(ws_.fitness, rng);
+      G& child = ws_.offspring[0].genome;
+      child = pop[i].genome;
       if (rng.bernoulli(ops_.crossover_rate)) {
-        auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
-        child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+        if (ops_.cross_in_place) {
+          G& other = ws_.offspring[1].genome;
+          other = pop[j].genome;
+          ops_.cross_in_place(child, other, rng);
+          if (!rng.bernoulli(0.5)) std::swap(child, other);
+        } else {
+          auto [a, b] = ops_.cross(pop[i].genome, pop[j].genome, rng);
+          child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+        }
       }
       ops_.mutate(child, rng);
-      Individual<G> ind(std::move(child));
-      ind.fitness = problem.fitness(ind.genome);
-      ind.evaluated = true;
+      const double f = problem.fitness(child);
       ++evals;
       const std::size_t worst = pop.worst_index();
-      if (ind.fitness > pop[worst].fitness) pop[worst] = std::move(ind);
+      if (f > pop[worst].fitness) {
+        pop[worst].genome = child;  // capacity-reusing copy into the slot
+        pop[worst].fitness = f;
+        pop[worst].evaluated = true;
+        ws_.fitness[worst] = f;
+      }
     }
     return evals;
   }
@@ -186,6 +226,7 @@ class SteadyStateScheme final : public EvolutionScheme<G> {
  private:
   Operators<G> ops_;
   std::size_t offspring_per_step_;
+  GenWorkspace<G> ws_;
 };
 
 // ---------------------------------------------------------------------------
@@ -226,9 +267,10 @@ RunResult<G> run(EvolutionScheme<G>& scheme, Population<G>& pop,
     GenStats s;
     s.generation = gen;
     s.evaluations = result.evaluations;
-    s.best = pop.best_fitness();
+    const auto [worst_i, best_i] = pop.minmax_indices();
+    s.best = pop[best_i].fitness;
     s.mean = pop.mean_fitness();
-    s.worst = pop[pop.worst_index()].fitness;
+    s.worst = pop[worst_i].fitness;
     trace.gen_stats(0, static_cast<double>(gen), gen, s.evaluations, s.best,
                     s.mean, s.worst);
     probe.observe(pop, static_cast<double>(gen), gen,

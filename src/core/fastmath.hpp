@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic, vectorizable transcendental helpers.
+//
+// The SoA fitness kernels (problems/kernels.cpp) vectorize *across genomes*
+// while the evaluation contract demands results bit-identical to the scalar
+// path (tests/test_soa.cpp).  libm's cos/sin cannot satisfy both at once:
+// glibc gives no guarantee that a vectorized approximation matches the
+// scalar call.  So both paths share the branch-free polynomial routines
+// below — two-step Cody–Waite range reduction onto [-pi/4, pi/4] plus the
+// classic Cephes minimax polynomials (public-domain constants, ~1-2 ulp over
+// the benchmark domains, exact at 0) — built from IEEE add/mul/convert and
+// lane-wise selects only, so the identical operation sequence runs per
+// genome at any SIMD width.
+//
+// Contraction caveat: a fused multiply-add would make contracted and
+// non-contracted compiles disagree, so the build forces -ffp-contract=off
+// (top-level CMakeLists) and the runtime-dispatched kernel clones stop at
+// AVX2 without FMA.
+
+#include <cstdint>
+
+namespace pga::fastmath {
+
+namespace detail {
+
+inline constexpr double kInvPio2 = 6.36619772367581382433e-01;  // 2/pi
+// Cody–Waite split of pi/2 (Cephes pi/4 split, doubled — exact since the
+// scaling is a power of two): pi/2 = kDP1 + kDP2 + kDP3.
+inline constexpr double kDP1 = 1.57079625129699707031e+00;
+inline constexpr double kDP2 = 7.54978941586159635335e-08;
+inline constexpr double kDP3 = 5.39030285815811905290e-15;
+// Quotient clamp: keeps the double->int32 conversion defined for wild
+// inputs (results out there are meaningless but stay deterministic).
+inline constexpr double kMaxQuotient = 2.0e9;
+
+// sin(r) = r + r^3 P(r^2) on [-pi/4, pi/4] (Cephes sincof).
+[[nodiscard]] inline double sin_poly(double r, double z) noexcept {
+  double p = 1.58962301576546568060e-10;
+  p = p * z + -2.50507477628578072866e-08;
+  p = p * z + 2.75573136213857245213e-06;
+  p = p * z + -1.98412698295895385996e-04;
+  p = p * z + 8.33333333332211858878e-03;
+  p = p * z + -1.66666666666666307295e-01;
+  return r + r * z * p;
+}
+
+// cos(r) = 1 - r^2/2 + r^4 Q(r^2) on [-pi/4, pi/4] (Cephes coscof).
+[[nodiscard]] inline double cos_poly(double z) noexcept {
+  double p = -1.13585365213876817300e-11;
+  p = p * z + 2.08757008419747316778e-09;
+  p = p * z + -2.75573141792967388112e-07;
+  p = p * z + 2.48015872888517179954e-05;
+  p = p * z + -1.38888888888730564116e-03;
+  p = p * z + 4.16666666666665929218e-02;
+  return 1.0 - 0.5 * z + z * z * p;
+}
+
+struct Reduced {
+  double r;         ///< residual in [-pi/4, pi/4]
+  std::int32_t q;   ///< quadrant (k mod 4)
+};
+
+[[nodiscard]] inline Reduced reduce(double x) noexcept {
+  double t = x * kInvPio2;
+  t = t > kMaxQuotient ? kMaxQuotient : t;
+  t = t < -kMaxQuotient ? -kMaxQuotient : t;
+  // Round half away from zero; the tie case only shifts the residual by an
+  // ulp of pi/4, well inside the polynomials' domain.
+  const double bias = t >= 0.0 ? 0.5 : -0.5;
+  const auto k = static_cast<std::int32_t>(t + bias);
+  const double kd = static_cast<double>(k);
+  double r = x - kd * kDP1;
+  r -= kd * kDP2;
+  r -= kd * kDP3;
+  return {r, k & 3};
+}
+
+}  // namespace detail
+
+/// Branch-free cos; exact at 0 (cos(0) == 1.0 so optimum checks stay exact).
+[[nodiscard]] inline double cos(double x) noexcept {
+  const auto [r, q] = detail::reduce(x);
+  const double z = r * r;
+  const double sp = detail::sin_poly(r, z);
+  const double cp = detail::cos_poly(z);
+  // cos(r + q*pi/2): q=0 -> cos r, 1 -> -sin r, 2 -> -cos r, 3 -> sin r.
+  const double mag = (q & 1) != 0 ? sp : cp;
+  const bool negate = ((q + 1) & 2) != 0;  // q in {1, 2}
+  return negate ? -mag : mag;
+}
+
+/// Branch-free sin; exact at 0.
+[[nodiscard]] inline double sin(double x) noexcept {
+  const auto [r, q] = detail::reduce(x);
+  const double z = r * r;
+  const double sp = detail::sin_poly(r, z);
+  const double cp = detail::cos_poly(z);
+  // sin(r + q*pi/2): q=0 -> sin r, 1 -> cos r, 2 -> -sin r, 3 -> -cos r.
+  const double mag = (q & 1) != 0 ? cp : sp;
+  const bool negate = (q & 2) != 0;  // q in {2, 3}
+  return negate ? -mag : mag;
+}
+
+/// floor() for |x| < 2^31 as truncate-and-adjust: integer convert plus one
+/// lane-wise select, the form both the Step kernel and its scalar objective
+/// share so they vectorize identically.
+[[nodiscard]] inline double floor_small(double x) noexcept {
+  const double td = static_cast<double>(static_cast<std::int32_t>(x));
+  return td - static_cast<double>(x < td);
+}
+
+}  // namespace pga::fastmath

@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/genome.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "core/soa.hpp"
 #include "exec/parallelism.hpp"
 
 namespace pga {
@@ -70,8 +72,34 @@ class Population {
   void push_back(IndividualT ind) { members_.push_back(std::move(ind)); }
 
   /// Evaluates every not-yet-evaluated member against `problem`; returns the
-  /// number of fitness evaluations performed.
+  /// number of fitness evaluations performed.  When the problem provides a
+  /// batched SoA kernel, the dirty members are packed into a reused slab and
+  /// evaluated block-wise — bit-identical to the scalar loop (the kernels
+  /// replay the scalar operation order per genome).
   std::size_t evaluate_all(const Problem<G>& problem) {
+    if constexpr (SoaTraits<G>::kEnabled) {
+      if (problem.has_soa_kernel()) {
+        collect_dirty();
+        if (dirty_.empty()) return 0;
+        const auto view = prepare_dirty();
+        const auto scratch = slab_.fitness_scratch();
+        // Pack/evaluate/scatter in L1-sized tiles: gathering the whole slab
+        // up front streams it through cache twice more than the scalar path
+        // streams the genomes, which erases the kernel win for cheap
+        // objectives at large populations (measured in K1).
+        const std::size_t tile = soa_tile_blocks(view.dim);
+        for (std::size_t b0 = 0; b0 < view.blocks(); b0 += tile) {
+          const std::size_t b1 = std::min(view.blocks(), b0 + tile);
+          pack_dirty(b0, b1);
+          problem.fitness_soa(
+              view.slice(b0, b1),
+              scratch.subspan(b0 * kSoaLanes, (b1 - b0) * kSoaLanes));
+          scatter_fitness(b0 * kSoaLanes,
+                          std::min(dirty_.size(), b1 * kSoaLanes));
+        }
+        return dirty_.size();
+      }
+    }
     std::size_t evals = 0;
     for (auto& ind : members_) {
       if (!ind.evaluated) {
@@ -97,17 +125,17 @@ class Population {
                            const exec::Parallelism& par,
                            std::size_t grain = 0) {
     if (!par.parallel() && !par.tracer()) return evaluate_all(problem);
-    std::vector<std::uint32_t> dirty;
-    dirty.reserve(members_.size());
-    for (std::size_t i = 0; i < members_.size(); ++i)
-      if (!members_[i].evaluated)
-        dirty.push_back(static_cast<std::uint32_t>(i));
-    if (dirty.empty()) return 0;
+    if constexpr (SoaTraits<G>::kEnabled) {
+      if (problem.has_soa_kernel())
+        return evaluate_all_soa(problem, par, grain);
+    }
+    collect_dirty();
+    if (dirty_.empty()) return 0;
     const obs::Tracer& trace = par.tracer();
     IndividualT* const m = members_.data();
-    const std::uint32_t* const idx = dirty.data();
+    const std::uint32_t* const idx = dirty_.data();
     par.for_range(
-        0, dirty.size(), grain,
+        0, dirty_.size(), grain,
         [&](std::size_t lo, std::size_t hi, int lane) {
           if (trace) trace.span_begin(lane, par.now(), "compute");
           for (std::size_t k = lo; k < hi; ++k) {
@@ -121,7 +149,7 @@ class Population {
             trace.span_end(lane, t1, "compute");
           }
         });
-    return dirty.size();
+    return dirty_.size();
   }
 
   /// Index of the best (highest-fitness) individual.  Population must be
@@ -144,6 +172,25 @@ class Population {
     return worst;
   }
 
+  /// Single-pass {worst_index, best_index} fold for engines that need both
+  /// (generation snapshots, migration pick/replace).  Tie-identical to the
+  /// separate scans: both keep the first extremum, and an element below the
+  /// running min can never also exceed the running max, so the else-if loses
+  /// nothing.  Population must be non-empty and evaluated.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> minmax_indices() const {
+    if (members_.empty())
+      throw std::logic_error("minmax_indices on empty population");
+    std::size_t worst = 0, best = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      const double f = members_[i].fitness;
+      if (f < members_[worst].fitness)
+        worst = i;
+      else if (f > members_[best].fitness)
+        best = i;
+    }
+    return {worst, best};
+  }
+
   [[nodiscard]] double best_fitness() const { return best().fitness; }
 
   [[nodiscard]] double mean_fitness() const {
@@ -155,9 +202,16 @@ class Population {
   /// Fitness values of all members in order (used by index-based selectors).
   [[nodiscard]] std::vector<double> fitness_values() const {
     std::vector<double> f;
-    f.reserve(members_.size());
-    for (const auto& ind : members_) f.push_back(ind.fitness);
+    fitness_values_into(f);
     return f;
+  }
+
+  /// Allocation-free variant: refills `out` in place (engines pass a
+  /// workspace buffer reused across generations).
+  void fitness_values_into(std::vector<double>& out) const {
+    out.resize(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i)
+      out[i] = members_[i].fitness;
   }
 
   /// Sorts members by descending fitness (best first).
@@ -169,7 +223,103 @@ class Population {
   }
 
  private:
+  /// Refills `dirty_` with the indices of not-yet-evaluated members.
+  void collect_dirty() {
+    dirty_.clear();
+    dirty_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i)
+      if (!members_[i].evaluated)
+        dirty_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  /// Sizes and validates the reused slab for the dirty genomes (no packing
+  /// yet); returns the padded view.  Pair with pack_dirty per block tile.
+  [[nodiscard]] SoaView<G> prepare_dirty() {
+    return slab_.prepare(dirty_.size(), [this](std::size_t k) -> const G& {
+      return members_[dirty_[k]].genome;
+    });
+  }
+
+  /// Packs the dirty genomes of blocks [b0, b1) into the slab.  Disjoint
+  /// block ranges write disjoint slab bytes, so executor lanes pack their
+  /// own tiles concurrently.
+  void pack_dirty(std::size_t b0, std::size_t b1) {
+    slab_.pack_blocks(b0, b1, [this](std::size_t k) -> const G& {
+      return members_[dirty_[k]].genome;
+    });
+  }
+
+  /// Blocks per pack/evaluate/scatter tile: one tile of slab (~32 KiB) stays
+  /// L1-resident while the genomes stream through exactly once, matching the
+  /// scalar path's traffic.
+  [[nodiscard]] static std::size_t soa_tile_blocks(std::size_t dim) {
+    constexpr std::size_t kTileBytes = 32 * 1024;
+    const std::size_t block_bytes =
+        std::max<std::size_t>(1, dim * kSoaLanes *
+                                     sizeof(typename SoaTraits<G>::Elem));
+    return std::max<std::size_t>(1, kTileBytes / block_bytes);
+  }
+
+  /// Copies fitness for padded indices [k0, k1) back onto the dirty members.
+  /// Padded index k corresponds to genome k for k < dirty_.size(), so the
+  /// scatter is a straight indexed copy.
+  void scatter_fitness(std::size_t k0, std::size_t k1) {
+    const auto fit = slab_.fitness_scratch();
+    for (std::size_t k = k0; k < k1; ++k) {
+      IndividualT& ind = members_[dirty_[k]];
+      ind.fitness = fit[k];
+      ind.evaluated = true;
+    }
+  }
+
+  /// Batched-kernel evaluation through the executor: tiles whole SoA blocks
+  /// (kSoaLanes genomes each) across pool lanes, mirroring the scalar path's
+  /// compute/eval_chunk trace spans.  Thread-count invariant: every block is
+  /// evaluated by exactly one lane, writing disjoint fitness slots.
+  std::size_t evaluate_all_soa(const Problem<G>& problem,
+                               const exec::Parallelism& par,
+                               std::size_t grain) {
+    collect_dirty();
+    if (dirty_.empty()) return 0;
+    const auto view = prepare_dirty();
+    const obs::Tracer& trace = par.tracer();
+    const std::size_t block_grain =
+        grain == 0 ? 0 : (grain + kSoaLanes - 1) / kSoaLanes;
+    const std::size_t tile = soa_tile_blocks(view.dim);
+    par.for_range(
+        0, view.blocks(), block_grain,
+        [&](std::size_t lo, std::size_t hi, int lane) {
+          if (trace) trace.span_begin(lane, par.now(), "compute");
+          std::size_t evals = 0;
+          // Each lane packs, evaluates, and scatters its own blocks in
+          // L1-sized tiles: disjoint block ranges touch disjoint slab bytes
+          // and disjoint members, so no synchronization is needed, and the
+          // pack itself parallelizes instead of running serially up front.
+          for (std::size_t b0 = lo; b0 < hi; b0 += tile) {
+            const std::size_t b1 = std::min(hi, b0 + tile);
+            slab_.pack_blocks(b0, b1, [this](std::size_t k) -> const G& {
+              return members_[dirty_[k]].genome;
+            });
+            const SoaView<G> chunk = view.slice(b0, b1);
+            problem.fitness_soa(chunk, slab_.fitness_scratch().subspan(
+                                           b0 * kSoaLanes,
+                                           (b1 - b0) * kSoaLanes));
+            scatter_fitness(b0 * kSoaLanes,
+                            std::min(dirty_.size(), b1 * kSoaLanes));
+            evals += chunk.count;
+          }
+          if (trace) {
+            const double t1 = par.now();
+            trace.evaluation_batch(lane, t1, evals, "eval_chunk");
+            trace.span_end(lane, t1, "compute");
+          }
+        });
+    return dirty_.size();
+  }
+
   std::vector<IndividualT> members_;
+  std::vector<std::uint32_t> dirty_;  ///< reused dirty-index scratch
+  SoaSlab<G> slab_;                   ///< reused gather/eval slab
 };
 
 }  // namespace pga

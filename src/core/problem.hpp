@@ -9,8 +9,12 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/soa.hpp"
 
 namespace pga {
 
@@ -53,7 +57,54 @@ class Problem {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Batched fitness: writes fitness(genomes[k]) to out[k] for every k.
+  /// The default forwards to the scalar virtual one genome at a time;
+  /// problems whose per-evaluation overhead matters (table-bound kernels
+  /// like NK landscapes) override it to amortize that overhead across the
+  /// batch.  out.size() must be >= genomes.size().
+  virtual void fitness_batch(std::span<const G> genomes,
+                             std::span<double> out) const {
+    for (std::size_t k = 0; k < genomes.size(); ++k)
+      out[k] = fitness(genomes[k]);
+  }
+
+  /// True when `fitness_soa` is implemented; engines check this before
+  /// packing a slab.
+  [[nodiscard]] virtual bool has_soa_kernel() const noexcept { return false; }
+
+  /// SoA kernel: fitness for every genome packed in `x`, written to
+  /// out[0..x.count).  `out` must span the padded x.blocks() * kSoaLanes
+  /// doubles; tail-lane values are unspecified.  Implementations must be
+  /// bit-identical to the scalar `fitness` — kernels vectorize across
+  /// genomes, never within one (see core/soa.hpp).  The default throws:
+  /// callers gate on has_soa_kernel().
+  virtual void fitness_soa(const SoaView<G>& x, std::span<double> out) const {
+    (void)x;
+    (void)out;
+    throw std::logic_error(name() + ": fitness_soa called without a kernel");
+  }
 };
+
+/// Evaluates a contiguous batch of genomes through the problem's best batch
+/// path: the SoA kernel via `slab` when available, otherwise fitness_batch.
+/// Writes fitness to out[0..genomes.size()).  The slab is caller-owned
+/// scratch so repeated calls (slave chunk loops) stay allocation-free.
+template <class G>
+void evaluate_batch(const Problem<G>& problem, std::span<const G> genomes,
+                    SoaSlab<G>& slab, std::span<double> out) {
+  if constexpr (SoaTraits<G>::kEnabled) {
+    if (problem.has_soa_kernel()) {
+      const auto view = slab.gather(
+          genomes.size(), [&](std::size_t k) -> const G& { return genomes[k]; });
+      const auto fit = slab.fitness_scratch();
+      problem.fitness_soa(view, fit);
+      for (std::size_t k = 0; k < genomes.size(); ++k) out[k] = fit[k];
+      return;
+    }
+  }
+  problem.fitness_batch(genomes, out);
+}
 
 /// Multi-objective problem (all objectives minimized, ZDT convention).  Used
 /// by the specialized island model (Xiao & Armstrong 2003) experiments.

@@ -30,15 +30,26 @@ namespace detail {
 /// Positive fitness is used as-is — classic fitness-proportionate behaviour —
 /// while populations containing non-positive values are window-shifted so the
 /// worst individual keeps a sliver of probability.
-[[nodiscard]] inline std::vector<double> nonnegative_mass(
-    std::span<const double> fitness) {
+/// Caller-provided-buffer form: refills `mass` in place so steady-state
+/// selection allocates nothing after warmup.
+inline void nonnegative_mass(std::span<const double> fitness,
+                             std::vector<double>& mass) {
   const double lo = *std::min_element(fitness.begin(), fitness.end());
-  if (lo > 0.0) return {fitness.begin(), fitness.end()};
+  mass.resize(fitness.size());
+  if (lo > 0.0) {
+    std::copy(fitness.begin(), fitness.end(), mass.begin());
+    return;
+  }
   const double hi = *std::max_element(fitness.begin(), fitness.end());
   const double eps = (hi > lo) ? (hi - lo) * 1e-9 : 1.0;
-  std::vector<double> mass(fitness.size());
   for (std::size_t i = 0; i < fitness.size(); ++i)
     mass[i] = fitness[i] - lo + eps;
+}
+
+[[nodiscard]] inline std::vector<double> nonnegative_mass(
+    std::span<const double> fitness) {
+  std::vector<double> mass;
+  nonnegative_mass(fitness, mass);
   return mass;
 }
 
@@ -56,10 +67,13 @@ namespace detail {
 }
 }  // namespace detail
 
-/// Fitness-proportionate (roulette-wheel) selection.
+/// Fitness-proportionate (roulette-wheel) selection.  The mass buffer lives
+/// in the closure (each Selector copy gets its own, so per-deme copies stay
+/// thread-safe) and is reused across calls — no steady-state allocation.
 [[nodiscard]] inline Selector roulette() {
-  return [](std::span<const double> fitness, Rng& rng) {
-    const auto mass = detail::nonnegative_mass(fitness);
+  return [mass = std::vector<double>()](std::span<const double> fitness,
+                                        Rng& rng) mutable {
+    detail::nonnegative_mass(fitness, mass);
     return detail::sample_proportional(mass, rng);
   };
 }
@@ -83,14 +97,16 @@ namespace detail {
 [[nodiscard]] inline Selector linear_rank(double s = 1.8) {
   if (s <= 1.0 || s > 2.0)
     throw std::invalid_argument("linear_rank pressure must be in (1, 2]");
-  return [s](std::span<const double> fitness, Rng& rng) {
+  return [s, idx = std::vector<std::size_t>(),
+          mass = std::vector<double>()](std::span<const double> fitness,
+                                        Rng& rng) mutable {
     const std::size_t n = fitness.size();
     // rank[i] = number of individuals strictly worse than i.
-    std::vector<std::size_t> idx(n);
+    idx.resize(n);
     std::iota(idx.begin(), idx.end(), std::size_t{0});
     std::sort(idx.begin(), idx.end(),
               [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
-    std::vector<double> mass(n);
+    mass.resize(n);
     for (std::size_t r = 0; r < n; ++r) {
       const double p =
           (2.0 - s) + 2.0 * (s - 1.0) * static_cast<double>(r) /
@@ -106,11 +122,12 @@ namespace detail {
 [[nodiscard]] inline Selector truncation(double fraction = 0.5) {
   if (fraction <= 0.0 || fraction > 1.0)
     throw std::invalid_argument("truncation fraction must be in (0, 1]");
-  return [fraction](std::span<const double> fitness, Rng& rng) {
+  return [fraction, idx = std::vector<std::size_t>()](
+             std::span<const double> fitness, Rng& rng) mutable {
     const std::size_t n = fitness.size();
     const std::size_t keep = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(n))));
-    std::vector<std::size_t> idx(n);
+    idx.resize(n);
     std::iota(idx.begin(), idx.end(), std::size_t{0});
     std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(keep - 1),
                      idx.end(), [&](std::size_t a, std::size_t b) {
@@ -125,10 +142,11 @@ namespace detail {
 [[nodiscard]] inline Selector boltzmann(double temperature) {
   if (temperature <= 0.0)
     throw std::invalid_argument("boltzmann temperature must be > 0");
-  return [temperature](std::span<const double> fitness, Rng& rng) {
+  return [temperature, mass = std::vector<double>()](
+             std::span<const double> fitness, Rng& rng) mutable {
     // Stabilize by subtracting the max before exponentiating.
     const double hi = *std::max_element(fitness.begin(), fitness.end());
-    std::vector<double> mass(fitness.size());
+    mass.resize(fitness.size());
     for (std::size_t i = 0; i < fitness.size(); ++i)
       mass[i] = std::exp((fitness[i] - hi) / temperature);
     return detail::sample_proportional(mass, rng);
@@ -146,13 +164,14 @@ namespace detail {
 /// Stochastic universal sampling: draws `count` parents with a single spin of
 /// an evenly-spaced multi-arm wheel, guaranteeing each individual's draw count
 /// differs from its expectation by less than 1 (Baker 1987).
-[[nodiscard]] inline std::vector<std::size_t> sus(
-    std::span<const double> fitness, std::size_t count, Rng& rng) {
-  const auto mass = detail::nonnegative_mass(fitness);
+/// Caller-provided-buffer form (picks and mass scratch are reused).
+inline void sus(std::span<const double> fitness, std::size_t count, Rng& rng,
+                std::vector<std::size_t>& picks, std::vector<double>& mass) {
+  detail::nonnegative_mass(fitness, mass);
   const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
   const double step = total / static_cast<double>(count);
   double pointer = rng.uniform() * step;
-  std::vector<std::size_t> picks;
+  picks.clear();
   picks.reserve(count);
   double cumulative = mass[0];
   std::size_t i = 0;
@@ -161,6 +180,13 @@ namespace detail {
     while (cumulative < target && i + 1 < mass.size()) cumulative += mass[++i];
     picks.push_back(i);
   }
+}
+
+[[nodiscard]] inline std::vector<std::size_t> sus(
+    std::span<const double> fitness, std::size_t count, Rng& rng) {
+  std::vector<std::size_t> picks;
+  std::vector<double> mass;
+  sus(fitness, count, rng, picks, mass);
   return picks;
 }
 

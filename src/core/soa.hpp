@@ -1,0 +1,227 @@
+#pragma once
+// Structure-of-arrays genome slabs for batched fitness evaluation.
+//
+// The scalar evaluation path pays one virtual call plus a pointer chase into
+// a scattered std::vector per genome — the overhead PGAPack-style batch
+// interfaces exist to avoid, and the Tf term every master-slave speedup
+// curve in the survey depends on.  A SoaSlab gathers a population's dirty
+// genomes once per generation into a single reused buffer; kernels then
+// vectorize across genomes and fitness is scattered back.
+//
+// Layout: AoSoA.  Genomes are packed in blocks of kSoaLanes; within a block
+// the i-th element of all lanes is contiguous, i.e. element i of genome g
+// lives at data[((g / L) * dim + i) * L + (g % L)] with L = kSoaLanes.  A
+// kernel walks one block at a time with unit-stride rows, keeping kSoaLanes
+// accumulators that the compiler maps onto SIMD registers, while each
+// genome's operation order is exactly the scalar loop's — which is what
+// keeps batched results bit-identical to the scalar path at any SIMD width.
+// One block stays L1-resident even at dim 100 (100 rows x 128 B).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/genome.hpp"
+
+namespace pga {
+
+/// Genomes per AoSoA block.  16 doubles spans two AVX-512 / four AVX2 / eight
+/// SSE2 registers — a multiple of every vector width we target — and one
+/// block row (128 B) is exactly two cache lines.
+inline constexpr std::size_t kSoaLanes = 16;
+
+namespace detail {
+/// Register-blocked 16 x dim transposes for one full AoSoA block (see
+/// core/soa_pack.cpp).  `lanes` holds kSoaLanes pointers to contiguous
+/// genome storage; `dst` is the block base (rows of kSoaLanes elements).
+void pack_real_block(const double* const* lanes, std::size_t dim,
+                     double* dst) noexcept;
+void pack_bits_block(const std::uint8_t* const* lanes, std::size_t dim,
+                     std::uint8_t* dst) noexcept;
+}  // namespace detail
+
+/// Which genome families can be packed into a slab.  The primary template is
+/// the "no" answer (Permutation, IntVector, ...); it must stay well-formed
+/// for every G because Problem<G> names SoaView<G> in a virtual signature,
+/// and virtuals are instantiated with their class.
+template <class G>
+struct SoaTraits {
+  static constexpr bool kEnabled = false;
+  using Elem = unsigned char;
+  static std::size_t dim(const G&) noexcept { return 0; }
+  static Elem get(const G&, std::size_t) noexcept { return {}; }
+};
+
+template <>
+struct SoaTraits<RealVector> {
+  static constexpr bool kEnabled = true;
+  using Elem = double;
+  static std::size_t dim(const RealVector& g) noexcept { return g.size(); }
+  static Elem get(const RealVector& g, std::size_t i) noexcept {
+    return g.values[i];
+  }
+  static const Elem* ptr(const RealVector& g) noexcept {
+    return g.values.data();
+  }
+};
+
+template <>
+struct SoaTraits<BitString> {
+  static constexpr bool kEnabled = true;
+  using Elem = std::uint8_t;
+  static std::size_t dim(const BitString& g) noexcept { return g.size(); }
+  static Elem get(const BitString& g, std::size_t i) noexcept {
+    return g.bits[i];
+  }
+  static const Elem* ptr(const BitString& g) noexcept { return g.bits.data(); }
+};
+
+/// Read-only window over packed genomes.  `count` is the number of live
+/// genomes; the tail lanes of the last block are zero-padded so kernels can
+/// always run whole blocks (every benchmark kernel is well-defined at 0 —
+/// no packed element is ever a divisor).
+template <class G>
+struct SoaView {
+  using Elem = typename SoaTraits<G>::Elem;
+
+  const Elem* data = nullptr;
+  std::size_t count = 0;
+  std::size_t dim = 0;
+
+  [[nodiscard]] std::size_t blocks() const noexcept {
+    return (count + kSoaLanes - 1) / kSoaLanes;
+  }
+
+  /// Pointer to row 0 of block b (rows are dim x kSoaLanes elements).
+  [[nodiscard]] const Elem* block(std::size_t b) const noexcept {
+    return data + b * dim * kSoaLanes;
+  }
+
+  /// Element i of genome g (diagnostic/test accessor; kernels use block()).
+  [[nodiscard]] Elem at(std::size_t g, std::size_t i) const noexcept {
+    return data[((g / kSoaLanes) * dim + i) * kSoaLanes + (g % kSoaLanes)];
+  }
+
+  /// Sub-view over blocks [b0, b1), the tiling unit for parallel dispatch:
+  /// pool lanes each take whole blocks, so lane boundaries never split a
+  /// SIMD group and results stay independent of the tiling.
+  [[nodiscard]] SoaView slice(std::size_t b0, std::size_t b1) const noexcept {
+    SoaView v;
+    v.data = block(b0);
+    v.dim = dim;
+    const std::size_t lo = b0 * kSoaLanes;
+    const std::size_t hi = std::min(count, b1 * kSoaLanes);
+    v.count = hi > lo ? hi - lo : 0;
+    return v;
+  }
+};
+
+using RealSoaView = SoaView<RealVector>;
+using BitSoaView = SoaView<BitString>;
+
+/// Owns the packed genome buffer plus a padded fitness scratch.  Reused
+/// across generations: once capacities stabilize, gather/scatter allocate
+/// nothing (asserted by the counting-allocator test in test_soa.cpp).
+template <class G>
+class SoaSlab {
+ public:
+  using Elem = typename SoaTraits<G>::Elem;
+
+  /// Packs `count` genomes (`genome_at(k)` -> const G&) into the slab and
+  /// returns a view over them.  Throws std::invalid_argument on ragged
+  /// populations — genomes of differing dimension would otherwise read and
+  /// write out of bounds.
+  template <class GenomeAt>
+  SoaView<G> gather(std::size_t count, GenomeAt&& genome_at) {
+    const SoaView<G> v = prepare(count, genome_at);
+    pack_blocks(0, v.blocks(), genome_at);
+    return v;
+  }
+
+  /// First half of gather: sizes the slab and validates every genome's
+  /// dimension before anything is written — a ragged population must throw
+  /// out of a slab it has not touched.  Pairs with pack_blocks so callers
+  /// can pack/evaluate/scatter in cache-resident tiles instead of streaming
+  /// the whole slab through cache between phases.
+  template <class GenomeAt>
+  SoaView<G> prepare(std::size_t count, GenomeAt&& genome_at) {
+    static_assert(SoaTraits<G>::kEnabled,
+                  "SoaSlab::gather requires a packable genome type");
+    count_ = count;
+    dim_ = count ? SoaTraits<G>::dim(genome_at(std::size_t{0})) : 0;
+    const std::size_t blocks = (count + kSoaLanes - 1) / kSoaLanes;
+    data_.resize(blocks * dim_ * kSoaLanes);
+    fitness_.resize(blocks * kSoaLanes);
+    for (std::size_t k = 0; k < count; ++k) {
+      const G& g = genome_at(k);
+      if (SoaTraits<G>::dim(g) != dim_)
+        throw std::invalid_argument(
+            "SoaSlab: ragged population (genome " + std::to_string(k) +
+            " has dim " + std::to_string(SoaTraits<G>::dim(g)) +
+            ", expected " + std::to_string(dim_) + ")");
+    }
+    return view();
+  }
+
+  /// Packs the genomes of blocks [b0, b1) — the tiling unit for both the
+  /// cache-blocked sequential path and per-lane packing under the executor
+  /// (disjoint block ranges touch disjoint slab bytes, so lanes need no
+  /// synchronization).  Requires a prior prepare() with the same genomes.
+  /// Full blocks go through the register-blocked transposes in soa_pack.cpp;
+  /// written element-wise the strided stores never vectorize and the pack
+  /// costs more than the kernels it feeds.  Tail lanes of the last block are
+  /// zeroed so kernels always run whole blocks without reading stale data
+  /// from a previous, larger gather.
+  template <class GenomeAt>
+  void pack_blocks(std::size_t b0, std::size_t b1, GenomeAt&& genome_at) {
+    const std::size_t full = std::min(b1, count_ / kSoaLanes);
+    for (std::size_t b = b0; b < full; ++b) {
+      const Elem* lanes[kSoaLanes];
+      for (std::size_t l = 0; l < kSoaLanes; ++l)
+        lanes[l] = SoaTraits<G>::ptr(genome_at(b * kSoaLanes + l));
+      Elem* dst = data_.data() + b * dim_ * kSoaLanes;
+      if constexpr (std::is_same_v<Elem, double>)
+        detail::pack_real_block(lanes, dim_, dst);
+      else
+        detail::pack_bits_block(lanes, dim_, dst);
+    }
+    const std::size_t lo = std::max(b0, full) * kSoaLanes;
+    for (std::size_t k = lo; k < std::min(count_, b1 * kSoaLanes); ++k) {
+      const G& g = genome_at(k);
+      Elem* base = lane_base(k);
+      for (std::size_t i = 0; i < dim_; ++i)
+        base[i * kSoaLanes] = SoaTraits<G>::get(g, i);
+    }
+    for (std::size_t k = std::max(count_, lo); k < b1 * kSoaLanes; ++k) {
+      Elem* base = lane_base(k);
+      for (std::size_t i = 0; i < dim_; ++i) base[i * kSoaLanes] = Elem{};
+    }
+  }
+
+  [[nodiscard]] SoaView<G> view() const noexcept {
+    return SoaView<G>{data_.data(), count_, dim_};
+  }
+
+  /// Padded (blocks x kSoaLanes) output scratch aligned with the view:
+  /// fitness of genome k lands at index k, tail-lane entries are garbage.
+  [[nodiscard]] std::span<double> fitness_scratch() noexcept {
+    return {fitness_.data(), fitness_.size()};
+  }
+
+ private:
+  [[nodiscard]] Elem* lane_base(std::size_t k) noexcept {
+    return data_.data() + (k / kSoaLanes) * dim_ * kSoaLanes + (k % kSoaLanes);
+  }
+
+  std::vector<Elem> data_;
+  std::vector<double> fitness_;
+  std::size_t count_ = 0;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace pga

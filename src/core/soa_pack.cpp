@@ -1,0 +1,156 @@
+// Fast AoSoA block packers for SoaSlab::gather (see core/soa.hpp).
+//
+// The gather is a 16 x dim transpose: each genome's contiguous elements
+// scatter into stride-kSoaLanes rows.  Written element-by-element that costs
+// more than the vectorized kernels it feeds (a strided store per element
+// never vectorizes), so the hot path runs register-blocked transposes:
+//
+//   RealVector  4x4 double tiles  (AVX2 unpack + permute2f128; SSE2 2x2
+//                                  pairs in the baseline clone)
+//   BitString   16x16 byte tiles  (SSE2 punpck tree — one tile is a whole
+//                                  block row set, and the packed row of 16
+//                                  lanes is exactly one 16-byte store)
+//
+// Pure data movement — no arithmetic — so unlike the fitness kernels these
+// need no contraction caveats: any instruction selection preserves bits.
+// Function multiversioning is GCC/x86-64 only and predates sanitizer
+// runtimes' ifunc support, mirroring the kernels.cpp clone guard; everything
+// else takes the portable scalar loops.
+
+#include "core/soa.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define PGA_PACK_X86 1
+#include <immintrin.h>
+#else
+#define PGA_PACK_X86 0
+#endif
+
+namespace pga::detail {
+
+namespace {
+constexpr std::size_t W = kSoaLanes;
+
+// Scalar tails shared by every version.
+inline void pack_real_tail(const double* const* lanes, std::size_t i0,
+                           std::size_t dim, double* dst) noexcept {
+  for (std::size_t i = i0; i < dim; ++i)
+    for (std::size_t l = 0; l < W; ++l) dst[i * W + l] = lanes[l][i];
+}
+
+inline void pack_bits_tail(const std::uint8_t* const* lanes, std::size_t i0,
+                           std::size_t dim, std::uint8_t* dst) noexcept {
+  for (std::size_t i = i0; i < dim; ++i)
+    for (std::size_t l = 0; l < W; ++l) dst[i * W + l] = lanes[l][i];
+}
+}  // namespace
+
+#if PGA_PACK_X86
+
+__attribute__((target("avx2"))) void pack_real_block(
+    const double* const* lanes, std::size_t dim, double* dst) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    for (std::size_t l = 0; l < W; l += 4) {
+      // 4x4 tile: rows are 4 consecutive elements of 4 genomes; unpack +
+      // 128-bit permutes give the 4 lane-major output rows.
+      const __m256d r0 = _mm256_loadu_pd(lanes[l + 0] + i);
+      const __m256d r1 = _mm256_loadu_pd(lanes[l + 1] + i);
+      const __m256d r2 = _mm256_loadu_pd(lanes[l + 2] + i);
+      const __m256d r3 = _mm256_loadu_pd(lanes[l + 3] + i);
+      const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+      const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+      const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+      const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+      double* o = dst + i * W + l;
+      _mm256_storeu_pd(o + 0 * W, _mm256_permute2f128_pd(t0, t2, 0x20));
+      _mm256_storeu_pd(o + 1 * W, _mm256_permute2f128_pd(t1, t3, 0x20));
+      _mm256_storeu_pd(o + 2 * W, _mm256_permute2f128_pd(t0, t2, 0x31));
+      _mm256_storeu_pd(o + 3 * W, _mm256_permute2f128_pd(t1, t3, 0x31));
+    }
+  }
+  for (; i + 2 <= dim; i += 2) {
+    for (std::size_t l = 0; l < W; l += 2) {
+      const __m128d a = _mm_loadu_pd(lanes[l + 0] + i);
+      const __m128d b = _mm_loadu_pd(lanes[l + 1] + i);
+      _mm_storeu_pd(dst + (i + 0) * W + l, _mm_unpacklo_pd(a, b));
+      _mm_storeu_pd(dst + (i + 1) * W + l, _mm_unpackhi_pd(a, b));
+    }
+  }
+  pack_real_tail(lanes, i, dim, dst);
+}
+
+__attribute__((target("default"))) void pack_real_block(
+    const double* const* lanes, std::size_t dim, double* dst) noexcept {
+  // Baseline x86-64 always has SSE2: 2x2 tiles halve the strided-store count.
+  std::size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    for (std::size_t l = 0; l < W; l += 2) {
+      const __m128d a = _mm_loadu_pd(lanes[l + 0] + i);
+      const __m128d b = _mm_loadu_pd(lanes[l + 1] + i);
+      _mm_storeu_pd(dst + (i + 0) * W + l, _mm_unpacklo_pd(a, b));
+      _mm_storeu_pd(dst + (i + 1) * W + l, _mm_unpackhi_pd(a, b));
+    }
+  }
+  pack_real_tail(lanes, i, dim, dst);
+}
+
+void pack_bits_block(const std::uint8_t* const* lanes, std::size_t dim,
+                     std::uint8_t* dst) noexcept {
+  // 16x16 byte transpose (SSE2 punpck tree).  One tile covers 16 elements
+  // of all 16 lanes, and each transposed row is exactly one 16-byte store.
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m128i r[16];
+    for (std::size_t l = 0; l < 16; ++l)
+      r[l] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lanes[l] + i));
+    __m128i t[16];
+    for (std::size_t l = 0; l < 8; ++l) {
+      t[2 * l + 0] = _mm_unpacklo_epi8(r[2 * l], r[2 * l + 1]);
+      t[2 * l + 1] = _mm_unpackhi_epi8(r[2 * l], r[2 * l + 1]);
+    }
+    for (std::size_t l = 0; l < 4; ++l) {
+      r[4 * l + 0] = _mm_unpacklo_epi16(t[4 * l + 0], t[4 * l + 2]);
+      r[4 * l + 1] = _mm_unpackhi_epi16(t[4 * l + 0], t[4 * l + 2]);
+      r[4 * l + 2] = _mm_unpacklo_epi16(t[4 * l + 1], t[4 * l + 3]);
+      r[4 * l + 3] = _mm_unpackhi_epi16(t[4 * l + 1], t[4 * l + 3]);
+    }
+    for (std::size_t l = 0; l < 2; ++l) {
+      t[8 * l + 0] = _mm_unpacklo_epi32(r[8 * l + 0], r[8 * l + 4]);
+      t[8 * l + 1] = _mm_unpackhi_epi32(r[8 * l + 0], r[8 * l + 4]);
+      t[8 * l + 2] = _mm_unpacklo_epi32(r[8 * l + 1], r[8 * l + 5]);
+      t[8 * l + 3] = _mm_unpackhi_epi32(r[8 * l + 1], r[8 * l + 5]);
+      t[8 * l + 4] = _mm_unpacklo_epi32(r[8 * l + 2], r[8 * l + 6]);
+      t[8 * l + 5] = _mm_unpackhi_epi32(r[8 * l + 2], r[8 * l + 6]);
+      t[8 * l + 6] = _mm_unpacklo_epi32(r[8 * l + 3], r[8 * l + 7]);
+      t[8 * l + 7] = _mm_unpackhi_epi32(r[8 * l + 3], r[8 * l + 7]);
+    }
+    __m128i* out = reinterpret_cast<__m128i*>(dst + i * W);
+    for (std::size_t k = 0; k < 8; ++k) {
+      _mm_storeu_si128(out + 2 * k + 0, _mm_unpacklo_epi64(t[k], t[k + 8]));
+      _mm_storeu_si128(out + 2 * k + 1, _mm_unpackhi_epi64(t[k], t[k + 8]));
+    }
+  }
+  pack_bits_tail(lanes, i, dim, dst);
+}
+
+#else  // !PGA_PACK_X86
+
+void pack_real_block(const double* const* lanes, std::size_t dim,
+                     double* dst) noexcept {
+  pack_real_tail(lanes, 0, dim, dst);
+}
+
+void pack_bits_block(const std::uint8_t* const* lanes, std::size_t dim,
+                     std::uint8_t* dst) noexcept {
+  pack_bits_tail(lanes, 0, dim, dst);
+}
+
+#endif  // PGA_PACK_X86
+
+}  // namespace pga::detail

@@ -1,0 +1,29 @@
+#pragma once
+// Per-engine generation workspace.
+//
+// Scratch buffers a reproductive loop needs every generation — the fitness
+// snapshot for selection, offspring slots, the next-generation vector — are
+// kept here and reused, so the steady-state cost of a generation is zero
+// heap allocations after warmup (asserted by tests/test_soa.cpp with a
+// counting allocator).  Genome slots keep their capacity across generations:
+// copies into them are capacity-reusing assignments, and finished offspring
+// are std::swap'ed (never moved) into the next generation so allocations
+// circulate instead of being freed and re-made.
+
+#include <vector>
+
+#include "core/population.hpp"
+
+namespace pga {
+
+/// Reusable scratch for one evolution engine (one per scheme / deme / master
+/// loop; not shared across threads).
+template <class G>
+struct GenWorkspace {
+  std::vector<double> fitness;              ///< selection fitness snapshot
+  std::vector<Individual<G>> offspring;     ///< offspring slots (slot capacity persists)
+  std::vector<Individual<G>> next;          ///< next-generation staging vector
+  Individual<G> spare;                      ///< sink for a dropped second child
+};
+
+}  // namespace pga

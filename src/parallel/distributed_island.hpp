@@ -157,9 +157,10 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
     t.compute(static_cast<double>(evals) * cfg.eval_cost_s);
     if (cfg.trace) {
       cfg.trace.evaluation_batch(rank, t.now(), evals);
+      const auto [worst_i, best_i] = pop.minmax_indices();
       cfg.trace.gen_stats(rank, t.now(), report.generations,
-                          report.evaluations, pop.best_fitness(),
-                          pop.mean_fitness(), pop[pop.worst_index()].fitness);
+                          report.evaluations, pop[best_i].fitness,
+                          pop.mean_fitness(), pop[worst_i].fitness);
       probe.observe(pop, t.now(), report.generations, evals);
     }
 

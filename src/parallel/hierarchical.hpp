@@ -177,10 +177,11 @@ class HierarchicalGA {
           config_.trace.span_begin(static_cast<int>(d), now - 1.0, "compute");
           config_.trace.evaluation_batch(static_cast<int>(d), now, evals);
           config_.trace.span_end(static_cast<int>(d), now, "compute");
+          const auto [worst_i, best_i] = pops[d].minmax_indices();
           config_.trace.gen_stats(static_cast<int>(d), now, result.epochs + 1,
-                                  result.evaluations, pops[d].best_fitness(),
+                                  result.evaluations, pops[d][best_i].fitness,
                                   pops[d].mean_fitness(),
-                                  pops[d][pops[d].worst_index()].fitness);
+                                  pops[d][worst_i].fitness);
         }
       }
       ++result.epochs;

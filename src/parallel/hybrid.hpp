@@ -233,9 +233,10 @@ HybridReport<G> run_hybrid_rank(comm::Transport& t, const Problem<G>& problem,
     for (auto& child : offspring) next.push_back(std::move(child));
     pop = Population<G>(std::move(next));
     ++report.generations;
+    const auto [worst_i, best_i] = pop.minmax_indices();
     cfg.trace.gen_stats(rank, t.now(), report.generations, report.evaluations,
-                        pop.best_fitness(), pop.mean_fitness(),
-                        pop[pop.worst_index()].fitness);
+                        pop[best_i].fitness, pop.mean_fitness(),
+                        pop[worst_i].fitness);
 
     // Inter-group migration (leaders only, synchronous).
     if (cfg.policy.enabled() && gen % cfg.policy.interval == 0) {

@@ -188,10 +188,10 @@ class IslandModel {
           trace_.span_begin(static_cast<int>(d), now - 1.0, "compute");
           trace_.evaluation_batch(static_cast<int>(d), now, deme_evals[d]);
           trace_.span_end(static_cast<int>(d), now, "compute");
+          const auto [worst_i, best_i] = pop.minmax_indices();
           trace_.gen_stats(static_cast<int>(d), now, result.epochs,
-                           result.evaluations, pop.best_fitness(),
-                           pop.mean_fitness(),
-                           pop[pop.worst_index()].fitness);
+                           result.evaluations, pop[best_i].fitness,
+                           pop.mean_fitness(), pop[worst_i].fitness);
           probes[d].observe(pop, now, result.epochs, deme_evals[d]);
         }
       }
@@ -295,10 +295,10 @@ class IslandModel {
         const double now = par.now();
         for (std::size_t d = 0; d < num_demes(); ++d) {
           const auto& pop = populations[d];
+          const auto [worst_i, best_i] = pop.minmax_indices();
           trace_.gen_stats(static_cast<int>(d), now, result.epochs,
-                           result.evaluations, pop.best_fitness(),
-                           pop.mean_fitness(),
-                           pop[pop.worst_index()].fitness);
+                           result.evaluations, pop[best_i].fitness,
+                           pop.mean_fitness(), pop[worst_i].fitness);
           probes[d].observe(pop, now, result.epochs, deme_evals[d]);
         }
       }

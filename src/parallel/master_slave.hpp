@@ -27,6 +27,8 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "comm/serialize.hpp"
@@ -102,9 +104,20 @@ template <class G>
 
 /// Slave loop: evaluate work chunks until told to stop.  Thread-compatible
 /// with any Problem (evaluations are const).
+///
+/// Chunks are evaluated as *batches*: the whole message is deserialized into
+/// persistent genome slots (capacity survives across chunks), the declared
+/// cost is charged once for the chunk, and pga::evaluate_batch routes
+/// through the problem's SoA kernel when it has one — so the master-slave
+/// evaluation time Tf shrinks by the same kernel factor experiment K1
+/// measures, moving the optimal slave count s* = sqrt(n Tf / Tc) down.
 template <class G>
 void run_slave(comm::Transport& t, const Problem<G>& problem,
                const MasterSlaveConfig<G>& cfg) {
+  std::vector<G> genomes;
+  std::vector<std::uint32_t> ids;
+  std::vector<double> fit;
+  SoaSlab<G> slab;
   for (;;) {
     auto msg = t.recv(0, comm::Transport::kAnyTag);
     if (!msg || msg->tag == ms_detail::kStopTag) return;
@@ -112,15 +125,21 @@ void run_slave(comm::Transport& t, const Problem<G>& problem,
     const auto count = r.read<std::uint32_t>();
     cfg.trace.span_begin(t.rank(), t.now(), "eval_chunk");
     cfg.trace.evaluation_batch(t.rank(), t.now(), count, "eval_chunk");
+    genomes.resize(count);
+    ids.resize(count);
+    fit.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ids[i] = r.read<std::uint32_t>();
+      comm::deserialize(r, genomes[i]);
+    }
+    t.compute(cfg.eval_cost_s * static_cast<double>(count));
+    evaluate_batch(problem, std::span<const G>(genomes.data(), count), slab,
+                   std::span<double>(fit.data(), count));
     comm::ByteWriter reply;
     reply.write<std::uint32_t>(count);
     for (std::uint32_t i = 0; i < count; ++i) {
-      const auto id = r.read<std::uint32_t>();
-      G genome;
-      comm::deserialize(r, genome);
-      t.compute(cfg.eval_cost_s);
-      reply.write<std::uint32_t>(id);
-      reply.write<double>(problem.fitness(genome));
+      reply.write<std::uint32_t>(ids[i]);
+      reply.write<double>(fit[i]);
     }
     cfg.trace.span_end(t.rank(), t.now(), "eval_chunk");
     t.send(0, ms_detail::kResultTag, std::move(reply).take());
@@ -319,9 +338,10 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
   std::size_t probed_evals = 0;
   auto snapshot_stats = [&] {
     if (!cfg.trace) return;
+    const auto [worst_i, best_i] = pop.minmax_indices();
     cfg.trace.gen_stats(t.rank(), t.now(), result.generations,
-                        result.evaluations, pop.best_fitness(),
-                        pop.mean_fitness(), pop[pop.worst_index()].fitness);
+                        result.evaluations, pop[best_i].fitness,
+                        pop.mean_fitness(), pop[worst_i].fitness);
     probe.observe(pop, t.now(), result.generations,
                   result.evaluations - probed_evals);
     probed_evals = result.evaluations;
@@ -336,42 +356,54 @@ MasterResult<G> run_master(comm::Transport& t, const Problem<G>& problem,
   };
   update_target();
 
+  // Generation workspace: offspring slots, staging vector and the fitness
+  // snapshot are reused every generation (see GenWorkspace).
+  GenWorkspace<G> ws;
   while (!result.reached_target &&
          result.generations < cfg.stop.max_generations &&
          result.evaluations < cfg.stop.max_evaluations) {
     // Variation on the master (the serial fraction).
-    const auto fitness = pop.fitness_values();
+    pop.fitness_values_into(ws.fitness);
     const std::size_t offspring_count =
         cfg.pop_size > cfg.elitism ? cfg.pop_size - cfg.elitism : 1;
-    std::vector<Individual<G>> offspring;
-    offspring.reserve(offspring_count);
-    while (offspring.size() < offspring_count) {
-      const std::size_t i = cfg.ops.select(fitness, rng);
-      const std::size_t j = cfg.ops.select(fitness, rng);
-      G c1 = pop[i].genome, c2 = pop[j].genome;
+    ws.offspring.resize(offspring_count);
+    std::size_t made = 0;
+    while (made < offspring_count) {
+      const std::size_t i = cfg.ops.select(ws.fitness, rng);
+      const std::size_t j = cfg.ops.select(ws.fitness, rng);
+      Individual<G>& s1 = ws.offspring[made];
+      Individual<G>& s2 =
+          (made + 1 < offspring_count) ? ws.offspring[made + 1] : ws.spare;
+      s1.genome = pop[i].genome;
+      s2.genome = pop[j].genome;
+      s1.evaluated = s2.evaluated = false;
       if (rng.bernoulli(cfg.ops.crossover_rate)) {
-        auto [a, b] = cfg.ops.cross(pop[i].genome, pop[j].genome, rng);
-        c1 = std::move(a);
-        c2 = std::move(b);
+        if (cfg.ops.cross_in_place) {
+          cfg.ops.cross_in_place(s1.genome, s2.genome, rng);
+        } else {
+          auto [a, b] = cfg.ops.cross(pop[i].genome, pop[j].genome, rng);
+          s1.genome = std::move(a);
+          s2.genome = std::move(b);
+        }
       }
-      cfg.ops.mutate(c1, rng);
-      offspring.emplace_back(std::move(c1));
-      if (offspring.size() < offspring_count) {
-        cfg.ops.mutate(c2, rng);
-        offspring.emplace_back(std::move(c2));
+      cfg.ops.mutate(s1.genome, rng);
+      ++made;
+      if (made < offspring_count) {
+        cfg.ops.mutate(s2.genome, rng);
+        ++made;
       }
     }
     t.compute(cfg.variation_cost_s * static_cast<double>(offspring_count));
 
-    evaluate_batch(offspring);
+    evaluate_batch(ws.offspring);
 
     pop.sort_descending();
-    std::vector<Individual<G>> next;
-    next.reserve(cfg.pop_size);
-    for (std::size_t e = 0; e < cfg.elitism && e < pop.size(); ++e)
-      next.push_back(pop[e]);
-    for (auto& child : offspring) next.push_back(std::move(child));
-    pop = Population<G>(std::move(next));
+    const std::size_t elite_keep = std::min(cfg.elitism, pop.size());
+    ws.next.resize(elite_keep + offspring_count);
+    for (std::size_t e = 0; e < elite_keep; ++e) ws.next[e] = pop[e];
+    for (std::size_t r = 0; r < offspring_count; ++r)
+      std::swap(ws.next[elite_keep + r], ws.offspring[r]);
+    pop.members().swap(ws.next);
 
     ++result.generations;
     snapshot_stats();

@@ -5,6 +5,7 @@
 // (NP-complete) live in npcomplete.hpp.
 
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/genome.hpp"
 #include "core/problem.hpp"
 #include "core/rng.hpp"
+#include "problems/kernels.hpp"
 
 namespace pga::problems {
 
@@ -28,6 +30,11 @@ class OneMax final : public Problem<BitString> {
   }
   [[nodiscard]] std::string name() const override { return "onemax"; }
   [[nodiscard]] std::size_t length() const noexcept { return length_; }
+
+  [[nodiscard]] bool has_soa_kernel() const noexcept override { return true; }
+  void fitness_soa(const BitSoaView& x, std::span<double> out) const override {
+    kernels::onemax(x, out.data());
+  }
 
  private:
   std::size_t length_;
@@ -65,6 +72,13 @@ class DeceptiveTrap final : public Problem<BitString> {
   [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
   [[nodiscard]] std::size_t block_size() const noexcept { return k_; }
 
+  [[nodiscard]] bool has_soa_kernel() const noexcept override { return true; }
+  void fitness_soa(const BitSoaView& x, std::span<double> out) const override {
+    if (x.dim != blocks_ * k_)
+      throw std::invalid_argument("trap genome length mismatch");
+    kernels::deceptive_trap(x, blocks_, k_, out.data());
+  }
+
  private:
   std::size_t blocks_;
   std::size_t k_;
@@ -98,6 +112,13 @@ class PPeaks final : public Problem<BitString> {
   [[nodiscard]] std::size_t length() const noexcept { return length_; }
   [[nodiscard]] const std::vector<BitString>& peaks() const noexcept {
     return peaks_;
+  }
+
+  [[nodiscard]] bool has_soa_kernel() const noexcept override { return true; }
+  void fitness_soa(const BitSoaView& x, std::span<double> out) const override {
+    if (x.dim != length_)
+      throw std::invalid_argument("p-peaks genome length mismatch");
+    kernels::p_peaks(x, peaks_, out.data());
   }
 
  private:
@@ -139,6 +160,32 @@ class NKLandscape final : public Problem<BitString> {
       total += tables_[i][key];
     }
     return total / static_cast<double>(n_);
+  }
+
+  /// Batched evaluation goes gene-major: one pass per gene applies that
+  /// gene's link list and contribution table to every genome while both are
+  /// hot in cache — the batching win for a table-bound kernel (the slab
+  /// layout adds nothing here, so NK overrides fitness_batch only).  The
+  /// per-genome accumulation order (gene 0..n-1, then one division) matches
+  /// the scalar loop exactly, so results are bit-identical.
+  void fitness_batch(std::span<const BitString> genomes,
+                     std::span<double> out) const override {
+    for (const auto& g : genomes)
+      if (g.size() != n_)
+        throw std::invalid_argument("NK genome length mismatch");
+    for (std::size_t m = 0; m < genomes.size(); ++m) out[m] = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto& links = links_[i];
+      const auto& table = tables_[i];
+      for (std::size_t m = 0; m < genomes.size(); ++m) {
+        const BitString& g = genomes[m];
+        std::size_t key = g[i];
+        for (std::size_t j : links) key = (key << 1) | g[j];
+        out[m] += table[key];
+      }
+    }
+    for (std::size_t m = 0; m < genomes.size(); ++m)
+      out[m] /= static_cast<double>(n_);
   }
 
   /// NK optima are instance-specific; exhaustively solvable only for small N.
@@ -189,6 +236,13 @@ class RoyalRoad final : public Problem<BitString> {
   }
   [[nodiscard]] std::string name() const override { return "royal-road"; }
   [[nodiscard]] std::size_t length() const noexcept { return blocks_ * k_; }
+
+  [[nodiscard]] bool has_soa_kernel() const noexcept override { return true; }
+  void fitness_soa(const BitSoaView& x, std::span<double> out) const override {
+    if (x.dim != blocks_ * k_)
+      throw std::invalid_argument("royal-road genome length mismatch");
+    kernels::royal_road(x, blocks_, k_, out.data());
+  }
 
  private:
   std::size_t blocks_;

@@ -6,14 +6,24 @@
 // minimization number.  Sphere/Rosenbrock are the "easy" end; Rastrigin,
 // Schwefel, Griewank and Ackley are the multimodal workloads Muehlenbein's
 // and Alba & Troya's parallel GA studies use.
+//
+// Every benchmark also provides a batched SoA kernel (problems/kernels.cpp)
+// that evaluates a packed population block-wise, bit-identical to the scalar
+// path.  To make that identity hold, the scalar objectives call the shared
+// pga::fastmath cos/sin/floor forms rather than libm (same accuracy class,
+// ~1-2 ulp; exact at the benchmarks' optima).
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <span>
 #include <string>
 
+#include "core/fastmath.hpp"
 #include "core/genome.hpp"
 #include "core/problem.hpp"
+#include "problems/kernels.hpp"
 
 namespace pga::problems {
 
@@ -35,6 +45,29 @@ class ContinuousFunction : public Problem<RealVector> {
     return 0.0;
   }
 
+  [[nodiscard]] bool has_soa_kernel() const noexcept final {
+    return has_objective_kernel();
+  }
+
+  /// Kernel path: objective per packed genome, then the same negation the
+  /// scalar `fitness` applies.
+  void fitness_soa(const RealSoaView& x, std::span<double> out) const final {
+    objective_soa(x, out);
+    for (std::size_t k = 0; k < x.count; ++k) out[k] = -out[k];
+  }
+
+ protected:
+  /// Batched objective over a SoA view (see kernels.hpp); paired with
+  /// has_objective_kernel() = true in every benchmark below.
+  virtual void objective_soa(const RealSoaView& x, std::span<double> out) const {
+    (void)x;
+    (void)out;
+    throw std::logic_error(name() + ": no objective kernel");
+  }
+  [[nodiscard]] virtual bool has_objective_kernel() const noexcept {
+    return false;
+  }
+
  private:
   Bounds bounds_;
 };
@@ -50,6 +83,12 @@ class Sphere final : public ContinuousFunction {
     return s;
   }
   [[nodiscard]] std::string name() const override { return "sphere"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::sphere(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// Rosenbrock's banana valley; unimodal but ill-conditioned.
@@ -67,6 +106,12 @@ class Rosenbrock final : public ContinuousFunction {
     return s;
   }
   [[nodiscard]] std::string name() const override { return "rosenbrock"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::rosenbrock(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// Rastrigin: highly multimodal with a regular lattice of local minima.
@@ -77,10 +122,16 @@ class Rastrigin final : public ContinuousFunction {
   [[nodiscard]] double objective(const RealVector& x) const override {
     double s = 10.0 * static_cast<double>(x.size());
     for (double v : x.values)
-      s += v * v - 10.0 * std::cos(2.0 * std::numbers::pi * v);
+      s += v * v - 10.0 * fastmath::cos(2.0 * std::numbers::pi * v);
     return s;
   }
   [[nodiscard]] std::string name() const override { return "rastrigin"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::rastrigin(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// Schwefel 7: deceptive multimodal landscape whose best local optima lie far
@@ -91,10 +142,16 @@ class Schwefel final : public ContinuousFunction {
 
   [[nodiscard]] double objective(const RealVector& x) const override {
     double s = 418.9828872724339 * static_cast<double>(x.size());
-    for (double v : x.values) s -= v * std::sin(std::sqrt(std::abs(v)));
+    for (double v : x.values) s -= v * fastmath::sin(std::sqrt(std::abs(v)));
     return s;
   }
   [[nodiscard]] std::string name() const override { return "schwefel"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::schwefel(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// Griewank: multimodal with decreasing modality in high dimension.
@@ -106,11 +163,17 @@ class Griewank final : public ContinuousFunction {
     double sum = 0.0, prod = 1.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       sum += x[i] * x[i] / 4000.0;
-      prod *= std::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
+      prod *= fastmath::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
     }
     return 1.0 + sum - prod;
   }
   [[nodiscard]] std::string name() const override { return "griewank"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::griewank(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// De Jong F3 (step function): sum of floor(x_i) shifted to be non-negative;
@@ -122,10 +185,17 @@ class Step final : public ContinuousFunction {
 
   [[nodiscard]] double objective(const RealVector& x) const override {
     double s = 0.0;
-    for (double v : x.values) s += std::floor(v) + 6.0;  // floor(-5.12..)=-6
+    // floor_small == std::floor over the domain; floor(-5.12..) = -6.
+    for (double v : x.values) s += fastmath::floor_small(v) + 6.0;
     return s;
   }
   [[nodiscard]] std::string name() const override { return "step"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::step(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// De Jong F4 (quartic with noise): sum i*x_i^4 plus frozen noise.  The
@@ -141,12 +211,9 @@ class QuarticNoise final : public ContinuousFunction {
     double s = 0.0;
     std::uint64_t h = 0x9e3779b97f4a7c15ULL;
     for (std::size_t i = 0; i < x.size(); ++i) {
-      s += static_cast<double>(i + 1) * x[i] * x[i] * x[i] * x[i];
-      std::uint64_t bits;
       const double v = x[i];
-      static_assert(sizeof(bits) == sizeof(v));
-      __builtin_memcpy(&bits, &v, sizeof(bits));
-      h = (h ^ bits) * 0xbf58476d1ce4e5b9ULL;
+      s += static_cast<double>(i + 1) * v * v * v * v;
+      h = (h ^ std::bit_cast<std::uint64_t>(v)) * 0xbf58476d1ce4e5b9ULL;
     }
     // Frozen uniform noise in [0, amplitude).
     const double noise =
@@ -159,6 +226,12 @@ class QuarticNoise final : public ContinuousFunction {
   [[nodiscard]] std::optional<double> optimum_fitness() const override {
     return std::nullopt;
   }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::quartic_noise(x, amplitude_, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 
  private:
   double amplitude_;
@@ -190,6 +263,12 @@ class Foxholes final : public ContinuousFunction {
   [[nodiscard]] std::optional<double> optimum_fitness() const override {
     return std::nullopt;
   }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::foxholes(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 /// Ackley: nearly flat outer region with a deep central funnel.
@@ -202,12 +281,18 @@ class Ackley final : public ContinuousFunction {
     double sq = 0.0, cs = 0.0;
     for (double v : x.values) {
       sq += v * v;
-      cs += std::cos(2.0 * std::numbers::pi * v);
+      cs += fastmath::cos(2.0 * std::numbers::pi * v);
     }
     return -20.0 * std::exp(-0.2 * std::sqrt(sq / n)) - std::exp(cs / n) +
            20.0 + std::numbers::e;
   }
   [[nodiscard]] std::string name() const override { return "ackley"; }
+
+ protected:
+  void objective_soa(const RealSoaView& x, std::span<double> out) const override {
+    kernels::ackley(x, out.data());
+  }
+  [[nodiscard]] bool has_objective_kernel() const noexcept override { return true; }
 };
 
 }  // namespace pga::problems

@@ -1,0 +1,339 @@
+// Batched SoA fitness kernels.  See kernels.hpp for the contract.
+//
+// Shape shared by every kernel: walk the slab one AoSoA block at a time,
+// keep kSoaLanes accumulators in registers, and run the scalar objective's
+// exact operation sequence lane-wise.  The inner `for (l)` loops have a
+// compile-time trip count, so the vectorizer maps them straight onto SIMD
+// registers; transcendental call sites go through pga::fastmath, whose
+// branch-free polynomials both this file and the scalar objectives share
+// (that is what makes batched == scalar bit-for-bit).
+
+#include "problems/kernels.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "core/fastmath.hpp"
+
+// Runtime ISA dispatch on x86-64/GCC: the "avx2" clone quadruples the lane
+// width over baseline SSE2 while staying FMA-free — AVX2 alone never fuses
+// mul+add, and a fusion would break bit-identity with the scalar path.
+// (AVX-512 is deliberately absent: several of its instruction forms are
+// FMA-based.)  Disabled under sanitizers, which predate ifunc dispatch.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define PGA_KERNEL_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define PGA_KERNEL_CLONES
+#endif
+
+namespace pga::kernels {
+
+namespace {
+constexpr std::size_t W = kSoaLanes;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Continuous benchmarks (objective sign)
+// ---------------------------------------------------------------------------
+
+PGA_KERNEL_CLONES
+void sphere(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        acc[l] += v * v;
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = acc[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void rosenbrock(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
+    for (std::size_t i = 0; i + 1 < x.dim; ++i) {
+      const double* r0 = g + i * W;
+      const double* r1 = g + (i + 1) * W;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double a = r1[l] - r0[l] * r0[l];
+        const double c = 1.0 - r0[l];
+        acc[l] += 100.0 * a * a + c * c;
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = acc[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void rastrigin(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  const double init = 10.0 * static_cast<double>(x.dim);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = init;
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        acc[l] += v * v - 10.0 * fastmath::cos(2.0 * std::numbers::pi * v);
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = acc[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void schwefel(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  const double init = 418.9828872724339 * static_cast<double>(x.dim);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = init;
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        acc[l] -= v * fastmath::sin(std::sqrt(std::abs(v)));
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = acc[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void griewank(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double sum[W], prod[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      sum[l] = 0.0;
+      prod[l] = 1.0;
+    }
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      const double si = std::sqrt(static_cast<double>(i + 1));
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        sum[l] += v * v / 4000.0;
+        prod[l] *= fastmath::cos(v / si);
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = 1.0 + sum[l] - prod[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void step(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0.0;
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l)
+        acc[l] += fastmath::floor_small(row[l]) + 6.0;
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = acc[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void quartic_noise(const RealSoaView& x, double noise_amplitude, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double acc[W];
+    std::uint64_t h[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      acc[l] = 0.0;
+      h[l] = 0x9e3779b97f4a7c15ULL;
+    }
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      const double c = static_cast<double>(i + 1);
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        acc[l] += c * v * v * v * v;
+        h[l] = (h[l] ^ std::bit_cast<std::uint64_t>(v)) * 0xbf58476d1ce4e5b9ULL;
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l)
+      o[l] = acc[l] +
+             noise_amplitude * static_cast<double>(h[l] >> 11) * 0x1.0p-53;
+  }
+}
+
+PGA_KERNEL_CLONES
+void foxholes(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* r0 = x.block(b);
+    const double* r1 = r0 + W;  // dim is 2: rows 0 and 1
+    double inv[W];
+    for (std::size_t l = 0; l < W; ++l) inv[l] = 0.002;
+    for (int j = 0; j < 25; ++j) {
+      const double a0 = static_cast<double>(j % 5 - 2) * 16.0;
+      const double a1 = static_cast<double>(j / 5 - 2) * 16.0;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double d0 = r0[l] - a0;
+        const double d1 = r1[l] - a1;
+        inv[l] += 1.0 / (static_cast<double>(j + 1) +
+                         d0 * d0 * d0 * d0 * d0 * d0 +
+                         d1 * d1 * d1 * d1 * d1 * d1);
+      }
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = 1.0 / inv[l];
+  }
+}
+
+PGA_KERNEL_CLONES
+void ackley(const RealSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  const auto n = static_cast<double>(x.dim);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const double* g = x.block(b);
+    double sq[W], cs[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      sq[l] = 0.0;
+      cs[l] = 0.0;
+    }
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const double* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l) {
+        const double v = row[l];
+        sq[l] += v * v;
+        cs[l] += fastmath::cos(2.0 * std::numbers::pi * v);
+      }
+    }
+    // The two exp calls are once per genome, not per element; they stay
+    // scalar libm calls exactly like the scalar path.
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l)
+      o[l] = -20.0 * std::exp(-0.2 * std::sqrt(sq[l] / n)) -
+             std::exp(cs[l] / n) + 20.0 + std::numbers::e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary benchmarks (fitness sign).  Integer accumulation is trivially
+// bit-identical; only the final conversion to double matters, and it
+// matches the scalar path's exact integer-valued sums.
+// ---------------------------------------------------------------------------
+
+PGA_KERNEL_CLONES
+void onemax(const BitSoaView& x, double* out) {
+  const std::size_t nb = x.blocks();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint8_t* g = x.block(b);
+    std::uint32_t acc[W];
+    for (std::size_t l = 0; l < W; ++l) acc[l] = 0;
+    for (std::size_t i = 0; i < x.dim; ++i) {
+      const std::uint8_t* row = g + i * W;
+      for (std::size_t l = 0; l < W; ++l) acc[l] += row[l];
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = static_cast<double>(acc[l]);
+  }
+}
+
+PGA_KERNEL_CLONES
+void deceptive_trap(const BitSoaView& x, std::size_t blocks, std::size_t k,
+                    double* out) {
+  const std::size_t nb = x.blocks();
+  const auto kk = static_cast<std::uint32_t>(k);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint8_t* g = x.block(b);
+    std::uint32_t total[W];
+    for (std::size_t l = 0; l < W; ++l) total[l] = 0;
+    for (std::size_t tb = 0; tb < blocks; ++tb) {
+      std::uint32_t ones[W];
+      for (std::size_t l = 0; l < W; ++l) ones[l] = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint8_t* row = g + (tb * k + i) * W;
+        for (std::size_t l = 0; l < W; ++l) ones[l] += row[l];
+      }
+      for (std::size_t l = 0; l < W; ++l)
+        total[l] += (ones[l] == kk) ? kk : kk - 1 - ones[l];
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = static_cast<double>(total[l]);
+  }
+}
+
+PGA_KERNEL_CLONES
+void royal_road(const BitSoaView& x, std::size_t blocks, std::size_t k,
+                double* out) {
+  const std::size_t nb = x.blocks();
+  const auto kk = static_cast<std::uint32_t>(k);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint8_t* g = x.block(b);
+    std::uint32_t total[W];
+    for (std::size_t l = 0; l < W; ++l) total[l] = 0;
+    for (std::size_t tb = 0; tb < blocks; ++tb) {
+      std::uint32_t complete[W];
+      for (std::size_t l = 0; l < W; ++l) complete[l] = 1;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint8_t* row = g + (tb * k + i) * W;
+        for (std::size_t l = 0; l < W; ++l)
+          complete[l] &= static_cast<std::uint32_t>(row[l] != 0);
+      }
+      for (std::size_t l = 0; l < W; ++l) total[l] += kk * complete[l];
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l) o[l] = static_cast<double>(total[l]);
+  }
+}
+
+PGA_KERNEL_CLONES
+void p_peaks(const BitSoaView& x, std::span<const BitString> peaks,
+             double* out) {
+  const std::size_t nb = x.blocks();
+  const auto len = static_cast<double>(x.dim);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::uint8_t* g = x.block(b);
+    std::uint32_t best[W];
+    for (std::size_t l = 0; l < W; ++l) best[l] = 0;
+    for (const BitString& peak : peaks) {
+      const std::uint8_t* p = peak.bits.data();
+      std::uint32_t match[W];
+      for (std::size_t l = 0; l < W; ++l) match[l] = 0;
+      for (std::size_t i = 0; i < x.dim; ++i) {
+        const std::uint8_t* row = g + i * W;
+        for (std::size_t l = 0; l < W; ++l)
+          match[l] += static_cast<std::uint32_t>(row[l] == p[i]);
+      }
+      for (std::size_t l = 0; l < W; ++l)
+        best[l] = match[l] > best[l] ? match[l] : best[l];
+    }
+    double* o = out + b * W;
+    for (std::size_t l = 0; l < W; ++l)
+      o[l] = static_cast<double>(best[l]) / len;
+  }
+}
+
+}  // namespace pga::kernels

@@ -1,0 +1,45 @@
+#pragma once
+// Batched SoA fitness kernels (definitions in kernels.cpp, part of pgalib).
+//
+// Each kernel evaluates every genome packed in a SoaView, writing one value
+// per genome to `out` (which must span the padded blocks() * kSoaLanes
+// doubles; tail lanes are unspecified).  Continuous kernels emit the raw
+// *objective* (minimization sign) — ContinuousFunction::fitness_soa negates.
+// Binary kernels emit fitness directly.
+//
+// Every kernel replays the exact floating-point operation sequence of its
+// scalar counterpart per genome, vectorizing only across genomes, so results
+// are bit-identical to the scalar path (asserted by tests/test_soa.cpp).
+// On x86-64/GCC the definitions are compiled with
+// target_clones("default","avx2") for runtime ISA dispatch in a portable
+// binary; AVX2-without-FMA is the widest target that cannot introduce
+// fused contractions, which would break bit-identity.
+
+#include <cstddef>
+#include <span>
+
+#include "core/soa.hpp"
+
+namespace pga::kernels {
+
+// Continuous benchmarks: objective value per genome.
+void sphere(const RealSoaView& x, double* out);
+void rosenbrock(const RealSoaView& x, double* out);
+void rastrigin(const RealSoaView& x, double* out);
+void schwefel(const RealSoaView& x, double* out);
+void griewank(const RealSoaView& x, double* out);
+void step(const RealSoaView& x, double* out);
+void quartic_noise(const RealSoaView& x, double noise_amplitude, double* out);
+void foxholes(const RealSoaView& x, double* out);
+void ackley(const RealSoaView& x, double* out);
+
+// Binary benchmarks: fitness per genome.
+void onemax(const BitSoaView& x, double* out);
+void deceptive_trap(const BitSoaView& x, std::size_t blocks, std::size_t k,
+                    double* out);
+void royal_road(const BitSoaView& x, std::size_t blocks, std::size_t k,
+                double* out);
+void p_peaks(const BitSoaView& x, std::span<const BitString> peaks,
+             double* out);
+
+}  // namespace pga::kernels

@@ -303,7 +303,9 @@ TEST(EvaluateAll, EmitsComputeSpansAndEvalChunksOnLanes) {
   }
   EXPECT_EQ(batched, 40u);  // every dirty index in exactly one chunk
   EXPECT_EQ(begins, ends);
-  EXPECT_EQ(begins, 5u);  // 40 / grain 8
+  // OneMax has a batched SoA kernel, so evaluation tiles whole kSoaLanes-wide
+  // blocks: ceil(40 / 16) = 3 chunks (grain 8 rounds up to one block).
+  EXPECT_EQ(begins, (40u + pga::kSoaLanes - 1) / pga::kSoaLanes);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,414 @@
+// Batched SoA evaluation tests: bit-identity between the scalar-virtual and
+// batched-kernel paths for every overriding problem, slab gather/scatter
+// round-trips, thread-count invariance through evaluate_all, the ragged-slab
+// guard, the minmax/fitness-buffer satellites, in-place-vs-pair crossover
+// trajectory equality, and — with a counting global allocator — the
+// zero-allocation steady state of the generation workspaces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/soa.hpp"
+#include "core/workspace.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/thread_pool.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (whole-program override; counts only while armed)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+// GCC's new/delete pairing heuristic flags std::free inside a replaced
+// operator delete even though the replaced operator new forwards to malloc.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pga {
+namespace {
+
+using problems::Ackley;
+using problems::ContinuousFunction;
+using problems::DeceptiveTrap;
+using problems::Foxholes;
+using problems::Griewank;
+using problems::NKLandscape;
+using problems::OneMax;
+using problems::PPeaks;
+using problems::QuarticNoise;
+using problems::Rastrigin;
+using problems::Rosenbrock;
+using problems::RoyalRoad;
+using problems::Schwefel;
+using problems::Sphere;
+using problems::Step;
+
+std::vector<RealVector> random_reals(const Bounds& bounds, std::size_t n,
+                                     Rng& rng) {
+  std::vector<RealVector> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(RealVector::random(bounds, rng));
+  return v;
+}
+
+std::vector<BitString> random_bits(std::size_t len, std::size_t n, Rng& rng) {
+  std::vector<BitString> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(BitString::random(len, rng));
+  return v;
+}
+
+/// Asserts evaluate_batch (kernel path) == scalar fitness, bitwise, for a
+/// population that is deliberately not a multiple of the lane width.
+template <class G>
+void expect_batch_matches_scalar(const Problem<G>& problem,
+                                 const std::vector<G>& genomes) {
+  ASSERT_TRUE(problem.has_soa_kernel());
+  SoaSlab<G> slab;
+  std::vector<double> got(genomes.size());
+  evaluate_batch<G>(problem, {genomes.data(), genomes.size()}, slab,
+                    {got.data(), got.size()});
+  for (std::size_t k = 0; k < genomes.size(); ++k) {
+    const double want = problem.fitness(genomes[k]);
+    EXPECT_EQ(want, got[k]) << problem.name() << " genome " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: every overriding problem, dims {1, 7, 32}, odd pop sizes
+// ---------------------------------------------------------------------------
+
+TEST(SoaKernels, ContinuousBitIdenticalToScalar) {
+  Rng rng(2024);
+  for (const std::size_t dim : {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    const Sphere sphere(dim);
+    const Rosenbrock rosen(dim);
+    const Rastrigin rast(dim);
+    const Schwefel schw(dim);
+    const Griewank grie(dim);
+    const Step step(dim);
+    const QuarticNoise quart(dim, 0.1);
+    const Ackley ack(dim);
+    const ContinuousFunction* fns[] = {&sphere, &rosen, &rast, &schw,
+                                       &grie,   &step,  &quart, &ack};
+    for (const auto* f : fns) {
+      // 37 genomes: two full 16-lane blocks plus a 5-genome tail.
+      expect_batch_matches_scalar<RealVector>(
+          *f, random_reals(f->bounds(), 37, rng));
+    }
+  }
+  const Foxholes fox;  // fixed 2-D
+  expect_batch_matches_scalar<RealVector>(fox,
+                                          random_reals(fox.bounds(), 37, rng));
+}
+
+TEST(SoaKernels, BinaryBitIdenticalToScalar) {
+  Rng rng(7);
+  for (const std::size_t len : {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    const OneMax onemax(len);
+    expect_batch_matches_scalar<BitString>(onemax, random_bits(len, 37, rng));
+    const PPeaks peaks(5, len, rng);
+    expect_batch_matches_scalar<BitString>(peaks, random_bits(len, 37, rng));
+  }
+  const DeceptiveTrap trap3x4(3, 4), trap8x4(8, 4), trap1x2(1, 2);
+  expect_batch_matches_scalar<BitString>(trap1x2, random_bits(2, 37, rng));
+  expect_batch_matches_scalar<BitString>(trap3x4, random_bits(12, 37, rng));
+  expect_batch_matches_scalar<BitString>(trap8x4, random_bits(32, 37, rng));
+  const RoyalRoad rr3x4(3, 4), rr8x4(8, 4);
+  expect_batch_matches_scalar<BitString>(rr3x4, random_bits(12, 37, rng));
+  expect_batch_matches_scalar<BitString>(rr8x4, random_bits(32, 37, rng));
+}
+
+TEST(SoaKernels, NkFitnessBatchBitIdenticalToScalar) {
+  Rng rng(11);
+  for (const auto& [n, k] :
+       {std::pair<std::size_t, std::size_t>{7, 2}, {32, 3}}) {
+    const NKLandscape nk(n, k, rng);
+    const auto genomes = random_bits(n, 37, rng);
+    std::vector<double> got(genomes.size());
+    nk.fitness_batch({genomes.data(), genomes.size()},
+                     {got.data(), got.size()});
+    for (std::size_t m = 0; m < genomes.size(); ++m)
+      EXPECT_EQ(nk.fitness(genomes[m]), got[m]) << "genome " << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slab gather/scatter round-trip with mixed dirty flags
+// ---------------------------------------------------------------------------
+
+TEST(SoaSlabTest, GatherPacksAndZeroPadsTail) {
+  Rng rng(3);
+  const Bounds bounds(5, -2.0, 2.0);
+  const auto genomes = random_reals(bounds, 19, rng);  // one block + tail
+  SoaSlab<RealVector> slab;
+  const auto view = slab.gather(
+      genomes.size(), [&](std::size_t k) -> const RealVector& { return genomes[k]; });
+  EXPECT_EQ(view.count, 19u);
+  EXPECT_EQ(view.dim, 5u);
+  EXPECT_EQ(view.blocks(), 2u);
+  for (std::size_t g = 0; g < view.count; ++g)
+    for (std::size_t i = 0; i < view.dim; ++i)
+      EXPECT_EQ(view.at(g, i), genomes[g][i]);
+  // Tail lanes of the last block are zero-padded.
+  for (std::size_t g = view.count; g < view.blocks() * kSoaLanes; ++g)
+    for (std::size_t i = 0; i < view.dim; ++i) EXPECT_EQ(view.at(g, i), 0.0);
+}
+
+TEST(SoaPopulation, MixedDirtyFlagsOnlyReevaluatesDirty) {
+  Rng rng(5);
+  const Sphere sphere(8);
+  auto pop = Population<RealVector>::random(
+      40, [&](Rng& r) { return RealVector::random(sphere.bounds(), r); }, rng);
+  // Pre-mark half the members as evaluated with sentinel fitness values the
+  // evaluator must not touch.
+  for (std::size_t i = 0; i < pop.size(); i += 2) {
+    pop[i].fitness = 1000.0 + static_cast<double>(i);
+    pop[i].evaluated = true;
+  }
+  const std::size_t evals = pop.evaluate_all(sphere);
+  EXPECT_EQ(evals, 20u);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(pop[i].fitness, 1000.0 + static_cast<double>(i));
+    } else {
+      EXPECT_EQ(pop[i].fitness, sphere.fitness(pop[i].genome));
+      EXPECT_TRUE(pop[i].evaluated);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance through evaluate_all
+// ---------------------------------------------------------------------------
+
+TEST(SoaPopulation, EvaluateAllThreadCountInvariant) {
+  Rng rng(17);
+  const Rastrigin rast(13);
+  const auto genomes = random_reals(rast.bounds(), 101, rng);
+  auto make_pop = [&] {
+    std::vector<Individual<RealVector>> members;
+    for (const auto& g : genomes) members.emplace_back(g);
+    return Population<RealVector>(std::move(members));
+  };
+  auto seq = make_pop();
+  ASSERT_EQ(seq.evaluate_all(rast), 101u);
+  for (const int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(static_cast<std::size_t>(threads));
+    exec::Parallelism par(&pool);
+    auto pop = make_pop();
+    ASSERT_EQ(pop.evaluate_all(rast, par, /*grain=*/16), 101u);
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      EXPECT_EQ(pop[i].fitness, seq[i].fitness)
+          << "threads=" << threads << " i=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ragged-population guard (regression: OOB read before the fix)
+// ---------------------------------------------------------------------------
+
+TEST(SoaSlabTest, RaggedPopulationThrowsInsteadOfReadingOob) {
+  Rng rng(23);
+  const Bounds b4(4, -1.0, 1.0), b9(9, -1.0, 1.0);
+  std::vector<RealVector> ragged;
+  ragged.push_back(RealVector::random(b4, rng));
+  ragged.push_back(RealVector::random(b9, rng));  // differing dim
+  SoaSlab<RealVector> slab;
+  EXPECT_THROW(slab.gather(ragged.size(),
+                           [&](std::size_t k) -> const RealVector& {
+                             return ragged[k];
+                           }),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// minmax_indices / fitness_values_into satellites
+// ---------------------------------------------------------------------------
+
+TEST(PopulationFolds, MinmaxMatchesSeparateScansIncludingTies) {
+  const double cases[][5] = {{3, 1, 3, 0, 0},
+                             {0, 0, 0, 0, 0},
+                             {-1, 5, -1, 5, 2},
+                             {2, -7, 9, 9, -7}};
+  for (const auto& fs : cases) {
+    std::vector<Individual<BitString>> members;
+    for (double f : fs) {
+      Individual<BitString> ind(BitString(1));
+      ind.fitness = f;
+      ind.evaluated = true;
+      members.push_back(std::move(ind));
+    }
+    Population<BitString> pop(std::move(members));
+    const auto [worst, best] = pop.minmax_indices();
+    EXPECT_EQ(worst, pop.worst_index());
+    EXPECT_EQ(best, pop.best_index());
+  }
+  Population<BitString> empty;
+  EXPECT_THROW((void)empty.minmax_indices(), std::logic_error);
+}
+
+TEST(PopulationFolds, FitnessValuesIntoMatchesAllocatingForm) {
+  Rng rng(29);
+  const OneMax onemax(12);
+  auto pop = Population<BitString>::random(
+      9, [](Rng& r) { return BitString::random(12, r); }, rng);
+  pop.evaluate_all(onemax);
+  std::vector<double> buf(3, -5.0);  // wrong size on purpose
+  pop.fitness_values_into(buf);
+  EXPECT_EQ(buf, pop.fitness_values());
+}
+
+// ---------------------------------------------------------------------------
+// In-place crossover == pair crossover (same results, same RNG consumption)
+// ---------------------------------------------------------------------------
+
+template <class G>
+void expect_in_place_matches_pair(const Crossover<G>& pair_form,
+                                  const CrossoverInPlace<G>& in_place,
+                                  const G& p1, const G& p2,
+                                  std::uint64_t seed) {
+  Rng r1(seed), r2(seed);
+  const auto [c1, c2] = pair_form(p1, p2, r1);
+  G a = p1, b = p2;
+  in_place(a, b, r2);
+  EXPECT_EQ(a, c1);
+  EXPECT_EQ(b, c2);
+  // Both paths must have consumed the same number of draws.
+  EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST(InPlaceCrossover, MatchesPairFormAndRngTrajectory) {
+  Rng rng(31);
+  const Bounds bounds(10, -3.0, 3.0);
+  const auto pr1 = RealVector::random(bounds, rng);
+  const auto pr2 = RealVector::random(bounds, rng);
+  const auto pb1 = BitString::random(24, rng);
+  const auto pb2 = BitString::random(24, rng);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_in_place_matches_pair<BitString>(crossover::one_point<BitString>(),
+                                            crossover::one_point_in_place<BitString>(),
+                                            pb1, pb2, seed);
+    expect_in_place_matches_pair<BitString>(crossover::two_point<BitString>(),
+                                            crossover::two_point_in_place<BitString>(),
+                                            pb1, pb2, seed);
+    expect_in_place_matches_pair<BitString>(crossover::uniform<BitString>(0.5),
+                                            crossover::uniform_in_place<BitString>(0.5),
+                                            pb1, pb2, seed);
+    expect_in_place_matches_pair<RealVector>(crossover::arithmetic(),
+                                             crossover::arithmetic_in_place(),
+                                             pr1, pr2, seed);
+    expect_in_place_matches_pair<RealVector>(
+        crossover::blx_alpha(bounds, 0.4),
+        crossover::blx_alpha_in_place(bounds, 0.4), pr1, pr2, seed);
+    expect_in_place_matches_pair<RealVector>(crossover::sbx(bounds, 15.0),
+                                             crossover::sbx_in_place(bounds, 15.0),
+                                             pr1, pr2, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero allocations in the steady-state generation loop
+// ---------------------------------------------------------------------------
+
+Operators<RealVector> real_ops(const Bounds& bounds) {
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::blx_alpha(bounds, 0.4);
+  ops.cross_in_place = crossover::blx_alpha_in_place(bounds, 0.4);
+  ops.mutate = mutation::gaussian(bounds, 0.08);
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+Operators<BitString> bit_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::roulette();  // exercises the captured mass buffer
+  ops.cross = crossover::two_point<BitString>();
+  ops.cross_in_place = crossover::two_point_in_place<BitString>();
+  ops.mutate = mutation::bit_flip();
+  ops.crossover_rate = 0.9;
+  return ops;
+}
+
+/// Runs `scheme` for 5 warmup generations, then asserts 100 further
+/// generations perform zero heap allocations.
+template <class G>
+void expect_zero_alloc_steady_state(EvolutionScheme<G>& scheme,
+                                    Population<G>& pop,
+                                    const Problem<G>& problem, Rng& rng) {
+  pop.evaluate_all(problem);
+  for (int gen = 0; gen < 5; ++gen) scheme.step(pop, problem, rng);
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int gen = 0; gen < 100; ++gen) scheme.step(pop, problem, rng);
+  g_counting.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u) << scheme.name();
+}
+
+TEST(ZeroAllocGeneration, GenerationalRealVector) {
+  Rng rng(41);
+  const Sphere sphere(16);
+  GenerationalScheme<RealVector> scheme(real_ops(sphere.bounds()),
+                                        /*elitism=*/2);
+  auto pop = Population<RealVector>::random(
+      64, [&](Rng& r) { return RealVector::random(sphere.bounds(), r); }, rng);
+  expect_zero_alloc_steady_state(scheme, pop, sphere, rng);
+}
+
+TEST(ZeroAllocGeneration, GenerationalBitString) {
+  Rng rng(43);
+  const OneMax onemax(48);
+  GenerationalScheme<BitString> scheme(bit_ops(), /*elitism=*/1);
+  auto pop = Population<BitString>::random(
+      64, [](Rng& r) { return BitString::random(48, r); }, rng);
+  expect_zero_alloc_steady_state(scheme, pop, onemax, rng);
+}
+
+TEST(ZeroAllocGeneration, SteadyStateRealVector) {
+  Rng rng(47);
+  const Rastrigin rast(12);
+  SteadyStateScheme<RealVector> scheme(real_ops(rast.bounds()));
+  auto pop = Population<RealVector>::random(
+      32, [&](Rng& r) { return RealVector::random(rast.bounds(), r); }, rng);
+  expect_zero_alloc_steady_state(scheme, pop, rast, rng);
+}
+
+TEST(ZeroAllocGeneration, SteadyStateBitString) {
+  Rng rng(53);
+  const OneMax onemax(32);
+  SteadyStateScheme<BitString> scheme(bit_ops());
+  auto pop = Population<BitString>::random(
+      32, [](Rng& r) { return BitString::random(32, r); }, rng);
+  expect_zero_alloc_steady_state(scheme, pop, onemax, rng);
+}
+
+}  // namespace
+}  // namespace pga
