@@ -1,0 +1,309 @@
+// H1 — checkpoint-fair vs classical speedup (Harada, Alba & Luque 2021;
+// survey's "misleading speedup" warning, §2).
+//
+// Every speedup number in E1/E2/W1 fixes the *budget* (generations) and
+// divides makespans.  H1 re-runs the E1 master-slave and E2 sync/async
+// island configurations and puts the checkpoint-fair measure — speedup at
+// equal *solution quality* — next to the classical one:
+//
+//   * master-slave (compute-bound, Tf >> Tc): the parallel run replays the
+//     identical search trajectory faster, so classical and fair agree —
+//     the honest case the doctor must pass.
+//   * islands on a deceptive trap: 8 demes of 25 sweep the same generation
+//     budget ~8x faster than one panmictic 200 deme, but small isolated
+//     demes buy *less quality per generation*, so the classical ~8x
+//     headline overstates equal-quality delivery — the misleading case the
+//     doctor must gate.
+//
+// Emits: BENCH_h1.json (pga-bench-series-v1, both metric families per swept
+// configuration), bench_h1_async_events.json + bench_h1_async_baseline.json
+// (the misleading pair) and bench_h1_compute_events.json +
+// bench_h1_compute_baseline.json (the honest pair) for pga_doctor:
+//
+//   pga_doctor speedup --baseline bench_h1_async_baseline.json
+//       --fail-on misleading-speedup bench_h1_async_events.json   # exit 1
+//   pga_doctor speedup --baseline bench_h1_compute_baseline.json
+//       --fail-on misleading-speedup bench_h1_compute_events.json # exit 0
+//
+// `--smoke` trims the master-slave Tf sweep for CI.
+
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/checkpoints.hpp"
+#include "obs/event_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/speedup.hpp"
+#include "parallel/distributed_island.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+using namespace pga;
+
+namespace {
+
+/// Per-message CPU handling cost on the master (Cantú-Paz's Tc), as in E1.
+constexpr double kTc = 4e-4;
+/// Default misleading-speedup tolerance (matches pga_doctor speedup).
+constexpr double kTolerance = 0.25;
+
+/// E1-shaped master-slave run; returns the quality-effort curves.
+obs::QualityEffort run_master_slave(double tf, int ranks, std::size_t gens,
+                                    obs::EventLog* keep = nullptr) {
+  obs::EventLog local;
+  obs::EventLog* log = keep ? keep : &local;
+
+  problems::OneMax problem(64);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 64;
+  cfg.stop.max_generations = gens;
+  cfg.stop.target_fitness = 1e9;  // fixed budget
+  cfg.ops = bench::bit_operators();
+  const std::size_t slaves =
+      ranks > 1 ? static_cast<std::size_t>(ranks - 1) : 1;
+  cfg.chunk_size = (cfg.pop_size + slaves - 1) / slaves;
+  cfg.mode = DispatchMode::kSynchronous;
+  cfg.eval_cost_s = tf;
+  cfg.seed = 3;
+  cfg.make_genome = [](Rng& r) { return BitString::random(64, r); };
+  cfg.trace = obs::Tracer(log);
+
+  auto sim_cfg = sim::homogeneous(ranks, sim::NetworkModel::gigabit_ethernet());
+  sim_cfg.send_overhead_s = kTc;
+  sim_cfg.trace = log;
+  sim::SimCluster cluster(sim_cfg);
+  cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+  return obs::QualityEffort::from(*log);
+}
+
+/// E2-shaped island run on a deceptive trap.  `islands == 1` is the
+/// panmictic baseline: one deme holding the whole population, migration off.
+obs::QualityEffort run_islands(const Problem<BitString>& problem,
+                               std::size_t bits, std::size_t islands,
+                               std::size_t deme, bool async,
+                               bool heterogeneous, std::size_t gens,
+                               obs::EventLog* keep = nullptr) {
+  obs::EventLog local;
+  obs::EventLog* log = keep ? keep : &local;
+
+  DistributedIslandConfig<BitString> cfg;
+  cfg.topology = Topology::ring(islands);
+  cfg.policy.interval = islands > 1 ? 16 : 0;  // E2's epoch; baseline: off
+  cfg.policy.count = 1;
+  cfg.deme_size = deme;
+  cfg.stop.max_generations = gens;
+  cfg.stop.target_fitness = 1e9;  // fixed budget
+  cfg.eval_cost_s = 5e-4;
+  cfg.async = async;
+  cfg.seed = 11;
+  const auto ops = bench::bit_operators();
+  cfg.make_scheme = [ops](int) {
+    return std::make_unique<GenerationalScheme<BitString>>(ops, 1);
+  };
+  cfg.make_genome = [bits](Rng& r) { return BitString::random(bits, r); };
+  cfg.trace = obs::Tracer(log);
+
+  auto sim_cfg = sim::homogeneous(static_cast<int>(islands),
+                                  sim::NetworkModel::fast_ethernet());
+  if (heterogeneous && islands > 3) sim_cfg.nodes[3].speed = 0.25;
+  sim_cfg.trace = log;
+  sim::SimCluster cluster(sim_cfg);
+  cluster.run([&](comm::Transport& t) {
+    (void)run_island_rank(t, problem, cfg);
+  });
+  return obs::QualityEffort::from(*log);
+}
+
+std::string json_row(const std::string& name, const std::string& model,
+                     const obs::SpeedupReport& s) {
+  return bench::fmt(
+      "{\"config\": \"%s\", \"model\": \"%s\", \"ranks\": %zu, "
+      "\"classical\": {\"speedup\": %.4f, \"efficiency\": %.4f}, "
+      "\"checkpoint_fair\": {\"comparable\": %s, \"median\": %.4f, "
+      "\"mean\": %.4f, \"min\": %.4f, \"max\": %.4f, \"efficiency\": %.4f, "
+      "\"quality_levels\": %zu, \"q_lo\": %.6g, \"q_hi\": %.6g}, "
+      "\"overstatement\": %.4f, \"effort_skew\": %.4f, "
+      "\"misleading\": %s}",
+      name.c_str(), model.c_str(), s.ranks, s.classical,
+      s.classical_efficiency(), s.comparable ? "true" : "false",
+      s.fair_median, s.fair_mean, s.fair_min, s.fair_max, s.fair_efficiency(),
+      s.levels.size(), s.q_lo, s.q_hi, s.overstatement(), s.effort_skew,
+      s.misleading(kTolerance) ? "true" : "false");
+}
+
+void table_row(bench::Table& table, const std::string& name,
+               const obs::SpeedupReport& s) {
+  table.row({name, bench::fmt("%zu", s.ranks), bench::fmt("%.2f", s.classical),
+             s.comparable ? bench::fmt("%.2f", s.fair_median) : "n/a",
+             s.comparable ? bench::fmt("%+.0f%%", 100.0 * s.overstatement())
+                          : "n/a",
+             bench::fmt("%.2f", s.effort_skew),
+             s.misleading(kTolerance) ? "MISLEADING" : "honest"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::headline(
+      "H1 - checkpoint-fair vs classical speedup",
+      "fixed-budget speedup overstates parallel gains whenever parallel "
+      "generations buy less quality than sequential ones; comparing runs at "
+      "common quality checkpoints is the honest measure (Harada-Alba-Luque)");
+
+  // The simulated runs cost milliseconds, so --smoke only trims the Tf
+  // sweep; the island budget stays at 120 generations because the
+  // quality-per-generation gap (and thus the misleading verdict the CI
+  // gate asserts) needs the baseline's late-run improvements to show.
+  const std::size_t ms_gens = 30;
+  const std::size_t isl_gens = 120;
+
+  std::string series;
+  bool first = true;
+  auto record = [&](const std::string& name, const std::string& model,
+                    const obs::SpeedupReport& s) {
+    series += bench::fmt("%s\n    %s", first ? "" : ",",
+                         json_row(name, model, s).c_str());
+    first = false;
+  };
+
+  bench::Table table({"config", "ranks", "classical", "fair median",
+                      "overstatement", "effort skew", "verdict"});
+
+  // --- E1 master-slave: compute-bound, honest --------------------------------
+  obs::SpeedupReport compute_rep;
+  {
+    for (double tf : smoke ? std::vector<double>{1e-2}
+                           : std::vector<double>{1e-3, 1e-2}) {
+      const auto base = run_master_slave(tf, 1, ms_gens);
+      for (int slaves : {4, 8}) {
+        obs::EventLog keep;
+        const bool dump = tf == 1e-2 && slaves == 8;
+        const auto par =
+            run_master_slave(tf, slaves + 1, ms_gens, dump ? &keep : nullptr);
+        obs::SpeedupConfig scfg;
+        scfg.ranks = static_cast<std::size_t>(slaves);
+        const auto rep = obs::compare_speedup(base, par, scfg);
+        const auto name =
+            bench::fmt("ms tf=%.0e s=%d", tf, slaves);
+        table_row(table, name, rep);
+        record(name, "master_slave", rep);
+        if (dump) {
+          compute_rep = rep;
+          obs::save_event_log(keep, "bench_h1_compute_events.json");
+          obs::EventLog base_keep;
+          (void)run_master_slave(tf, 1, ms_gens, &base_keep);
+          obs::save_event_log(base_keep, "bench_h1_compute_baseline.json");
+        }
+      }
+    }
+  }
+
+  // --- E2 islands on a deceptive trap: misleading ----------------------------
+  obs::SpeedupReport async_rep;
+  {
+    // Concatenated 4-bit traps (Goldberg): hill-climbing inside a block
+    // leads away from the optimum, so small isolated demes pay a quality
+    // penalty per generation that the fixed-budget number hides.
+    problems::DeceptiveTrap trap(16, 4);  // 64 bits, optimum 64
+    constexpr std::size_t kBits = 64;
+    constexpr std::size_t kIslands = 8;
+    constexpr std::size_t kDeme = 16;
+
+    const auto base = run_islands(trap, kBits, 1, kIslands * kDeme,
+                                  /*async=*/false, /*heterogeneous=*/false,
+                                  isl_gens);
+    for (bool heterogeneous : {false, true}) {
+      for (bool async : {false, true}) {
+        obs::EventLog keep;
+        const bool dump = async && !heterogeneous;
+        const auto par = run_islands(trap, kBits, kIslands, kDeme, async,
+                                     heterogeneous, isl_gens,
+                                     dump ? &keep : nullptr);
+        const auto rep = obs::compare_speedup(base, par);
+        const auto name = bench::fmt("islands %s %s",
+                                     async ? "async" : "sync",
+                                     heterogeneous ? "hetero" : "homog");
+        table_row(table, name, rep);
+        record(name, "island", rep);
+        if (dump) {
+          async_rep = rep;
+          obs::save_event_log(keep, "bench_h1_async_events.json");
+        }
+      }
+    }
+    obs::EventLog base_keep;
+    (void)run_islands(trap, kBits, 1, kIslands * kDeme, false, false,
+                      isl_gens, &base_keep);
+    obs::save_event_log(base_keep, "bench_h1_async_baseline.json");
+  }
+
+  table.print();
+
+  std::printf(
+      "\nShape check: the compute-bound master-slave rows agree (classical\n"
+      "~= fair: same trajectory, just faster), while the island rows'\n"
+      "classical ~%zux headline collapses at equal quality - the survey's\n"
+      "misleading-speedup warning made measurable.\n",
+      std::size_t{8});
+
+  // Exporter surfacing: the async pair's metrics through Prometheus/CSV.
+  {
+    obs::MetricsRegistry reg;
+    async_rep.bind_metrics(reg);
+    std::printf("\nExporter surface (async islands pair):\n%s",
+                reg.to_csv().c_str());
+    std::printf("\nPer-level quality/time series (async islands pair):\n%s",
+                async_rep.to_csv().c_str());
+  }
+
+  {
+    std::FILE* f = std::fopen("BENCH_h1.json", "w");
+    if (f) {
+      std::fprintf(f,
+                   "{\n  \"format\": \"pga-bench-series-v1\",\n"
+                   "  \"bench\": \"h1_fair_speedup\",\n"
+                   "  \"tolerance\": %.2f,\n"
+                   "  \"series\": [%s\n  ]\n}\n",
+                   kTolerance, series.c_str());
+      std::fclose(f);
+      std::printf("\nSeries -> BENCH_h1.json\n");
+    }
+  }
+
+  std::printf(
+      "\nDoctor-audited traces:\n"
+      "  misleading pair -> bench_h1_async_events.json vs "
+      "bench_h1_async_baseline.json\n"
+      "  honest pair     -> bench_h1_compute_events.json vs "
+      "bench_h1_compute_baseline.json\n"
+      "  audit: pga_doctor speedup --baseline <baseline> --fail-on "
+      "misleading-speedup <events>\n");
+
+  // The bench's own exit contract mirrors the doctor's: the honest pair
+  // must stay under tolerance and the misleading pair above it, otherwise
+  // the checked-in claim is stale.
+  if (compute_rep.misleading(kTolerance)) {
+    std::fprintf(stderr,
+                 "H1: compute-bound pair unexpectedly misleading "
+                 "(classical %.3f vs fair %.3f)\n",
+                 compute_rep.classical, compute_rep.fair_median);
+    return 1;
+  }
+  if (!async_rep.misleading(kTolerance)) {
+    std::fprintf(stderr,
+                 "H1: async island pair unexpectedly honest "
+                 "(classical %.3f vs fair %.3f)\n",
+                 async_rep.classical, async_rep.fair_median);
+    return 1;
+  }
+  return 0;
+}

@@ -66,10 +66,18 @@ class Table {
 [[nodiscard]] inline std::string fmt(const char* format, ...) {
   va_list args;
   va_start(args, format);
-  char buffer[256];
-  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    // +1: vsnprintf writes the terminator into the slot past size().
+    std::vsnprintf(out.data(), out.size() + 1, format, args);
+  }
   va_end(args);
-  return buffer;
+  return out;
 }
 
 inline void headline(const char* experiment, const char* claim) {

@@ -48,7 +48,15 @@ enum class AnomalyKind : std::uint8_t {
   kPrematureConvergence,
   kStraggler,
   kCommBound,
+  /// Classical fixed-budget speedup overstates the checkpoint-fair number
+  /// beyond tolerance (obs/speedup.hpp; pga_doctor's `speedup` subcommand
+  /// is the only producer — it needs a baseline trace the streaming
+  /// detector does not have).
+  kMisleadingSpeedup,
 };
+
+/// Last enumerator, the iteration bound CLI kind tables use.
+inline constexpr AnomalyKind kLastAnomalyKind = AnomalyKind::kMisleadingSpeedup;
 
 [[nodiscard]] constexpr const char* to_string(AnomalyKind k) noexcept {
   switch (k) {
@@ -57,6 +65,7 @@ enum class AnomalyKind : std::uint8_t {
     case AnomalyKind::kPrematureConvergence: return "premature_convergence";
     case AnomalyKind::kStraggler: return "straggler";
     case AnomalyKind::kCommBound: return "comm_bound";
+    case AnomalyKind::kMisleadingSpeedup: return "misleading_speedup";
   }
   return "?";
 }

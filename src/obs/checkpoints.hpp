@@ -1,0 +1,321 @@
+#pragma once
+// Checkpoint-fair quality-vs-effort curves (Harada, Alba & Luque 2021).
+//
+// Classical PGA speedup fixes the *effort* (generations or evaluations) and
+// compares wall time — which the survey itself warns is misleading once
+// ranks progress at different rates: a parallel generation is not worth a
+// sequential one.  Harada, Alba & Luque's fix is to compare runs at common
+// *checkpoints*: sample best-so-far fitness against wall time and against
+// cumulative evaluations, per rank and aggregated, and derive time-to-target
+// and speedup *at equal quality* instead of at equal generation count.
+//
+// `QualityEffort` builds those monotone envelope curves from the event
+// stream every engine already emits:
+//
+//   * quality  — best-so-far fitness per rank, from kGenStats and from
+//     kSearchStats records carrying the checkpoint-fair payload (probe
+//     records whose `evaluations` field is nonzero)
+//   * effort   — cumulative per-rank evaluations, preferring kSearchStats
+//     (whose running `count` sum is per-rank by construction for every
+//     engine) and falling back to kGenStats `evaluations` for ranks that
+//     never ran a probe.  The fallback is engine-defined: the sequential
+//     island model stamps *global* totals into per-deme gen_stats, so
+//     attach probes when per-rank effort matters.
+//
+// obs/speedup.hpp consumes two of these (baseline + parallel) to compute
+// the checkpoint-fair speedup distribution next to the classical number.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+/// Aggregate run state at one common checkpoint time.
+struct Checkpoint {
+  double t = 0.0;
+  double best = -std::numeric_limits<double>::infinity();
+  std::uint64_t evaluations = 0;  ///< summed per-rank effort at t
+  std::vector<std::uint64_t> rank_evals;  ///< per-rank effort at t
+  /// Max over mean of per-rank effort (1 = perfectly balanced, 0 = no
+  /// effort data).  Harada-Alba-Luque's per-rank effort-skew evidence: a
+  /// straggler or serial-role rank drags this above 1.
+  double effort_skew = 0.0;
+};
+
+/// Monotone best-so-far / cumulative-effort envelopes per rank, with
+/// aggregate checkpoint and time-to-quality queries.
+class QualityEffort {
+ private:
+  struct Sample {
+    double t = 0.0;
+    double v = 0.0;
+  };
+  struct RankCurve {
+    std::vector<Sample> quality;  ///< (t, best-so-far), strictly improving
+    std::vector<Sample> effort;   ///< (t, cumulative evals), non-decreasing
+  };
+
+ public:
+  /// Incremental construction from any sample source (RunReport feeds its
+  /// retained series through this; `from()` feeds raw events).  Samples may
+  /// arrive in any time order.
+  class Builder {
+   public:
+    /// Best fitness observed on `rank` at time `t` (need not be monotone;
+    /// the envelope is).
+    void quality_sample(int rank, double t, double best) {
+      state(rank).quality.push_back({t, best});
+    }
+
+    /// Authoritative cumulative per-rank evaluation count at time `t`.
+    void effort_sample(int rank, double t, std::uint64_t cum_evals) {
+      state(rank).effort.push_back({t, static_cast<double>(cum_evals)});
+    }
+
+    /// Fallback cumulative count (e.g. gen_stats totals, which some engines
+    /// stamp with global rather than per-rank effort).  Used only for ranks
+    /// with no authoritative samples.
+    void effort_hint(int rank, double t, std::uint64_t cum_evals) {
+      state(rank).effort_fallback.push_back(
+          {t, static_cast<double>(cum_evals)});
+    }
+
+    [[nodiscard]] QualityEffort build() && {
+      QualityEffort out;
+      for (auto& s : ranks_) {
+        RankCurve curve;
+        // Quality envelope: time-sorted, keep only strict improvements so
+        // time_to_quality is a single lower_bound.
+        std::stable_sort(s.quality.begin(), s.quality.end(), by_time);
+        for (const auto& p : s.quality) {
+          out.makespan_ = std::max(out.makespan_, p.t);
+          if (curve.quality.empty() || p.v > curve.quality.back().v)
+            curve.quality.push_back(p);
+        }
+        // Effort envelope: monotone non-decreasing cumulative counts.
+        auto& src = s.effort.empty() ? s.effort_fallback : s.effort;
+        std::stable_sort(src.begin(), src.end(), by_time);
+        double cum = 0.0;
+        for (const auto& p : src) {
+          out.makespan_ = std::max(out.makespan_, p.t);
+          cum = std::max(cum, p.v);
+          if (!curve.effort.empty() && curve.effort.back().t == p.t)
+            curve.effort.back().v = cum;
+          else
+            curve.effort.push_back({p.t, cum});
+        }
+        out.ranks_.push_back(std::move(curve));
+      }
+      // Trailing ranks that never produced a sample are not ranks.
+      while (!out.ranks_.empty() && out.ranks_.back().quality.empty() &&
+             out.ranks_.back().effort.empty())
+        out.ranks_.pop_back();
+      return out;
+    }
+
+   private:
+    struct RankBuffer {
+      std::vector<Sample> quality;
+      std::vector<Sample> effort;
+      std::vector<Sample> effort_fallback;
+    };
+    static bool by_time(const Sample& a, const Sample& b) { return a.t < b.t; }
+
+    RankBuffer& state(int rank) {
+      if (rank < 0) rank = 0;
+      if (rank >= static_cast<int>(ranks_.size()))
+        ranks_.resize(static_cast<std::size_t>(rank) + 1);
+      return ranks_[static_cast<std::size_t>(rank)];
+    }
+
+    std::vector<RankBuffer> ranks_;
+  };
+
+  /// Derives the curves from a raw event stream (any order).  Quality comes
+  /// from kGenStats plus checkpoint-format kSearchStats; effort from the
+  /// running kSearchStats per-generation counts (authoritative) with
+  /// kGenStats totals as the no-probe fallback.
+  [[nodiscard]] static QualityEffort from(const std::vector<Event>& events) {
+    Builder b;
+    std::vector<std::uint64_t> running;  // per-rank search-count sums
+    for (const Event& e : events) {
+      if (e.rank < 0) continue;
+      const auto r = static_cast<std::size_t>(e.rank);
+      switch (e.kind) {
+        case EventKind::kGenStats:
+          b.quality_sample(e.rank, e.t, e.best);
+          b.effort_hint(e.rank, e.t, e.evaluations);
+          break;
+        case EventKind::kSearchStats: {
+          if (r >= running.size()) running.resize(r + 1, 0);
+          running[r] += e.count;
+          // `evaluations > 0` marks the checkpoint-fair record format; the
+          // engine's own cumulative count wins over our running sum (it may
+          // include the initial-population evaluation).
+          const std::uint64_t cum =
+              e.evaluations > 0 ? std::max(e.evaluations, running[r])
+                                : running[r];
+          if (cum > 0) b.effort_sample(e.rank, e.t, cum);
+          if (e.evaluations > 0) b.quality_sample(e.rank, e.t, e.best);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    return std::move(b).build();
+  }
+
+  [[nodiscard]] static QualityEffort from(const EventLog& log) {
+    return from(log.snapshot());
+  }
+
+  [[nodiscard]] std::size_t num_ranks() const noexcept {
+    return ranks_.size();
+  }
+  [[nodiscard]] double makespan() const noexcept { return makespan_; }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (const auto& r : ranks_)
+      if (!r.quality.empty()) return false;
+    return true;
+  }
+
+  /// Best-so-far on one rank at time `t` (-inf before its first sample).
+  [[nodiscard]] double rank_best_at(std::size_t rank, double t) const {
+    if (rank >= ranks_.size()) return -std::numeric_limits<double>::infinity();
+    return value_at(ranks_[rank].quality, t,
+                    -std::numeric_limits<double>::infinity());
+  }
+
+  /// Cumulative evaluations on one rank at time `t`.
+  [[nodiscard]] std::uint64_t rank_evals_at(std::size_t rank, double t) const {
+    if (rank >= ranks_.size()) return 0;
+    return static_cast<std::uint64_t>(value_at(ranks_[rank].effort, t, 0.0));
+  }
+
+  /// Aggregate best-so-far at time `t`: max over ranks.
+  [[nodiscard]] double best_at(double t) const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      best = std::max(best, rank_best_at(r, t));
+    return best;
+  }
+
+  /// Aggregate effort at time `t`: sum over ranks.
+  [[nodiscard]] std::uint64_t evals_at(double t) const {
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      sum += rank_evals_at(r, t);
+    return sum;
+  }
+
+  /// Aggregate best at the first common sample (the quality floor below
+  /// which time-to-quality comparisons are vacuous).
+  [[nodiscard]] double initial_best() const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& r : ranks_)
+      if (!r.quality.empty()) best = std::max(best, r.quality.front().v);
+    return best;
+  }
+
+  [[nodiscard]] double final_best() const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& r : ranks_)
+      if (!r.quality.empty()) best = std::max(best, r.quality.back().v);
+    return best;
+  }
+
+  /// Earliest time any rank's best-so-far reached `q` (+inf if never) — the
+  /// Harada-Alba-Luque time-to-target measure.
+  [[nodiscard]] double time_to_quality(double q) const {
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      t = std::min(t, rank_time_to_quality(r, q));
+    return t;
+  }
+
+  /// Earliest time `rank`'s own best-so-far reached `q` (+inf if never) —
+  /// the per-rank evidence behind a misleading-speedup verdict.
+  [[nodiscard]] double rank_time_to_quality(std::size_t rank, double q) const {
+    if (rank >= ranks_.size())
+      return std::numeric_limits<double>::infinity();
+    const auto& series = ranks_[rank].quality;
+    const auto it = std::lower_bound(
+        series.begin(), series.end(), q,
+        [](const Sample& s, double target) { return s.v < target; });
+    return it == series.end() ? std::numeric_limits<double>::infinity()
+                              : it->t;
+  }
+
+  /// Aggregate evaluations spent by the time quality `q` was first reached
+  /// (numerical effort at equal quality; 0 if never reached).
+  [[nodiscard]] std::uint64_t evals_to_quality(double q) const {
+    const double t = time_to_quality(q);
+    return std::isfinite(t) ? evals_at(t) : 0;
+  }
+
+  /// `k` equally spaced common checkpoints over the makespan (the last one
+  /// lands on the makespan itself).
+  [[nodiscard]] std::vector<Checkpoint> checkpoints(std::size_t k) const {
+    std::vector<Checkpoint> out;
+    if (k == 0 || !(makespan_ > 0.0)) return out;
+    out.reserve(k);
+    for (std::size_t i = 1; i <= k; ++i) {
+      Checkpoint c;
+      c.t = makespan_ * static_cast<double>(i) / static_cast<double>(k);
+      c.best = best_at(c.t);
+      c.rank_evals.reserve(ranks_.size());
+      std::uint64_t max_evals = 0;
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const std::uint64_t e = rank_evals_at(r, c.t);
+        c.rank_evals.push_back(e);
+        c.evaluations += e;
+        max_evals = std::max(max_evals, e);
+      }
+      if (c.evaluations > 0 && !ranks_.empty()) {
+        const double mean = static_cast<double>(c.evaluations) /
+                            static_cast<double>(ranks_.size());
+        c.effort_skew = static_cast<double>(max_evals) / mean;
+      }
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  /// CSV dump of the aggregated checkpoint series (one row per checkpoint),
+  /// the exporter-side companion to MetricsRegistry::to_csv().
+  [[nodiscard]] std::string to_csv(std::size_t k) const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "checkpoint,t,best,evaluations,effort_skew\n";
+    const auto cps = checkpoints(k);
+    for (std::size_t i = 0; i < cps.size(); ++i)
+      out << (i + 1) << ',' << cps[i].t << ',' << cps[i].best << ','
+          << cps[i].evaluations << ',' << cps[i].effort_skew << '\n';
+    return out.str();
+  }
+
+ private:
+  /// Envelope value at time `t`: last sample with sample.t <= t.
+  [[nodiscard]] static double value_at(const std::vector<Sample>& series,
+                                       double t, double before) {
+    const auto it = std::upper_bound(
+        series.begin(), series.end(), t,
+        [](double target, const Sample& s) { return target < s.t; });
+    return it == series.begin() ? before : std::prev(it)->v;
+  }
+
+  std::vector<RankCurve> ranks_;
+  double makespan_ = 0.0;
+};
+
+}  // namespace pga::obs

@@ -11,6 +11,7 @@
 // Format reference: Trace Event Format (the `traceEvents` array of phase
 // B/E/i/C/M objects).  Only features every viewer supports are emitted.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -47,6 +48,19 @@ inline void append_json_string(std::ostringstream& out, const char* s) {
     }
   }
   out << '"';
+}
+
+/// Double field value.  JSON has no non-finite literals, so NaN/±inf (legal
+/// fitness values) are written as the quoted strings the pga-event-log-v1
+/// reader also accepts; the stream would otherwise emit `nan`/`inf` and
+/// break the document.
+inline void append_number(std::ostringstream& out, double v) {
+  if (std::isnan(v))
+    out << "\"NaN\"";
+  else if (std::isinf(v))
+    out << (v > 0.0 ? "\"Infinity\"" : "\"-Infinity\"");
+  else
+    out << v;
 }
 
 inline void event_header(std::ostringstream& out, const char* name,
@@ -212,17 +226,33 @@ struct LaneRole {
       case EventKind::kGenStats: {
         const std::string track = "fitness[" + std::to_string(e.rank) + "]";
         event_header(out, track.c_str(), "C", e.rank, ts);
-        out << ",\"args\":{\"best\":" << e.best << ",\"mean\":" << e.mean
-            << ",\"worst\":" << e.worst << "}}";
+        out << ",\"args\":{\"best\":";
+        chrome_detail::append_number(out, e.best);
+        out << ",\"mean\":";
+        chrome_detail::append_number(out, e.mean);
+        out << ",\"worst\":";
+        chrome_detail::append_number(out, e.worst);
+        out << "}}";
         break;
       }
       case EventKind::kSearchStats: {
         const std::string track = "search[" + std::to_string(e.rank) + "]";
         event_header(out, track.c_str(), "C", e.rank, ts);
-        out << ",\"args\":{\"diversity\":" << e.diversity
-            << ",\"spread\":" << e.spread << ",\"entropy\":" << e.entropy
-            << ",\"intensity\":" << e.intensity
-            << ",\"takeover\":" << e.takeover << "}}";
+        out << ",\"args\":{\"diversity\":";
+        chrome_detail::append_number(out, e.diversity);
+        out << ",\"spread\":";
+        chrome_detail::append_number(out, e.spread);
+        out << ",\"entropy\":";
+        chrome_detail::append_number(out, e.entropy);
+        out << ",\"intensity\":";
+        chrome_detail::append_number(out, e.intensity);
+        out << ",\"takeover\":";
+        chrome_detail::append_number(out, e.takeover);
+        // Checkpoint-fair payload (quality-vs-effort curves survive the
+        // chrome round-trip, not just the lossless dump).
+        out << ",\"best\":";
+        chrome_detail::append_number(out, e.best);
+        out << ",\"evaluations\":" << e.evaluations << "}}";
         break;
       }
       case EventKind::kMark:

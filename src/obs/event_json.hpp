@@ -13,9 +13,11 @@
 // a process-lifetime pool — bounded in practice because instrumentation
 // sites use a small fixed set of literals.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -56,11 +58,40 @@ inline void append_escaped(std::string& out, const char* s) {
   out += '"';
 }
 
-/// Shortest round-trip decimal for a double.
+/// Shortest round-trip decimal for a double.  JSON has no non-finite number
+/// literals ("%.17g" would emit `nan`/`inf` and break the document), so
+/// NaN/±inf — legitimate fitness values in quality series — are written as
+/// the quoted strings "NaN"/"Infinity"/"-Infinity" and mapped back by
+/// `double_field` below.
 inline void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"NaN\"";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0.0 ? "\"Infinity\"" : "\"-Infinity\"";
+    return;
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
+}
+
+/// Tolerant double read: a JSON number, or one of the quoted non-finite
+/// spellings `append_double` emits.
+[[nodiscard]] inline double double_field(const json::Value& obj,
+                                         const std::string& key,
+                                         double dflt) {
+  const json::Value* v = obj.find(key);
+  if (!v) return dflt;
+  if (v->is_number()) return v->as_number();
+  if (v->is_string()) {
+    const std::string& s = v->as_string();
+    if (s == "NaN") return std::numeric_limits<double>::quiet_NaN();
+    if (s == "Infinity") return std::numeric_limits<double>::infinity();
+    if (s == "-Infinity") return -std::numeric_limits<double>::infinity();
+  }
+  return dflt;
 }
 
 /// Loaded events need `name` pointers with effectively-static lifetime; the
@@ -165,21 +196,21 @@ inline void parse_event_log(const std::string& text, EventLog& out) {
     Event e;
     e.kind = event_json_detail::kind_from_string(v.string_or("kind", "mark"));
     e.rank = static_cast<int>(v.number_or("rank", 0.0));
-    e.t = v.number_or("t", 0.0);
+    e.t = event_json_detail::double_field(v, "t", 0.0);
     e.name = event_json_detail::intern_name(v.string_or("name", ""));
     e.peer = static_cast<int>(v.number_or("peer", -1.0));
     e.tag = static_cast<int>(v.number_or("tag", 0.0));
     e.count = static_cast<std::uint64_t>(v.number_or("count", 0.0));
     e.generation = static_cast<std::uint64_t>(v.number_or("generation", 0.0));
     e.evaluations = static_cast<std::uint64_t>(v.number_or("evaluations", 0.0));
-    e.best = v.number_or("best", 0.0);
-    e.mean = v.number_or("mean", 0.0);
-    e.worst = v.number_or("worst", 0.0);
-    e.diversity = v.number_or("diversity", 0.0);
-    e.spread = v.number_or("spread", 0.0);
-    e.entropy = v.number_or("entropy", 0.0);
-    e.intensity = v.number_or("intensity", 0.0);
-    e.takeover = v.number_or("takeover", 0.0);
+    e.best = event_json_detail::double_field(v, "best", 0.0);
+    e.mean = event_json_detail::double_field(v, "mean", 0.0);
+    e.worst = event_json_detail::double_field(v, "worst", 0.0);
+    e.diversity = event_json_detail::double_field(v, "diversity", 0.0);
+    e.spread = event_json_detail::double_field(v, "spread", 0.0);
+    e.entropy = event_json_detail::double_field(v, "entropy", 0.0);
+    e.intensity = event_json_detail::double_field(v, "intensity", 0.0);
+    e.takeover = event_json_detail::double_field(v, "takeover", 0.0);
     e.msg_id = static_cast<std::uint64_t>(v.number_or("msg_id", 0.0));
     out.append(e);
   }
@@ -215,7 +246,7 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
     const std::string name = v.string_or("name", "");
     const json::Value* args = v.find("args");
     auto arg = [&](const char* key, double dflt) {
-      return args ? args->number_or(key, dflt) : dflt;
+      return args ? event_json_detail::double_field(*args, key, dflt) : dflt;
     };
     if (ph == "B" || ph == "E") {
       e.kind = ph == "B" ? EventKind::kSpanBegin : EventKind::kSpanEnd;
@@ -229,6 +260,8 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
         e.entropy = arg("entropy", 0.0);
         e.intensity = arg("intensity", 0.0);
         e.takeover = arg("takeover", 0.0);
+        e.best = arg("best", 0.0);
+        e.evaluations = static_cast<std::uint64_t>(arg("evaluations", 0.0));
       } else if (name.rfind("fitness[", 0) == 0) {
         e.kind = EventKind::kGenStats;
         e.name = "gen";

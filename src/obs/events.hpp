@@ -298,9 +298,19 @@ class Tracer {
   /// Per-generation search-dynamics record (obs/probes.hpp computes the
   /// payload; `count` carries the evaluations performed this generation so
   /// evaluation throughput can be derived downstream).
+  ///
+  /// The trailing `best`/`evaluations` pair is the checkpoint-fair payload
+  /// (Harada-Alba-Luque): this rank's best fitness and *per-rank cumulative*
+  /// evaluation count at time `t`.  Unlike kGenStats — whose `evaluations`
+  /// field is engine-defined and global for the sequential island model —
+  /// these are per-rank by construction, so obs/checkpoints.hpp can derive
+  /// quality-vs-effort curves from any engine's trace.  Both default to the
+  /// pre-checkpoint format (0); readers treat `evaluations == 0` as "no
+  /// effort data on this record".
   void search_stats(int rank, double t, std::uint64_t generation,
                     std::uint64_t gen_evals, double diversity, double spread,
-                    double entropy, double intensity, double takeover) const {
+                    double entropy, double intensity, double takeover,
+                    double best = 0.0, std::uint64_t evaluations = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kSearchStats;
@@ -314,6 +324,8 @@ class Tracer {
     e.entropy = entropy;
     e.intensity = intensity;
     e.takeover = takeover;
+    e.best = best;
+    e.evaluations = evaluations;
     log_->append(e);
   }
 

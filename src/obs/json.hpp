@@ -11,6 +11,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
@@ -265,7 +266,12 @@ class Parser {
       if (peek() == '+' || peek() == '-') ++pos_;
       if (!digits()) fail("expected exponent digits");
     }
-    return std::stod(s_.substr(start, pos_ - start));
+    // strtod, not stod: stod throws std::out_of_range on overflow ("1e999"),
+    // which escapes try_parse (it only catches runtime_error) and turns a
+    // merely-huge number into a crash.  strtod saturates to ±inf/0, which is
+    // the tolerant behaviour a diagnosis tool wants.
+    const std::string token = s_.substr(start, pos_ - start);
+    return std::strtod(token.c_str(), nullptr);
   }
 
   void literal(const char* word) {

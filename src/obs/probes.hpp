@@ -227,17 +227,29 @@ class GenerationProbe {
 
   /// Range form for engines whose population is not a Population<G> — the
   /// parallel cellular grid observes its owned-cell slice directly.
+  ///
+  /// Besides the search-dynamics payload, every record carries the
+  /// checkpoint-fair pair (Harada-Alba-Luque): the range's best fitness and
+  /// the probe's running per-rank evaluation total.  Because every engine
+  /// already routes its generation loop through a probe, all five models
+  /// emit quality-vs-effort checkpoints with no per-engine code.
   template <class It>
   void observe_range(It first, It last, double t, std::uint64_t generation,
                      std::uint64_t gen_evals) {
     if (!trace_) return;
     const auto stats = compute_search_stats(first, last, cfg_, has_prev_,
                                             prev_mean_, prev_stddev_);
+    cum_evals_ += gen_evals;
     // Remember this generation's moments for the next intensity estimate.
     const auto n = static_cast<std::size_t>(std::distance(first, last));
+    double best = 0.0;
     if (n > 0) {
+      best = first->fitness;
       double mean = 0.0;
-      for (It it = first; it != last; ++it) mean += it->fitness;
+      for (It it = first; it != last; ++it) {
+        mean += it->fitness;
+        best = std::max(best, it->fitness);
+      }
       mean /= static_cast<double>(n);
       double var = 0.0;
       for (It it = first; it != last; ++it)
@@ -249,7 +261,7 @@ class GenerationProbe {
     trace_.search_stats(rank_, t, generation, gen_evals,
                         stats.genotypic_diversity, stats.phenotypic_diversity,
                         stats.fitness_entropy, stats.selection_intensity,
-                        stats.takeover_fraction);
+                        stats.takeover_fraction, best, cum_evals_);
   }
 
  private:
@@ -259,6 +271,7 @@ class GenerationProbe {
   bool has_prev_ = false;
   double prev_mean_ = 0.0;
   double prev_stddev_ = 0.0;
+  std::uint64_t cum_evals_ = 0;  ///< running per-rank evaluation total
 };
 
 }  // namespace pga::obs

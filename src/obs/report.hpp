@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/checkpoints.hpp"
 #include "obs/events.hpp"
 
 namespace pga::obs {
@@ -74,6 +75,10 @@ struct SearchSample {
   double entropy = 0.0;
   double intensity = 0.0;
   double takeover = 0.0;
+  /// Checkpoint-fair payload (0 on pre-checkpoint traces): this rank's best
+  /// fitness and cumulative per-rank evaluations at `t`.
+  double best = 0.0;
+  std::uint64_t cum_evals = 0;
 };
 
 class RunReport {
@@ -190,6 +195,29 @@ class RunReport {
     return static_cast<double>(evals) / makespan_;
   }
 
+  /// Checkpoint-fair quality-vs-effort curves (Harada-Alba-Luque) rebuilt
+  /// from the retained gen_stats/search_stats series — per-rank best-so-far
+  /// quality from both, per-rank effort from checkpoint-format search
+  /// samples with gen_stats totals as the no-probe fallback.  Feed two of
+  /// these to obs::compare_speedup for the honest-speedup comparison.
+  [[nodiscard]] QualityEffort quality_effort() const {
+    QualityEffort::Builder b;
+    for (const auto& s : fitness_series_) {
+      b.quality_sample(s.rank, s.t, s.best);
+      b.effort_hint(s.rank, s.t, s.evaluations);
+    }
+    std::map<int, std::uint64_t> running;
+    for (const auto& s : search_series_) {
+      auto& cum = running[s.rank];
+      cum += s.gen_evals;
+      const std::uint64_t evals =
+          s.cum_evals > 0 ? std::max(s.cum_evals, cum) : cum;
+      if (evals > 0) b.effort_sample(s.rank, s.t, evals);
+      if (s.cum_evals > 0) b.quality_sample(s.rank, s.t, s.best);
+    }
+    return std::move(b).build();
+  }
+
   /// Markdown-ish per-rank summary for experiment harness stdout.
   [[nodiscard]] std::string to_string() const {
     std::ostringstream out;
@@ -280,6 +308,8 @@ class RunReport {
           s.entropy = e.entropy;
           s.intensity = e.intensity;
           s.takeover = e.takeover;
+          s.best = e.best;
+          s.cum_evals = e.evaluations;
           search_series_.push_back(s);
           break;
         }

@@ -1,0 +1,206 @@
+#pragma once
+// Honest speedup: classical fixed-budget vs. checkpoint-fair measures.
+//
+// The survey's speedup taxonomy (Alba's strong/weak classes, Cantú-Paz's
+// master-slave model) fixes the *budget* — both runs execute the same
+// number of generations — and divides makespans.  Harada, Alba & Luque
+// (2021) show that number overstates real gains whenever the parallel
+// run's generations buy less quality than the baseline's (small isolated
+// demes, async drift, heterogeneous ranks): the honest question is "how
+// much sooner does the parallel run reach the *same solution quality*?".
+//
+// `compare_speedup` answers both from two QualityEffort curves:
+//
+//   * classical   = makespan(base) / makespan(par)   (fixed budget)
+//   * fair(q)     = t_base(q) / t_par(q) at each of N common quality
+//                   levels spanning the range both runs traversed —
+//                   reported as a distribution (median/mean/min/max)
+//   * efficiency  = each, divided by the parallel rank count
+//   * effort skew = max/mean per-rank evaluations at the parallel run's
+//                   final checkpoint (rank-level evidence)
+//
+// A run pair is "misleading" when the classical number exceeds the fair
+// median by more than a tolerance: the headline says `classical`x but
+// equal-quality delivery is only `fair`x.  pga_doctor surfaces this as the
+// `misleading-speedup` anomaly; BENCH_h1 demonstrates it on the E2 async
+// island configuration.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/checkpoints.hpp"
+#include "obs/metrics.hpp"
+
+namespace pga::obs {
+
+struct SpeedupConfig {
+  /// Common quality levels sampled between the runs' shared quality range.
+  std::size_t quality_levels = 8;
+  /// Parallel rank count used for efficiency; 0 = infer from the parallel
+  /// run's curve.
+  std::size_t ranks = 0;
+};
+
+/// One common quality level's timing on both runs.
+struct QualityLevelSample {
+  double q = 0.0;
+  double t_base = 0.0;
+  double t_par = 0.0;
+  [[nodiscard]] double speedup() const noexcept {
+    return t_par > 0.0 ? t_base / t_par : 0.0;
+  }
+};
+
+struct SpeedupReport {
+  std::size_t ranks = 1;  ///< parallel rank count (efficiency denominator)
+
+  // Classical fixed-budget measure.
+  double classical = 0.0;
+
+  // Checkpoint-fair distribution over the common quality levels.
+  bool comparable = false;  ///< false: no overlapping quality range
+  std::vector<QualityLevelSample> levels;
+  double q_lo = 0.0;  ///< common quality range the levels span
+  double q_hi = 0.0;
+  double fair_median = 0.0;
+  double fair_mean = 0.0;
+  double fair_min = 0.0;
+  double fair_max = 0.0;
+
+  // Rank-level evidence from the parallel run's final checkpoint.
+  double effort_skew = 0.0;
+  std::vector<std::uint64_t> rank_evals;
+
+  [[nodiscard]] double classical_efficiency() const noexcept {
+    return ranks > 0 ? classical / static_cast<double>(ranks) : 0.0;
+  }
+  [[nodiscard]] double fair_efficiency() const noexcept {
+    return ranks > 0 ? fair_median / static_cast<double>(ranks) : 0.0;
+  }
+
+  /// Relative overstatement of the classical number vs. the fair median
+  /// (0.5 = classical claims 50% more than equal-quality delivery; negative
+  /// = classical *understates*, which is conservative, not misleading).
+  [[nodiscard]] double overstatement() const noexcept {
+    return comparable && fair_median > 0.0 ? classical / fair_median - 1.0
+                                           : 0.0;
+  }
+
+  /// True when the classical headline overstates the checkpoint-fair median
+  /// beyond `tolerance`.  Incomparable pairs never fire (no evidence is not
+  /// evidence of dishonesty).
+  [[nodiscard]] bool misleading(double tolerance) const noexcept {
+    return comparable && overstatement() > tolerance;
+  }
+
+  /// Surfaces both metric families through the Prometheus/CSV exporters.
+  void bind_metrics(MetricsRegistry& reg) const {
+    reg.gauge("pga_speedup_classical").set(classical);
+    reg.gauge("pga_speedup_classical_efficiency").set(classical_efficiency());
+    reg.gauge("pga_speedup_fair_median").set(fair_median);
+    reg.gauge("pga_speedup_fair_mean").set(fair_mean);
+    reg.gauge("pga_speedup_fair_min").set(fair_min);
+    reg.gauge("pga_speedup_fair_max").set(fair_max);
+    reg.gauge("pga_speedup_fair_efficiency").set(fair_efficiency());
+    reg.gauge("pga_speedup_overstatement").set(overstatement());
+    reg.gauge("pga_speedup_effort_skew").set(effort_skew);
+    reg.gauge("pga_speedup_ranks").set(static_cast<double>(ranks));
+    reg.gauge("pga_speedup_comparable").set(comparable ? 1.0 : 0.0);
+  }
+
+  /// CSV of the per-level samples (the quality-vs-time companion table).
+  [[nodiscard]] std::string to_csv() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << "quality,t_base,t_par,fair_speedup\n";
+    for (const auto& s : levels)
+      out << s.q << ',' << s.t_base << ',' << s.t_par << ','
+          << s.speedup() << '\n';
+    return out.str();
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    out.precision(4);
+    out << "classical speedup " << classical << " (efficiency "
+        << classical_efficiency() << ", " << ranks << " ranks)";
+    if (!comparable) {
+      out << "; checkpoint-fair: incomparable (no common quality range)";
+      return out.str();
+    }
+    out << "; checkpoint-fair median " << fair_median << " [" << fair_min
+        << ", " << fair_max << "] over " << levels.size()
+        << " quality levels in [" << q_lo << ", " << q_hi
+        << "], efficiency " << fair_efficiency() << ", effort skew "
+        << effort_skew;
+    return out.str();
+  }
+};
+
+/// Compares a baseline run against a parallel run of the same problem at
+/// common quality checkpoints.  Both curves must come from runs with
+/// comparable fitness semantics (same problem, maximization).
+[[nodiscard]] inline SpeedupReport compare_speedup(const QualityEffort& base,
+                                                   const QualityEffort& par,
+                                                   SpeedupConfig cfg = {}) {
+  SpeedupReport rep;
+  rep.ranks = cfg.ranks > 0 ? cfg.ranks : std::max<std::size_t>(
+                                              par.num_ranks(), 1);
+  if (par.makespan() > 0.0) rep.classical = base.makespan() / par.makespan();
+
+  // Common quality range: levels must start above both runs' initial best
+  // (otherwise t(q) = "before the first sample") and stay within both runs'
+  // final best (otherwise one run never got there).
+  rep.q_lo = std::max(base.initial_best(), par.initial_best());
+  rep.q_hi = std::min(base.final_best(), par.final_best());
+  const std::size_t n = std::max<std::size_t>(cfg.quality_levels, 1);
+  if (!(rep.q_hi > rep.q_lo) || !std::isfinite(rep.q_hi - rep.q_lo)) {
+    rep.q_lo = rep.q_hi = 0.0;
+    return rep;  // incomparable: no overlapping quality progress
+  }
+
+  std::vector<double> speedups;
+  for (std::size_t i = 1; i <= n; ++i) {
+    QualityLevelSample s;
+    s.q = rep.q_lo + (rep.q_hi - rep.q_lo) * static_cast<double>(i) /
+                         static_cast<double>(n);
+    s.t_base = base.time_to_quality(s.q);
+    s.t_par = par.time_to_quality(s.q);
+    // Both are finite by the range construction; a zero t_par (quality
+    // present from the very first sample) has no defined ratio.
+    if (!std::isfinite(s.t_base) || !std::isfinite(s.t_par) ||
+        !(s.t_par > 0.0))
+      continue;
+    speedups.push_back(s.speedup());
+    rep.levels.push_back(s);
+  }
+  if (speedups.empty()) return rep;
+
+  rep.comparable = true;
+  std::vector<double> sorted = speedups;
+  std::sort(sorted.begin(), sorted.end());
+  rep.fair_min = sorted.front();
+  rep.fair_max = sorted.back();
+  rep.fair_median = sorted.size() % 2 == 1
+                        ? sorted[sorted.size() / 2]
+                        : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                                 sorted[sorted.size() / 2]);
+  double sum = 0.0;
+  for (double s : sorted) sum += s;
+  rep.fair_mean = sum / static_cast<double>(sorted.size());
+
+  // Rank-level effort evidence at the parallel run's final checkpoint.
+  const auto cps = par.checkpoints(1);
+  if (!cps.empty()) {
+    rep.effort_skew = cps.back().effort_skew;
+    rep.rank_evals = cps.back().rank_evals;
+  }
+  return rep;
+}
+
+}  // namespace pga::obs

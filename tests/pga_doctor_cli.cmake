@@ -144,6 +144,57 @@ if(NOT out MATCHES "comm-bound gated")
   message(FATAL_ERROR "gated critical-path run did not announce the gate:\n${out}")
 endif()
 
+# --- usage + unknown-kind text document the speedup gate -----------------
+execute_process(COMMAND "${DOCTOR}" --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--help must exit 0, got ${rc}")
+endif()
+foreach(needle "speedup" "misleading_speedup" "--baseline" "--speedup-tolerance" "exit codes")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "usage text missing '${needle}':\n${out}")
+  endif()
+endforeach()
+execute_process(COMMAND "${DOCTOR}" --fail-on bogus_kind "${faulty}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT out MATCHES "misleading_speedup")
+  message(FATAL_ERROR "unknown-kind error must list misleading_speedup:\n${out}")
+endif()
+
+# --- speedup subcommand: audit-only and self-baseline paths --------------
+# The healthy trace audited against itself is the degenerate honest pair:
+# classical == fair == 1, so the misleading gate must stay green.
+execute_process(COMMAND "${DOCTOR}" speedup "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "speedup audit (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "speedup audit without baseline must exit 0, got ${rc}")
+endif()
+foreach(needle "quality-vs-effort checkpoints" "effort skew" "checkpoint audit only")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "speedup audit output missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${DOCTOR}" speedup --baseline "${healthy}"
+    --fail-on misleading-speedup "${healthy}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "self-baseline speedup must be honest (exit 0), got ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "verdict: honest")
+  message(FATAL_ERROR "self-baseline speedup missing honest verdict:\n${out}")
+endif()
+
+# A trace with no quality samples is a load-shaped error (exit 2).
+file(WRITE "${WORK_DIR}/doctor_nosamples.json"
+  "{\"format\": \"pga-event-log-v1\", \"events\": [\n{\"kind\": \"mark\", \"rank\": 0, \"t\": 1.0, \"name\": \"end\"}\n]}\n")
+execute_process(COMMAND "${DOCTOR}" speedup "${WORK_DIR}/doctor_nosamples.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "speedup on a sample-free trace must exit 2, got ${rc}")
+endif()
+
 # --- garbage input is a load error (exit 2), not a crash -----------------
 file(WRITE "${WORK_DIR}/doctor_garbage.json" "{\"nope\": true}")
 execute_process(COMMAND "${DOCTOR}" "${WORK_DIR}/doctor_garbage.json"

@@ -1,0 +1,114 @@
+# End-to-end contract of the checkpoint-fair speedup gate, run under ctest:
+#
+#   1. `bench_h1_fair_speedup --smoke` must exit 0 (its internal contract:
+#      the compute-bound pair honest, the async island pair misleading) and
+#      write BENCH_h1.json plus the four doctor-auditable trace artifacts.
+#   2. BENCH_h1.json must carry the pga-bench-series-v1 schema with both
+#      metric families (classical + checkpoint_fair) per swept config.
+#   3. `pga_doctor speedup --fail-on misleading-speedup` must exit 1 on the
+#      async island pair (classical overstates equal-quality delivery) and
+#      0 on the compute-bound master-slave pair (honest speedup).
+#
+# Driven with:
+#   cmake -DDOCTOR=<path> -DBENCH=<path> -DWORK_DIR=<dir> -P pga_fair_speedup.cmake
+
+if(NOT DOCTOR OR NOT BENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DBENCH=<bench_h1_fair_speedup> -DWORK_DIR=<dir> -P pga_fair_speedup.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- run the bench; it writes its artifacts into the cwd -----------------
+execute_process(COMMAND "${BENCH}" --smoke
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "bench_h1_fair_speedup --smoke (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_h1_fair_speedup --smoke failed (exit ${rc})")
+endif()
+if(NOT out MATCHES "MISLEADING")
+  message(FATAL_ERROR "bench table never shows a MISLEADING verdict:\n${out}")
+endif()
+
+# --- BENCH_h1.json schema: both metric families per swept config ---------
+file(READ "${WORK_DIR}/BENCH_h1.json" bench_json)
+foreach(needle
+    "\"format\": \"pga-bench-series-v1\""
+    "\"bench\": \"h1_fair_speedup\""
+    "\"classical\": {\"speedup\":"
+    "\"checkpoint_fair\": {\"comparable\":"
+    "\"overstatement\":"
+    "\"effort_skew\":"
+    "\"misleading\": true"
+    "\"misleading\": false"
+    "\"model\": \"master_slave\""
+    "\"model\": \"island\"")
+  string(FIND "${bench_json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "BENCH_h1.json missing '${needle}':\n${bench_json}")
+  endif()
+endforeach()
+
+foreach(artifact
+    bench_h1_async_events.json bench_h1_async_baseline.json
+    bench_h1_compute_events.json bench_h1_compute_baseline.json)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+# --- misleading pair: the doctor must gate (exit 1) ----------------------
+execute_process(COMMAND "${DOCTOR}" speedup
+    --baseline "${WORK_DIR}/bench_h1_async_baseline.json"
+    --fail-on misleading-speedup
+    "${WORK_DIR}/bench_h1_async_events.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "doctor on async island pair (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "async island pair must trip the gate (exit 1), got ${rc}")
+endif()
+foreach(needle
+    "verdict: misleading-speedup" "overstatement"
+    "FAIL \\[misleading_speedup\\]" "evidence:")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "misleading diagnosis missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+# Ungated, the same disagreement is advisory: exit 0.
+execute_process(COMMAND "${DOCTOR}" speedup
+    --baseline "${WORK_DIR}/bench_h1_async_baseline.json"
+    "${WORK_DIR}/bench_h1_async_events.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ungated misleading pair must exit 0, got ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "not gated")
+  message(FATAL_ERROR "ungated run must say it is not gated:\n${out}")
+endif()
+
+# A tolerance above the disagreement declares the pair honest.
+execute_process(COMMAND "${DOCTOR}" speedup
+    --baseline "${WORK_DIR}/bench_h1_async_baseline.json"
+    --fail-on misleading-speedup --speedup-tolerance 10.0
+    "${WORK_DIR}/bench_h1_async_events.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tolerance 10.0 must declare the pair honest, got exit ${rc}:\n${out}")
+endif()
+
+# --- compute-bound pair: honest, gate stays green (exit 0) ---------------
+execute_process(COMMAND "${DOCTOR}" speedup
+    --baseline "${WORK_DIR}/bench_h1_compute_baseline.json"
+    --fail-on misleading-speedup
+    "${WORK_DIR}/bench_h1_compute_events.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "doctor on compute-bound pair (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compute-bound pair must pass the gate (exit 0), got ${rc}")
+endif()
+if(NOT out MATCHES "verdict: honest")
+  message(FATAL_ERROR "compute-bound diagnosis missing honest verdict:\n${out}")
+endif()
+
+message(STATUS "checkpoint-fair speedup gate behaves as specified")

@@ -16,6 +16,7 @@
 
 #include "obs/anomaly.hpp"
 #include "obs/causal.hpp"
+#include "obs/checkpoints.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
@@ -23,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "obs/report.hpp"
+#include "obs/speedup.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/island.hpp"
 #include "parallel/master_slave.hpp"
@@ -1463,6 +1465,330 @@ TEST(Causal, DistributedIslandWanTraceCorrelatesEveryArrival) {
   const auto cp = obs::critical_path(log);
   EXPECT_GT(cp.comm_fraction(), 0.5);
   EXPECT_NE(cp.dominant(), obs::SegmentKind::kCompute);
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite doubles through every serialization path
+// ---------------------------------------------------------------------------
+
+TEST(EventJson, NonFiniteDoublesRoundTripLosslessly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.gen_stats(0, 0.5, 1, 100, inf, std::nan(""), -inf);
+  tr.search_stats(1, 0.75, 2, 32, std::nan(""), inf, -inf, std::nan(""),
+                  inf, /*best=*/-inf, /*evaluations=*/64);
+
+  const std::string text = obs::event_log_json(log);
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+  // Bare nan/inf tokens are not JSON; the writer must quote them.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
+
+  obs::EventLog loaded;
+  obs::parse_event_log(text, loaded);
+  const auto b = loaded.snapshot();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0].best, inf);
+  EXPECT_TRUE(std::isnan(b[0].mean));
+  EXPECT_DOUBLE_EQ(b[0].worst, -inf);
+  EXPECT_TRUE(std::isnan(b[1].diversity));
+  EXPECT_DOUBLE_EQ(b[1].spread, inf);
+  EXPECT_DOUBLE_EQ(b[1].entropy, -inf);
+  EXPECT_DOUBLE_EQ(b[1].takeover, inf);
+  EXPECT_DOUBLE_EQ(b[1].best, -inf);
+  EXPECT_EQ(b[1].evaluations, 64u);
+}
+
+TEST(ChromeTrace, NonFiniteCounterArgsStayValidJsonAndReimport) {
+  const double inf = std::numeric_limits<double>::infinity();
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  tr.gen_stats(0, 0.5, 1, 100, inf, std::nan(""), -inf);
+  tr.search_stats(0, 0.75, 2, 32, 0.5, 0.25, 0.125, 0.0, 1.0,
+                  /*best=*/inf, /*evaluations=*/48);
+
+  const std::string text = obs::chrome_trace_json(log);
+  EXPECT_TRUE(JsonChecker(text).valid()) << text;
+
+  obs::EventLog loaded;
+  obs::parse_chrome_trace(text, loaded);
+  bool saw_gen = false, saw_search = false;
+  for (const auto& e : loaded.snapshot()) {
+    if (e.kind == obs::EventKind::kGenStats) {
+      saw_gen = true;
+      EXPECT_DOUBLE_EQ(e.best, inf);
+      EXPECT_TRUE(std::isnan(e.mean));
+      EXPECT_DOUBLE_EQ(e.worst, -inf);
+    }
+    if (e.kind == obs::EventKind::kSearchStats) {
+      saw_search = true;
+      // The chrome trace carries the checkpoint-fair payload too.
+      EXPECT_DOUBLE_EQ(e.best, inf);
+      EXPECT_EQ(e.evaluations, 48u);
+    }
+  }
+  EXPECT_TRUE(saw_gen);
+  EXPECT_TRUE(saw_search);
+}
+
+TEST(Json, OverflowingNumbersSaturateInsteadOfThrowing) {
+  // std::stod would throw out_of_range here, which try_parse does not
+  // catch — a hostile or merely enthusiastic trace file must not abort the
+  // doctor.  strtod saturates to +/-inf and underflows to 0.
+  const auto big = obs::json::try_parse("1e999");
+  ASSERT_TRUE(big.has_value());
+  EXPECT_TRUE(std::isinf(big->as_number()));
+  const auto neg = obs::json::try_parse("-1e999");
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_TRUE(std::isinf(neg->as_number()));
+  EXPECT_LT(neg->as_number(), 0.0);
+  const auto tiny = obs::json::try_parse("1e-999");
+  ASSERT_TRUE(tiny.has_value());
+  EXPECT_DOUBLE_EQ(tiny->as_number(), 0.0);
+}
+
+TEST(RunReport, EvalThroughputGuardsEmptyAndZeroDurationLogs) {
+  obs::EventLog empty;
+  EXPECT_DOUBLE_EQ(obs::RunReport::from(empty).eval_throughput(), 0.0);
+
+  // Evaluations recorded but all at t = 0: makespan 0 must not divide.
+  obs::EventLog zero;
+  obs::Tracer tr(&zero);
+  tr.evaluation_batch(0, 0.0, 512);
+  const auto report = obs::RunReport::from(zero);
+  EXPECT_DOUBLE_EQ(report.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(report.eval_throughput(), 0.0);
+  EXPECT_FALSE(std::isinf(report.eval_throughput()));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-fair quality-vs-effort curves
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoints, BuilderFormsMonotoneEnvelopes) {
+  obs::QualityEffort::Builder b;
+  // Out of order, with a quality regression at t=3 the envelope must drop.
+  b.quality_sample(0, 3.0, 5.0);
+  b.quality_sample(0, 1.0, 2.0);
+  b.quality_sample(0, 2.0, 8.0);
+  b.quality_sample(0, 4.0, 9.0);
+  b.effort_sample(0, 1.0, 10);
+  b.effort_sample(0, 2.0, 20);
+  b.effort_sample(0, 4.0, 40);
+  const auto qe = std::move(b).build();
+  ASSERT_EQ(qe.num_ranks(), 1u);
+  EXPECT_DOUBLE_EQ(qe.makespan(), 4.0);
+  EXPECT_TRUE(std::isinf(qe.rank_best_at(0, 0.5)));  // before first sample
+  EXPECT_DOUBLE_EQ(qe.rank_best_at(0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(qe.rank_best_at(0, 3.5), 8.0);  // regression ignored
+  EXPECT_DOUBLE_EQ(qe.rank_best_at(0, 4.0), 9.0);
+  EXPECT_EQ(qe.rank_evals_at(0, 2.5), 20u);
+  EXPECT_DOUBLE_EQ(qe.time_to_quality(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(qe.time_to_quality(8.5), 4.0);  // next strict improvement
+  EXPECT_TRUE(std::isinf(qe.time_to_quality(100.0)));
+  EXPECT_EQ(qe.evals_to_quality(8.0), 20u);
+}
+
+TEST(Checkpoints, FromEventsPrefersSearchStatsEffortOverGenStatsHint) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  // The sequential island model stamps *global* totals into per-deme
+  // gen_stats; the probe's running per-rank count must win over the hint.
+  tr.gen_stats(0, 1.0, 1, /*evaluations=*/1000, 3.0, 2.0, 1.0);
+  tr.search_stats(0, 1.0, 1, /*count=*/25, 0, 0, 0, 0, 0,
+                  /*best=*/3.0, /*evaluations=*/25);
+  tr.gen_stats(0, 2.0, 2, /*evaluations=*/2000, 4.0, 2.0, 1.0);
+  tr.search_stats(0, 2.0, 2, /*count=*/25, 0, 0, 0, 0, 0,
+                  /*best=*/4.0, /*evaluations=*/50);
+  const auto qe = obs::QualityEffort::from(log);
+  ASSERT_EQ(qe.num_ranks(), 1u);
+  EXPECT_EQ(qe.rank_evals_at(0, 2.0), 50u);  // not the 2000 global hint
+  EXPECT_DOUBLE_EQ(qe.best_at(2.0), 4.0);
+
+  // A rank with gen_stats only falls back to the hint.
+  obs::EventLog plain;
+  obs::Tracer tr2(&plain);
+  tr2.gen_stats(0, 1.0, 1, 64, 5.0, 2.0, 1.0);
+  tr2.gen_stats(0, 2.0, 2, 128, 6.0, 2.0, 1.0);
+  const auto fallback = obs::QualityEffort::from(plain);
+  EXPECT_EQ(fallback.rank_evals_at(0, 2.0), 128u);
+}
+
+TEST(Checkpoints, CommonGridAggregatesRanksAndMeasuresSkew) {
+  obs::QualityEffort::Builder b;
+  for (int r = 0; r < 4; ++r) {
+    const double scale = r == 3 ? 0.25 : 1.0;  // rank 3 is the straggler
+    for (int g = 1; g <= 4; ++g) {
+      const double t = static_cast<double>(g);
+      b.quality_sample(r, t, scale * 10.0 * g);
+      b.effort_sample(r, t, static_cast<std::uint64_t>(scale * 100 * g));
+    }
+  }
+  const auto qe = std::move(b).build();
+  ASSERT_EQ(qe.num_ranks(), 4u);
+  const auto cps = qe.checkpoints(4);
+  ASSERT_EQ(cps.size(), 4u);
+  EXPECT_DOUBLE_EQ(cps.back().t, 4.0);
+  EXPECT_DOUBLE_EQ(cps.back().best, 40.0);
+  EXPECT_EQ(cps.back().evaluations, 3u * 400u + 100u);
+  ASSERT_EQ(cps.back().rank_evals.size(), 4u);
+  EXPECT_EQ(cps.back().rank_evals[3], 100u);
+  // max/mean = 400 / 325.
+  EXPECT_NEAR(cps.back().effort_skew, 400.0 / 325.0, 1e-12);
+
+  const auto csv = qe.to_csv(2);
+  EXPECT_NE(csv.find("checkpoint,t,best,evaluations,effort_skew"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\n1,2,"), std::string::npos);
+  EXPECT_NE(csv.find("\n2,4,"), std::string::npos);
+}
+
+TEST(Probes, GenerationProbeEmitsCheckpointPayload) {
+  auto pop = bit_population({{"1100", 2.0}, {"1110", 3.0}, {"0000", 0.0}});
+  obs::EventLog log;
+  obs::GenerationProbe<BitString> probe(obs::Tracer(&log), /*rank=*/2);
+  probe.observe(pop, 1.0, 1, 30);
+  probe.observe(pop, 2.0, 2, 12);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].best, 3.0);
+  EXPECT_EQ(events[0].evaluations, 30u);  // cumulative, not per-generation
+  EXPECT_DOUBLE_EQ(events[1].best, 3.0);
+  EXPECT_EQ(events[1].evaluations, 42u);
+
+  // And the curves derive directly from that payload.
+  const auto qe = obs::QualityEffort::from(log);
+  ASSERT_EQ(qe.num_ranks(), 3u);  // ranks 0..2, only 2 populated
+  EXPECT_EQ(qe.rank_evals_at(2, 2.0), 42u);
+  EXPECT_DOUBLE_EQ(qe.rank_best_at(2, 1.5), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Classical vs checkpoint-fair speedup
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Synthetic single-rank curve: quality q(t) = rate * t with one effort
+/// sample per unit of time, ending at `makespan`.
+obs::QualityEffort linear_curve(double rate, double makespan, int rank = 0) {
+  obs::QualityEffort::Builder b;
+  for (int i = 1; i <= 10; ++i) {
+    const double t = makespan * i / 10.0;
+    b.quality_sample(rank, t, rate * t);
+    b.effort_sample(rank, t, static_cast<std::uint64_t>(i * 100));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+TEST(Speedup, HonestWhenParallelReplaysTheTrajectoryFaster) {
+  // Same quality-per-unit-progress, 8x faster: classical == fair == 8.
+  const auto base = linear_curve(1.0, 8.0);
+  const auto par = linear_curve(8.0, 1.0);
+  const auto rep = obs::compare_speedup(base, par);
+  ASSERT_TRUE(rep.comparable);
+  EXPECT_NEAR(rep.classical, 8.0, 1e-9);
+  EXPECT_NEAR(rep.fair_median, 8.0, 1e-9);
+  EXPECT_NEAR(rep.overstatement(), 0.0, 1e-9);
+  EXPECT_FALSE(rep.misleading(0.25));
+  EXPECT_FALSE(rep.levels.empty());
+}
+
+TEST(Speedup, MisleadingWhenParallelGenerationsBuyLessQuality) {
+  // Parallel finishes its budget 8x sooner but climbs at half the quality
+  // rate: equal-quality delivery is only 4x.
+  const auto base = linear_curve(1.0, 8.0);
+  const auto par = linear_curve(4.0, 1.0);
+  const auto rep = obs::compare_speedup(base, par);
+  ASSERT_TRUE(rep.comparable);
+  EXPECT_NEAR(rep.classical, 8.0, 1e-9);
+  EXPECT_NEAR(rep.fair_median, 4.0, 1e-9);
+  EXPECT_NEAR(rep.overstatement(), 1.0, 1e-9);
+  EXPECT_TRUE(rep.misleading(0.25));
+  // The tolerance is a strict bound: exactly-at-tolerance is not misleading.
+  EXPECT_FALSE(rep.misleading(1.0));
+  EXPECT_TRUE(rep.misleading(0.999));
+}
+
+TEST(Speedup, IncomparableCurvesNeverFire) {
+  // Parallel run never improves past its first sample: no common quality
+  // range above both initial bests.
+  obs::QualityEffort::Builder flat;
+  flat.quality_sample(0, 1.0, 5.0);
+  flat.quality_sample(0, 2.0, 5.0);
+  const auto base = linear_curve(1.0, 8.0);
+  const auto rep = obs::compare_speedup(base, std::move(flat).build());
+  EXPECT_FALSE(rep.comparable);
+  EXPECT_TRUE(rep.levels.empty());
+  EXPECT_DOUBLE_EQ(rep.overstatement(), 0.0);
+  EXPECT_FALSE(rep.misleading(0.0));  // even at zero tolerance
+}
+
+TEST(Speedup, ReportSurfacesBothFamiliesThroughExporters) {
+  const auto base = linear_curve(1.0, 8.0);
+  const auto par = linear_curve(4.0, 1.0);
+  obs::SpeedupConfig cfg;
+  cfg.ranks = 8;
+  const auto rep = obs::compare_speedup(base, par, cfg);
+  EXPECT_NEAR(rep.classical_efficiency(), 1.0, 1e-9);
+  EXPECT_NEAR(rep.fair_efficiency(), 0.5, 1e-9);
+
+  obs::MetricsRegistry reg;
+  rep.bind_metrics(reg);
+  const auto prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("pga_speedup_classical"), std::string::npos);
+  EXPECT_NE(prom.find("pga_speedup_fair_median"), std::string::npos);
+  EXPECT_NE(prom.find("pga_speedup_overstatement"), std::string::npos);
+  const auto csv = rep.to_csv();
+  EXPECT_NE(csv.find("quality,t_base,t_par,fair_speedup"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("checkpoint-fair median"),
+            std::string::npos);
+}
+
+TEST(Anomaly, FlagsStragglerOnCheckpointSkewedTrace) {
+  // A trace whose checkpoint effort skew and whose utilization both point at
+  // the same rank: the detector must name it, and the quality-effort view
+  // must show the skew the doctor prints as evidence.
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  for (int r = 0; r < 4; ++r) {
+    const bool slow = r == 3;
+    const double busy = slow ? 0.1 : 0.9;
+    tr.span_begin(r, 0.0, "compute");
+    tr.span_end(r, busy, "compute");
+    tr.search_stats(r, 1.0, 1, slow ? 10u : 100u, 0, 0, 0, 0, 0,
+                    /*best=*/slow ? 1.0 : 2.0,
+                    /*evaluations=*/slow ? 10u : 100u);
+    tr.mark(r, 1.0, "end");
+  }
+  obs::AnomalyConfig cfg;
+  cfg.comm_busy_floor = 0.0;
+  const auto anomalies = obs::AnomalyDetector::analyze(log, cfg);
+  bool found = false;
+  for (const auto& a : anomalies)
+    if (a.kind == obs::AnomalyKind::kStraggler) {
+      found = true;
+      EXPECT_EQ(a.rank, 3);
+    }
+  EXPECT_TRUE(found);
+
+  const auto cps = obs::QualityEffort::from(log).checkpoints(1);
+  ASSERT_EQ(cps.size(), 1u);
+  // max/mean = 100 / 77.5.
+  EXPECT_NEAR(cps.back().effort_skew, 100.0 / 77.5, 1e-12);
+  EXPECT_EQ(cps.back().rank_evals[3], 10u);
+}
+
+TEST(Anomaly, MisleadingSpeedupKindRoundTripsItsName) {
+  // The kind exists for pga_doctor's speedup gate; the streaming detector
+  // never emits it (it needs a baseline trace), but gating machinery and
+  // name parsing must know it.
+  EXPECT_STREQ(obs::to_string(obs::AnomalyKind::kMisleadingSpeedup),
+               "misleading_speedup");
+  EXPECT_EQ(obs::kLastAnomalyKind, obs::AnomalyKind::kMisleadingSpeedup);
 }
 
 }  // namespace

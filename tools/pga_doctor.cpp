@@ -36,6 +36,8 @@
 // or load error.
 
 #include <chrono>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -48,9 +50,11 @@
 #include "exec/thread_pool.hpp"
 #include "obs/anomaly.hpp"
 #include "obs/causal.hpp"
+#include "obs/checkpoints.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
+#include "obs/speedup.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
 #include "sim/cluster.hpp"
@@ -65,6 +69,8 @@ void usage(std::FILE* to) {
       "usage: pga_doctor [options] <trace.json>\n"
       "       pga_doctor critical-path [options] <trace.json>\n"
       "       pga_doctor profile [options] <trace.json>\n"
+      "       pga_doctor speedup [--baseline base.json] [options] "
+      "<trace.json>\n"
       "       pga_doctor --gen healthy|faulty <out.json>\n"
       "\n"
       "Diagnoses a traced PGA run: anomaly detection + run report.\n"
@@ -77,16 +83,33 @@ void usage(std::FILE* to) {
       "                     exit 1 when comm+wait >= the comm-bound floor\n"
       "  profile            critical-path attribution plus the per-rank\n"
       "                     RunReport table\n"
+      "  speedup            checkpoint-fair quality-vs-effort audit\n"
+      "                     (Harada-Alba-Luque): per-checkpoint best fitness,\n"
+      "                     effort and per-rank skew; with --baseline, the\n"
+      "                     classical fixed-budget speedup next to the\n"
+      "                     checkpoint-fair distribution, and a\n"
+      "                     misleading-speedup verdict when the classical\n"
+      "                     number overstates the fair median beyond\n"
+      "                     --speedup-tolerance (gate it with\n"
+      "                     --fail-on misleading-speedup)\n"
       "\n"
       "options:\n"
       "  --fail-on LIST     anomaly kinds that cause exit 1; comma-separated\n"
       "                     and/or repeated ('-' and '_' both accepted).\n"
       "                     First use replaces the default, later uses add.\n"
       "                     kinds: failure stall premature_convergence\n"
-      "                            straggler comm_bound; also: all, none.\n"
+      "                            straggler comm_bound misleading_speedup;\n"
+      "                            also: all, none.\n"
       "                     default: failure,stall\n"
       "  --comm-bound-floor X  critical-path comm+wait fraction that trips\n"
       "                        the comm-bound gate (0.5)\n"
+      "  --baseline FILE    speedup: baseline (e.g. 1-rank) trace to compare\n"
+      "                     the main trace against at common quality levels\n"
+      "  --checkpoints K       speedup: common checkpoints to tabulate (8)\n"
+      "  --quality-levels N    speedup: quality levels for the fair\n"
+      "                        distribution (8)\n"
+      "  --speedup-tolerance X  relative classical-vs-fair overstatement\n"
+      "                         that counts as misleading (0.25)\n"
       "  --report           print the full per-rank RunReport table\n"
       "  --stall-fraction X    stall horizon as a fraction of makespan "
       "(0.25)\n"
@@ -100,7 +123,14 @@ void usage(std::FILE* to) {
       "                                   (W1-shaped: worker lanes idle after\n"
       "                                   the parallel region; must pass the\n"
       "                                   stall gate)\n"
-      "  -h, --help         this text\n");
+      "  -h, --help         this text\n"
+      "\n"
+      "exit codes:\n"
+      "  0  clean, or only advisory findings (ungated anomaly kinds,\n"
+      "     speedup audit without a gated misleading verdict)\n"
+      "  1  a gated anomaly kind fired (--fail-on), incl. comm-bound under\n"
+      "     critical-path and misleading-speedup under speedup\n"
+      "  2  usage error, unknown anomaly kind, or unloadable trace\n");
 }
 
 /// Parses one --fail-on list, accumulating into the set of gated kinds.
@@ -123,14 +153,12 @@ bool parse_fail_on(const std::string& raw, std::set<obs::AnomalyKind>* out) {
       continue;
     }
     if (item == "all") {
-      for (int k = 0; k <= static_cast<int>(obs::AnomalyKind::kCommBound);
-           ++k)
+      for (int k = 0; k <= static_cast<int>(obs::kLastAnomalyKind); ++k)
         out->insert(static_cast<obs::AnomalyKind>(k));
       continue;
     }
     bool known = false;
-    for (int k = 0; k <= static_cast<int>(obs::AnomalyKind::kCommBound);
-         ++k) {
+    for (int k = 0; k <= static_cast<int>(obs::kLastAnomalyKind); ++k) {
       const auto kind = static_cast<obs::AnomalyKind>(k);
       if (item == obs::to_string(kind)) {
         out->insert(kind);
@@ -139,8 +167,15 @@ bool parse_fail_on(const std::string& raw, std::set<obs::AnomalyKind>* out) {
       }
     }
     if (!known) {
-      std::fprintf(stderr, "pga_doctor: unknown anomaly kind '%s'\n",
-                   item.c_str());
+      std::string kinds;
+      for (int k = 0; k <= static_cast<int>(obs::kLastAnomalyKind); ++k) {
+        if (!kinds.empty()) kinds += ' ';
+        kinds += obs::to_string(static_cast<obs::AnomalyKind>(k));
+      }
+      std::fprintf(stderr,
+                   "pga_doctor: unknown anomaly kind '%s' (kinds: %s; also "
+                   "'-' for '_', e.g. misleading-speedup)\n",
+                   item.c_str(), kinds.c_str());
       return false;
     }
   }
@@ -253,11 +288,15 @@ int main(int argc, char** argv) {
   std::string path;
   std::string gen_mode;
   std::string subcommand;
+  std::string baseline_path;
   bool full_report = false;
   std::set<obs::AnomalyKind> fail_on = {obs::AnomalyKind::kFailedRank,
                                         obs::AnomalyKind::kStalledRank};
   bool fail_on_given = false;
   double comm_bound_floor = 0.5;
+  double speedup_tolerance = 0.25;
+  std::size_t num_checkpoints = 8;
+  std::size_t quality_levels = 8;
   obs::AnomalyConfig acfg;
 
   auto value_arg = [&](int& i, const char* flag) -> const char* {
@@ -283,6 +322,16 @@ int main(int argc, char** argv) {
       gen_mode = value_arg(i, "--gen");
     } else if (arg == "--comm-bound-floor") {
       comm_bound_floor = std::atof(value_arg(i, "--comm-bound-floor"));
+    } else if (arg == "--baseline") {
+      baseline_path = value_arg(i, "--baseline");
+    } else if (arg == "--speedup-tolerance") {
+      speedup_tolerance = std::atof(value_arg(i, "--speedup-tolerance"));
+    } else if (arg == "--checkpoints") {
+      num_checkpoints = static_cast<std::size_t>(
+          std::atoi(value_arg(i, "--checkpoints")));
+    } else if (arg == "--quality-levels") {
+      quality_levels = static_cast<std::size_t>(
+          std::atoi(value_arg(i, "--quality-levels")));
     } else if (arg == "--stall-fraction") {
       acfg.stall_fraction = std::atof(value_arg(i, "--stall-fraction"));
     } else if (arg == "--diversity-floor") {
@@ -296,7 +345,8 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 2;
     } else if (subcommand.empty() && path.empty() &&
-               (arg == "critical-path" || arg == "profile")) {
+               (arg == "critical-path" || arg == "profile" ||
+                arg == "speedup")) {
       subcommand = arg;
     } else if (path.empty()) {
       path = arg;
@@ -319,6 +369,138 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
     return 2;
+  }
+
+  // ---- Checkpoint-fair speedup audit ----------------------------------------
+  if (subcommand == "speedup") {
+    const auto qe = obs::QualityEffort::from(log.snapshot());
+    // Rank count from the whole trace, not just quality samples: in a
+    // master-slave run only the master emits search stats but every slave
+    // burns a CPU, and efficiency must be charged for all of them.
+    std::size_t trace_ranks = 0;
+    for (const auto& e : log.snapshot())
+      if (e.rank >= 0)
+        trace_ranks = std::max(trace_ranks,
+                               static_cast<std::size_t>(e.rank) + 1);
+    std::printf("pga_doctor speedup: %s — %zu events, %zu ranks (%zu with "
+                "quality samples), makespan %.6g s\n",
+                path.c_str(), log.size(), trace_ranks, qe.num_ranks(),
+                qe.makespan());
+    if (qe.empty()) {
+      std::fprintf(stderr,
+                   "pga_doctor: no quality samples in the trace (needs "
+                   "gen_stats or probe search_stats events)\n");
+      return 2;
+    }
+
+    std::printf("\nquality-vs-effort checkpoints (common wall-time grid):\n");
+    std::printf("  %3s  %12s  %14s  %12s  %11s\n", "k", "t (s)", "best",
+                "evaluations", "effort skew");
+    const auto cps = qe.checkpoints(num_checkpoints);
+    for (std::size_t i = 0; i < cps.size(); ++i)
+      std::printf("  %3zu  %12.6g  %14.8g  %12llu  %11.3f\n", i + 1,
+                  cps[i].t, cps[i].best,
+                  static_cast<unsigned long long>(cps[i].evaluations),
+                  cps[i].effort_skew);
+    if (!cps.empty() && !cps.back().rank_evals.empty()) {
+      std::printf("  final per-rank effort:");
+      for (std::size_t r = 0; r < cps.back().rank_evals.size(); ++r)
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(cps.back().rank_evals[r]));
+      std::printf("\n");
+    }
+
+    if (baseline_path.empty()) {
+      std::printf("\nno --baseline given: checkpoint audit only (compare "
+                  "two traces for the speedup verdict)\n");
+      return 0;
+    }
+
+    obs::EventLog base_log;
+    try {
+      obs::load_any_trace(baseline_path, base_log);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
+      return 2;
+    }
+    const auto base_qe = obs::QualityEffort::from(base_log.snapshot());
+    obs::SpeedupConfig scfg;
+    scfg.quality_levels = quality_levels;
+    scfg.ranks = trace_ranks;
+    const auto srep = obs::compare_speedup(base_qe, qe, scfg);
+
+    std::printf("\nbaseline %s: %zu ranks, makespan %.6g s\n",
+                baseline_path.c_str(), base_qe.num_ranks(),
+                base_qe.makespan());
+    std::printf("classical (fixed-budget) speedup: %.3f  (efficiency %.3f "
+                "over %zu ranks)\n",
+                srep.classical, srep.classical_efficiency(), srep.ranks);
+    if (!srep.comparable) {
+      std::printf("checkpoint-fair: incomparable — no common quality range "
+                  "(base [%.8g], par [%.8g])\n",
+                  base_qe.final_best(), qe.final_best());
+      std::printf("\nverdict: inconclusive — cannot audit the classical "
+                  "number -> exit 0\n");
+      return 0;
+    }
+
+    std::printf("checkpoint-fair speedup: median %.3f, mean %.3f, range "
+                "[%.3f, %.3f] over %zu quality levels in [%.8g, %.8g]\n",
+                srep.fair_median, srep.fair_mean, srep.fair_min,
+                srep.fair_max, srep.levels.size(), srep.q_lo, srep.q_hi);
+    std::printf("checkpoint-fair efficiency: %.3f; final effort skew %.3f\n",
+                srep.fair_efficiency(), srep.effort_skew);
+    std::printf("\n  %14s  %12s  %12s  %10s\n", "quality", "t_base (s)",
+                "t_par (s)", "fair s(q)");
+    for (const auto& lvl : srep.levels)
+      std::printf("  %14.8g  %12.6g  %12.6g  %10.3f\n", lvl.q, lvl.t_base,
+                  lvl.t_par, lvl.speedup());
+
+    const bool misleading = srep.misleading(speedup_tolerance);
+    std::printf("\nverdict: %s — classical %.3f vs fair median %.3f "
+                "(overstatement %+.1f%%, tolerance %.0f%%)\n",
+                misleading ? "misleading-speedup" : "honest",
+                srep.classical, srep.fair_median,
+                100.0 * srep.overstatement(), 100.0 * speedup_tolerance);
+    if (misleading) {
+      // Rank-level evidence: who was still short of the common quality
+      // ceiling, and how unevenly the effort landed.
+      std::printf("evidence: fixed-budget timing credits generations that "
+                  "bought less quality than the baseline's\n");
+      for (std::size_t r = 0; r < qe.num_ranks(); ++r) {
+        const double ttq = qe.rank_time_to_quality(r, srep.q_hi);
+        const auto evals = r < srep.rank_evals.size() ? srep.rank_evals[r]
+                                                      : qe.rank_evals_at(
+                                                            r, qe.makespan());
+        if (std::isfinite(ttq))
+          std::printf("  rank %zu: reached q=%.8g at t=%.6g s, %llu evals\n",
+                      r, srep.q_hi, ttq,
+                      static_cast<unsigned long long>(evals));
+        else
+          std::printf("  rank %zu: never reached q=%.8g on its own, %llu "
+                      "evals\n",
+                      r, srep.q_hi,
+                      static_cast<unsigned long long>(evals));
+      }
+      if (fail_on.count(obs::AnomalyKind::kMisleadingSpeedup) != 0) {
+        obs::Anomaly a;
+        a.kind = obs::AnomalyKind::kMisleadingSpeedup;
+        a.rank = -1;
+        a.t_begin = 0.0;
+        a.t_end = qe.makespan();
+        a.value = srep.overstatement();
+        std::printf("\nFAIL [%s] classical speedup %.3f overstates "
+                    "checkpoint-fair %.3f by %.1f%% -> exit 1\n",
+                    obs::to_string(a.kind), srep.classical, srep.fair_median,
+                    100.0 * a.value);
+        return 1;
+      }
+      std::printf("\nmisleading-speedup not gated (add --fail-on "
+                  "misleading-speedup) -> exit 0\n");
+      return 0;
+    }
+    std::printf("\nclassical number is honest within tolerance -> exit 0\n");
+    return 0;
   }
 
   // ---- Causal subcommands ---------------------------------------------------
