@@ -16,6 +16,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/report.hpp"
+#include "obs/stream.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
@@ -51,7 +52,7 @@ struct Outcome {
 };
 
 Outcome run_master_slave(int failures, std::uint64_t seed,
-                         obs::EventLog* trace = nullptr) {
+                         obs::EventSink* trace = nullptr) {
   problems::OneMax problem(kBits);
   MasterSlaveConfig<BitString> cfg;
   cfg.pop_size = 56;
@@ -160,13 +161,22 @@ int main() {
 
   // Traced exemplar run: FT master-slave with 2 failures — the dead slaves'
   // lanes stop cold in the timeline and the report flags them as failed.
+  // The same emit stream is teed into a live JSONL file, so the watch gate
+  // has a real fault stream to tail (`pga_doctor watch bench_e9_stream.jsonl`
+  // reaches the same verdicts as the post-hoc dump).
   obs::EventLog log;
-  (void)run_master_slave(/*failures=*/2, /*seed=*/1, &log);
+  {
+    obs::StreamWriter stream("bench_e9_stream.jsonl");
+    obs::TeeSink tee(&log, &stream);
+    (void)run_master_slave(/*failures=*/2, /*seed=*/1, &tee);
+  }
   obs::save_chrome_trace(log, "bench_e9_trace.json", "E9 FT master-slave");
   obs::save_event_log(log, "bench_e9_events.json");
   std::printf("\nTraced run (2 failures) -> bench_e9_trace.json\n"
               "Lossless event dump -> bench_e9_events.json (pga_doctor flags\n"
-              "the dead ranks and exits 1: pga_doctor bench_e9_events.json)\n%s",
+              "the dead ranks and exits 1: pga_doctor bench_e9_events.json)\n"
+              "Live stream -> bench_e9_stream.jsonl (same verdicts online:\n"
+              "pga_doctor watch bench_e9_stream.jsonl)\n%s",
               obs::RunReport::from(log).to_string().c_str());
   return 0;
 }

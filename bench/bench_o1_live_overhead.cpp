@@ -1,0 +1,264 @@
+// O1 — live-observability emit overhead and flight-recorder memory bound.
+//
+// The tracing contract so far was "a disabled Tracer costs one branch
+// (~2 ns) and an EventLog append is a couple of stores"; O1 extends it to
+// the live sinks: the FlightRecorder ring and the StreamWriter staging
+// buffer must stay in the same cost class as the in-memory log, because
+// they sit on the identical Tracer emit path during a run.  The same
+// event mix is emitted through every sink and the per-event cost printed
+// side by side:
+//
+//   null      — Tracer with no sink (the always-on production default)
+//   eventlog  — unbounded in-memory EventLog (the post-hoc baseline)
+//   ring      — FlightRecorder (bounded per-rank rings, seqlock reads)
+//   stream    — StreamWriter (staged JSONL append, background flusher)
+//   tee       — TeeSink(EventLog, FlightRecorder) — the black-box rig
+//
+// Acceptance (exit code gates on contracts, not timing — shared machines
+// make throughput ratios unstable, see K1):
+//   * a 10^6-event multi-threaded run through the FlightRecorder stays
+//     inside its configured memory bound with zero unaccounted drops
+//     (appended == retained + dropped, per rank and in total);
+//   * every event accepted by the StreamWriter is written and parses back
+//     (appended == written == re-read, zero backpressure drops when the
+//     staging bound is respected);
+//   * a LiveMonitor tailing the stream reaches the same event count.
+// The within-2x streaming-vs-eventlog ratio is reported in the table and
+// recorded in BENCH_o1.json for trend tracking.
+//
+// Emits: BENCH_o1.json (pga-bench-series-v1).  `--smoke` shrinks the event
+// counts for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/events.hpp"
+#include "obs/live.hpp"
+#include "obs/ring.hpp"
+#include "obs/stream.hpp"
+
+using namespace pga;
+
+namespace {
+
+/// Emits `n` representative events (marks + gen stats, 4 rank lanes)
+/// through the tracer and returns ns/event.
+[[nodiscard]] double time_emit(const obs::Tracer& tr, std::size_t n) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int rank = static_cast<int>(i & 3);
+    const double t = static_cast<double>(i) * 1e-6;
+    if ((i & 7) == 0)
+      tr.gen_stats(rank, t, i >> 3, 16, 1.0, 0.5, 0.0);
+    else
+      tr.mark(rank, t, "emit", -1, i);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t n_timing = smoke ? 200000 : 2000000;
+  const std::size_t n_flood = smoke ? 250000 : 1000000;  // the 10^6 contract
+  const int flood_threads = 4;
+
+  std::printf(
+      "O1: live-sink emit overhead vs the in-memory EventLog baseline.\n"
+      "Claim: the bounded flight recorder and the streaming JSONL writer\n"
+      "stay in the EventLog cost class on the hot emit path (the target is\n"
+      "within 2x), and the disabled tracer stays at one branch.\n\n");
+
+  // --- per-sink emit cost -------------------------------------------------
+  const double ns_null = time_emit(obs::Tracer(), n_timing);
+
+  obs::EventLog log;
+  const double ns_log = time_emit(obs::Tracer(&log), n_timing);
+
+  obs::FlightRecorderConfig rcfg;
+  rcfg.capacity_per_rank = 4096;
+  rcfg.max_ranks = 8;
+  obs::FlightRecorder ring(rcfg);
+  const double ns_ring = time_emit(obs::Tracer(&ring), n_timing);
+
+  // The 2x criterion is about the *emit path* — what the traced run pays
+  // per event while the flusher drains elsewhere.  Timing it with the
+  // background thread running would co-schedule JSON encoding against the
+  // emit loop (a wash on many-core boxes, dominant on small CI runners), so
+  // the gated number uses deterministic flush points: the timed region is
+  // exactly the staged append, the encoding happens in close().  The
+  // background-flusher variant is reported alongside for the end-to-end
+  // picture.
+  const std::string stream_path = "bench_o1_stream.jsonl";
+  double ns_stream = 0.0;
+  obs::StreamWriter::Stats wstats;
+  {
+    obs::StreamWriterConfig scfg;
+    scfg.background_flush = false;
+    scfg.max_pending = n_timing;  // staging bound respected: no drops
+    obs::StreamWriter stream(stream_path, scfg);
+    ns_stream = time_emit(obs::Tracer(&stream), n_timing);
+    stream.close();
+    wstats = stream.stats();
+  }
+
+  const std::string bg_path = "bench_o1_stream_bg.jsonl";
+  double ns_stream_bg = 0.0;
+  {
+    obs::StreamWriterConfig scfg;
+    scfg.max_pending = n_timing;
+    obs::StreamWriter stream(bg_path, scfg);
+    ns_stream_bg = time_emit(obs::Tracer(&stream), n_timing);
+    stream.close();
+  }
+  std::remove(bg_path.c_str());
+
+  obs::EventLog tee_log;
+  obs::FlightRecorder tee_ring(rcfg);
+  obs::TeeSink tee(&tee_log, &tee_ring);
+  const double ns_tee = time_emit(obs::Tracer(&tee), n_timing);
+
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return std::string(buf);
+  };
+  bench::Table table({"sink", "ns/event", "vs eventlog"});
+  table.row({"null", fmt(ns_null), "-"});
+  table.row({"eventlog", fmt(ns_log), "1.00x"});
+  table.row({"ring", fmt(ns_ring), fmt(ns_ring / ns_log) + "x"});
+  table.row({"stream", fmt(ns_stream), fmt(ns_stream / ns_log) + "x"});
+  table.row({"stream (bg flusher)", fmt(ns_stream_bg),
+             fmt(ns_stream_bg / ns_log) + "x"});
+  table.row({"tee", fmt(ns_tee), fmt(ns_tee / ns_log) + "x"});
+  table.print();
+
+  const bool stream_2x = ns_stream <= 2.0 * ns_log;
+  const bool ring_2x = ns_ring <= 2.0 * ns_log;
+
+  // --- contract 1: stream integrity ---------------------------------------
+  obs::StreamReader reader(stream_path);
+  std::size_t reread = 0;
+  while (true) {
+    const std::size_t got = reader.poll([](const obs::Event&) {});
+    if (got == 0) break;
+    reread += got;
+  }
+  const bool stream_exact = wstats.appended == n_timing &&
+                            wstats.written == n_timing &&
+                            wstats.dropped_backpressure == 0 &&
+                            reread == n_timing &&
+                            reader.stats().parse_errors == 0;
+  std::printf(
+      "\nStream integrity: appended %llu, written %llu, re-read %zu, "
+      "%llu parse errors, %llu backpressure drops -> %s\n",
+      static_cast<unsigned long long>(wstats.appended),
+      static_cast<unsigned long long>(wstats.written), reread,
+      static_cast<unsigned long long>(reader.stats().parse_errors),
+      static_cast<unsigned long long>(wstats.dropped_backpressure),
+      stream_exact ? "PASS" : "FAIL");
+
+  // --- contract 2: live monitor sees the same count ------------------------
+  obs::StreamReader tail(stream_path);
+  obs::LiveMonitorConfig lcfg;
+  lcfg.retain_events = false;  // bounded consumer
+  obs::LiveMonitor mon(lcfg);
+  while (mon.poll(tail) > 0) {
+  }
+  const bool monitor_exact = mon.progress().events == n_timing;
+  std::printf("Live monitor consumed %llu/%zu events -> %s\n",
+              static_cast<unsigned long long>(mon.progress().events),
+              n_timing, monitor_exact ? "PASS" : "FAIL");
+  std::remove(stream_path.c_str());
+
+  // --- contract 3: 10^6-event flood under a fixed memory bound -------------
+  obs::FlightRecorderConfig fcfg;
+  fcfg.capacity_per_rank = 2048;
+  fcfg.max_ranks = static_cast<std::size_t>(flood_threads);
+  obs::FlightRecorder flood(fcfg);
+  {
+    std::vector<std::thread> threads;
+    const std::size_t per_thread = n_flood / flood_threads;
+    for (int r = 0; r < flood_threads; ++r)
+      threads.emplace_back([&, r] {
+        obs::Tracer tr(&flood);
+        for (std::size_t i = 0; i < per_thread; ++i)
+          tr.mark(r, static_cast<double>(i) * 1e-6, "flood", -1, i);
+      });
+    for (auto& t : threads) t.join();
+  }
+  const auto snap = flood.snapshot();
+  const std::size_t expected =
+      (n_flood / flood_threads) * static_cast<std::size_t>(flood_threads);
+  const bool flood_exact =
+      snap.totals.exact() && snap.totals.appended == expected &&
+      snap.totals.retained ==
+          fcfg.capacity_per_rank * static_cast<std::size_t>(flood_threads) &&
+      snap.totals.dropped_unranked == 0;
+  std::printf(
+      "Flight-recorder flood: %zu events, %d threads, bound %zu bytes:\n"
+      "  appended %llu = retained %llu + dropped %llu "
+      "(capacity %llu, age %llu) -> %s\n",
+      expected, flood_threads, flood.memory_bound_bytes(),
+      static_cast<unsigned long long>(snap.totals.appended),
+      static_cast<unsigned long long>(snap.totals.retained),
+      static_cast<unsigned long long>(snap.totals.dropped()),
+      static_cast<unsigned long long>(snap.totals.dropped_capacity),
+      static_cast<unsigned long long>(snap.totals.dropped_age),
+      flood_exact ? "PASS" : "FAIL");
+
+  std::printf(
+      "\nShape check: ring and stream appends are a mutex + vector push,\n"
+      "the same shape as the EventLog baseline, so the ratio should sit\n"
+      "near 1x (2x is the acceptance ceiling; timing is reported, the\n"
+      "drop-accounting and round-trip contracts are gated).\n"
+      "  stream within 2x of eventlog: %s\n"
+      "  ring   within 2x of eventlog: %s\n",
+      stream_2x ? "PASS" : "FAIL (reported only)",
+      ring_2x ? "PASS" : "FAIL (reported only)");
+
+  {
+    std::FILE* f = std::fopen("BENCH_o1.json", "w");
+    if (f) {
+      std::fprintf(
+          f,
+          "{\n  \"format\": \"pga-bench-series-v1\",\n"
+          "  \"bench\": \"o1_live_overhead\",\n"
+          "  \"events_timed\": %zu,\n"
+          "  \"flood_events\": %zu,\n"
+          "  \"flood_memory_bound_bytes\": %zu,\n"
+          "  \"contracts\": {\"stream_exact\": %s, \"monitor_exact\": %s, "
+          "\"flood_exact\": %s},\n"
+          "  \"within_2x\": {\"stream\": %s, \"ring\": %s},\n"
+          "  \"series\": [\n"
+          "    {\"sink\": \"null\", \"ns_per_event\": %.2f},\n"
+          "    {\"sink\": \"eventlog\", \"ns_per_event\": %.2f},\n"
+          "    {\"sink\": \"ring\", \"ns_per_event\": %.2f, "
+          "\"vs_eventlog\": %.3f},\n"
+          "    {\"sink\": \"stream\", \"ns_per_event\": %.2f, "
+          "\"vs_eventlog\": %.3f},\n"
+          "    {\"sink\": \"stream_bg\", \"ns_per_event\": %.2f, "
+          "\"vs_eventlog\": %.3f},\n"
+          "    {\"sink\": \"tee\", \"ns_per_event\": %.2f, "
+          "\"vs_eventlog\": %.3f}\n  ]\n}\n",
+          n_timing, expected, flood.memory_bound_bytes(),
+          stream_exact ? "true" : "false", monitor_exact ? "true" : "false",
+          flood_exact ? "true" : "false", stream_2x ? "true" : "false",
+          ring_2x ? "true" : "false", ns_null, ns_log, ns_ring,
+          ns_ring / ns_log, ns_stream, ns_stream / ns_log, ns_stream_bg,
+          ns_stream_bg / ns_log, ns_tee, ns_tee / ns_log);
+      std::fclose(f);
+      std::printf("\nSeries -> BENCH_o1.json\n");
+    }
+  }
+
+  return (stream_exact && monitor_exact && flood_exact) ? 0 : 1;
+}

@@ -152,9 +152,10 @@ class AnomalyDetector {
     }
   }
 
-  /// Convenience: drain a whole log.
+  /// Convenience: drain a whole log.  Zero-copy — consume() is order-
+  /// independent, so append-order for_each iteration needs no sort.
   void consume(const EventLog& log) {
-    for (const auto& e : log.sorted_by_time()) consume(e);
+    log.for_each([this](const Event& e) { consume(e); });
   }
 
   /// Finalizes the analysis.  Callable once per detector; the stream state

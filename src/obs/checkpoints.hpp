@@ -139,43 +139,60 @@ class QualityEffort {
     std::vector<RankBuffer> ranks_;
   };
 
-  /// Derives the curves from a raw event stream (any order).  Quality comes
-  /// from kGenStats plus checkpoint-format kSearchStats; effort from the
-  /// running kSearchStats per-generation counts (authoritative) with
-  /// kGenStats totals as the no-probe fallback.
-  [[nodiscard]] static QualityEffort from(const std::vector<Event>& events) {
-    Builder b;
-    std::vector<std::uint64_t> running;  // per-rank search-count sums
-    for (const Event& e : events) {
-      if (e.rank < 0) continue;
+  /// Streaming front end to Builder: feed raw events in any order, build at
+  /// the end.  Quality comes from kGenStats plus checkpoint-format
+  /// kSearchStats; effort from the running kSearchStats per-generation
+  /// counts (authoritative) with kGenStats totals as the no-probe fallback.
+  /// Both `from` overloads and the live monitor are thin wrappers over this.
+  class Feeder {
+   public:
+    void consume(const Event& e) {
+      if (e.rank < 0) return;
       const auto r = static_cast<std::size_t>(e.rank);
       switch (e.kind) {
         case EventKind::kGenStats:
-          b.quality_sample(e.rank, e.t, e.best);
-          b.effort_hint(e.rank, e.t, e.evaluations);
+          b_.quality_sample(e.rank, e.t, e.best);
+          b_.effort_hint(e.rank, e.t, e.evaluations);
           break;
         case EventKind::kSearchStats: {
-          if (r >= running.size()) running.resize(r + 1, 0);
-          running[r] += e.count;
+          if (r >= running_.size()) running_.resize(r + 1, 0);
+          running_[r] += e.count;
           // `evaluations > 0` marks the checkpoint-fair record format; the
           // engine's own cumulative count wins over our running sum (it may
           // include the initial-population evaluation).
           const std::uint64_t cum =
-              e.evaluations > 0 ? std::max(e.evaluations, running[r])
-                                : running[r];
-          if (cum > 0) b.effort_sample(e.rank, e.t, cum);
-          if (e.evaluations > 0) b.quality_sample(e.rank, e.t, e.best);
+              e.evaluations > 0 ? std::max(e.evaluations, running_[r])
+                                : running_[r];
+          if (cum > 0) b_.effort_sample(e.rank, e.t, cum);
+          if (e.evaluations > 0) b_.quality_sample(e.rank, e.t, e.best);
           break;
         }
         default:
           break;
       }
     }
-    return std::move(b).build();
+
+    /// Builds the curves from everything consumed so far; the feeder is
+    /// spent afterwards (Builder::build is rvalue-qualified).
+    [[nodiscard]] QualityEffort build() && { return std::move(b_).build(); }
+
+   private:
+    Builder b_;
+    std::vector<std::uint64_t> running_;  // per-rank search-count sums
+  };
+
+  /// Derives the curves from a raw event stream (any order).
+  [[nodiscard]] static QualityEffort from(const std::vector<Event>& events) {
+    Feeder f;
+    for (const Event& e : events) f.consume(e);
+    return std::move(f).build();
   }
 
+  /// Zero-copy over a log: iterates in place instead of snapshotting.
   [[nodiscard]] static QualityEffort from(const EventLog& log) {
-    return from(log.snapshot());
+    Feeder f;
+    log.for_each([&](const Event& e) { f.consume(e); });
+    return std::move(f).build();
   }
 
   [[nodiscard]] std::size_t num_ranks() const noexcept {

@@ -11,6 +11,7 @@
 // Format reference: Trace Event Format (the `traceEvents` array of phase
 // B/E/i/C/M objects).  Only features every viewer supports are emitted.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -111,7 +112,9 @@ struct LaneRole {
   using chrome_detail::append_json_string;
   using chrome_detail::event_header;
 
-  const auto events = log.sorted_by_time();
+  std::vector<Event> events;
+  log.for_each([&](const Event& e) { events.push_back(e); });
+  std::stable_sort(events.begin(), events.end(), canonical_event_order);
 
   // Pre-pass 1: infer each rank's program role for its lane label.
   std::map<int, chrome_detail::LaneRole> roles;

@@ -113,6 +113,36 @@ inline void append_double(std::string& out, double v) {
 
 }  // namespace event_json_detail
 
+/// Decodes one event object (the shape `event_json` writes).  `seq` is left
+/// at the dumped value; log-level loaders reassign it by append order, while
+/// the stream reader keeps whatever the writer stamped.  Throws on a
+/// non-object value or an unknown kind.
+[[nodiscard]] inline Event event_from_json(const json::Value& v) {
+  if (!v.is_object())
+    throw std::runtime_error("event entry is not an object");
+  Event e;
+  e.kind = event_json_detail::kind_from_string(v.string_or("kind", "mark"));
+  e.rank = static_cast<int>(v.number_or("rank", 0.0));
+  e.t = event_json_detail::double_field(v, "t", 0.0);
+  e.name = event_json_detail::intern_name(v.string_or("name", ""));
+  e.peer = static_cast<int>(v.number_or("peer", -1.0));
+  e.tag = static_cast<int>(v.number_or("tag", 0.0));
+  e.count = static_cast<std::uint64_t>(v.number_or("count", 0.0));
+  e.generation = static_cast<std::uint64_t>(v.number_or("generation", 0.0));
+  e.evaluations = static_cast<std::uint64_t>(v.number_or("evaluations", 0.0));
+  e.best = event_json_detail::double_field(v, "best", 0.0);
+  e.mean = event_json_detail::double_field(v, "mean", 0.0);
+  e.worst = event_json_detail::double_field(v, "worst", 0.0);
+  e.diversity = event_json_detail::double_field(v, "diversity", 0.0);
+  e.spread = event_json_detail::double_field(v, "spread", 0.0);
+  e.entropy = event_json_detail::double_field(v, "entropy", 0.0);
+  e.intensity = event_json_detail::double_field(v, "intensity", 0.0);
+  e.takeover = event_json_detail::double_field(v, "takeover", 0.0);
+  e.msg_id = static_cast<std::uint64_t>(v.number_or("msg_id", 0.0));
+  e.seq = static_cast<std::uint64_t>(v.number_or("seq", 0.0));
+  return e;
+}
+
 /// Serializes one event as a JSON object (all fields, lossless doubles).
 [[nodiscard]] inline std::string event_json(const Event& e) {
   using event_json_detail::append_double;
@@ -157,9 +187,11 @@ inline void append_double(std::string& out, double v) {
 /// of the run: concurrent ranks whose clocks tie append in racy real-thread
 /// order, and dumping that order verbatim would break the byte-identical
 /// re-run property the deterministic simulator otherwise guarantees.
-[[nodiscard]] inline std::string event_log_json(const EventLog& log) {
+/// The vector overload serves sources that already hold a copy — e.g. a
+/// FlightRecorder snapshot being dumped as a black box.
+[[nodiscard]] inline std::string event_log_json(std::vector<Event> events) {
+  std::stable_sort(events.begin(), events.end(), canonical_event_order);
   std::string out = "{\"format\":\"pga-event-log-v1\",\"events\":[\n";
-  auto events = log.sorted_by_time();
   for (std::size_t i = 0; i < events.size(); ++i) {
     events[i].seq = i;
     out += event_json(events[i]);
@@ -168,6 +200,19 @@ inline void append_double(std::string& out, double v) {
   }
   out += "]}\n";
   return out;
+}
+
+[[nodiscard]] inline std::string event_log_json(const EventLog& log) {
+  std::vector<Event> events;
+  log.for_each([&](const Event& e) { events.push_back(e); });
+  return event_log_json(std::move(events));
+}
+
+inline void save_event_log(std::vector<Event> events,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << event_log_json(std::move(events));
 }
 
 inline void save_event_log(const EventLog& log, const std::string& path) {
@@ -190,30 +235,7 @@ inline void parse_event_log(const std::string& text, EventLog& out) {
   if (!events || !events->is_array())
     throw std::runtime_error("event log: missing \"events\" array");
 
-  for (const json::Value& v : events->as_array()) {
-    if (!v.is_object())
-      throw std::runtime_error("event log: event entry is not an object");
-    Event e;
-    e.kind = event_json_detail::kind_from_string(v.string_or("kind", "mark"));
-    e.rank = static_cast<int>(v.number_or("rank", 0.0));
-    e.t = event_json_detail::double_field(v, "t", 0.0);
-    e.name = event_json_detail::intern_name(v.string_or("name", ""));
-    e.peer = static_cast<int>(v.number_or("peer", -1.0));
-    e.tag = static_cast<int>(v.number_or("tag", 0.0));
-    e.count = static_cast<std::uint64_t>(v.number_or("count", 0.0));
-    e.generation = static_cast<std::uint64_t>(v.number_or("generation", 0.0));
-    e.evaluations = static_cast<std::uint64_t>(v.number_or("evaluations", 0.0));
-    e.best = event_json_detail::double_field(v, "best", 0.0);
-    e.mean = event_json_detail::double_field(v, "mean", 0.0);
-    e.worst = event_json_detail::double_field(v, "worst", 0.0);
-    e.diversity = event_json_detail::double_field(v, "diversity", 0.0);
-    e.spread = event_json_detail::double_field(v, "spread", 0.0);
-    e.entropy = event_json_detail::double_field(v, "entropy", 0.0);
-    e.intensity = event_json_detail::double_field(v, "intensity", 0.0);
-    e.takeover = event_json_detail::double_field(v, "takeover", 0.0);
-    e.msg_id = static_cast<std::uint64_t>(v.number_or("msg_id", 0.0));
-    out.append(e);
-  }
+  for (const json::Value& v : events->as_array()) out.append(event_from_json(v));
 }
 
 inline void load_event_log(const std::string& path, EventLog& out) {

@@ -10,10 +10,13 @@
 // typed `Event` records into an `EventLog` instead, each carrying the
 // emitting rank and a virtual (simulator) or wall (in-process) timestamp.
 //
-// Cost model: hot paths hold a `Tracer`, a nullable handle to an EventLog.
+// Cost model: hot paths hold a `Tracer`, a nullable handle to an EventSink.
 // With tracing off the tracer is null and every emit is exactly one
 // predictable branch (see BM_TracerEmitNull in bench_micro_ops.cpp); with
-// tracing on, appends take a short mutex-protected push_back.
+// tracing on, appends are one virtual call into the bound sink — the
+// in-memory EventLog's short mutex-protected push_back, the bounded
+// FlightRecorder ring (obs/ring.hpp), or the JSONL StreamWriter
+// (obs/stream.hpp).
 //
 // Downstream consumers: chrome_trace.hpp renders a log as Chrome
 // `trace_event` JSON (one lane per rank); report.hpp derives the survey's
@@ -105,6 +108,31 @@ struct Event {
   std::uint64_t seq = 0;  ///< global append order, assigned by the log
 };
 
+/// Canonical (t, rank, seq) event order — what the exporters, RunReport and
+/// the deterministic-dump contract consume.  Breaking timestamp ties by rank
+/// (not raw seq) matters under concurrency: ranks whose clocks tie append in
+/// whatever real-thread order the OS ran them, so seq alone would make two
+/// identical runs serialize differently.  Per-rank program order still holds
+/// — each rank's own events carry increasing seq.
+[[nodiscard]] constexpr bool canonical_event_order(const Event& a,
+                                                   const Event& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.seq < b.seq;
+}
+
+/// Destination for emitted events.  `Tracer` holds one of these, so any
+/// implementation — the in-memory EventLog below, the bounded FlightRecorder
+/// (obs/ring.hpp), the JSONL StreamWriter (obs/stream.hpp) or a TeeSink fan-
+/// out — can sit behind every existing instrumentation site unchanged.
+/// Implementations assign `seq` themselves and must tolerate concurrent
+/// appends from multiple ranks.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void append(Event e) = 0;
+};
+
 /// Thread-safe append-only event store.  Ranks on a SimCluster or
 /// InprocCluster append concurrently; `seq` gives a total order that breaks
 /// timestamp ties deterministically (per-rank program order is preserved
@@ -116,14 +144,14 @@ struct Event {
 /// full O(n) copy under the lock at every capacity doubling — a latency
 /// spike every concurrently-emitting rank serializes behind (see
 /// BM_TracerEmitLive in bench_micro_ops.cpp for the steady-state cost).
-class EventLog {
+class EventLog : public EventSink {
  public:
   /// Events per storage block.  4096 * sizeof(Event) keeps a block well
   /// under typical huge-page size while making block turnover (the only
   /// allocating append) a 1-in-4096 event.
   static constexpr std::size_t kBlockEvents = 4096;
 
-  void append(Event e) {
+  void append(Event e) override {
     std::lock_guard<std::mutex> lock(mutex_);
     e.seq = next_seq_++;
     if (blocks_.empty() || blocks_.back().size() == kBlockEvents) {
@@ -144,6 +172,20 @@ class EventLog {
     next_seq_ = 0;
   }
 
+  /// Zero-copy iteration in append order: invokes `visit(const Event&)` for
+  /// every stored event while holding the log mutex, so no snapshot vector
+  /// is materialized.  The visitor must not append to (or otherwise re-enter)
+  /// this log — that would self-deadlock — and should be cheap, since
+  /// concurrently emitting ranks serialize behind the lock for the duration.
+  /// Analysis passes over closed logs (RunReport, the exporters, pga_doctor)
+  /// are the intended callers.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& block : blocks_)
+      for (const Event& e : block) visit(e);
+  }
+
   /// Copy of the stream in append order.
   [[nodiscard]] std::vector<Event> snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -154,20 +196,11 @@ class EventLog {
     return out;
   }
 
-  /// Copy sorted by (timestamp, rank, seq) — the canonical virtual-time
-  /// order the exporters and RunReport consume.  Breaking timestamp ties by
-  /// rank (not raw seq) matters under concurrency: ranks whose clocks tie
-  /// append in whatever real-thread order the OS ran them, so seq alone
-  /// would make two identical runs serialize differently.  Per-rank program
-  /// order still holds — each rank's own events carry increasing seq.
+  /// Copy sorted by the canonical (timestamp, rank, seq) order the exporters
+  /// and RunReport consume (see canonical_event_order above).
   [[nodiscard]] std::vector<Event> sorted_by_time() const {
     auto out = snapshot();
-    std::stable_sort(out.begin(), out.end(),
-                     [](const Event& a, const Event& b) {
-                       if (a.t != b.t) return a.t < b.t;
-                       if (a.rank != b.rank) return a.rank < b.rank;
-                       return a.seq < b.seq;
-                     });
+    std::stable_sort(out.begin(), out.end(), canonical_event_order);
     return out;
   }
 
@@ -179,14 +212,16 @@ class EventLog {
 
 /// Nullable handle instrumented code emits through.  A default-constructed
 /// Tracer is the null sink: every emit below is one branch and returns.
+/// Bound to any EventSink — the in-memory EventLog, a FlightRecorder ring,
+/// a StreamWriter, or a TeeSink combination — without touching call sites.
 class Tracer {
  public:
   Tracer() = default;
-  explicit Tracer(EventLog* log) noexcept : log_(log) {}
+  explicit Tracer(EventSink* sink) noexcept : log_(sink) {}
 
   [[nodiscard]] bool enabled() const noexcept { return log_ != nullptr; }
   explicit operator bool() const noexcept { return enabled(); }
-  [[nodiscard]] EventLog* log() const noexcept { return log_; }
+  [[nodiscard]] EventSink* sink() const noexcept { return log_; }
 
   void span_begin(int rank, double t, const char* name) const {
     if (!log_) return;
@@ -348,7 +383,26 @@ class Tracer {
   }
 
  private:
-  EventLog* log_ = nullptr;
+  EventSink* log_ = nullptr;
+};
+
+/// Fan-out sink: every append lands in both branches (e.g. an in-memory
+/// EventLog for post-hoc analysis plus a StreamWriter feeding a live
+/// monitor, or a FlightRecorder black box riding along a full dump).  Either
+/// branch may be null; each branch assigns its own `seq`.
+class TeeSink final : public EventSink {
+ public:
+  TeeSink(EventSink* first, EventSink* second) noexcept
+      : first_(first), second_(second) {}
+
+  void append(Event e) override {
+    if (first_) first_->append(e);
+    if (second_) second_->append(e);
+  }
+
+ private:
+  EventSink* first_ = nullptr;
+  EventSink* second_ = nullptr;
 };
 
 /// Process-wide log behind `default_tracer()`.

@@ -1,0 +1,236 @@
+#pragma once
+// LiveMonitor: online consumption of an event stream while the run is still
+// producing it.
+//
+// The post-hoc pipeline is  closed log -> AnomalyDetector::analyze /
+// RunReport::from -> verdicts.  The live pipeline is the same analyses fed
+// incrementally:  StreamReader::poll -> LiveMonitor::consume -> evaluate(),
+// re-callable as the stream grows because AnomalyDetector::finish() is a
+// const view over the consumed prefix.  Equivalence with the offline path
+// is a test invariant (tests/test_live.cpp): replaying a complete trace
+// through the monitor yields the same verdict set the offline doctor
+// computes on the full dump — the monitor just gets them while the run is
+// still alive.
+//
+// On the first *gated* verdict (the failure/stall/misleading-speedup set
+// the doctor exits nonzero for) the monitor dumps its bound FlightRecorder
+// — the bounded black box riding the same Tracer via a TeeSink — as a
+// pga-event-log-v1 file, capturing the last-N-seconds context of the
+// anomaly even though the full trace may be far too large to keep.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/anomaly.hpp"
+#include "obs/checkpoints.hpp"
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/ring.hpp"
+#include "obs/stream.hpp"
+
+namespace pga::obs {
+
+struct LiveMonitorConfig {
+  AnomalyConfig anomaly{};
+  /// Verdict kinds that fire the gate (and the black-box dump).  Defaults
+  /// to the doctor's default gate set.
+  std::vector<AnomalyKind> gated = {AnomalyKind::kFailedRank,
+                                    AnomalyKind::kStalledRank};
+  /// Optional black box: when a gated verdict first fires, its snapshot is
+  /// dumped to `black_box_path` as a pga-event-log-v1 file.
+  FlightRecorder* black_box = nullptr;
+  std::string black_box_path = "pga_blackbox.json";
+  /// Snapshot window passed to FlightRecorder::snapshot at dump time.
+  double black_box_window_s = std::numeric_limits<double>::infinity();
+  /// Optional registry: evaluate() maintains pga_live_* series in it.
+  MetricsRegistry* metrics = nullptr;
+  /// Retain every consumed event so report()/quality_effort() can build the
+  /// full post-hoc analyses on demand.  Off = bounded memory (rolling
+  /// Progress counters and the anomaly detector state only).
+  bool retain_events = true;
+};
+
+class LiveMonitor {
+ public:
+  /// Rolling throughput/quality counters, cheap enough to print every poll.
+  struct Progress {
+    std::uint64_t events = 0;
+    double makespan = 0.0;  ///< newest timestamp seen
+    double best = -std::numeric_limits<double>::infinity();
+    std::uint64_t generations = 0;  ///< kGenStats records
+    std::uint64_t evaluations = 0;  ///< summed kSearchStats gen_evals
+    std::uint64_t messages = 0;     ///< kMessageSent records
+    std::uint64_t bytes = 0;        ///< summed kMessageSent payload bytes
+    std::uint64_t failures = 0;     ///< kNodeFailure records
+
+    [[nodiscard]] double eval_throughput() const noexcept {
+      return makespan > 0.0 ? static_cast<double>(evaluations) / makespan
+                            : 0.0;
+    }
+  };
+
+  explicit LiveMonitor(LiveMonitorConfig cfg = {})
+      : cfg_(std::move(cfg)), detector_(cfg_.anomaly) {
+    gated_.fill(false);
+    for (const AnomalyKind k : cfg_.gated)
+      gated_[static_cast<std::size_t>(k)] = true;
+  }
+
+  /// Feed one event (any order, matching AnomalyDetector::consume).
+  void consume(const Event& e) {
+    detector_.consume(e);
+    feeder_.consume(e);
+    if (cfg_.retain_events) events_.push_back(e);
+    ++progress_.events;
+    progress_.makespan = std::max(progress_.makespan, e.t);
+    switch (e.kind) {
+      case EventKind::kGenStats:
+        ++progress_.generations;
+        progress_.best = std::max(progress_.best, e.best);
+        break;
+      case EventKind::kSearchStats:
+        progress_.evaluations += e.count;
+        if (e.evaluations > 0)
+          progress_.best = std::max(progress_.best, e.best);
+        break;
+      case EventKind::kMessageSent:
+        ++progress_.messages;
+        progress_.bytes += e.count;
+        break;
+      case EventKind::kNodeFailure:
+        ++progress_.failures;
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Drain everything the reader can deliver right now, then re-evaluate
+  /// verdicts (and fire the black-box dump if a gated one appeared).
+  /// Returns the number of events consumed this call.
+  std::size_t poll(StreamReader& reader) {
+    const std::size_t n = reader.poll([this](const Event& e) { consume(e); });
+    if (n > 0) evaluate();
+    return n;
+  }
+
+  /// Re-runs the detector over the consumed prefix.  Sticky gate: once a
+  /// gated verdict has fired it stays fired, and the black box (if bound)
+  /// is dumped exactly once, at first fire.
+  const std::vector<Anomaly>& evaluate() {
+    verdicts_ = detector_.finish();
+    for (const Anomaly& a : verdicts_) {
+      if (!gated_[static_cast<std::size_t>(a.kind)]) continue;
+      if (!gate_fired_) {
+        gate_fired_ = true;
+        first_gated_ = a;
+        dump_black_box();
+      }
+      break;
+    }
+    if (cfg_.metrics) update_metrics();
+    return verdicts_;
+  }
+
+  [[nodiscard]] const Progress& progress() const noexcept { return progress_; }
+  /// Verdicts from the last evaluate() (empty before the first call).
+  [[nodiscard]] const std::vector<Anomaly>& verdicts() const noexcept {
+    return verdicts_;
+  }
+  [[nodiscard]] bool gate_fired() const noexcept { return gate_fired_; }
+  /// The anomaly that tripped the gate (valid only when gate_fired()).
+  [[nodiscard]] const Anomaly& first_gated() const noexcept {
+    return first_gated_;
+  }
+  [[nodiscard]] bool black_box_dumped() const noexcept {
+    return black_box_dumped_;
+  }
+
+  /// Full post-hoc report over everything consumed so far.  Requires
+  /// cfg.retain_events (throws otherwise — the bounded mode deliberately
+  /// cannot reconstruct the whole run).
+  [[nodiscard]] RunReport report() const {
+    require_retained();
+    std::vector<Event> sorted = events_;
+    std::stable_sort(sorted.begin(), sorted.end(), canonical_event_order);
+    return RunReport::from(std::move(sorted));
+  }
+
+  /// Checkpoint-fair quality/effort curves over the consumed prefix.  Built
+  /// from the streaming feeder, so this works in bounded mode too.
+  [[nodiscard]] QualityEffort quality_effort() const {
+    QualityEffort::Feeder copy = feeder_;
+    return std::move(copy).build();
+  }
+
+  [[nodiscard]] const std::vector<Event>& retained_events() const {
+    require_retained();
+    return events_;
+  }
+
+  [[nodiscard]] const LiveMonitorConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  void require_retained() const {
+    if (!cfg_.retain_events)
+      throw std::logic_error(
+          "LiveMonitor: retain_events is off; full-run analyses are "
+          "unavailable in bounded mode");
+  }
+
+  void dump_black_box() {
+    if (!cfg_.black_box || black_box_dumped_) return;
+    const auto snap = cfg_.black_box->snapshot(cfg_.black_box_window_s);
+    save_event_log(snap.events, cfg_.black_box_path);
+    black_box_dumped_ = true;
+  }
+
+  void update_metrics() {
+    auto& m = *cfg_.metrics;
+    auto& events = m.counter("pga_live_events_total",
+                             "Events consumed by the live monitor");
+    if (progress_.events > events.value())
+      events.inc(progress_.events - events.value());
+    m.gauge("pga_live_makespan_seconds",
+            "Newest event timestamp seen by the live monitor")
+        .set(progress_.makespan);
+    m.gauge("pga_live_best_fitness", "Best fitness observed so far")
+        .set(progress_.best);
+    m.gauge("pga_live_eval_throughput",
+            "Evaluations per virtual second over the consumed prefix")
+        .set(progress_.eval_throughput());
+    for (std::size_t k = 0; k <= static_cast<std::size_t>(kLastAnomalyKind);
+         ++k) {
+      std::uint64_t n = 0;
+      for (const Anomaly& a : verdicts_)
+        if (static_cast<std::size_t>(a.kind) == k) ++n;
+      m.gauge("pga_live_anomalies",
+              "Current verdict count by anomaly kind",
+              {{"kind", obs::to_string(static_cast<AnomalyKind>(k))}})
+          .set(static_cast<double>(n));
+    }
+  }
+
+  LiveMonitorConfig cfg_;
+  AnomalyDetector detector_;
+  QualityEffort::Feeder feeder_;
+  std::vector<Event> events_;
+  Progress progress_;
+  std::vector<Anomaly> verdicts_;
+  std::array<bool, static_cast<std::size_t>(kLastAnomalyKind) + 1> gated_{};
+  bool gate_fired_ = false;
+  Anomaly first_gated_;
+  bool black_box_dumped_ = false;
+};
+
+}  // namespace pga::obs

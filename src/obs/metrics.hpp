@@ -17,6 +17,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pga::obs {
@@ -117,98 +118,147 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// Owns metrics by name.  Lookup/creation takes the registry mutex; the
-/// returned references remain valid and lock-free for the registry's
+/// One `key="value"` dimension on a metric series.  Label names follow the
+/// Prometheus label charset; values are arbitrary and escaped at export.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Owns metrics by family name.  Lookup/creation takes the registry mutex;
+/// the returned references remain valid and lock-free for the registry's
 /// lifetime.  Names follow the Prometheus charset `[a-zA-Z_:][a-zA-Z0-9_:]*`
-/// and each name binds to exactly one metric type.
+/// and each name binds to exactly one metric type.  A family may carry help
+/// text (first non-empty wins, exported as `# HELP`) and any number of
+/// labeled series; the unlabeled accessors are unchanged from before labels
+/// existed.
 class MetricsRegistry {
  public:
-  [[nodiscard]] Counter& counter(const std::string& name) {
+  [[nodiscard]] Counter& counter(const std::string& name,
+                                 const std::string& help = "",
+                                 const MetricLabels& labels = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
     require_valid_name(name);
     require_unclaimed(name, Kind::kCounter);
-    auto& slot = counters_[name];
+    auto& fam = counters_[name];
+    if (fam.help.empty()) fam.help = help;
+    auto& slot = fam.series[render_labels(labels)];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
   }
 
-  [[nodiscard]] Gauge& gauge(const std::string& name) {
+  [[nodiscard]] Gauge& gauge(const std::string& name,
+                             const std::string& help = "",
+                             const MetricLabels& labels = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
     require_valid_name(name);
     require_unclaimed(name, Kind::kGauge);
-    auto& slot = gauges_[name];
+    auto& fam = gauges_[name];
+    if (fam.help.empty()) fam.help = help;
+    auto& slot = fam.series[render_labels(labels)];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
   }
 
-  /// Bucket bounds matter only on first creation; later lookups of the same
-  /// name return the existing histogram and ignore `bounds`.
+  /// Bucket bounds matter only on first creation of a series; later lookups
+  /// of the same name+labels return the existing histogram and ignore
+  /// `bounds`.
   [[nodiscard]] Histogram& histogram(const std::string& name,
-                                     std::vector<double> bounds) {
+                                     std::vector<double> bounds,
+                                     const std::string& help = "",
+                                     const MetricLabels& labels = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
     require_valid_name(name);
     require_unclaimed(name, Kind::kHistogram);
-    auto& slot = histograms_[name];
+    auto& fam = histograms_[name];
+    if (fam.help.empty()) fam.help = help;
+    auto& slot = fam.series[render_labels(labels)];
     if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
     return *slot;
   }
 
-  /// Prometheus text exposition format (counters, gauges, histogram
-  /// `_bucket`/`_sum`/`_count` series), names sorted for determinism.
+  /// Prometheus text exposition format: `# HELP` (when set) and `# TYPE`
+  /// once per family, then every series — label values escaped per the
+  /// format (`\\`, `\"`, `\n`).  Families and series sorted for determinism.
   [[nodiscard]] std::string to_prometheus() const {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream out;
     out.precision(17);
-    for (const auto& [name, c] : counters_) {
-      out << "# TYPE " << name << " counter\n";
-      out << name << ' ' << c->value() << '\n';
+    for (const auto& [name, fam] : counters_) {
+      family_header(out, name, fam.help, "counter");
+      for (const auto& [lbl, c] : fam.series)
+        out << name << lbl << ' ' << c->value() << '\n';
     }
-    for (const auto& [name, g] : gauges_) {
-      out << "# TYPE " << name << " gauge\n";
-      out << name << ' ' << g->value() << '\n';
+    for (const auto& [name, fam] : gauges_) {
+      family_header(out, name, fam.help, "gauge");
+      for (const auto& [lbl, g] : fam.series)
+        out << name << lbl << ' ' << g->value() << '\n';
     }
-    for (const auto& [name, h] : histograms_) {
-      out << "# TYPE " << name << " histogram\n";
-      const auto& bounds = h->bounds();
-      for (std::size_t i = 0; i < bounds.size(); ++i)
-        out << name << "_bucket{le=\"" << bounds[i] << "\"} "
-            << h->cumulative_count(i) << '\n';
-      out << name << "_bucket{le=\"+Inf\"} " << h->count() << '\n';
-      out << name << "_sum " << h->sum() << '\n';
-      out << name << "_count " << h->count() << '\n';
+    for (const auto& [name, fam] : histograms_) {
+      family_header(out, name, fam.help, "histogram");
+      for (const auto& [lbl, h] : fam.series) {
+        const auto& bounds = h->bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          std::ostringstream le;
+          le.precision(17);
+          le << bounds[i];
+          out << name << "_bucket" << with_label(lbl, "le", le.str()) << ' '
+              << h->cumulative_count(i) << '\n';
+        }
+        out << name << "_bucket" << with_label(lbl, "le", "+Inf") << ' '
+            << h->count() << '\n';
+        out << name << "_sum" << lbl << ' ' << h->sum() << '\n';
+        out << name << "_count" << lbl << ' ' << h->count() << '\n';
+      }
     }
     return out.str();
   }
 
   /// Flat CSV snapshot: `metric,type,value` (histograms export their
-  /// `_sum`/`_count` plus one row per bucket).
+  /// `_sum`/`_count` plus one row per bucket).  Labeled series carry their
+  /// label block in the metric column, RFC-4180-quoted by the caller if
+  /// needed — the block contains no commas-free guarantee, so quote it.
   [[nodiscard]] std::string to_csv() const {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream out;
     out.precision(17);
     out << "metric,type,value\n";
-    for (const auto& [name, c] : counters_)
-      out << name << ",counter," << c->value() << '\n';
-    for (const auto& [name, g] : gauges_)
-      out << name << ",gauge," << g->value() << '\n';
-    for (const auto& [name, h] : histograms_) {
-      const auto& bounds = h->bounds();
-      for (std::size_t i = 0; i < bounds.size(); ++i)
-        out << name << "_bucket_le_" << bounds[i] << ",histogram,"
-            << h->cumulative_count(i) << '\n';
-      out << name << "_sum,histogram," << h->sum() << '\n';
-      out << name << "_count,histogram," << h->count() << '\n';
+    for (const auto& [name, fam] : counters_)
+      for (const auto& [lbl, c] : fam.series)
+        out << csv_metric(name, lbl) << ",counter," << c->value() << '\n';
+    for (const auto& [name, fam] : gauges_)
+      for (const auto& [lbl, g] : fam.series)
+        out << csv_metric(name, lbl) << ",gauge," << g->value() << '\n';
+    for (const auto& [name, fam] : histograms_) {
+      for (const auto& [lbl, h] : fam.series) {
+        const auto& bounds = h->bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i)
+          out << csv_metric(name + "_bucket_le_", lbl, bounds[i])
+              << ",histogram," << h->cumulative_count(i) << '\n';
+        out << csv_metric(name + "_sum", lbl) << ",histogram," << h->sum()
+            << '\n';
+        out << csv_metric(name + "_count", lbl) << ",histogram," << h->count()
+            << '\n';
+      }
     }
     return out.str();
   }
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_.size() + gauges_.size() + histograms_.size();
+    std::size_t n = 0;
+    for (const auto& [name, fam] : counters_) n += fam.series.size();
+    for (const auto& [name, fam] : gauges_) n += fam.series.size();
+    for (const auto& [name, fam] : histograms_) n += fam.series.size();
+    return n;
   }
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// Series keyed by their rendered label block ("" = unlabeled).
+  template <typename M>
+  struct Family {
+    std::string help;
+    std::map<std::string, std::unique_ptr<M>> series;
+  };
 
   static void require_valid_name(const std::string& name) {
     auto head = [](char c) {
@@ -222,6 +272,110 @@ class MetricsRegistry {
       throw std::invalid_argument("invalid metric name: '" + name + "'");
   }
 
+  /// Label names use the metric charset minus ':' (reserved for recording
+  /// rules); "le" is reserved for histogram buckets.
+  static void require_valid_label_name(const std::string& name) {
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+    bool ok = !name.empty() && head(name.front());
+    for (std::size_t i = 1; ok && i < name.size(); ++i) ok = tail(name[i]);
+    if (!ok || name == "le")
+      throw std::invalid_argument("invalid label name: '" + name + "'");
+  }
+
+  /// Exposition-format label value escaping: backslash, double-quote, and
+  /// newline must be escaped; everything else passes through.
+  [[nodiscard]] static std::string escape_label_value(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  /// Help text escaping: only backslash and newline per the format.
+  [[nodiscard]] static std::string escape_help(const std::string& h) {
+    std::string out;
+    out.reserve(h.size());
+    for (const char c : h) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  /// Renders `{k1="v1",k2="v2"}` (or "" for no labels), validating label
+  /// names and escaping values.  The rendered block doubles as the series
+  /// key, so label order is significant — callers pass a fixed order.
+  [[nodiscard]] static std::string render_labels(const MetricLabels& labels) {
+    if (labels.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      require_valid_label_name(k);
+      if (!first) out += ',';
+      first = false;
+      out += k;
+      out += "=\"";
+      out += escape_label_value(v);
+      out += '"';
+    }
+    out += '}';
+    return out;
+  }
+
+  /// Splices one extra label (the histogram `le`) into a rendered block.
+  [[nodiscard]] static std::string with_label(const std::string& block,
+                                              const std::string& key,
+                                              const std::string& value) {
+    std::string extra = key + "=\"" + escape_label_value(value) + "\"";
+    if (block.empty()) return "{" + extra + "}";
+    std::string out = block;
+    out.insert(out.size() - 1, "," + extra);
+    return out;
+  }
+
+  static void family_header(std::ostringstream& out, const std::string& name,
+                            const std::string& help, const char* type) {
+    if (!help.empty())
+      out << "# HELP " << name << ' ' << escape_help(help) << '\n';
+    out << "# TYPE " << name << ' ' << type << '\n';
+  }
+
+  /// CSV metric column: name (+ optional numeric suffix) + label block,
+  /// RFC 4180-quoted when the block introduces commas or quotes.
+  [[nodiscard]] static std::string csv_metric(const std::string& name,
+                                              const std::string& block) {
+    if (block.empty()) return name;
+    std::string cell = name + block;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += "\"\"";
+      else quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  [[nodiscard]] static std::string csv_metric(const std::string& prefix,
+                                              const std::string& block,
+                                              double bound) {
+    std::ostringstream n;
+    n.precision(17);
+    n << prefix << bound;
+    return csv_metric(n.str(), block);
+  }
+
   void require_unclaimed(const std::string& name, Kind want) const {
     if (want != Kind::kCounter && counters_.count(name))
       throw std::invalid_argument("metric '" + name + "' is a counter");
@@ -232,9 +386,9 @@ class MetricsRegistry {
   }
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Family<Counter>> counters_;
+  std::map<std::string, Family<Gauge>> gauges_;
+  std::map<std::string, Family<Histogram>> histograms_;
 };
 
 }  // namespace pga::obs

@@ -84,9 +84,13 @@ struct SearchSample {
 class RunReport {
  public:
   /// Builds the report from a log (events are re-sorted by virtual time, so
-  /// append order across ranks does not matter).
+  /// append order across ranks does not matter).  Gathered via for_each —
+  /// one copy, not the snapshot()+sort double copy of sorted_by_time().
   [[nodiscard]] static RunReport from(const EventLog& log) {
-    return RunReport(log.sorted_by_time());
+    std::vector<Event> events;
+    log.for_each([&](const Event& e) { events.push_back(e); });
+    std::stable_sort(events.begin(), events.end(), canonical_event_order);
+    return RunReport(std::move(events));
   }
 
   /// Builds from an explicit, already time-sorted event sequence.

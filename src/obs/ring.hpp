@@ -1,0 +1,278 @@
+#pragma once
+// FlightRecorder: the bounded "black box" behind the Tracer emit path.
+//
+// Post-hoc tracing (EventLog) retains the whole run, which a long-running
+// GA-as-a-service daemon cannot afford: its trace never finishes.  The
+// flight recorder keeps only the last `capacity_per_rank` events per rank
+// (optionally further bounded by age), so memory is fixed at configuration
+// time no matter how long the process lives — and a `snapshot()` at any
+// instant recovers the recent past for a crash dump or an anomaly
+// investigation, exactly like an aircraft flight recorder.
+//
+// Guarantees:
+//
+//   * fixed memory — `max_ranks * capacity_per_rank * sizeof(Event)` worst
+//     case, allocated lazily per rank on first emit
+//   * exact drop accounting — per ring, `appended == retained +
+//     dropped_capacity + dropped_age` holds at every quiescent point, and
+//     events emitted for out-of-range ranks are counted too; nothing is
+//     lost silently (bench_o1_live_overhead gates on this over a 10^6-event
+//     concurrent run)
+//   * lock-free reads — `snapshot()` never blocks writers: each ring is a
+//     seqlock (writers bump an odd/even version around the slot write;
+//     readers copy and retry on a version change).  Writers to the *same*
+//     rank serialize on a per-rank mutex; different ranks never contend.
+//
+// Under ThreadSanitizer the reader takes the per-rank writer mutex instead:
+// a seqlock read races with slot writes by design (the version check makes
+// the race benign, the retry discards torn copies), but TSan rightly cannot
+// prove that, and the repo's CI runs these tests under TSan.  The control
+// flow is otherwise identical.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/events.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PGA_OBS_RING_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PGA_OBS_RING_TSAN 1
+#endif
+#endif
+
+namespace pga::obs {
+
+struct FlightRecorderConfig {
+  /// Events retained per rank ring (the bounded memory knob).
+  std::size_t capacity_per_rank = 4096;
+  /// Events older than this relative to the ring's newest timestamp are
+  /// evicted at append time (infinity = size-bounded only).  This is the
+  /// "last N seconds" knob: with virtual-time traces the unit is virtual
+  /// seconds, with wall-clock traces it is wall seconds.
+  double max_age_s = std::numeric_limits<double>::infinity();
+  /// Hard bound on distinct rank lanes; events for ranks outside
+  /// [0, max_ranks) are counted in `dropped_unranked` and discarded.
+  std::size_t max_ranks = 1024;
+};
+
+/// Exact bookkeeping for one ring (or, summed, for the whole recorder).
+struct FlightAccounting {
+  std::uint64_t appended = 0;   ///< events accepted into a ring
+  std::uint64_t retained = 0;   ///< events currently held
+  std::uint64_t dropped_capacity = 0;  ///< evicted by ring wraparound
+  std::uint64_t dropped_age = 0;       ///< evicted by the max-age window
+  std::uint64_t dropped_unranked = 0;  ///< rank outside [0, max_ranks)
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_capacity + dropped_age + dropped_unranked;
+  }
+  /// The exactness invariant the O1 bench and TSan tests gate on.
+  [[nodiscard]] bool exact() const noexcept {
+    return appended == retained + dropped_capacity + dropped_age;
+  }
+};
+
+class FlightRecorder final : public EventSink {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg = {})
+      : cfg_(cfg),
+        rings_(cfg.max_ranks == 0 ? 1 : cfg.max_ranks) {
+    if (cfg_.capacity_per_rank == 0) cfg_.capacity_per_rank = 1;
+  }
+
+  void append(Event e) override {
+    if (e.rank < 0 || static_cast<std::size_t>(e.rank) >= rings_.size()) {
+      dropped_unranked_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Ring& r = ring(static_cast<std::size_t>(e.rank));
+    std::lock_guard<std::mutex> writer(r.write_mutex);
+    const std::uint64_t appended = r.appended.load(std::memory_order_relaxed);
+    std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+    e.seq = appended;  // per-rank program order; canonical sort only
+                       // compares seq within one rank anyway
+
+    // Begin seqlock write section (version odd).
+    r.version.fetch_add(1, std::memory_order_acq_rel);
+
+    // Age eviction first: the new event's timestamp defines "now" for the
+    // ring, so anything older than the window goes before we consider
+    // capacity.  Timestamps are monotone per rank in every traced engine;
+    // an out-of-order stamp merely evicts less than it could.
+    if (std::isfinite(cfg_.max_age_s)) {
+      const double horizon = e.t - cfg_.max_age_s;
+      std::uint64_t aged = 0;
+      while (tail < appended &&
+             r.slots[tail % cfg_.capacity_per_rank].t < horizon) {
+        ++tail;
+        ++aged;
+      }
+      if (aged > 0)
+        r.dropped_age.fetch_add(aged, std::memory_order_relaxed);
+    }
+    // Capacity eviction: overwriting the oldest retained slot.
+    if (appended - tail >= cfg_.capacity_per_rank) {
+      ++tail;
+      r.dropped_capacity.fetch_add(1, std::memory_order_relaxed);
+    }
+    r.slots[appended % cfg_.capacity_per_rank] = e;
+    r.tail.store(tail, std::memory_order_relaxed);
+    r.appended.store(appended + 1, std::memory_order_relaxed);
+
+    // End seqlock write section (version even again).
+    r.version.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Captures the black box at this instant: every retained event (optionally
+  /// only those within `window_s` of the newest timestamp seen ring-wide),
+  /// in canonical (t, rank, seq) order, plus exact accounting.  Never blocks
+  /// writers (see the seqlock note in the header comment).
+  struct Snapshot {
+    std::vector<Event> events;
+    FlightAccounting totals;
+    double newest_t = -std::numeric_limits<double>::infinity();
+  };
+
+  [[nodiscard]] Snapshot snapshot(
+      double window_s = std::numeric_limits<double>::infinity()) const {
+    Snapshot out;
+    out.totals.dropped_unranked =
+        dropped_unranked_.load(std::memory_order_relaxed);
+    std::vector<Event> ring_copy;
+    for (const auto& slot : rings_) {
+      const Ring* r = slot.load(std::memory_order_acquire);
+      if (!r) continue;
+      std::uint64_t appended = 0;
+      std::uint64_t tail = 0;
+      read_ring(*r, ring_copy, appended, tail);
+      out.totals.appended += appended;
+      out.totals.retained += appended - tail;
+      out.totals.dropped_capacity +=
+          r->dropped_capacity.load(std::memory_order_relaxed);
+      out.totals.dropped_age += r->dropped_age.load(std::memory_order_relaxed);
+      for (std::uint64_t i = tail; i < appended; ++i) {
+        const Event& e = ring_copy[i % cfg_.capacity_per_rank];
+        out.newest_t = std::max(out.newest_t, e.t);
+        out.events.push_back(e);
+      }
+    }
+    if (std::isfinite(window_s) && !out.events.empty()) {
+      const double horizon = out.newest_t - window_s;
+      out.events.erase(std::remove_if(out.events.begin(), out.events.end(),
+                                      [&](const Event& e) {
+                                        return e.t < horizon;
+                                      }),
+                       out.events.end());
+    }
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     canonical_event_order);
+    return out;
+  }
+
+  /// Accounting for one rank's ring (zeros if the rank never emitted).
+  [[nodiscard]] FlightAccounting rank_accounting(std::size_t rank) const {
+    FlightAccounting a;
+    if (rank >= rings_.size()) return a;
+    const Ring* r = rings_[rank].load(std::memory_order_acquire);
+    if (!r) return a;
+    a.appended = r->appended.load(std::memory_order_relaxed);
+    a.retained = a.appended - r->tail.load(std::memory_order_relaxed);
+    a.dropped_capacity = r->dropped_capacity.load(std::memory_order_relaxed);
+    a.dropped_age = r->dropped_age.load(std::memory_order_relaxed);
+    return a;
+  }
+
+  /// Summed accounting over every ring plus unranked drops.
+  [[nodiscard]] FlightAccounting accounting() const {
+    return snapshot(0.0).totals;  // window 0 still sums accounting; events
+                                  // with t == newest_t survive but are unused
+  }
+
+  [[nodiscard]] const FlightRecorderConfig& config() const noexcept {
+    return cfg_;
+  }
+  /// Worst-case retained-event memory, the fixed bound the O1 bench reports.
+  [[nodiscard]] std::size_t memory_bound_bytes() const noexcept {
+    return rings_.size() * cfg_.capacity_per_rank * sizeof(Event);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::mutex write_mutex;             ///< serializes same-rank writers
+    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = write open
+    std::atomic<std::uint64_t> appended{0};
+    std::atomic<std::uint64_t> tail{0};
+    std::atomic<std::uint64_t> dropped_capacity{0};
+    std::atomic<std::uint64_t> dropped_age{0};
+    std::vector<Event> slots;
+  };
+
+  Ring& ring(std::size_t rank) {
+    Ring* r = rings_[rank].load(std::memory_order_acquire);
+    if (r) return *r;
+    auto fresh = std::make_unique<Ring>(cfg_.capacity_per_rank);
+    Ring* expected = nullptr;
+    if (rings_[rank].compare_exchange_strong(expected, fresh.get(),
+                                             std::memory_order_acq_rel)) {
+      retired_.push(std::move(fresh));  // owned for the recorder's lifetime
+      return *rings_[rank].load(std::memory_order_relaxed);
+    }
+    return *expected;  // another writer won the race
+  }
+
+  /// Seqlock read of one ring into `copy` (resized to capacity).  Retries
+  /// until a version-stable copy lands; under TSan, takes the writer mutex
+  /// instead so the benign data race is not reported.
+  void read_ring(const Ring& r, std::vector<Event>& copy,
+                 std::uint64_t& appended, std::uint64_t& tail) const {
+#ifdef PGA_OBS_RING_TSAN
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(r.write_mutex));
+    appended = r.appended.load(std::memory_order_relaxed);
+    tail = r.tail.load(std::memory_order_relaxed);
+    copy = r.slots;
+#else
+    for (;;) {
+      const std::uint64_t v1 = r.version.load(std::memory_order_acquire);
+      if (v1 & 1) continue;  // write in progress
+      appended = r.appended.load(std::memory_order_relaxed);
+      tail = r.tail.load(std::memory_order_relaxed);
+      copy = r.slots;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t v2 = r.version.load(std::memory_order_relaxed);
+      if (v1 == v2) return;
+    }
+#endif
+  }
+
+  /// Lock-free-ish ownership pool for lazily created rings: pointers in
+  /// `rings_` stay valid for the recorder's lifetime.
+  class RingPool {
+   public:
+    void push(std::unique_ptr<Ring> r) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pool_.push_back(std::move(r));
+    }
+
+   private:
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<Ring>> pool_;
+  };
+
+  FlightRecorderConfig cfg_;
+  std::vector<std::atomic<Ring*>> rings_;
+  RingPool retired_;
+  std::atomic<std::uint64_t> dropped_unranked_{0};
+};
+
+}  // namespace pga::obs

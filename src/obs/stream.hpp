@@ -1,0 +1,331 @@
+#pragma once
+// Streaming trace export: incremental JSONL with tail-follow reading.
+//
+// The post-hoc formats (event_json.hpp, chrome_trace.hpp) write one closed
+// document after the run ends — useless for a long-running daemon whose
+// trace never "finishes".  The stream format is line-delimited instead:
+//
+//   {"format":"pga-event-stream-v1"}        <- header, rewritten per rotation
+//   {"kind":"span_begin", ...}              <- one event_json object per line
+//   ...
+//
+// so a consumer can follow the file while the producer is still appending,
+// and a crash loses at most the unflushed tail — every complete line is a
+// valid record on its own.
+//
+// StreamWriter emit-path cost: `append` takes a short mutex and copies the
+// 136-byte Event into a staging buffer — the same shape as EventLog::append,
+// which is how the O1 bench's "within 2× of in-memory append" criterion is
+// met.  JSON encoding and file IO happen on a background flusher thread
+// (or synchronously via `flush()`), never at the emit call site.  The
+// staging buffer is bounded: when the flusher cannot keep up, further
+// events are counted in `dropped_backpressure` and discarded rather than
+// growing memory without bound.
+//
+// StreamReader is deliberately dumb and robust: poll-based (no inotify
+// dependency), tolerant of a half-written final line (kept pending until
+// the rest arrives), and of size-based rotation (file shrank -> start over
+// at offset 0; the moment mid-rename where the path is missing reads as
+// "no data yet").  Parse failures are counted and skipped, never fatal —
+// a monitor must survive a corrupt line from a dying producer.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+
+namespace pga::obs {
+
+inline constexpr const char kEventStreamHeader[] =
+    "{\"format\":\"pga-event-stream-v1\"}";
+
+struct StreamWriterConfig {
+  /// Rotate when the current file exceeds this many bytes (0 = never).
+  /// On rotation the file is renamed to `<path>.1` (replacing any previous
+  /// `.1`) and a fresh file with a new header is started — so disk usage is
+  /// bounded by ~2x rotate_bytes.
+  std::uint64_t rotate_bytes = 0;
+  /// Staging-buffer bound (events).  Appends beyond this while the flusher
+  /// is behind are dropped and counted in `dropped_backpressure`.
+  std::size_t max_pending = 1 << 16;
+  /// Background flusher wakeup period.  Lower = fresher tail for a live
+  /// consumer; the flusher also wakes as soon as the staging buffer is half
+  /// full.
+  std::chrono::milliseconds flush_interval{50};
+  /// Run the background flusher thread.  Off = events stage in memory until
+  /// an explicit flush()/close() — useful in tests and single-threaded
+  /// tools that want deterministic flush points.
+  bool background_flush = true;
+};
+
+class StreamWriter final : public EventSink {
+ public:
+  explicit StreamWriter(std::string path, StreamWriterConfig cfg = {})
+      : path_(std::move(path)), cfg_(cfg) {
+    out_ = std::fopen(path_.c_str(), "wb");
+    if (!out_) throw std::runtime_error("cannot open " + path_ + " for writing");
+    write_header();
+    if (cfg_.background_flush)
+      flusher_ = std::thread([this] { flusher_main(); });
+  }
+
+  ~StreamWriter() override { close(); }
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  void append(Event e) override {
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      if (pending_.size() >= cfg_.max_pending) {
+        ++dropped_backpressure_;
+        return;
+      }
+      e.seq = next_seq_++;
+      pending_.push_back(e);
+      wake = cfg_.background_flush && pending_.size() >= cfg_.max_pending / 2;
+    }
+    if (wake) cv_.notify_one();
+  }
+
+  /// Synchronously encodes and writes everything staged so far.
+  void flush() {
+    std::vector<Event> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch.swap(pending_);
+    }
+    write_batch(batch);
+  }
+
+  /// Stops the flusher, drains the staging buffer, and closes the file.
+  /// Idempotent; called by the destructor.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    cv_.notify_one();
+    if (flusher_.joinable()) flusher_.join();
+    flush();
+    std::lock_guard<std::mutex> io(io_mutex_);
+    if (out_) {
+      std::fclose(out_);
+      out_ = nullptr;
+    }
+  }
+
+  struct Stats {
+    std::uint64_t appended = 0;  ///< events accepted into the staging buffer
+    std::uint64_t written = 0;   ///< events encoded and written to the file
+    std::uint64_t dropped_backpressure = 0;  ///< staging buffer was full
+    std::uint64_t rotations = 0;
+    std::uint64_t bytes_written = 0;  ///< across all rotations
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      s.appended = next_seq_;
+      s.dropped_backpressure = dropped_backpressure_;
+    }
+    std::lock_guard<std::mutex> io(io_mutex_);
+    s.written = written_;
+    s.rotations = rotations_;
+    s.bytes_written = bytes_total_;
+    return s;
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_header() {
+    std::fputs(kEventStreamHeader, out_);
+    std::fputc('\n', out_);
+    bytes_current_ = sizeof(kEventStreamHeader);  // incl. '\n' (repl. NUL)
+    bytes_total_ += bytes_current_;
+  }
+
+  /// Encodes and writes one drained batch; rotates afterwards if the file
+  /// outgrew the bound.  Only the flusher thread and flush()/close() (which
+  /// serialize on io_mutex_) enter here, so stdio state is single-writer.
+  void write_batch(const std::vector<Event>& batch) {
+    if (batch.empty()) return;
+    std::string text;
+    text.reserve(batch.size() * 256);
+    for (const Event& e : batch) {
+      text += event_json(e);
+      text += '\n';
+    }
+    std::lock_guard<std::mutex> io(io_mutex_);
+    if (!out_) return;
+    std::fwrite(text.data(), 1, text.size(), out_);
+    std::fflush(out_);
+    written_ += batch.size();
+    bytes_current_ += text.size();
+    bytes_total_ += text.size();
+    if (cfg_.rotate_bytes > 0 && bytes_current_ > cfg_.rotate_bytes) rotate();
+  }
+
+  void rotate() {
+    std::fclose(out_);
+    const std::string old = path_ + ".1";
+    std::remove(old.c_str());
+    std::rename(path_.c_str(), old.c_str());
+    out_ = std::fopen(path_.c_str(), "wb");
+    if (!out_) return;  // keep staging; stats expose the stall via written_
+    ++rotations_;
+    std::fputs(kEventStreamHeader, out_);
+    std::fputc('\n', out_);
+    bytes_current_ = sizeof(kEventStreamHeader);
+    bytes_total_ += bytes_current_;
+    std::fflush(out_);
+  }
+
+  void flusher_main() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait_for(lock, cfg_.flush_interval, [this] {
+        return closed_ || pending_.size() >= cfg_.max_pending / 2;
+      });
+      if (closed_) return;  // close() drains after joining us
+      std::vector<Event> batch;
+      batch.swap(pending_);
+      lock.unlock();
+      write_batch(batch);
+      lock.lock();
+    }
+  }
+
+  std::string path_;
+  StreamWriterConfig cfg_;
+
+  mutable std::mutex mutex_;  ///< staging buffer + counters
+  std::condition_variable cv_;
+  std::vector<Event> pending_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_backpressure_ = 0;
+  bool closed_ = false;
+
+  mutable std::mutex io_mutex_;  ///< stdio handle + file-side counters
+  std::FILE* out_ = nullptr;
+  std::uint64_t written_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t bytes_current_ = 0;
+  std::uint64_t bytes_total_ = 0;
+
+  std::thread flusher_;
+};
+
+/// Tail-follow reader for the stream format.  Single-threaded, poll-driven:
+/// each poll() parses whatever complete lines appeared since the last call.
+class StreamReader {
+ public:
+  explicit StreamReader(std::string path) : path_(std::move(path)) {}
+
+  struct Stats {
+    std::uint64_t events = 0;        ///< successfully parsed event lines
+    std::uint64_t parse_errors = 0;  ///< lines skipped as unparseable
+    std::uint64_t rotations = 0;     ///< shrink-detected restarts
+    std::uint64_t bytes = 0;         ///< bytes consumed (current file)
+  };
+
+  /// Reads newly appended complete lines and invokes `on_event(const Event&)`
+  /// for each event record.  Returns the number of events delivered this
+  /// call.  A missing file (including the instant mid-rotation) or a
+  /// half-written final line is not an error — the partial tail stays
+  /// buffered until a later poll completes it.
+  template <typename Fn>
+  std::size_t poll(Fn&& on_event) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return 0;
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    if (end < 0) return 0;
+    auto size = static_cast<std::uint64_t>(end);
+    if (size < offset_) {
+      // File shrank: the writer rotated underneath us.  Anything we had
+      // pending belonged to the renamed file and its line boundary is gone.
+      offset_ = 0;
+      pending_.clear();
+      ++stats_.rotations;
+    }
+    if (size == offset_) return 0;
+    in.seekg(static_cast<std::streamoff>(offset_));
+    std::string chunk(static_cast<std::size_t>(size - offset_), '\0');
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const auto got = static_cast<std::uint64_t>(in.gcount());
+    chunk.resize(static_cast<std::size_t>(got));
+    offset_ += got;
+    stats_.bytes = offset_;
+    pending_ += chunk;
+
+    std::size_t delivered = 0;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending_.find('\n', start);
+      if (nl == std::string::npos) break;
+      deliver_line(pending_.substr(start, nl - start), on_event, delivered);
+      start = nl + 1;
+    }
+    pending_.erase(0, start);
+    return delivered;
+  }
+
+  /// Convenience: poll into a vector.
+  [[nodiscard]] std::vector<Event> poll_events() {
+    std::vector<Event> out;
+    poll([&](const Event& e) { out.push_back(e); });
+    return out;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// True if a partial (not yet newline-terminated) line is buffered.
+  [[nodiscard]] bool has_partial_line() const noexcept {
+    return !pending_.empty();
+  }
+
+ private:
+  template <typename Fn>
+  void deliver_line(const std::string& line, Fn& on_event,
+                    std::size_t& delivered) {
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos)
+      return;
+    try {
+      const json::Value v = json::parse(line);
+      if (v.is_object() && v.find("format")) {
+        // Header line; a rotation rewrites it, so just validate and move on.
+        if (v.string_or("format", "") != "pga-event-stream-v1")
+          ++stats_.parse_errors;
+        return;
+      }
+      on_event(event_from_json(v));
+      ++stats_.events;
+      ++delivered;
+    } catch (const std::exception&) {
+      ++stats_.parse_errors;
+    }
+  }
+
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  std::string pending_;
+  Stats stats_;
+};
+
+}  // namespace pga::obs

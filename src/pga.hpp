@@ -47,13 +47,18 @@
 #include "multiobj/pareto.hpp"
 #include "obs/anomaly.hpp"
 #include "obs/causal.hpp"
+#include "obs/checkpoints.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
 #include "obs/json.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probes.hpp"
 #include "obs/report.hpp"
+#include "obs/ring.hpp"
+#include "obs/speedup.hpp"
+#include "obs/stream.hpp"
 #include "parallel/cellular_parallel.hpp"
 #include "parallel/distributed_island.hpp"
 #include "parallel/hierarchical.hpp"

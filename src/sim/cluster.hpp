@@ -48,8 +48,10 @@ struct SimConfig {
   /// Optional event sink.  When set, every rank emits "compute" spans,
   /// message send/recv records and failure events stamped with its virtual
   /// clock, so a run exports to chrome://tracing and audits with
-  /// obs::RunReport.  Null (the default) costs one branch per call site.
-  obs::EventLog* trace = nullptr;
+  /// obs::RunReport.  Any obs::EventSink works: the in-memory EventLog, a
+  /// bounded FlightRecorder ring, a StreamWriter, or a TeeSink fan-out.
+  /// Null (the default) costs one branch per call site.
+  obs::EventSink* trace = nullptr;
 };
 
 /// Homogeneous configuration helper.

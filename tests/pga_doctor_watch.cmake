@@ -1,0 +1,141 @@
+# End-to-end exercise of `pga_doctor watch` — the live path must reach the
+# same verdicts and exit codes as the post-hoc diagnosis of the same run:
+#
+#   1. `--gen faulty out.jsonl` writes the demo trace in the streaming JSONL
+#      format (extension-sniffed), `--gen faulty out.json` the post-hoc
+#      document — same simulated run, two encodings.
+#   2. `watch` on the faulty stream must exit 1 and flag rank 2's failure
+#      and stall, exactly like the offline `pga_doctor faulty.json` run.
+#   3. `watch` on the healthy stream must exit 0 (advisory warnings only).
+#   4. A truncated final line is tolerated, not a parse error.
+#   5. `--fail-on none` demotes the watch gate to advisory (exit 0).
+#
+# Driven with: cmake -DDOCTOR=<path> -DWORK_DIR=<dir> -P pga_doctor_watch.cmake
+
+if(NOT DOCTOR OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DWORK_DIR=<dir> -P pga_doctor_watch.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(faulty_stream "${WORK_DIR}/watch_faulty.jsonl")
+set(faulty_log "${WORK_DIR}/watch_faulty.json")
+set(healthy_stream "${WORK_DIR}/watch_healthy.jsonl")
+
+# --- generate the stream + post-hoc encodings of the same runs -----------
+execute_process(COMMAND "${DOCTOR}" --gen faulty "${faulty_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen faulty (jsonl) failed (exit ${rc}):\n${out}")
+endif()
+execute_process(COMMAND "${DOCTOR}" --gen faulty "${faulty_log}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen faulty (json) failed (exit ${rc}):\n${out}")
+endif()
+execute_process(COMMAND "${DOCTOR}" --gen healthy "${healthy_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen healthy (jsonl) failed (exit ${rc}):\n${out}")
+endif()
+
+# The .jsonl file must be the streaming format, not the post-hoc document.
+file(READ "${faulty_stream}" head LIMIT 64)
+if(NOT head MATCHES "pga-event-stream-v1")
+  message(FATAL_ERROR ".jsonl output is missing the stream header:\n${head}")
+endif()
+
+# --- faulty stream: watch must gate exactly like the offline diagnosis ---
+execute_process(COMMAND "${DOCTOR}" watch "${faulty_stream}"
+  RESULT_VARIABLE watch_rc OUTPUT_VARIABLE watch_out ERROR_VARIABLE watch_out)
+message(STATUS "watch faulty (exit ${watch_rc}):\n${watch_out}")
+if(NOT watch_rc EQUAL 1)
+  message(FATAL_ERROR "watch on the faulty stream must exit 1, got ${watch_rc}")
+endif()
+if(NOT watch_out MATCHES "FAIL \\[failure\\] rank 2")
+  message(FATAL_ERROR "watch did not flag the failed rank 2:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "FAIL \\[stall\\] rank 2")
+  message(FATAL_ERROR "watch did not flag the stalled rank 2:\n${watch_out}")
+endif()
+if(NOT watch_out MATCHES "0 parse errors")
+  message(FATAL_ERROR "watch reported parse errors on a clean stream:\n${watch_out}")
+endif()
+
+execute_process(COMMAND "${DOCTOR}" "${faulty_log}"
+  RESULT_VARIABLE offline_rc OUTPUT_VARIABLE offline_out ERROR_VARIABLE offline_out)
+if(NOT offline_rc EQUAL 1)
+  message(FATAL_ERROR "offline diagnosis of the same run must exit 1, got ${offline_rc}")
+endif()
+# Equivalence: every FAIL line of the offline diagnosis appears verbatim in
+# the watch output (same kinds, ranks, timestamps).
+string(REGEX MATCHALL "(FAIL [^\n]+)" offline_fails "${offline_out}")
+if(offline_fails STREQUAL "")
+  message(FATAL_ERROR "offline diagnosis produced no FAIL lines:\n${offline_out}")
+endif()
+foreach(line IN LISTS offline_fails)
+  string(FIND "${watch_out}" "${line}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "watch output missing offline finding '${line}':\n${watch_out}")
+  endif()
+endforeach()
+
+# --- healthy stream: gate stays green ------------------------------------
+execute_process(COMMAND "${DOCTOR}" watch --report "${healthy_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "watch healthy (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "watch on the healthy stream must exit 0, got ${rc}")
+endif()
+if(out MATCHES "FAIL \\[")
+  message(FATAL_ERROR "healthy watch produced a gated FAIL finding:\n${out}")
+endif()
+if(NOT out MATCHES "RunReport")
+  message(FATAL_ERROR "watch --report output missing the RunReport table:\n${out}")
+endif()
+
+# --- a truncated final line is buffered, not a parse error ---------------
+file(READ "${faulty_stream}" whole)
+string(LENGTH "${whole}" whole_len)
+math(EXPR cut "${whole_len} - 40")
+string(SUBSTRING "${whole}" 0 ${cut} truncated)
+set(truncated_stream "${WORK_DIR}/watch_truncated.jsonl")
+file(WRITE "${truncated_stream}" "${truncated}")
+execute_process(COMMAND "${DOCTOR}" watch "${truncated_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "watch truncated (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "truncated faulty stream must still gate (exit 1), got ${rc}")
+endif()
+if(NOT out MATCHES "0 parse errors")
+  message(FATAL_ERROR "half-written final line must not count as a parse error:\n${out}")
+endif()
+
+# --- --fail-on none demotes the watch gate to advisory -------------------
+execute_process(COMMAND "${DOCTOR}" watch --fail-on none "${faulty_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "watch --fail-on none must exit 0, got ${rc}:\n${out}")
+endif()
+
+# --- an empty stream is a load-shaped error (exit 2) ---------------------
+set(empty_stream "${WORK_DIR}/watch_empty.jsonl")
+file(WRITE "${empty_stream}" "")
+execute_process(COMMAND "${DOCTOR}" watch "${empty_stream}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "watch on an empty stream must exit 2, got ${rc}")
+endif()
+
+# --- usage text documents the subcommand ---------------------------------
+execute_process(COMMAND "${DOCTOR}" --help
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--help must exit 0, got ${rc}")
+endif()
+foreach(needle "watch" "--interval" "--max-idle")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "usage text missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+message(STATUS "pga_doctor watch live gate behaves as specified")

@@ -1,0 +1,604 @@
+// Live-observability tests: FlightRecorder ring semantics (wraparound, age
+// eviction, exact drop accounting under concurrent multi-rank emit — the
+// TSan CI job runs these), StreamWriter/StreamReader resilience (truncated
+// final lines, mid-rotation reads, backpressure), and the LiveMonitor
+// equivalence contract: replaying a fault trace through the live path yields
+// the same verdicts and gate decision as the offline detector on the full
+// dump.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/anomaly.hpp"
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "obs/live.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/ring.hpp"
+#include "obs/stream.hpp"
+#include "parallel/master_slave.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+namespace pga {
+namespace {
+
+[[nodiscard]] obs::Event mark_at(int rank, double t, std::uint64_t count = 0) {
+  obs::Event e;
+  e.kind = obs::EventKind::kMark;
+  e.rank = rank;
+  e.t = t;
+  e.name = "m";
+  e.count = count;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, WraparoundKeepsNewestAndAccountsDropsExactly) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity_per_rank = 8;
+  obs::FlightRecorder rec(cfg);
+  for (int i = 0; i < 100; ++i)
+    rec.append(mark_at(0, static_cast<double>(i), static_cast<std::uint64_t>(i)));
+
+  const auto a = rec.rank_accounting(0);
+  EXPECT_EQ(a.appended, 100u);
+  EXPECT_EQ(a.retained, 8u);
+  EXPECT_EQ(a.dropped_capacity, 92u);
+  EXPECT_EQ(a.dropped_age, 0u);
+  EXPECT_TRUE(a.exact());
+
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.events.size(), 8u);
+  // The ring holds exactly the newest 8, in canonical order.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(snap.events[i].count, 92u + i);
+  EXPECT_TRUE(snap.totals.exact());
+}
+
+TEST(FlightRecorder, AgeEvictionHonorsWindowAndStaysExact) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity_per_rank = 64;
+  cfg.max_age_s = 1.5;
+  obs::FlightRecorder rec(cfg);
+  for (int i = 0; i < 10; ++i)
+    rec.append(mark_at(0, static_cast<double>(i)));
+
+  // Newest t = 9; only events with t >= 7.5 survive the age window.
+  const auto a = rec.rank_accounting(0);
+  EXPECT_EQ(a.appended, 10u);
+  EXPECT_EQ(a.retained, 2u);
+  EXPECT_EQ(a.dropped_age, 8u);
+  EXPECT_EQ(a.dropped_capacity, 0u);
+  EXPECT_TRUE(a.exact());
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.events.front().t, 8.0);
+  EXPECT_DOUBLE_EQ(snap.events.back().t, 9.0);
+}
+
+TEST(FlightRecorder, SnapshotWindowFiltersWithoutTouchingAccounting) {
+  obs::FlightRecorder rec;
+  for (int r = 0; r < 2; ++r)
+    for (int i = 0; i < 10; ++i)
+      rec.append(mark_at(r, static_cast<double>(i)));
+  const auto snap = rec.snapshot(2.5);  // newest is t=9 -> keep t >= 6.5
+  EXPECT_EQ(snap.events.size(), 6u);    // t=7,8,9 on both ranks
+  EXPECT_EQ(snap.totals.appended, 20u);
+  EXPECT_EQ(snap.totals.retained, 20u);
+  EXPECT_TRUE(snap.totals.exact());
+  // Canonical (t, rank, seq) order across ranks.
+  for (std::size_t i = 1; i < snap.events.size(); ++i)
+    EXPECT_FALSE(obs::canonical_event_order(snap.events[i],
+                                            snap.events[i - 1]));
+}
+
+TEST(FlightRecorder, OutOfRangeRanksAreCountedNotLost) {
+  obs::FlightRecorderConfig cfg;
+  cfg.max_ranks = 4;
+  obs::FlightRecorder rec(cfg);
+  rec.append(mark_at(-1, 0.0));
+  rec.append(mark_at(4, 0.0));
+  rec.append(mark_at(1000, 0.0));
+  rec.append(mark_at(3, 0.0));  // in range
+  const auto snap = rec.snapshot();
+  EXPECT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.totals.dropped_unranked, 3u);
+  EXPECT_EQ(snap.totals.appended, 1u);
+}
+
+TEST(FlightRecorder, ConcurrentMultiRankEmitAccountingIsExact) {
+  // 8 ranks emitting 10k events each into 256-slot rings while a reader
+  // snapshots concurrently: every event must end up accounted — retained or
+  // dropped, never lost.  This is the drop-exactness contract the O1 bench
+  // gates on, and (under the TSan CI job) the data-race check for the
+  // seqlock read path.
+  constexpr int kRanks = 8;
+  constexpr int kPerRank = 10000;
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity_per_rank = 256;
+  obs::FlightRecorder rec(cfg);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = rec.snapshot();
+      // Mid-flight totals must still balance (accounting is per-ring
+      // consistent even while other rings move).
+      EXPECT_LE(snap.totals.retained,
+                static_cast<std::uint64_t>(kRanks) * cfg.capacity_per_rank);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int r = 0; r < kRanks; ++r)
+    writers.emplace_back([&, r] {
+      for (int i = 0; i < kPerRank; ++i)
+        rec.append(mark_at(r, static_cast<double>(i),
+                           static_cast<std::uint64_t>(i)));
+    });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto totals = rec.snapshot().totals;
+  EXPECT_EQ(totals.appended,
+            static_cast<std::uint64_t>(kRanks) * kPerRank);
+  EXPECT_EQ(totals.retained,
+            static_cast<std::uint64_t>(kRanks) * cfg.capacity_per_rank);
+  EXPECT_EQ(totals.dropped_unranked, 0u);
+  EXPECT_TRUE(totals.exact());
+  for (int r = 0; r < kRanks; ++r) {
+    const auto a = rec.rank_accounting(static_cast<std::size_t>(r));
+    EXPECT_EQ(a.appended, static_cast<std::uint64_t>(kPerRank));
+    EXPECT_TRUE(a.exact());
+  }
+}
+
+TEST(FlightRecorder, MemoryBoundIsFixedByConfig) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity_per_rank = 128;
+  cfg.max_ranks = 16;
+  obs::FlightRecorder rec(cfg);
+  EXPECT_EQ(rec.memory_bound_bytes(), 16u * 128u * sizeof(obs::Event));
+}
+
+// ---------------------------------------------------------------------------
+// TeeSink + for_each
+// ---------------------------------------------------------------------------
+
+TEST(TeeSink, FansOutToBothBranchesAndToleratesNull) {
+  obs::EventLog log;
+  obs::FlightRecorder rec;
+  obs::TeeSink tee(&log, &rec);
+  obs::Tracer tr(&tee);
+  tr.mark(0, 0.1, "a");
+  tr.mark(1, 0.2, "b");
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(rec.snapshot().events.size(), 2u);
+
+  obs::TeeSink half(nullptr, &log);
+  half.append(mark_at(0, 0.3));
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(EventLog, ForEachVisitsEveryEventInAppendOrderWithoutCopy) {
+  obs::EventLog log;
+  obs::Tracer tr(&log);
+  const std::size_t n = obs::EventLog::kBlockEvents + 100;  // cross a block
+  for (std::size_t i = 0; i < n; ++i)
+    tr.mark(0, static_cast<double>(i), "m", -1, i);
+  std::size_t visits = 0;
+  std::uint64_t expected = 0;
+  log.for_each([&](const obs::Event& e) {
+    EXPECT_EQ(e.count, expected++);
+    EXPECT_EQ(e.seq, expected - 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, n);
+  // Consistency with the copying snapshot path.
+  EXPECT_EQ(log.snapshot().size(), visits);
+}
+
+// ---------------------------------------------------------------------------
+// StreamWriter / StreamReader
+// ---------------------------------------------------------------------------
+
+TEST(Stream, WriterReaderRoundTripPreservesEveryField) {
+  const std::string path = testing::TempDir() + "pga_stream_roundtrip.jsonl";
+  {
+    obs::StreamWriterConfig cfg;
+    cfg.background_flush = false;
+    obs::StreamWriter w(path, cfg);
+    obs::Tracer tr(&w);
+    tr.message_sent(0, 0.25, 2, 7, 640, 11);
+    tr.gen_stats(1, 0.5, 3, 48, 12.5, 6.25, 1.0);
+    tr.search_stats(0, 0.75, 4, 16, 0.5, 0.25, 0.9, 1.1, 0.3, 30.0, 64);
+    tr.node_failure(2, 0.8, "killed");
+    obs::Event nan_best = mark_at(1, 0.9);
+    nan_best.best = std::numeric_limits<double>::quiet_NaN();
+    w.append(nan_best);
+    w.close();
+    const auto st = w.stats();
+    EXPECT_EQ(st.appended, 5u);
+    EXPECT_EQ(st.written, 5u);
+    EXPECT_EQ(st.dropped_backpressure, 0u);
+  }
+  obs::StreamReader reader(path);
+  const auto events = reader.poll_events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(reader.stats().parse_errors, 0u);
+  EXPECT_FALSE(reader.has_partial_line());
+
+  EXPECT_EQ(events[0].kind, obs::EventKind::kMessageSent);
+  EXPECT_EQ(events[0].peer, 2);
+  EXPECT_EQ(events[0].tag, 7);
+  EXPECT_EQ(events[0].count, 640u);
+  EXPECT_EQ(events[0].msg_id, 11u);
+  EXPECT_DOUBLE_EQ(events[0].t, 0.25);
+
+  EXPECT_EQ(events[1].kind, obs::EventKind::kGenStats);
+  EXPECT_DOUBLE_EQ(events[1].best, 12.5);
+  EXPECT_EQ(events[1].generation, 3u);
+  EXPECT_EQ(events[1].evaluations, 48u);
+
+  EXPECT_EQ(events[2].kind, obs::EventKind::kSearchStats);
+  EXPECT_DOUBLE_EQ(events[2].takeover, 0.3);
+  EXPECT_DOUBLE_EQ(events[2].best, 30.0);
+  EXPECT_EQ(events[2].evaluations, 64u);
+
+  EXPECT_EQ(events[3].kind, obs::EventKind::kNodeFailure);
+  EXPECT_STREQ(events[3].name, "killed");
+
+  EXPECT_TRUE(std::isnan(events[4].best));  // non-finite survives JSONL
+  std::remove(path.c_str());
+}
+
+TEST(Stream, ReaderToleratesTruncatedFinalLine) {
+  const std::string path = testing::TempDir() + "pga_stream_truncated.jsonl";
+  const std::string line1 = obs::event_json(mark_at(0, 1.0));
+  const std::string line2 = obs::event_json(mark_at(0, 2.0));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << obs::kEventStreamHeader << "\n" << line1 << "\n";
+    // Half-written final line: the producer crashed (or just hasn't
+    // flushed the rest yet).
+    out << line2.substr(0, line2.size() / 2);
+  }
+  obs::StreamReader reader(path);
+  auto events = reader.poll_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_TRUE(reader.has_partial_line());
+  EXPECT_EQ(reader.stats().parse_errors, 0u);
+
+  // The rest of the line arrives: the pending half completes seamlessly.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << line2.substr(line2.size() / 2) << "\n";
+  }
+  events = reader.poll_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].t, 2.0);
+  EXPECT_FALSE(reader.has_partial_line());
+  EXPECT_EQ(reader.stats().parse_errors, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Stream, ReaderSkipsCorruptLinesAndCounts) {
+  const std::string path = testing::TempDir() + "pga_stream_corrupt.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << obs::kEventStreamHeader << "\n";
+    out << obs::event_json(mark_at(0, 1.0)) << "\n";
+    out << "{\"kind\": \"mark\", truncated garbage\n";
+    out << obs::event_json(mark_at(0, 3.0)) << "\n";
+  }
+  obs::StreamReader reader(path);
+  const auto events = reader.poll_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[1].t, 3.0);
+  EXPECT_EQ(reader.stats().parse_errors, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Stream, ReaderDetectsRotationByShrinkAndStartsOver) {
+  const std::string path = testing::TempDir() + "pga_stream_rotation.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << obs::kEventStreamHeader << "\n";
+    for (int i = 0; i < 20; ++i)
+      out << obs::event_json(mark_at(0, static_cast<double>(i))) << "\n";
+  }
+  obs::StreamReader reader(path);
+  EXPECT_EQ(reader.poll_events().size(), 20u);
+
+  // Writer rotates: the path is replaced by a fresh, *smaller* file.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << obs::kEventStreamHeader << "\n";
+    out << obs::event_json(mark_at(1, 100.0)) << "\n";
+  }
+  const auto events = reader.poll_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(reader.stats().rotations, 1u);
+  EXPECT_EQ(reader.stats().parse_errors, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Stream, WriterRotatesBySizeAndReaderFollowsTheLiveFile) {
+  const std::string path = testing::TempDir() + "pga_stream_rotate_w.jsonl";
+  obs::StreamWriter::Stats st;
+  {
+    obs::StreamWriterConfig cfg;
+    cfg.background_flush = false;
+    cfg.rotate_bytes = 4096;
+    obs::StreamWriter w(path, cfg);
+    for (int i = 0; i < 200; ++i) {
+      w.append(mark_at(0, static_cast<double>(i)));
+      if (i % 50 == 49) w.flush();
+    }
+    w.close();
+    st = w.stats();
+  }
+  EXPECT_GE(st.rotations, 1u);
+  EXPECT_EQ(st.written, 200u);
+  // The current file and the `.1` predecessor both parse cleanly.
+  obs::StreamReader current(path);
+  (void)current.poll_events();
+  EXPECT_EQ(current.stats().parse_errors, 0u);
+  obs::StreamReader previous(path + ".1");
+  const auto prev_events = previous.poll_events();
+  EXPECT_EQ(previous.stats().parse_errors, 0u);
+  EXPECT_GT(prev_events.size(), 0u);
+  EXPECT_GT(current.stats().events + previous.stats().events, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(Stream, BackpressureDropsAreBoundedAndCounted) {
+  const std::string path = testing::TempDir() + "pga_stream_backpressure.jsonl";
+  {
+    obs::StreamWriterConfig cfg;
+    cfg.background_flush = false;  // nobody drains -> the bound must hold
+    cfg.max_pending = 4;
+    obs::StreamWriter w(path, cfg);
+    for (int i = 0; i < 10; ++i) w.append(mark_at(0, static_cast<double>(i)));
+    const auto st = w.stats();
+    EXPECT_EQ(st.appended, 4u);
+    EXPECT_EQ(st.dropped_backpressure, 6u);
+    w.close();
+    EXPECT_EQ(w.stats().written, 4u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Stream, BackgroundFlusherDeliversEverythingToATailingReader) {
+  const std::string path = testing::TempDir() + "pga_stream_live.jsonl";
+  constexpr int kEvents = 2000;
+  obs::StreamReader reader(path);
+  std::size_t seen = 0;
+  {
+    obs::StreamWriterConfig cfg;
+    cfg.flush_interval = std::chrono::milliseconds(5);
+    obs::StreamWriter w(path, cfg);
+    std::thread producer([&] {
+      obs::Tracer tr(&w);
+      for (int i = 0; i < kEvents; ++i)
+        tr.mark(i % 4, static_cast<double>(i), "live", -1,
+                static_cast<std::uint64_t>(i));
+    });
+    // Tail while the producer is alive — partial lines and in-flight
+    // flushes must never produce a parse error.
+    for (int spin = 0; spin < 200 && seen < kEvents; ++spin) {
+      seen += reader.poll([](const obs::Event&) {});
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    producer.join();
+    w.close();
+  }
+  seen += reader.poll([](const obs::Event&) {});
+  EXPECT_EQ(seen, static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(reader.stats().parse_errors, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// LiveMonitor: equivalence with the post-hoc path
+// ---------------------------------------------------------------------------
+
+/// Same traced master-slave run the offline doctor e2e test uses
+/// (tests/test_obs.cpp doctor_e2e) — the equivalence contract needs both
+/// paths to consume the same stream shape.
+void run_traced(obs::EventSink* sink, bool inject_failure) {
+  problems::OneMax problem(32);
+  MasterSlaveConfig<BitString> cfg;
+  cfg.pop_size = 16;
+  cfg.stop.max_generations = 6;
+  cfg.stop.target_fitness = 1e9;
+  cfg.ops.select = selection::tournament(2);
+  cfg.ops.cross = crossover::two_point<BitString>();
+  cfg.ops.mutate = mutation::bit_flip();
+  cfg.chunk_size = 2;
+  cfg.eval_cost_s = 1e-3;
+  if (inject_failure) cfg.timeout_s = 0.5;
+  cfg.seed = 5;
+  cfg.make_genome = [](Rng& r) { return BitString::random(32, r); };
+  cfg.trace = obs::Tracer(sink);
+  auto sim_cfg = sim::homogeneous(inject_failure ? 4 : 3,
+                                  sim::NetworkModel::gigabit_ethernet());
+  if (inject_failure) sim_cfg.nodes[2].fail_at = 0.02;
+  sim_cfg.trace = sink;
+  sim::SimCluster cluster(sim_cfg);
+  cluster.run([&](comm::Transport& t) {
+    (void)run_master_slave_rank(t, problem, cfg);
+  });
+}
+
+[[nodiscard]] std::multiset<std::string> verdict_keys(
+    const std::vector<obs::Anomaly>& anomalies) {
+  std::multiset<std::string> keys;
+  for (const auto& a : anomalies)
+    keys.insert(std::string(obs::to_string(a.kind)) + "@" +
+                std::to_string(a.rank) + ":" + a.detail);
+  return keys;
+}
+
+TEST(LiveMonitor, StreamedFaultTraceMatchesOfflineVerdictsAndGate) {
+  const std::string path = testing::TempDir() + "pga_live_equiv.jsonl";
+  // One run, two consumers: the in-memory log (offline path) and a JSONL
+  // stream via TeeSink (live path).
+  obs::EventLog log;
+  {
+    obs::StreamWriterConfig scfg;
+    scfg.background_flush = false;
+    obs::StreamWriter writer(path, scfg);
+    obs::TeeSink tee(&log, &writer);
+    run_traced(&tee, /*inject_failure=*/true);
+    writer.close();
+  }
+
+  const auto offline = obs::AnomalyDetector::analyze(log);
+
+  obs::StreamReader reader(path);
+  obs::LiveMonitor mon;
+  while (mon.poll(reader) > 0) {
+  }
+  const auto& live = mon.evaluate();
+
+  EXPECT_EQ(verdict_keys(live), verdict_keys(offline));
+  EXPECT_EQ(mon.progress().events, log.size());
+
+  // Gate equivalence: the default {failure, stall} gate fires on both.
+  bool offline_gate = false;
+  for (const auto& a : offline)
+    offline_gate |= a.kind == obs::AnomalyKind::kFailedRank ||
+                    a.kind == obs::AnomalyKind::kStalledRank;
+  EXPECT_TRUE(offline_gate);
+  EXPECT_TRUE(mon.gate_fired());
+  EXPECT_EQ(mon.first_gated().rank, 2);
+
+  // Full-report equivalence over the retained prefix.
+  const auto live_report = mon.report();
+  const auto offline_report = obs::RunReport::from(log);
+  EXPECT_DOUBLE_EQ(live_report.makespan(), offline_report.makespan());
+  EXPECT_EQ(live_report.total_messages(), offline_report.total_messages());
+  EXPECT_EQ(live_report.failures(), offline_report.failures());
+  EXPECT_DOUBLE_EQ(live_report.final_best(), offline_report.final_best());
+  std::remove(path.c_str());
+}
+
+TEST(LiveMonitor, HealthyStreamKeepsGateGreen) {
+  const std::string path = testing::TempDir() + "pga_live_healthy.jsonl";
+  {
+    obs::StreamWriterConfig scfg;
+    scfg.background_flush = false;
+    obs::StreamWriter writer(path, scfg);
+    run_traced(&writer, /*inject_failure=*/false);
+    writer.close();
+  }
+  obs::StreamReader reader(path);
+  obs::LiveMonitor mon;
+  while (mon.poll(reader) > 0) {
+  }
+  mon.evaluate();
+  EXPECT_FALSE(mon.gate_fired());
+  for (const auto& a : mon.verdicts()) {
+    EXPECT_NE(a.kind, obs::AnomalyKind::kFailedRank);
+    EXPECT_NE(a.kind, obs::AnomalyKind::kStalledRank);
+  }
+  EXPECT_GT(mon.progress().best, 0.0);
+  EXPECT_GT(mon.progress().eval_throughput(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(LiveMonitor, GatedVerdictDumpsBlackBoxOnce) {
+  const std::string box_path = testing::TempDir() + "pga_live_blackbox.json";
+  std::remove(box_path.c_str());
+
+  // The flight recorder rides the same tracer; the monitor dumps it the
+  // moment the failure verdict fires.
+  obs::FlightRecorderConfig rcfg;
+  rcfg.capacity_per_rank = 512;
+  obs::FlightRecorder black_box(rcfg);
+  obs::EventLog log;
+  obs::TeeSink tee(&log, &black_box);
+  run_traced(&tee, /*inject_failure=*/true);
+
+  obs::LiveMonitorConfig lcfg;
+  lcfg.black_box = &black_box;
+  lcfg.black_box_path = box_path;
+  obs::LiveMonitor mon(lcfg);
+  log.for_each([&](const obs::Event& e) { mon.consume(e); });
+  mon.evaluate();
+  ASSERT_TRUE(mon.gate_fired());
+  EXPECT_TRUE(mon.black_box_dumped());
+
+  // The dump is a valid pga-event-log-v1 document bounded by ring capacity.
+  obs::EventLog restored;
+  obs::load_event_log(box_path, restored);
+  EXPECT_GT(restored.size(), 0u);
+  EXPECT_LE(restored.size(),
+            rcfg.capacity_per_rank * black_box.config().max_ranks);
+
+  // Sticky and once-only: another evaluate() must not re-dump.
+  std::remove(box_path.c_str());
+  mon.evaluate();
+  EXPECT_TRUE(mon.gate_fired());
+  std::ifstream check(box_path);
+  EXPECT_FALSE(check.good());
+}
+
+TEST(LiveMonitor, MaintainsLiveMetricsSeries) {
+  obs::MetricsRegistry reg;
+  obs::LiveMonitorConfig lcfg;
+  lcfg.metrics = &reg;
+  obs::LiveMonitor mon(lcfg);
+  obs::EventLog log;
+  run_traced(&log, /*inject_failure=*/true);
+  log.for_each([&](const obs::Event& e) { mon.consume(e); });
+  mon.evaluate();
+
+  const auto prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# HELP pga_live_events_total"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pga_live_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pga_live_makespan_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("pga_live_anomalies{kind=\"failure\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pga_live_anomalies{kind=\"stall\"} 1"),
+            std::string::npos);
+}
+
+TEST(LiveMonitor, BoundedModeRefusesFullReportButKeepsVerdicts) {
+  obs::LiveMonitorConfig lcfg;
+  lcfg.retain_events = false;
+  obs::LiveMonitor mon(lcfg);
+  obs::EventLog log;
+  run_traced(&log, /*inject_failure=*/true);
+  log.for_each([&](const obs::Event& e) { mon.consume(e); });
+  mon.evaluate();
+  EXPECT_TRUE(mon.gate_fired());
+  EXPECT_THROW((void)mon.report(), std::logic_error);
+  // The quality/effort curves come from the streaming feeder, so bounded
+  // mode still produces them.
+  const auto qe = mon.quality_effort();
+  EXPECT_FALSE(qe.empty());
+}
+
+}  // namespace
+}  // namespace pga

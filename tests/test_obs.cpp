@@ -293,6 +293,59 @@ TEST(Metrics, HistogramRejectsUnsortedBounds) {
                std::invalid_argument);
 }
 
+TEST(Metrics, PrometheusHelpPrecedesTypeOncePerFamily) {
+  obs::MetricsRegistry registry;
+  registry.counter("jobs_total", "Jobs dispatched", {{"queue", "fast"}})
+      .inc(2);
+  registry.counter("jobs_total", "Jobs dispatched", {{"queue", "slow"}})
+      .inc(5);
+  registry.gauge("depth", "Queue depth\nsecond line \\ backslash").set(3);
+  const auto text = registry.to_prometheus();
+  // One HELP + one TYPE header for the whole family, then every series.
+  EXPECT_NE(text.find("# HELP jobs_total Jobs dispatched\n"
+                      "# TYPE jobs_total counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# HELP jobs_total"), text.rfind("# HELP jobs_total"));
+  EXPECT_EQ(text.find("# TYPE jobs_total"), text.rfind("# TYPE jobs_total"));
+  EXPECT_NE(text.find("jobs_total{queue=\"fast\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("jobs_total{queue=\"slow\"} 5\n"), std::string::npos);
+  // Help text escaping: newline -> \n, backslash -> \\ (exposition format).
+  EXPECT_NE(
+      text.find("# HELP depth Queue depth\\nsecond line \\\\ backslash\n"),
+      std::string::npos);
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("odd_total", "", {{"path", "C:\\tmp\n\"x\""}}).inc(1);
+  const auto text = registry.to_prometheus();
+  EXPECT_NE(
+      text.find("odd_total{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(Metrics, LabeledSeriesAreDistinctAndValidated) {
+  obs::MetricsRegistry registry;
+  auto& a = registry.counter("hits_total", "", {{"rank", "0"}});
+  auto& b = registry.counter("hits_total", "", {{"rank", "1"}});
+  EXPECT_NE(&a, &b);
+  a.inc(1);
+  b.inc(2);
+  // Same label set returns the same series object.
+  EXPECT_EQ(&registry.counter("hits_total", "", {{"rank", "0"}}), &a);
+  EXPECT_EQ(registry.size(), 2u);
+  // Reserved/invalid label names are rejected up front.
+  EXPECT_THROW(
+      (void)registry.histogram("h", {1.0}, "", {{"le", "oops"}}),
+      std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("c_total", "", {{"bad name", "v"}}),
+               std::invalid_argument);
+  // CSV quotes labeled metric cells (comma inside the cell).
+  const auto csv = registry.to_csv();
+  EXPECT_NE(csv.find("\"hits_total{rank=\"\"0\"\"}\",counter,1\n"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Event log + tracer
 // ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@
 #include <limits>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/parallelism.hpp"
@@ -53,8 +54,10 @@
 #include "obs/checkpoints.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
+#include "obs/live.hpp"
 #include "obs/report.hpp"
 #include "obs/speedup.hpp"
+#include "obs/stream.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
 #include "sim/cluster.hpp"
@@ -71,7 +74,9 @@ void usage(std::FILE* to) {
       "       pga_doctor profile [options] <trace.json>\n"
       "       pga_doctor speedup [--baseline base.json] [options] "
       "<trace.json>\n"
-      "       pga_doctor --gen healthy|faulty <out.json>\n"
+      "       pga_doctor watch [--interval MS] [--max-idle S] [options] "
+      "<trace.jsonl>\n"
+      "       pga_doctor --gen healthy|faulty <out.json|out.jsonl>\n"
       "\n"
       "Diagnoses a traced PGA run: anomaly detection + run report.\n"
       "Accepts pga-event-log-v1 dumps and chrome_trace.hpp exports.\n"
@@ -92,6 +97,14 @@ void usage(std::FILE* to) {
       "                     number overstates the fair median beyond\n"
       "                     --speedup-tolerance (gate it with\n"
       "                     --fail-on misleading-speedup)\n"
+      "  watch              tail a live pga-event-stream-v1 JSONL file\n"
+      "                     (obs::StreamWriter output), printing rolling\n"
+      "                     verdicts and throughput as events arrive; exits\n"
+      "                     with the same gate semantics as the post-hoc\n"
+      "                     path once the stream goes idle.  --max-idle 0\n"
+      "                     (default) = one pass over the current contents;\n"
+      "                     --max-idle S keeps following until S seconds\n"
+      "                     pass with no new events\n"
       "\n"
       "options:\n"
       "  --fail-on LIST     anomaly kinds that cause exit 1; comma-separated\n"
@@ -110,6 +123,9 @@ void usage(std::FILE* to) {
       "                        distribution (8)\n"
       "  --speedup-tolerance X  relative classical-vs-fair overstatement\n"
       "                         that counts as misleading (0.25)\n"
+      "  --interval MS      watch: poll period in milliseconds (200)\n"
+      "  --max-idle S       watch: stop after S seconds with no new events;\n"
+      "                     0 = one pass over the current file (default)\n"
       "  --report           print the full per-rank RunReport table\n"
       "  --stall-fraction X    stall horizon as a fraction of makespan "
       "(0.25)\n"
@@ -123,6 +139,9 @@ void usage(std::FILE* to) {
       "                                   (W1-shaped: worker lanes idle after\n"
       "                                   the parallel region; must pass the\n"
       "                                   stall gate)\n"
+      "                     an out path ending in .jsonl writes the demo as\n"
+      "                     a pga-event-stream-v1 stream (watch's input)\n"
+      "                     instead of a closed event-log document\n"
       "  -h, --help         this text\n"
       "\n"
       "exit codes:\n"
@@ -182,6 +201,26 @@ bool parse_fail_on(const std::string& raw, std::set<obs::AnomalyKind>* out) {
   return true;
 }
 
+[[nodiscard]] bool ends_with_jsonl(const std::string& path) {
+  return path.size() >= 6 &&
+         path.compare(path.size() - 6, 6, ".jsonl") == 0;
+}
+
+/// Dumps a demo log by extension: `.jsonl` replays the canonical event order
+/// through a StreamWriter (the format `watch` tails); anything else writes
+/// the closed pga-event-log-v1 document.
+void dump_demo_trace(const obs::EventLog& log, const std::string& path) {
+  if (!ends_with_jsonl(path)) {
+    obs::save_event_log(log, path);
+    return;
+  }
+  obs::StreamWriterConfig scfg;
+  scfg.background_flush = false;  // deterministic: one flush at close
+  obs::StreamWriter writer(path, scfg);
+  for (const auto& e : log.sorted_by_time()) writer.append(e);
+  writer.close();
+}
+
 /// Demo-trace generator: a small simulated master-slave OneMax run, healthy
 /// or with an injected node death (rank 2 at t=0.02 virtual seconds).
 int generate_demo(const std::string& mode, const std::string& path) {
@@ -222,7 +261,7 @@ int generate_demo(const std::string& mode, const std::string& path) {
     (void)run_master_slave_rank(t, problem, cfg);
   });
 
-  obs::save_event_log(log, path);
+  dump_demo_trace(log, path);
   std::printf("pga_doctor: wrote %s demo trace (%zu events) to %s\n",
               mode.c_str(), log.size(), path.c_str());
   return 0;
@@ -274,7 +313,7 @@ int generate_wallclock(const std::string& path) {
     trace.gen_stats(0, t, static_cast<std::uint64_t>(g), 64, 0.0, 0.0, 0.0);
   }
 
-  obs::save_event_log(log, path);
+  dump_demo_trace(log, path);
   std::printf(
       "pga_doctor: wrote wallclock demo trace (%zu events, %zu pool steals) "
       "to %s\n",
@@ -297,6 +336,8 @@ int main(int argc, char** argv) {
   double speedup_tolerance = 0.25;
   std::size_t num_checkpoints = 8;
   std::size_t quality_levels = 8;
+  int watch_interval_ms = 200;
+  double watch_max_idle_s = 0.0;
   obs::AnomalyConfig acfg;
 
   auto value_arg = [&](int& i, const char* flag) -> const char* {
@@ -332,6 +373,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--quality-levels") {
       quality_levels = static_cast<std::size_t>(
           std::atoi(value_arg(i, "--quality-levels")));
+    } else if (arg == "--interval") {
+      watch_interval_ms = std::atoi(value_arg(i, "--interval"));
+      if (watch_interval_ms < 1) watch_interval_ms = 1;
+    } else if (arg == "--max-idle") {
+      watch_max_idle_s = std::atof(value_arg(i, "--max-idle"));
     } else if (arg == "--stall-fraction") {
       acfg.stall_fraction = std::atof(value_arg(i, "--stall-fraction"));
     } else if (arg == "--diversity-floor") {
@@ -346,7 +392,7 @@ int main(int argc, char** argv) {
       return 2;
     } else if (subcommand.empty() && path.empty() &&
                (arg == "critical-path" || arg == "profile" ||
-                arg == "speedup")) {
+                arg == "speedup" || arg == "watch")) {
       subcommand = arg;
     } else if (path.empty()) {
       path = arg;
@@ -363,6 +409,93 @@ int main(int argc, char** argv) {
   if (gen_mode == "wallclock") return generate_wallclock(path);
   if (!gen_mode.empty()) return generate_demo(gen_mode, path);
 
+  // ---- Live stream tailing --------------------------------------------------
+  if (subcommand == "watch") {
+    obs::StreamReader reader(path);
+    obs::LiveMonitorConfig lcfg;
+    lcfg.anomaly = acfg;
+    lcfg.gated.assign(fail_on.begin(), fail_on.end());
+    obs::LiveMonitor mon(lcfg);
+
+    std::printf("pga_doctor watch: %s (interval %d ms, max idle %.3g s%s)\n",
+                path.c_str(), watch_interval_ms, watch_max_idle_s,
+                watch_max_idle_s <= 0.0 ? "; single pass" : "");
+    const double interval_s =
+        static_cast<double>(watch_interval_ms) / 1000.0;
+    double idle_s = 0.0;
+    for (;;) {
+      const std::size_t n = mon.poll(reader);
+      if (n > 0) {
+        idle_s = 0.0;
+        const auto& p = mon.progress();
+        std::size_t gated_now = 0;
+        for (const auto& a : mon.verdicts())
+          gated_now += fail_on.count(a.kind) != 0;
+        std::printf("  +%zu ev | %llu total, makespan %.6g s, best %.8g, "
+                    "%.6g evals/s | %zu verdict(s), %zu gated\n",
+                    n, static_cast<unsigned long long>(p.events), p.makespan,
+                    p.best, p.eval_throughput(), mon.verdicts().size(),
+                    gated_now);
+        std::fflush(stdout);
+      } else {
+        idle_s += interval_s;
+      }
+      if (watch_max_idle_s <= 0.0) {
+        if (n == 0) break;  // single pass: stop at the first empty poll
+      } else if (idle_s >= watch_max_idle_s) {
+        break;
+      } else if (n == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(watch_interval_ms));
+      }
+    }
+
+    const auto& verdicts = mon.evaluate();
+    const auto& rs = reader.stats();
+    if (rs.events == 0) {
+      std::fprintf(stderr,
+                   "pga_doctor: no events in stream %s (%llu parse "
+                   "errors)\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(rs.parse_errors));
+      return 2;
+    }
+    const auto& p = mon.progress();
+    std::printf("\npga_doctor watch: stream idle — %llu events (%llu parse "
+                "errors, %llu rotations%s)\n",
+                static_cast<unsigned long long>(rs.events),
+                static_cast<unsigned long long>(rs.parse_errors),
+                static_cast<unsigned long long>(rs.rotations),
+                reader.has_partial_line() ? ", half-written tail pending"
+                                          : "");
+    std::printf("  makespan %.6g s, best %.8g, eval throughput %.6g "
+                "evals/s, %llu msgs, %llu failures\n",
+                p.makespan, p.best, p.eval_throughput(),
+                static_cast<unsigned long long>(p.messages),
+                static_cast<unsigned long long>(p.failures));
+    if (full_report) std::printf("\n%s", mon.report().to_string().c_str());
+
+    if (verdicts.empty()) {
+      std::printf("\ndiagnosis: no anomalies — run looks healthy\n");
+      return 0;
+    }
+    std::printf("\ndiagnosis (%zu finding%s):\n", verdicts.size(),
+                verdicts.size() == 1 ? "" : "s");
+    int gated = 0;
+    for (const auto& a : verdicts) {
+      const bool gate = fail_on.count(a.kind) != 0;
+      gated += gate;
+      std::printf("  %s %s\n", gate ? "FAIL" : "warn", a.to_string().c_str());
+    }
+    if (gated > 0) {
+      std::printf("\n%d gated anomal%s -> exit 1\n", gated,
+                  gated == 1 ? "y" : "ies");
+      return 1;
+    }
+    std::printf("\nonly advisory findings -> exit 0\n");
+    return 0;
+  }
+
   obs::EventLog log;
   try {
     obs::load_any_trace(path, log);
@@ -373,15 +506,16 @@ int main(int argc, char** argv) {
 
   // ---- Checkpoint-fair speedup audit ----------------------------------------
   if (subcommand == "speedup") {
-    const auto qe = obs::QualityEffort::from(log.snapshot());
+    const auto qe = obs::QualityEffort::from(log);
     // Rank count from the whole trace, not just quality samples: in a
     // master-slave run only the master emits search stats but every slave
     // burns a CPU, and efficiency must be charged for all of them.
     std::size_t trace_ranks = 0;
-    for (const auto& e : log.snapshot())
+    log.for_each([&](const obs::Event& e) {
       if (e.rank >= 0)
         trace_ranks = std::max(trace_ranks,
                                static_cast<std::size_t>(e.rank) + 1);
+    });
     std::printf("pga_doctor speedup: %s — %zu events, %zu ranks (%zu with "
                 "quality samples), makespan %.6g s\n",
                 path.c_str(), log.size(), trace_ranks, qe.num_ranks(),
@@ -423,7 +557,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
       return 2;
     }
-    const auto base_qe = obs::QualityEffort::from(base_log.snapshot());
+    const auto base_qe = obs::QualityEffort::from(base_log);
     obs::SpeedupConfig scfg;
     scfg.quality_levels = quality_levels;
     scfg.ranks = trace_ranks;
