@@ -23,10 +23,19 @@
 // Cantu-Paz optimal slave count s* = sqrt(n Tf / Tc) *down* for a fixed
 // communication cost (see EXPERIMENTS.md K1).
 //
+// A third column prices the adaptive router (SoaRoute::kAuto, the default):
+// Population calibrates scalar vs batched once per (problem, dim) on the
+// first real sweep and takes the winner, so routed throughput must track
+// max(scalar, batched).  Full runs gate routed >= 0.95 x the forced-scalar
+// route (same problem object, same dispatch depth) on the sequential rows —
+// the regression the router exists to prevent is Sphere-like objectives
+// paying the transpose for nothing.
+//
 // Emits: BENCH_k1.json (pga-bench-series-v1), bench_k1_trace.json +
 // bench_k1_events.json (traced SoA exemplar; audit with pga_doctor).
 // `--smoke` shrinks the grid for CI.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -143,6 +152,7 @@ int main(int argc, char** argv) {
   bool sphere_3x = true;
   bool rastrigin_3x = true;
   bool checksums = true;
+  bool routed_ok = true;
 
   for (const char* which : {"sphere", "rastrigin"}) {
     const bool is_sphere = std::strcmp(which, "sphere") == 0;
@@ -157,7 +167,8 @@ int main(int argc, char** argv) {
       std::printf("%s dim %zu (best of %d, >= %.0f ms per pass)\n",
                   problem->name().c_str(), dim, passes, target_s * 1e3);
       bench::Table table({"pop", "threads", "scalar ev/s", "batched ev/s",
-                          "speedup", "checksum ok"});
+                          "routed ev/s", "speedup", "routed/scalar",
+                          "checksum ok"});
       for (const std::size_t pop_size : pops) {
         Rng rng(7);
         const auto bounds = problem->bounds();
@@ -165,30 +176,92 @@ int main(int argc, char** argv) {
             pop_size,
             [&](Rng& r) { return RealVector::random(bounds, r); }, rng);
         for (const std::size_t threads : thread_rows) {
-          double sum_scalar = 0.0, sum_batched = 0.0;
-          const double r_scalar =
-              measure(scalar, pop, threads, target_s, passes, &sum_scalar);
-          const double r_batched =
-              measure(*problem, pop, threads, target_s, passes, &sum_batched);
+          double sum_scalar = 0.0, sum_batched = 0.0, sum_routed = 0.0;
+          double r_scalar = 0.0, r_batched = 0.0, r_routed = 0.0;
+          // Gated rows also measure the forced-scalar route on the *same*
+          // problem object: the ScalarOnly wrapper column adds a second
+          // virtual hop, so gating routed against it conflates routing cost
+          // with dispatch depth.  routed vs forced-kScalar isolates exactly
+          // what the router adds (calibration + decision).
+          const bool gated = !smoke && threads == 0;
+          double sum_forced = 0.0;
+          double r_forced = 0.0;
+          // Interleave the three routes pass-by-pass (best-of-passes each):
+          // on a shared single-core box ambient load drifts on the ~100 ms
+          // scale, so back-to-back passes see the same noise window and the
+          // ratios below stay meaningful.  kBatched is forced explicitly —
+          // the kAuto default would hide exactly the regressions the batched
+          // column exists to price — and re-setting kAuto each pass re-runs
+          // the split-sweep calibration, whose cost is half of one sweep and
+          // therefore vanishes into the >= 50 ms pass.
+          for (int pass = 0; pass < passes; ++pass) {
+            r_scalar = std::max(
+                r_scalar,
+                measure(scalar, pop, threads, target_s, 1, &sum_scalar));
+            pop.set_soa_route(SoaRoute::kBatched);
+            r_batched = std::max(
+                r_batched,
+                measure(*problem, pop, threads, target_s, 1, &sum_batched));
+            if (gated) {
+              pop.set_soa_route(SoaRoute::kScalar);
+              r_forced = std::max(
+                  r_forced,
+                  measure(*problem, pop, threads, target_s, 1, &sum_forced));
+            }
+            // Adaptive route: one calibration per (problem, dim), then
+            // whichever path won.  Must never sit >5% below scalar — that
+            // is the whole contract of routing.
+            pop.set_soa_route(SoaRoute::kAuto);
+            r_routed = std::max(
+                r_routed,
+                measure(*problem, pop, threads, target_s, 1, &sum_routed));
+          }
+          // A gated row that still reads routed < 0.95x forced-scalar gets
+          // re-sampled: ambient load bursts on this shared box last seconds,
+          // best-of accumulation is symmetric to both sides, and each extra
+          // pass re-runs the route calibration from cold.
+          for (int extra = 0;
+               gated && extra < 3 && r_routed < 0.95 * r_forced; ++extra) {
+            pop.set_soa_route(SoaRoute::kScalar);
+            r_forced = std::max(
+                r_forced,
+                measure(*problem, pop, threads, target_s, 1, &sum_forced));
+            pop.set_soa_route(SoaRoute::kAuto);
+            r_routed = std::max(
+                r_routed,
+                measure(*problem, pop, threads, target_s, 1, &sum_routed));
+          }
           const double speedup = r_batched / r_scalar;
-          const bool ok = sum_scalar == sum_batched;
+          const double routed_ratio = r_routed / r_scalar;
+          const double gate_ratio =
+              gated ? r_routed / r_forced : routed_ratio;
+          const bool ok = sum_scalar == sum_batched &&
+                          sum_scalar == sum_routed &&
+                          (!gated || sum_scalar == sum_forced);
           table.row({bench::fmt("%zu", pop_size),
                      threads == 0 ? "seq" : bench::fmt("%zu", threads),
                      human_rate(r_scalar), human_rate(r_batched),
-                     bench::fmt("%.2f", speedup), ok ? "yes" : "NO"});
+                     human_rate(r_routed), bench::fmt("%.2f", speedup),
+                     bench::fmt("%.2f", routed_ratio), ok ? "yes" : "NO"});
           // The acceptance bound applies to the single-thread rows at
           // dim >= 30 (vector width, not core count, is what K1 prices).
           if (threads == 0 && dim >= 30 && speedup < 3.0)
             (is_sphere ? sphere_3x : rastrigin_3x) = false;
+          // Routed gate on the stable (sequential, full-length) rows only:
+          // short smoke passes and oversubscribed thread rows are too noisy
+          // to hold a 5% timing bound on shared machines.
+          if (gated && gate_ratio < 0.95) routed_ok = false;
           checksums = checksums && ok;
           series += bench::fmt(
               "%s\n    {\"problem\": \"%s\", \"dim\": %zu, \"pop\": %zu, "
               "\"threads\": %zu, \"scalar_evals_per_s\": %.1f, "
-              "\"batched_evals_per_s\": %.1f, \"speedup\": %.4f, "
-              "\"checksum_ok\": %s}",
+              "\"batched_evals_per_s\": %.1f, \"routed_evals_per_s\": %.1f, "
+              "\"speedup\": %.4f, \"routed_vs_scalar\": %.4f, "
+              "\"routed_vs_forced_scalar\": %.4f, \"checksum_ok\": %s}",
               first ? "" : ",", problem->name().c_str(), dim, pop_size,
               threads == 0 ? std::size_t{1} : threads, r_scalar, r_batched,
-              speedup, ok ? "true" : "false");
+              r_routed, speedup, routed_ratio, gate_ratio,
+              ok ? "true" : "false");
           first = false;
         }
       }
@@ -208,27 +281,61 @@ int main(int argc, char** argv) {
     Rng rng(7);
     auto pop = Population<BitString>::random(
         pop_size, [&](Rng& r) { return BitString::random(bits, r); }, rng);
-    double sum_scalar = 0.0, sum_batched = 0.0;
-    const double r_scalar =
-        measure(scalar, pop, 0, target_s, passes, &sum_scalar);
-    const double r_batched =
-        measure<BitString>(problem, pop, 0, target_s, passes, &sum_batched);
+    double sum_scalar = 0.0, sum_batched = 0.0, sum_routed = 0.0;
+    double sum_forced = 0.0;
+    double r_scalar = 0.0, r_batched = 0.0, r_routed = 0.0, r_forced = 0.0;
+    for (int pass = 0; pass < passes; ++pass) {  // interleaved, as above
+      r_scalar =
+          std::max(r_scalar, measure(scalar, pop, 0, target_s, 1, &sum_scalar));
+      pop.set_soa_route(SoaRoute::kBatched);
+      r_batched = std::max(r_batched, measure<BitString>(problem, pop, 0,
+                                                         target_s, 1,
+                                                         &sum_batched));
+      if (!smoke) {  // forced-scalar leg for the gate, as above
+        pop.set_soa_route(SoaRoute::kScalar);
+        r_forced = std::max(r_forced, measure<BitString>(problem, pop, 0,
+                                                         target_s, 1,
+                                                         &sum_forced));
+      }
+      pop.set_soa_route(SoaRoute::kAuto);
+      r_routed = std::max(r_routed, measure<BitString>(problem, pop, 0,
+                                                       target_s, 1,
+                                                       &sum_routed));
+    }
+    for (int extra = 0; !smoke && extra < 3 && r_routed < 0.95 * r_forced;
+         ++extra) {  // re-sample under ambient bursts, as above
+      pop.set_soa_route(SoaRoute::kScalar);
+      r_forced = std::max(r_forced, measure<BitString>(problem, pop, 0,
+                                                       target_s, 1,
+                                                       &sum_forced));
+      pop.set_soa_route(SoaRoute::kAuto);
+      r_routed = std::max(r_routed, measure<BitString>(problem, pop, 0,
+                                                       target_s, 1,
+                                                       &sum_routed));
+    }
+    const double routed_ratio = r_routed / r_scalar;
+    const double gate_ratio = smoke ? routed_ratio : r_routed / r_forced;
     std::printf("onemax len %zu pop %zu (seq)\n", bits, pop_size);
-    bench::Table table(
-        {"scalar ev/s", "batched ev/s", "speedup", "checksum ok"});
-    checksums = checksums && sum_scalar == sum_batched;
+    bench::Table table({"scalar ev/s", "batched ev/s", "routed ev/s",
+                        "speedup", "routed/scalar", "checksum ok"});
+    const bool ok = sum_scalar == sum_batched && sum_scalar == sum_routed &&
+                    (smoke || sum_scalar == sum_forced);
+    checksums = checksums && ok;
+    if (!smoke && gate_ratio < 0.95) routed_ok = false;
     table.row({human_rate(r_scalar), human_rate(r_batched),
-               bench::fmt("%.2f", r_batched / r_scalar),
-               sum_scalar == sum_batched ? "yes" : "NO"});
+               human_rate(r_routed), bench::fmt("%.2f", r_batched / r_scalar),
+               bench::fmt("%.2f", routed_ratio), ok ? "yes" : "NO"});
     table.print();
     std::printf("\n");
     series += bench::fmt(
         ",\n    {\"problem\": \"onemax\", \"dim\": %zu, \"pop\": %zu, "
         "\"threads\": 1, \"scalar_evals_per_s\": %.1f, "
-        "\"batched_evals_per_s\": %.1f, \"speedup\": %.4f, "
-        "\"checksum_ok\": %s}",
-        bits, pop_size, r_scalar, r_batched, r_batched / r_scalar,
-        sum_scalar == sum_batched ? "true" : "false");
+        "\"batched_evals_per_s\": %.1f, \"routed_evals_per_s\": %.1f, "
+        "\"speedup\": %.4f, \"routed_vs_scalar\": %.4f, "
+        "\"routed_vs_forced_scalar\": %.4f, \"checksum_ok\": %s}",
+        bits, pop_size, r_scalar, r_batched, r_routed,
+        r_batched / r_scalar, routed_ratio, gate_ratio,
+        ok ? "true" : "false");
   }
 
   std::printf(
@@ -243,9 +350,10 @@ int main(int argc, char** argv) {
       "  rastrigin: %s\n"
       "  sphere:    %s (expected on streaming-bound objectives; see\n"
       "             EXPERIMENTS.md K1)\n"
-      "Bit-identity (all checksums): %s\n",
+      "Bit-identity (all checksums): %s\n"
+      "Adaptive routing never >5%% below forced-scalar (seq rows): %s\n",
       rastrigin_3x ? "PASS" : "FAIL", sphere_3x ? "PASS" : "FAIL",
-      checksums ? "PASS" : "FAIL");
+      checksums ? "PASS" : "FAIL", routed_ok ? "PASS" : "FAIL");
 
   {
     std::FILE* f = std::fopen("BENCH_k1.json", "w");
@@ -258,10 +366,11 @@ int main(int argc, char** argv) {
                    "  \"acceptance_3x_dim30\": {\"rastrigin\": %s, "
                    "\"sphere\": %s},\n"
                    "  \"checksums_ok\": %s,\n"
+                   "  \"routed_within_5pct_of_scalar\": %s,\n"
                    "  \"series\": %s\n  ]\n}\n",
                    hw, kSoaLanes, rastrigin_3x ? "true" : "false",
                    sphere_3x ? "true" : "false", checksums ? "true" : "false",
-                   series.c_str());
+                   routed_ok ? "true" : "false", series.c_str());
       std::fclose(f);
       std::printf("\nSeries -> BENCH_k1.json\n");
     }
@@ -294,7 +403,9 @@ int main(int argc, char** argv) {
         "pool counters: %s%s",
         reg.to_csv().c_str(), obs::RunReport::from(log).to_string().c_str());
   }
-  // Bit-identity is the hard invariant (CI runs --smoke and gates on it);
-  // throughput ratios on shared machines are reported, not gated.
-  return checksums ? 0 : 1;
+  // Bit-identity is the hard invariant (CI runs --smoke and gates on it).
+  // The routed-vs-scalar bound is gated only in full (non-smoke) runs on the
+  // sequential rows — the one timing ratio stable enough to hold, because
+  // routing by construction picks the faster of two measured paths.
+  return (checksums && routed_ok) ? 0 : 1;
 }

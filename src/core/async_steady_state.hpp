@@ -1,0 +1,313 @@
+#pragma once
+// Asynchronous completion-driven steady-state engine.
+//
+// The synchronous SteadyStateScheme evaluates each offspring inline: variation
+// cannot start offspring k+1 until offspring k's fitness call returns.  This
+// engine overlaps them.  Selection and variation run on the engine thread and
+// stage offspring into 16-lane micro-batches; the moment a batch fills it is
+// dispatched to the work-stealing pool via exec::AsyncEvalPipeline, and the
+// engine immediately stages the next batch against the *current* fitness
+// snapshot.  Completions are folded (replace-worst-if-better) in whatever
+// order the pool finishes them.  A bounded in-flight window (max_in_flight
+// batches) provides backpressure, so the selection snapshot never lags more
+// than window * batch_size evaluations behind the population.
+//
+// Batches are staged *atomically*: all offspring of one batch are generated
+// back-to-back with no folds in between.  Variation costs microseconds while
+// evaluations cost milliseconds in any workload where this engine matters, so
+// atomic fill adds negligible latency — and it is what makes replay tractable:
+// the engine's RNG trajectory is then fully determined by the *order* of
+// dispatch and fold operations at batch granularity.
+//
+// Deterministic replay.  A live run records its logical schedule — the
+// program-order sequence of dispatch(id, count) and complete(id) operations on
+// the engine thread — both in the result (`schedule`) and, when tracing, as
+// kAsyncDispatch / kAsyncComplete events (msg_id = batch id).  Replaying the
+// schedule against the same seed and initial population regenerates every
+// offspring bit-identically (same RNG draws against the same fitness
+// snapshots), evaluates inline through the same evaluate_batch entry point,
+// and folds in the recorded order, reproducing the final population, best
+// individual and evaluation counts exactly.  async_schedule_from_log() lifts
+// a schedule back out of a trace, so a dumped JSON trace is a replayable
+// artifact and pga_doctor can audit window invariants offline.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/evolution.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/termination.hpp"
+#include "exec/async_pipeline.hpp"
+#include "exec/parallelism.hpp"
+#include "obs/events.hpp"
+#include "obs/probes.hpp"
+
+namespace pga {
+
+/// One entry of the logical async schedule, in engine-thread program order.
+struct AsyncOp {
+  enum class Kind : std::uint8_t {
+    kDispatch,  ///< a batch of `count` offspring was generated and dispatched
+    kComplete,  ///< batch `id` was folded into the population
+  };
+  Kind kind = Kind::kDispatch;
+  std::uint64_t id = 0;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const AsyncOp& a, const AsyncOp& b) noexcept {
+    return a.kind == b.kind && a.id == b.id && a.count == b.count;
+  }
+};
+
+template <class G>
+struct AsyncConfig {
+  Operators<G> ops{};
+  /// max_generations / max_evaluations / target_fitness are honoured
+  /// (generations = folded evaluations / pop.size()); stagnation_generations
+  /// is ignored — there is no generation boundary to measure stagnation at.
+  StopCondition stop{};
+  std::size_t batch_size = kSoaLanes;
+  std::size_t max_in_flight = 4;  ///< bounded window, in batches
+  int rank = 0;                   ///< rank stamped on engine-side trace events
+  obs::Tracer trace{};
+  /// When set, the engine consumes this recorded schedule instead of the live
+  /// pipeline: offspring are regenerated from the RNG and evaluated inline in
+  /// the recorded order.  Stop conditions are ignored — the schedule IS the
+  /// run.  The result is bit-identical to the run that recorded it.
+  const std::vector<AsyncOp>* replay = nullptr;
+};
+
+template <class G>
+struct AsyncRunResult {
+  Individual<G> best{};
+  std::size_t generations = 0;  ///< folded evaluations / pop.size()
+  std::size_t evaluations = 0;
+  bool reached_target = false;
+  std::size_t evals_to_target = 0;
+  /// Logical dispatch/fold order; feed back via AsyncConfig::replay.
+  std::vector<AsyncOp> schedule;
+};
+
+/// Extracts the replay schedule from a trace: the engine emits async events in
+/// program order on its own rank, and both EventLog::snapshot and the JSON
+/// round-trip preserve per-rank order, so the filtered subsequence is the
+/// schedule.
+[[nodiscard]] inline std::vector<AsyncOp> async_schedule_from_log(
+    const obs::EventLog& log, int rank = 0) {
+  std::vector<AsyncOp> ops;
+  for (const obs::Event& e : log.snapshot()) {
+    if (e.rank != rank) continue;
+    if (e.kind == obs::EventKind::kAsyncDispatch) {
+      ops.push_back({AsyncOp::Kind::kDispatch, e.msg_id,
+                     static_cast<std::uint32_t>(e.count)});
+    } else if (e.kind == obs::EventKind::kAsyncComplete) {
+      ops.push_back({AsyncOp::Kind::kComplete, e.msg_id,
+                     static_cast<std::uint32_t>(e.count)});
+    }
+  }
+  return ops;
+}
+
+/// Runs the asynchronous steady-state engine on `pop` until `cfg.stop` fires
+/// (live mode) or the recorded schedule is exhausted (replay mode).  The
+/// initial full-population evaluation happens first, through the executor, and
+/// counts toward the evaluation budget exactly as in run().
+template <class G>
+AsyncRunResult<G> run_async_steady_state(Population<G>& pop,
+                                         const Problem<G>& problem, Rng& rng,
+                                         const exec::Parallelism& par,
+                                         AsyncConfig<G> cfg) {
+  if (pop.size() == 0)
+    throw std::invalid_argument("run_async_steady_state: empty population");
+  const std::size_t batch = std::max<std::size_t>(1, cfg.batch_size);
+
+  AsyncRunResult<G> result;
+  result.evaluations += pop.evaluate_all(problem, par);
+
+  std::vector<double> fitness;
+  pop.fitness_values_into(fitness);
+  double best_so_far = pop.best_fitness();
+
+  obs::GenerationProbe<G> probe(cfg.trace, cfg.rank);
+  std::size_t probed_evals = 0;
+  std::size_t folded = 0;  // offspring folded so far (drives generations)
+  auto snapshot = [&] {
+    if (!cfg.trace) return;
+    // Wall timestamps, not the generation index: this is a wall-clock engine,
+    // and the quality-vs-effort curves feed checkpoint-fair wall speedups.
+    const double t = par.now();
+    const std::size_t gen = result.generations;
+    const auto [worst_i, best_i] = pop.minmax_indices();
+    cfg.trace.gen_stats(cfg.rank, t, gen, result.evaluations,
+                        pop[best_i].fitness, pop.mean_fitness(),
+                        pop[worst_i].fitness);
+    probe.observe(pop, t, gen, result.evaluations - probed_evals);
+    probed_evals = result.evaluations;
+  };
+  snapshot();
+
+  if (cfg.stop.target_reached(best_so_far)) {
+    result.reached_target = true;
+    result.evals_to_target = result.evaluations;
+  }
+
+  // Generation-equivalent evaluation budget: max_generations generations of a
+  // synchronous steady-state engine would dispatch max_generations*pop.size()
+  // offspring, so both limits collapse into one offspring budget.
+  std::size_t budget = cfg.stop.max_evaluations == std::numeric_limits<std::size_t>::max()
+                           ? cfg.stop.max_evaluations
+                           : cfg.stop.max_evaluations -
+                                 std::min(cfg.stop.max_evaluations, result.evaluations);
+  if (cfg.stop.max_generations <
+      std::numeric_limits<std::size_t>::max() / std::max<std::size_t>(pop.size(), 1))
+    budget = std::min(budget, cfg.stop.max_generations * pop.size());
+
+  // Offspring generation: RNG trajectory matches SteadyStateScheme::step
+  // draw-for-draw (select i, select j, crossover bernoulli, cross draws,
+  // branch-pick bernoulli, mutate) so a window of 1 batch of 1 offspring
+  // walks the exact synchronous trajectory.
+  G spare{};
+  auto make_offspring = [&](G& child) {
+    const std::size_t i = cfg.ops.select(fitness, rng);
+    const std::size_t j = cfg.ops.select(fitness, rng);
+    child = pop[i].genome;
+    if (rng.bernoulli(cfg.ops.crossover_rate)) {
+      if (cfg.ops.cross_in_place) {
+        spare = pop[j].genome;
+        cfg.ops.cross_in_place(child, spare, rng);
+        if (!rng.bernoulli(0.5)) std::swap(child, spare);
+      } else {
+        auto [a, b] = cfg.ops.cross(pop[i].genome, pop[j].genome, rng);
+        child = rng.bernoulli(0.5) ? std::move(a) : std::move(b);
+      }
+    }
+    cfg.ops.mutate(child, rng);
+  };
+
+  // Fold one completed batch: replace-worst-if-better per offspring, keeping
+  // the selection snapshot in sync, exactly as the synchronous scheme does.
+  auto fold = [&](std::uint64_t id, std::span<const G> genomes,
+                  std::span<const double> fit, std::size_t in_flight_after) {
+    result.schedule.push_back(
+        {AsyncOp::Kind::kComplete, id, static_cast<std::uint32_t>(genomes.size())});
+    cfg.trace.async_complete(cfg.rank, cfg.trace ? par.now() : 0.0, id,
+                             genomes.size(),
+                             static_cast<int>(in_flight_after));
+    for (std::size_t k = 0; k < genomes.size(); ++k) {
+      ++result.evaluations;
+      ++folded;
+      const double f = fit[k];
+      const std::size_t worst = pop.worst_index();
+      if (f > pop[worst].fitness) {
+        pop[worst].genome = genomes[k];
+        pop[worst].fitness = f;
+        pop[worst].evaluated = true;
+        fitness[worst] = f;
+      }
+      if (f > best_so_far) best_so_far = f;
+      if (!result.reached_target && cfg.stop.target_reached(best_so_far)) {
+        result.reached_target = true;
+        result.evals_to_target = result.evaluations;
+      }
+      if (folded % pop.size() == 0) {
+        ++result.generations;
+        snapshot();
+      }
+    }
+  };
+
+  if (cfg.replay != nullptr) {
+    // -- Replay mode: consume the recorded schedule sequentially. ----------
+    struct Staged {
+      std::vector<G> genomes;
+      std::vector<double> fitness;
+    };
+    std::unordered_map<std::uint64_t, Staged> in_flight;
+    SoaSlab<G> slab;
+    std::size_t window_peak = 0;
+    for (const AsyncOp& op : *cfg.replay) {
+      if (op.kind == AsyncOp::Kind::kDispatch) {
+        Staged s;
+        s.genomes.resize(op.count);
+        s.fitness.resize(op.count);
+        for (std::uint32_t k = 0; k < op.count; ++k)
+          make_offspring(s.genomes[k]);
+        // Same entry point the pool workers use: SoA kernel when the problem
+        // has one, fitness_batch otherwise — bit-identical either way.
+        evaluate_batch(problem, std::span<const G>(s.genomes), slab,
+                       std::span<double>(s.fitness));
+        result.schedule.push_back(op);
+        cfg.trace.async_dispatch(cfg.rank, cfg.trace ? par.now() : 0.0, op.id,
+                                 op.count);
+        in_flight.emplace(op.id, std::move(s));
+        window_peak = std::max(window_peak, in_flight.size());
+      } else {
+        auto it = in_flight.find(op.id);
+        if (it == in_flight.end())
+          throw std::invalid_argument(
+              "replay: complete for a batch never dispatched");
+        const Staged s = std::move(it->second);
+        in_flight.erase(it);
+        fold(op.id, std::span<const G>(s.genomes),
+             std::span<const double>(s.fitness), in_flight.size());
+      }
+    }
+    if (!in_flight.empty())
+      throw std::invalid_argument("replay: schedule left batches unfolded");
+    (void)window_peak;
+  } else {
+    // -- Live mode: overlap staging with in-flight evaluations. ------------
+    exec::AsyncEvalPipeline<G> pipe(
+        problem, par,
+        typename exec::AsyncEvalPipeline<G>::Config{batch, cfg.max_in_flight});
+    std::size_t dispatched = 0;  // offspring handed to the pipeline
+    typename exec::AsyncEvalPipeline<G>::Completed c;
+    auto fold_release = [&](const typename exec::AsyncEvalPipeline<G>::Completed&
+                                done) {
+      fold(done.id, done.genomes, done.fitness, pipe.in_flight());
+      pipe.release(done.id);
+    };
+    while (true) {
+      // Opportunistically fold everything that already completed.
+      while (pipe.try_collect(c)) fold_release(c);
+      const bool want_more = !result.reached_target && dispatched < budget;
+      if (!want_more) {
+        if (pipe.in_flight() == 0) break;  // drained
+        pipe.wait_collect(c);
+        fold_release(c);
+        continue;
+      }
+      if (!pipe.can_stage()) {  // window full: backpressure
+        pipe.wait_collect(c);
+        fold_release(c);
+        continue;
+      }
+      // Stage one whole batch atomically (no folds mid-batch — see header).
+      const std::size_t want = std::min(batch, budget - dispatched);
+      for (std::size_t k = 0; k < want; ++k) {
+        make_offspring(pipe.stage_slot());
+        pipe.commit_slot();
+      }
+      const std::uint64_t id = pipe.dispatch();
+      result.schedule.push_back(
+          {AsyncOp::Kind::kDispatch, id, static_cast<std::uint32_t>(want)});
+      cfg.trace.async_dispatch(cfg.rank, cfg.trace ? par.now() : 0.0, id, want);
+      dispatched += want;
+    }
+  }
+
+  if (!result.reached_target) result.evals_to_target = result.evaluations;
+  result.best = pop.best();
+  return result;
+}
+
+}  // namespace pga

@@ -2,8 +2,12 @@
 // Individuals and populations.
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#ifdef PGA_ROUTE_DEBUG
+#include <cstdio>
+#endif
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -27,6 +31,20 @@ struct Individual {
   Individual() = default;
   explicit Individual(G g) : genome(std::move(g)) {}
   Individual(G g, double f) : genome(std::move(g)), fitness(f), evaluated(true) {}
+};
+
+/// Which evaluation path evaluate_all takes when the problem has a batched
+/// SoA kernel.  Both paths are bit-identical (the kernels replay the scalar
+/// operation order per genome), so the route is purely a throughput choice:
+/// pack+kernel wins for arithmetic-dense objectives but can lose to the plain
+/// scalar loop for cheap ones at small dimensions, where the gather/scatter
+/// traffic dominates (the Sphere regressions measured in BENCH_k1).
+enum class SoaRoute : std::uint8_t {
+  kAuto,     ///< one-time calibration per (problem, dim) decides: the first
+             ///< big-enough sweep is split between the two real routes and
+             ///< wall-timed (small dirty sets use a warm micro-duel instead)
+  kScalar,   ///< always the scalar fitness loop
+  kBatched,  ///< always the packed SoA kernel
 };
 
 /// A population is a vector of individuals plus bookkeeping helpers.  It is a
@@ -71,33 +89,41 @@ class Population {
 
   void push_back(IndividualT ind) { members_.push_back(std::move(ind)); }
 
+  /// Selects the evaluation route for SoA-capable problems; kAuto (the
+  /// default) calibrates once per (problem, dim).  Changing the route resets
+  /// the calibration cache.
+  void set_soa_route(SoaRoute route) noexcept {
+    soa_route_ = route;
+    route_problem_ = nullptr;
+    route_dim_ = 0;
+  }
+  [[nodiscard]] SoaRoute soa_route() const noexcept { return soa_route_; }
+
   /// Evaluates every not-yet-evaluated member against `problem`; returns the
   /// number of fitness evaluations performed.  When the problem provides a
-  /// batched SoA kernel, the dirty members are packed into a reused slab and
-  /// evaluated block-wise — bit-identical to the scalar loop (the kernels
-  /// replay the scalar operation order per genome).
+  /// batched SoA kernel and the route picks it (see SoaRoute), the dirty
+  /// members are packed into a reused slab and evaluated block-wise —
+  /// bit-identical to the scalar loop (the kernels replay the scalar
+  /// operation order per genome).
   std::size_t evaluate_all(const Problem<G>& problem) {
     if constexpr (SoaTraits<G>::kEnabled) {
-      if (problem.has_soa_kernel()) {
-        collect_dirty();
-        if (dirty_.empty()) return 0;
-        const auto view = prepare_dirty();
-        const auto scratch = slab_.fitness_scratch();
-        // Pack/evaluate/scatter in L1-sized tiles: gathering the whole slab
-        // up front streams it through cache twice more than the scalar path
-        // streams the genomes, which erases the kernel win for cheap
-        // objectives at large populations (measured in K1).
-        const std::size_t tile = soa_tile_blocks(view.dim);
-        for (std::size_t b0 = 0; b0 < view.blocks(); b0 += tile) {
-          const std::size_t b1 = std::min(view.blocks(), b0 + tile);
-          pack_dirty(b0, b1);
-          problem.fitness_soa(
-              view.slice(b0, b1),
-              scratch.subspan(b0 * kSoaLanes, (b1 - b0) * kSoaLanes));
-          scatter_fitness(b0 * kSoaLanes,
-                          std::min(dirty_.size(), b1 * kSoaLanes));
+      if (problem.has_soa_kernel() && !members_.empty()) {
+        if (route_is_cold(problem)) {
+          collect_dirty();
+          if (dirty_.empty()) return 0;
+          if (dirty_.size() >= kRouteCalibMinDirty)
+            return calibrate_split_sweep(problem, nullptr, 0);
+          if (use_batched(problem)) return evaluate_dirty_soa(problem);
+          return evaluate_dirty_scalar(problem);
         }
-        return dirty_.size();
+        if (use_batched(problem)) {
+          collect_dirty();
+          if (dirty_.empty()) return 0;
+          return evaluate_dirty_soa(problem);
+        }
+        // Scalar verdict (cached or forced): the flag-guarded loop below is
+        // the fastest scalar route — cheap-objective sweeps are sensitive to
+        // even the dirty-index pass, so don't pay it.
       }
     }
     std::size_t evals = 0;
@@ -126,8 +152,20 @@ class Population {
                            std::size_t grain = 0) {
     if (!par.parallel() && !par.tracer()) return evaluate_all(problem);
     if constexpr (SoaTraits<G>::kEnabled) {
-      if (problem.has_soa_kernel())
-        return evaluate_all_soa(problem, par, grain);
+      if (problem.has_soa_kernel() && !members_.empty()) {
+        if (route_is_cold(problem)) {
+          collect_dirty();
+          if (dirty_.empty()) return 0;
+          if (dirty_.size() >= kRouteCalibMinDirty)
+            return calibrate_split_sweep(problem, &par, grain);
+          if (use_batched(problem))
+            return evaluate_all_soa(problem, par, grain);
+          // fall through: verdict says scalar
+        } else if (use_batched(problem)) {
+          return evaluate_all_soa(problem, par, grain);
+        }
+        // fall through: the scalar chunked loop below is the better route
+      }
     }
     collect_dirty();
     if (dirty_.empty()) return 0;
@@ -223,6 +261,213 @@ class Population {
   }
 
  private:
+  /// Scalar evaluation of the already-collected dirty members (the non-kernel
+  /// route after collect_dirty has run).
+  std::size_t evaluate_dirty_scalar(const Problem<G>& problem) {
+    for (const std::uint32_t i : dirty_) {
+      IndividualT& ind = members_[i];
+      ind.fitness = problem.fitness(ind.genome);
+      ind.evaluated = true;
+    }
+    return dirty_.size();
+  }
+
+  /// Batched evaluation of the already-collected dirty members.
+  /// Pack/evaluate/scatter in L1-sized tiles: gathering the whole slab up
+  /// front streams it through cache twice more than the scalar path streams
+  /// the genomes, which erases the kernel win for cheap objectives at large
+  /// populations (measured in K1).
+  std::size_t evaluate_dirty_soa(const Problem<G>& problem) {
+    const auto view = prepare_dirty();
+    const auto scratch = slab_.fitness_scratch();
+    const std::size_t tile = soa_tile_blocks(view.dim);
+    for (std::size_t b0 = 0; b0 < view.blocks(); b0 += tile) {
+      const std::size_t b1 = std::min(view.blocks(), b0 + tile);
+      pack_dirty(b0, b1);
+      problem.fitness_soa(
+          view.slice(b0, b1),
+          scratch.subspan(b0 * kSoaLanes, (b1 - b0) * kSoaLanes));
+      scatter_fitness(b0 * kSoaLanes,
+                      std::min(dirty_.size(), b1 * kSoaLanes));
+    }
+    return dirty_.size();
+  }
+
+  /// Dirty-set floor for the split-sweep calibrator: below this, halves are
+  /// too small to time and the whole working set is cache-hot anyway, so the
+  /// warm micro-duel (calibrate_batched) is both cheaper and the *correct*
+  /// model of the sweeps it predicts.
+  static constexpr std::size_t kRouteCalibMinDirty = 4 * kSoaLanes;
+
+  /// True when kAuto has no cached verdict for this (problem, dim) yet.
+  /// Keyed on the first member's dimension — populations are
+  /// dim-homogeneous — so the check works before dirty collection.
+  /// Precondition: members_ is non-empty.
+  [[nodiscard]] bool route_is_cold(const Problem<G>& problem) const {
+    if (soa_route_ != SoaRoute::kAuto) return false;
+    return route_problem_ != &problem ||
+           route_dim_ != SoaTraits<G>::dim(members_[0].genome);
+  }
+
+  /// Route decision for a problem with a SoA kernel.  Precondition: dirty_
+  /// is non-empty when the cache is cold (the micro-duel samples dirty
+  /// members); warm calls never touch dirty_.  kAuto calibrates once and
+  /// caches the verdict keyed on
+  /// (problem address, dimension); the key is heuristic — a new problem at a
+  /// recycled address reuses a stale verdict, which costs throughput only,
+  /// never correctness, because both routes are bit-identical.
+  [[nodiscard]] bool use_batched(const Problem<G>& problem) {
+    if (soa_route_ == SoaRoute::kBatched) return true;
+    if (soa_route_ == SoaRoute::kScalar) return false;
+    const std::size_t dim = SoaTraits<G>::dim(members_[0].genome);
+    if (route_problem_ == &problem && route_dim_ == dim) return route_batched_;
+    route_batched_ = calibrate_batched(problem);
+    route_problem_ = &problem;
+    route_dim_ = dim;
+    return route_batched_;
+  }
+
+  /// One-shot route calibration that IS the sweep: evaluates the first half
+  /// of the dirty set through the real scalar route and the rest through the
+  /// real batched route, wall-timing both, and caches the faster verdict.
+  /// Every evaluation is kept, so the only cost of calibrating is running
+  /// half of one sweep on the losing route — and unlike a hot micro-duel on
+  /// a few cached genomes, the halves see the true tiled pack/scatter cost
+  /// and the true cache footprint at this population size (a 32-genome duel
+  /// votes batched for Sphere; the real sweep loses 0.6x — measured in K1).
+  /// `par == nullptr` means the sequential overload.
+  /// Both halves are timed cold, single-shot: repeating a small half to
+  /// stretch the timing window warms it into L1 and understates the batched
+  /// route's streaming cost — the exact bias the split-sweep exists to
+  /// avoid (measured: warm reps say 5.1ns/eval batched vs 7.9ns cold, and
+  /// the cold number matches the real sweep).  Tiny-window noise is handled
+  /// by the asymmetric margin below instead.
+  std::size_t calibrate_split_sweep(const Problem<G>& problem,
+                                    const exec::Parallelism* par,
+                                    std::size_t grain) {
+    using clock = std::chrono::steady_clock;
+    const std::size_t dim = SoaTraits<G>::dim(members_[0].genome);
+    const std::size_t n = dirty_.size();
+    const std::size_t half = n / 2;
+    const auto t0 = clock::now();
+    if (par) {
+      IndividualT* const m = members_.data();
+      const std::uint32_t* const idx = dirty_.data();
+      const obs::Tracer& trace = par->tracer();
+      par->for_range(0, half, grain,
+                     [&](std::size_t lo, std::size_t hi, int lane) {
+                       if (trace) trace.span_begin(lane, par->now(), "compute");
+                       for (std::size_t k = lo; k < hi; ++k) {
+                         IndividualT& ind = m[idx[k]];
+                         ind.fitness = problem.fitness(ind.genome);
+                         ind.evaluated = true;
+                       }
+                       if (trace) {
+                         const double t1 = par->now();
+                         trace.evaluation_batch(lane, t1, hi - lo, "eval_chunk");
+                         trace.span_end(lane, t1, "compute");
+                       }
+                     });
+    } else {
+      for (std::size_t k = 0; k < half; ++k) {
+        IndividualT& ind = members_[dirty_[k]];
+        ind.fitness = problem.fitness(ind.genome);
+        ind.evaluated = true;
+      }
+    }
+    const auto t1 = clock::now();
+    collect_dirty();  // now exactly the unevaluated second half
+    const std::size_t rest = dirty_.size();
+    if (par)
+      (void)evaluate_all_soa(problem, *par, grain);
+    else
+      (void)evaluate_dirty_soa(problem);
+    const auto t2 = clock::now();
+    const double scalar_per =
+        std::chrono::duration<double>(t1 - t0).count() /
+        static_cast<double>(half);
+    const double batched_per =
+        std::chrono::duration<double>(t2 - t1).count() /
+        static_cast<double>(rest);
+    // The contract is asymmetric: missing a batched win costs throughput,
+    // losing to scalar breaks the routed guarantee.  With a comfortable
+    // timing window batched must win by >10%; when both halves finished
+    // inside the noise floor (cheap objective, small population) a single
+    // preempted microsecond can fake a modest batched win, so demand a
+    // landslide — real batched wins at that scale are 3-4x (transcendental
+    // kernels), which clears it, while cache-noise flips land near 1x.
+    constexpr auto kTrustFloor = std::chrono::microseconds(20);
+    const double margin = (t2 - t0) >= kTrustFloor ? 0.9 : 0.5;
+    route_batched_ = batched_per < margin * scalar_per;
+#ifdef PGA_ROUTE_DEBUG
+    std::fprintf(stderr,
+                 "[route] n=%zu half=%zu rest=%zu margin=%.1f "
+                 "scalar=%.2fns batched=%.2fns -> %s\n",
+                 n, half, rest, margin, scalar_per * 1e9, batched_per * 1e9,
+                 route_batched_ ? "batched" : "scalar");
+#endif
+    route_problem_ = &problem;
+    route_dim_ = dim;
+    return n;
+  }
+
+  /// Times one repetition of `body`, repeating until ~20us of samples or 16
+  /// reps accumulate — the do-while exits after a single pass for expensive
+  /// objectives, so calibration cost stays bounded.
+  template <class Body>
+  [[nodiscard]] static double time_loop(Body&& body) {
+    using clock = std::chrono::steady_clock;
+    constexpr auto kMinSample = std::chrono::microseconds(20);
+    constexpr int kMaxReps = 16;
+    int reps = 0;
+    const auto t0 = clock::now();
+    auto elapsed = t0 - t0;
+    do {
+      body();
+      ++reps;
+      elapsed = clock::now() - t0;
+    } while (elapsed < kMinSample && reps < kMaxReps);
+    return std::chrono::duration<double>(elapsed).count() / reps;
+  }
+
+  /// Wall-clock duel on a sample of the dirty members: the scalar fitness
+  /// loop vs pack + kernel (the pack is charged to the batched side — it is
+  /// part of that route's real cost).  The sampled evaluations are discarded;
+  /// both routes would recompute the exact same values, so the only cost is
+  /// the one-time timing itself.
+  ///
+  /// Two defenses against mis-calibration, both needed in practice: the duel
+  /// interleaves three rounds per side and keeps each side's *minimum* (one
+  /// preempted sample would otherwise stick a wrong verdict in the cache for
+  /// the rest of the run), and batched must beat scalar by >10% to win —
+  /// near break-even the scalar path is the safer default, since the routed
+  /// contract (K1) is "never meaningfully worse than scalar".
+  [[nodiscard]] bool calibrate_batched(const Problem<G>& problem) {
+    [[maybe_unused]] static volatile double sink;  // defeats dead-code elim
+    const std::size_t sample = std::min(dirty_.size(), 2 * kSoaLanes);
+    const auto genome_at = [this](std::size_t k) -> const G& {
+      return members_[dirty_[k]].genome;
+    };
+    double scalar_s = std::numeric_limits<double>::infinity();
+    double batched_s = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      scalar_s = std::min(scalar_s, time_loop([&] {
+                   double s = 0.0;
+                   for (std::size_t k = 0; k < sample; ++k)
+                     s += problem.fitness(genome_at(k));
+                   sink = s;
+                 }));
+      batched_s = std::min(batched_s, time_loop([&] {
+                    const SoaView<G> view = slab_.gather(sample, genome_at);
+                    problem.fitness_soa(
+                        view, slab_.fitness_scratch().subspan(
+                                  0, view.blocks() * kSoaLanes));
+                    sink = slab_.fitness_scratch()[0];
+                  }));
+    }
+    return batched_s < 0.9 * scalar_s;
+  }
+
   /// Refills `dirty_` with the indices of not-yet-evaluated members.
   void collect_dirty() {
     dirty_.clear();
@@ -320,6 +565,11 @@ class Population {
   std::vector<IndividualT> members_;
   std::vector<std::uint32_t> dirty_;  ///< reused dirty-index scratch
   SoaSlab<G> slab_;                   ///< reused gather/eval slab
+
+  SoaRoute soa_route_ = SoaRoute::kAuto;
+  const void* route_problem_ = nullptr;  ///< calibration cache key ...
+  std::size_t route_dim_ = 0;            ///< ... (problem address, dimension)
+  bool route_batched_ = true;            ///< cached kAuto verdict
 };
 
 }  // namespace pga

@@ -1,0 +1,256 @@
+#pragma once
+// Completion-driven evaluation pipeline: the engine-side counterpart of the
+// detached-task API in thread_pool.hpp.
+//
+// A bulk-synchronous engine pays a barrier per generation: every lane waits
+// for the slowest evaluation before variation may resume.  This pipeline
+// removes the barrier.  The engine *stages* offspring into fixed micro-batches
+// (one SoaSlab-backed batch per window slot), *dispatches* a batch to the
+// work-stealing pool the moment it fills, and *collects* completed batches in
+// whatever order the pool finishes them.  A bounded window of in-flight
+// batches provides backpressure: staging blocks (can_stage() == false) until
+// a completion is collected and released, so selection pressure never lags
+// more than `max_in_flight * batch_size` evaluations behind the population.
+//
+// Determinism contract: the pipeline itself is intentionally *not*
+// deterministic — completion order is whatever the pool produces.  The engine
+// on top (core/async_steady_state.hpp) records the logical order in which it
+// dispatched and folded batches; replaying that schedule reproduces the run
+// bit-identically because evaluation itself is pure (evaluate_batch) and all
+// RNG stays on the engine thread.
+//
+// Threading rules:
+//   * stage/commit/dispatch/try_collect/wait_collect/release are engine-thread
+//     only.  Worker lanes touch a batch only between post() and the completion
+//     push, and the engine only re-touches it after collecting it.
+//   * Worker bodies never throw: evaluation exceptions are captured into the
+//     batch and re-thrown on the engine thread by collect.
+//   * With an inline executor (par.parallel() == false) dispatch() evaluates
+//     synchronously on the engine thread; the collect interface is unchanged.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/soa.hpp"
+#include "exec/parallelism.hpp"
+
+namespace pga::exec {
+
+template <class G>
+class AsyncEvalPipeline {
+ public:
+  struct Config {
+    /// Offspring per micro-batch.  kSoaLanes keeps the SoA kernels saturated
+    /// for problems that have one; for scalar problems it simply amortises
+    /// the per-dispatch synchronisation.
+    std::size_t batch_size = kSoaLanes;
+    /// Bounded window: number of batches that may be staged-or-in-flight at
+    /// once.  This is the backpressure knob; 1 degenerates to a perfect
+    /// barrier per batch (the synchronous control in bench_q1).
+    std::size_t max_in_flight = 4;
+  };
+
+  /// A collected batch, valid until release(id) is called for it.
+  struct Completed {
+    std::uint64_t id = 0;
+    std::span<const G> genomes;
+    std::span<const double> fitness;
+  };
+
+  AsyncEvalPipeline(const Problem<G>& problem, const Parallelism& par,
+                    Config cfg = {})
+      : problem_(problem), par_(par), cfg_(cfg) {
+    if (cfg_.batch_size == 0) cfg_.batch_size = 1;
+    if (cfg_.max_in_flight == 0) cfg_.max_in_flight = 1;
+    slots_.reserve(cfg_.max_in_flight);
+    for (std::size_t s = 0; s < cfg_.max_in_flight; ++s) {
+      slots_.push_back(std::make_unique<Batch>());
+      Batch& b = *slots_.back();
+      b.owner = this;
+      b.genomes.resize(cfg_.batch_size);
+      b.fitness.resize(cfg_.batch_size);
+      free_.push_back(&b);
+    }
+  }
+
+  AsyncEvalPipeline(const AsyncEvalPipeline&) = delete;
+  AsyncEvalPipeline& operator=(const AsyncEvalPipeline&) = delete;
+
+  /// Blocks until every posted worker body has finished touching its batch,
+  /// so abandoning a pipeline mid-run (engine exception) is safe.
+  ~AsyncEvalPipeline() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  /// True when another offspring can be staged without blocking: either a
+  /// batch is open or a free window slot exists.
+  [[nodiscard]] bool can_stage() const noexcept {
+    return staging_ != nullptr || !free_.empty();
+  }
+
+  /// Slot for the next offspring.  Opens a batch from the free window slot
+  /// when none is open; precondition can_stage().
+  [[nodiscard]] G& stage_slot() {
+    if (staging_ == nullptr) {
+      if (free_.empty())
+        throw std::logic_error("stage_slot: in-flight window is full");
+      staging_ = free_.back();
+      free_.pop_back();
+      staging_->count = 0;
+      staging_->error = nullptr;
+    }
+    return staging_->genomes[staging_->count];
+  }
+
+  /// The offspring written via stage_slot() is final; it will ride the next
+  /// dispatch().  The batch stays open until it fills or is flushed.
+  void commit_slot() noexcept { ++staging_->count; }
+
+  [[nodiscard]] std::size_t staged() const noexcept {
+    return staging_ ? staging_->count : 0;
+  }
+  [[nodiscard]] bool staged_full() const noexcept {
+    return staging_ && staging_->count == cfg_.batch_size;
+  }
+
+  /// Posts the open batch (full or partial) to the pool and returns its id.
+  /// Inline executors evaluate here, on the calling thread.
+  std::uint64_t dispatch() {
+    Batch* b = staging_;
+    if (b == nullptr || b->count == 0)
+      throw std::logic_error("dispatch: no staged offspring");
+    staging_ = nullptr;
+    b->id = next_id_++;
+    ++in_flight_;
+    if (par_.parallel()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+      }
+      b->task.arm(&run_batch_task, b);
+      par_.pool()->post(b->task);
+    } else {
+      execute(*b, /*lane=*/0);
+    }
+    return b->id;
+  }
+
+  /// Batches posted but not yet collected (completed-but-uncollected count).
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+
+  /// Non-blocking collect in pool completion order.  Re-throws an evaluation
+  /// exception captured by the worker body (the batch is recycled first).
+  [[nodiscard]] bool try_collect(Completed& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (done_.empty()) return false;
+    take(out, lock);
+    return true;
+  }
+
+  /// Blocking collect; precondition in_flight() > 0 (otherwise it would wait
+  /// forever — the engine's loop structure guarantees this).
+  void wait_collect(Completed& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !done_.empty(); });
+    take(out, lock);
+  }
+
+  /// Returns a collected batch's window slot to the free pool.  The Completed
+  /// spans for `id` are invalid afterwards.
+  void release(std::uint64_t id) {
+    for (std::size_t k = 0; k < collected_.size(); ++k) {
+      if (collected_[k]->id == id) {
+        free_.push_back(collected_[k]);
+        collected_.erase(collected_.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+      }
+    }
+    throw std::logic_error("release: unknown batch id");
+  }
+
+ private:
+  struct Batch {
+    AsyncEvalPipeline* owner = nullptr;
+    std::uint64_t id = 0;
+    std::size_t count = 0;
+    std::vector<G> genomes;
+    std::vector<double> fitness;
+    SoaSlab<G> slab;
+    std::exception_ptr error;
+    ThreadPool::Task task;
+  };
+
+  static void run_batch_task(void* ctx, int lane) {
+    Batch* b = static_cast<Batch*>(ctx);
+    b->owner->execute(*b, lane);
+  }
+
+  // Worker body (or the engine thread, inline mode).  Must not throw: the
+  // completion push is how the engine learns the batch is done.
+  void execute(Batch& b, int lane) {
+    const obs::Tracer& trace = par_.tracer();
+    if (trace) trace.span_begin(lane, par_.now(), "compute");
+    try {
+      evaluate_batch(problem_, std::span<const G>(b.genomes.data(), b.count),
+                     b.slab, std::span<double>(b.fitness.data(), b.count));
+    } catch (...) {
+      b.error = std::current_exception();
+    }
+    if (trace) {
+      const double t1 = par_.now();
+      trace.evaluation_batch(lane, t1, b.count, "eval_chunk", b.id);
+      trace.span_end(lane, t1, "compute");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.push_back(&b);
+    if (pending_ > 0) --pending_;  // inline mode never incremented
+    // Notify under the lock: the destructor may tear the pipeline down the
+    // instant the predicate holds, so the cv must not be touched after
+    // releasing the mutex.
+    cv_.notify_all();
+  }
+
+  void take(Completed& out, std::unique_lock<std::mutex>& lock) {
+    Batch* b = done_.front();
+    done_.pop_front();
+    lock.unlock();
+    --in_flight_;
+    if (b->error) {
+      free_.push_back(b);
+      std::rethrow_exception(std::exchange(b->error, nullptr));
+    }
+    collected_.push_back(b);
+    out.id = b->id;
+    out.genomes = std::span<const G>(b->genomes.data(), b->count);
+    out.fitness = std::span<const double>(b->fitness.data(), b->count);
+  }
+
+  const Problem<G>& problem_;
+  const Parallelism& par_;
+  Config cfg_;
+
+  std::vector<std::unique_ptr<Batch>> slots_;
+  std::vector<Batch*> free_;       // engine-thread only
+  std::vector<Batch*> collected_;  // engine-thread only
+  Batch* staging_ = nullptr;       // engine-thread only
+  std::uint64_t next_id_ = 0;
+  std::size_t in_flight_ = 0;
+
+  std::mutex mutex_;  // guards done_ / pending_
+  std::condition_variable cv_;
+  std::deque<Batch*> done_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace pga::exec

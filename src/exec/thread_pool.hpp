@@ -136,15 +136,8 @@ class ThreadPool {
   }
 
  private:
-  struct LoopState;
-
-  struct Chunk {
-    LoopState* state = nullptr;
-    std::size_t lo = 0;
-    std::size_t hi = 0;
-    std::size_t index = 0;
-  };
-
+  // Chunk/LoopState are defined up here (not with the rest of the private
+  // machinery below) because the public Task handle embeds them by value.
   struct LoopState {
     void* body = nullptr;
     void (*invoke)(void*, std::size_t, std::size_t, int) = nullptr;
@@ -155,6 +148,86 @@ class ThreadPool {
     bool has_error = false;
   };
 
+  struct Chunk {
+    LoopState* state = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    std::size_t index = 0;
+  };
+
+ public:
+  // ---- Detached one-shot tasks --------------------------------------------
+  //
+  // parallel_for is a barrier by construction: the submitter helps until the
+  // whole range settled.  The async evaluation pipeline needs the opposite —
+  // post work and keep running — so a Task is a caller-owned chunk that some
+  // worker steals and runs exactly once, while the poster never blocks.
+  //
+  //   * storage: the Task object (and everything its body touches) must stay
+  //     alive until the body has finished.  Tasks are recyclable: re-arm()
+  //     and re-post() after completion (the pipeline pools them per batch).
+  //   * completion: the pool only guarantees execution.  Signalling is the
+  //     body's job (push to your own completion queue as the last action),
+  //     which also means bodies must not let exceptions escape — capture
+  //     them into caller-owned state and report at fold time.
+  //   * queueing: posts land in lane 0's deque under submit_mutex_ — the
+  //     same serialization an external parallel_for caller uses, so the
+  //     Chase–Lev owner-only push invariant holds — and are consumed by
+  //     worker *steals* only.  A post made while another thread runs a
+  //     parallel_for blocks until that loop finishes (loops hold the mutex).
+  //   * progress: requires at least one worker (concurrency() > 1).  With a
+  //     single-lane pool nothing ever steals, so callers must run the body
+  //     inline instead of posting.
+
+  /// Caller-owned handle for one detached task.  Not movable (workers hold
+  /// its address); arm() before every post().
+  class Task {
+   public:
+    using Fn = void (*)(void* ctx, int lane);
+
+    Task() {
+      chunk_.state = &st_;
+      st_.body = this;
+      st_.invoke = [](void* self, std::size_t, std::size_t, int lane) {
+        Task* t = static_cast<Task*>(self);
+        t->fn_(t->ctx_, lane);
+      };
+    }
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    /// Binds the body for the next post().  Must not be called between a
+    /// post() and the body having run.
+    void arm(Fn fn, void* ctx) noexcept {
+      fn_ = fn;
+      ctx_ = ctx;
+      st_.remaining.store(1, std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ThreadPool;
+    Fn fn_ = nullptr;
+    void* ctx_ = nullptr;
+    LoopState st_;
+    Chunk chunk_;
+  };
+
+  /// Enqueues an armed task; some worker will run it exactly once.  The
+  /// caller must have checked concurrency() > 1 (see progress note above)
+  /// and keep `t` alive until the body ran.
+  void post(Task& t) {
+    {
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      deques_[0]->push(&t.chunk_);
+    }
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++work_epoch_;
+    }
+    wake_cv_.notify_all();
+  }
+
+ private:
   /// thread_local binding of this thread to a pool lane, stacked so nested
   /// parallel_for calls restore the outer binding on unwind.
   struct Binding {

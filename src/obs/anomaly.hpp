@@ -147,6 +147,16 @@ class AnomalyDetector {
         // apply to it.
         if (std::string_view(e.name) == kWorkerLaneMark) r.wall_lane = true;
         break;
+      case EventKind::kAsyncDispatch:
+      case EventKind::kAsyncComplete:
+        // Async-pipeline engine lanes follow wall-clock conventions too: the
+        // engine blocks on the in-flight window whenever evaluation is the
+        // bottleneck, and falls silent after the final drain while worker
+        // lanes finish their spans — neither is a stall.  In-flight window
+        // events are the lane's signature, exactly like kWorkerLaneMark for
+        // pool workers.
+        r.wall_lane = true;
+        break;
       default:
         break;
     }

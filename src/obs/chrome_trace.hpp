@@ -148,7 +148,8 @@ struct LaneRole {
       if (it == flow_start.end() ||
           events[it->second].kind == EventKind::kMigration)
         flow_start[e.msg_id] = i;
-    } else if (e.kind == EventKind::kMigration) {
+    } else if (e.kind == EventKind::kMigration ||
+               e.kind == EventKind::kAsyncDispatch) {
       flow_start.emplace(e.msg_id, i);
     }
   }
@@ -158,7 +159,8 @@ struct LaneRole {
     if (e.msg_id == 0) continue;
     auto start = flow_start.find(e.msg_id);
     if (start == flow_start.end()) continue;
-    if (e.kind == EventKind::kMessageRecv) {
+    if (e.kind == EventKind::kMessageRecv ||
+        e.kind == EventKind::kAsyncComplete) {
       flow_finish.emplace(e.msg_id, i);
     } else if (e.kind == EventKind::kMark &&
                events[start->second].rank != e.rank) {
@@ -262,6 +264,17 @@ struct LaneRole {
         event_header(out, e.name, "i", e.rank, ts);
         out << ",\"s\":\"t\",\"args\":{\"peer\":" << e.peer
             << ",\"count\":" << e.count << ",\"msg_id\":" << e.msg_id << "}}";
+        break;
+      case EventKind::kAsyncDispatch:
+      case EventKind::kAsyncComplete:
+        // Async pipeline dispatch/fold instants.  args carry the batch id
+        // and size; "window" is the in-flight occupancy a complete event
+        // recorded (-1 on dispatch).  parse_chrome_trace round-trips these
+        // by name.
+        event_header(out, e.name, "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"batch_id\":" << e.msg_id
+            << ",\"count\":" << e.count << ",\"window\":" << e.peer
+            << ",\"msg_id\":" << e.msg_id << "}}";
         break;
     }
     // Flow arrows: a start at the (unique) send view of the id, a finish at

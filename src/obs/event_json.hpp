@@ -104,7 +104,7 @@ inline void append_double(std::string& out, double v) {
 }
 
 [[nodiscard]] inline EventKind kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kMark); ++k) {
+  for (int k = 0; k <= static_cast<int>(kLastEventKind); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -315,6 +315,12 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
         e.peer = static_cast<int>(arg("peer", -1.0));
         e.tag = static_cast<int>(arg("tag", 0.0));
         e.count = static_cast<std::uint64_t>(arg("bytes", 0.0));
+      } else if (name == "async_dispatch" || name == "async_complete") {
+        e.kind = name == "async_dispatch" ? EventKind::kAsyncDispatch
+                                          : EventKind::kAsyncComplete;
+        e.name = name == "async_dispatch" ? "async_dispatch" : "async_complete";
+        e.count = static_cast<std::uint64_t>(arg("count", 0.0));
+        e.peer = static_cast<int>(arg("window", -1.0));
       } else if (args && args->find("batch")) {
         e.kind = EventKind::kEvaluationBatch;
         e.name = intern_name(name);

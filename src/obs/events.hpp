@@ -42,7 +42,22 @@ enum class EventKind : std::uint8_t {
   kGenStats,         ///< per-generation population snapshot
   kSearchStats,      ///< per-generation search-dynamics probe record
   kMark,             ///< generic instant marker (dispatch, re_dispatch, ...)
+  /// Async pipeline: a micro-batch of offspring left the engine for the
+  /// pool (msg_id = batch id, count = batch size).  The send side of the
+  /// dispatch->complete causal pair — chrome_trace draws the flow arrow
+  /// and the replay machinery reconstructs the logical schedule from the
+  /// engine rank's program order over these two kinds.
+  kAsyncDispatch,
+  /// Async pipeline: the engine folded a completed batch back into the
+  /// population (msg_id = batch id, count = batch size).  Emitted in fold
+  /// order on the engine rank, which *is* the logical completion order a
+  /// replay must reproduce.
+  kAsyncComplete,
 };
+
+/// Last enumerator — the iteration bound for kind tables (JSON parsing,
+/// CLI listings).  Keep in sync when adding kinds above.
+inline constexpr EventKind kLastEventKind = EventKind::kAsyncComplete;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -56,6 +71,8 @@ enum class EventKind : std::uint8_t {
     case EventKind::kGenStats: return "gen_stats";
     case EventKind::kSearchStats: return "search_stats";
     case EventKind::kMark: return "mark";
+    case EventKind::kAsyncDispatch: return "async_dispatch";
+    case EventKind::kAsyncComplete: return "async_complete";
   }
   return "?";
 }
@@ -289,8 +306,11 @@ class Tracer {
     log_->append(e);
   }
 
+  /// `msg_id` correlates a pool-lane evaluation with the async-pipeline
+  /// batch it executes (0 = not part of an async batch).
   void evaluation_batch(int rank, double t, std::uint64_t batch_size,
-                        const char* label = "eval") const {
+                        const char* label = "eval",
+                        std::uint64_t msg_id = 0) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kEvaluationBatch;
@@ -298,6 +318,40 @@ class Tracer {
     e.t = t;
     e.name = label;
     e.count = batch_size;
+    e.msg_id = msg_id;
+    log_->append(e);
+  }
+
+  /// Async pipeline: batch `batch_id` (`count` offspring) dispatched to the
+  /// pool by the engine rank.  Program order of dispatch/complete events on
+  /// the engine rank is the logical schedule deterministic replay consumes.
+  void async_dispatch(int rank, double t, std::uint64_t batch_id,
+                      std::uint64_t count) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kAsyncDispatch;
+    e.rank = rank;
+    e.t = t;
+    e.name = "async_dispatch";
+    e.count = count;
+    e.msg_id = batch_id;
+    log_->append(e);
+  }
+
+  /// Async pipeline: batch `batch_id` folded into the population.  `peer`
+  /// carries the in-flight window occupancy *after* the fold so doctors can
+  /// audit backpressure from the trace alone.
+  void async_complete(int rank, double t, std::uint64_t batch_id,
+                      std::uint64_t count, int in_flight_after = -1) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kAsyncComplete;
+    e.rank = rank;
+    e.t = t;
+    e.name = "async_complete";
+    e.peer = in_flight_after;
+    e.count = count;
+    e.msg_id = batch_id;
     log_->append(e);
   }
 

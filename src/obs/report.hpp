@@ -320,6 +320,11 @@ class RunReport {
         case EventKind::kMark:
           ++marks_[e.name];
           break;
+        case EventKind::kAsyncDispatch:
+        case EventKind::kAsyncComplete:
+          // Engine-thread bookkeeping; evaluations are counted by the
+          // kEvaluationBatch events the pool lanes emit.
+          break;
       }
     }
 

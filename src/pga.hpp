@@ -23,6 +23,7 @@
 #include "comm/serialize.hpp"
 #include "comm/transport.hpp"
 #include "core/adaptive.hpp"
+#include "core/async_steady_state.hpp"
 #include "core/cellular.hpp"
 #include "core/checkpoint.hpp"
 #include "core/crossover.hpp"
@@ -40,6 +41,7 @@
 #include "core/statistics.hpp"
 #include "core/termination.hpp"
 #include "core/trace.hpp"
+#include "exec/async_pipeline.hpp"
 #include "exec/parallelism.hpp"
 #include "exec/steal_deque.hpp"
 #include "exec/thread_pool.hpp"

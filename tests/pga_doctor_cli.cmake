@@ -8,6 +8,9 @@
 #   3. `--gen wallclock` writes a real thread-pool trace whose worker lanes
 #      are idle for most of the makespan; the stall gate must not fire on
 #      lanes tagged with the wall-clock worker mark.
+#   4. `--gen async` writes a real async-pipeline engine trace whose engine
+#      rank (kAsyncDispatch/kAsyncComplete events) and worker lanes are all
+#      silent after the final drain; the stall gate must stay quiet on both.
 #
 # Driven with: cmake -DDOCTOR=<path> -DWORK_DIR=<dir> -P pga_doctor_cli.cmake
 
@@ -70,6 +73,24 @@ if(NOT rc EQUAL 0)
 endif()
 if(out MATCHES "\\[stall\\]")
   message(FATAL_ERROR "stall heuristic fired on marked wall-clock worker lanes")
+endif()
+
+# --- async trace: drained engine rank must not trip the stall gate -------
+set(async "${WORK_DIR}/doctor_async.json")
+execute_process(COMMAND "${DOCTOR}" --gen async "${async}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--gen async failed (exit ${rc}):\n${out}")
+endif()
+
+execute_process(COMMAND "${DOCTOR}" --fail-on stall "${async}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "async diagnosis (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "async trace must pass the stall gate, got exit ${rc}")
+endif()
+if(out MATCHES "\\[stall\\]")
+  message(FATAL_ERROR "stall heuristic fired on the async engine rank or its worker lanes")
 endif()
 
 # --- a --fail-on none run of the faulty trace is advisory-only -----------

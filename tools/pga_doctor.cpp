@@ -58,8 +58,10 @@
 #include "obs/report.hpp"
 #include "obs/speedup.hpp"
 #include "obs/stream.hpp"
+#include "core/async_steady_state.hpp"
 #include "parallel/master_slave.hpp"
 #include "problems/binary.hpp"
+#include "problems/functions.hpp"
 #include "sim/cluster.hpp"
 
 namespace {
@@ -76,7 +78,8 @@ void usage(std::FILE* to) {
       "<trace.json>\n"
       "       pga_doctor watch [--interval MS] [--max-idle S] [options] "
       "<trace.jsonl>\n"
-      "       pga_doctor --gen healthy|faulty <out.json|out.jsonl>\n"
+      "       pga_doctor --gen healthy|faulty|wallclock|async "
+      "<out.json|out.jsonl>\n"
       "\n"
       "Diagnoses a traced PGA run: anomaly detection + run report.\n"
       "Accepts pga-event-log-v1 dumps and chrome_trace.hpp exports.\n"
@@ -139,6 +142,10 @@ void usage(std::FILE* to) {
       "                                   (W1-shaped: worker lanes idle after\n"
       "                                   the parallel region; must pass the\n"
       "                                   stall gate)\n"
+      "                     'async'     = real async-pipeline engine run\n"
+      "                                   (Q1-shaped: engine rank and worker\n"
+      "                                   lanes silent after the drain; must\n"
+      "                                   pass the stall gate)\n"
       "                     an out path ending in .jsonl writes the demo as\n"
       "                     a pga-event-stream-v1 stream (watch's input)\n"
       "                     instead of a closed event-log document\n"
@@ -226,7 +233,8 @@ void dump_demo_trace(const obs::EventLog& log, const std::string& path) {
 int generate_demo(const std::string& mode, const std::string& path) {
   const bool faulty = mode == "faulty";
   if (!faulty && mode != "healthy") {
-    std::fprintf(stderr, "pga_doctor: --gen expects 'healthy' or 'faulty'\n");
+    std::fprintf(stderr,
+                 "pga_doctor: --gen expects healthy|faulty|wallclock|async\n");
     return 2;
   }
   constexpr std::size_t kBits = 64;
@@ -321,6 +329,57 @@ int generate_wallclock(const std::string& path) {
   return 0;
 }
 
+/// Demo-trace generator for the asynchronous completion-driven engine: a
+/// real pool-backed run of core/async_steady_state.hpp.  The engine rank
+/// (one past the pool lanes) emits kAsyncDispatch/kAsyncComplete and goes
+/// silent after the final drain, and a reporter rank then appends a long
+/// sequential gen_stats tail — so every compute rank is quiet for ~90% of
+/// the makespan.  Without the async-event stall exemption the engine rank
+/// would be flagged exactly like an abandoned island; this trace is the
+/// regression case keeping `--fail-on stall` quiet on async dumps.
+int generate_async(const std::string& path) {
+  problems::Sphere problem(8);
+
+  obs::EventLog log;
+  exec::ThreadPool pool(4);
+  exec::Parallelism par(&pool);
+  par.set_tracer(obs::Tracer(&log));
+  par.mark_lanes();
+
+  Rng rng(1);
+  auto pop = Population<RealVector>::random(
+      48, [&](Rng& r) { return RealVector::random(problem.bounds(), r); },
+      rng);
+
+  AsyncConfig<RealVector> cfg;
+  cfg.ops.select = selection::tournament(3);
+  cfg.ops.cross = crossover::sbx(problem.bounds(), 10.0);
+  cfg.ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+  cfg.stop.max_generations = 20;
+  cfg.rank = static_cast<int>(par.concurrency());
+  cfg.trace = par.tracer();
+  const auto result = run_async_steady_state(pop, problem, rng, par, cfg);
+
+  // Sequential reporting tail on its own rank (synthetic timestamps; the
+  // detector only reads the values).
+  obs::Tracer trace(&log);
+  const double t_run = par.now();
+  const double makespan = 10.0 * t_run;
+  const int reporter = cfg.rank + 1;
+  for (int g = 1; g <= 30; ++g) {
+    const double t = t_run + (makespan - t_run) * g / 30.0;
+    trace.gen_stats(reporter, t, static_cast<std::uint64_t>(g), 48, 0.0, 0.0,
+                    0.0);
+  }
+
+  dump_demo_trace(log, path);
+  std::printf(
+      "pga_doctor: wrote async demo trace (%zu events, %zu schedule ops) "
+      "to %s\n",
+      log.size(), result.schedule.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -407,6 +466,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (gen_mode == "wallclock") return generate_wallclock(path);
+  if (gen_mode == "async") return generate_async(path);
   if (!gen_mode.empty()) return generate_demo(gen_mode, path);
 
   // ---- Live stream tailing --------------------------------------------------
