@@ -104,7 +104,12 @@ class Population {
   /// batched SoA kernel and the route picks it (see SoaRoute), the dirty
   /// members are packed into a reused slab and evaluated block-wise —
   /// bit-identical to the scalar loop (the kernels replay the scalar
-  /// operation order per genome).
+  /// operation order per genome).  kAuto calibration keeps every scalar
+  /// evaluation it performs (fitness written back and counted in the return
+  /// value); the only fitness work not reflected in the count is the batched
+  /// timing side of the cold-route duel — one kernel pass over at most
+  /// 2*kSoaLanes genomes for an expensive objective, or ns-scale timing reps
+  /// for a cheap one — once per (problem, dim).  See calibrate_micro_duel.
   std::size_t evaluate_all(const Problem<G>& problem) {
     if constexpr (SoaTraits<G>::kEnabled) {
       if (problem.has_soa_kernel() && !members_.empty()) {
@@ -113,10 +118,9 @@ class Population {
           if (dirty_.empty()) return 0;
           if (dirty_.size() >= kRouteCalibMinDirty)
             return calibrate_split_sweep(problem, nullptr, 0);
-          if (use_batched(problem)) return evaluate_dirty_soa(problem);
-          return evaluate_dirty_scalar(problem);
+          return calibrate_micro_duel(problem, nullptr, 0);
         }
-        if (use_batched(problem)) {
+        if (use_batched()) {
           collect_dirty();
           if (dirty_.empty()) return 0;
           return evaluate_dirty_soa(problem);
@@ -158,36 +162,16 @@ class Population {
           if (dirty_.empty()) return 0;
           if (dirty_.size() >= kRouteCalibMinDirty)
             return calibrate_split_sweep(problem, &par, grain);
-          if (use_batched(problem))
-            return evaluate_all_soa(problem, par, grain);
-          // fall through: verdict says scalar
-        } else if (use_batched(problem)) {
+          return calibrate_micro_duel(problem, &par, grain);
+        }
+        if (use_batched()) {
           return evaluate_all_soa(problem, par, grain);
         }
         // fall through: the scalar chunked loop below is the better route
       }
     }
     collect_dirty();
-    if (dirty_.empty()) return 0;
-    const obs::Tracer& trace = par.tracer();
-    IndividualT* const m = members_.data();
-    const std::uint32_t* const idx = dirty_.data();
-    par.for_range(
-        0, dirty_.size(), grain,
-        [&](std::size_t lo, std::size_t hi, int lane) {
-          if (trace) trace.span_begin(lane, par.now(), "compute");
-          for (std::size_t k = lo; k < hi; ++k) {
-            IndividualT& ind = m[idx[k]];
-            ind.fitness = problem.fitness(ind.genome);
-            ind.evaluated = true;
-          }
-          if (trace) {
-            const double t1 = par.now();
-            trace.evaluation_batch(lane, t1, hi - lo, "eval_chunk");
-            trace.span_end(lane, t1, "compute");
-          }
-        });
-    return dirty_.size();
+    return evaluate_dirty_scalar_par(problem, par, grain);
   }
 
   /// Index of the best (highest-fitness) individual.  Population must be
@@ -272,6 +256,34 @@ class Population {
     return dirty_.size();
   }
 
+  /// Executor variant of the scalar route: chunks the already-collected
+  /// dirty indices across pool lanes (shared by evaluate_all's tail and the
+  /// micro-duel's scalar-verdict remainder).
+  std::size_t evaluate_dirty_scalar_par(const Problem<G>& problem,
+                                        const exec::Parallelism& par,
+                                        std::size_t grain) {
+    if (dirty_.empty()) return 0;
+    const obs::Tracer& trace = par.tracer();
+    IndividualT* const m = members_.data();
+    const std::uint32_t* const idx = dirty_.data();
+    par.for_range(
+        0, dirty_.size(), grain,
+        [&](std::size_t lo, std::size_t hi, int lane) {
+          if (trace) trace.span_begin(lane, par.now(), "compute");
+          for (std::size_t k = lo; k < hi; ++k) {
+            IndividualT& ind = m[idx[k]];
+            ind.fitness = problem.fitness(ind.genome);
+            ind.evaluated = true;
+          }
+          if (trace) {
+            const double t1 = par.now();
+            trace.evaluation_batch(lane, t1, hi - lo, "eval_chunk");
+            trace.span_end(lane, t1, "compute");
+          }
+        });
+    return dirty_.size();
+  }
+
   /// Batched evaluation of the already-collected dirty members.
   /// Pack/evaluate/scatter in L1-sized tiles: gathering the whole slab up
   /// front streams it through cache twice more than the scalar path streams
@@ -295,7 +307,7 @@ class Population {
 
   /// Dirty-set floor for the split-sweep calibrator: below this, halves are
   /// too small to time and the whole working set is cache-hot anyway, so the
-  /// warm micro-duel (calibrate_batched) is both cheaper and the *correct*
+  /// micro-duel (calibrate_micro_duel) is both cheaper and the *correct*
   /// model of the sweeps it predicts.
   static constexpr std::size_t kRouteCalibMinDirty = 4 * kSoaLanes;
 
@@ -309,21 +321,16 @@ class Population {
            route_dim_ != SoaTraits<G>::dim(members_[0].genome);
   }
 
-  /// Route decision for a problem with a SoA kernel.  Precondition: dirty_
-  /// is non-empty when the cache is cold (the micro-duel samples dirty
-  /// members); warm calls never touch dirty_.  kAuto calibrates once and
-  /// caches the verdict keyed on
-  /// (problem address, dimension); the key is heuristic — a new problem at a
-  /// recycled address reuses a stale verdict, which costs throughput only,
-  /// never correctness, because both routes are bit-identical.
-  [[nodiscard]] bool use_batched(const Problem<G>& problem) {
+  /// Route decision for a problem with a SoA kernel on a *warm* cache:
+  /// forced routes win, otherwise the cached kAuto verdict.  Cold kAuto
+  /// caches never reach here — evaluate_all routes them through a calibrator
+  /// (split-sweep or micro-duel), both of which key the verdict on (problem
+  /// address, dimension); the key is heuristic — a new problem at a recycled
+  /// address reuses a stale verdict, which costs throughput only, never
+  /// correctness, because both routes are bit-identical.
+  [[nodiscard]] bool use_batched() const noexcept {
     if (soa_route_ == SoaRoute::kBatched) return true;
     if (soa_route_ == SoaRoute::kScalar) return false;
-    const std::size_t dim = SoaTraits<G>::dim(members_[0].genome);
-    if (route_problem_ == &problem && route_dim_ == dim) return route_batched_;
-    route_batched_ = calibrate_batched(problem);
-    route_problem_ = &problem;
-    route_dim_ = dim;
     return route_batched_;
   }
 
@@ -430,42 +437,98 @@ class Population {
     return std::chrono::duration<double>(elapsed).count() / reps;
   }
 
+  /// Cold-route calibration for dirty sets too small to split-sweep: duels
+  /// the two routes on a sample of the dirty members (duel_route), caches
+  /// the verdict, then evaluates the remaining dirty members through the
+  /// winning route.  The duel's scalar pass IS the real evaluation of the
+  /// sampled members — fitness is written back and counted in the return
+  /// value, mirroring the split-sweep's every-evaluation-kept contract — so
+  /// an expensive objective never pays discarded scalar evaluations.
+  /// `par == nullptr` means the sequential overload.
+  std::size_t calibrate_micro_duel(const Problem<G>& problem,
+                                   const exec::Parallelism* par,
+                                   std::size_t grain) {
+    const std::size_t kept = duel_route(problem);
+    collect_dirty();  // now exactly the unsampled remainder
+    std::size_t rest = 0;
+    if (route_batched_) {
+      rest = par ? evaluate_all_soa(problem, *par, grain)
+                 : evaluate_dirty_soa(problem);
+    } else {
+      rest = par ? evaluate_dirty_scalar_par(problem, *par, grain)
+                 : evaluate_dirty_scalar(problem);
+    }
+    return kept + rest;
+  }
+
   /// Wall-clock duel on a sample of the dirty members: the scalar fitness
   /// loop vs pack + kernel (the pack is charged to the batched side — it is
-  /// part of that route's real cost).  The sampled evaluations are discarded;
-  /// both routes would recompute the exact same values, so the only cost is
-  /// the one-time timing itself.
+  /// part of that route's real cost).  Caches the verdict keyed on (problem,
+  /// dim) and returns the number of members evaluated-and-kept.
   ///
-  /// Two defenses against mis-calibration, both needed in practice: the duel
-  /// interleaves three rounds per side and keeps each side's *minimum* (one
-  /// preempted sample would otherwise stick a wrong verdict in the cache for
-  /// the rest of the run), and batched must beat scalar by >10% to win —
-  /// near break-even the scalar path is the safer default, since the routed
-  /// contract (K1) is "never meaningfully worse than scalar".
-  [[nodiscard]] bool calibrate_batched(const Problem<G>& problem) {
-    [[maybe_unused]] static volatile double sink;  // defeats dead-code elim
+  /// The kept scalar pass doubles as a cheapness probe.  When it alone fills
+  /// a trustworthy timing window, the objective is expensive and a single
+  /// batched pass settles the duel — re-running either side would burn real
+  /// evaluations purely on timing, so the duel's only uncounted fitness work
+  /// is that one kernel pass over <= 2*kSoaLanes genomes.  Below the window
+  /// the objective is ns-scale and single passes sit inside scheduler noise,
+  /// so fall back to the interleaved duel: three rounds per side, keeping
+  /// each side's *minimum* (one preempted sample would otherwise stick a
+  /// wrong verdict in the cache for the rest of the run) — the re-timings it
+  /// burns are uncounted but nanosecond-cheap by construction.  Either way
+  /// batched must beat scalar by >10% to win: near break-even the scalar
+  /// path is the safer default, since the routed contract (K1) is "never
+  /// meaningfully worse than scalar".
+  std::size_t duel_route(const Problem<G>& problem) {
+    // Local, not static: concurrent populations (one per island rank) may
+    // calibrate at once, and a shared sink is a data race.  A volatile
+    // automatic still defeats dead-code elimination.
+    volatile double sink = 0.0;
+    using clock = std::chrono::steady_clock;
+    constexpr auto kTrustWindow = std::chrono::microseconds(20);
     const std::size_t sample = std::min(dirty_.size(), 2 * kSoaLanes);
     const auto genome_at = [this](std::size_t k) -> const G& {
       return members_[dirty_[k]].genome;
     };
-    double scalar_s = std::numeric_limits<double>::infinity();
-    double batched_s = std::numeric_limits<double>::infinity();
-    for (int round = 0; round < 3; ++round) {
-      scalar_s = std::min(scalar_s, time_loop([&] {
-                   double s = 0.0;
-                   for (std::size_t k = 0; k < sample; ++k)
-                     s += problem.fitness(genome_at(k));
-                   sink = s;
-                 }));
-      batched_s = std::min(batched_s, time_loop([&] {
-                    const SoaView<G> view = slab_.gather(sample, genome_at);
-                    problem.fitness_soa(
-                        view, slab_.fitness_scratch().subspan(
-                                  0, view.blocks() * kSoaLanes));
-                    sink = slab_.fitness_scratch()[0];
-                  }));
+    const auto t0 = clock::now();
+    for (std::size_t k = 0; k < sample; ++k) {
+      IndividualT& ind = members_[dirty_[k]];
+      ind.fitness = problem.fitness(ind.genome);
+      ind.evaluated = true;
     }
-    return batched_s < 0.9 * scalar_s;
+    const auto cold = clock::now() - t0;
+    double scalar_s = std::chrono::duration<double>(cold).count();
+    double batched_s;
+    if (cold >= kTrustWindow) {
+      const auto t1 = clock::now();
+      const SoaView<G> view = slab_.gather(sample, genome_at);
+      problem.fitness_soa(view, slab_.fitness_scratch().subspan(
+                                    0, view.blocks() * kSoaLanes));
+      sink = slab_.fitness_scratch()[0];
+      batched_s = std::chrono::duration<double>(clock::now() - t1).count();
+    } else {
+      scalar_s = std::numeric_limits<double>::infinity();
+      batched_s = std::numeric_limits<double>::infinity();
+      for (int round = 0; round < 3; ++round) {
+        scalar_s = std::min(scalar_s, time_loop([&] {
+                     double s = 0.0;
+                     for (std::size_t k = 0; k < sample; ++k)
+                       s += problem.fitness(genome_at(k));
+                     sink = s;
+                   }));
+        batched_s = std::min(batched_s, time_loop([&] {
+                      const SoaView<G> view = slab_.gather(sample, genome_at);
+                      problem.fitness_soa(
+                          view, slab_.fitness_scratch().subspan(
+                                    0, view.blocks() * kSoaLanes));
+                      sink = slab_.fitness_scratch()[0];
+                    }));
+      }
+    }
+    route_batched_ = batched_s < 0.9 * scalar_s;
+    route_problem_ = &problem;
+    route_dim_ = SoaTraits<G>::dim(members_[0].genome);
+    return sample;
   }
 
   /// Refills `dirty_` with the indices of not-yet-evaluated members.

@@ -217,7 +217,11 @@ class AsyncEvalPipeline {
     if (pending_ > 0) --pending_;  // inline mode never incremented
     // Notify under the lock: the destructor may tear the pipeline down the
     // instant the predicate holds, so the cv must not be touched after
-    // releasing the mutex.
+    // releasing the mutex.  This push is also the worker's final access to
+    // the batch, full stop — the pool invokes detached bodies as its last
+    // touch of the Task (see thread_pool.hpp), so once pending_ hits 0 the
+    // destructor may free the Batch, and a collected-and-released batch may
+    // be re-armed without racing a trailing pool decrement.
     cv_.notify_all();
   }
 
@@ -244,7 +248,10 @@ class AsyncEvalPipeline {
   std::vector<Batch*> free_;       // engine-thread only
   std::vector<Batch*> collected_;  // engine-thread only
   Batch* staging_ = nullptr;       // engine-thread only
-  std::uint64_t next_id_ = 0;
+  // Ids start at 1: msg_id 0 is the "not part of an async batch" sentinel in
+  // obs (Tracer::evaluation_batch, chrome_trace flow arrows), so batch 0
+  // would lose its dispatch→complete flow and pool-lane correlation.
+  std::uint64_t next_id_ = 1;
   std::size_t in_flight_ = 0;
 
   std::mutex mutex_;  // guards done_ / pending_

@@ -153,6 +153,7 @@ class ThreadPool {
     std::size_t lo = 0;
     std::size_t hi = 0;
     std::size_t index = 0;
+    bool detached = false;  ///< Task chunk: body runs as the last touch
   };
 
  public:
@@ -167,9 +168,13 @@ class ThreadPool {
   //     alive until the body has finished.  Tasks are recyclable: re-arm()
   //     and re-post() after completion (the pipeline pools them per batch).
   //   * completion: the pool only guarantees execution.  Signalling is the
-  //     body's job (push to your own completion queue as the last action),
-  //     which also means bodies must not let exceptions escape — capture
-  //     them into caller-owned state and report at fold time.
+  //     body's job (push to your own completion queue as the last action).
+  //     Invoking the body is the pool's LAST access to the Task — no
+  //     bookkeeping touches it afterwards — so the owner may destroy or
+  //     recycle the Task the instant the body's signal lands.  This also
+  //     means bodies must not let exceptions escape (there is nowhere safe
+  //     to park one): capture them into caller-owned state and report at
+  //     fold time; a throwing detached body terminates the process.
   //   * queueing: posts land in lane 0's deque under submit_mutex_ — the
   //     same serialization an external parallel_for caller uses, so the
   //     Chase–Lev owner-only push invariant holds — and are consumed by
@@ -187,6 +192,7 @@ class ThreadPool {
 
     Task() {
       chunk_.state = &st_;
+      chunk_.detached = true;
       st_.body = this;
       st_.invoke = [](void* self, std::size_t, std::size_t, int lane) {
         Task* t = static_cast<Task*>(self);
@@ -197,11 +203,12 @@ class ThreadPool {
     Task& operator=(const Task&) = delete;
 
     /// Binds the body for the next post().  Must not be called between a
-    /// post() and the body having run.
+    /// post() and the body having signalled completion.  No counter to
+    /// reset: detached chunks bypass the loop bookkeeping entirely (see
+    /// run_chunk), which is what makes re-arming a just-completed Task safe.
     void arm(Fn fn, void* ctx) noexcept {
       fn_ = fn;
       ctx_ = ctx;
-      st_.remaining.store(1, std::memory_order_relaxed);
     }
 
    private:
@@ -275,6 +282,18 @@ class ThreadPool {
   };
 
   void run_chunk(Chunk* c, int lane) {
+    if (c->detached) {
+      // Detached task: the body signals its own completion, and the owner
+      // may recycle (re-arm/re-post) or destroy the Task the instant that
+      // signal lands — so invoking the body must be the pool's final access
+      // to the chunk and its state.  No remaining-counter RMW afterwards
+      // (that is the use-after-free the loop path would have here), and no
+      // wake either: nothing inside the pool ever waits on a detached task.
+      tasks_.fetch_add(1, std::memory_order_relaxed);
+      const LoopState& st = *c->state;
+      st.invoke(st.body, c->lo, c->hi, lane);
+      return;
+    }
     LoopState& st = *c->state;
     try {
       st.invoke(st.body, c->lo, c->hi, lane);
