@@ -390,7 +390,9 @@ int main(int argc, char** argv) {
     exec::Parallelism par(&pool);
     par.set_tracer(obs::Tracer(&log));
     par.mark_lanes();
+    const exec::PoolStats before = pool.stats();
     (void)pop.evaluate_all(problem, par);
+    const exec::PoolStats epoch = pool.stats().delta(before);
     obs::MetricsRegistry reg;
     par.bind_metrics(reg);
     obs::save_chrome_trace(log, "bench_k1_trace.json", "K1 SoA throughput");
@@ -400,8 +402,10 @@ int main(int argc, char** argv) {
         "bench_k1_trace.json\n"
         "Lossless event dump -> bench_k1_events.json "
         "(diagnose with: pga_doctor bench_k1_events.json)\n"
+        "this-run pool epoch: %s\n"
         "pool counters: %s%s",
-        reg.to_csv().c_str(), obs::RunReport::from(log).to_string().c_str());
+        bench::pool_delta_line(epoch).c_str(), reg.to_csv().c_str(),
+        obs::RunReport::from(log).to_string().c_str());
   }
   // Bit-identity is the hard invariant (CI runs --smoke and gates on it).
   // The routed-vs-scalar bound is gated only in full (non-smoke) runs on the

@@ -181,10 +181,14 @@ Timed run_async(const SleepSphere& problem, int threads, unsigned seed,
   cfg.rank = static_cast<int>(par.concurrency());
   cfg.trace = par.tracer();
 
+  const exec::PoolStats before = pool.stats();
   const double t0 = now_s();
   const auto r = run_async_steady_state(pop, problem, rng, par, cfg);
   Timed out{now_s() - t0, r.reached_target, r.evaluations, r.evals_to_target,
             r.best.fitness};
+  if (keep)
+    std::printf("async exemplar pool epoch (%d threads): %s\n", threads,
+                bench::pool_delta_line(pool.stats().delta(before)).c_str());
 
   if (replay_ok) {
     auto pop2 = q1_pop(problem.bounds(), seed);

@@ -1,0 +1,506 @@
+// S1 — scheduler-introspection overhead and verdict demonstration.
+//
+// PR 9 instruments the work-stealing pool (per-lane counters, kTaskRun /
+// kSteal / kLanePark events, async window occupancy).  S1 keeps that honest
+// in both directions:
+//
+//   1. Overhead: with NO tracer bound, the instrumented pool's per-task
+//      scheduling cost must stay within 1.15x of an uninstrumented replica
+//      of the same scheduling loop (BarePool below — the Chase-Lev deques,
+//      reverse-push LIFO/steal split, and park/wake protocol with every
+//      counter and trace hook deleted).  The workload is a 4096-chunk
+//      grain-1 empty loop — enough chunks per loop that lane wake dynamics
+//      amortize and the metric is the steady-state per-chunk cost (short
+//      bursts like BM_ParallelForOverhead's 16-chunk loop are bimodal on
+//      loaded runners: whether parked workers engage at all swamps the
+//      counter cost being measured).  Interleaved rounds, best-of-N per
+//      pool, so machine noise hits both sides equally.
+//   2. Verdicts: each pga_doctor sched verdict must flip on a workload
+//      constructed to exhibit exactly that pathology, and stay green on a
+//      healthy uniform loop:
+//        healthy  — uniform spin loop, every lane fed           -> no verdicts
+//        starved  — per-lane skew: one lane's work is ~free     -> starved-lane
+//        storm    — 8 lanes, 2-chunk loops, nothing to steal    -> steal-storm
+//        grain    — 20k single-item chunks of ~nothing          -> grain-too-fine
+//        window   — async engine, max_in_flight=1, slow evals   -> window-stall
+//      Each trace is dumped to bench_s1_<name>.json so the ctest gate
+//      (pga_doctor_sched.cmake) re-derives the same verdicts through the
+//      CLI exit codes, and the healthy trace is also exported as a Chrome
+//      trace (lanes as named threads, steal flow arrows).
+//
+// Emits: BENCH_s1.json (pga-bench-series-v1), bench_s1_{healthy,starved,
+// storm,grain,window}.json event logs, bench_s1_trace.json (Chrome).
+// `--smoke` trims the timing reps and skips the 1.15x wall-clock gate
+// (shared CI runners), keeping every verdict contract.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/async_steady_state.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/steal_deque.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "obs/sched.hpp"
+#include "problems/functions.hpp"
+
+using namespace pga;
+
+namespace {
+
+// ---- Uninstrumented control: the scheduling loop with zero telemetry ------
+//
+// A faithful strip-down of exec::ThreadPool's parallel_for path — same
+// deques, same reverse-push owner-LIFO/thief-steal split, same epoch'd
+// park/wake — with the per-lane counters, steal matrix and sched-tracer
+// hooks deleted.  This is the denominator of the 1.15x overhead gate: what
+// the loop would cost if PR 9 had never touched it.
+class BarePool {
+ public:
+  explicit BarePool(std::size_t threads) : lanes_(threads == 0 ? 1 : threads) {
+    deques_.reserve(lanes_);
+    for (std::size_t i = 0; i < lanes_; ++i)
+      deques_.push_back(std::make_unique<exec::StealDeque<Chunk*>>());
+    for (std::size_t lane = 1; lane < lanes_; ++lane)
+      workers_.emplace_back(
+          [this, lane] { worker_main(static_cast<int>(lane)); });
+  }
+
+  ~BarePool() {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stopping_ = true;
+      ++work_epoch_;
+    }
+    wake_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  BarePool(const BarePool&) = delete;
+  BarePool& operator=(const BarePool&) = delete;
+
+  template <class Body>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Body&& body) {
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const std::size_t num_chunks = (n + grain - 1) / grain;
+    if (lanes_ == 1 || num_chunks == 1) {
+      body(begin, end, 0);
+      return;
+    }
+
+    LoopState st;
+    st.body = &body;
+    st.invoke = [](void* b, std::size_t lo, std::size_t hi, int lane) {
+      (*static_cast<Body*>(b))(lo, hi, lane);
+    };
+    st.remaining.store(num_chunks, std::memory_order_relaxed);
+
+    std::vector<Chunk> chunks(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      chunks[c].state = &st;
+      chunks[c].lo = begin + c * grain;
+      chunks[c].hi = std::min(end, begin + (c + 1) * grain);
+    }
+
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    for (std::size_t c = num_chunks; c-- > 0;) deques_[0]->push(&chunks[c]);
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++work_epoch_;
+    }
+    wake_cv_.notify_all();
+
+    while (st.remaining.load(std::memory_order_acquire) != 0) {
+      if (Chunk* c = find_work(0)) {
+        run_chunk(c, 0);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      const std::uint64_t seen = work_epoch_;
+      if (st.remaining.load(std::memory_order_acquire) == 0) break;
+      wake_cv_.wait(lock, [&] { return work_epoch_ != seen; });
+    }
+  }
+
+ private:
+  struct LoopState {
+    void* body = nullptr;
+    void (*invoke)(void*, std::size_t, std::size_t, int) = nullptr;
+    std::atomic<std::size_t> remaining{0};
+  };
+  struct Chunk {
+    LoopState* state = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
+  void run_chunk(Chunk* c, int lane) {
+    LoopState& st = *c->state;
+    st.invoke(st.body, c->lo, c->hi, lane);
+    if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++work_epoch_;
+      wake_cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] Chunk* find_work(int lane) {
+    Chunk* c = nullptr;
+    if (deques_[static_cast<std::size_t>(lane)]->pop(&c)) return c;
+    for (std::size_t i = 1; i < lanes_; ++i) {
+      const std::size_t victim = (static_cast<std::size_t>(lane) + i) % lanes_;
+      if (deques_[victim]->steal(&c)) return c;
+    }
+    return nullptr;
+  }
+
+  void worker_main(int lane) {
+    for (;;) {
+      if (Chunk* c = find_work(lane)) {
+        run_chunk(c, lane);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      const std::uint64_t seen = work_epoch_;
+      if (stopping_) return;
+      wake_cv_.wait(lock, [&] { return work_epoch_ != seen || stopping_; });
+      if (stopping_) return;
+    }
+  }
+
+  std::size_t lanes_;
+  std::vector<std::unique_ptr<exec::StealDeque<Chunk*>>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::uint64_t work_epoch_ = 0;
+  bool stopping_ = false;
+};
+
+/// Steady-state ns per single-item chunk of an empty 4096-iteration grain-1
+/// loop, over `reps` back-to-back calls.
+template <class Pool>
+[[nodiscard]] double time_task_ns(Pool& pool, std::size_t reps) {
+  constexpr std::size_t kItems = 4096;
+  std::atomic<std::size_t> sink{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    pool.parallel_for(0, kItems, 1, [&](std::size_t lo, std::size_t hi, int) {
+      sink.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sink.load() != reps * kItems) std::abort();  // loop must actually run
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(reps * kItems);
+}
+
+/// Spins for roughly `us` microseconds (pure CPU, no sleeping, so run-time
+/// lands in the kTaskRun spans).
+void spin_us(double us) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(static_cast<long>(us * 1e3));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// True when `kind` appears in the verdict list.
+[[nodiscard]] bool has_kind(const std::vector<obs::Anomaly>& verdicts,
+                            obs::AnomalyKind kind) {
+  for (const auto& a : verdicts)
+    if (a.kind == kind) return true;
+  return false;
+}
+
+struct Workload {
+  std::string name;
+  obs::SchedulerReport report;
+  std::vector<obs::Anomaly> verdicts;
+};
+
+/// Runs `body` against a freshly traced pool of `lanes` lanes, dumps the
+/// trace to bench_s1_<name>.json and returns report + verdicts.
+template <class Body>
+[[nodiscard]] Workload traced_workload(const std::string& name,
+                                       std::size_t lanes, Body&& body) {
+  obs::EventLog log;
+  {
+    exec::ThreadPool pool(lanes);
+    exec::Parallelism par(&pool);
+    par.set_tracer(obs::Tracer(&log));
+    par.mark_lanes();
+    body(pool, par);
+    // Drain the post-barrier sweep (trailing steal-fail/park events) so the
+    // dump is stable, then detach the tracer before teardown.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    par.set_tracer(obs::Tracer());
+  }
+  obs::save_event_log(log, "bench_s1_" + name + ".json");
+  Workload w;
+  w.name = name;
+  w.report = obs::SchedulerReport::from(log);
+  w.verdicts = obs::sched_verdicts(w.report);
+  if (name == "healthy") obs::save_chrome_trace(log, "bench_s1_trace.json", "bench-s1");
+  return w;
+}
+
+constexpr double kOverheadCeiling = 1.15;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t reps = smoke ? 20 : 100;  // loops per timing sample
+  const int rounds = smoke ? 3 : 9;           // interleaved best-of-N
+
+  bench::headline(
+      "S1 — scheduler introspection: overhead gate + verdict demos",
+      "per-lane telemetry is free when untraced (within 1.15x of the\n"
+      "uninstrumented scheduling loop), and each pga_doctor sched verdict\n"
+      "flips on a workload constructed to exhibit exactly that pathology");
+
+  // --- 1. null-tracer overhead vs the uninstrumented replica ---------------
+  double best_bare = 1e300, best_inst = 1e300;
+  {
+    BarePool bare(4);
+    exec::ThreadPool inst(4);
+    (void)time_task_ns(bare, reps / 4 + 1);  // warm-up both pools
+    (void)time_task_ns(inst, reps / 4 + 1);
+    for (int r = 0; r < rounds; ++r) {
+      best_bare = std::min(best_bare, time_task_ns(bare, reps));
+      best_inst = std::min(best_inst, time_task_ns(inst, reps));
+    }
+  }
+  const double ratio = best_inst / best_bare;
+  const bool overhead_ok = ratio <= kOverheadCeiling;
+
+  bench::Table otable({"pool", "ns/task (best)", "vs bare"});
+  otable.row({"bare (uninstrumented)", bench::fmt("%.1f", best_bare), "1.00x"});
+  otable.row({"instrumented, no tracer", bench::fmt("%.1f", best_inst),
+              bench::fmt("%.3fx", ratio)});
+  otable.print();
+  std::printf("null-tracer overhead within %.2fx: %s%s\n\n", kOverheadCeiling,
+              overhead_ok ? "PASS" : "FAIL",
+              smoke ? " (reported only under --smoke)" : "");
+
+  // --- 2. verdict demonstrations -------------------------------------------
+  std::vector<Workload> workloads;
+
+  // healthy: uniform loop, every lane fed, sane grain -> no verdicts.  128
+  // tasks sits above the starved-lane evidence floor (16) and below the
+  // grain-too-fine one (256): on an oversubscribed runner the unaccounted
+  // ready-but-preempted time shows up as apparent per-task overhead, and
+  // the floor is exactly what keeps a healthy-but-noisy trace green.
+  workloads.push_back(traced_workload(
+      "healthy", 4, [&](exec::ThreadPool&, exec::Parallelism& par) {
+        for (int r = 0; r < 8; ++r)
+          par.for_range(0, 64, 4, [&](std::size_t lo, std::size_t hi, int) {
+            spin_us(20.0 * static_cast<double>(hi - lo));
+          });
+      }));
+
+  // starved: the work one lane receives is ~free (per-lane skew — the shape
+  // an affinity or heterogeneity bug produces), so its run share collapses
+  // while its siblings' stays uniform.
+  workloads.push_back(traced_workload(
+      "starved", 4, [&](exec::ThreadPool&, exec::Parallelism& par) {
+        for (int r = 0; r < 16; ++r)
+          par.for_range(0, 64, 1, [&](std::size_t, std::size_t, int lane) {
+            if (lane != 3) spin_us(50.0);
+          });
+      }));
+
+  // storm: 8 lanes woken for one detached task at a time — per wake, one
+  // worker wins the steal and the other six sweep every deque and find
+  // nothing.  The poster sleeps between posts so the whole lane group gets
+  // scheduled even on a single-core runner.
+  workloads.push_back(traced_workload(
+      "storm", 8, [&](exec::ThreadPool& pool, exec::Parallelism&) {
+        std::atomic<int> ran{0};
+        exec::ThreadPool::Task task;
+        for (int r = 0; r < 96; ++r) {
+          task.arm([](void* ctx,
+                      int) { static_cast<std::atomic<int>*>(ctx)->fetch_add(1); },
+                   &ran);
+          pool.post(task);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        while (ran.load() < 96)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }));
+
+  // grain: 20k single-item chunks of ~no work — the per-task scheduling
+  // overhead dwarfs the task itself.
+  workloads.push_back(traced_workload(
+      "grain", 4, [&](exec::ThreadPool&, exec::Parallelism& par) {
+        std::atomic<std::uint64_t> sink{0};
+        par.for_range(0, 20000, 1, [&](std::size_t lo, std::size_t, int) {
+          sink.fetch_add(lo, std::memory_order_relaxed);
+        });
+        if (sink.load() == 0) std::abort();
+      }));
+
+  // window: async engine with a one-batch in-flight window and slow
+  // evaluations — the producer spends the run blocked on wait_collect while
+  // most lanes idle.
+  workloads.push_back(traced_workload(
+      "window", 4, [&](exec::ThreadPool&, exec::Parallelism& par) {
+        class SpinSphere final : public Problem<RealVector> {
+         public:
+          SpinSphere() : bounds_(4, -5.12, 5.12) {}
+          [[nodiscard]] const Bounds& bounds() const noexcept {
+            return bounds_;
+          }
+          [[nodiscard]] double fitness(const RealVector& x) const override {
+            spin_us(300.0);
+            double s = 0.0;
+            for (double v : x.values) s += v * v;
+            return -s;
+          }
+          [[nodiscard]] std::string name() const override {
+            return "spin-sphere";
+          }
+
+         private:
+          Bounds bounds_;
+        };
+        SpinSphere problem;
+        Rng rng(1);
+        auto pop = Population<RealVector>::random(
+            32,
+            [&](Rng& r) { return RealVector::random(problem.bounds(), r); },
+            rng);
+        AsyncConfig<RealVector> cfg;
+        cfg.ops = bench::real_operators(problem.bounds());
+        cfg.stop.max_generations = 8;
+        cfg.batch_size = 2;
+        cfg.max_in_flight = 1;
+        cfg.rank = static_cast<int>(par.concurrency());
+        cfg.trace = par.tracer();
+        (void)run_async_steady_state(pop, problem, rng, par, cfg);
+      }));
+
+  // Expected verdict per workload; every other sched verdict must be absent
+  // from its gate column (flip = exactly the constructed pathology fires).
+  struct Expectation {
+    const char* name;
+    obs::AnomalyKind kind;
+  };
+  const Expectation expected[] = {
+      {"starved", obs::AnomalyKind::kStarvedLane},
+      {"storm", obs::AnomalyKind::kStealStorm},
+      {"grain", obs::AnomalyKind::kGrainTooFine},
+      {"window", obs::AnomalyKind::kWindowStall},
+  };
+
+  bench::Table vtable(
+      {"workload", "lanes", "tasks", "steal ok/fail", "verdicts", "contract"});
+  bool verdicts_ok = true;
+  bool healthy_green = false;
+  std::vector<std::string> contract_cells;
+  for (const auto& w : workloads) {
+    std::string names;
+    for (const auto& a : w.verdicts) {
+      if (!names.empty()) names += " ";
+      names += obs::to_string(a.kind);
+    }
+    if (names.empty()) names = "(none)";
+
+    bool ok;
+    if (w.name == "healthy") {
+      ok = w.verdicts.empty();
+      healthy_green = ok;
+    } else {
+      obs::AnomalyKind want = obs::AnomalyKind::kStarvedLane;
+      for (const auto& e : expected)
+        if (w.name == e.name) want = e.kind;
+      ok = has_kind(w.verdicts, want);
+    }
+    verdicts_ok = verdicts_ok && ok;
+    contract_cells.push_back(ok ? "PASS" : "FAIL");
+    vtable.row({w.name, bench::fmt("%zu", w.report.lanes.size()),
+                bench::fmt("%llu", static_cast<unsigned long long>(
+                                       w.report.total_tasks())),
+                bench::fmt("%llu/%llu",
+                           static_cast<unsigned long long>(
+                               w.report.total_steals()),
+                           static_cast<unsigned long long>(
+                               w.report.total_steal_failures())),
+                names, contract_cells.back()});
+  }
+  vtable.print();
+
+  std::printf(
+      "\nShape check: the healthy loop produces zero sched verdicts, and\n"
+      "each constructed pathology trips its own verdict — the same flips\n"
+      "the ctest gate re-derives via `pga_doctor sched --fail-on` exit\n"
+      "codes on the dumped traces.\n");
+  std::printf("verdict contracts: %s\n", verdicts_ok ? "PASS" : "FAIL");
+
+  // --- BENCH_s1.json --------------------------------------------------------
+  {
+    std::FILE* f = std::fopen("BENCH_s1.json", "w");
+    if (f) {
+      std::fprintf(f,
+                   "{\n  \"format\": \"pga-bench-series-v1\",\n"
+                   "  \"bench\": \"s1_sched_overhead\",\n"
+                   "  \"loop_reps\": %zu,\n"
+                   "  \"overhead\": {\"bare_ns_per_task\": %.2f, "
+                   "\"instrumented_ns_per_task\": %.2f, \"ratio\": %.4f, "
+                   "\"ceiling\": %.2f, \"within\": %s},\n"
+                   "  \"series\": [\n",
+                   reps, best_bare, best_inst, ratio, kOverheadCeiling,
+                   overhead_ok ? "true" : "false");
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& w = workloads[i];
+        std::string names;
+        for (const auto& a : w.verdicts) {
+          if (!names.empty()) names += ",";
+          names += obs::to_string(a.kind);
+        }
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"lanes\": %zu, \"tasks\": %llu, "
+            "\"steals\": %llu, \"steal_failures\": %llu, "
+            "\"median_task_span_ns\": %llu, \"overhead_per_task_us\": %.4g, "
+            "\"producer_blocked_fraction\": %.4f, "
+            "\"verdicts\": \"%s\", \"contract\": \"%s\"}%s\n",
+            w.name.c_str(), w.report.lanes.size(),
+            static_cast<unsigned long long>(w.report.total_tasks()),
+            static_cast<unsigned long long>(w.report.total_steals()),
+            static_cast<unsigned long long>(w.report.total_steal_failures()),
+            static_cast<unsigned long long>(w.report.median_task_span_ns()),
+            w.report.overhead_per_task() * 1e6,
+            w.report.producer_blocked_fraction(), names.c_str(),
+            contract_cells[i].c_str(),
+            i + 1 < workloads.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("\nSeries -> BENCH_s1.json\n");
+    }
+  }
+
+  const bool gate_timing = !smoke;  // shared runners: smoke keeps contracts
+  const bool pass =
+      verdicts_ok && healthy_green && (!gate_timing || overhead_ok);
+  return pass ? 0 : 1;
+}

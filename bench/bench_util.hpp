@@ -15,6 +15,7 @@
 
 #include "core/evolution.hpp"
 #include "core/genome.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/report.hpp"
 
 namespace bench {
@@ -85,6 +86,24 @@ inline void headline(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("Claim: %s\n", claim);
   std::printf("==============================================================\n\n");
+}
+
+/// One-line summary of a PoolStats epoch (typically `after.delta(before)` —
+/// see exec::PoolStats::delta): aggregate task/steal traffic plus the
+/// per-lane task split, so a traced exemplar's executor share is attributable
+/// to the run itself rather than whatever warm-up preceded it.
+[[nodiscard]] inline std::string pool_delta_line(
+    const pga::exec::PoolStats& d) {
+  std::string lanes;
+  for (std::size_t l = 0; l < d.lanes.size(); ++l)
+    lanes += fmt("%s%llu", l == 0 ? "" : "/",
+                 static_cast<unsigned long long>(d.lanes[l].tasks_executed));
+  return fmt("%llu tasks (per-lane %s), %llu steals, %llu failed sweeps, "
+             "%llu parks",
+             static_cast<unsigned long long>(d.tasks_executed), lanes.c_str(),
+             static_cast<unsigned long long>(d.steals),
+             static_cast<unsigned long long>(d.steal_failures),
+             static_cast<unsigned long long>(d.parks));
 }
 
 /// Prints the probe-derived search-dynamics curve of a traced run as a

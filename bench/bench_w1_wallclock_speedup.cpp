@@ -175,7 +175,9 @@ int main() {
     exec::Parallelism par(&pool);
     par.set_tracer(obs::Tracer(&log));
     par.mark_lanes();
+    const exec::PoolStats before = pool.stats();
     (void)pop.evaluate_all(problem, par);
+    const exec::PoolStats epoch = pool.stats().delta(before);
     obs::MetricsRegistry reg;
     par.bind_metrics(reg);
     obs::save_chrome_trace(log, "bench_w1_trace.json", "W1 wall-clock");
@@ -184,8 +186,10 @@ int main() {
         "\nTraced run (100 us evals, 4 threads) -> bench_w1_trace.json\n"
         "Lossless event dump -> bench_w1_events.json "
         "(diagnose with: pga_doctor bench_w1_events.json)\n"
+        "this-run pool epoch: %s\n"
         "pool counters: %s%s",
-        reg.to_csv().c_str(), obs::RunReport::from(log).to_string().c_str());
+        bench::pool_delta_line(epoch).c_str(), reg.to_csv().c_str(),
+        obs::RunReport::from(log).to_string().c_str());
   }
   return 0;
 }

@@ -247,7 +247,8 @@ AsyncRunResult<G> run_async_steady_state(Population<G>& pop,
                        std::span<double>(s.fitness));
         result.schedule.push_back(op);
         cfg.trace.async_dispatch(cfg.rank, cfg.trace ? par.now() : 0.0, op.id,
-                                 op.count);
+                                 op.count,
+                                 static_cast<int>(in_flight.size() + 1));
         in_flight.emplace(op.id, std::move(s));
         window_peak = std::max(window_peak, in_flight.size());
       } else {
@@ -287,7 +288,14 @@ AsyncRunResult<G> run_async_steady_state(Population<G>& pop,
         continue;
       }
       if (!pipe.can_stage()) {  // window full: backpressure
+        // The producer is blocked on the in-flight window, not computing —
+        // the "window_wait" span is what SchedulerReport charges as the
+        // producer-blocked fraction (window-stall evidence).
+        cfg.trace.span_begin(cfg.rank, cfg.trace ? par.now() : 0.0,
+                             "window_wait");
         pipe.wait_collect(c);
+        cfg.trace.span_end(cfg.rank, cfg.trace ? par.now() : 0.0,
+                           "window_wait");
         fold_release(c);
         continue;
       }
@@ -300,7 +308,8 @@ AsyncRunResult<G> run_async_steady_state(Population<G>& pop,
       const std::uint64_t id = pipe.dispatch();
       result.schedule.push_back(
           {AsyncOp::Kind::kDispatch, id, static_cast<std::uint32_t>(want)});
-      cfg.trace.async_dispatch(cfg.rank, cfg.trace ? par.now() : 0.0, id, want);
+      cfg.trace.async_dispatch(cfg.rank, cfg.trace ? par.now() : 0.0, id, want,
+                               static_cast<int>(pipe.in_flight()));
       dispatched += want;
     }
   }

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "../obs/events.hpp"
 #include "../obs/metrics.hpp"
@@ -43,10 +44,14 @@ class Parallelism {
   [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
 
   /// Attach a tracer; instrumented loops stamp events with `now()` from this
-  /// moment on (the epoch rebases so traces start near t=0).
-  void set_tracer(obs::Tracer trace) noexcept {
+  /// moment on (the epoch rebases so traces start near t=0).  The pool gets
+  /// the same tracer and epoch so its scheduler events (kTaskRun / kSteal /
+  /// kLanePark) land on the same timeline; mark_lanes() re-publishes with
+  /// the lane base when ranks are offset.
+  void set_tracer(obs::Tracer trace) {
     trace_ = trace;
     epoch_ = std::chrono::steady_clock::now();
+    if (pool_) pool_->set_sched_tracer(trace_, epoch_, /*lane_base=*/0);
   }
   [[nodiscard]] const obs::Tracer& tracer() const noexcept { return trace_; }
 
@@ -59,8 +64,11 @@ class Parallelism {
 
   /// Tag every pool lane `lane_base .. lane_base+concurrency()-1` as a
   /// wall-clock worker lane.  Call once after set_tracer, before the run.
+  /// Re-publishes the pool's scheduler tracer with `lane_base` so kTaskRun /
+  /// kSteal / kLanePark ranks line up with the marked lanes.
   void mark_lanes(int lane_base = 0) const {
     if (!trace_) return;
+    if (pool_) pool_->set_sched_tracer(trace_, epoch_, lane_base);
     const double t = now();
     for (std::size_t l = 0; l < concurrency(); ++l)
       trace_.mark(lane_base + static_cast<int>(l), t, obs::kWorkerLaneMark);
@@ -68,17 +76,31 @@ class Parallelism {
 
   /// Publish the pool's counters into `reg` (idempotent: counters are set
   /// to the current totals via registry-owned Counter objects on each call).
+  /// Each `pga_exec_*_total` family carries the unlabeled aggregate plus one
+  /// `lane="N"` series per pool lane, so scrapes see both the fleet total
+  /// and the per-lane fairness breakdown.
   void bind_metrics(obs::MetricsRegistry& reg) const {
     if (!pool_) return;
     const PoolStats s = pool_->stats();
-    auto sync = [&reg](const char* name, std::uint64_t total) {
-      obs::Counter& c = reg.counter(name);
+    auto sync = [&reg](const char* name, const char* help, std::uint64_t total,
+                       const obs::MetricLabels& labels = {}) {
+      obs::Counter& c = reg.counter(name, help, labels);
       const std::uint64_t cur = c.value();
       if (total > cur) c.inc(total - cur);
     };
-    sync("pga_exec_tasks_total", s.tasks_executed);
-    sync("pga_exec_steals_total", s.steals);
-    sync("pga_exec_steal_failures_total", s.steal_failures);
+    sync("pga_exec_tasks_total", "pool chunks run", s.tasks_executed);
+    sync("pga_exec_steals_total", "successful deque steals", s.steals);
+    sync("pga_exec_steal_failures_total", "failed full steal sweeps",
+         s.steal_failures);
+    for (std::size_t l = 0; l < s.lanes.size(); ++l) {
+      const obs::MetricLabels lane{{"lane", std::to_string(l)}};
+      sync("pga_exec_tasks_total", "pool chunks run",
+           s.lanes[l].tasks_executed, lane);
+      sync("pga_exec_steals_total", "successful deque steals",
+           s.lanes[l].steals, lane);
+      sync("pga_exec_steal_failures_total", "failed full steal sweeps",
+           s.lanes[l].steal_failures, lane);
+    }
   }
 
   /// Chunked loop over [begin, end): `body(lo, hi, lane)`.  grain=0 picks

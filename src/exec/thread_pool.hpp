@@ -29,23 +29,79 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "../obs/events.hpp"
 #include "steal_deque.hpp"
 
 namespace pga::exec {
 
 /// Monotonic pool counters, mirrored into obs::MetricsRegistry on demand.
+/// Aggregates are process-lifetime totals; `lanes` breaks them down per lane
+/// and `steal_matrix` (lanes² row-major, [thief * n + victim]) records who
+/// stole from whom.  Counters only ever grow, so per-run numbers come from
+/// the epoch API: snapshot before the run, `delta(before)` after.
 struct PoolStats {
+  struct Lane {
+    std::uint64_t tasks_executed = 0;  ///< chunks this lane ran
+    std::uint64_t steals = 0;          ///< successful steals by this lane
+    std::uint64_t steal_failures = 0;  ///< full sweeps that found nothing
+    std::uint64_t parks = 0;           ///< times the lane blocked on the cv
+    std::uint64_t unparks = 0;         ///< wakes from a parked state
+  };
+
   std::uint64_t tasks_executed = 0;  ///< chunks run (by workers or helpers)
   std::uint64_t steals = 0;          ///< successful deque steals
   std::uint64_t steal_failures = 0;  ///< full victim sweeps that found nothing
+  std::uint64_t parks = 0;           ///< lane park episodes
+  std::uint64_t unparks = 0;         ///< lane wakes
+  std::vector<Lane> lanes;           ///< per-lane breakdown, index = lane
+  std::vector<std::uint64_t> steal_matrix;  ///< lanes²: [thief * n + victim]
+
+  /// Successful steals by `thief` from `victim` (0 when out of range).
+  [[nodiscard]] std::uint64_t stolen(std::size_t thief,
+                                     std::size_t victim) const noexcept {
+    const std::size_t n = lanes.size();
+    if (thief >= n || victim >= n) return 0;
+    return steal_matrix[thief * n + victim];
+  }
+
+  /// Epoch semantics: counters accumulated since `since` was taken (both
+  /// snapshots must come from the same pool).  Saturates at zero so a stale
+  /// or mismatched baseline degrades to the raw totals, never wraps.
+  [[nodiscard]] PoolStats delta(const PoolStats& since) const {
+    auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : 0;
+    };
+    PoolStats d = *this;
+    d.tasks_executed = sub(tasks_executed, since.tasks_executed);
+    d.steals = sub(steals, since.steals);
+    d.steal_failures = sub(steal_failures, since.steal_failures);
+    d.parks = sub(parks, since.parks);
+    d.unparks = sub(unparks, since.unparks);
+    for (std::size_t l = 0; l < d.lanes.size() && l < since.lanes.size();
+         ++l) {
+      d.lanes[l].tasks_executed =
+          sub(lanes[l].tasks_executed, since.lanes[l].tasks_executed);
+      d.lanes[l].steals = sub(lanes[l].steals, since.lanes[l].steals);
+      d.lanes[l].steal_failures =
+          sub(lanes[l].steal_failures, since.lanes[l].steal_failures);
+      d.lanes[l].parks = sub(lanes[l].parks, since.lanes[l].parks);
+      d.lanes[l].unparks = sub(lanes[l].unparks, since.lanes[l].unparks);
+    }
+    for (std::size_t k = 0;
+         k < d.steal_matrix.size() && k < since.steal_matrix.size(); ++k)
+      d.steal_matrix[k] = sub(steal_matrix[k], since.steal_matrix[k]);
+    return d;
+  }
 };
 
 class ThreadPool {
@@ -53,7 +109,11 @@ class ThreadPool {
   /// `threads` = total lanes incl. the caller; clamped to >= 1.  threads=1
   /// spawns no workers at all — parallel_for runs inline on the caller.
   explicit ThreadPool(std::size_t threads)
-      : lanes_(threads == 0 ? 1 : threads) {
+      : lanes_(threads == 0 ? 1 : threads),
+        matrix_stride_((lanes_ + 7) / 8 * 8),  // rows cache-line aligned
+        counters_(std::make_unique<LaneCounters[]>(lanes_)),
+        steal_matrix_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            lanes_ * matrix_stride_)) {
     deques_.reserve(lanes_);
     for (std::size_t i = 0; i < lanes_; ++i)
       deques_.push_back(std::make_unique<StealDeque<Chunk*>>());
@@ -89,8 +149,17 @@ class ThreadPool {
     if (grain == 0) grain = 1;
     const std::size_t num_chunks = (n + grain - 1) / grain;
     if (lanes_ == 1 || num_chunks == 1) {
-      body(begin, end, bound_lane());
-      tasks_.fetch_add(1, std::memory_order_relaxed);
+      const int lane = bound_lane();
+      if (const SchedState* s = sched_.load(std::memory_order_acquire)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body(begin, end, lane);
+        const auto t1 = std::chrono::steady_clock::now();
+        s->trace.task_run(s->lane_base + lane, stamp(*s, t1),
+                          elapsed_ns(t0, t1), n);
+      } else {
+        body(begin, end, lane);
+      }
+      bump(counters_[static_cast<std::size_t>(lane)].tasks);
       return;
     }
 
@@ -127,12 +196,92 @@ class ThreadPool {
     if (st.error) std::rethrow_exception(st.error);
   }
 
-  [[nodiscard]] PoolStats stats() const noexcept {
+  /// Lock-free aggregation of the per-lane counters: each lane writes only
+  /// its own cache-line-padded slot, so a read here is a relaxed sweep with
+  /// no effect on the hot path.  The snapshot is per-counter consistent (a
+  /// concurrent run may skew lanes against each other by in-flight chunks).
+  [[nodiscard]] PoolStats stats() const {
     PoolStats s;
-    s.tasks_executed = tasks_.load(std::memory_order_relaxed);
-    s.steals = steals_.load(std::memory_order_relaxed);
-    s.steal_failures = steal_failures_.load(std::memory_order_relaxed);
+    s.lanes.resize(lanes_);
+    s.steal_matrix.resize(lanes_ * lanes_);
+    for (std::size_t l = 0; l < lanes_; ++l) {
+      const LaneCounters& c = counters_[l];
+      PoolStats::Lane& out = s.lanes[l];
+      out.tasks_executed = c.tasks.load(std::memory_order_relaxed);
+      out.steals = c.steals.load(std::memory_order_relaxed);
+      out.steal_failures = c.steal_failures.load(std::memory_order_relaxed);
+      out.parks = c.parks.load(std::memory_order_relaxed);
+      out.unparks = c.unparks.load(std::memory_order_relaxed);
+      s.tasks_executed += out.tasks_executed;
+      s.steals += out.steals;
+      s.steal_failures += out.steal_failures;
+      s.parks += out.parks;
+      s.unparks += out.unparks;
+    }
+    for (std::size_t thief = 0; thief < lanes_; ++thief)
+      for (std::size_t victim = 0; victim < lanes_; ++victim)
+        s.steal_matrix[thief * lanes_ + victim] =
+            steal_matrix_[thief * matrix_stride_ + victim].load(
+                std::memory_order_relaxed);
     return s;
+  }
+
+  /// Attach (or detach, with a null tracer) the scheduler tracer: lanes emit
+  /// kTaskRun / kSteal / kLanePark stamped `seconds since epoch`, with rank =
+  /// lane_base + lane so pool events share the engine trace's rank space.
+  /// Safe to call while workers run — state is published via an atomic
+  /// pointer and old states are retired, not freed.  With no tracer bound
+  /// the per-chunk cost is one relaxed load and branch (gated by bench_s1).
+  ///
+  /// Sink lifetime: worker lanes emit *asynchronously* — a failed-steal
+  /// sweep or park event can trail the parallel_for that provoked it — so
+  /// the traced sink must outlive the pool, OR the owner must detach first.
+  /// Detaching (null tracer) is a quiesce point: it waits for an in-flight
+  /// external loop, then handshakes every worker lane past the generation
+  /// flip, so on return no lane will ever touch the old sink again.  Call
+  /// it from outside the pool (a detach from inside a task body would wait
+  /// on its own lane).
+  void set_sched_tracer(obs::Tracer trace,
+                        std::chrono::steady_clock::time_point epoch,
+                        int lane_base = 0) {
+    if (!trace) {
+      // Wait out any external parallel_for (loops hold submit_mutex_ for
+      // their duration) and block new ones while we drain the lanes.
+      std::lock_guard<std::mutex> submit(submit_mutex_);
+      sched_.store(nullptr, std::memory_order_release);
+      // Generation flip, released *after* the null store: a lane that
+      // acquire-loads the new generation is guaranteed to read the tracer
+      // as null for the rest of that iteration.
+      const std::uint64_t gen =
+          sched_gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      // Every worker publishes sched_seen at the top of each iteration,
+      // *before* it can park — so repeated wake bumps (a worker may enter a
+      // fresh park between our bump and its publish) push each lane to the
+      // loop top, where it observes the flip.  The acquire load below then
+      // orders all of that lane's prior emissions before our return.
+      for (std::size_t l = 1; l < lanes_; ++l) {
+        while (counters_[l].sched_seen.load(std::memory_order_acquire) <
+               gen) {
+          {
+            std::lock_guard<std::mutex> lock(wake_mutex_);
+            ++work_epoch_;
+          }
+          wake_cv_.notify_all();
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    auto state = std::make_unique<SchedState>();
+    state->trace = trace;
+    state->epoch = epoch;
+    state->lane_base = lane_base;
+    const SchedState* published = state.get();
+    {
+      std::lock_guard<std::mutex> lock(sched_states_mutex_);
+      sched_states_.push_back(std::move(state));
+    }
+    sched_.store(published, std::memory_order_release);
   }
 
  private:
@@ -281,7 +430,54 @@ class ThreadPool {
     bool external_;
   };
 
+  /// Per-lane counters, one cache line each so a lane's relaxed increments
+  /// never bounce a line shared with another lane (the old pool-global
+  /// `steals_`/`steal_failures_` atomics were hammered by every lane's steal
+  /// sweep).  Each slot is written only by code running *as* that lane;
+  /// stats() aggregates with relaxed loads.
+  struct alignas(64) LaneCounters {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_failures{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> unparks{0};
+    /// Tracer generation this worker lane has observed (see the detach
+    /// handshake in set_sched_tracer): published at the top of every
+    /// worker_main iteration, read by the detaching thread.
+    std::atomic<std::uint64_t> sched_seen{0};
+  };
+
+  /// Single-writer increment: every counter (and steal-matrix row) is
+  /// written only by its owning lane, so a plain relaxed load+store is a
+  /// correct atomic increment here and avoids the lock-prefixed RMW a
+  /// fetch_add would cost on the per-chunk hot path (gated by bench_s1).
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  /// Published tracer state: immutable once the atomic pointer flips, so
+  /// lanes read it without locks.  Retired states stay alive for the pool's
+  /// lifetime (a handful of small structs at most).
+  struct SchedState {
+    obs::Tracer trace{};
+    std::chrono::steady_clock::time_point epoch{};
+    int lane_base = 0;
+  };
+
+  [[nodiscard]] static double stamp(
+      const SchedState& s, std::chrono::steady_clock::time_point t) noexcept {
+    return std::chrono::duration<double>(t - s.epoch).count();
+  }
+  [[nodiscard]] static std::uint64_t elapsed_ns(
+      std::chrono::steady_clock::time_point a,
+      std::chrono::steady_clock::time_point b) noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  }
+
   void run_chunk(Chunk* c, int lane) {
+    const SchedState* s = sched_.load(std::memory_order_acquire);
+    bump(counters_[static_cast<std::size_t>(lane)].tasks);
     if (c->detached) {
       // Detached task: the body signals its own completion, and the owner
       // may recycle (re-arm/re-post) or destroy the Task the instant that
@@ -289,12 +485,24 @@ class ThreadPool {
       // to the chunk and its state.  No remaining-counter RMW afterwards
       // (that is the use-after-free the loop path would have here), and no
       // wake either: nothing inside the pool ever waits on a detached task.
-      tasks_.fetch_add(1, std::memory_order_relaxed);
+      // The trace emission below touches only locals copied out beforehand.
       const LoopState& st = *c->state;
+      if (s) {
+        const std::size_t lo = c->lo, hi = c->hi;
+        const auto t0 = std::chrono::steady_clock::now();
+        st.invoke(st.body, lo, hi, lane);
+        const auto t1 = std::chrono::steady_clock::now();
+        s->trace.task_run(s->lane_base + lane, stamp(*s, t1),
+                          elapsed_ns(t0, t1), hi - lo);
+        return;
+      }
       st.invoke(st.body, c->lo, c->hi, lane);
       return;
     }
     LoopState& st = *c->state;
+    const auto t0 =
+        s ? std::chrono::steady_clock::now()
+          : std::chrono::steady_clock::time_point{};
     try {
       st.invoke(st.body, c->lo, c->hi, lane);
     } catch (...) {
@@ -305,7 +513,11 @@ class ThreadPool {
         st.has_error = true;
       }
     }
-    tasks_.fetch_add(1, std::memory_order_relaxed);
+    if (s) {
+      const auto t1 = std::chrono::steady_clock::now();
+      s->trace.task_run(s->lane_base + lane, stamp(*s, t1), elapsed_ns(t0, t1),
+                        c->hi - c->lo);
+    }
     // After this decrement `st` may be destroyed by the submitting thread;
     // completion wake-up goes through pool-owned state only.
     if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -320,48 +532,107 @@ class ThreadPool {
     Chunk* c = nullptr;
     auto& mine = *deques_[static_cast<std::size_t>(lane)];
     if (mine.pop(&c)) return c;
+    const SchedState* s = sched_.load(std::memory_order_acquire);
+    const auto t0 =
+        s ? std::chrono::steady_clock::now()
+          : std::chrono::steady_clock::time_point{};
+    LaneCounters& ctr = counters_[static_cast<std::size_t>(lane)];
     for (std::size_t i = 1; i < lanes_; ++i) {
       const std::size_t victim =
           (static_cast<std::size_t>(lane) + i) % lanes_;
       if (deques_[victim]->steal(&c)) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        bump(ctr.steals);
+        bump(steal_matrix_[static_cast<std::size_t>(lane) * matrix_stride_ +
+                           victim]);
+        if (s) {
+          const auto t1 = std::chrono::steady_clock::now();
+          s->trace.steal(s->lane_base + lane, stamp(*s, t1),
+                         s->lane_base + static_cast<int>(victim),
+                         elapsed_ns(t0, t1));
+        }
         return c;
       }
     }
-    steal_failures_.fetch_add(1, std::memory_order_relaxed);
+    bump(ctr.steal_failures);
+    if (s) {
+      const auto t1 = std::chrono::steady_clock::now();
+      s->trace.steal(s->lane_base + lane, stamp(*s, t1), /*victim=*/-1,
+                     elapsed_ns(t0, t1));
+    }
     return nullptr;
   }
 
   /// Submitting thread participates until every chunk of `st` settled.
   void help_until_done(LoopState& st, int lane) {
+    LaneCounters& ctr = counters_[static_cast<std::size_t>(lane)];
     while (st.remaining.load(std::memory_order_acquire) != 0) {
       if (Chunk* c = find_work(lane)) {
         run_chunk(c, lane);
         continue;
       }
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      const std::uint64_t seen = work_epoch_;
-      if (st.remaining.load(std::memory_order_acquire) == 0) return;
-      wake_cv_.wait(lock, [&] { return work_epoch_ != seen; });
+      const SchedState* s = sched_.load(std::memory_order_acquire);
+      auto t0 = std::chrono::steady_clock::time_point{};
+      {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        const std::uint64_t seen = work_epoch_;
+        if (st.remaining.load(std::memory_order_acquire) == 0) return;
+        bump(ctr.parks);
+        if (s) t0 = std::chrono::steady_clock::now();
+        wake_cv_.wait(lock, [&] { return work_epoch_ != seen; });
+        bump(ctr.unparks);
+      }
+      if (s) {
+        const auto t1 = std::chrono::steady_clock::now();
+        s->trace.lane_park(s->lane_base + lane, stamp(*s, t1),
+                           elapsed_ns(t0, t1));
+      }
     }
   }
 
   void worker_main(int lane) {
     tls_binding() = Binding{this, lane};
+    LaneCounters& ctr = counters_[static_cast<std::size_t>(lane)];
     for (;;) {
+      // Detach handshake: acknowledge the tracer generation before this
+      // iteration's sched_ loads.  Acquire on the generation orders the
+      // detacher's null store before every sched_ load below it, and the
+      // release publish lets the detacher order this lane's *previous*
+      // iteration emissions before set_sched_tracer returns.  Uncontended
+      // lane-private line: one shared read + one private store per burst.
+      ctr.sched_seen.store(sched_gen_.load(std::memory_order_acquire),
+                           std::memory_order_release);
       if (Chunk* c = find_work(lane)) {
         run_chunk(c, lane);
         continue;
       }
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      const std::uint64_t seen = work_epoch_;
-      if (stopping_) return;
-      wake_cv_.wait(lock, [&] { return work_epoch_ != seen || stopping_; });
-      if (stopping_) return;
+      const SchedState* s = sched_.load(std::memory_order_acquire);
+      auto t0 = std::chrono::steady_clock::time_point{};
+      bool stop = false;
+      {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        const std::uint64_t seen = work_epoch_;
+        if (stopping_) return;
+        bump(ctr.parks);
+        if (s) t0 = std::chrono::steady_clock::now();
+        wake_cv_.wait(lock, [&] { return work_epoch_ != seen || stopping_; });
+        bump(ctr.unparks);
+        stop = stopping_;
+      }
+      if (s) {
+        const auto t1 = std::chrono::steady_clock::now();
+        s->trace.lane_park(s->lane_base + lane, stamp(*s, t1),
+                           elapsed_ns(t0, t1));
+      }
+      if (stop) return;
     }
   }
 
   std::size_t lanes_;
+  std::size_t matrix_stride_;  ///< matrix row stride, cache-line padded
+  std::unique_ptr<LaneCounters[]> counters_;  ///< per-lane, padded (see above)
+  /// lanes x matrix_stride_ relaxed cells, [thief * matrix_stride_ + victim];
+  /// each row written only by its thief, rows padded apart (see bump()).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> steal_matrix_;
   std::vector<std::unique_ptr<StealDeque<Chunk*>>> deques_;
   std::vector<std::thread> workers_;
 
@@ -372,9 +643,10 @@ class ThreadPool {
   std::uint64_t work_epoch_ = 0;  ///< guarded by wake_mutex_
   bool stopping_ = false;         ///< guarded by wake_mutex_
 
-  std::atomic<std::uint64_t> tasks_{0};
-  std::atomic<std::uint64_t> steals_{0};
-  std::atomic<std::uint64_t> steal_failures_{0};
+  std::atomic<const SchedState*> sched_{nullptr};  ///< published tracer state
+  std::atomic<std::uint64_t> sched_gen_{0};  ///< detach-handshake generation
+  std::mutex sched_states_mutex_;
+  std::vector<std::unique_ptr<SchedState>> sched_states_;  ///< retired states
 };
 
 }  // namespace pga::exec

@@ -53,10 +53,25 @@ enum class AnomalyKind : std::uint8_t {
   /// is the only producer — it needs a baseline trace the streaming
   /// detector does not have).
   kMisleadingSpeedup,
+  // Scheduler verdicts (obs/sched.hpp produces these from executor traces;
+  // pga_doctor's `sched` subcommand is the driver — the streaming detector
+  // does not emit them):
+  /// A pool lane's run fraction is far below its siblings' — the loop shape
+  /// (or chunk count) never feeds it work.
+  kStarvedLane,
+  /// Steal failure/success ratio above the floor: lanes burn sweeps finding
+  /// nothing, a signature of too few chunks for the lane count.
+  kStealStorm,
+  /// Median task span at or below the per-task scheduling overhead: the
+  /// grain is so fine the pool spends more moving tasks than running them.
+  kGrainTooFine,
+  /// The async producer sat blocked on a full in-flight window while pool
+  /// lanes idled — the window, not evaluation, is the bottleneck.
+  kWindowStall,
 };
 
 /// Last enumerator, the iteration bound CLI kind tables use.
-inline constexpr AnomalyKind kLastAnomalyKind = AnomalyKind::kMisleadingSpeedup;
+inline constexpr AnomalyKind kLastAnomalyKind = AnomalyKind::kWindowStall;
 
 [[nodiscard]] constexpr const char* to_string(AnomalyKind k) noexcept {
   switch (k) {
@@ -66,6 +81,10 @@ inline constexpr AnomalyKind kLastAnomalyKind = AnomalyKind::kMisleadingSpeedup;
     case AnomalyKind::kStraggler: return "straggler";
     case AnomalyKind::kCommBound: return "comm_bound";
     case AnomalyKind::kMisleadingSpeedup: return "misleading_speedup";
+    case AnomalyKind::kStarvedLane: return "starved_lane";
+    case AnomalyKind::kStealStorm: return "steal_storm";
+    case AnomalyKind::kGrainTooFine: return "grain_too_fine";
+    case AnomalyKind::kWindowStall: return "window_stall";
   }
   return "?";
 }
@@ -155,6 +174,14 @@ class AnomalyDetector {
         // lanes finish their spans — neither is a stall.  In-flight window
         // events are the lane's signature, exactly like kWorkerLaneMark for
         // pool workers.
+        r.wall_lane = true;
+        break;
+      case EventKind::kTaskRun:
+      case EventKind::kSteal:
+      case EventKind::kLanePark:
+        // Executor-lane telemetry: only pool lanes emit these, and a pool
+        // lane is legitimately idle whenever no parallel region is open —
+        // same exemption as the kWorkerLaneMark tag.
         r.wall_lane = true;
         break;
       default:

@@ -123,6 +123,11 @@ struct LaneRole {
     if (e.kind == EventKind::kMark &&
         std::string_view(e.name) == kWorkerLaneMark)
       role.worker = true;
+    else if (e.kind == EventKind::kTaskRun || e.kind == EventKind::kSteal ||
+             e.kind == EventKind::kLanePark)
+      // Executor telemetry is only ever emitted by pool lanes, so it names
+      // the lane even in traces that predate (or skip) mark_lanes().
+      role.worker = true;
     else if (e.kind == EventKind::kMark &&
              std::string_view(e.name) == "dispatch")
       role.dispatch = true;
@@ -171,6 +176,9 @@ struct LaneRole {
 
   std::ostringstream out;
   out.precision(17);
+  // Steal flow arrows (victim lane -> thief lane) get ids from their own
+  // counter; the "steal" category keeps them distinct from msg_id flows.
+  std::uint64_t steal_flow_id = 0;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
 
   // Metadata: name the process and give every rank its own named lane,
@@ -275,6 +283,41 @@ struct LaneRole {
         out << ",\"s\":\"t\",\"args\":{\"batch_id\":" << e.msg_id
             << ",\"count\":" << e.count << ",\"window\":" << e.peer
             << ",\"msg_id\":" << e.msg_id << "}}";
+        break;
+      case EventKind::kTaskRun:
+        // Complete ("X") event so the task body renders as a block on the
+        // lane: the event is stamped at completion, so ts backs up by the
+        // span.  args keep the exact integer payloads for the round-trip.
+        event_header(out, "task_run", "X", e.rank,
+                     ts - static_cast<double>(e.count) * 1e-3);
+        out << ",\"dur\":" << static_cast<double>(e.count) * 1e-3
+            << ",\"args\":{\"span_ns\":" << e.count
+            << ",\"items\":" << e.evaluations << "}}";
+        break;
+      case EventKind::kSteal:
+        event_header(out, e.name, "i", e.rank, ts);
+        out << ",\"s\":\"t\",\"args\":{\"victim\":" << e.peer
+            << ",\"sweep_ns\":" << e.count << "}}";
+        // Successful steals draw an arrow from the victim's lane to the
+        // thief's, so migration of work is visible in the viewer.
+        if (e.peer >= 0) {
+          ++steal_flow_id;
+          out << ",{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"s\",\"id\":"
+              << steal_flow_id << ",\"pid\":0,\"tid\":" << e.peer
+              << ",\"ts\":" << ts << "}"
+              << ",{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"f\","
+                 "\"bp\":\"e\",\"id\":"
+              << steal_flow_id << ",\"pid\":0,\"tid\":" << e.rank
+              << ",\"ts\":" << ts << "}";
+        }
+        break;
+      case EventKind::kLanePark:
+        // Parked span as a complete event (stamped at wake, backed up by
+        // the parked duration), so lane idleness is a visible block.
+        event_header(out, "lane_park", "X", e.rank,
+                     ts - static_cast<double>(e.count) * 1e-3);
+        out << ",\"dur\":" << static_cast<double>(e.count) * 1e-3
+            << ",\"args\":{\"parked_ns\":" << e.count << "}}";
         break;
     }
     // Flow arrows: a start at the (unique) send view of the id, a finish at

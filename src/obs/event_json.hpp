@@ -12,6 +12,18 @@
 // point at storage that outlives the log, so loaded names are interned into
 // a process-lifetime pool — bounded in practice because instrumentation
 // sites use a small fixed set of literals.
+//
+// Scheduler event kinds (PR 9) reuse the generic fields, so they need no
+// schema change — only these conventions:
+//   * "task_run":  rank = pool lane, t = completion time, count = task span
+//     in integer nanoseconds, evaluations = work items in the chunk.
+//   * "steal":     rank = thief lane, peer = victim lane (-1 = failed full
+//     sweep, name "steal_fail"), count = sweep duration in nanoseconds.
+//   * "lane_park": rank = lane, t = wake time, count = parked nanoseconds.
+//   * "async_dispatch"/"async_complete": peer = in-flight window occupancy
+//     after the operation (-1 on traces predating the payload).
+// Spans named "window_wait" on the engine rank bracket time the async
+// producer sat blocked on a full in-flight window.
 
 #include <cmath>
 #include <cstdint>
@@ -321,6 +333,12 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
         e.name = name == "async_dispatch" ? "async_dispatch" : "async_complete";
         e.count = static_cast<std::uint64_t>(arg("count", 0.0));
         e.peer = static_cast<int>(arg("window", -1.0));
+      } else if ((name == "steal" || name == "steal_fail") && args &&
+                 args->find("sweep_ns")) {
+        e.kind = EventKind::kSteal;
+        e.name = name == "steal" ? "steal" : "steal_fail";
+        e.peer = static_cast<int>(arg("victim", -1.0));
+        e.count = static_cast<std::uint64_t>(arg("sweep_ns", 0.0));
       } else if (args && args->find("batch")) {
         e.kind = EventKind::kEvaluationBatch;
         e.name = intern_name(name);
@@ -330,6 +348,23 @@ inline void parse_chrome_trace(const std::string& text, EventLog& out) {
         e.name = intern_name(name);
         e.peer = static_cast<int>(arg("peer", -1.0));
         e.count = static_cast<std::uint64_t>(arg("count", 0.0));
+      }
+    } else if (ph == "X") {
+      // Executor complete events: ts was backed up by the duration at
+      // export, so the original completion stamp is ts + dur.
+      const double dur_us = v.number_or("dur", 0.0);
+      e.t = (v.number_or("ts", 0.0) + dur_us) / 1e6;
+      if (name == "task_run") {
+        e.kind = EventKind::kTaskRun;
+        e.name = "task";
+        e.count = static_cast<std::uint64_t>(arg("span_ns", dur_us * 1e3));
+        e.evaluations = static_cast<std::uint64_t>(arg("items", 0.0));
+      } else if (name == "lane_park") {
+        e.kind = EventKind::kLanePark;
+        e.name = "park";
+        e.count = static_cast<std::uint64_t>(arg("parked_ns", dur_us * 1e3));
+      } else {
+        continue;  // unknown complete event
       }
     } else {
       continue;  // phases this library never emits

@@ -53,11 +53,24 @@ enum class EventKind : std::uint8_t {
   /// order on the engine rank, which *is* the logical completion order a
   /// replay must reproduce.
   kAsyncComplete,
+  /// Executor: one pool chunk/task ran to completion on a lane (rank = lane,
+  /// count = task span in integer nanoseconds, evaluations = work items in
+  /// the chunk).  Emitted at completion time; obs/sched.hpp tiles lane
+  /// timelines and builds the task-grain histogram from these.
+  kTaskRun,
+  /// Executor: one steal sweep ended (rank = thief lane).  peer = victim
+  /// lane on success, -1 when the full round-robin sweep found nothing;
+  /// count = sweep duration in nanoseconds; name = "steal" / "steal_fail".
+  kSteal,
+  /// Executor: a lane woke from its parked (condition-variable wait) state
+  /// (rank = lane, t = wake time, count = parked nanoseconds).  One event
+  /// per park episode, emitted at unpark so the span is known.
+  kLanePark,
 };
 
 /// Last enumerator — the iteration bound for kind tables (JSON parsing,
 /// CLI listings).  Keep in sync when adding kinds above.
-inline constexpr EventKind kLastEventKind = EventKind::kAsyncComplete;
+inline constexpr EventKind kLastEventKind = EventKind::kLanePark;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -73,6 +86,9 @@ inline constexpr EventKind kLastEventKind = EventKind::kAsyncComplete;
     case EventKind::kMark: return "mark";
     case EventKind::kAsyncDispatch: return "async_dispatch";
     case EventKind::kAsyncComplete: return "async_complete";
+    case EventKind::kTaskRun: return "task_run";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kLanePark: return "lane_park";
   }
   return "?";
 }
@@ -325,14 +341,18 @@ class Tracer {
   /// Async pipeline: batch `batch_id` (`count` offspring) dispatched to the
   /// pool by the engine rank.  Program order of dispatch/complete events on
   /// the engine rank is the logical schedule deterministic replay consumes.
+  /// `peer` carries the in-flight window occupancy *after* the dispatch
+  /// (mirroring async_complete), so the window-occupancy curve is derivable
+  /// from the trace alone; -1 = occupancy not recorded (pre-S1 traces).
   void async_dispatch(int rank, double t, std::uint64_t batch_id,
-                      std::uint64_t count) const {
+                      std::uint64_t count, int in_flight_after = -1) const {
     if (!log_) return;
     Event e;
     e.kind = EventKind::kAsyncDispatch;
     e.rank = rank;
     e.t = t;
     e.name = "async_dispatch";
+    e.peer = in_flight_after;
     e.count = count;
     e.msg_id = batch_id;
     log_->append(e);
@@ -352,6 +372,49 @@ class Tracer {
     e.peer = in_flight_after;
     e.count = count;
     e.msg_id = batch_id;
+    log_->append(e);
+  }
+
+  /// Executor: one chunk/task ran on lane `rank`.  Emitted at completion
+  /// time `t`; `span_ns` is the body's measured duration in nanoseconds
+  /// (integer so JSON round-trips exactly), `items` the work items covered.
+  void task_run(int rank, double t, std::uint64_t span_ns,
+                std::uint64_t items = 0) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kTaskRun;
+    e.rank = rank;
+    e.t = t;
+    e.name = "task";
+    e.count = span_ns;
+    e.evaluations = items;
+    log_->append(e);
+  }
+
+  /// Executor: a steal sweep on thief lane `rank` ended at `t` after
+  /// `sweep_ns`.  `victim` is the robbed lane, or -1 for a full sweep that
+  /// found nothing (a steal failure).
+  void steal(int rank, double t, int victim, std::uint64_t sweep_ns) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kSteal;
+    e.rank = rank;
+    e.t = t;
+    e.name = victim >= 0 ? "steal" : "steal_fail";
+    e.peer = victim;
+    e.count = sweep_ns;
+    log_->append(e);
+  }
+
+  /// Executor: lane `rank` woke at `t` after being parked `parked_ns`.
+  void lane_park(int rank, double t, std::uint64_t parked_ns) const {
+    if (!log_) return;
+    Event e;
+    e.kind = EventKind::kLanePark;
+    e.rank = rank;
+    e.t = t;
+    e.name = "park";
+    e.count = parked_ns;
     log_->append(e);
   }
 

@@ -325,6 +325,12 @@ class RunReport {
           // Engine-thread bookkeeping; evaluations are counted by the
           // kEvaluationBatch events the pool lanes emit.
           break;
+        case EventKind::kTaskRun:
+        case EventKind::kSteal:
+        case EventKind::kLanePark:
+          // Executor telemetry — aggregated by obs::SchedulerReport, not the
+          // rank-level run report.
+          break;
       }
     }
 

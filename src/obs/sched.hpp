@@ -1,0 +1,497 @@
+#pragma once
+// Scheduler introspection: where the executor's time actually goes.
+//
+// The survey's efficiency questions bottom out in the execution backend:
+// when W1/Q1 report a speedup far below the lane count, the missing factor
+// hides in scheduling — lanes that never receive work, steal sweeps that
+// find nothing, tasks finer than the cost of moving them, or an async
+// in-flight window so small the producer stalls while lanes idle.  PR 8's
+// engine-level telemetry cannot see any of that; this header reads the
+// executor events PR 9 added (kTaskRun / kSteal / kLanePark, plus the
+// window-occupancy payloads on kAsyncDispatch/kAsyncComplete and the
+// engine's "window_wait" spans) and answers with evidence:
+//
+//   * SchedulerReport — tiles each lane's timeline into run / steal / park /
+//     idle seconds (per-lane tiles sum to the makespan exactly), the
+//     lane×lane steal matrix, the task-grain histogram, and the async
+//     window-occupancy curve with the producer-blocked fraction.
+//   * sched_verdicts — evidence-backed diagnoses on top of the report:
+//     starved-lane, steal-storm, grain-too-fine, window-stall, emitted as
+//     obs::Anomaly records so pga_doctor's --fail-on machinery composes.
+//
+// Verdicts are evidence-positive: a trace with no executor events produces
+// no scheduler verdicts (the report is simply empty), so the gates can run
+// over any trace — including pre-instrumentation ones — without false
+// alarms.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/anomaly.hpp"
+#include "obs/events.hpp"
+
+namespace pga::obs {
+
+/// Per-lane timeline tiling.  run/steal/park come straight from the event
+/// payloads (integer nanoseconds, so they survive JSON round-trips exactly);
+/// idle is the residual to the makespan, clamped at zero — by construction
+/// run + steal + park + idle == makespan for every lane (the invariant
+/// test_sched asserts).
+struct LaneTiles {
+  int rank = 0;
+  double run = 0.0;    ///< seconds inside task bodies (kTaskRun spans)
+  double steal = 0.0;  ///< seconds inside steal sweeps, successful or not
+  double park = 0.0;   ///< seconds blocked on the wake cv (kLanePark spans)
+  double idle = 0.0;   ///< makespan residual (out of parallel regions, ...)
+  double first_t = 0.0;  ///< earliest executor activity on this lane
+  double last_t = 0.0;   ///< latest executor activity on this lane
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;          ///< successful sweeps (peer >= 0)
+  std::uint64_t steal_failures = 0;  ///< full sweeps that found nothing
+  std::uint64_t parks = 0;
+};
+
+/// One point of the async in-flight window occupancy curve (taken from the
+/// `peer` payload of kAsyncDispatch/kAsyncComplete events; dispatches record
+/// occupancy after the dispatch, completes after the fold).
+struct WindowSample {
+  double t = 0.0;
+  int occupancy = 0;
+};
+
+/// Scheduler view of one trace.  Built by SchedulerReport::from; plain data
+/// so tests can compare reports (e.g. in-memory log vs JSONL rebuild)
+/// field-by-field.
+struct SchedulerReport {
+  double makespan = 0.0;  ///< max event timestamp over the *whole* trace
+
+  std::vector<LaneTiles> lanes;  ///< ranks with executor events, ascending
+  /// lanes²: [thief_index * lanes.size() + victim_index], successful steals
+  /// only.  Row sums equal the corresponding lane's `steals` (asserted by
+  /// test_sched).  A robbed lane joins the lane set even when it emitted no
+  /// executor event of its own — a caller that only posts detached tasks
+  /// runs nothing itself, yet every steal in the trace names it as victim.
+  std::vector<std::uint64_t> steal_matrix;
+
+  /// Task spans in nanoseconds, ascending — the grain histogram's raw data.
+  std::vector<std::uint64_t> task_spans_ns;
+  /// log2 histogram of task spans: bucket b counts spans in [2^b, 2^(b+1)).
+  std::vector<std::uint64_t> grain_hist = std::vector<std::uint64_t>(64, 0);
+
+  std::vector<WindowSample> window_curve;  ///< canonical event order
+  int max_occupancy = 0;  ///< peak of the curve (0 when no window events)
+  double producer_blocked = 0.0;  ///< total "window_wait" seconds, all ranks
+  int producer_rank = -1;  ///< rank with the largest blocked share (-1 none)
+
+  [[nodiscard]] bool has_lane_events() const noexcept {
+    return !lanes.empty();
+  }
+  [[nodiscard]] bool has_window_events() const noexcept {
+    return !window_curve.empty();
+  }
+
+  [[nodiscard]] std::uint64_t total_tasks() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.tasks;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_steals() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.steals;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_steal_failures() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.steal_failures;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t lane_index(int rank) const noexcept {
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      if (lanes[i].rank == rank) return i;
+    return lanes.size();
+  }
+  [[nodiscard]] std::uint64_t stolen(std::size_t thief,
+                                     std::size_t victim) const noexcept {
+    const std::size_t n = lanes.size();
+    if (thief >= n || victim >= n) return 0;
+    return steal_matrix[thief * n + victim];
+  }
+
+  /// Successful steals robbing lane `victim` — its steal-matrix column sum.
+  [[nodiscard]] std::uint64_t fed_from(std::size_t victim) const noexcept {
+    std::uint64_t n = 0;
+    for (std::size_t thief = 0; thief < lanes.size(); ++thief)
+      n += stolen(thief, victim);
+    return n;
+  }
+
+  /// A producer lane hands off more work than it runs: other lanes steal
+  /// from its deque more often than it executes tasks itself.  That is the
+  /// async engine's caller lane (detached posts queue there; the thread
+  /// spends its time staging/folding batches as the engine rank, invisible
+  /// to its lane identity) — so lane-utilisation verdicts must not read its
+  /// near-zero run fraction as starvation or idleness.
+  [[nodiscard]] bool is_producer_lane(std::size_t i) const noexcept {
+    return i < lanes.size() && fed_from(i) > lanes[i].tasks;
+  }
+
+  /// Lanes that consume work (not producer lanes).
+  [[nodiscard]] std::size_t consumer_lanes() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      if (!is_producer_lane(i)) ++n;
+    return n;
+  }
+
+  /// Quantile over task spans (q in [0,1]; nearest-rank on the sorted data).
+  [[nodiscard]] std::uint64_t task_span_quantile_ns(double q) const noexcept {
+    if (task_spans_ns.empty()) return 0;
+    const double pos = q * static_cast<double>(task_spans_ns.size() - 1);
+    std::size_t i = static_cast<std::size_t>(pos + 0.5);
+    if (i >= task_spans_ns.size()) i = task_spans_ns.size() - 1;
+    return task_spans_ns[i];
+  }
+  [[nodiscard]] std::uint64_t median_task_span_ns() const noexcept {
+    return task_span_quantile_ns(0.5);
+  }
+
+  /// Scheduling overhead charged per task: the part of each lane's *active*
+  /// window ([first_t, last_t]) spent neither running tasks nor sweeping nor
+  /// parked — deque traffic, wakeups, emission — divided by the task count.
+  /// This is the yardstick the grain-too-fine verdict holds the median task
+  /// span against.
+  [[nodiscard]] double overhead_per_task() const noexcept {
+    const std::uint64_t tasks = total_tasks();
+    if (tasks == 0) return 0.0;
+    double overhead = 0.0;
+    for (const auto& l : lanes) {
+      const double active = l.last_t - l.first_t;
+      const double accounted = l.run + l.steal + l.park;
+      if (active > accounted) overhead += active - accounted;
+    }
+    return overhead / static_cast<double>(tasks);
+  }
+
+  [[nodiscard]] double producer_blocked_fraction() const noexcept {
+    return makespan > 0.0 ? producer_blocked / makespan : 0.0;
+  }
+  /// Mean run fraction across lanes — "were the lanes busy?" for the
+  /// window-stall verdict.
+  [[nodiscard]] double mean_lane_run_fraction() const noexcept {
+    if (lanes.empty() || makespan <= 0.0) return 0.0;
+    double sum = 0.0;
+    for (const auto& l : lanes) sum += l.run / makespan;
+    return sum / static_cast<double>(lanes.size());
+  }
+
+  /// Builds the report from events in canonical (t, rank, seq) order —
+  /// required so "window_wait" begin/end pairs and the occupancy curve read
+  /// in timeline order.  Use the EventLog overload unless you already hold a
+  /// sorted snapshot.
+  [[nodiscard]] static SchedulerReport from(const std::vector<Event>& events) {
+    SchedulerReport r;
+    // rank -> accumulating tiles, in nanoseconds to defer rounding.
+    struct LaneAcc {
+      std::uint64_t run_ns = 0, steal_ns = 0, park_ns = 0;
+      double first_t = 0.0, last_t = 0.0;
+      bool seen = false;
+      std::uint64_t tasks = 0, steals = 0, steal_failures = 0, parks = 0;
+      std::map<int, std::uint64_t> stolen_from;  ///< victim rank -> count
+    };
+    std::map<int, LaneAcc> acc;
+    std::map<int, double> window_wait_open;  ///< rank -> begin t
+    std::map<int, double> blocked_by_rank;
+    auto touch = [](LaneAcc& l, double begin, double end) {
+      if (!l.seen || begin < l.first_t) l.first_t = begin;
+      if (!l.seen || end > l.last_t) l.last_t = end;
+      l.seen = true;
+    };
+    for (const Event& e : events) {
+      r.makespan = std::max(r.makespan, e.t);
+      switch (e.kind) {
+        case EventKind::kTaskRun: {
+          LaneAcc& l = acc[e.rank];
+          l.run_ns += e.count;
+          ++l.tasks;
+          touch(l, e.t - static_cast<double>(e.count) * 1e-9, e.t);
+          r.task_spans_ns.push_back(e.count);
+          std::uint64_t span = e.count;
+          std::size_t b = 0;
+          while (span > 1 && b + 1 < r.grain_hist.size()) {
+            span >>= 1;
+            ++b;
+          }
+          ++r.grain_hist[b];
+          break;
+        }
+        case EventKind::kSteal: {
+          LaneAcc& l = acc[e.rank];
+          l.steal_ns += e.count;
+          touch(l, e.t - static_cast<double>(e.count) * 1e-9, e.t);
+          if (e.peer >= 0) {
+            ++l.steals;
+            ++l.stolen_from[e.peer];
+            // Materialize the victim lane: a detached-task caller may never
+            // run/steal/park itself, but it must still appear in the lane
+            // set for the steal-matrix row-sum invariant to hold.
+            acc[e.peer];
+          } else {
+            ++l.steal_failures;
+          }
+          break;
+        }
+        case EventKind::kLanePark: {
+          LaneAcc& l = acc[e.rank];
+          l.park_ns += e.count;
+          ++l.parks;
+          touch(l, e.t - static_cast<double>(e.count) * 1e-9, e.t);
+          break;
+        }
+        case EventKind::kAsyncDispatch:
+        case EventKind::kAsyncComplete:
+          if (e.peer >= 0) {
+            r.window_curve.push_back({e.t, e.peer});
+            r.max_occupancy = std::max(r.max_occupancy, e.peer);
+          }
+          break;
+        case EventKind::kSpanBegin:
+          if (std::string_view(e.name) == "window_wait")
+            window_wait_open[e.rank] = e.t;
+          break;
+        case EventKind::kSpanEnd:
+          if (std::string_view(e.name) == "window_wait") {
+            auto it = window_wait_open.find(e.rank);
+            if (it != window_wait_open.end()) {
+              const double d = e.t - it->second;
+              if (d > 0.0) {
+                r.producer_blocked += d;
+                blocked_by_rank[e.rank] += d;
+              }
+              window_wait_open.erase(it);
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // A window_wait still open at end of trace is charged to the makespan.
+    for (const auto& [rank, begin] : window_wait_open) {
+      const double d = r.makespan - begin;
+      if (d > 0.0) {
+        r.producer_blocked += d;
+        blocked_by_rank[rank] += d;
+      }
+    }
+    double worst_blocked = 0.0;
+    for (const auto& [rank, d] : blocked_by_rank)
+      if (d > worst_blocked) {
+        worst_blocked = d;
+        r.producer_rank = rank;
+      }
+    // Materialize lane tiles (std::map iteration = ascending rank).  Clock
+    // jitter can push run+steal+park a hair past the makespan; scale the
+    // measured tiles down proportionally so idle >= 0 and the per-lane sum
+    // equals the makespan *exactly* — the invariant downstream asserts.
+    for (const auto& [rank, a] : acc) {
+      LaneTiles l;
+      l.rank = rank;
+      l.run = static_cast<double>(a.run_ns) * 1e-9;
+      l.steal = static_cast<double>(a.steal_ns) * 1e-9;
+      l.park = static_cast<double>(a.park_ns) * 1e-9;
+      l.first_t = a.first_t;
+      l.last_t = a.last_t;
+      l.tasks = a.tasks;
+      l.steals = a.steals;
+      l.steal_failures = a.steal_failures;
+      l.parks = a.parks;
+      const double measured = l.run + l.steal + l.park;
+      if (measured > r.makespan && measured > 0.0) {
+        const double scale = r.makespan / measured;
+        l.run *= scale;
+        l.steal *= scale;
+        l.park *= scale;
+      }
+      l.idle = r.makespan - l.run - l.steal - l.park;
+      if (l.idle < 0.0) l.idle = 0.0;  // fp dust from the scale above
+      r.lanes.push_back(l);
+    }
+    const std::size_t n = r.lanes.size();
+    r.steal_matrix.assign(n * n, 0);
+    for (std::size_t thief = 0; thief < n; ++thief) {
+      const auto& a = acc.at(r.lanes[thief].rank);
+      for (const auto& [victim_rank, cnt] : a.stolen_from) {
+        const std::size_t victim = r.lane_index(victim_rank);
+        if (victim < n) r.steal_matrix[thief * n + victim] += cnt;
+      }
+    }
+    std::sort(r.task_spans_ns.begin(), r.task_spans_ns.end());
+    return r;
+  }
+
+  [[nodiscard]] static SchedulerReport from(const EventLog& log) {
+    return from(log.sorted_by_time());
+  }
+};
+
+/// Thresholds for sched_verdicts.  Each verdict also has an evidence floor
+/// so sparse traces cannot trip it.
+struct SchedVerdictConfig {
+  /// starved-lane: run fraction below ratio × the sibling median.
+  double starved_ratio = 0.25;
+  /// starved-lane evidence floor: total tasks across lanes.
+  std::uint64_t starved_min_tasks = 16;
+  /// steal-storm: failures per success above this.
+  double storm_failure_ratio = 3.0;
+  /// steal-storm evidence floor: failed sweeps observed.
+  std::uint64_t storm_min_failures = 64;
+  /// grain-too-fine: median task span <= ratio × per-task overhead.
+  double grain_ratio = 1.0;
+  /// grain-too-fine evidence floor: tasks observed.
+  std::uint64_t grain_min_tasks = 256;
+  /// window-stall: producer blocked fraction at or above this ...
+  double window_blocked_floor = 0.25;
+  /// ... while the mean consumer-lane run fraction is at or below this ...
+  double window_lane_busy_ceiling = 0.5;
+  /// ... and the observed peak occupancy is below this multiple of the
+  /// consumer-lane count.  When every consumer lane could hold a batch
+  /// simultaneously (peak >= lanes), the window is not what idles them —
+  /// the producer is backpressured by eval throughput, and growing
+  /// max_in_flight would change nothing.
+  double window_occupancy_lane_ratio = 1.0;
+};
+
+/// Evidence-backed scheduler diagnoses over a report.  Emits obs::Anomaly
+/// records (kinds kStarvedLane / kStealStorm / kGrainTooFine / kWindowStall)
+/// so pga_doctor's --fail-on machinery composes unchanged.
+[[nodiscard]] inline std::vector<Anomaly> sched_verdicts(
+    const SchedulerReport& r, SchedVerdictConfig cfg = {}) {
+  std::vector<Anomaly> out;
+  std::ostringstream d;
+  d.precision(4);
+
+  // starved-lane: a lane's run fraction far below its siblings'.
+  if (r.lanes.size() >= 2 && r.makespan > 0.0 &&
+      r.total_tasks() >= cfg.starved_min_tasks) {
+    std::vector<double> utils;
+    utils.reserve(r.lanes.size());
+    for (const auto& l : r.lanes) utils.push_back(l.run / r.makespan);
+    std::vector<double> sorted = utils;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median > 0.0) {
+      for (std::size_t i = 0; i < r.lanes.size(); ++i) {
+        if (utils[i] >= cfg.starved_ratio * median) continue;
+        // A producer lane's near-zero run fraction is its job, not a
+        // symptom: its thread works as the async engine rank while other
+        // lanes drain its deque.
+        if (r.is_producer_lane(i)) continue;
+        Anomaly a;
+        a.kind = AnomalyKind::kStarvedLane;
+        a.rank = r.lanes[i].rank;
+        a.t_begin = 0.0;
+        a.t_end = r.makespan;
+        a.value = utils[i];
+        d.str("");
+        d << "run fraction " << utils[i] << " vs sibling median " << median
+          << " (" << r.lanes[i].tasks << " tasks; loop shape never feeds "
+          << "this lane)";
+        a.detail = d.str();
+        out.push_back(std::move(a));
+      }
+    }
+  }
+
+  // steal-storm: sweeps overwhelmingly find nothing.
+  {
+    const std::uint64_t ok = r.total_steals();
+    const std::uint64_t fail = r.total_steal_failures();
+    if (fail >= cfg.storm_min_failures) {
+      const double ratio =
+          static_cast<double>(fail) / static_cast<double>(ok > 0 ? ok : 1);
+      if (ratio >= cfg.storm_failure_ratio) {
+        Anomaly a;
+        a.kind = AnomalyKind::kStealStorm;
+        a.rank = -1;
+        a.t_begin = 0.0;
+        a.t_end = r.makespan;
+        a.value = ratio;
+        d.str("");
+        d << fail << " failed sweeps vs " << ok << " successful steals "
+          << "(ratio " << ratio << "; too few chunks for the lane count)";
+        a.detail = d.str();
+        out.push_back(std::move(a));
+      }
+    }
+  }
+
+  // grain-too-fine: tasks cost more to move than to run.
+  if (r.total_tasks() >= cfg.grain_min_tasks) {
+    const double median_s =
+        static_cast<double>(r.median_task_span_ns()) * 1e-9;
+    const double overhead = r.overhead_per_task();
+    if (overhead > 0.0 && median_s <= cfg.grain_ratio * overhead) {
+      Anomaly a;
+      a.kind = AnomalyKind::kGrainTooFine;
+      a.rank = -1;
+      a.t_begin = 0.0;
+      a.t_end = r.makespan;
+      a.value = overhead > 0.0 ? median_s / overhead : 0.0;
+      d.str("");
+      d << "median task span " << median_s * 1e6 << " us <= per-task "
+        << "scheduling overhead " << overhead * 1e6 << " us over "
+        << r.total_tasks() << " tasks (raise the grain)";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  // window-stall: producer blocked on a too-small window while consumer
+  // lanes idle.  All three evidence legs must agree: the producer waits, the
+  // consumers are not busy, and the observed peak occupancy is too low for
+  // every consumer to hold a batch — otherwise the blocking is eval
+  // throughput (consumers saturated or the runner oversubscribed), and
+  // growing max_in_flight would change nothing.
+  if (r.has_window_events() && r.producer_blocked > 0.0) {
+    const double blocked = r.producer_blocked_fraction();
+    double busy = 0.0;
+    std::size_t consumers = 0;
+    for (std::size_t i = 0; i < r.lanes.size(); ++i) {
+      if (r.is_producer_lane(i)) continue;
+      ++consumers;
+      if (r.makespan > 0.0) busy += r.lanes[i].run / r.makespan;
+    }
+    if (consumers > 0) busy /= static_cast<double>(consumers);
+    const bool window_small =
+        static_cast<double>(r.max_occupancy) <
+        cfg.window_occupancy_lane_ratio * static_cast<double>(consumers);
+    if (window_small && blocked >= cfg.window_blocked_floor &&
+        busy <= cfg.window_lane_busy_ceiling) {
+      Anomaly a;
+      a.kind = AnomalyKind::kWindowStall;
+      a.rank = r.producer_rank;
+      a.t_begin = 0.0;
+      a.t_end = r.makespan;
+      a.value = blocked;
+      d.str("");
+      d << "producer blocked on the in-flight window " << blocked * 100.0
+        << "% of the makespan while mean consumer-lane run fraction is "
+        << busy << " (peak occupancy " << r.max_occupancy << " below "
+        << consumers << " consumer lanes; grow max_in_flight)";
+      a.detail = d.str();
+      out.push_back(std::move(a));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pga::obs

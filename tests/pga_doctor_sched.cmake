@@ -1,0 +1,98 @@
+# End-to-end acceptance for the scheduler-introspection verdicts, run under
+# ctest:
+#
+#   1. bench_s1_sched_overhead --smoke generates five traces in WORK_DIR —
+#      one healthy executor run plus one constructed workload per pathology
+#      (starved lane, steal storm, grain too fine, window stall).
+#   2. `pga_doctor sched` with all four kinds gated must exit 0 on the
+#      healthy trace and print the lane-tile table as evidence.
+#   3. On each pathology trace, gating that pathology's kind must exit 1
+#      with a FAIL line naming it; gating only a *different* kind must
+#      downgrade it to an advisory warning and exit 0.
+#
+# Driven with:
+#   cmake -DDOCTOR=<path> -DBENCH=<path> -DWORK_DIR=<dir> -P pga_doctor_sched.cmake
+
+if(NOT DOCTOR OR NOT BENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DBENCH=<bench_s1_sched_overhead> -DWORK_DIR=<dir> -P pga_doctor_sched.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- generate the healthy + pathology fixture traces ---------------------
+# --smoke keeps the verdict contracts but skips the wall-clock overhead
+# ratio (meaningless on loaded CI runners); the bench still exits non-zero
+# if any constructed workload fails to produce its verdict.
+execute_process(COMMAND "${BENCH}" --smoke
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_s1_sched_overhead --smoke failed (exit ${rc}):\n${out}")
+endif()
+foreach(name healthy starved storm grain window)
+  if(NOT EXISTS "${WORK_DIR}/bench_s1_${name}.json")
+    message(FATAL_ERROR "bench did not write bench_s1_${name}.json:\n${out}")
+  endif()
+endforeach()
+
+set(all_gates "starved-lane,steal-storm,grain-too-fine,window-stall")
+
+# --- healthy trace: every gate armed, none may trip ----------------------
+execute_process(COMMAND "${DOCTOR}" sched --fail-on "${all_gates}"
+    "${WORK_DIR}/bench_s1_healthy.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "healthy sched (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy trace must pass all four sched gates (exit 0), got ${rc}")
+endif()
+if(NOT out MATCHES "no scheduler anomalies")
+  message(FATAL_ERROR "healthy trace did not report a clean diagnosis:\n${out}")
+endif()
+if(NOT out MATCHES "lane tiles")
+  message(FATAL_ERROR "healthy output missing the lane-tile evidence table:\n${out}")
+endif()
+
+# --- each pathology: its own gate trips, a different gate does not -------
+# (trace name; anomaly kind as printed; a kind guaranteed absent from the
+# workload, to prove the exit code follows --fail-on and not mere presence)
+#
+# Absent kinds are chosen to be load-proof: window-stall cannot fire on the
+# non-async traces (no window events at all), and grain-too-fine cannot fire
+# under CPU contention on the window trace (contention inflates measured
+# task durations, which moves the grain histogram *away* from the fine
+# threshold). starved-lane would be the natural absent kind for the window
+# case, but a loaded runner can legitimately starve a consumer lane.
+set(cases
+  "starved\;starved_lane\;starved-lane\;window-stall"
+  "storm\;steal_storm\;steal-storm\;window-stall"
+  "grain\;grain_too_fine\;grain-too-fine\;window-stall"
+  "window\;window_stall\;window-stall\;grain-too-fine")
+
+foreach(case ${cases})
+  list(GET case 0 name)
+  list(GET case 1 kind)
+  list(GET case 2 gate)
+  list(GET case 3 other_gate)
+  set(trace "${WORK_DIR}/bench_s1_${name}.json")
+
+  execute_process(COMMAND "${DOCTOR}" sched --fail-on "${gate}" "${trace}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+  message(STATUS "${name} sched --fail-on ${gate} (exit ${rc}):\n${out}")
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "${name} trace must trip the ${gate} gate (exit 1), got ${rc}")
+  endif()
+  if(NOT out MATCHES "FAIL \\[${kind}\\]")
+    message(FATAL_ERROR "${name} output missing a FAIL [${kind}] line:\n${out}")
+  endif()
+
+  execute_process(COMMAND "${DOCTOR}" sched --fail-on "${other_gate}" "${trace}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name} trace gated only on ${other_gate} must stay advisory (exit 0), got ${rc}:\n${out}")
+  endif()
+  if(NOT out MATCHES "warn \\[${kind}\\]")
+    message(FATAL_ERROR "${name} finding must downgrade to warn [${kind}] when ungated:\n${out}")
+  endif()
+endforeach()
+
+message(STATUS "sched verdicts separate the healthy executor from all four constructed pathologies")

@@ -139,9 +139,11 @@ TEST(AsyncEngine, WindowOneBatchOneWalksSynchronousTrajectory) {
 
 TEST(AsyncEngine, ScheduleRoundTripsThroughTrace) {
   Sphere problem(6);
+  // The log must outlive the pool: worker lanes emit trailing steal/park
+  // events after each barrier (see set_sched_tracer's lifetime note).
+  obs::EventLog log;
   ThreadPool pool(4);
   Parallelism par(&pool);
-  obs::EventLog log;
   par.set_tracer(obs::Tracer(&log));
   par.mark_lanes();
 
@@ -252,9 +254,9 @@ TEST(AsyncEngine, EvaluationExceptionPropagatesToEngineThread) {
 
 TEST(AsyncEngine, AnomalyDetectorDoesNotFlagAsyncLanesAsStalled) {
   Sphere problem(8);
+  obs::EventLog log;  // outlives the pool (trailing worker emissions)
   ThreadPool pool(4);
   Parallelism par(&pool);
-  obs::EventLog log;
   par.set_tracer(obs::Tracer(&log));
   par.mark_lanes();
 

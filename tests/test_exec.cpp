@@ -285,8 +285,10 @@ TEST(EvaluateAll, EmitsComputeSpansAndEvalChunksOnLanes) {
   // Force the batched route: this test asserts the SoA tiled trace shape,
   // and the adaptive default (kAuto) picks its route by wall-clock duel.
   pop.set_soa_route(SoaRoute::kBatched);
-  ThreadPool pool(2);
+  // The log must outlive the pool: worker lanes emit trailing steal/park
+  // events after the loop's barrier (see set_sched_tracer's lifetime note).
   obs::EventLog log;
+  ThreadPool pool(2);
   Parallelism par(&pool);
   par.set_tracer(obs::Tracer(&log));
   const std::size_t evals = pop.evaluate_all(problem, par, /*grain=*/8);

@@ -1841,7 +1841,10 @@ TEST(Anomaly, MisleadingSpeedupKindRoundTripsItsName) {
   // name parsing must know it.
   EXPECT_STREQ(obs::to_string(obs::AnomalyKind::kMisleadingSpeedup),
                "misleading_speedup");
-  EXPECT_EQ(obs::kLastAnomalyKind, obs::AnomalyKind::kMisleadingSpeedup);
+  // The sched verdicts (starved-lane .. window-stall) extended the enum;
+  // the sentinel must track the true last kind so kind iteration in the
+  // gate parser stays exhaustive.
+  EXPECT_EQ(obs::kLastAnomalyKind, obs::AnomalyKind::kWindowStall);
 }
 
 }  // namespace

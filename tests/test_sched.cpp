@@ -1,0 +1,590 @@
+// Scheduler-introspection tests (obs/sched.hpp + the executor telemetry in
+// exec/thread_pool.hpp): the SchedulerReport invariants the header promises —
+// per-lane tiles sum to the makespan, steal-matrix row sums equal per-lane
+// steal counts, window occupancy never exceeds the configured in-flight
+// window, and the report is identical whether rebuilt from a JSONL stream or
+// the in-memory EventLog — plus synthetic-trace unit tests for every
+// sched_verdicts diagnosis (each fires above its evidence floor and stays
+// quiet below it), the PoolStats snapshot/delta epoch API, and the labeled
+// `lane="N"` metric exposition.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/async_steady_state.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sched.hpp"
+#include "obs/stream.hpp"
+#include "problems/functions.hpp"
+
+namespace pga {
+namespace {
+
+using exec::Parallelism;
+using exec::PoolStats;
+using exec::ThreadPool;
+using problems::Sphere;
+
+/// Busy-spin so task bodies consume measurable wall time even when the
+/// runner timeshares one core (sleeping would park the lane instead).
+void spin_ns(std::int64_t ns) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// Traced pool run: a few chunked loops with real work, every executor event
+/// captured in `log`.  The pool is destroyed before returning, so workers
+/// have joined and the log holds the complete trace.
+void run_traced_loops(obs::EventLog& log) {
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+  par.set_tracer(obs::Tracer(&log));
+  par.mark_lanes();
+  for (int round = 0; round < 6; ++round)
+    par.for_range(0, 64, 4, [](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) spin_ns(20'000);
+    });
+}
+
+/// Post `n` detached tasks and wait for all of them to run.  Detached posts
+/// land in lane 0's deque and are consumed by worker *steals* only, so this
+/// is the one pool path that guarantees successful steals even on a
+/// single-core runner (the caller sleeps, so workers get scheduled).
+void run_detached_tasks(ThreadPool& pool, int n) {
+  std::atomic<int> ran{0};
+  ThreadPool::Task task;
+  for (int i = 0; i < n; ++i) {
+    task.arm(
+        [](void* ctx, int) {
+          static_cast<std::atomic<int>*>(ctx)->fetch_add(
+              1, std::memory_order_release);
+        },
+        &ran);
+    pool.post(task);
+    // One task in flight at a time: wait for the signal before re-arming —
+    // the body's completion store is the pool's last access to the Task.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (ran.load(std::memory_order_acquire) < i + 1) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "detached task " << i << " never ran";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer detach quiesce
+// ---------------------------------------------------------------------------
+
+// Worker lanes emit asynchronously (a failed-steal sweep or park event can
+// trail the loop that provoked it), so a sink that dies before the pool is
+// only safe if detaching first is a true quiesce point.  This test destroys
+// the log *before* the pool on every round — under ASan/TSan any trailing
+// emission into the dead log is caught; without sanitizers it is the
+// use-after-free regression shape.
+TEST(SchedTracer, DetachQuiescesTrailingWorkerEmissions) {
+  ThreadPool pool(4);
+  Parallelism par(&pool);
+  std::size_t events = 0;
+  for (int round = 0; round < 8; ++round) {
+    obs::EventLog log;  // intentionally dies before the pool
+    par.set_tracer(obs::Tracer(&log));
+    par.mark_lanes();
+    par.for_range(0, 64, 1, [](std::size_t, std::size_t, int) {
+      spin_ns(2'000);
+    });
+    par.set_tracer(obs::Tracer());  // quiesce: no lane touches `log` again
+    events += log.size();
+  }
+  EXPECT_GE(events, 8u * 64u);  // every chunk's task_run made it into a log
+  // The pool must still schedule after repeated attach/detach cycles.
+  std::atomic<std::size_t> sink{0};
+  par.for_range(0, 128, 1, [&](std::size_t lo, std::size_t hi, int) {
+    sink.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sink.load(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerReport invariants on real traced runs
+// ---------------------------------------------------------------------------
+
+TEST(SchedReport, LaneTilesSumToMakespan) {
+  obs::EventLog log;
+  run_traced_loops(log);
+
+  const auto r = obs::SchedulerReport::from(log);
+  ASSERT_TRUE(r.has_lane_events());
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GE(r.total_tasks(), 6u * 16u);  // 6 rounds x 16 chunks of grain 4
+
+  for (const auto& l : r.lanes) {
+    const double sum = l.run + l.steal + l.park + l.idle;
+    EXPECT_NEAR(sum, r.makespan, 1e-9 * std::max(1.0, r.makespan))
+        << "lane " << l.rank << " tiles do not tile the makespan";
+    EXPECT_GE(l.run, 0.0);
+    EXPECT_GE(l.steal, 0.0);
+    EXPECT_GE(l.park, 0.0);
+    EXPECT_GE(l.idle, 0.0);
+  }
+}
+
+TEST(SchedReport, StealMatrixRowSumsEqualLaneSteals) {
+  obs::EventLog log;
+  constexpr int kTasks = 12;
+  {
+    ThreadPool pool(3);
+    Parallelism par(&pool);
+    par.set_tracer(obs::Tracer(&log));
+    par.mark_lanes();
+    run_detached_tasks(pool, kTasks);
+  }
+
+  const auto r = obs::SchedulerReport::from(log);
+  ASSERT_TRUE(r.has_lane_events());
+  // Every detached task is consumed by exactly one successful worker steal.
+  EXPECT_GE(r.total_steals(), static_cast<std::uint64_t>(kTasks));
+
+  for (std::size_t thief = 0; thief < r.lanes.size(); ++thief) {
+    std::uint64_t row = 0;
+    for (std::size_t victim = 0; victim < r.lanes.size(); ++victim)
+      row += r.stolen(thief, victim);
+    EXPECT_EQ(row, r.lanes[thief].steals)
+        << "steal-matrix row " << r.lanes[thief].rank
+        << " does not sum to the lane's steal count";
+  }
+  // Detached posts queue on the caller lane (rank 0): every successful steal
+  // in this trace robbed lane 0.
+  const std::size_t caller = r.lane_index(0);
+  ASSERT_LT(caller, r.lanes.size());
+  std::uint64_t from_caller = 0;
+  for (std::size_t thief = 0; thief < r.lanes.size(); ++thief)
+    from_caller += r.stolen(thief, caller);
+  EXPECT_EQ(from_caller, r.total_steals());
+}
+
+TEST(SchedReport, WindowOccupancyBoundedByConfiguredWindow) {
+  Sphere problem(6);
+  obs::EventLog log;
+  {
+    ThreadPool pool(4);
+    Parallelism par(&pool);
+    par.set_tracer(obs::Tracer(&log));
+    par.mark_lanes();
+
+    Rng rng(11);
+    auto pop = Population<RealVector>::random(
+        16, [&](Rng& r) { return RealVector::random(problem.bounds(), r); },
+        rng);
+    AsyncConfig<RealVector> cfg;
+    cfg.ops.select = selection::tournament(3);
+    cfg.ops.cross = crossover::sbx(problem.bounds(), 10.0);
+    cfg.ops.mutate = mutation::gaussian(problem.bounds(), 0.05);
+    cfg.stop.max_generations = 4;
+    cfg.batch_size = 4;
+    cfg.max_in_flight = 2;
+    cfg.rank = static_cast<int>(par.concurrency());
+    cfg.trace = par.tracer();
+    (void)run_async_steady_state(pop, problem, rng, par, cfg);
+  }
+
+  const auto r = obs::SchedulerReport::from(log);
+  ASSERT_TRUE(r.has_window_events());
+  EXPECT_GE(r.max_occupancy, 1);
+  EXPECT_LE(r.max_occupancy, 2);  // == cfg.max_in_flight
+  for (const auto& s : r.window_curve) {
+    EXPECT_GE(s.occupancy, 0);
+    EXPECT_LE(s.occupancy, 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL stream vs in-memory log: identical reports
+// ---------------------------------------------------------------------------
+
+void expect_reports_equal(const obs::SchedulerReport& a,
+                          const obs::SchedulerReport& b) {
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.lanes.size(), b.lanes.size());
+  for (std::size_t i = 0; i < a.lanes.size(); ++i) {
+    const auto& la = a.lanes[i];
+    const auto& lb = b.lanes[i];
+    EXPECT_EQ(la.rank, lb.rank);
+    EXPECT_DOUBLE_EQ(la.run, lb.run);
+    EXPECT_DOUBLE_EQ(la.steal, lb.steal);
+    EXPECT_DOUBLE_EQ(la.park, lb.park);
+    EXPECT_DOUBLE_EQ(la.idle, lb.idle);
+    EXPECT_DOUBLE_EQ(la.first_t, lb.first_t);
+    EXPECT_DOUBLE_EQ(la.last_t, lb.last_t);
+    EXPECT_EQ(la.tasks, lb.tasks);
+    EXPECT_EQ(la.steals, lb.steals);
+    EXPECT_EQ(la.steal_failures, lb.steal_failures);
+    EXPECT_EQ(la.parks, lb.parks);
+  }
+  EXPECT_EQ(a.steal_matrix, b.steal_matrix);
+  EXPECT_EQ(a.task_spans_ns, b.task_spans_ns);
+  EXPECT_EQ(a.grain_hist, b.grain_hist);
+  ASSERT_EQ(a.window_curve.size(), b.window_curve.size());
+  for (std::size_t i = 0; i < a.window_curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.window_curve[i].t, b.window_curve[i].t);
+    EXPECT_EQ(a.window_curve[i].occupancy, b.window_curve[i].occupancy);
+  }
+  EXPECT_EQ(a.max_occupancy, b.max_occupancy);
+  EXPECT_DOUBLE_EQ(a.producer_blocked, b.producer_blocked);
+  EXPECT_EQ(a.producer_rank, b.producer_rank);
+}
+
+TEST(SchedReport, IdenticalFromJsonlStreamAndInMemoryLog) {
+  obs::EventLog log;
+  run_traced_loops(log);
+  const auto in_memory = obs::SchedulerReport::from(log);
+  ASSERT_TRUE(in_memory.has_lane_events());
+
+  const std::string path = "test_sched_roundtrip.jsonl";
+  {
+    obs::StreamWriterConfig cfg;
+    cfg.background_flush = false;
+    obs::StreamWriter w(path, cfg);
+    for (const obs::Event& e : log.snapshot()) w.append(e);
+    w.close();
+  }
+  {
+    obs::StreamReader reader(path);
+    obs::EventLog rebuilt;
+    // Re-appending in stream order preserves per-rank program order, so the
+    // canonical (t, rank, seq) sort the report consumes is unchanged.
+    for (const obs::Event& e : reader.poll_events()) rebuilt.append(e);
+    ASSERT_EQ(rebuilt.size(), log.size());
+    expect_reports_equal(obs::SchedulerReport::from(rebuilt), in_memory);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic-trace verdict units: each diagnosis fires above its evidence
+// floor and stays quiet below it.  Timestamps/spans are hand-picked so the
+// math is exact and runner-independent.
+// ---------------------------------------------------------------------------
+
+/// `per_busy_lane` tasks of 10 ms on ranks 0..2, one 0.05 ms task on rank 3,
+/// makespan pinned at 0.1 s.
+void starved_trace(obs::EventLog& log, int per_busy_lane) {
+  obs::Tracer t(&log);
+  for (int rank = 0; rank < 3; ++rank)
+    for (int i = 0; i < per_busy_lane; ++i)
+      t.task_run(rank, 0.01 * (i + 1), 10'000'000);
+  t.task_run(3, 0.05, 50'000);
+  t.mark(0, 0.1, "end");  // pins the makespan
+}
+
+TEST(SchedVerdicts, StarvedLaneFiresAboveFloorOnly) {
+  {
+    // 3 x 8 + 1 = 25 tasks >= floor 16; rank 3 runs 0.05 ms of a 100 ms
+    // makespan vs a sibling median run fraction of 0.8.
+    obs::EventLog log;
+    starved_trace(log, 8);
+    const auto r = obs::SchedulerReport::from(log);
+    const auto v = obs::sched_verdicts(r);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, obs::AnomalyKind::kStarvedLane);
+    EXPECT_EQ(v[0].rank, 3);
+    EXPECT_LT(v[0].value, 0.25 * 0.8);
+  }
+  {
+    // Same shape below the evidence floor (3 x 4 + 1 = 13 tasks < 16).
+    obs::EventLog log;
+    starved_trace(log, 4);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+}
+
+void storm_trace(obs::EventLog& log, int failures, int successes) {
+  obs::Tracer t(&log);
+  for (int i = 0; i < failures; ++i)
+    t.steal(1 + i % 3, 0.001 * (i + 1), /*victim=*/-1, 1'000);
+  for (int i = 0; i < successes; ++i)
+    t.steal(1 + i % 3, 0.0005 * (i + 1), /*victim=*/0, 1'000);
+  t.task_run(0, 0.2, 1'000'000);  // the victim lane exists and ran something
+}
+
+TEST(SchedVerdicts, StealStormFiresAboveFloorAndRatio) {
+  {
+    // 100 failures / 10 successes = ratio 10 >= 3, failures >= 64: fires.
+    obs::EventLog log;
+    storm_trace(log, 100, 10);
+    const auto r = obs::SchedulerReport::from(log);
+    const auto v = obs::sched_verdicts(r);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, obs::AnomalyKind::kStealStorm);
+    EXPECT_DOUBLE_EQ(v[0].value, 10.0);
+  }
+  {
+    // Below the evidence floor: 63 failures, however bad the ratio.
+    obs::EventLog log;
+    storm_trace(log, 63, 0);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+  {
+    // Above the floor but a healthy ratio (100 / 50 = 2 < 3): quiet.
+    obs::EventLog log;
+    storm_trace(log, 100, 50);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+}
+
+/// `n` tasks of `span_ns` each on rank 0, one per millisecond of timeline:
+/// fine grain leaves the active window dominated by scheduling overhead,
+/// coarse grain packs it with run time.
+void grain_trace(obs::EventLog& log, int n, std::uint64_t span_ns) {
+  obs::Tracer t(&log);
+  for (int i = 0; i < n; ++i) t.task_run(0, 0.001 * (i + 1), span_ns);
+}
+
+TEST(SchedVerdicts, GrainTooFineFiresOnlyWhenOverheadDominates) {
+  {
+    // 300 tasks x 1 us of run spread over ~0.3 s: per-task overhead ~1 ms
+    // >= the 1 us median span, and 300 >= the 256-task floor.
+    obs::EventLog log;
+    grain_trace(log, 300, 1'000);
+    const auto r = obs::SchedulerReport::from(log);
+    const auto v = obs::sched_verdicts(r);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, obs::AnomalyKind::kGrainTooFine);
+  }
+  {
+    // Coarse grain: 300 back-to-back 1 ms tasks fill the active window, so
+    // the measured overhead is ~zero and the verdict stays quiet.
+    obs::EventLog log;
+    grain_trace(log, 300, 1'000'000);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+  {
+    // Fine grain below the evidence floor (200 < 256): quiet.
+    obs::EventLog log;
+    grain_trace(log, 200, 1'000);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+}
+
+/// Producer (rank 9) blocked on a peak-occupancy-1 window for `blocked_s`
+/// of a 1 s makespan while two consumer lanes each run for `lane_run_s` —
+/// occupancy 1 below 2 consumers is the "window too small" evidence leg.
+void window_trace(obs::EventLog& log, double blocked_s, double lane_run_s) {
+  obs::Tracer t(&log);
+  t.async_dispatch(9, 0.05, /*batch_id=*/1, /*count=*/4, /*in_flight=*/1);
+  t.span_begin(9, 0.1, "window_wait");
+  t.span_end(9, 0.1 + blocked_s, "window_wait");
+  t.async_complete(9, 0.1 + blocked_s, /*batch_id=*/1, /*count=*/4,
+                   /*in_flight=*/0);
+  t.task_run(0, 1.0, static_cast<std::uint64_t>(lane_run_s * 1e9));
+  t.task_run(1, 1.0, static_cast<std::uint64_t>(lane_run_s * 1e9));
+}
+
+TEST(SchedVerdicts, WindowStallFiresOnlyWhenLanesAreIdle) {
+  {
+    // Blocked 50% of the makespan, lane run fraction 0.1: fires on the
+    // producer rank.
+    obs::EventLog log;
+    window_trace(log, 0.5, 0.1);
+    const auto r = obs::SchedulerReport::from(log);
+    const auto v = obs::sched_verdicts(r);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, obs::AnomalyKind::kWindowStall);
+    EXPECT_EQ(v[0].rank, 9);
+    EXPECT_DOUBLE_EQ(v[0].value, 0.5);
+  }
+  {
+    // Same blocked share but the lanes are busy (run fraction 0.9 > 0.5):
+    // the window is not the bottleneck, so the verdict stays quiet.
+    obs::EventLog log;
+    window_trace(log, 0.5, 0.9);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+  {
+    // Blocked share below the floor (10% < 25%): quiet.
+    obs::EventLog log;
+    window_trace(log, 0.1, 0.1);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+  {
+    // Occupancy evidence: same blocked/busy shape, but the window was
+    // observed 2 deep — every consumer lane could hold a batch, so the
+    // window is not what idles them and the verdict stays quiet.
+    obs::EventLog log;
+    obs::Tracer t(&log);
+    t.async_dispatch(9, 0.05, 1, 4, /*in_flight=*/2);
+    t.span_begin(9, 0.1, "window_wait");
+    t.span_end(9, 0.6, "window_wait");
+    t.async_complete(9, 0.6, 1, 4, /*in_flight=*/1);
+    t.task_run(0, 1.0, 100'000'000);
+    t.task_run(1, 1.0, 100'000'000);
+    const auto r = obs::SchedulerReport::from(log);
+    EXPECT_EQ(r.max_occupancy, 2);
+    EXPECT_TRUE(obs::sched_verdicts(r).empty());
+  }
+}
+
+TEST(SchedVerdicts, ProducerLaneIsExemptFromStarvation) {
+  // Async-engine shape: lane 0 runs almost nothing itself, but every steal
+  // in the trace robs its deque (detached posts queue there) — a producer
+  // lane, not a starved one.  Lanes 1-2 are busy consumers.
+  obs::EventLog log;
+  obs::Tracer t(&log);
+  for (int rank = 1; rank <= 2; ++rank)
+    for (int i = 0; i < 12; ++i) {
+      t.steal(rank, 0.008 * (i + 1), /*victim=*/0, 1'000);
+      t.task_run(rank, 0.008 * (i + 1), 4'000'000);
+    }
+  t.task_run(0, 0.05, 50'000);  // the producer's one warm-up chunk
+  t.mark(0, 0.1, "end");
+
+  const auto r = obs::SchedulerReport::from(log);
+  ASSERT_EQ(r.total_tasks(), 25u);  // above the starved evidence floor
+  const std::size_t lane0 = r.lane_index(0);
+  ASSERT_LT(lane0, r.lanes.size());
+  EXPECT_TRUE(r.is_producer_lane(lane0));
+  EXPECT_EQ(r.consumer_lanes(), 2u);
+  EXPECT_TRUE(obs::sched_verdicts(r).empty());
+}
+
+TEST(SchedVerdicts, HealthyBalancedTraceIsQuiet) {
+  obs::EventLog log;
+  obs::Tracer t(&log);
+  // 4 balanced lanes, 8 x 10 ms tasks each, a few successful steals and a
+  // handful of failed sweeps — above the starved floor, below every other.
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int i = 0; i < 8; ++i) t.task_run(rank, 0.0125 * (i + 1), 10'000'000);
+    t.steal(rank, 0.05, (rank + 1) % 4, 2'000);
+    t.steal(rank, 0.06, -1, 2'000);
+  }
+  const auto r = obs::SchedulerReport::from(log);
+  EXPECT_EQ(r.total_tasks(), 32u);
+  EXPECT_TRUE(obs::sched_verdicts(r).empty());
+}
+
+// ---------------------------------------------------------------------------
+// PoolStats: lane/aggregate consistency and the snapshot/delta epoch API
+// ---------------------------------------------------------------------------
+
+void expect_lanes_sum_to_aggregate(const PoolStats& s) {
+  std::uint64_t tasks = 0, steals = 0, fails = 0, parks = 0, unparks = 0;
+  for (const auto& l : s.lanes) {
+    tasks += l.tasks_executed;
+    steals += l.steals;
+    fails += l.steal_failures;
+    parks += l.parks;
+    unparks += l.unparks;
+  }
+  EXPECT_EQ(tasks, s.tasks_executed);
+  EXPECT_EQ(steals, s.steals);
+  EXPECT_EQ(fails, s.steal_failures);
+  EXPECT_EQ(parks, s.parks);
+  EXPECT_EQ(unparks, s.unparks);
+}
+
+TEST(SchedPoolStats, MatrixRowSumsEqualLaneStealCounters) {
+  ThreadPool pool(3);
+  run_detached_tasks(pool, 10);
+
+  const PoolStats s = pool.stats();
+  expect_lanes_sum_to_aggregate(s);
+  EXPECT_GE(s.steals, 10u);  // each detached task = one successful steal
+  ASSERT_EQ(s.steal_matrix.size(), s.lanes.size() * s.lanes.size());
+  for (std::size_t thief = 0; thief < s.lanes.size(); ++thief) {
+    std::uint64_t row = 0;
+    for (std::size_t victim = 0; victim < s.lanes.size(); ++victim)
+      row += s.stolen(thief, victim);
+    EXPECT_EQ(row, s.lanes[thief].steals) << "thief lane " << thief;
+  }
+  // Detached posts queue on lane 0, so column 0 carries every steal.
+  std::uint64_t col0 = 0;
+  for (std::size_t thief = 0; thief < s.lanes.size(); ++thief)
+    col0 += s.stolen(thief, 0);
+  EXPECT_EQ(col0, s.steals);
+}
+
+TEST(SchedPoolStats, DeltaIsolatesOneEpoch) {
+  ThreadPool pool(3);
+  run_detached_tasks(pool, 6);
+  const PoolStats before = pool.stats();
+  run_detached_tasks(pool, 9);
+  const PoolStats after = pool.stats();
+
+  const PoolStats d = after.delta(before);
+  EXPECT_EQ(d.tasks_executed, after.tasks_executed - before.tasks_executed);
+  EXPECT_EQ(d.steals, after.steals - before.steals);
+  EXPECT_GE(d.steals, 9u);
+  expect_lanes_sum_to_aggregate(d);
+  ASSERT_EQ(d.steal_matrix.size(), after.steal_matrix.size());
+  for (std::size_t k = 0; k < d.steal_matrix.size(); ++k)
+    EXPECT_EQ(d.steal_matrix[k],
+              after.steal_matrix[k] - before.steal_matrix[k]);
+
+  // Saturation: a mismatched (future) baseline degrades to zero, not wrap.
+  const PoolStats inverted = before.delta(after);
+  EXPECT_EQ(inverted.steals, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metric families: exposition-format regression
+// ---------------------------------------------------------------------------
+
+TEST(SchedMetrics, PerLaneSeriesAppearInExposition) {
+  ThreadPool pool(3);
+  Parallelism par(&pool);
+  run_detached_tasks(pool, 8);
+
+  obs::MetricsRegistry reg;
+  par.bind_metrics(reg);
+  const PoolStats s = pool.stats();
+
+  // Registry values: unlabeled aggregate plus one series per lane.
+  EXPECT_EQ(reg.counter("pga_exec_tasks_total").value(),
+            static_cast<double>(s.tasks_executed));
+  for (std::size_t l = 0; l < s.lanes.size(); ++l) {
+    const obs::MetricLabels lane{{"lane", std::to_string(l)}};
+    EXPECT_EQ(reg.counter("pga_exec_tasks_total", "", lane).value(),
+              static_cast<double>(s.lanes[l].tasks_executed));
+    EXPECT_EQ(reg.counter("pga_exec_steals_total", "", lane).value(),
+              static_cast<double>(s.lanes[l].steals));
+  }
+
+  // Exposition text: family headers once, then aggregate + labeled series.
+  const std::string text = reg.to_prometheus();
+  for (const char* family :
+       {"pga_exec_tasks_total", "pga_exec_steals_total",
+        "pga_exec_steal_failures_total"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " counter"),
+              std::string::npos)
+        << family;
+    EXPECT_NE(text.find(std::string("\n") + family + " "), std::string::npos)
+        << family << " aggregate series missing";
+    for (std::size_t l = 0; l < s.lanes.size(); ++l)
+      EXPECT_NE(text.find(std::string(family) + "{lane=\"" +
+                          std::to_string(l) + "\"} "),
+                std::string::npos)
+          << family << " lane " << l << " series missing";
+  }
+}
+
+}  // namespace
+}  // namespace pga

@@ -52,10 +52,12 @@
 #include "obs/anomaly.hpp"
 #include "obs/causal.hpp"
 #include "obs/checkpoints.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/event_json.hpp"
 #include "obs/events.hpp"
 #include "obs/live.hpp"
 #include "obs/report.hpp"
+#include "obs/sched.hpp"
 #include "obs/speedup.hpp"
 #include "obs/stream.hpp"
 #include "core/async_steady_state.hpp"
@@ -76,6 +78,7 @@ void usage(std::FILE* to) {
       "       pga_doctor profile [options] <trace.json>\n"
       "       pga_doctor speedup [--baseline base.json] [options] "
       "<trace.json>\n"
+      "       pga_doctor sched [--chrome out.json] [options] <trace.json>\n"
       "       pga_doctor watch [--interval MS] [--max-idle S] [options] "
       "<trace.jsonl>\n"
       "       pga_doctor --gen healthy|faulty|wallclock|async "
@@ -100,6 +103,15 @@ void usage(std::FILE* to) {
       "                     number overstates the fair median beyond\n"
       "                     --speedup-tolerance (gate it with\n"
       "                     --fail-on misleading-speedup)\n"
+      "  sched              scheduler introspection over the executor\n"
+      "                     telemetry (kTaskRun/kSteal/kLanePark + async\n"
+      "                     window events): per-lane run/steal/park/idle\n"
+      "                     tiles, lane x lane steal matrix, task-grain\n"
+      "                     histogram, window-occupancy curve — plus the\n"
+      "                     evidence-backed verdicts starved-lane,\n"
+      "                     steal-storm, grain-too-fine, window-stall\n"
+      "                     (advisory unless listed in --fail-on).  A trace\n"
+      "                     without executor telemetry yields no verdicts.\n"
       "  watch              tail a live pga-event-stream-v1 JSONL file\n"
       "                     (obs::StreamWriter output), printing rolling\n"
       "                     verdicts and throughput as events arrive; exits\n"
@@ -114,8 +126,9 @@ void usage(std::FILE* to) {
       "                     and/or repeated ('-' and '_' both accepted).\n"
       "                     First use replaces the default, later uses add.\n"
       "                     kinds: failure stall premature_convergence\n"
-      "                            straggler comm_bound misleading_speedup;\n"
-      "                            also: all, none.\n"
+      "                            straggler comm_bound misleading_speedup\n"
+      "                            starved_lane steal_storm grain_too_fine\n"
+      "                            window_stall; also: all, none.\n"
       "                     default: failure,stall\n"
       "  --comm-bound-floor X  critical-path comm+wait fraction that trips\n"
       "                        the comm-bound gate (0.5)\n"
@@ -126,6 +139,17 @@ void usage(std::FILE* to) {
       "                        distribution (8)\n"
       "  --speedup-tolerance X  relative classical-vs-fair overstatement\n"
       "                         that counts as misleading (0.25)\n"
+      "  --chrome FILE      sched: also export the loaded trace as Chrome\n"
+      "                     trace_event JSON (lanes as named threads, tasks\n"
+      "                     and parks as blocks, steal flow arrows)\n"
+      "  --starved-ratio X  sched: run fraction vs sibling median that\n"
+      "                     counts as starved (0.25)\n"
+      "  --storm-ratio X    sched: steal failure/success ratio floor (3.0)\n"
+      "  --grain-ratio X    sched: median span <= X * per-task overhead\n"
+      "                     trips grain-too-fine (1.0)\n"
+      "  --window-blocked-floor X  sched: producer blocked fraction that\n"
+      "                            (with idle lanes) trips window-stall "
+      "(0.25)\n"
       "  --interval MS      watch: poll period in milliseconds (200)\n"
       "  --max-idle S       watch: stop after S seconds with no new events;\n"
       "                     0 = one pass over the current file (default)\n"
@@ -311,6 +335,10 @@ int generate_wallclock(const std::string& path) {
       64, [](Rng& r) { return BitString::random(kBits, r); }, rng);
   pop.evaluate_all(problem, par, /*grain=*/2);
 
+  // Let the worker lanes drain their post-barrier sweep (failed-steal and
+  // park events trail the caller's return) so the dump below is stable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
   // Sequential tail: the caller post-processes alone for ~9x the parallel
   // phase (synthetic timestamps; the detector only reads the values).
   obs::Tracer trace(&log);
@@ -398,6 +426,8 @@ int main(int argc, char** argv) {
   int watch_interval_ms = 200;
   double watch_max_idle_s = 0.0;
   obs::AnomalyConfig acfg;
+  obs::SchedVerdictConfig svcfg;
+  std::string chrome_out;
 
   auto value_arg = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -445,13 +475,24 @@ int main(int argc, char** argv) {
       acfg.straggler_ratio = std::atof(value_arg(i, "--straggler-ratio"));
     } else if (arg == "--comm-busy-floor") {
       acfg.comm_busy_floor = std::atof(value_arg(i, "--comm-busy-floor"));
+    } else if (arg == "--chrome") {
+      chrome_out = value_arg(i, "--chrome");
+    } else if (arg == "--starved-ratio") {
+      svcfg.starved_ratio = std::atof(value_arg(i, "--starved-ratio"));
+    } else if (arg == "--storm-ratio") {
+      svcfg.storm_failure_ratio = std::atof(value_arg(i, "--storm-ratio"));
+    } else if (arg == "--grain-ratio") {
+      svcfg.grain_ratio = std::atof(value_arg(i, "--grain-ratio"));
+    } else if (arg == "--window-blocked-floor") {
+      svcfg.window_blocked_floor =
+          std::atof(value_arg(i, "--window-blocked-floor"));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "pga_doctor: unknown option '%s'\n", arg.c_str());
       usage(stderr);
       return 2;
     } else if (subcommand.empty() && path.empty() &&
                (arg == "critical-path" || arg == "profile" ||
-                arg == "speedup" || arg == "watch")) {
+                arg == "speedup" || arg == "watch" || arg == "sched")) {
       subcommand = arg;
     } else if (path.empty()) {
       path = arg;
@@ -562,6 +603,102 @@ int main(int argc, char** argv) {
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
     return 2;
+  }
+
+  // ---- Scheduler introspection ----------------------------------------------
+  if (subcommand == "sched") {
+    const auto sr = obs::SchedulerReport::from(log);
+    std::printf("pga_doctor sched: %s — %zu events, makespan %.6g s\n",
+                path.c_str(), log.size(), sr.makespan);
+
+    if (!chrome_out.empty()) {
+      try {
+        obs::save_chrome_trace(log, chrome_out, "pga-sched");
+        std::printf("chrome trace (lanes as threads, steal flow arrows): "
+                    "%s\n",
+                    chrome_out.c_str());
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "pga_doctor: %s\n", ex.what());
+        return 2;
+      }
+    }
+
+    if (!sr.has_lane_events() && !sr.has_window_events()) {
+      std::printf("\nno executor telemetry in this trace (pre-PR-9 dump, or "
+                  "the pool ran without a tracer) — nothing to diagnose\n");
+      return 0;
+    }
+
+    if (sr.has_lane_events()) {
+      std::printf("\nlane tiles (run + steal + park + idle == makespan):\n");
+      std::printf("  %4s %8s %12s %6s %12s %12s %12s %12s\n", "lane", "tasks",
+                  "steals", "fail", "run s", "steal s", "park s", "idle s");
+      for (const auto& l : sr.lanes) {
+        std::printf("  %4d %8llu %12llu %6llu %9.6f %2.0f%% %9.6f %9.6f "
+                    "%9.6f\n",
+                    l.rank, static_cast<unsigned long long>(l.tasks),
+                    static_cast<unsigned long long>(l.steals),
+                    static_cast<unsigned long long>(l.steal_failures), l.run,
+                    sr.makespan > 0.0 ? 100.0 * l.run / sr.makespan : 0.0,
+                    l.steal, l.park, l.idle);
+      }
+
+      if (sr.total_steals() > 0) {
+        std::printf("\nsteal matrix (rows thieves, cols victims; row sums "
+                    "== lane steals):\n       ");
+        for (const auto& v : sr.lanes) std::printf(" %6d", v.rank);
+        std::printf("\n");
+        for (std::size_t i = 0; i < sr.lanes.size(); ++i) {
+          std::printf("  %4d:", sr.lanes[i].rank);
+          for (std::size_t j = 0; j < sr.lanes.size(); ++j)
+            std::printf(" %6llu",
+                        static_cast<unsigned long long>(sr.stolen(i, j)));
+          std::printf("\n");
+        }
+      }
+
+      if (!sr.task_spans_ns.empty()) {
+        std::printf("\ntask grain: %llu tasks, span p10/p50/p90 = "
+                    "%.3g/%.3g/%.3g us, per-task overhead %.3g us\n",
+                    static_cast<unsigned long long>(sr.total_tasks()),
+                    static_cast<double>(sr.task_span_quantile_ns(0.10)) * 1e-3,
+                    static_cast<double>(sr.median_task_span_ns()) * 1e-3,
+                    static_cast<double>(sr.task_span_quantile_ns(0.90)) * 1e-3,
+                    sr.overhead_per_task() * 1e6);
+      }
+    }
+
+    if (sr.has_window_events()) {
+      std::printf("\nasync window: %zu occupancy samples, peak %d in "
+                  "flight, producer blocked %.6g s (%.1f%% of makespan%s)\n",
+                  sr.window_curve.size(), sr.max_occupancy,
+                  sr.producer_blocked, 100.0 * sr.producer_blocked_fraction(),
+                  sr.producer_rank >= 0
+                      ? (", rank " + std::to_string(sr.producer_rank)).c_str()
+                      : "");
+    }
+
+    const auto verdicts = obs::sched_verdicts(sr, svcfg);
+    if (verdicts.empty()) {
+      std::printf("\nsched diagnosis: no scheduler anomalies — executor "
+                  "looks healthy\n");
+      return 0;
+    }
+    std::printf("\nsched diagnosis (%zu finding%s):\n", verdicts.size(),
+                verdicts.size() == 1 ? "" : "s");
+    int gated = 0;
+    for (const auto& a : verdicts) {
+      const bool gate = fail_on.count(a.kind) != 0;
+      gated += gate;
+      std::printf("  %s %s\n", gate ? "FAIL" : "warn", a.to_string().c_str());
+    }
+    if (gated > 0) {
+      std::printf("\n%d gated anomal%s -> exit 1\n", gated,
+                  gated == 1 ? "y" : "ies");
+      return 1;
+    }
+    std::printf("\nonly advisory findings -> exit 0\n");
+    return 0;
   }
 
   // ---- Checkpoint-fair speedup audit ----------------------------------------
