@@ -1,0 +1,512 @@
+// M1 — model-based engines at scale: millions of virtual individuals in
+// kilobytes of state (Harik's compact GA; Lobo, Lima & Mártires' parallel
+// architecture, arXiv cs/0402049).
+//
+// A cGA stores a probability vector, not a population: its "effective
+// population" N is the 1/N tournament step, so N = 10^6..10^9 costs exactly
+// the same memory as N = 100 — the footprint is O(dim), and in the sharded
+// mode O(dim / shards) per worker.  The engine's throughput axis is the
+// counter-based sampler (core/model_sample.cpp): every Bernoulli draw has a
+// fixed counter, so sampling vectorizes, partitions across threads and
+// shards without coordination, and replays bit-identically.
+//
+// Sections:
+//   * scale table — cGA at N = 10^6..10^9 on OneMax / DeceptiveTrap / NK:
+//     evals/sec and the constant footprint (the memory gate);
+//   * sampler duel — the vectorized counter sampler vs a per-individual
+//     std::bernoulli_distribution baseline over the same draw volume
+//     (gated: the vectorized path must win in full mode);
+//   * convergence — cGA at N = 10^6 and UMDA driven to the OneMax optimum
+//     (gated: both must reach it — trajectories are seed-pure);
+//   * sharded — SimCluster manager/worker runs at 1/4/16 shards must be
+//     bit-identical to the single-process engine (gated, every mode), and
+//     stay bit-identical when a shard is killed mid-run (gated, every
+//     mode: regeneration costs traffic, never trajectory);
+//   * update traffic — batch-size sweep of the sharded mode: model
+//     exchanges amortize over the batch, trading traffic per eval against
+//     evals to target.
+//
+// Emits: BENCH_m1.json (pga-bench-series-v1) and bench_m1_events.json (a
+// traced healthy exemplar; `pga_doctor --fail-on
+// failure,stall,misleading-speedup` must pass it — tests/pga_model_scale.cmake
+// re-derives the gates from CLI exit codes).  `--smoke` trims epochs, the N
+// sweep, and the shard grid, and skips the wall-clock sampler gate (shared
+// CI runners), keeping every correctness gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/checkpoint.hpp"
+#include "core/model_ga.hpp"
+#include "core/model_kernels.hpp"
+#include "obs/event_json.hpp"
+#include "obs/events.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+
+using namespace pga;
+
+namespace {
+
+[[nodiscard]] double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr double kSamplerRequiredSpeedup = 1.2;  // vectorized vs <random>
+
+struct ScaleRow {
+  std::string problem;
+  double virtual_population = 0.0;
+  std::uint64_t epochs = 0;
+  std::uint64_t evals = 0;
+  double wall_s = 0.0;
+  double best = 0.0;
+  std::size_t footprint = 0;
+};
+
+ScaleRow run_scale(const Problem<BitString>& problem, const char* pname,
+                   std::size_t dim, double n, std::size_t epochs) {
+  ModelGaConfig cfg;
+  cfg.kind = ModelKind::kCga;
+  cfg.virtual_population = n;
+  cfg.batch = 256;
+  cfg.seed = 17;
+  cfg.stop.max_generations = epochs;
+  ModelGa engine(dim, cfg);
+  const double t0 = now_s();
+  const ModelResult r = engine.run(problem);
+  ScaleRow row;
+  row.problem = pname;
+  row.virtual_population = n;
+  row.epochs = r.epochs;
+  row.evals = r.evaluations;
+  row.wall_s = now_s() - t0;
+  row.best = r.best.fitness;
+  row.footprint = engine.footprint_bytes();
+  return row;
+}
+
+/// Times the vectorized block sampler and the per-individual <random>
+/// baseline over the same `blocks * 16 * dim` Bernoulli draws.  Returns
+/// {vector_s, scalar_s}.
+std::pair<double, double> sampler_duel(std::size_t dim, std::size_t blocks) {
+  Rng rng(23);
+  std::vector<double> p(dim);
+  for (auto& pi : p) pi = rng.uniform();
+  std::vector<std::uint8_t> block(dim * kSoaLanes);
+  const std::uint64_t key = CounterRng::keyed(3).key();
+
+  volatile std::uint8_t sink = 0;
+  double vec_s = 1e300, sca_s = 1e300;
+  for (int round = 0; round < 3; ++round) {  // min-of-3: preemption immunity
+    double t0 = now_s();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      model_detail::sample_rows(p.data(), 0, dim, dim, key, b * kSoaLanes,
+                                block.data());
+      sink = sink ^ block[0];
+    }
+    vec_s = std::min(vec_s, now_s() - t0);
+
+    std::mt19937_64 eng(99);
+    t0 = now_s();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t l = 0; l < kSoaLanes; ++l)
+        for (std::size_t i = 0; i < dim; ++i) {
+          std::bernoulli_distribution d(p[i]);
+          block[i * kSoaLanes + l] = d(eng) ? 1 : 0;
+        }
+      sink = sink ^ block[0];
+    }
+    sca_s = std::min(sca_s, now_s() - t0);
+  }
+  return {vec_s, sca_s};
+}
+
+struct ShardedOutcome {
+  ShardedModelReport rep;
+  bool identical = false;
+};
+
+ShardedOutcome run_sharded(const Problem<BitString>& problem, std::size_t dim,
+                           const ModelGaConfig& engine_cfg,
+                           const ModelState& reference, int shards,
+                           double fail_rank2_at = -1.0) {
+  ShardedModelConfig scfg;
+  scfg.engine = engine_cfg;
+  auto simcfg =
+      sim::homogeneous(shards + 1, sim::NetworkModel::gigabit_ethernet());
+  if (fail_rank2_at >= 0.0) {
+    // Finite deadline + a cost model so virtual time advances and the
+    // injected death actually bites mid-run.
+    scfg.epoch_timeout_s = 0.01;
+    scfg.sample_cost_per_bit_s = 2e-9;
+    scfg.eval_cost_per_candidate_s = 1e-7;
+    scfg.update_cost_per_locus_s = 1e-9;
+    simcfg.nodes[2].fail_at = fail_rank2_at;
+  }
+  ShardedOutcome out;
+  sim::SimCluster cluster(std::move(simcfg));
+  (void)cluster.run([&](comm::Transport& t) {
+    auto r = run_sharded_model(t, dim, problem, scfg);
+    if (t.rank() == 0) out.rep = std::move(r);
+  });
+  out.identical = out.rep.final_state.p == reference.p &&
+                  out.rep.final_state.best_genome.bits ==
+                      reference.best_genome.bits &&
+                  out.rep.final_state.epoch == reference.epoch;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::headline(
+      "M1 - model-based engines: millions of virtual individuals",
+      "a compact GA's effective population is a parameter, not a data "
+      "structure: N = 10^6..10^9 in O(dim) memory, counter-based sampling "
+      "that vectorizes and shards without losing bit-identity");
+
+  std::string series;
+  bool first = true;
+  auto record = [&](const std::string& obj) {
+    series += bench::fmt("%s\n    %s", first ? "" : ",", obj.c_str());
+    first = false;
+  };
+
+  // --- Scale table ---------------------------------------------------------
+  const std::size_t dim = 256;
+  const std::size_t scale_epochs = smoke ? 50 : 400;
+  const std::vector<double> n_sweep =
+      smoke ? std::vector<double>{1e6, 1e9}
+            : std::vector<double>{1e6, 1e7, 1e8, 1e9};
+
+  const problems::OneMax onemax(dim);
+  const problems::DeceptiveTrap trap(dim / 4, 4);
+  Rng nk_rng(31);
+  const problems::NKLandscape nk(dim, 3, nk_rng);
+  const Problem<BitString>* probs[3] = {&onemax, &trap, &nk};
+  const char* prob_names[3] = {"OneMax", "DeceptiveTrap", "NK(k=3)"};
+
+  bench::Table scale_table({"problem", "virtual N", "epochs", "evals",
+                            "wall (s)", "evals/s", "best", "footprint (KiB)"});
+  bool footprint_constant = true;
+  std::size_t footprint_bytes = 0;
+  for (int pi = 0; pi < 3; ++pi) {
+    std::size_t first_fp = 0;
+    for (const double n : n_sweep) {
+      const ScaleRow row =
+          run_scale(*probs[pi], prob_names[pi], dim, n, scale_epochs);
+      if (first_fp == 0) first_fp = row.footprint;
+      footprint_constant =
+          footprint_constant && row.footprint == first_fp;
+      footprint_bytes = row.footprint;
+      const double rate =
+          row.wall_s > 0.0 ? static_cast<double>(row.evals) / row.wall_s : 0.0;
+      scale_table.row({row.problem, bench::fmt("%.0e", row.virtual_population),
+                       bench::fmt("%llu",
+                                  static_cast<unsigned long long>(row.epochs)),
+                       bench::fmt("%llu",
+                                  static_cast<unsigned long long>(row.evals)),
+                       bench::fmt("%.3f", row.wall_s),
+                       bench::fmt("%.3g", rate), bench::fmt("%.1f", row.best),
+                       bench::fmt("%.1f",
+                                  static_cast<double>(row.footprint) /
+                                      1024.0)});
+      record(bench::fmt(
+          "{\"section\": \"scale\", \"problem\": \"%s\", "
+          "\"virtual_population\": %.1e, \"epochs\": %llu, "
+          "\"evaluations\": %llu, \"wall_s\": %.4f, \"evals_per_s\": %.4g, "
+          "\"best\": %.4f, \"footprint_bytes\": %zu}",
+          row.problem.c_str(), row.virtual_population,
+          static_cast<unsigned long long>(row.epochs),
+          static_cast<unsigned long long>(row.evals), row.wall_s, rate,
+          row.best, row.footprint));
+    }
+  }
+  scale_table.print();
+  std::printf(
+      "(footprint %s across the N sweep: %.1f KiB for dim %zu — the virtual "
+      "population costs no memory)\n\n",
+      footprint_constant ? "constant" : "NOT CONSTANT",
+      static_cast<double>(footprint_bytes) / 1024.0, dim);
+
+  // --- Sampler duel --------------------------------------------------------
+  const auto [vec_s, sca_s] = sampler_duel(4096, smoke ? 64 : 512);
+  const double sampler_speedup = vec_s > 0.0 ? sca_s / vec_s : 0.0;
+  std::printf(
+      "Sampler duel (4096 loci x %d blocks x 16 lanes): vectorized %.4fs, "
+      "std::bernoulli_distribution %.4fs -> %.1fx\n\n",
+      smoke ? 64 : 512, vec_s, sca_s, sampler_speedup);
+  record(bench::fmt("{\"section\": \"sampler\", \"vector_s\": %.5f, "
+                    "\"scalar_s\": %.5f, \"speedup\": %.3f}",
+                    vec_s, sca_s, sampler_speedup));
+
+  // --- Convergence ---------------------------------------------------------
+  // cGA at a million virtual individuals: the 1/N step means convergence
+  // costs ~N-proportional tournaments, so the demo problem is sized to
+  // finish in seconds while the scale table above carries the 10^9 axis.
+  const std::size_t conv_dim = smoke ? 48 : 96;
+  bool cga_converged = false, umda_converged = false;
+  std::uint64_t cga_epochs = 0, umda_epochs = 0;
+  {
+    const problems::OneMax om(conv_dim);
+    ModelGaConfig cfg;
+    cfg.kind = ModelKind::kCga;
+    cfg.virtual_population = smoke ? 2e4 : 1e6;
+    cfg.batch = 1024;
+    cfg.seed = 5;
+    cfg.stop.max_generations = 2000000;
+    cfg.stop.target_fitness = static_cast<double>(conv_dim);
+    ModelGa engine(conv_dim, cfg);
+    const double t0 = now_s();
+    const ModelResult r = engine.run(om);
+    cga_converged = r.reached_target;
+    cga_epochs = r.epochs;
+    std::printf(
+        "cGA  N=%.0e OneMax(%zu): %s in %llu epochs / %llu evals (%.2fs)\n",
+        cfg.virtual_population, conv_dim,
+        r.reached_target ? "optimum" : "NO OPTIMUM",
+        static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.evaluations), now_s() - t0);
+    record(bench::fmt(
+        "{\"section\": \"convergence\", \"kind\": \"cGA\", "
+        "\"virtual_population\": %.1e, \"dim\": %zu, \"reached\": %s, "
+        "\"epochs\": %llu, \"evaluations\": %llu}",
+        cfg.virtual_population, conv_dim, r.reached_target ? "true" : "false",
+        static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.evaluations)));
+  }
+  {
+    const problems::OneMax om(conv_dim);
+    ModelGaConfig cfg;
+    cfg.kind = ModelKind::kUmda;
+    cfg.batch = 512;
+    cfg.seed = 5;
+    cfg.stop.max_generations = 2000;
+    cfg.stop.target_fitness = static_cast<double>(conv_dim);
+    ModelGa engine(conv_dim, cfg);
+    const ModelResult r = engine.run(om);
+    umda_converged = r.reached_target;
+    umda_epochs = r.epochs;
+    std::printf("UMDA mu=%zu OneMax(%zu): %s in %llu epochs / %llu evals\n\n",
+                engine.config().selection, conv_dim,
+                r.reached_target ? "optimum" : "NO OPTIMUM",
+                static_cast<unsigned long long>(r.epochs),
+                static_cast<unsigned long long>(r.evaluations));
+    record(bench::fmt(
+        "{\"section\": \"convergence\", \"kind\": \"UMDA\", \"dim\": %zu, "
+        "\"reached\": %s, \"epochs\": %llu, \"evaluations\": %llu}",
+        conv_dim, r.reached_target ? "true" : "false",
+        static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.evaluations)));
+  }
+
+  // --- Sharded bit-identity ------------------------------------------------
+  ModelGaConfig shard_cfg;
+  shard_cfg.kind = ModelKind::kCga;
+  shard_cfg.virtual_population = 1e6;
+  shard_cfg.batch = 64;
+  shard_cfg.seed = 7;
+  shard_cfg.stop.max_generations = smoke ? 20 : 60;
+  const std::size_t shard_dim = 96;
+  const problems::OneMax shard_problem(shard_dim);
+  ModelGa shard_ref(shard_dim, shard_cfg);
+  (void)shard_ref.run(shard_problem);
+
+  bench::Table shard_table({"shards", "identical", "epochs", "sample MiB",
+                            "model MiB", "regenerated", "dead"});
+  bool sharded_identical = true;
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  for (const int shards : shard_counts) {
+    const ShardedOutcome out = run_sharded(shard_problem, shard_dim,
+                                           shard_cfg, shard_ref.state(),
+                                           shards);
+    sharded_identical = sharded_identical && out.identical;
+    shard_table.row(
+        {bench::fmt("%d", shards), out.identical ? "yes" : "NO",
+         bench::fmt("%llu",
+                    static_cast<unsigned long long>(out.rep.result.epochs)),
+         bench::fmt("%.3f", static_cast<double>(out.rep.sample_bytes) /
+                                (1024.0 * 1024.0)),
+         bench::fmt("%.3f", static_cast<double>(out.rep.model_bytes) /
+                                (1024.0 * 1024.0)),
+         bench::fmt("%llu", static_cast<unsigned long long>(
+                                out.rep.regenerated_slices)),
+         bench::fmt("%zu", out.rep.dead_shards.size())});
+    record(bench::fmt(
+        "{\"section\": \"sharded\", \"shards\": %d, \"identical\": %s, "
+        "\"epochs\": %llu, \"sample_bytes\": %llu, \"model_bytes\": %llu, "
+        "\"regenerated_slices\": %llu}",
+        shards, out.identical ? "true" : "false",
+        static_cast<unsigned long long>(out.rep.result.epochs),
+        static_cast<unsigned long long>(out.rep.sample_bytes),
+        static_cast<unsigned long long>(out.rep.model_bytes),
+        static_cast<unsigned long long>(out.rep.regenerated_slices)));
+  }
+  shard_table.print();
+
+  // Straggler/failure demo: kill shard 2 mid-run; the manager regenerates
+  // its slice from the shadow model, bit-exactly.
+  const ShardedOutcome fault = run_sharded(shard_problem, shard_dim,
+                                           shard_cfg, shard_ref.state(), 4,
+                                           /*fail_rank2_at=*/0.002);
+  const bool failure_identical = fault.identical;
+  std::printf(
+      "\nInjected failure (rank 2 dies at t=0.002 virtual): trajectory %s, "
+      "%zu dead shard(s), %llu slices regenerated\n\n",
+      failure_identical ? "bit-identical" : "DIVERGED",
+      fault.rep.dead_shards.size(),
+      static_cast<unsigned long long>(fault.rep.regenerated_slices));
+  record(bench::fmt(
+      "{\"section\": \"failure\", \"identical\": %s, \"dead_shards\": %zu, "
+      "\"regenerated_slices\": %llu}",
+      failure_identical ? "true" : "false", fault.rep.dead_shards.size(),
+      static_cast<unsigned long long>(fault.rep.regenerated_slices)));
+
+  // --- Update traffic vs convergence ---------------------------------------
+  // One model exchange per epoch amortizes over `batch` evaluations: larger
+  // batches cut traffic per eval but spend more evaluations per model
+  // update.  UMDA to the OneMax optimum, 4 shards.
+  bench::Table traffic_table({"batch", "epochs", "evals", "traffic (MiB)",
+                              "bytes/eval", "reached"});
+  const std::vector<std::size_t> batch_sweep =
+      smoke ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{256, 1024, 4096, 16384};
+  const std::size_t traffic_dim = 128;
+  const problems::OneMax traffic_problem(traffic_dim);
+  for (const std::size_t batch : batch_sweep) {
+    ModelGaConfig cfg;
+    cfg.kind = ModelKind::kUmda;
+    cfg.batch = batch;
+    cfg.seed = 13;
+    cfg.stop.max_generations = 4000;
+    cfg.stop.target_fitness = static_cast<double>(traffic_dim);
+    ModelGa ref(traffic_dim, cfg);
+    const ModelResult rref = ref.run(traffic_problem);
+    const ShardedOutcome out =
+        run_sharded(traffic_problem, traffic_dim, cfg, ref.state(), 4);
+    sharded_identical = sharded_identical && out.identical;
+    const std::uint64_t traffic =
+        out.rep.sample_bytes + out.rep.model_bytes;
+    const double per_eval =
+        rref.evaluations > 0
+            ? static_cast<double>(traffic) /
+                  static_cast<double>(rref.evaluations)
+            : 0.0;
+    traffic_table.row(
+        {bench::fmt("%zu", batch),
+         bench::fmt("%llu", static_cast<unsigned long long>(rref.epochs)),
+         bench::fmt("%llu",
+                    static_cast<unsigned long long>(rref.evaluations)),
+         bench::fmt("%.2f",
+                    static_cast<double>(traffic) / (1024.0 * 1024.0)),
+         bench::fmt("%.1f", per_eval),
+         rref.reached_target ? "yes" : "NO"});
+    record(bench::fmt(
+        "{\"section\": \"traffic\", \"batch\": %zu, \"epochs\": %llu, "
+        "\"evaluations\": %llu, \"traffic_bytes\": %llu, "
+        "\"bytes_per_eval\": %.2f, \"reached\": %s, \"identical\": %s}",
+        batch, static_cast<unsigned long long>(rref.epochs),
+        static_cast<unsigned long long>(rref.evaluations),
+        static_cast<unsigned long long>(traffic), per_eval,
+        rref.reached_target ? "true" : "false",
+        out.identical ? "true" : "false"));
+  }
+  traffic_table.print();
+
+  // --- Traced exemplar (healthy; doctor-audited by tests/CI) ---------------
+  obs::EventLog log;
+  {
+    const problems::OneMax om(conv_dim);
+    ModelGaConfig cfg;
+    cfg.kind = ModelKind::kUmda;
+    cfg.batch = 512;
+    cfg.seed = 5;
+    cfg.stop.max_generations = 2000;
+    cfg.stop.target_fitness = static_cast<double>(conv_dim);
+    cfg.trace = obs::Tracer(&log);
+    ModelGa engine(conv_dim, cfg);
+    (void)engine.run(om);
+  }
+  obs::save_event_log(log, "bench_m1_events.json");
+  std::printf(
+      "\nTrace -> bench_m1_events.json (audit: pga_doctor --fail-on "
+      "failure,stall,misleading-speedup bench_m1_events.json)\n");
+
+  // --- BENCH_m1.json -------------------------------------------------------
+  {
+    std::FILE* f = std::fopen("BENCH_m1.json", "w");
+    if (f) {
+      std::fprintf(
+          f,
+          "{\n  \"format\": \"pga-bench-series-v1\",\n"
+          "  \"bench\": \"m1_model_scale\",\n"
+          "  \"smoke\": %s,\n"
+          "  \"gate\": {\"footprint_constant\": %s, \"footprint_bytes\": "
+          "%zu, \"sampler_speedup\": %.3f, \"sampler_required\": %.2f, "
+          "\"cga_converged\": %s, \"cga_epochs\": %llu, "
+          "\"umda_converged\": %s, \"umda_epochs\": %llu, "
+          "\"sharded_identical\": %s, \"failure_identical\": %s, "
+          "\"dead_shards\": %zu, \"regenerated_slices\": %llu},\n"
+          "  \"series\": [%s\n  ]\n}\n",
+          smoke ? "true" : "false", footprint_constant ? "true" : "false",
+          footprint_bytes, sampler_speedup, kSamplerRequiredSpeedup,
+          cga_converged ? "true" : "false",
+          static_cast<unsigned long long>(cga_epochs),
+          umda_converged ? "true" : "false",
+          static_cast<unsigned long long>(umda_epochs),
+          sharded_identical ? "true" : "false",
+          failure_identical ? "true" : "false", fault.rep.dead_shards.size(),
+          static_cast<unsigned long long>(fault.rep.regenerated_slices),
+          series.c_str());
+      std::fclose(f);
+      std::printf("Series -> BENCH_m1.json\n");
+    }
+  }
+
+  // --- Exit contract -------------------------------------------------------
+  // Correctness gates hold in every mode: they are seed-pure properties of
+  // the counter-RNG design, not timing.
+  if (!footprint_constant) {
+    std::fprintf(stderr, "M1: footprint grew with virtual population\n");
+    return 1;
+  }
+  if (!sharded_identical) {
+    std::fprintf(stderr, "M1: a sharded run diverged from single-process\n");
+    return 1;
+  }
+  if (!failure_identical || fault.rep.dead_shards.empty()) {
+    std::fprintf(stderr,
+                 "M1: failure injection did not preserve bit-identity "
+                 "(or no shard died)\n");
+    return 1;
+  }
+  if (!cga_converged || !umda_converged) {
+    std::fprintf(stderr, "M1: an engine missed the OneMax optimum\n");
+    return 1;
+  }
+  if (smoke) return 0;  // wall-clock ratios are advisory on shared runners
+  if (sampler_speedup < kSamplerRequiredSpeedup) {
+    std::fprintf(stderr,
+                 "M1: vectorized sampler speedup %.2fx is below the "
+                 "required %.2fx\n",
+                 sampler_speedup, kSamplerRequiredSpeedup);
+    return 1;
+  }
+  return 0;
+}

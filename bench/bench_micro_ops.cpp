@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <random>
 #include <span>
 
 #include "comm/inproc.hpp"
 #include "comm/serialize.hpp"
 #include "core/cellular.hpp"
 #include "core/evolution.hpp"
+#include "core/model_kernels.hpp"
+#include "core/rng.hpp"
 #include "core/soa.hpp"
 #include "exec/parallelism.hpp"
 #include "exec/thread_pool.hpp"
@@ -383,6 +386,81 @@ void BM_ParallelForOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// --- Model-engine sampling/update kernels (core/model_sample.cpp) -------
+
+// Counter-RNG block sampler vs the per-individual <random> baseline the
+// kernels replace.  The vectorized sampler draws one block (16 lanes) of
+// `dim` loci per iteration; the baseline draws the same 16 x dim Bernoulli
+// variates through std::bernoulli_distribution on one sequential engine.
+// bench_m1_model_scale gates the ratio; these series expose the raw costs.
+void BM_BernoulliSampleBlock(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> p(dim);
+  for (auto& pi : p) pi = rng.uniform();
+  std::vector<std::uint8_t> block(dim * kSoaLanes);
+  const std::uint64_t key = CounterRng::keyed(5).derive(1).key();
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    model_detail::sample_rows(p.data(), 0, dim, dim, key, base, block.data());
+    benchmark::DoNotOptimize(block.data());
+    base += kSoaLanes;  // fresh counters each iteration, as in an epoch
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * kSoaLanes));
+}
+BENCHMARK(BM_BernoulliSampleBlock)->Arg(256)->Arg(4096);
+
+void BM_BernoulliSampleBlockScalarBaseline(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> p(dim);
+  for (auto& pi : p) pi = rng.uniform();
+  std::vector<std::uint8_t> block(dim * kSoaLanes);
+  std::mt19937_64 eng(42);
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < kSoaLanes; ++l)
+      for (std::size_t i = 0; i < dim; ++i) {
+        std::bernoulli_distribution d(p[i]);
+        block[i * kSoaLanes + l] = d(eng) ? 1 : 0;
+      }
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * kSoaLanes));
+}
+BENCHMARK(BM_BernoulliSampleBlockScalarBaseline)->Arg(256)->Arg(4096);
+
+// One full cGA model update (tournament deltas + clamp) over a sampled
+// batch, the per-epoch cost that amortizes against batch evaluations.
+void BM_ModelUpdate(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = 256, blocks = batch / kSoaLanes;
+  Rng rng(13);
+  std::vector<double> p(dim, 0.5);
+  std::vector<std::uint8_t> slab(blocks * dim * kSoaLanes);
+  const std::uint64_t key = CounterRng::keyed(9).key();
+  for (std::size_t b = 0; b < blocks; ++b)
+    model_detail::sample_rows(p.data(), 0, dim, dim, key, b * kSoaLanes,
+                              slab.data() + b * dim * kSoaLanes);
+  std::vector<std::uint8_t> winner_hi(blocks * (kSoaLanes / 2));
+  std::vector<std::uint8_t> live(blocks * (kSoaLanes / 2), 1);
+  for (std::size_t j = 0; j < winner_hi.size(); ++j) winner_hi[j] = j & 1;
+  std::vector<std::int32_t> delta(dim);
+  const double inv_n = 1e-6, lo = 1.0 / static_cast<double>(dim);
+  for (auto _ : state) {
+    std::fill(delta.begin(), delta.end(), 0);
+    model_detail::cga_accumulate(slab.data(), dim, blocks, winner_hi.data(),
+                                 live.data(), 0, dim, delta.data());
+    for (std::size_t i = 0; i < dim; ++i)
+      p[i] = std::clamp(p[i] + delta[i] * inv_n, lo, 1.0 - lo);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_ModelUpdate)->Arg(256)->Arg(4096);
 
 void BM_MetricsCounterInc(benchmark::State& state) {
   obs::MetricsRegistry registry;

@@ -14,12 +14,19 @@
 #include <vector>
 
 #include "comm/serialize.hpp"
+#include "core/model_ga.hpp"
 #include "core/population.hpp"
 
 namespace pga {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x50474131;  // "PGA1"
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Model-based engines checkpoint a probability vector, not a population;
+// a distinct magic keeps the two file kinds from being misread as each
+// other.
+inline constexpr std::uint32_t kModelCheckpointMagic = 0x5047414D;  // "PGAM"
+inline constexpr std::uint32_t kModelCheckpointVersion = 1;
 
 /// Serializes a population (genomes + fitness + evaluated flags).
 template <class G>
@@ -64,6 +71,68 @@ void save_checkpoint(const Population<G>& pop, const std::string& path) {
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+/// Serializes a model-engine state (probability vector + progress + best).
+/// Restoring it into ModelGa::restore resumes the exact trajectory: sampling
+/// is a pure function of (seed, epoch), so the continuation is bit-identical
+/// to a run that never stopped (asserted in tests/test_model.cpp).
+[[nodiscard]] inline std::vector<std::uint8_t> serialize_model_state(
+    const ModelState& st) {
+  comm::ByteWriter w;
+  w.write(kModelCheckpointMagic);
+  w.write(kModelCheckpointVersion);
+  w.write_vector(st.p);
+  w.write<std::uint64_t>(st.epoch);
+  w.write<std::uint64_t>(st.evaluations);
+  w.write<double>(st.best_fitness);
+  w.write_vector(st.best_genome.bits);
+  return std::move(w).take();
+}
+
+/// Restores a model state; throws std::runtime_error on malformed input.
+[[nodiscard]] inline ModelState deserialize_model_state(
+    std::span<const std::uint8_t> bytes) {
+  comm::ByteReader r(bytes);
+  if (r.read<std::uint32_t>() != kModelCheckpointMagic)
+    throw std::runtime_error("not a pgalib model checkpoint");
+  if (r.read<std::uint32_t>() != kModelCheckpointVersion)
+    throw std::runtime_error("unsupported model checkpoint version");
+  ModelState st;
+  st.p = r.read_vector<double>();
+  st.epoch = r.read<std::uint64_t>();
+  st.evaluations = r.read<std::uint64_t>();
+  st.best_fitness = r.read<double>();
+  st.best_genome.bits = r.read_vector<std::uint8_t>();
+  if (!r.exhausted())
+    throw std::runtime_error("trailing model checkpoint bytes");
+  return st;
+}
+
+/// Writes a model-state checkpoint file.
+inline void save_model_checkpoint(const ModelState& st,
+                                  const std::string& path) {
+  const auto bytes = serialize_model_state(st);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("cannot open checkpoint for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+/// Reads a model-state checkpoint file.
+[[nodiscard]] inline ModelState load_model_checkpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open checkpoint: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("checkpoint read failed: " + path);
+  return deserialize_model_state(bytes);
 }
 
 /// Reads a checkpoint file.

@@ -1,0 +1,677 @@
+#pragma once
+// Model-based engines: the compact GA (cGA) and UMDA as first-class,
+// throughput-oriented engines over BitString.
+//
+// Instead of storing individuals, these engines store a probability vector
+// p[dim] — Harik's compact GA simulates a virtual population of N
+// individuals in O(dim) memory by nudging each locus by 1/N toward
+// tournament winners, which is how "effective population 10^6..10^9" fits
+// in kilobytes (the ROADMAP's millions-of-virtual-individuals item; Lobo,
+// Lima & Mártires, arXiv cs/0402049, give the parallel architecture).  UMDA
+// replaces the nudge with the one-frequency of the top-mu candidates.
+//
+// Throughput design:
+//   * Sampling is counter-based (CounterRng): the draw for (candidate c,
+//     locus i) always uses counter c*dim+i under a per-epoch key, so the
+//     bits are a pure function of (seed, epoch, candidate, locus) — the
+//     same regardless of thread count, SIMD width, or shard decomposition.
+//     The hot loops live in core/model_sample.cpp (-O3, ISA clones).
+//   * Candidates are sampled straight into a SoaSlab (prepare_raw — no
+//     genome objects, no gather) and evaluated with the PR-5 SoA kernels;
+//     the per-lane tile fuses sample -> evaluate so one block stays
+//     cache-resident across both phases.  Zero steady-state allocations
+//     (asserted in tests/test_model.cpp).
+//   * Updates accumulate integer tournament deltas / one-counts per locus
+//     range in full block order: exact, commutative, thread-invariant.
+//
+// The sharded distributed mode (run_sharded_model) follows the
+// manager/worker architecture of cs/0402049: each worker rank owns a slice
+// of the probability vector, samples its slice for the whole batch, and
+// ships the packed bits to a manager that assembles the slab, evaluates,
+// and returns updated model slices.  Because sampling is counter-based, the
+// manager's shadow model can regenerate any shard's exact contribution —
+// stragglers and failures (the SimCluster injection hooks) cost traffic,
+// never trajectory: a sharded run is bit-identical to the single-process
+// engine at equal seeds, whatever dies.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/serialize.hpp"
+#include "comm/transport.hpp"
+#include "core/genome.hpp"
+#include "core/model_kernels.hpp"
+#include "core/population.hpp"
+#include "core/problem.hpp"
+#include "core/rng.hpp"
+#include "core/soa.hpp"
+#include "core/termination.hpp"
+#include "exec/parallelism.hpp"
+#include "obs/events.hpp"
+#include "obs/probes.hpp"
+
+namespace pga {
+
+enum class ModelKind : std::uint8_t { kCga, kUmda };
+
+[[nodiscard]] constexpr const char* to_string(ModelKind k) noexcept {
+  switch (k) {
+    case ModelKind::kCga: return "cGA";
+    case ModelKind::kUmda: return "UMDA";
+  }
+  return "?";
+}
+
+struct ModelGaConfig {
+  ModelKind kind = ModelKind::kCga;
+  /// cGA virtual population N: each tournament nudges a differing locus by
+  /// 1/N.  This is the "effective population" axis — it costs no memory.
+  /// Ignored by UMDA (whose population per epoch is `batch`).
+  double virtual_population = 1e6;
+  /// Candidates sampled and evaluated per epoch (rounded up to even for
+  /// cGA pairing).  The batch is the real memory/throughput knob: slab
+  /// bytes are batch x dim, and in sharded mode one model exchange is
+  /// amortized over `batch` evaluations.
+  std::size_t batch = 256;
+  /// UMDA selection size mu (0 = batch / 2).
+  std::size_t selection = 0;
+  /// Probability clamp [margin, 1-margin] so no locus fixates irrecoverably
+  /// (< 0 = the standard 1/dim).
+  double margin = -1.0;
+  std::uint64_t seed = 1;
+  StopCondition stop{};
+  int rank = 0;
+  obs::Tracer trace{};
+};
+
+/// Complete resumable model state: restoring it and re-running reproduces
+/// the original trajectory bit-for-bit (sampling is a pure function of
+/// (seed, epoch)).  Serialized via core/checkpoint.hpp.
+struct ModelState {
+  std::vector<double> p;
+  std::uint64_t epoch = 0;
+  std::uint64_t evaluations = 0;
+  double best_fitness = -std::numeric_limits<double>::infinity();
+  BitString best_genome{};
+};
+
+struct ModelResult {
+  Individual<BitString> best{};
+  std::uint64_t epochs = 0;
+  std::uint64_t evaluations = 0;
+  bool reached_target = false;
+};
+
+class ModelGa {
+ public:
+  ModelGa(std::size_t dim, ModelGaConfig cfg) : cfg_(std::move(cfg)), dim_(dim) {
+    if (dim == 0) throw std::invalid_argument("ModelGa: dim must be > 0");
+    if (cfg_.batch < 2) cfg_.batch = 2;
+    if (cfg_.kind == ModelKind::kCga && cfg_.batch % 2 != 0) ++cfg_.batch;
+    if (cfg_.selection == 0 || cfg_.selection > cfg_.batch)
+      cfg_.selection = cfg_.batch / 2;
+    if (!(cfg_.virtual_population >= 1.0))
+      throw std::invalid_argument("ModelGa: virtual_population must be >= 1");
+    margin_ = cfg_.margin >= 0.0 ? cfg_.margin : 1.0 / static_cast<double>(dim);
+    key_ = CounterRng::keyed(cfg_.seed);
+    state_.p.assign(dim, 0.5);
+    blocks_ = (cfg_.batch + kSoaLanes - 1) / kSoaLanes;
+    winner_hi_.assign(blocks_ * (kSoaLanes / 2), 0);
+    live_.assign(blocks_ * (kSoaLanes / 2), 0);
+    delta_.assign(dim, 0);
+    ones_.assign(dim, 0);
+    sel_.resize(cfg_.batch);
+    fit_copy_.reserve(cfg_.batch);
+  }
+
+  [[nodiscard]] const ModelState& state() const noexcept { return state_; }
+  [[nodiscard]] const ModelGaConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  /// Batch after rounding (what a sharded worker must agree on).
+  [[nodiscard]] std::size_t batch() const noexcept { return cfg_.batch; }
+  [[nodiscard]] double margin() const noexcept { return margin_; }
+
+  /// Restores a checkpointed model state; the next epoch continues the
+  /// original trajectory exactly.
+  void restore(ModelState s) {
+    if (s.p.size() != dim_)
+      throw std::invalid_argument("ModelGa::restore: dimension mismatch");
+    state_ = std::move(s);
+  }
+
+  /// Sampling key for the current epoch — candidate c, locus i draw uses
+  /// counter c*dim+i under this key, wherever it is computed.
+  [[nodiscard]] std::uint64_t epoch_key() const noexcept {
+    return key_.derive(state_.epoch).key();
+  }
+
+  /// One epoch: sample `batch()` candidates from the model straight into
+  /// the slab (fused with SoA evaluation per lane tile when the problem has
+  /// a kernel), tournament/select, update the model, emit telemetry.
+  /// Returns evaluations performed (== batch()).  `t` stamps the emitted
+  /// events; < 0 uses the epoch index (the virtual-time convention of
+  /// in-process runs).
+  std::size_t step(const Problem<BitString>& problem,
+                   const exec::Parallelism& par = {}, double t = -1.0) {
+    prepare_slab();
+    const std::uint64_t ekey = epoch_key();
+    const double* p = state_.p.data();
+    auto out = slab_.fitness_scratch();
+    if (problem.has_soa_kernel()) {
+      par.for_range(0, blocks_, 0,
+                    [&](std::size_t b0, std::size_t b1, int) {
+                      for (std::size_t b = b0; b < b1; ++b)
+                        model_detail::sample_rows(p, 0, dim_, dim_, ekey,
+                                                  b * kSoaLanes,
+                                                  slab_.block_mut(b));
+                      problem.fitness_soa(
+                          slab_.view().slice(b0, b1),
+                          out.subspan(b0 * kSoaLanes, (b1 - b0) * kSoaLanes));
+                    });
+    } else {
+      par.for_range(0, blocks_, 0,
+                    [&](std::size_t b0, std::size_t b1, int) {
+                      for (std::size_t b = b0; b < b1; ++b)
+                        model_detail::sample_rows(p, 0, dim_, dim_, ekey,
+                                                  b * kSoaLanes,
+                                                  slab_.block_mut(b));
+                    });
+      evaluate_batch_path(problem, par);
+    }
+    update(par, t);
+    return cfg_.batch;
+  }
+
+  /// Sharded-manager path: the slab for the current epoch was filled
+  /// externally (assembled from shard messages and/or regenerated);
+  /// evaluate and update only.  Bit-identical to step() because the
+  /// externally filled bits are, by counter-RNG construction, the same bits
+  /// step() would have sampled.
+  std::size_t step_prefilled(const Problem<BitString>& problem,
+                             const exec::Parallelism& par = {},
+                             double t = -1.0) {
+    auto out = slab_.fitness_scratch();
+    if (problem.has_soa_kernel()) {
+      par.for_range(0, blocks_, 0,
+                    [&](std::size_t b0, std::size_t b1, int) {
+                      problem.fitness_soa(
+                          slab_.view().slice(b0, b1),
+                          out.subspan(b0 * kSoaLanes, (b1 - b0) * kSoaLanes));
+                    });
+    } else {
+      evaluate_batch_path(problem, par);
+    }
+    update(par, t);
+    return cfg_.batch;
+  }
+
+  /// Sizes the slab for the current epoch and returns its mutable base for
+  /// external filling (tail lanes pre-zeroed).  Layout as in SoaView.
+  std::uint8_t* prepare_slab() {
+    slab_.prepare_raw(cfg_.batch, dim_);
+    return slab_.block_mut(0);
+  }
+  [[nodiscard]] std::size_t slab_blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::uint8_t* slab_block(std::size_t b) noexcept {
+    return slab_.block_mut(b);
+  }
+
+  /// Drives epochs until the stop condition fires.
+  ModelResult run(const Problem<BitString>& problem,
+                  const exec::Parallelism& par = {}) {
+    std::uint64_t stagnant = 0;
+    double last_best = state_.best_fitness;
+    while (!stop_now(cfg_.stop, state_, stagnant)) {
+      step(problem, par);
+      note_progress(state_, last_best, stagnant);
+    }
+    ModelResult r;
+    r.best = Individual<BitString>(state_.best_genome, state_.best_fitness);
+    r.epochs = state_.epoch;
+    r.evaluations = state_.evaluations;
+    r.reached_target = cfg_.stop.target_reached(state_.best_fitness);
+    return r;
+  }
+
+  /// Resident bytes of the engine's working set: model + slab + update
+  /// scratch.  Independent of virtual_population — the bench's
+  /// memory-bounded-O(dim) gate reads this.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t n = state_.p.capacity() * sizeof(double);
+    n += blocks_ * dim_ * kSoaLanes;                  // slab bits
+    n += blocks_ * kSoaLanes * sizeof(double);        // fitness scratch
+    n += winner_hi_.capacity() + live_.capacity();
+    n += delta_.capacity() * sizeof(std::int32_t);
+    n += ones_.capacity() * sizeof(std::uint32_t);
+    n += sel_.capacity() * sizeof(std::uint32_t);
+    n += fit_copy_.capacity() * sizeof(double);
+    for (const auto& g : scratch_)
+      n += g.bits.capacity() + sizeof(BitString);
+    return n;
+  }
+
+  // Shared stop logic, public so the sharded manager reproduces in-process
+  // termination exactly (the bit-identity contract includes *when* to stop).
+  [[nodiscard]] static bool stop_now(const StopCondition& s,
+                                     const ModelState& st,
+                                     std::uint64_t stagnant) noexcept {
+    return st.epoch >= s.max_generations ||
+           st.evaluations >= s.max_evaluations ||
+           s.target_reached(st.best_fitness) ||
+           (s.stagnation_generations != 0 &&
+            stagnant >= s.stagnation_generations);
+  }
+  static void note_progress(const ModelState& st, double& last_best,
+                            std::uint64_t& stagnant) noexcept {
+    if (st.best_fitness > last_best) {
+      last_best = st.best_fitness;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+  }
+
+ private:
+  // Non-kernel problems (e.g. NKLandscape, which overrides gene-major
+  // fitness_batch): unpack slab lanes into reused scratch genomes and
+  // evaluate per chunk.  Disjoint candidate ranges write disjoint outputs,
+  // so results are chunking-invariant.
+  void evaluate_batch_path(const Problem<BitString>& problem,
+                           const exec::Parallelism& par) {
+    if (scratch_.size() != cfg_.batch) {
+      scratch_.resize(cfg_.batch);
+      for (auto& g : scratch_) g.bits.assign(dim_, 0);
+    }
+    auto out = slab_.fitness_scratch();
+    const auto v = slab_.view();
+    par.for_range(0, cfg_.batch, 0,
+                  [&](std::size_t c0, std::size_t c1, int) {
+                    for (std::size_t c = c0; c < c1; ++c) {
+                      auto& bits = scratch_[c].bits;
+                      for (std::size_t i = 0; i < dim_; ++i)
+                        bits[i] = v.at(c, i);
+                    }
+                    problem.fitness_batch(
+                        std::span<const BitString>(scratch_).subspan(c0,
+                                                                     c1 - c0),
+                        out.subspan(c0, c1 - c0));
+                  });
+  }
+
+  // Tournament/selection update.  Parallelized over locus ranges: each lane
+  // accumulates integer deltas / one-counts for its loci over all blocks in
+  // fixed order, so the result is exact and identical for any thread count.
+  void update(const exec::Parallelism& par, double t) {
+    auto fit = slab_.fitness_scratch();
+    const std::size_t B = cfg_.batch;
+
+    // Best of the epoch, first-index tie-break.
+    std::size_t arg_best = 0;
+    double epoch_best = fit[0];
+    double mean = 0.0, worst = fit[0];
+    for (std::size_t c = 0; c < B; ++c) {
+      const double f = fit[c];
+      mean += f;
+      if (f > epoch_best) {
+        epoch_best = f;
+        arg_best = c;
+      }
+      if (f < worst) worst = f;
+    }
+    mean /= static_cast<double>(B);
+
+    const double lo = margin_, hi = 1.0 - margin_;
+    if (cfg_.kind == ModelKind::kCga) {
+      // Pair lanes (2j, 2j+1); ties make no update (no drift on plateaus).
+      const std::size_t pairs = B / 2;
+      for (std::size_t j = 0; j < pairs; ++j) {
+        const double a = fit[2 * j], b = fit[2 * j + 1];
+        live_[j] = a != b ? 1 : 0;
+        winner_hi_[j] = b > a ? 1 : 0;
+      }
+      const double inv_n = 1.0 / cfg_.virtual_population;
+      const std::uint8_t* slab = slab_.view().data;
+      par.for_range(0, dim_, 0,
+                            [&](std::size_t i0, std::size_t i1, int) {
+                              std::fill(delta_.begin() + static_cast<std::ptrdiff_t>(i0),
+                                        delta_.begin() + static_cast<std::ptrdiff_t>(i1), 0);
+                              model_detail::cga_accumulate(
+                                  slab, dim_, blocks_, winner_hi_.data(),
+                                  live_.data(), i0, i1, delta_.data());
+                              for (std::size_t i = i0; i < i1; ++i)
+                                state_.p[i] = std::clamp(
+                                    state_.p[i] + delta_[i] * inv_n, lo, hi);
+                            });
+    } else {
+      // UMDA: top-mu by (fitness desc, index asc), per-locus one-frequency.
+      const std::size_t mu = cfg_.selection;
+      for (std::size_t c = 0; c < B; ++c)
+        sel_[c] = static_cast<std::uint32_t>(c);
+      std::partial_sort(sel_.begin(),
+                        sel_.begin() + static_cast<std::ptrdiff_t>(mu),
+                        sel_.end(), [&](std::uint32_t a, std::uint32_t b) {
+                          if (fit[a] != fit[b]) return fit[a] > fit[b];
+                          return a < b;
+                        });
+      const double inv_mu = 1.0 / static_cast<double>(mu);
+      const std::uint8_t* slab = slab_.view().data;
+      par.for_range(0, dim_, 0,
+                            [&](std::size_t i0, std::size_t i1, int) {
+                              std::fill(ones_.begin() + static_cast<std::ptrdiff_t>(i0),
+                                        ones_.begin() + static_cast<std::ptrdiff_t>(i1), 0);
+                              model_detail::umda_count(slab, dim_, sel_.data(),
+                                                       mu, i0, i1,
+                                                       ones_.data());
+                              for (std::size_t i = i0; i < i1; ++i)
+                                state_.p[i] = std::clamp(
+                                    ones_[i] * inv_mu, lo, hi);
+                            });
+    }
+
+    if (epoch_best > state_.best_fitness) {
+      state_.best_fitness = epoch_best;
+      const auto v = slab_.view();
+      state_.best_genome.bits.resize(dim_);
+      for (std::size_t i = 0; i < dim_; ++i)
+        state_.best_genome.bits[i] = v.at(arg_best, i);
+    }
+
+    const std::uint64_t gen = state_.epoch;
+    state_.evaluations += B;
+    ++state_.epoch;
+
+    if (cfg_.trace) {
+      const double tt = t >= 0.0 ? t : static_cast<double>(gen);
+      cfg_.trace.gen_stats(cfg_.rank, tt, gen, B, state_.best_fitness, mean,
+                           worst);
+      // Model-space analogues of the probe stats: genotypic diversity is
+      // the expected pairwise Hamming fraction 2p(1-p); takeover is the
+      // probability mass of the modal genotype (prod of max(p, 1-p) — with
+      // margins it converges to (1-margin)^dim, not 1.0).
+      double div = 0.0, takeover = 1.0;
+      for (std::size_t i = 0; i < dim_; ++i) {
+        const double pi = state_.p[i];
+        div += 2.0 * pi * (1.0 - pi);
+        takeover *= std::max(pi, 1.0 - pi);
+      }
+      div /= static_cast<double>(dim_);
+      double var = 0.0;
+      fit_copy_.assign(fit.begin(), fit.begin() + static_cast<std::ptrdiff_t>(B));
+      for (double f : fit_copy_) var += (f - mean) * (f - mean);
+      const double spread = std::sqrt(var / static_cast<double>(B));
+      const double entropy = obs::probe_detail::fitness_entropy(fit_copy_, 16);
+      double intensity = 0.0;
+      if (has_prev_ && prev_sd_ > 1e-12)
+        intensity = (mean - prev_mean_) / prev_sd_;
+      prev_mean_ = mean;
+      prev_sd_ = spread;
+      has_prev_ = true;
+      cfg_.trace.search_stats(cfg_.rank, tt, gen, B, div, spread, entropy,
+                              intensity, takeover, state_.best_fitness,
+                              state_.evaluations);
+    }
+  }
+
+  ModelGaConfig cfg_;
+  std::size_t dim_;
+  double margin_ = 0.0;
+  CounterRng key_{0};
+  ModelState state_{};
+  SoaSlab<BitString> slab_;
+  std::size_t blocks_ = 0;
+  std::vector<std::uint8_t> winner_hi_, live_;
+  std::vector<std::int32_t> delta_;
+  std::vector<std::uint32_t> ones_;
+  std::vector<std::uint32_t> sel_;
+  std::vector<double> fit_copy_;
+  std::vector<BitString> scratch_;
+  double prev_mean_ = 0.0, prev_sd_ = 0.0;
+  bool has_prev_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded distributed mode (manager/worker over any comm::Transport)
+// ---------------------------------------------------------------------------
+
+inline constexpr int kTagModelCtl = 9301;   ///< startup broadcast
+inline constexpr int kTagModelDown = 9302;  ///< manager -> shard: model slice
+inline constexpr int kTagModelUp = 9303;    ///< shard -> manager: packed bits
+
+/// Locus slice owned by 0-based shard s of `shards`.
+struct ShardSlice {
+  std::size_t lo = 0, hi = 0;
+  [[nodiscard]] std::size_t len() const noexcept { return hi - lo; }
+};
+[[nodiscard]] inline ShardSlice shard_slice(std::size_t dim, int shards,
+                                            int s) noexcept {
+  const auto n = static_cast<std::size_t>(shards);
+  const auto k = static_cast<std::size_t>(s);
+  return {dim * k / n, dim * (k + 1) / n};
+}
+
+struct ShardedModelConfig {
+  ModelGaConfig engine{};
+  /// Straggler deadline (virtual seconds on SimCluster) for one epoch's
+  /// sample collection.  Infinite = block forever: simplest when no
+  /// failures are injected, but fault tolerance requires a finite value.
+  double epoch_timeout_s = std::numeric_limits<double>::infinity();
+  /// Consecutive missed deadlines before a shard is declared dead (the
+  /// manager stops waiting for it; its slice is regenerated every epoch).
+  int dead_after_misses = 3;
+  /// Manager snapshots its shadow model every k epochs (0 = never).
+  std::size_t checkpoint_every = 0;
+  std::function<void(const ModelState&)> on_checkpoint{};
+  /// Resume from a checkpointed model state (manager side).
+  const ModelState* resume = nullptr;
+  // Virtual compute-cost model (SimCluster timing realism; all default 0).
+  double sample_cost_per_bit_s = 0.0;      ///< worker, per candidate-locus
+  double eval_cost_per_candidate_s = 0.0;  ///< manager, per candidate
+  double update_cost_per_locus_s = 0.0;    ///< manager, per locus
+};
+
+struct ShardedModelReport {
+  ModelResult result{};
+  ModelState final_state{};  ///< manager's shadow model at exit
+  int shards = 0;
+  std::vector<int> dead_shards{};
+  std::uint64_t sample_bytes = 0, sample_messages = 0;  ///< up traffic
+  std::uint64_t model_bytes = 0, model_messages = 0;    ///< down traffic
+  /// Slices the manager regenerated from the shadow model (stragglers,
+  /// failures).  Regeneration is bit-exact, so this is a traffic/latency
+  /// statistic, never a trajectory perturbation.
+  std::uint64_t regenerated_slices = 0;
+};
+
+/// Runs the sharded model GA on every rank of `t`: rank 0 is the manager
+/// (shadow model, evaluation, updates), ranks 1..world-1 each own the locus
+/// slice shard_slice(dim, world-1, rank-1).  Every rank calls this; the
+/// manager's return value carries the results (worker returns only set
+/// `shards`).  The trajectory — and final_state — is bit-identical to
+/// ModelGa::run with the same config on one process, for any shard count
+/// and any injected failure.
+inline ShardedModelReport run_sharded_model(comm::Transport& t,
+                                            std::size_t dim,
+                                            const Problem<BitString>& problem,
+                                            const ShardedModelConfig& cfg) {
+  const int world = t.world_size();
+  const int shards = world - 1;
+  if (shards < 1)
+    throw std::invalid_argument("run_sharded_model: need >= 2 ranks");
+  ShardedModelReport rep;
+  rep.shards = shards;
+  const bool finite_deadline =
+      cfg.epoch_timeout_s < std::numeric_limits<double>::infinity();
+
+  if (t.rank() == 0) {
+    ModelGaConfig ecfg = cfg.engine;
+    ecfg.rank = 0;
+    ModelGa engine(dim, ecfg);
+    if (cfg.resume) engine.restore(*cfg.resume);
+    const std::size_t B = engine.batch();
+
+    {  // Startup handshake: geometry every worker must agree on.
+      comm::ByteWriter w;
+      w.write<std::uint64_t>(dim);
+      w.write<std::uint64_t>(B);
+      w.write<std::uint64_t>(ecfg.seed);
+      w.write<double>(cfg.sample_cost_per_bit_s);
+      (void)comm::broadcast(t, 0, kTagModelCtl, std::move(w).take());
+    }
+
+    std::vector<char> alive(static_cast<std::size_t>(shards) + 1, 1);
+    std::vector<int> misses(static_cast<std::size_t>(shards) + 1, 0);
+    std::vector<char> got(static_cast<std::size_t>(shards) + 1, 0);
+    std::uint64_t stagnant = 0;
+    double last_best = engine.state().best_fitness;
+
+    auto send_model = [&](std::uint64_t epoch, bool stop_flag) {
+      for (int s = 1; s <= shards; ++s) {
+        const ShardSlice sl = shard_slice(dim, shards, s - 1);
+        comm::ByteWriter w;
+        w.write<std::uint64_t>(epoch);
+        w.write<std::uint8_t>(stop_flag ? 1 : 0);
+        std::vector<double> slice(engine.state().p.begin() + static_cast<std::ptrdiff_t>(sl.lo),
+                                  engine.state().p.begin() + static_cast<std::ptrdiff_t>(sl.hi));
+        w.write_vector(slice);
+        auto payload = std::move(w).take();
+        rep.model_bytes += payload.size();
+        ++rep.model_messages;
+        t.send(s, kTagModelDown, std::move(payload));
+      }
+    };
+
+    for (;;) {
+      const bool stop =
+          ModelGa::stop_now(ecfg.stop, engine.state(), stagnant);
+      send_model(engine.state().epoch, stop);
+      if (stop) break;
+
+      std::uint8_t* slab = engine.prepare_slab();
+      std::fill(got.begin(), got.end(), 0);
+      int want = 0;
+      for (int s = 1; s <= shards; ++s) want += alive[static_cast<std::size_t>(s)] ? 1 : 0;
+      const double deadline = t.now() + cfg.epoch_timeout_s;
+      int have = 0;
+      while (have < want) {
+        std::optional<comm::Message> m;
+        if (finite_deadline) {
+          const double remaining = deadline - t.now();
+          if (remaining <= 0.0) break;
+          m = t.recv_timeout(remaining, comm::Transport::kAnySource,
+                             kTagModelUp);
+        } else {
+          m = t.recv(comm::Transport::kAnySource, kTagModelUp);
+        }
+        if (!m) break;  // deadline or shutdown
+        comm::ByteReader r(m->payload);
+        const auto msg_epoch = r.read<std::uint64_t>();
+        const int src = m->source;
+        if (msg_epoch != engine.state().epoch ||
+            !alive[static_cast<std::size_t>(src)] ||
+            got[static_cast<std::size_t>(src)])
+          continue;  // stale straggler sample / dead shard: already covered
+        const auto packed = r.read_vector<std::uint8_t>();
+        const ShardSlice sl = shard_slice(dim, shards, src - 1);
+        model_detail::unpack_to_slab(packed.data(), 0, B, sl.lo, sl.hi, dim,
+                                     slab);
+        got[static_cast<std::size_t>(src)] = 1;
+        ++have;
+        rep.sample_bytes += m->payload.size();
+        ++rep.sample_messages;
+      }
+
+      // Missing shards (straggler or dead): regenerate their exact bits
+      // from the shadow model — same key, same counters, same samples.
+      for (int s = 1; s <= shards; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        if (got[si]) {
+          misses[si] = 0;
+          continue;
+        }
+        if (alive[si]) {
+          if (cfg.engine.trace)
+            cfg.engine.trace.mark(0, t.now(), "shard_sample_missed", s);
+          if (++misses[si] >= cfg.dead_after_misses) {
+            alive[si] = 0;
+            rep.dead_shards.push_back(s);
+            if (cfg.engine.trace)
+              cfg.engine.trace.mark(0, t.now(), "shard_declared_dead", s);
+          }
+        }
+        const ShardSlice sl = shard_slice(dim, shards, s - 1);
+        const std::uint64_t ekey = engine.epoch_key();
+        for (std::size_t b = 0; b < engine.slab_blocks(); ++b)
+          model_detail::sample_rows(engine.state().p.data(), sl.lo, sl.hi,
+                                    dim, ekey, b * kSoaLanes,
+                                    engine.slab_block(b));
+        ++rep.regenerated_slices;
+      }
+
+      if (cfg.eval_cost_per_candidate_s > 0.0 ||
+          cfg.update_cost_per_locus_s > 0.0)
+        t.compute(static_cast<double>(B) * cfg.eval_cost_per_candidate_s +
+                  static_cast<double>(dim) * cfg.update_cost_per_locus_s);
+      engine.step_prefilled(problem, {}, t.now());
+      ModelGa::note_progress(engine.state(), last_best, stagnant);
+
+      if (cfg.checkpoint_every != 0 && cfg.on_checkpoint &&
+          engine.state().epoch % cfg.checkpoint_every == 0)
+        cfg.on_checkpoint(engine.state());
+    }
+
+    rep.final_state = engine.state();
+    rep.result.best = Individual<BitString>(rep.final_state.best_genome,
+                                            rep.final_state.best_fitness);
+    rep.result.epochs = rep.final_state.epoch;
+    rep.result.evaluations = rep.final_state.evaluations;
+    rep.result.reached_target =
+        ecfg.stop.target_reached(rep.final_state.best_fitness);
+    return rep;
+  }
+
+  // ---- Worker: owns one slice of the model, samples it for every batch.
+  auto hello = comm::broadcast(t, 0, kTagModelCtl, {});
+  comm::ByteReader hr(hello);
+  const auto wdim = static_cast<std::size_t>(hr.read<std::uint64_t>());
+  const auto B = static_cast<std::size_t>(hr.read<std::uint64_t>());
+  const auto seed = hr.read<std::uint64_t>();
+  const double sample_cost = hr.read<double>();
+  if (wdim != dim)
+    throw std::invalid_argument("run_sharded_model: dim mismatch at worker");
+  const ShardSlice sl = shard_slice(dim, shards, t.rank() - 1);
+  const CounterRng base = CounterRng::keyed(seed);
+  std::vector<double> pslice(sl.len(), 0.5);
+  std::vector<std::uint8_t> packed((B * sl.len() + 7) / 8);
+
+  for (;;) {
+    auto m = t.recv(0, kTagModelDown);
+    if (!m) return rep;  // transport shut down
+    // Drain to the latest queued model: a straggler that fell behind skips
+    // epochs the manager already regenerated.
+    while (auto fresher = t.try_recv(0, kTagModelDown)) m = std::move(fresher);
+    comm::ByteReader r(m->payload);
+    const auto epoch = r.read<std::uint64_t>();
+    const bool stop = r.read<std::uint8_t>() != 0;
+    pslice = r.read_vector<double>();
+    if (stop) return rep;
+    if (sample_cost > 0.0)
+      t.compute(static_cast<double>(B * sl.len()) * sample_cost);
+    model_detail::sample_pack(pslice.data(), dim, base.derive(epoch).key(), 0,
+                              B, sl.lo, sl.hi, packed.data());
+    comm::ByteWriter w;
+    w.write<std::uint64_t>(epoch);
+    w.write_vector(packed);
+    t.send(0, kTagModelUp, std::move(w).take());
+  }
+}
+
+}  // namespace pga

@@ -1,0 +1,60 @@
+#pragma once
+// Hot loops for the model-based engines (core/model_ga.hpp): counter-based
+// Bernoulli sampling straight into AoSoA slabs / packed wire buffers, plus
+// the cGA tournament-delta and UMDA frequency-count accumulators.
+//
+// Everything here is a pure function of (model, key, counters): a draw for
+// (candidate c, locus i) always uses counter c * dim + i under the epoch
+// key, so any partition of the work across threads, SIMD lanes, or cluster
+// shards produces identical bits — the bit-identity and failure-regeneration
+// guarantees of the sharded mode rest on these signatures.  Definitions live
+// in core/model_sample.cpp, compiled -O3 with runtime ISA clones like the
+// fitness kernels (see src/CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pga::model_detail {
+
+/// Fills rows [i0, i1) of one AoSoA block (base pointer `block`, rows of
+/// kSoaLanes bytes) whose lanes hold candidates base .. base+kSoaLanes-1:
+/// lane l, row i gets CounterRng{key}.bernoulli(p[i], (base+l)*dim + i).
+void sample_rows(const double* p, std::size_t i0, std::size_t i1,
+                 std::size_t dim, std::uint64_t key, std::uint64_t base,
+                 std::uint8_t* block) noexcept;
+
+/// Bit-packs the same draws for candidates [c0, c1) x loci [i0, i1) into
+/// `out`, candidate-major, LSB-first: bit k of the stream is candidate
+/// c0 + k / (i1-i0), locus i0 + k % (i1-i0).  This is the shard wire format;
+/// it produces exactly the bits sample_rows would place in the slab.  `p` is
+/// slice-relative — p[i - i0] is the probability of locus i — because a
+/// shard owns only its slice of the model; the draw counters stay absolute.
+void sample_pack(const double* p, std::size_t dim, std::uint64_t key,
+                 std::size_t c0, std::size_t c1, std::size_t i0,
+                 std::size_t i1, std::uint8_t* out) noexcept;
+
+/// Inverse of sample_pack: scatters a packed candidate-major slice into the
+/// AoSoA slab at `slab` (the manager assembling shard messages).
+void unpack_to_slab(const std::uint8_t* packed, std::size_t c0, std::size_t c1,
+                    std::size_t i0, std::size_t i1, std::size_t dim,
+                    std::uint8_t* slab) noexcept;
+
+/// cGA tournament deltas over loci [i0, i1): for every lane pair (2j, 2j+1)
+/// of every block, adds +1/-1 to delta[i] where the pair's bits differ,
+/// toward the winner's bit.  winner_hi[b * 8 + j] selects the winning lane
+/// (1 = lane 2j+1), live[b * 8 + j] = 0 skips the pair (fitness tie or tail
+/// padding).  Caller zeroes delta[i0..i1).  Integer accumulation in full
+/// block order makes the result exact and independent of how callers
+/// partition the locus range across threads.
+void cga_accumulate(const std::uint8_t* slab, std::size_t dim,
+                    std::size_t blocks, const std::uint8_t* winner_hi,
+                    const std::uint8_t* live, std::size_t i0, std::size_t i1,
+                    std::int32_t* delta) noexcept;
+
+/// UMDA one-counts over loci [i0, i1) for the selected candidates sel[0..
+/// nsel): ones[i] += bit(sel[s], i).  Caller zeroes ones[i0..i1).
+void umda_count(const std::uint8_t* slab, std::size_t dim,
+                const std::uint32_t* sel, std::size_t nsel, std::size_t i0,
+                std::size_t i1, std::uint32_t* ones) noexcept;
+
+}  // namespace pga::model_detail

@@ -1,0 +1,116 @@
+// Model-engine hot loops.  See core/model_kernels.hpp for the contract.
+//
+// The Bernoulli comparison is CounterRng::bernoulli verbatim: the splitmix64
+// finalizer at counter c*dim+i, then double(bits >> 11) < p * 2^53 with the
+// threshold hoisted per locus row.  The finalizer has no sequential state,
+// so the kSoaLanes inner loops vectorize (GCC synthesizes the 64-bit
+// multiplies from 32-bit halves under AVX2 — still a large win over any
+// stateful generator, which serializes the whole row).
+
+#include "core/model_kernels.hpp"
+
+#include "core/rng.hpp"
+#include "core/soa.hpp"
+
+// Same runtime ISA dispatch as the fitness kernels (problems/kernels.cpp):
+// GCC/x86-64 only, disabled under sanitizers, no FMA contraction concerns
+// here (integer + exact double compares only).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define PGA_MODEL_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define PGA_MODEL_CLONES
+#endif
+
+namespace pga::model_detail {
+
+namespace {
+constexpr std::size_t W = kSoaLanes;
+}  // namespace
+
+PGA_MODEL_CLONES
+void sample_rows(const double* p, std::size_t i0, std::size_t i1,
+                 std::size_t dim, std::uint64_t key, std::uint64_t base,
+                 std::uint8_t* block) noexcept {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double pt = p[i] * 0x1.0p53;
+    std::uint8_t* row = block + i * W;
+    const std::uint64_t row_ctr = base * dim + i;
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::uint64_t z = CounterRng::bits_at(key, row_ctr + l * dim);
+      row[l] = static_cast<double>(z >> 11) < pt ? 1 : 0;
+    }
+  }
+}
+
+void sample_pack(const double* p, std::size_t dim, std::uint64_t key,
+                 std::size_t c0, std::size_t c1, std::size_t i0,
+                 std::size_t i1, std::uint8_t* out) noexcept {
+  std::uint8_t byte = 0;
+  unsigned nbits = 0;
+  for (std::size_t c = c0; c < c1; ++c) {
+    const std::uint64_t cand_ctr = static_cast<std::uint64_t>(c) * dim;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::uint64_t z = CounterRng::bits_at(key, cand_ctr + i);
+      const std::uint8_t bit =
+          static_cast<double>(z >> 11) < p[i - i0] * 0x1.0p53 ? 1 : 0;
+      byte = static_cast<std::uint8_t>(byte | (bit << nbits));
+      if (++nbits == 8) {
+        *out++ = byte;
+        byte = 0;
+        nbits = 0;
+      }
+    }
+  }
+  if (nbits != 0) *out = byte;
+}
+
+void unpack_to_slab(const std::uint8_t* packed, std::size_t c0, std::size_t c1,
+                    std::size_t i0, std::size_t i1, std::size_t dim,
+                    std::uint8_t* slab) noexcept {
+  std::size_t k = 0;
+  for (std::size_t c = c0; c < c1; ++c) {
+    std::uint8_t* lane = slab + (c / W) * dim * W + (c % W);
+    for (std::size_t i = i0; i < i1; ++i, ++k)
+      lane[i * W] = (packed[k >> 3] >> (k & 7)) & 1;
+  }
+}
+
+PGA_MODEL_CLONES
+void cga_accumulate(const std::uint8_t* slab, std::size_t dim,
+                    std::size_t blocks, const std::uint8_t* winner_hi,
+                    const std::uint8_t* live, std::size_t i0, std::size_t i1,
+                    std::int32_t* delta) noexcept {
+  constexpr std::size_t P = W / 2;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint8_t* base = slab + b * dim * W;
+    const std::uint8_t* hi = winner_hi + b * P;
+    const std::uint8_t* lv = live + b * P;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::uint8_t* row = base + i * W;
+      std::int32_t d = 0;
+      for (std::size_t j = 0; j < P; ++j) {
+        const int a = row[2 * j];
+        const int c = row[2 * j + 1];
+        // Winner's bit, branch-free; pairs whose bits agree (a ^ c == 0) and
+        // dead pairs contribute nothing.
+        const int wb = a + static_cast<int>(hi[j]) * (c - a);
+        d += static_cast<int>(lv[j]) * (a ^ c) * (2 * wb - 1);
+      }
+      delta[i] += d;
+    }
+  }
+}
+
+PGA_MODEL_CLONES
+void umda_count(const std::uint8_t* slab, std::size_t dim,
+                const std::uint32_t* sel, std::size_t nsel, std::size_t i0,
+                std::size_t i1, std::uint32_t* ones) noexcept {
+  for (std::size_t s = 0; s < nsel; ++s) {
+    const std::size_t c = sel[s];
+    const std::uint8_t* lane = slab + (c / W) * dim * W + (c % W);
+    for (std::size_t i = i0; i < i1; ++i) ones[i] += lane[i * W];
+  }
+}
+
+}  // namespace pga::model_detail

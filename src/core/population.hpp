@@ -105,11 +105,16 @@ class Population {
   /// members are packed into a reused slab and evaluated block-wise —
   /// bit-identical to the scalar loop (the kernels replay the scalar
   /// operation order per genome).  kAuto calibration keeps every scalar
-  /// evaluation it performs (fitness written back and counted in the return
-  /// value); the only fitness work not reflected in the count is the batched
-  /// timing side of the cold-route duel — one kernel pass over at most
-  /// 2*kSoaLanes genomes for an expensive objective, or ns-scale timing reps
-  /// for a cheap one — once per (problem, dim).  See calibrate_micro_duel.
+  /// evaluation it performs (fitness written back), and the return value
+  /// counts *all* fitness work, including the cold-route duel's timing
+  /// passes (the batched pass of an expensive-objective duel and the
+  /// interleaved re-timing reps of a cheap one) — so effort accounting
+  /// (QualityEffort, gen-evals) sees the true evaluation cost of the run.
+  /// That cost is wall-clock adaptive, so the cold kAuto return is not a
+  /// pure function of the seed; pin a route via set_soa_route where exact,
+  /// reproducible counts are required (fitness values are bit-identical on
+  /// every route regardless).  See calibrate_micro_duel / duel_route for
+  /// the per-pass breakdown.
   std::size_t evaluate_all(const Problem<G>& problem) {
     if constexpr (SoaTraits<G>::kEnabled) {
       if (problem.has_soa_kernel() && !members_.empty()) {
@@ -420,9 +425,11 @@ class Population {
 
   /// Times one repetition of `body`, repeating until ~20us of samples or 16
   /// reps accumulate — the do-while exits after a single pass for expensive
-  /// objectives, so calibration cost stays bounded.
+  /// objectives, so calibration cost stays bounded.  `reps_out` accumulates
+  /// the repetitions actually run, so callers whose body performs fitness
+  /// evaluations can count that work (see duel_route).
   template <class Body>
-  [[nodiscard]] static double time_loop(Body&& body) {
+  [[nodiscard]] static double time_loop(Body&& body, int& reps_out) {
     using clock = std::chrono::steady_clock;
     constexpr auto kMinSample = std::chrono::microseconds(20);
     constexpr int kMaxReps = 16;
@@ -434,6 +441,7 @@ class Population {
       ++reps;
       elapsed = clock::now() - t0;
     } while (elapsed < kMinSample && reps < kMaxReps);
+    reps_out += reps;
     return std::chrono::duration<double>(elapsed).count() / reps;
   }
 
@@ -441,9 +449,11 @@ class Population {
   /// the two routes on a sample of the dirty members (duel_route), caches
   /// the verdict, then evaluates the remaining dirty members through the
   /// winning route.  The duel's scalar pass IS the real evaluation of the
-  /// sampled members — fitness is written back and counted in the return
-  /// value, mirroring the split-sweep's every-evaluation-kept contract — so
-  /// an expensive objective never pays discarded scalar evaluations.
+  /// sampled members — fitness is written back, mirroring the split-sweep's
+  /// every-evaluation-kept contract — so an expensive objective never pays
+  /// discarded scalar evaluations.  The return value is kept evaluations
+  /// plus the duel's timing passes plus the remainder: every fitness call
+  /// the calibration makes is reflected in the caller-visible count.
   /// `par == nullptr` means the sequential overload.
   std::size_t calibrate_micro_duel(const Problem<G>& problem,
                                    const exec::Parallelism* par,
@@ -464,21 +474,25 @@ class Population {
   /// Wall-clock duel on a sample of the dirty members: the scalar fitness
   /// loop vs pack + kernel (the pack is charged to the batched side — it is
   /// part of that route's real cost).  Caches the verdict keyed on (problem,
-  /// dim) and returns the number of members evaluated-and-kept.
+  /// dim) and returns the number of fitness evaluations performed: the
+  /// sample members evaluated-and-kept PLUS every timing pass — they are
+  /// real evaluations of real genomes, and effort accounting must see them
+  /// (the PR-8 accounting gap: timing passes used to go uncounted).
   ///
   /// The kept scalar pass doubles as a cheapness probe.  When it alone fills
   /// a trustworthy timing window, the objective is expensive and a single
   /// batched pass settles the duel — re-running either side would burn real
-  /// evaluations purely on timing, so the duel's only uncounted fitness work
-  /// is that one kernel pass over <= 2*kSoaLanes genomes.  Below the window
-  /// the objective is ns-scale and single passes sit inside scheduler noise,
-  /// so fall back to the interleaved duel: three rounds per side, keeping
-  /// each side's *minimum* (one preempted sample would otherwise stick a
-  /// wrong verdict in the cache for the rest of the run) — the re-timings it
-  /// burns are uncounted but nanosecond-cheap by construction.  Either way
-  /// batched must beat scalar by >10% to win: near break-even the scalar
-  /// path is the safer default, since the routed contract (K1) is "never
-  /// meaningfully worse than scalar".
+  /// evaluations purely on timing, so the duel costs exactly one extra
+  /// kernel pass over the <= 2*kSoaLanes sampled genomes (counted as
+  /// `sample` evaluations).  Below the window the objective is ns-scale and
+  /// single passes sit inside scheduler noise, so fall back to the
+  /// interleaved duel: three rounds per side, keeping each side's *minimum*
+  /// (one preempted sample would otherwise stick a wrong verdict in the
+  /// cache for the rest of the run) — each rep re-evaluates the sample, and
+  /// every rep of both sides is counted.  Either way batched must beat
+  /// scalar by >10% to win: near break-even the scalar path is the safer
+  /// default, since the routed contract (K1) is "never meaningfully worse
+  /// than scalar".
   std::size_t duel_route(const Problem<G>& problem) {
     // Local, not static: concurrent populations (one per island rank) may
     // calibrate at once, and a shared sink is a data race.  A volatile
@@ -499,6 +513,7 @@ class Population {
     const auto cold = clock::now() - t0;
     double scalar_s = std::chrono::duration<double>(cold).count();
     double batched_s;
+    int timing_reps = 0;  // time_loop reps; each one evaluates `sample`
     if (cold >= kTrustWindow) {
       const auto t1 = clock::now();
       const SoaView<G> view = slab_.gather(sample, genome_at);
@@ -506,29 +521,38 @@ class Population {
                                     0, view.blocks() * kSoaLanes));
       sink = slab_.fitness_scratch()[0];
       batched_s = std::chrono::duration<double>(clock::now() - t1).count();
+      timing_reps = 1;  // the single batched pass
     } else {
       scalar_s = std::numeric_limits<double>::infinity();
       batched_s = std::numeric_limits<double>::infinity();
       for (int round = 0; round < 3; ++round) {
-        scalar_s = std::min(scalar_s, time_loop([&] {
-                     double s = 0.0;
-                     for (std::size_t k = 0; k < sample; ++k)
-                       s += problem.fitness(genome_at(k));
-                     sink = s;
-                   }));
-        batched_s = std::min(batched_s, time_loop([&] {
-                      const SoaView<G> view = slab_.gather(sample, genome_at);
-                      problem.fitness_soa(
-                          view, slab_.fitness_scratch().subspan(
-                                    0, view.blocks() * kSoaLanes));
-                      sink = slab_.fitness_scratch()[0];
-                    }));
+        scalar_s = std::min(scalar_s, time_loop(
+                                          [&] {
+                                            double s = 0.0;
+                                            for (std::size_t k = 0; k < sample;
+                                                 ++k)
+                                              s += problem.fitness(genome_at(k));
+                                            sink = s;
+                                          },
+                                          timing_reps));
+        batched_s = std::min(batched_s, time_loop(
+                                            [&] {
+                                              const SoaView<G> view =
+                                                  slab_.gather(sample, genome_at);
+                                              problem.fitness_soa(
+                                                  view,
+                                                  slab_.fitness_scratch().subspan(
+                                                      0, view.blocks() *
+                                                             kSoaLanes));
+                                              sink = slab_.fitness_scratch()[0];
+                                            },
+                                            timing_reps));
       }
     }
     route_batched_ = batched_s < 0.9 * scalar_s;
     route_problem_ = &problem;
     route_dim_ = SoaTraits<G>::dim(members_[0].genome);
-    return sample;
+    return sample + static_cast<std::size_t>(timing_reps) * sample;
   }
 
   /// Refills `dirty_` with the indices of not-yet-evaluated members.

@@ -30,6 +30,73 @@ namespace pga {
   return z ^ (z >> 31);
 }
 
+/// Counter-based (stateless) RNG for lane-splittable sampling.
+///
+/// `bits(ctr)` is exactly the (ctr+1)-th output of the splitmix64 stream
+/// seeded at `key` — but computed directly from the counter, with no
+/// sequential state.  Model-based engines (core/model_ga.hpp) assign every
+/// Bernoulli draw a fixed counter (candidate * dim + locus) so the sampled
+/// bits are a pure function of (key, counter): any partition of the counter
+/// space across threads, SIMD lanes, or cluster shards reproduces the same
+/// bits, and a shard's contribution can be regenerated after a failure
+/// without perturbing the trajectory.  The finalizer is splitmix64's
+/// (BigCrush-clean per Steele et al.); unlike `Rng` it has no sequential
+/// dependency, so the compiler can vectorize a loop of `bits(base + i)`.
+class CounterRng {
+ public:
+  /// Wraps an already-mixed key verbatim.  Use keyed()/derive() to build
+  /// keys from user seeds and stream salts.
+  explicit constexpr CounterRng(std::uint64_t key) noexcept : key_(key) {}
+
+  /// Mixes a user seed into a key (mirrors Rng's splitmix64 seeding).
+  [[nodiscard]] static constexpr CounterRng keyed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    return CounterRng{splitmix64(sm)};
+  }
+
+  /// Derives an independent stream for a child component (epoch, shard...).
+  /// Same golden-ratio salting as Rng::split, so adjacent salts decorrelate.
+  [[nodiscard]] constexpr CounterRng derive(std::uint64_t salt) const noexcept {
+    std::uint64_t sm = key_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return CounterRng{splitmix64(sm)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept { return key_; }
+
+  /// 64 random bits for counter `ctr` under key `key` (static so SIMD
+  /// kernels can inline it without carrying the object).
+  [[nodiscard]] static constexpr std::uint64_t bits_at(
+      std::uint64_t key, std::uint64_t ctr) noexcept {
+    std::uint64_t z = key + (ctr + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits(std::uint64_t ctr) const noexcept {
+    return bits_at(key_, ctr);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of resolution (same construction
+  /// as Rng::uniform).
+  [[nodiscard]] constexpr double uniform(std::uint64_t ctr) const noexcept {
+    return static_cast<double>(bits(ctr) >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.  Defined as the exact
+  /// integer comparison (bits >> 11) < p * 2^53, which is equivalent to
+  /// uniform(ctr) < p (both sides scale by an exact power of two) but saves
+  /// one multiply in the sampling hot loop — kernels compare against a
+  /// per-locus precomputed threshold p * 0x1p53.
+  [[nodiscard]] constexpr bool bernoulli(double p,
+                                         std::uint64_t ctr) const noexcept {
+    return static_cast<double>(bits(ctr) >> 11) < p * 0x1.0p53;
+  }
+
+ private:
+  std::uint64_t key_;
+};
+
 /// xoshiro256** PRNG with hand-rolled, bit-stable distributions.
 class Rng {
  public:

@@ -203,6 +203,36 @@ class SoaSlab {
     }
   }
 
+  /// Sizes the slab for `count` genomes of dimension `dim` WITHOUT gathering
+  /// from genome objects — model-based engines (core/model_ga.hpp) sample
+  /// candidates straight into the buffer via mutable_data() instead of ever
+  /// materializing them.  Tail lanes of the last block are zeroed so a caller
+  /// that fills only the live lanes (e.g. a sharded manager assembling shard
+  /// messages) still hands kernels well-defined whole blocks; callers that
+  /// sample whole blocks simply overwrite them.  Reused across epochs: once
+  /// capacity stabilizes this allocates nothing.
+  SoaView<G> prepare_raw(std::size_t count, std::size_t dim) {
+    static_assert(SoaTraits<G>::kEnabled,
+                  "SoaSlab::prepare_raw requires a packable genome type");
+    count_ = count;
+    dim_ = dim;
+    const std::size_t blocks = (count + kSoaLanes - 1) / kSoaLanes;
+    data_.resize(blocks * dim * kSoaLanes);
+    fitness_.resize(blocks * kSoaLanes);
+    for (std::size_t k = count; k < blocks * kSoaLanes; ++k) {
+      Elem* base = lane_base(k);
+      for (std::size_t i = 0; i < dim; ++i) base[i * kSoaLanes] = Elem{};
+    }
+    return view();
+  }
+
+  /// Mutable block base (layout as in SoaView::block) for external fillers
+  /// paired with prepare_raw.  Disjoint block ranges touch disjoint bytes,
+  /// so parallel lanes can fill their tiles without synchronization.
+  [[nodiscard]] Elem* block_mut(std::size_t b) noexcept {
+    return data_.data() + b * dim_ * kSoaLanes;
+  }
+
   [[nodiscard]] SoaView<G> view() const noexcept {
     return SoaView<G>{data_.data(), count_, dim_};
   }

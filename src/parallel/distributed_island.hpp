@@ -54,6 +54,12 @@ struct DistributedIslandConfig {
   /// Virtual CPU seconds declared per fitness evaluation (drives the
   /// simulator's timing; ignored by the thread transport).
   double eval_cost_s = 0.0;
+  /// SoA evaluation route for the deme population.  kAuto calibrates by
+  /// wall-clock, so its cold-call evaluation count is host-adaptive (see
+  /// the evaluate_all contract); pin kScalar/kBatched where the virtual
+  /// makespan must be reproducible run-to-run (eval_cost_s charges
+  /// virtual time per reported evaluation).
+  SoaRoute soa_route = SoaRoute::kAuto;
   std::uint64_t seed = 1;
 
   /// Per-rank scheme; demes may run different reproductive loops.
@@ -122,6 +128,7 @@ DemeReport<G> run_island_rank(comm::Transport& t, const Problem<G>& problem,
 
   auto scheme = cfg.make_scheme(rank);
   auto pop = Population<G>::random(cfg.deme_size, cfg.make_genome, rng);
+  pop.set_soa_route(cfg.soa_route);
 
   DemeReport<G> report;
   report.evaluations += pop.evaluate_all(problem);

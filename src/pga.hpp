@@ -32,6 +32,7 @@
 #include "core/evolution.hpp"
 #include "core/genome.hpp"
 #include "core/local_search.hpp"
+#include "core/model_ga.hpp"
 #include "core/mutation.hpp"
 #include "core/population.hpp"
 #include "core/problem.hpp"

@@ -1,0 +1,82 @@
+# End-to-end contract of the M1 model-scale gate, run under ctest:
+#
+#   1. `bench_m1_model_scale --smoke` must exit 0 — its exit code IS the
+#      gate bundle: constant footprint across the virtual-population sweep,
+#      sharded runs bit-identical to single-process at every shard count,
+#      bit-identity preserved under an injected shard failure, and both
+#      engines reaching the OneMax optimum.  (The wall-clock sampler-duel
+#      gate is full-mode only; smoke reports the ratio without gating.)
+#   2. BENCH_m1.json must carry the pga-bench-series-v1 schema with every
+#      section (scale / sampler / convergence / sharded / failure / traffic)
+#      and every gate key present.
+#   3. The healthy exemplar trace bench_m1_events.json must pass
+#      `pga_doctor --fail-on failure,stall,misleading-speedup` (exit 0) —
+#      a model-engine trace carries gen/search stats the doctor can audit,
+#      and a clean run must not trip the failure, stall, or speedup gates.
+#
+# Driven with:
+#   cmake -DDOCTOR=<path> -DBENCH=<path> -DWORK_DIR=<dir> -P pga_model_scale.cmake
+
+if(NOT DOCTOR OR NOT BENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DDOCTOR=<pga_doctor> -DBENCH=<bench_m1_model_scale> -DWORK_DIR=<dir> -P pga_model_scale.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --- run the bench; its exit code re-derives the smoke gates -------------
+execute_process(COMMAND "${BENCH}" --smoke
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "bench_m1_model_scale --smoke (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_m1_model_scale --smoke failed (exit ${rc})")
+endif()
+if(NOT out MATCHES "footprint constant across the N sweep")
+  message(FATAL_ERROR "bench never confirmed the constant footprint:\n${out}")
+endif()
+if(NOT out MATCHES "trajectory bit-identical")
+  message(FATAL_ERROR "bench never confirmed failure-injected bit-identity:\n${out}")
+endif()
+
+# --- BENCH_m1.json schema: every section and gate key present ------------
+file(READ "${WORK_DIR}/BENCH_m1.json" bench_json)
+foreach(needle
+    "\"format\": \"pga-bench-series-v1\""
+    "\"bench\": \"m1_model_scale\""
+    "\"footprint_constant\": true"
+    "\"sharded_identical\": true"
+    "\"failure_identical\": true"
+    "\"cga_converged\": true"
+    "\"umda_converged\": true"
+    "\"sampler_speedup\":"
+    "\"section\": \"scale\""
+    "\"section\": \"sampler\""
+    "\"section\": \"convergence\""
+    "\"section\": \"sharded\""
+    "\"section\": \"failure\""
+    "\"section\": \"traffic\""
+    "\"virtual_population\": 1.0e+09")
+  string(FIND "${bench_json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "BENCH_m1.json missing '${needle}':\n${bench_json}")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${WORK_DIR}/bench_m1_events.json")
+  message(FATAL_ERROR "bench did not write bench_m1_events.json")
+endif()
+
+# --- exemplar trace: the doctor's gates must all stay green --------------
+execute_process(COMMAND "${DOCTOR}"
+    --fail-on failure,stall,misleading-speedup
+    "${WORK_DIR}/bench_m1_events.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE out)
+message(STATUS "doctor on M1 exemplar (exit ${rc}):\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "healthy M1 exemplar must pass the doctor gates (exit 0), got ${rc}")
+endif()
+if(NOT out MATCHES "search-dynamics samples")
+  message(FATAL_ERROR "doctor saw no search-dynamics stats in the model trace:\n${out}")
+endif()
+
+message(STATUS "M1 model-scale gate behaves as specified")

@@ -42,8 +42,13 @@ Operators<BitString> onemax_ops() {
 Population<RealVector> sphere_pop(const Sphere& problem, std::size_t n,
                                   unsigned seed) {
   Rng rng(seed);
-  return Population<RealVector>::random(
+  auto pop = Population<RealVector>::random(
       n, [&](Rng& r) { return RealVector::random(problem.bounds(), r); }, rng);
+  // Pin the evaluation route: these tests assert exact, seed-deterministic
+  // evaluation counts, and kAuto's cold-route calibration cost is honestly
+  // counted but wall-clock adaptive (see the evaluate_all contract).
+  pop.set_soa_route(SoaRoute::kBatched);
+  return pop;
 }
 
 /// Asserts the dispatch/fold schedule respects the engine's contracts:
@@ -109,8 +114,12 @@ TEST(AsyncEngine, WindowOneBatchOneWalksSynchronousTrajectory) {
 
   auto make_pop = [&](unsigned seed) {
     Rng rng(seed);
-    return Population<BitString>::random(
+    auto pop = Population<BitString>::random(
         16, [&](Rng& r) { return BitString::random(32, r); }, rng);
+    // Pinned route: exact count assertions below (kAuto calibration cost is
+    // counted and timing-adaptive).
+    pop.set_soa_route(SoaRoute::kScalar);
+    return pop;
   };
 
   auto sync_pop = make_pop(5);

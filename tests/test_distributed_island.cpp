@@ -113,6 +113,10 @@ TEST(DistributedIsland, SimulatorIsDeterministic) {
   OneMax problem(24);
   auto cfg = base_config(3, 24);
   cfg.eval_cost_s = 1e-4;
+  // kAuto's cold-route calibration count is wall-clock adaptive and
+  // eval_cost_s charges virtual time per evaluation, so an exact
+  // makespan/message comparison needs a pinned route.
+  cfg.soa_route = SoaRoute::kScalar;
   auto once = [&] {
     sim::SimCluster cluster(sim::homogeneous(3, sim::NetworkModel::fast_ethernet()));
     return cluster.run([&](comm::Transport& t) {

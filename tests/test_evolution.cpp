@@ -128,6 +128,9 @@ TEST(RunDriver, StopsAtEvaluationBudget) {
   Rng rng(8);
   auto pop = Population<BitString>::random(
       16, [&](Rng& r) { return BitString::random(128, r); }, rng);
+  // Pinned route: the overshoot bound below assumes no calibration cost
+  // (kAuto's cold duel is counted and would spend the budget on timing).
+  pop.set_soa_route(SoaRoute::kScalar);
   GenerationalScheme<BitString> scheme(onemax_ops());
   StopCondition stop;
   stop.max_generations = 1000000;
@@ -208,6 +211,9 @@ TEST(Population, EvaluateAllCountsOnlyUnevaluated) {
   Rng rng(13);
   auto pop = Population<BitString>::random(
       10, [&](Rng& r) { return BitString::random(8, r); }, rng);
+  // Pinned route: this test counts algorithmic evaluations only (kAuto's
+  // calibration cost is counted too, and is timing-adaptive).
+  pop.set_soa_route(SoaRoute::kScalar);
   EXPECT_EQ(pop.evaluate_all(problem), 10u);
   EXPECT_EQ(pop.evaluate_all(problem), 0u);
   pop[3].evaluated = false;

@@ -257,6 +257,9 @@ TEST(EvaluateAll, ExecutorPathMatchesSequential) {
   Rng rng(7);
   auto seq = Population<BitString>::random(
       64, [](Rng& r) { return BitString::random(32, r); }, rng);
+  // Pinned route: the exact-count assertions exclude kAuto's counted,
+  // timing-adaptive calibration cost.
+  seq.set_soa_route(SoaRoute::kScalar);
   auto par_pop = seq;  // identical members, both fully dirty
   seq[3].fitness = 1.0;  // pre-evaluated entries must be skipped by both
   seq[3].evaluated = true;
@@ -342,6 +345,9 @@ IslandOutcome run_island(std::size_t threads) {
   Rng rng(42);
   auto pops = model.make_populations(
       20, [](Rng& r) { return BitString::random(32, r); }, rng);
+  // Pinned route: the cross-thread-count history comparison includes eval
+  // counts, and kAuto's calibration cost is counted but timing-adaptive.
+  for (auto& p : pops) p.set_soa_route(SoaRoute::kScalar);
   StopCondition stop;
   stop.max_generations = 12;
   stop.target_fitness = 1e9;  // unreachable: all runs do 12 epochs

@@ -54,6 +54,9 @@ TEST(IslandModel, EvaluationsAreSummedAcrossDemes) {
   Rng rng(2);
   auto pops = model.make_populations(
       10, [](Rng& r) { return BitString::random(16, r); }, rng);
+  // Pinned route: the exact count below excludes kAuto's calibration cost,
+  // which is counted but wall-clock adaptive.
+  for (auto& p : pops) p.set_soa_route(SoaRoute::kScalar);
   StopCondition stop;
   stop.max_generations = 4;
   stop.target_fitness = 1e9;  // unreachable
@@ -256,6 +259,9 @@ TEST(IslandModel, DeterministicGivenSeed) {
     Rng rng(77);
     auto pops = model.make_populations(
         15, [](Rng& r) { return BitString::random(24, r); }, rng);
+    // Pinned route so `evaluations` is a pure function of the seed (kAuto's
+    // calibration cost is counted but wall-clock adaptive).
+    for (auto& p : pops) p.set_soa_route(SoaRoute::kScalar);
     StopCondition stop;
     stop.max_generations = 30;
     auto result = model.run(pops, problem, stop, rng);

@@ -1,0 +1,540 @@
+// Model-based engine tests: the counter RNG's stream/partition identities,
+// cGA/UMDA trajectories (kernel-fused and fitness_batch paths, thread-count
+// invariance), the O(dim) footprint contract, checkpoint round-trips that
+// resume the exact trajectory, the sharded mode's bit-identity across shard
+// counts — including under injected failures — and, with a counting global
+// allocator, the zero-allocation steady state of the fused epoch loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/model_ga.hpp"
+#include "core/model_kernels.hpp"
+#include "core/rng.hpp"
+#include "core/soa.hpp"
+#include "exec/parallelism.hpp"
+#include "exec/thread_pool.hpp"
+#include "problems/binary.hpp"
+#include "sim/cluster.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (whole-program override; counts only while armed)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+// GCC's new/delete pairing heuristic flags std::free inside a replaced
+// operator delete even though the replaced operator new forwards to malloc.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pga {
+namespace {
+
+using problems::DeceptiveTrap;
+using problems::NKLandscape;
+using problems::OneMax;
+
+// ---------------------------------------------------------------------------
+// CounterRng: stream identity and partition invariance
+// ---------------------------------------------------------------------------
+
+// bits(ctr) must be exactly the (ctr+1)-th output of the splitmix64 stream
+// seeded at the key — the property that makes a counter range equivalent to
+// a sequential stream, however it is partitioned.
+TEST(CounterRng, BitsMatchSequentialSplitmixStream) {
+  const CounterRng rng(0x0123456789abcdefULL);
+  std::uint64_t stream = rng.key();
+  for (std::uint64_t ctr = 0; ctr < 1000; ++ctr)
+    ASSERT_EQ(rng.bits(ctr), splitmix64(stream)) << "ctr=" << ctr;
+}
+
+TEST(CounterRng, KeyedMixesSeedLikeSplitmix) {
+  std::uint64_t sm = 42;
+  EXPECT_EQ(CounterRng::keyed(42).key(), splitmix64(sm));
+}
+
+TEST(CounterRng, DeriveDecorrelatesAdjacentSalts) {
+  const CounterRng base = CounterRng::keyed(7);
+  // Adjacent epochs must produce unrelated bit streams: compare the first
+  // outputs pairwise and require them all distinct (collision probability
+  // over 64 epochs is negligible).
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t e = 0; e < 64; ++e)
+    firsts.push_back(base.derive(e).bits(0));
+  for (std::size_t i = 0; i < firsts.size(); ++i)
+    for (std::size_t j = i + 1; j < firsts.size(); ++j)
+      ASSERT_NE(firsts[i], firsts[j]) << i << "," << j;
+  // derive is salt-deterministic.
+  EXPECT_EQ(base.derive(5).key(), base.derive(5).key());
+}
+
+// The threshold form the kernels use (bits>>11 < p * 2^53) must agree with
+// uniform(ctr) < p for every counter — it is the same comparison with both
+// sides scaled by 2^53.
+TEST(CounterRng, BernoulliEquivalentToUniformThreshold) {
+  const CounterRng rng = CounterRng::keyed(99);
+  for (const double p : {0.0, 0.25, 0.5, 1.0 / 96.0, 1.0 - 1.0 / 96.0, 1.0})
+    for (std::uint64_t ctr = 0; ctr < 512; ++ctr)
+      ASSERT_EQ(rng.bernoulli(p, ctr), rng.uniform(ctr) < p)
+          << "p=" << p << " ctr=" << ctr;
+}
+
+TEST(CounterRng, UniformIsInUnitInterval) {
+  const CounterRng rng = CounterRng::keyed(3);
+  double mean = 0.0;
+  for (std::uint64_t ctr = 0; ctr < 4096; ++ctr) {
+    const double u = rng.uniform(ctr);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 4096.0;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling kernels: pack/unpack round trip == direct slab sampling
+// ---------------------------------------------------------------------------
+
+// A worker packs its locus slice candidate-major; the manager unpacks into
+// the slab.  The composition must reproduce the bits sample_rows writes
+// directly — the identity the whole sharded mode stands on.
+TEST(ModelKernels, PackUnpackRoundTripMatchesDirectSampling) {
+  const std::size_t dim = 37, B = 20;  // deliberately ragged vs lane width
+  const std::uint64_t key = CounterRng::keyed(11).derive(4).key();
+  Rng rng(5);
+  std::vector<double> p(dim);
+  for (auto& pi : p) pi = rng.uniform();
+
+  SoaSlab<BitString> direct, assembled;
+  const std::size_t blocks = (B + kSoaLanes - 1) / kSoaLanes;
+  direct.prepare_raw(B, dim);
+  assembled.prepare_raw(B, dim);
+  for (std::size_t b = 0; b < blocks; ++b)
+    model_detail::sample_rows(p.data(), 0, dim, dim, key, b * kSoaLanes,
+                              direct.block_mut(b));
+
+  const int shards = 3;
+  for (int s = 0; s < shards; ++s) {
+    const ShardSlice sl = shard_slice(dim, shards, s);
+    std::vector<double> pslice(p.begin() + static_cast<std::ptrdiff_t>(sl.lo),
+                               p.begin() + static_cast<std::ptrdiff_t>(sl.hi));
+    std::vector<std::uint8_t> packed((B * sl.len() + 7) / 8);
+    model_detail::sample_pack(pslice.data(), dim, key, 0, B, sl.lo, sl.hi,
+                              packed.data());
+    model_detail::unpack_to_slab(packed.data(), 0, B, sl.lo, sl.hi, dim,
+                                 assembled.block_mut(0));
+  }
+  const auto dv = direct.view(), av = assembled.view();
+  for (std::size_t c = 0; c < B; ++c)
+    for (std::size_t i = 0; i < dim; ++i)
+      ASSERT_EQ(dv.at(c, i), av.at(c, i)) << "c=" << c << " i=" << i;
+}
+
+TEST(ModelKernels, ShardSlicesTileTheDimension) {
+  for (const int shards : {1, 3, 4, 7, 16}) {
+    std::size_t expect_lo = 0;
+    for (int s = 0; s < shards; ++s) {
+      const ShardSlice sl = shard_slice(97, shards, s);
+      ASSERT_EQ(sl.lo, expect_lo);
+      ASSERT_LE(sl.lo, sl.hi);
+      expect_lo = sl.hi;
+    }
+    ASSERT_EQ(expect_lo, 97u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine trajectories
+// ---------------------------------------------------------------------------
+
+ModelGaConfig small_cga() {
+  ModelGaConfig cfg;
+  cfg.kind = ModelKind::kCga;
+  cfg.virtual_population = 1e6;
+  cfg.batch = 64;
+  cfg.seed = 7;
+  cfg.stop.max_generations = 60;
+  return cfg;
+}
+
+TEST(ModelGa, CgaImprovesOneMax) {
+  const OneMax onemax(96);
+  ModelGaConfig cfg = small_cga();
+  // Small virtual population so the model visibly drifts inside 60 epochs
+  // (at N=10^6 each tournament moves a locus by only 10^-6).
+  cfg.virtual_population = 1e3;
+  cfg.stop.max_generations = 150;
+  ModelGa engine(96, cfg);
+  const ModelResult r = engine.run(onemax);
+  EXPECT_EQ(r.epochs, 150u);
+  EXPECT_EQ(r.evaluations, 150u * 64u);
+  // Random bit strings average dim/2 ones; even a short cGA run must beat
+  // that comfortably.
+  EXPECT_GT(r.best.fitness, 60.0);
+  EXPECT_EQ(r.best.genome.bits.size(), 96u);
+  // The model moved: some locus drifted away from 0.5.
+  double max_dev = 0.0;
+  for (const double p : engine.state().p)
+    max_dev = std::max(max_dev, std::abs(p - 0.5));
+  EXPECT_GT(max_dev, 0.2);
+}
+
+TEST(ModelGa, UmdaReachesOneMaxOptimum) {
+  const std::size_t dim = 64;
+  const OneMax onemax(dim);
+  ModelGaConfig cfg;
+  cfg.kind = ModelKind::kUmda;
+  cfg.batch = 256;
+  cfg.seed = 3;
+  cfg.stop.max_generations = 200;
+  cfg.stop.target_fitness = static_cast<double>(dim);
+  ModelGa engine(dim, cfg);
+  const ModelResult r = engine.run(onemax);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_EQ(r.best.fitness, static_cast<double>(dim));
+}
+
+TEST(ModelGa, ProbabilitiesStayInsideMargins) {
+  const OneMax onemax(32);
+  ModelGaConfig cfg = small_cga();
+  cfg.stop.max_generations = 400;  // long enough to fixate without margins
+  ModelGa engine(32, cfg);
+  (void)engine.run(onemax);
+  const double lo = engine.margin(), hi = 1.0 - engine.margin();
+  for (const double p : engine.state().p) {
+    ASSERT_GE(p, lo);
+    ASSERT_LE(p, hi);
+  }
+}
+
+// The virtual population is a parameter of the update rule, not a stored
+// structure: the working set must not grow by one byte from N=10^6 to 10^9.
+TEST(ModelGa, FootprintIndependentOfVirtualPopulation) {
+  ModelGaConfig cfg = small_cga();
+  cfg.virtual_population = 1e6;
+  ModelGa small(256, cfg);
+  cfg.virtual_population = 1e9;
+  ModelGa huge(256, cfg);
+  EXPECT_EQ(small.footprint_bytes(), huge.footprint_bytes());
+  // And it is O(dim): kilobytes, nowhere near N bytes.
+  EXPECT_LT(huge.footprint_bytes(), std::size_t{1} << 20);
+}
+
+// A problem without an SoA kernel routes through fitness_batch on unpacked
+// scratch genomes; the trajectory must be identical to the fused kernel
+// path because both evaluate the same sampled bits.
+class OneMaxNoKernel final : public Problem<BitString> {
+ public:
+  explicit OneMaxNoKernel(std::size_t length) : length_(length) {}
+  [[nodiscard]] double fitness(const BitString& g) const override {
+    double s = 0.0;
+    for (const auto b : g.bits) s += b;
+    return s;
+  }
+  [[nodiscard]] std::string name() const override { return "OneMaxNoKernel"; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return length_; }
+
+ private:
+  std::size_t length_;
+};
+
+TEST(ModelGa, FitnessBatchPathMatchesFusedKernelPath) {
+  const OneMax kernel(96);
+  const OneMaxNoKernel scalar(96);
+  ModelGa a(96, small_cga()), b(96, small_cga());
+  (void)a.run(kernel);
+  (void)b.run(scalar);
+  EXPECT_EQ(a.state().p, b.state().p);
+  EXPECT_EQ(a.state().best_fitness, b.state().best_fitness);
+  EXPECT_EQ(a.state().best_genome.bits, b.state().best_genome.bits);
+  EXPECT_EQ(a.state().evaluations, b.state().evaluations);
+}
+
+TEST(ModelGa, UmdaRunsOnNkLandscapeBatchPath) {
+  Rng rng(17);
+  const NKLandscape nk(48, 3, rng);  // overrides fitness_batch, no kernel
+  ModelGaConfig cfg;
+  cfg.kind = ModelKind::kUmda;
+  cfg.batch = 128;
+  cfg.seed = 9;
+  cfg.stop.max_generations = 30;
+  ModelGa engine(48, cfg);
+  const ModelResult r = engine.run(nk);
+  EXPECT_EQ(r.epochs, 30u);
+  EXPECT_GT(r.best.fitness, 0.0);
+  EXPECT_EQ(r.best.genome.bits.size(), 48u);
+}
+
+// Counter-based draws + integer-accumulated updates: the trajectory is a
+// pure function of the seed, whatever executor runs the epoch.
+TEST(ModelGa, ThreadCountInvariant) {
+  const DeceptiveTrap trap(24, 4);  // 96 loci, kernel path
+  ModelGa ref(96, small_cga());
+  (void)ref.run(trap);
+  for (const int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(static_cast<std::size_t>(threads));
+    exec::Parallelism par(&pool);
+    ModelGa engine(96, small_cga());
+    (void)engine.run(trap, par);
+    ASSERT_EQ(engine.state().p, ref.state().p) << "threads=" << threads;
+    ASSERT_EQ(engine.state().best_genome.bits, ref.state().best_genome.bits)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ModelGa, StagnationStopFires) {
+  const OneMax onemax(16);
+  ModelGaConfig cfg = small_cga();
+  cfg.stop.max_generations = 100000;
+  cfg.stop.stagnation_generations = 10;
+  ModelGa engine(16, cfg);
+  const ModelResult r = engine.run(onemax);
+  EXPECT_LT(r.epochs, 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trips
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckpoint, SerializeRoundTripsAllFields) {
+  const OneMax onemax(40);
+  ModelGa engine(40, small_cga());
+  for (int e = 0; e < 12; ++e) (void)engine.step(onemax);
+  const ModelState& st = engine.state();
+  const ModelState back =
+      deserialize_model_state(serialize_model_state(st));
+  EXPECT_EQ(back.p, st.p);
+  EXPECT_EQ(back.epoch, st.epoch);
+  EXPECT_EQ(back.evaluations, st.evaluations);
+  EXPECT_EQ(back.best_fitness, st.best_fitness);
+  EXPECT_EQ(back.best_genome.bits, st.best_genome.bits);
+}
+
+// Interrupt mid-run, restore into a fresh engine, continue: the continuation
+// must be bit-identical to the run that never stopped — sampling is a pure
+// function of (seed, epoch), and the state carries everything else.
+TEST(ModelCheckpoint, MidRunRestoreResumesExactTrajectory) {
+  const DeceptiveTrap trap(10, 4);
+  ModelGa uninterrupted(40, small_cga());
+  for (int e = 0; e < 30; ++e) (void)uninterrupted.step(trap);
+
+  ModelGa first_half(40, small_cga());
+  for (int e = 0; e < 14; ++e) (void)first_half.step(trap);
+  const auto bytes = serialize_model_state(first_half.state());
+
+  ModelGa second_half(40, small_cga());
+  second_half.restore(deserialize_model_state(bytes));
+  for (int e = 14; e < 30; ++e) (void)second_half.step(trap);
+
+  EXPECT_EQ(second_half.state().p, uninterrupted.state().p);
+  EXPECT_EQ(second_half.state().evaluations,
+            uninterrupted.state().evaluations);
+  EXPECT_EQ(second_half.state().best_fitness,
+            uninterrupted.state().best_fitness);
+  EXPECT_EQ(second_half.state().best_genome.bits,
+            uninterrupted.state().best_genome.bits);
+}
+
+TEST(ModelCheckpoint, FileRoundTripAndForeignFileRejection) {
+  const OneMax onemax(24);
+  ModelGa engine(24, small_cga());
+  for (int e = 0; e < 5; ++e) (void)engine.step(onemax);
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "model.ckpt").string();
+  save_model_checkpoint(engine.state(), path);
+  const ModelState back = load_model_checkpoint(path);
+  EXPECT_EQ(back.p, engine.state().p);
+  EXPECT_EQ(back.epoch, engine.state().epoch);
+
+  // A population checkpoint (different magic) must be rejected, not misread.
+  Population<BitString> pop;
+  pop.push_back(Individual<BitString>(BitString(4), 1.0));
+  EXPECT_THROW((void)deserialize_model_state(serialize_population(pop)),
+               std::runtime_error);
+  // Truncated bytes too (the reader's bounds check surfaces).
+  auto bytes = serialize_model_state(engine.state());
+  bytes.pop_back();
+  EXPECT_THROW((void)deserialize_model_state(bytes), std::out_of_range);
+}
+
+TEST(ModelGa, RestoreRejectsDimensionMismatch) {
+  ModelGa engine(32, small_cga());
+  ModelState st;
+  st.p.assign(16, 0.5);
+  EXPECT_THROW(engine.restore(std::move(st)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded mode: bit-identity across shard counts, resume, failures
+// ---------------------------------------------------------------------------
+
+ShardedModelReport run_on_sim(std::size_t dim, const Problem<BitString>& prob,
+                              const ShardedModelConfig& scfg, int shards,
+                              sim::SimConfig simcfg) {
+  ShardedModelReport rep;
+  (void)shards;
+  sim::SimCluster cluster(std::move(simcfg));
+  (void)cluster.run([&](comm::Transport& t) {
+    auto r = run_sharded_model(t, dim, prob, scfg);
+    if (t.rank() == 0) rep = std::move(r);
+  });
+  return rep;
+}
+
+// The headline contract: sharding the probability vector over any number of
+// worker ranks reproduces the single-process trajectory bit for bit.  (The
+// thread axis is covered by ModelGa.ThreadCountInvariant; together they give
+// the full shard x thread grid by transitivity through the sequential
+// reference.)
+TEST(ShardedModel, BitIdenticalToSingleProcessAcrossShardCounts) {
+  const DeceptiveTrap trap(24, 4);
+  ModelGaConfig cfg = small_cga();
+  cfg.stop.max_generations = 25;
+  ModelGa ref(96, cfg);
+  const ModelResult rref = ref.run(trap);
+
+  for (const int shards : {1, 4, 16}) {
+    ShardedModelConfig scfg;
+    scfg.engine = cfg;
+    const auto rep = run_on_sim(
+        96, trap, scfg, shards,
+        sim::homogeneous(shards + 1, sim::NetworkModel::gigabit_ethernet()));
+    ASSERT_EQ(rep.shards, shards);
+    ASSERT_EQ(rep.final_state.p, ref.state().p) << "shards=" << shards;
+    ASSERT_EQ(rep.final_state.best_genome.bits, ref.state().best_genome.bits)
+        << "shards=" << shards;
+    ASSERT_EQ(rep.result.epochs, rref.epochs) << "shards=" << shards;
+    ASSERT_EQ(rep.result.evaluations, rref.evaluations)
+        << "shards=" << shards;
+    ASSERT_TRUE(rep.dead_shards.empty());
+    ASSERT_EQ(rep.regenerated_slices, 0u);
+    ASSERT_GT(rep.sample_messages, 0u);
+    ASSERT_GT(rep.model_messages, 0u);
+  }
+}
+
+TEST(ShardedModel, CheckpointResumeReproducesFullRun) {
+  const OneMax onemax(64);
+  ModelGaConfig cfg = small_cga();
+  cfg.stop.max_generations = 30;
+
+  ShardedModelConfig full;
+  full.engine = cfg;
+  full.checkpoint_every = 10;
+  std::vector<ModelState> snaps;
+  full.on_checkpoint = [&](const ModelState& st) { snaps.push_back(st); };
+  const auto whole = run_on_sim(
+      64, onemax, full, 4,
+      sim::homogeneous(5, sim::NetworkModel::gigabit_ethernet()));
+  ASSERT_GE(snaps.size(), 2u);
+  ASSERT_EQ(snaps[1].epoch, 20u);
+
+  // Round the snapshot through the serializer (what a real deployment would
+  // reload from disk), then resume a fresh sharded run from it.
+  const ModelState resumed_from =
+      deserialize_model_state(serialize_model_state(snaps[1]));
+  ShardedModelConfig resume;
+  resume.engine = cfg;
+  resume.resume = &resumed_from;
+  const auto rest = run_on_sim(
+      64, onemax, resume, 4,
+      sim::homogeneous(5, sim::NetworkModel::gigabit_ethernet()));
+  EXPECT_EQ(rest.final_state.p, whole.final_state.p);
+  EXPECT_EQ(rest.final_state.evaluations, whole.final_state.evaluations);
+  EXPECT_EQ(rest.final_state.best_genome.bits,
+            whole.final_state.best_genome.bits);
+}
+
+// A shard that dies mid-run costs regenerated traffic, never trajectory:
+// the manager re-derives the dead shard's exact samples from the shadow
+// model, so the final state still matches the single-process run.
+TEST(ShardedModel, InjectedShardFailurePreservesBitIdentity) {
+  const OneMax onemax(96);
+  ModelGaConfig cfg = small_cga();
+  cfg.stop.max_generations = 40;
+  ModelGa ref(96, cfg);
+  (void)ref.run(onemax);
+
+  ShardedModelConfig scfg;
+  scfg.engine = cfg;
+  scfg.epoch_timeout_s = 0.01;
+  scfg.sample_cost_per_bit_s = 2e-9;
+  scfg.eval_cost_per_candidate_s = 1e-7;
+  scfg.update_cost_per_locus_s = 1e-9;
+  auto simcfg = sim::homogeneous(5, sim::NetworkModel::gigabit_ethernet());
+  simcfg.nodes[2].fail_at = 0.002;  // mid-run, virtual seconds
+  const auto rep = run_on_sim(96, onemax, scfg, 4, std::move(simcfg));
+
+  EXPECT_EQ(rep.final_state.p, ref.state().p);
+  EXPECT_EQ(rep.final_state.best_genome.bits, ref.state().best_genome.bits);
+  ASSERT_EQ(rep.dead_shards.size(), 1u);
+  EXPECT_EQ(rep.dead_shards[0], 2);
+  EXPECT_GT(rep.regenerated_slices, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+// After the first epochs size the slab and scratch, the fused
+// sample -> evaluate -> update loop must not touch the allocator (the
+// untraced engine; tracing copies fitness into a reused buffer but sinks
+// may allocate downstream).
+TEST(ModelGa, ZeroAllocSteadyStateEpochs) {
+  const OneMax onemax(128);
+  ModelGaConfig cfg = small_cga();
+  cfg.batch = 128;
+  ModelGa engine(128, cfg);
+  for (int e = 0; e < 4; ++e) (void)engine.step(onemax);  // warm up
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int e = 0; e < 8; ++e) (void)engine.step(onemax);
+  g_counting.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
+TEST(ModelGa, ZeroAllocSteadyStateUmdaBatchPath) {
+  const OneMaxNoKernel onemax(64);
+  ModelGaConfig cfg;
+  cfg.kind = ModelKind::kUmda;
+  cfg.batch = 64;
+  cfg.seed = 21;
+  ModelGa engine(64, cfg);
+  for (int e = 0; e < 4; ++e) (void)engine.step(onemax);
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int e = 0; e < 8; ++e) (void)engine.step(onemax);
+  g_counting.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
+}  // namespace
+}  // namespace pga

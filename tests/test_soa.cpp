@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -193,6 +194,9 @@ TEST(SoaPopulation, MixedDirtyFlagsOnlyReevaluatesDirty) {
     pop[i].fitness = 1000.0 + static_cast<double>(i);
     pop[i].evaluated = true;
   }
+  // Pinned route: this test asserts the algorithmic count (kAuto would add
+  // its counted, timing-adaptive calibration cost).
+  pop.set_soa_route(SoaRoute::kBatched);
   const std::size_t evals = pop.evaluate_all(sphere);
   EXPECT_EQ(evals, 20u);
   for (std::size_t i = 0; i < pop.size(); ++i) {
@@ -432,7 +436,9 @@ TEST(SoaRouting, AllRoutesBitIdentical) {
   for (const SoaRoute route : {SoaRoute::kBatched, SoaRoute::kAuto}) {
     auto pop = make_pop();
     pop.set_soa_route(route);
-    ASSERT_EQ(pop.evaluate_all(rast), 50u);
+    // kAuto's return includes the counted calibration passes on top of the
+    // 50 dirty members; pinned routes return exactly 50.
+    ASSERT_GE(pop.evaluate_all(rast), 50u);
     for (std::size_t i = 0; i < pop.size(); ++i)
       EXPECT_EQ(pop[i].fitness, scalar_pop[i].fitness) << "i=" << i;
   }
@@ -445,6 +451,124 @@ TEST(SoaRouting, RouteSettingRoundTrips) {
   EXPECT_EQ(pop.soa_route(), SoaRoute::kScalar);
   pop.set_soa_route(SoaRoute::kBatched);
   EXPECT_EQ(pop.soa_route(), SoaRoute::kBatched);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration accounting (regression: the PR-8 gap)
+// ---------------------------------------------------------------------------
+
+// The cold kAuto duel's timing passes are real fitness evaluations; they
+// used to go uncounted, so QualityEffort under-reported the run's true
+// cost.  These tests compare evaluate_all's return against an instrumented
+// problem's actual call count — both sides vary with the adaptive timing,
+// so the equality is exact regardless of how many reps the duel ran.
+class CountingSphere final : public Problem<RealVector> {
+ public:
+  CountingSphere(std::size_t dim, std::chrono::nanoseconds spin)
+      : bounds_(dim, -1.0, 1.0), spin_(spin) {}
+  [[nodiscard]] double fitness(const RealVector& g) const override {
+    burn();
+    scalar_calls.fetch_add(1, std::memory_order_relaxed);
+    double s = 0.0;
+    for (const double x : g.values) s += x * x;
+    return -s;
+  }
+  [[nodiscard]] bool has_soa_kernel() const noexcept override { return true; }
+  void fitness_soa(const RealSoaView& x,
+                   std::span<double> out) const override {
+    for (std::size_t g = 0; g < x.count; ++g) burn();
+    soa_genomes.fetch_add(x.count, std::memory_order_relaxed);
+    for (std::size_t g = 0; g < x.blocks() * kSoaLanes; ++g) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < x.dim; ++i) s += x.at(g, i) * x.at(g, i);
+      out[g] = -s;
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "CountingSphere"; }
+  [[nodiscard]] const Bounds& bounds() const noexcept { return bounds_; }
+
+  /// Every real evaluation performed, on either route.  Padding lanes of
+  /// the batched kernel are not genomes and are not counted — matching the
+  /// accounting contract, which charges per sampled member.
+  [[nodiscard]] std::uint64_t total() const {
+    return scalar_calls.load() + soa_genomes.load();
+  }
+
+  mutable std::atomic<std::uint64_t> scalar_calls{0};
+  mutable std::atomic<std::uint64_t> soa_genomes{0};
+
+ private:
+  void burn() const {
+    if (spin_.count() == 0) return;
+    const auto until = std::chrono::steady_clock::now() + spin_;
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+  Bounds bounds_;
+  std::chrono::nanoseconds spin_;
+};
+
+Population<RealVector> counting_pop(const CountingSphere& problem,
+                                    std::size_t n) {
+  Rng rng(71);
+  return Population<RealVector>::random(
+      n, [&](Rng& r) { return RealVector::random(problem.bounds(), r); },
+      rng);
+}
+
+// Cheap objective, dirty < kRouteCalibMinDirty: the interleaved micro-duel
+// re-times both routes with many reps — every one a real evaluation the
+// return value must include.
+TEST(CalibrationAccounting, MicroDuelCheapPathCountsTimingPasses) {
+  const CountingSphere problem(8, std::chrono::nanoseconds{0});
+  auto pop = counting_pop(problem, 20);
+  const std::size_t reported = pop.evaluate_all(problem);
+  EXPECT_EQ(reported, problem.total());
+  EXPECT_GE(reported, 20u);  // at least the dirty members themselves
+}
+
+// Expensive objective: the kept scalar pass fills the timing window, so the
+// duel settles with exactly one extra batched pass over the sample.
+TEST(CalibrationAccounting, MicroDuelExpensivePathCountsBatchedPass) {
+  const CountingSphere problem(8, std::chrono::microseconds{5});
+  auto pop = counting_pop(problem, 20);
+  const std::size_t reported = pop.evaluate_all(problem);
+  EXPECT_EQ(reported, problem.total());
+  EXPECT_EQ(reported, 20u + 20u);  // kept scalar pass + one batched pass
+}
+
+// Split-sweep calibration (dirty >= kRouteCalibMinDirty) keeps every
+// evaluation it performs: the count equals the dirty set exactly.
+TEST(CalibrationAccounting, SplitSweepKeepsEveryEvaluation) {
+  const CountingSphere problem(8, std::chrono::nanoseconds{0});
+  auto pop = counting_pop(problem, 100);
+  const std::size_t reported = pop.evaluate_all(problem);
+  EXPECT_EQ(reported, problem.total());
+  EXPECT_EQ(reported, 100u);
+}
+
+// Once the route is warm, no calibration cost recurs: re-dirtied members
+// cost exactly one evaluation each.
+TEST(CalibrationAccounting, WarmRouteAddsNoCalibrationCost) {
+  const CountingSphere problem(8, std::chrono::nanoseconds{0});
+  auto pop = counting_pop(problem, 20);
+  (void)pop.evaluate_all(problem);  // cold call calibrates
+  const std::uint64_t before = problem.total();
+  pop[3].evaluated = false;
+  pop[7].evaluated = false;
+  EXPECT_EQ(pop.evaluate_all(problem), 2u);
+  EXPECT_EQ(problem.total() - before, 2u);
+}
+
+// The executor overload goes through the same duel and the same accounting.
+TEST(CalibrationAccounting, ExecutorColdPathCountsTimingPasses) {
+  const CountingSphere problem(8, std::chrono::nanoseconds{0});
+  auto pop = counting_pop(problem, 20);
+  exec::ThreadPool pool(4);
+  exec::Parallelism par(&pool);
+  const std::size_t reported = pop.evaluate_all(problem, par);
+  EXPECT_EQ(reported, problem.total());
+  EXPECT_GE(reported, 20u);
 }
 
 }  // namespace
